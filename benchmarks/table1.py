@@ -1,0 +1,65 @@
+"""Regenerate Table 1 of the paper.
+
+Runs Blazer on all 24 benchmarks and prints, per row: the benchmark
+name, CFG size (basic blocks), the verdict, the safety-verification
+time, and the safety+attack-search time (``-`` for safe benchmarks,
+which need no attack search) — the same columns the paper reports.
+
+Usage::
+
+    python benchmarks/table1.py [--group MicroBench|STAC|Literature]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.benchsuite import ALL_BENCHMARKS, Benchmark
+from repro.util.table import render_table
+
+
+def run_row(bench: Benchmark):
+    verdict = bench.run()
+    attack_time = "-" if verdict.status == "safe" else "%.2f" % verdict.total_seconds
+    expected = "OK" if verdict.status == bench.expect else "MISMATCH"
+    return [
+        bench.name,
+        bench.group,
+        verdict.size,
+        verdict.status,
+        "%.2f" % verdict.safety_seconds,
+        attack_time,
+        expected,
+    ]
+
+
+def generate(group: Optional[str] = None) -> str:
+    benches: List[Benchmark] = [
+        b for b in ALL_BENCHMARKS if group is None or b.group == group
+    ]
+    rows = [run_row(b) for b in benches]
+    table = render_table(
+        ["Benchmark", "Group", "Size", "Verdict", "Safety (s)", "w/Attack (s)", "vs Table 1"],
+        rows,
+        aligns=["l", "l", "r", "l", "r", "r", "l"],
+    )
+    header = (
+        "Table 1 reproduction — verdicts and median-style timings\n"
+        "(absolute times are not comparable to the paper's 2017 testbed;\n"
+        " the verdict column and the relative outliers are the result)\n"
+    )
+    return header + "\n" + table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--group", choices=["MicroBench", "STAC", "Literature"])
+    args = parser.parse_args()
+    print(generate(args.group))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the pipeline substrates.
+
+Times the individual stages the end-to-end numbers are made of: parse,
+type-check, compile, verify, lift, taint, most-general-trail regex, and
+one trail-restricted bound analysis — useful for locating regressions.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.benchsuite import SUITE
+from repro.bounds import compute_bound
+from repro.bytecode import compile_program, verify_module
+from repro.cfg import most_general_trail_regex
+from repro.domains import DOMAINS
+from repro.ir import lift_module
+from repro.lang import check_program, parse_program
+from repro.taint import analyze_taint
+
+SOURCE = SUITE.get("login_safe").source
+PROC = "login_safe"
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = check_program(parse_program(SOURCE))
+    module = compile_program(program)
+    verify_module(module)
+    cfgs = lift_module(module)
+    return program, module, cfgs
+
+
+def test_parse(benchmark):
+    benchmark(parse_program, SOURCE)
+
+
+def test_typecheck(benchmark):
+    benchmark(lambda: check_program(parse_program(SOURCE)))
+
+
+def test_compile(benchmark, pipeline):
+    program, _, _ = pipeline
+    benchmark(compile_program, program)
+
+
+def test_verify(benchmark, pipeline):
+    _, module, _ = pipeline
+    benchmark(verify_module, module)
+
+
+def test_lift(benchmark, pipeline):
+    _, module, _ = pipeline
+    benchmark(lift_module, module)
+
+
+def test_taint(benchmark, pipeline):
+    _, _, cfgs = pipeline
+    benchmark(analyze_taint, cfgs[PROC])
+
+
+def test_most_general_trail(benchmark, pipeline):
+    _, _, cfgs = pipeline
+    benchmark(most_general_trail_regex, cfgs[PROC])
+
+
+@pytest.mark.parametrize("domain", ["interval", "zone", "octagon"])
+def test_bound_analysis(benchmark, pipeline, domain):
+    _, _, cfgs = pipeline
+    benchmark.pedantic(
+        lambda: compute_bound(cfgs[PROC], DOMAINS[domain]), rounds=2, iterations=1
+    )

@@ -1,0 +1,31 @@
+"""pytest-benchmark timings for every Table-1 row.
+
+Each benchmark measures one full Blazer run (pipeline + safety phase +
+attack phase where applicable), one round each — these are end-to-end
+verification timings, not micro-benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+
+FAST = [b for b in ALL_BENCHMARKS if b.name != "modPow2_unsafe"]
+SLOW = [b for b in ALL_BENCHMARKS if b.name == "modPow2_unsafe"]
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_table1_row(benchmark, bench):
+    verdict = benchmark.pedantic(bench.run, rounds=1, iterations=1)
+    assert verdict.status == bench.expect
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", SLOW, ids=lambda b: b.name)
+def test_table1_row_outlier(benchmark, bench):
+    """modPow2_unsafe: the paper's dominant outlier (31758s there)."""
+    verdict = benchmark.pedantic(bench.run, rounds=1, iterations=1)
+    assert verdict.status == bench.expect

@@ -1,0 +1,89 @@
+"""Kocher '96 on modular exponentiation: static verdicts + live timings.
+
+Analyzes the square-and-multiply benchmarks (STAC modPow1 and Kocher's
+k96) and then demonstrates the channel dynamically: running the unsafe
+version on 64-bit exponents of different Hamming weight shows the
+instruction count tracking the number of one-bits, while the safe
+version's time is flat.
+
+Run with::
+
+    python examples/crypto_modpow.py
+"""
+
+from repro.benchsuite import SUITE
+from repro.interp import Interpreter
+from repro.lang import frontend
+from repro.bytecode import compile_program, verify_module
+from repro.ir import lift_module
+
+
+def analyze(name: str) -> None:
+    bench = SUITE.get(name)
+    verdict = bench.run()
+    print("=" * 70)
+    print(verdict.render())
+
+
+def timing_demo() -> None:
+    bench = SUITE.get("k96_unsafe")
+    safe = SUITE.get("k96_safe")
+
+    def interp_for(b):
+        module = compile_program(frontend(b.source))
+        verify_module(module)
+        return Interpreter(lift_module(module))
+
+    unsafe_interp = interp_for(bench)
+    safe_interp = interp_for(safe)
+
+    width = 64
+    top = 1 << (width - 1)
+    exponents = {
+        "weight 1 ": top,
+        "weight 8 ": top | 0b1111111,
+        "weight 32": int("10" * 32, 2) | top,
+        "weight 64": (1 << width) - 1,
+    }
+    modulus = (1 << 61) - 1
+    print()
+    print("-- dynamic timings (64-bit exponents, instruction counts) " + "-" * 10)
+    print("%-12s %16s %16s" % ("exponent", "k96_unsafe", "k96_safe"))
+    for label, e in exponents.items():
+        t_unsafe = unsafe_interp.time_of("k96_unsafe", [3, e, modulus])
+        t_safe = safe_interp.time_of("k96_safe", [3, e, modulus])
+        print("%-12s %16d %16d" % (label, t_unsafe, t_safe))
+    print()
+    print("The unsafe column grows with the exponent's Hamming weight —")
+    print("Kocher's channel.  The safe column is constant: the dummy")
+    print("multiply makes every iteration cost the same.")
+
+
+def constant_time_comparison() -> None:
+    """TCF is strictly weaker than constant-time (related work, §7)."""
+    from repro.core.consttime import verify_constant_time
+
+    bench = SUITE.get("modPow1_safe")
+    blazer = bench.analyzer()
+    tcf_verdict = blazer.analyze(bench.proc)
+    ct_verdict = verify_constant_time(blazer, bench.proc)
+    print()
+    print("-- TCF vs constant-time " + "-" * 45)
+    print("modPow1_safe TCF verdict: %s" % tcf_verdict.status.upper())
+    print(ct_verdict.render())
+    print("The dummy multiply balances the *cost* of the secret branch,")
+    print("so timing-channel freedom holds even though the control flow")
+    print("depends on the exponent bits — the separation the paper draws")
+    print("from Almeida et al.'s stricter constant-time property.")
+
+
+def main() -> None:
+    for name in ("modPow1_safe", "modPow1_unsafe", "k96_unsafe"):
+        analyze(name)
+        print()
+    timing_demo()
+    constant_time_comparison()
+
+
+if __name__ == "__main__":
+    main()

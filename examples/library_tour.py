@@ -1,0 +1,84 @@
+"""A tour of the library's layers, driven by hand.
+
+Walks one program through every substrate the paper's tool is built
+from: source → bytecode → register IR/CFG → taint → most general trail
+(annotated regex) → manual trail refinement → per-trail bound analysis —
+the individual steps the ``analyze_source`` driver automates.
+
+Run with::
+
+    python examples/library_tour.py
+"""
+
+from repro.bounds import BoundAnalysis
+from repro.bytecode import compile_program, disassemble, verify_module
+from repro.domains import DOMAINS
+from repro.ir import lift_module
+from repro.lang import frontend
+from repro.taint import analyze_taint
+from repro.trails import Trail, annotate_trail, split_trail, verify_cover
+
+SOURCE = """
+proc bar(secret high: int, public low: int) {
+    var i: int = 0;
+    if (low > 0) {
+        while (i < low) { i = i + 1; }
+        while (i > 0) { i = i - 1; }
+    } else {
+        if (high == 0) { i = 5; } else { i = 7; }
+    }
+}
+"""
+
+
+def main() -> None:
+    print("1. front-end: parse + type check")
+    program = frontend(SOURCE)
+
+    print("2. compile to stack bytecode (and verify it)")
+    module = compile_program(program)
+    verify_module(module)
+    print("   %d bytecode instructions" % len(module.code("bar").instrs))
+    print()
+    print(disassemble(module.code("bar")))
+
+    print()
+    print("3. lift to a register-IR CFG")
+    cfg = lift_module(module)["bar"]
+    print("   %d basic blocks, %d branch blocks" % (cfg.size, len(cfg.branch_blocks())))
+
+    print()
+    print("4. taint analysis (which branches depend on low/high data)")
+    taint = analyze_taint(cfg)
+    print("   " + str(taint).replace("\n", "\n   "))
+
+    print()
+    print("5. the most general trail, annotated (Section 4.2)")
+    trail = Trail.most_general(cfg)
+    annotated = annotate_trail(trail.regex(), cfg, taint)
+    print("   " + annotated.render())
+
+    print()
+    print("6. refine at the first low-only branch (REFINEPARTITION)")
+    low_branch = taint.low_branches()[0]
+    components = split_trail(trail, low_branch, "taint")
+    assert verify_cover(trail, components)
+    print("   split at b%d into %d components (cover verified)" % (
+        low_branch, len(components)))
+
+    print()
+    print("7. per-trail bound analysis (BOUNDANALYSIS)")
+    domain = DOMAINS["zone"]
+    for component in components:
+        result = BoundAnalysis(cfg, domain, trail_dfa=component.dfa).compute()
+        print("   %-28s -> %s" % (component.description, result))
+    whole = BoundAnalysis(cfg, domain, trail_dfa=trail.dfa).compute()
+    print("   %-28s -> %s" % ("(whole program)", whole))
+    print()
+    print("Each component's range is narrow; the trail choice depends only")
+    print("on low data, so Theorem 3.1 lets us conclude timing-channel")
+    print("freedom without ever analyzing two executions at once.")
+
+
+if __name__ == "__main__":
+    main()

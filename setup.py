@@ -1,0 +1,20 @@
+"""Packaging for the repro library (Blazer reproduction, PLDI 2017).
+
+Kept as a classic setup.py so that editable installs work in offline
+environments that lack the `wheel` package needed by PEP 517 builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Blazer reproduction: decomposition instead of self-composition "
+        "for proving the absence of timing channels (PLDI 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

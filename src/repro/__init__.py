@@ -1,0 +1,70 @@
+"""repro — a reproduction of "Decomposition Instead of Self-Composition
+for Proving the Absence of Timing Channels" (PLDI 2017).
+
+The package rebuilds the Blazer tool end to end in Python: a Java-like
+language front-end, stack bytecode and a register-IR lifter (the WALA
+analogue), a finite-automata library (brics analogue), numeric abstract
+domains (PPL analogue), taint analysis (JOANA analogue), a
+trail-restricted abstract interpreter, the symbolic bound analysis, and
+the quotient-partitioning driver that proves timing-channel freedom or
+synthesizes attack specifications.
+
+Quickstart::
+
+    from repro import analyze_source
+
+    verdict = analyze_source('''
+        proc check(secret high: int, public low: uint): int {
+            var i: int = 0;
+            while (i < low) { i = i + 1; }
+            return i;
+        }
+    ''', "check")
+    assert verdict.status == "safe"
+"""
+
+from repro.core.blazer import Blazer, BlazerConfig, BlazerVerdict, analyze_source
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    ObserverModel,
+    PolynomialDegreeObserver,
+)
+from repro.core.attack import AttackSpecification
+from repro.bounds import CostBound, Poly, compute_bound, default_summaries
+from repro.interp import Interpreter, Trace
+from repro.lang import frontend, parse_program, check_program, format_program
+from repro.bytecode import compile_program, verify_module
+from repro.ir import lift_code, lift_module
+from repro.taint import analyze_taint
+from repro.trails import PartitionTree, Trail
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blazer",
+    "BlazerConfig",
+    "BlazerVerdict",
+    "analyze_source",
+    "AttackSpecification",
+    "ObserverModel",
+    "PolynomialDegreeObserver",
+    "ConcreteThresholdObserver",
+    "CostBound",
+    "Poly",
+    "compute_bound",
+    "default_summaries",
+    "Interpreter",
+    "Trace",
+    "frontend",
+    "parse_program",
+    "check_program",
+    "format_program",
+    "compile_program",
+    "verify_module",
+    "lift_code",
+    "lift_module",
+    "analyze_taint",
+    "Trail",
+    "PartitionTree",
+    "__version__",
+]

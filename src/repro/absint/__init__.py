@@ -1,0 +1,15 @@
+"""Trail-restricted abstract interpretation."""
+
+from repro.absint.engine import AnalysisResult, Engine, Node, ProductEdgeInfo
+from repro.absint.transfer import CondDef, TransferFunctions, len_var, operand_expr
+
+__all__ = [
+    "Engine",
+    "AnalysisResult",
+    "Node",
+    "ProductEdgeInfo",
+    "TransferFunctions",
+    "CondDef",
+    "len_var",
+    "operand_expr",
+]

@@ -1,0 +1,19 @@
+"""Finite automata and regular expressions (the brics-automaton analogue)."""
+
+from repro.automata import regex
+from repro.automata.dfa import DFA, containing_symbol, empty, literal, universal
+from repro.automata.elim import dfa_to_regex, regex_to_dfa
+from repro.automata.nfa import NFA, from_regex
+
+__all__ = [
+    "regex",
+    "DFA",
+    "NFA",
+    "from_regex",
+    "dfa_to_regex",
+    "regex_to_dfa",
+    "literal",
+    "universal",
+    "empty",
+    "containing_symbol",
+]

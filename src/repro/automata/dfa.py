@@ -1,0 +1,321 @@
+"""Deterministic finite automata and the boolean algebra of languages.
+
+This is the working core of the brics-automaton replacement: trails are
+compiled to DFAs, and REFINEPARTITION manipulates them with intersection,
+union, complement, inclusion and emptiness.
+
+Transitions are *partial*: a missing ``(state, symbol)`` entry means the
+word is rejected.  Operations that require totality (complement) complete
+the automaton with a sink over an explicit alphabet first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.util.errors import AutomatonError
+
+Symbol = Hashable
+
+
+@dataclass
+class DFA:
+    num_states: int = 0
+    initial: int = 0
+    accepting: Set[int] = field(default_factory=set)
+    transitions: Dict[Tuple[int, Symbol], int] = field(default_factory=dict)
+    alphabet: FrozenSet[Symbol] = frozenset()
+
+    # -- basics ------------------------------------------------------------------
+
+    def step(self, state: int, symbol: Symbol) -> Optional[int]:
+        return self.transitions.get((state, symbol))
+
+    def accepts(self, word: Tuple[Symbol, ...]) -> bool:
+        state: Optional[int] = self.initial
+        for symbol in word:
+            state = self.step(state, symbol)  # type: ignore[arg-type]
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def successors(self, state: int) -> List[Tuple[Symbol, int]]:
+        return [(sym, dst) for (src, sym), dst in self.transitions.items() if src == state]
+
+    def with_alphabet(self, alphabet: FrozenSet[Symbol]) -> "DFA":
+        """The same automaton declared over a (super-)alphabet."""
+        missing = self._used_symbols() - set(alphabet)
+        if missing:
+            raise AutomatonError("alphabet misses used symbols: %r" % (missing,))
+        return DFA(self.num_states, self.initial, set(self.accepting), dict(self.transitions), frozenset(alphabet))
+
+    def _used_symbols(self) -> Set[Symbol]:
+        return {sym for (_, sym) in self.transitions}
+
+    # -- language queries ----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Is the accepted language empty?"""
+        return self.shortest_word() is None
+
+    def shortest_word(self) -> Optional[Tuple[Symbol, ...]]:
+        """A shortest accepted word, or None if the language is empty."""
+        if self.initial in self.accepting:
+            return ()
+        parent: Dict[int, Tuple[int, Symbol]] = {}
+        seen = {self.initial}
+        queue = deque([self.initial])
+        # Deterministic exploration order for reproducible witnesses.
+        outgoing: Dict[int, List[Tuple[Symbol, int]]] = {}
+        for (src, symbol), dst in self.transitions.items():
+            outgoing.setdefault(src, []).append((symbol, dst))
+        for src in outgoing:
+            outgoing[src].sort(key=lambda pair: repr(pair[0]))
+        while queue:
+            state = queue.popleft()
+            for symbol, dst in outgoing.get(state, []):
+                if dst in seen:
+                    continue
+                seen.add(dst)
+                parent[dst] = (state, symbol)
+                if dst in self.accepting:
+                    word: List[Symbol] = []
+                    cur = dst
+                    while cur != self.initial:
+                        prev, sym = parent[cur]
+                        word.append(sym)
+                        cur = prev
+                    return tuple(reversed(word))
+                queue.append(dst)
+        return None
+
+    def is_finite(self) -> bool:
+        """Is the accepted language finite?
+
+        True iff the subgraph of *useful* states (reachable from the
+        initial state and co-reachable to an accepting state) is acyclic,
+        checked with Kahn's algorithm.
+        """
+        useful = self._useful_states()
+        edges = [
+            (src, dst)
+            for (src, _), dst in self.transitions.items()
+            if src in useful and dst in useful
+        ]
+        indegree = {state: 0 for state in useful}
+        for _, dst in edges:
+            indegree[dst] += 1
+        queue = deque(state for state, deg in indegree.items() if deg == 0)
+        removed = 0
+        while queue:
+            node = queue.popleft()
+            removed += 1
+            for src, dst in edges:
+                if src == node:
+                    indegree[dst] -= 1
+                    if indegree[dst] == 0:
+                        queue.append(dst)
+        return removed == len(useful)
+
+    def _useful_states(self) -> Set[int]:
+        reachable: Set[int] = set()
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            for (src, _), dst in self.transitions.items():
+                if src == state and dst not in reachable:
+                    stack.append(dst)
+        coreachable: Set[int] = set(self.accepting)
+        changed = True
+        while changed:
+            changed = False
+            for (src, _), dst in self.transitions.items():
+                if dst in coreachable and src not in coreachable:
+                    coreachable.add(src)
+                    changed = True
+        return reachable & coreachable
+
+    # -- constructions -----------------------------------------------------------
+
+    def completed(self, alphabet: Optional[FrozenSet[Symbol]] = None) -> "DFA":
+        """Total version over ``alphabet`` (default: own alphabet ∪ used)."""
+        symbols = set(self.alphabet) | self._used_symbols()
+        if alphabet is not None:
+            symbols |= set(alphabet)
+        sink = self.num_states
+        transitions = dict(self.transitions)
+        need_sink = False
+        for state in range(self.num_states):
+            for symbol in symbols:
+                if (state, symbol) not in transitions:
+                    transitions[(state, symbol)] = sink
+                    need_sink = True
+        num_states = self.num_states
+        if need_sink:
+            num_states += 1
+            for symbol in symbols:
+                transitions[(sink, symbol)] = sink
+        return DFA(num_states, self.initial, set(self.accepting), transitions, frozenset(symbols))
+
+    def complement(self, alphabet: Optional[FrozenSet[Symbol]] = None) -> "DFA":
+        total = self.completed(alphabet)
+        accepting = {s for s in range(total.num_states) if s not in total.accepting}
+        return DFA(total.num_states, total.initial, accepting, dict(total.transitions), total.alphabet)
+
+    def _product(self, other: "DFA", accept_both: bool, accept_either: bool) -> "DFA":
+        symbols = (
+            set(self.alphabet)
+            | self._used_symbols()
+            | set(other.alphabet)
+            | other._used_symbols()
+        )
+        left = self.completed(frozenset(symbols))
+        right = other.completed(frozenset(symbols))
+        index: Dict[Tuple[int, int], int] = {(left.initial, right.initial): 0}
+        worklist = [(left.initial, right.initial)]
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        accepting: Set[int] = set()
+        while worklist:
+            pair = worklist.pop()
+            src = index[pair]
+            a_acc = pair[0] in left.accepting
+            b_acc = pair[1] in right.accepting
+            if (accept_both and a_acc and b_acc) or (accept_either and (a_acc or b_acc)):
+                accepting.add(src)
+            for symbol in symbols:
+                nxt = (left.transitions[(pair[0], symbol)], right.transitions[(pair[1], symbol)])
+                if nxt not in index:
+                    index[nxt] = len(index)
+                    worklist.append(nxt)
+                transitions[(src, symbol)] = index[nxt]
+        return DFA(len(index), 0, accepting, transitions, frozenset(symbols))
+
+    def intersect(self, other: "DFA") -> "DFA":
+        return self._product(other, accept_both=True, accept_either=False)
+
+    def union(self, other: "DFA") -> "DFA":
+        return self._product(other, accept_both=False, accept_either=True)
+
+    def difference(self, other: "DFA") -> "DFA":
+        symbols = (
+            set(self.alphabet)
+            | self._used_symbols()
+            | set(other.alphabet)
+            | other._used_symbols()
+        )
+        return self.intersect(other.complement(frozenset(symbols)))
+
+    def includes(self, other: "DFA") -> bool:
+        """Language inclusion: L(other) ⊆ L(self)."""
+        return other.difference(self).is_empty()
+
+    def equivalent(self, other: "DFA") -> bool:
+        return self.includes(other) and other.includes(self)
+
+    # -- minimization --------------------------------------------------------------
+
+    def trimmed(self) -> "DFA":
+        """Restrict to useful states (keeps at least the initial state)."""
+        useful = self._useful_states()
+        useful.add(self.initial)
+        index = {old: new for new, old in enumerate(sorted(useful))}
+        transitions = {
+            (index[src], symbol): index[dst]
+            for (src, symbol), dst in self.transitions.items()
+            if src in useful and dst in useful
+        }
+        accepting = {index[s] for s in self.accepting if s in useful}
+        return DFA(len(index), index[self.initial], accepting, transitions, self.alphabet)
+
+    def minimized(self) -> "DFA":
+        """Moore partition-refinement minimization of the trimmed DFA."""
+        trimmed = self.trimmed().completed()
+        symbols = sorted(trimmed.alphabet, key=repr)
+        # Initial partition: accepting vs non-accepting.
+        block_of = {
+            state: (1 if state in trimmed.accepting else 0)
+            for state in range(trimmed.num_states)
+        }
+        num_blocks = 2 if trimmed.accepting and len(trimmed.accepting) < trimmed.num_states else 1
+        if not trimmed.accepting:
+            block_of = {s: 0 for s in block_of}
+            num_blocks = 1
+        elif len(trimmed.accepting) == trimmed.num_states:
+            block_of = {s: 0 for s in block_of}
+            num_blocks = 1
+        changed = True
+        while changed:
+            changed = False
+            signature: Dict[int, Tuple] = {}
+            for state in range(trimmed.num_states):
+                signature[state] = (
+                    block_of[state],
+                    tuple(block_of[trimmed.transitions[(state, sym)]] for sym in symbols),
+                )
+            new_index: Dict[Tuple, int] = {}
+            new_block_of: Dict[int, int] = {}
+            for state in range(trimmed.num_states):
+                sig = signature[state]
+                if sig not in new_index:
+                    new_index[sig] = len(new_index)
+                new_block_of[state] = new_index[sig]
+            if len(new_index) != num_blocks:
+                changed = True
+                num_blocks = len(new_index)
+            block_of = new_block_of
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        for (src, symbol), dst in trimmed.transitions.items():
+            transitions[(block_of[src], symbol)] = block_of[dst]
+        accepting = {block_of[s] for s in trimmed.accepting}
+        dfa = DFA(num_blocks, block_of[trimmed.initial], accepting, transitions, trimmed.alphabet)
+        return dfa.trimmed()
+
+    # -- enumeration (tests) ----------------------------------------------------------
+
+    def enumerate_words(self, max_length: int) -> List[Tuple[Symbol, ...]]:
+        """All accepted words up to ``max_length``, in length-lex order."""
+        symbols = sorted(set(self.alphabet) | self._used_symbols(), key=repr)
+        out: List[Tuple[Symbol, ...]] = []
+        frontier: List[Tuple[Tuple[Symbol, ...], int]] = [((), self.initial)]
+        for _ in range(max_length + 1):
+            next_frontier: List[Tuple[Tuple[Symbol, ...], int]] = []
+            for word, state in frontier:
+                if state in self.accepting:
+                    out.append(word)
+                for symbol in symbols:
+                    dst = self.step(state, symbol)
+                    if dst is not None:
+                        next_frontier.append((word + (symbol,), dst))
+            frontier = next_frontier
+        return out
+
+
+def literal(word: Tuple[Symbol, ...]) -> DFA:
+    """The DFA accepting exactly ``word``."""
+    transitions = {(i, symbol): i + 1 for i, symbol in enumerate(word)}
+    return DFA(len(word) + 1, 0, {len(word)}, transitions, frozenset(word))
+
+
+def universal(alphabet: FrozenSet[Symbol]) -> DFA:
+    """The DFA accepting every word over ``alphabet``."""
+    return DFA(1, 0, {0}, {(0, s): 0 for s in alphabet}, frozenset(alphabet))
+
+
+def empty(alphabet: FrozenSet[Symbol] = frozenset()) -> DFA:
+    return DFA(1, 0, set(), {}, frozenset(alphabet))
+
+
+def containing_symbol(alphabet: FrozenSet[Symbol], symbol: Symbol) -> DFA:
+    """The DFA for Σ* symbol Σ*: words with at least one occurrence."""
+    if symbol not in alphabet:
+        raise AutomatonError("symbol %r not in alphabet" % (symbol,))
+    transitions: Dict[Tuple[int, Symbol], int] = {}
+    for s in alphabet:
+        transitions[(0, s)] = 1 if s == symbol else 0
+        transitions[(1, s)] = 1
+    return DFA(2, 0, {1}, transitions, frozenset(alphabet))

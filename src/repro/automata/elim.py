@@ -1,0 +1,70 @@
+"""Automaton-to-regex conversion by state elimination.
+
+Used to present trails (which internally live as DFAs during refinement)
+back to the user as annotated regular expressions, the form in which the
+paper describes them (Section 4.1), and to build the most-general trail
+regex from the CFG automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.automata import regex as rx
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def dfa_to_regex(dfa: DFA) -> rx.Regex:
+    """Regex for L(dfa) via the generalized-NFA elimination algorithm."""
+    trimmed = dfa.trimmed()
+    if not trimmed.accepting:
+        return rx.EMPTY
+    # Generalized NFA: fresh initial and final states, regex-labelled arcs.
+    start = trimmed.num_states
+    final = trimmed.num_states + 1
+    arcs: Dict[Tuple[int, int], rx.Regex] = {}
+
+    def add(src: int, dst: int, label: rx.Regex) -> None:
+        if (src, dst) in arcs:
+            arcs[(src, dst)] = rx.union(arcs[(src, dst)], label)
+        else:
+            arcs[(src, dst)] = label
+
+    add(start, trimmed.initial, rx.EPSILON)
+    for state in trimmed.accepting:
+        add(state, final, rx.EPSILON)
+    for (src, symbol), dst in trimmed.transitions.items():
+        add(src, dst, rx.sym(symbol))
+
+    # Eliminate original states one by one.  Order heuristic: fewest
+    # incident arcs first, which keeps intermediate regexes smaller.
+    remaining = set(range(trimmed.num_states))
+    while remaining:
+        def degree(state: int) -> int:
+            return sum(1 for (a, b) in arcs if a == state or b == state)
+
+        victim = min(remaining, key=degree)
+        remaining.discard(victim)
+        self_loop: Optional[rx.Regex] = arcs.pop((victim, victim), None)
+        loop_star = rx.star(self_loop) if self_loop is not None else rx.EPSILON
+        incoming = [(a, r) for (a, b), r in arcs.items() if b == victim]
+        outgoing = [(b, r) for (a, b), r in arcs.items() if a == victim]
+        for (a, _) in incoming:
+            arcs.pop((a, victim))
+        for (b, _) in outgoing:
+            arcs.pop((victim, b))
+        for a, rin in incoming:
+            for b, rout in outgoing:
+                add(a, b, rx.seq(rin, loop_star, rout))
+
+    return arcs.get((start, final), rx.EMPTY)
+
+
+def regex_to_dfa(regex: rx.Regex, alphabet=None) -> DFA:
+    """Compile a regex to a (minimized) DFA."""
+    from repro.automata.nfa import from_regex
+
+    nfa: NFA = from_regex(regex)
+    dfa = nfa.determinize(alphabet)
+    return dfa.minimized()

@@ -1,0 +1,152 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+States are integers; symbols are arbitrary hashable values (CFG edges for
+trails, characters in tests).  Provides the Thompson construction from
+regexes and the subset construction to DFAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.automata import regex as rx
+from repro.util.errors import AutomatonError
+
+Symbol = Hashable
+
+
+@dataclass
+class NFA:
+    """An NFA: ``transitions[state][symbol] -> set of states``.
+
+    ``None`` as a symbol key denotes an epsilon transition.
+    """
+
+    num_states: int = 0
+    initial: int = 0
+    accepting: Set[int] = field(default_factory=set)
+    transitions: Dict[int, Dict[Optional[Symbol], Set[int]]] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, src: int, symbol: Optional[Symbol], dst: int) -> None:
+        if not (0 <= src < self.num_states and 0 <= dst < self.num_states):
+            raise AutomatonError("transition between unknown states")
+        self.transitions.setdefault(src, {}).setdefault(symbol, set()).add(dst)
+
+    def alphabet(self) -> FrozenSet[Symbol]:
+        symbols: Set[Symbol] = set()
+        for edges in self.transitions.values():
+            for symbol in edges:
+                if symbol is not None:
+                    symbols.add(symbol)
+        return frozenset(symbols)
+
+    # -- semantics -------------------------------------------------------------
+
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.transitions.get(state, {}).get(None, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def accepts(self, word: Tuple[Symbol, ...]) -> bool:
+        current = self.epsilon_closure({self.initial})
+        for symbol in word:
+            nxt: Set[int] = set()
+            for state in current:
+                nxt |= self.transitions.get(state, {}).get(symbol, set())
+            if not nxt:
+                return False
+            current = self.epsilon_closure(nxt)
+        return bool(current & self.accepting)
+
+    # -- conversions -------------------------------------------------------------
+
+    def determinize(self, alphabet: Optional[FrozenSet[Symbol]] = None) -> "DFA":
+        """Subset construction.  ``alphabet`` may extend the used symbols."""
+        from repro.automata.dfa import DFA
+
+        symbols = set(self.alphabet())
+        if alphabet is not None:
+            symbols |= set(alphabet)
+        start = self.epsilon_closure({self.initial})
+        index: Dict[FrozenSet[int], int] = {start: 0}
+        worklist: List[FrozenSet[int]] = [start]
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        accepting: Set[int] = set()
+        if start & self.accepting:
+            accepting.add(0)
+        while worklist:
+            subset = worklist.pop()
+            src = index[subset]
+            for symbol in symbols:
+                targets: Set[int] = set()
+                for state in subset:
+                    targets |= self.transitions.get(state, {}).get(symbol, set())
+                if not targets:
+                    continue
+                closure = self.epsilon_closure(targets)
+                if closure not in index:
+                    index[closure] = len(index)
+                    worklist.append(closure)
+                    if closure & self.accepting:
+                        accepting.add(index[closure])
+                transitions[(src, symbol)] = index[closure]
+        return DFA(
+            num_states=len(index),
+            initial=0,
+            accepting=accepting,
+            transitions=transitions,
+            alphabet=frozenset(symbols),
+        )
+
+
+def from_regex(regex: rx.Regex) -> NFA:
+    """Thompson construction: one (start, end) state pair per subexpression."""
+    nfa = NFA()
+
+    def build(node: rx.Regex) -> Tuple[int, int]:
+        start, end = nfa.new_state(), nfa.new_state()
+        if isinstance(node, rx.Empty):
+            pass  # no connection
+        elif isinstance(node, rx.Eps):
+            nfa.add_transition(start, None, end)
+        elif isinstance(node, rx.Sym):
+            nfa.add_transition(start, node.symbol, end)
+        elif isinstance(node, rx.Concat):
+            ls, le = build(node.left)
+            rs, re_ = build(node.right)
+            nfa.add_transition(start, None, ls)
+            nfa.add_transition(le, None, rs)
+            nfa.add_transition(re_, None, end)
+        elif isinstance(node, rx.Union):
+            ls, le = build(node.left)
+            rs, re_ = build(node.right)
+            nfa.add_transition(start, None, ls)
+            nfa.add_transition(start, None, rs)
+            nfa.add_transition(le, None, end)
+            nfa.add_transition(re_, None, end)
+        elif isinstance(node, rx.Star):
+            is_, ie = build(node.inner)
+            nfa.add_transition(start, None, is_)
+            nfa.add_transition(start, None, end)
+            nfa.add_transition(ie, None, is_)
+            nfa.add_transition(ie, None, end)
+        else:  # pragma: no cover
+            raise AutomatonError("unknown regex node %r" % type(node).__name__)
+        return start, end
+
+    start, end = build(regex)
+    nfa.initial = start
+    nfa.accepting = {end}
+    return nfa

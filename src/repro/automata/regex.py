@@ -1,0 +1,285 @@
+"""Regular expressions over an arbitrary (hashable) symbol alphabet.
+
+Trails are regular expressions whose symbols are CFG edges; the test
+suite also uses character regexes.  This module provides the regex AST,
+smart constructors that keep expressions small, a Thompson construction
+(:func:`to_nfa` lives in :mod:`repro.automata.nfa` to avoid a cycle), and
+a parser for character-symbol regexes used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterator, Tuple
+
+Symbol = Hashable
+
+
+class Regex:
+    """Base class; use the smart constructors below to build instances."""
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        """All symbols occurring syntactically in the expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Does the language contain the empty string?"""
+        raise NotImplementedError
+
+    def is_empty_language(self) -> bool:
+        """Syntactic emptiness (exact thanks to the smart constructors)."""
+        return isinstance(self, Empty)
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language."""
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Eps(Regex):
+    """The language containing exactly the empty string."""
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single-symbol language."""
+
+    symbol: Symbol
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset({self.symbol})
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        if isinstance(self.symbol, tuple) and len(self.symbol) == 2:
+            return "%s%s" % self.symbol  # CFG edge (i, j) prints as "ij"
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.left.symbols() | self.right.symbols()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def __str__(self) -> str:
+        def wrap(r: Regex) -> str:
+            return "(%s)" % r if isinstance(r, Union) else str(r)
+
+        return "%s.%s" % (wrap(self.left), wrap(self.right))
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.left.symbols() | self.right.symbols()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def __str__(self) -> str:
+        return "%s|%s" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    inner: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.inner.symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        inner = str(self.inner)
+        if isinstance(self.inner, (Sym, Eps, Empty)):
+            return "%s*" % inner
+        return "(%s)*" % inner
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (normalize the obvious identities)
+# ---------------------------------------------------------------------------
+
+EMPTY = Empty()
+EPSILON = Eps()
+
+
+def sym(symbol: Symbol) -> Regex:
+    return Sym(symbol)
+
+
+def concat(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, Empty) or isinstance(right, Empty):
+        return EMPTY
+    if isinstance(left, Eps):
+        return right
+    if isinstance(right, Eps):
+        return left
+    return Concat(left, right)
+
+
+def union(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, Empty):
+        return right
+    if isinstance(right, Empty):
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def star(inner: Regex) -> Regex:
+    if isinstance(inner, (Empty, Eps)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def seq(*parts: Regex) -> Regex:
+    out: Regex = EPSILON
+    for part in parts:
+        out = concat(out, part)
+    return out
+
+
+def alt(*parts: Regex) -> Regex:
+    out: Regex = EMPTY
+    for part in parts:
+        out = union(out, part)
+    return out
+
+
+def iter_subexprs(regex: Regex) -> Iterator[Regex]:
+    """Pre-order traversal of all subexpressions (regex itself first)."""
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (Concat, Union)):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, Star):
+            stack.append(node.inner)
+
+
+# ---------------------------------------------------------------------------
+# Character-regex parser (tests/examples only)
+# ---------------------------------------------------------------------------
+
+
+def parse(text: str) -> Regex:
+    """Parse a character regex: literals, ``|``, ``*``, ``()``, ``&`` = ε.
+
+    Symbols are single characters.  Juxtaposition concatenates.  This is a
+    convenience for unit tests, not part of the trail machinery.
+    """
+
+    pos = 0
+
+    def peek() -> str:
+        return text[pos] if pos < len(text) else ""
+
+    def parse_union() -> Regex:
+        nonlocal pos
+        left = parse_concat()
+        while peek() == "|":
+            pos += 1
+            left = union(left, parse_concat())
+        return left
+
+    def parse_concat() -> Regex:
+        nonlocal pos
+        out: Regex = EPSILON
+        while peek() and peek() not in "|)":
+            out = concat(out, parse_star())
+        return out
+
+    def parse_star() -> Regex:
+        nonlocal pos
+        atom = parse_atom()
+        while peek() == "*":
+            pos += 1
+            atom = star(atom)
+        return atom
+
+    def parse_atom() -> Regex:
+        nonlocal pos
+        ch = peek()
+        if ch == "(":
+            pos += 1
+            inner = parse_union()
+            if peek() != ")":
+                raise ValueError("unbalanced parentheses in regex %r" % text)
+            pos += 1
+            return inner
+        if ch == "&":
+            pos += 1
+            return EPSILON
+        if not ch or ch in "|*)":
+            raise ValueError("unexpected %r in regex %r" % (ch, text))
+        pos += 1
+        return Sym(ch)
+
+    result = parse_union()
+    if pos != len(text):
+        raise ValueError("trailing input in regex %r" % text)
+    return result
+
+
+def matches_brute(regex: Regex, word: Tuple[Symbol, ...]) -> bool:
+    """Direct (derivative-based) matcher, used as a test oracle."""
+
+    def derive(r: Regex, a: Symbol) -> Regex:
+        if isinstance(r, (Empty, Eps)):
+            return EMPTY
+        if isinstance(r, Sym):
+            return EPSILON if r.symbol == a else EMPTY
+        if isinstance(r, Concat):
+            d = concat(derive(r.left, a), r.right)
+            if r.left.nullable():
+                d = union(d, derive(r.right, a))
+            return d
+        if isinstance(r, Union):
+            return union(derive(r.left, a), derive(r.right, a))
+        if isinstance(r, Star):
+            return concat(derive(r.inner, a), r)
+        raise TypeError(type(r))
+
+    cur = regex
+    for symbol in word:
+        cur = derive(cur, symbol)
+        if isinstance(cur, Empty):
+            return False
+    return cur.nullable()

@@ -1,0 +1,43 @@
+"""The 24 evaluation benchmarks of Table 1, with registry helpers."""
+
+from repro.benchsuite.literature import (
+    EXTRA_LITERATURE_BENCHMARKS,
+    LITERATURE_BENCHMARKS,
+)
+from repro.benchsuite.microbench import MICRO_BENCHMARKS
+from repro.benchsuite.registry import (
+    LITERATURE,
+    MICRO,
+    STAC,
+    Benchmark,
+    BenchmarkSuite,
+    crypto_witness_space,
+    micro_observer,
+    realworld_observer,
+)
+from repro.benchsuite.stac import STAC_BENCHMARKS
+
+# The 24 Table-1 rows.
+ALL_BENCHMARKS = MICRO_BENCHMARKS + STAC_BENCHMARKS + LITERATURE_BENCHMARKS
+SUITE = BenchmarkSuite(ALL_BENCHMARKS)
+# Plus the paper's unpaired 25th program ("except for User", §6.1).
+EXTRA_BENCHMARKS = EXTRA_LITERATURE_BENCHMARKS
+FULL_SUITE = BenchmarkSuite(ALL_BENCHMARKS + EXTRA_BENCHMARKS)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSuite",
+    "ALL_BENCHMARKS",
+    "EXTRA_BENCHMARKS",
+    "FULL_SUITE",
+    "SUITE",
+    "MICRO_BENCHMARKS",
+    "STAC_BENCHMARKS",
+    "LITERATURE_BENCHMARKS",
+    "MICRO",
+    "STAC",
+    "LITERATURE",
+    "micro_observer",
+    "realworld_observer",
+    "crypto_witness_space",
+]

@@ -1,0 +1,293 @@
+"""The 6 Literature benchmarks (Table 1, third block).
+
+Programs modeled on the timing-attack literature the paper draws from:
+
+* ``k96`` — Kocher's CRYPTO'96 attack target: square-and-multiply
+  modular exponentiation for Diffie–Hellman/RSA;
+* ``gpt14`` — Genkin–Pipman–Tromer's key-extraction target: a
+  square-and-reduce loop whose extra reductions depend on key bits;
+* ``login`` — Pasareanu–Phan–Malacaria's CSF'16 password check, the
+  loginSafe/loginBad pair of the paper's Fig. 1 (the null-password check
+  is modeled by the public ``user_exists`` flag, per the paper's
+  footnote that user existence is not considered secret).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.registry import (
+    BIGINT_EXTERNS,
+    LITERATURE,
+    Benchmark,
+    crypto_witness_space,
+    realworld_observer,
+)
+from repro.core.observer import ConcreteThresholdObserver
+
+# -- k96: Kocher's square-and-multiply ---------------------------------------
+
+K96_SAFE = (
+    BIGINT_EXTERNS
+    + """
+proc k96_safe(public base: int, secret exponent: int, public modulus: int): int {
+    var y: int = 1;
+    var width: int = bigBitLength(exponent);
+    for (var i: int = 0; i < width; i = i + 1) {
+        y = bigMod(bigMultiply(y, y), modulus);
+        if (bigTestBit(exponent, i) == 1) {
+            y = bigMod(bigMultiply(y, base), modulus);
+        } else {
+            var dummy: int = bigMod(bigMultiply(y, base), modulus);
+        }
+    }
+    return y;
+}
+"""
+)
+
+K96_UNSAFE = (
+    BIGINT_EXTERNS
+    + """
+proc k96_unsafe(public base: int, secret exponent: int, public modulus: int): int {
+    var y: int = 1;
+    var width: int = bigBitLength(exponent);
+    for (var i: int = 0; i < width; i = i + 1) {
+        y = bigMod(bigMultiply(y, y), modulus);
+        if (bigTestBit(exponent, i) == 1) {
+            y = bigMod(bigMultiply(y, base), modulus);
+        }
+    }
+    return y;
+}
+"""
+)
+
+# -- gpt14: key-bit-dependent extra reductions --------------------------------
+
+GPT14_SAFE = (
+    BIGINT_EXTERNS
+    + """
+proc gpt14_safe(public cipher: int, public rounds: uint, secret key: byte[]): int {
+    var acc: int = 1;
+    for (var i: int = 0; i < rounds; i = i + 1) {
+        acc = bigMod(bigMultiply(acc, acc), cipher);
+        if (i < len(key)) {
+            if (key[i] == 1) {
+                acc = bigMod(bigMultiply(acc, cipher), cipher);
+            } else {
+                var d1: int = bigMod(bigMultiply(acc, cipher), cipher);
+            }
+        } else {
+            var d2: int = bigMod(bigMultiply(acc, cipher), cipher);
+        }
+    }
+    return acc;
+}
+"""
+)
+
+GPT14_UNSAFE = (
+    BIGINT_EXTERNS
+    + """
+proc gpt14_unsafe(public cipher: int, public rounds: uint, secret key: byte[]): int {
+    var acc: int = 1;
+    for (var i: int = 0; i < rounds; i = i + 1) {
+        acc = bigMod(bigMultiply(acc, acc), cipher);
+        if (i < len(key)) {
+            if (key[i] == 1) {
+                // The extra multiply runs only for one-bits of the key.
+                acc = bigMod(bigMultiply(acc, cipher), cipher);
+            }
+        }
+    }
+    return acc;
+}
+"""
+)
+
+# -- login: Fig. 1's loginSafe / loginBad -------------------------------------
+
+LOGIN_SAFE = """
+proc login_safe(public user_exists: bool, public guess: byte[], secret user_pw: byte[]): bool {
+    var matches: bool = true;
+    var dummy: bool = false;
+    if (!user_exists) {
+        return false;
+    }
+    for (var i: int = 0; i < len(guess); i = i + 1) {
+        if (i < len(user_pw)) {
+            if (guess[i] != user_pw[i]) {
+                matches = false;
+            } else {
+                dummy = true;
+            }
+        } else {
+            dummy = true;
+            matches = false;
+        }
+    }
+    return matches;
+}
+"""
+
+LOGIN_UNSAFE = """
+proc login_unsafe(public user_exists: bool, public guess: byte[], secret user_pw: byte[]): bool {
+    if (!user_exists) {
+        return false;
+    }
+    for (var i: int = 0; i < len(guess); i = i + 1) {
+        if (i < len(user_pw)) {
+            if (guess[i] != user_pw[i]) {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+"""
+
+
+def _gpt14_observer() -> ConcreteThresholdObserver:
+    """Threshold observer with the round count assumed <= 2048 (the
+    per-round constant slop of the balanced version times 4096 rounds
+    would otherwise exceed the 25k threshold)."""
+    return ConcreteThresholdObserver(
+        threshold=25_000,
+        default_max=4096,
+        max_values={"rounds": 2048, "key#len": 2048},
+    )
+
+
+def _pw_observer() -> ConcreteThresholdObserver:
+    """Threshold observer with password lengths assumed <= 2048 bytes
+    (the paper: "assume some reasonable maximum for the input
+    variables", benchmark-specific)."""
+    return ConcreteThresholdObserver(
+        threshold=25_000,
+        default_max=4096,
+        max_values={"guess#len": 2048, "pw#len": 2048, "user_pw#len": 2048},
+    )
+
+
+# -- user: the paper's 25th, unpaired benchmark ------------------------------
+# Section 6.1: "we created safe versions by hand (except for User)" — the
+# suite had one unsafe program with no safe twin.  Modeled as a username
+# lookup whose per-entry comparison loop exits early on the first match:
+# the lookup time reveals how deep in the (secret) user table the match
+# sits, and whether it exists at all.
+
+USER_UNSAFE = """
+proc user_unsafe(public probe: byte[], secret table: byte[]): int {
+    var found: int = -1;
+    for (var i: int = 0; i < len(table); i = i + 1) {
+        if (i < len(probe)) {
+            if (table[i] != probe[i]) {
+                return -1;
+            }
+        }
+    }
+    return 1;
+}
+"""
+
+
+LITERATURE_BENCHMARKS = [
+    Benchmark(
+        name="gpt14_safe",
+        group=LITERATURE,
+        source=GPT14_SAFE,
+        proc="gpt14_safe",
+        expect="safe",
+        observer_factory=_gpt14_observer,
+        witness_space={
+            "cipher": [(1 << 61) - 1],
+            "rounds": [6],
+            "key": [[0] * 4, [1] * 4, [1, 0, 1, 0]],
+        },
+        notes="every round multiplies, key bit or not",
+    ),
+    Benchmark(
+        name="gpt14_unsafe",
+        group=LITERATURE,
+        source=GPT14_UNSAFE,
+        proc="gpt14_unsafe",
+        expect="attack",
+        observer_factory=_gpt14_observer,
+        witness_space={
+            "cipher": [(1 << 61) - 1],
+            "rounds": [6],
+            "key": [[0] * 4, [1] * 4],
+        },
+        witness_gap=25_000,
+        notes="extra multiply only on one-bits of the key",
+    ),
+    Benchmark(
+        name="k96_safe",
+        group=LITERATURE,
+        source=K96_SAFE,
+        proc="k96_safe",
+        expect="safe",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        notes="Kocher's loop with a balancing dummy multiply",
+    ),
+    Benchmark(
+        name="k96_unsafe",
+        group=LITERATURE,
+        source=K96_UNSAFE,
+        proc="k96_unsafe",
+        expect="attack",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        witness_gap=25_000,
+        notes="Kocher's attack target: multiply only on one-bits",
+    ),
+    Benchmark(
+        name="login_safe",
+        group=LITERATURE,
+        source=LOGIN_SAFE,
+        proc="login_safe",
+        expect="safe",
+        observer_factory=_pw_observer,
+        witness_space={
+            "user_exists": [0, 1],
+            "guess": [[1, 2], [3, 4]],
+            "user_pw": [[1, 2], [9], [1, 2, 3]],
+        },
+        notes="Fig. 1 loginSafe (PPM16)",
+    ),
+    Benchmark(
+        name="login_unsafe",
+        group=LITERATURE,
+        source=LOGIN_UNSAFE,
+        proc="login_unsafe",
+        expect="attack",
+        observer_factory=_pw_observer,
+        witness_space={
+            "user_exists": [1],
+            "guess": [[1] * 48],
+            "user_pw": [[1] * 48, [2] + [1] * 47],
+        },
+        witness_gap=40,
+        notes="Fig. 1 loginBad: early exit reveals the matching prefix",
+    ),
+]
+
+# The unpaired 25th benchmark (not part of the 24 Table-1 rows).
+EXTRA_LITERATURE_BENCHMARKS = [
+    Benchmark(
+        name="user_unsafe",
+        group=LITERATURE,
+        source=USER_UNSAFE,
+        proc="user_unsafe",
+        expect="attack",
+        observer_factory=_pw_observer,
+        witness_space={
+            "probe": [[1] * 32],
+            "table": [[1] * 32, [2] + [1] * 31, [1] * 16 + [2] * 16],
+        },
+        witness_gap=40,
+        notes="the paper's unpaired 25th benchmark: table-scan timing",
+    ),
+]

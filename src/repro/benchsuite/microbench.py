@@ -1,0 +1,339 @@
+"""The 12 hand-crafted MicroBench programs (Table 1, first block).
+
+These are our reconstructions of Blazer's micro-benchmarks: each
+exercises one aspect of the analysis, as described in Section 6.1, and
+keeps the paper's safe/unsafe pairing.  The observer is the generic
+polynomial-degree model with unbounded inputs.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.registry import (
+    MD5_EXTERN,
+    MICRO,
+    Benchmark,
+    micro_observer,
+)
+
+# -- array: array reads under balanced / secret-bounded loops ---------------
+
+ARRAY_SAFE = """
+proc array_safe(secret high: byte[], public low: byte[]): int {
+    var sum: int = 0;
+    for (var i: int = 0; i < len(low); i = i + 1) {
+        if (i < len(high)) {
+            sum = sum + low[i];
+        } else {
+            sum = sum + low[i];
+        }
+    }
+    return sum;
+}
+"""
+
+ARRAY_UNSAFE = """
+proc array_unsafe(secret high: byte[], public low: byte[]): int {
+    var sum: int = 0;
+    for (var i: int = 0; i < len(high); i = i + 1) {
+        sum = sum + high[i];
+    }
+    return sum;
+}
+"""
+
+# -- loopAndBranch: the vulnerable-looking-but-infeasible trail --------------
+
+LOOP_BRANCH_SAFE = """
+proc loopBranch_safe(secret high: int, public low: uint) {
+    var i: int = low;
+    if (low < 0) {
+        // Dead: low is unsigned.  A secret-bounded loop lives here, but
+        // the trail through it is infeasible (caught by the abstract
+        // interpreter), exactly as in the paper's loopAndBranch example.
+        var t: int = high;
+        while (t > 0) {
+            t = t - 1;
+        }
+    } else {
+        var low2: int = low + 10;
+        if (low2 >= 10) {
+            var j: int = low;
+            while (j > 0) {
+                j = j - 1;
+            }
+        } else {
+            // Also dead: low >= 0 implies low2 >= 10.
+            if (high < 0) {
+                var k: int = high;
+                while (k > 0) {
+                    k = k - 1;
+                }
+            }
+        }
+    }
+}
+"""
+
+LOOP_BRANCH_UNSAFE = """
+proc loopBranch_unsafe(secret high: int, public low: int) {
+    var i: int = low;
+    if (low < 0) {
+        // Feasible here: the running time reveals the secret.
+        var t: int = high;
+        while (t > 0) {
+            t = t - 1;
+        }
+    } else {
+        while (i > 0) {
+            i = i - 1;
+        }
+    }
+}
+"""
+
+# -- nosecret / notaint: degenerate taint configurations --------------------
+
+NOSECRET_SAFE = """
+proc nosecret_safe(public low: uint): int {
+    var i: int = 0;
+    var acc: int = 0;
+    while (i < low) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+NOTAINT_UNSAFE = """
+proc notaint_unsafe(secret high: uint): int {
+    var i: int = 0;
+    while (i < high) {
+        i = i + 1;
+    }
+    return i;
+}
+"""
+
+# -- sanity: the basics of secret-dependent branching ------------------------
+
+SANITY_SAFE = """
+proc sanity_safe(secret high: int, public low: int): int {
+    var x: int = 0;
+    if (high > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return x + low;
+}
+"""
+
+SANITY_UNSAFE = """
+proc sanity_unsafe(secret high: int, public low: uint): int {
+    var x: int = 0;
+    if (high > 0) {
+        while (x < low) {
+            x = x + 1;
+        }
+    }
+    return x;
+}
+"""
+
+# -- straightline: big-basic-block cost differences ---------------------------
+
+
+def _big_block(var: str, count: int) -> str:
+    lines = []
+    for i in range(count):
+        lines.append("        %s = %s + %d;" % (var, var, i + 1))
+    return "\n".join(lines)
+
+
+STRAIGHTLINE_SAFE = """
+proc straightline_safe(secret high: int, public low: int): int {
+    var a: int = high + low;
+    var b: int = a * 2;
+    var c: int = b - high;
+    var d: int = c + c;
+    var e: int = d - low;
+    return e;
+}
+"""
+
+STRAIGHTLINE_UNSAFE = (
+    """
+proc straightline_unsafe(secret high: int, public low: int): int {
+    var acc: int = low;
+    if (high == 0) {
+"""
+    + _big_block("acc", 30)
+    + """
+    } else {
+        acc = acc + 1;
+    }
+    return acc;
+}
+"""
+)
+
+# -- unixlogin: the classic username-probing channel --------------------------
+
+UNIXLOGIN_SAFE = (
+    MD5_EXTERN
+    + """
+proc unixlogin_safe(secret user_exists: bool, public pass: byte[]): bool {
+    var outcome: bool = false;
+    if (user_exists) {
+        var h1: byte[] = md5(pass);
+        outcome = true;
+    } else {
+        // Hash anyway so both paths cost the same (the classic fix).
+        var h2: byte[] = md5(pass);
+        outcome = false;
+    }
+    return outcome;
+}
+"""
+)
+
+UNIXLOGIN_UNSAFE = (
+    MD5_EXTERN
+    + """
+proc unixlogin_unsafe(secret user_exists: bool, public pass: byte[]): bool {
+    var outcome: bool = false;
+    if (user_exists) {
+        var h1: byte[] = md5(pass);
+        outcome = true;
+    } else {
+        // No hashing for unknown users: a fast rejection reveals that
+        // the username does not exist.
+        outcome = false;
+    }
+    return outcome;
+}
+"""
+)
+
+
+MICRO_BENCHMARKS = [
+    Benchmark(
+        name="array_safe",
+        group=MICRO,
+        source=ARRAY_SAFE,
+        proc="array_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="balanced secret-length branch inside a public loop",
+    ),
+    Benchmark(
+        name="array_unsafe",
+        group=MICRO,
+        source=ARRAY_UNSAFE,
+        proc="array_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={
+            "high": [[0] * n for n in (0, 8)],
+            "low": [[1, 2]],
+        },
+        notes="loop bounded by the secret array's length",
+    ),
+    Benchmark(
+        name="loopBranch_safe",
+        group=MICRO,
+        source=LOOP_BRANCH_SAFE,
+        proc="loopBranch_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="the vulnerable trail is infeasible (paper's loopAndBranch)",
+    ),
+    Benchmark(
+        name="loopBranch_unsafe",
+        group=MICRO,
+        source=LOOP_BRANCH_UNSAFE,
+        proc="loopBranch_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={"high": [0, 50], "low": [-1]},
+        notes="the secret-bounded loop became feasible",
+    ),
+    Benchmark(
+        name="nosecret_safe",
+        group=MICRO,
+        source=NOSECRET_SAFE,
+        proc="nosecret_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="no secret input at all",
+    ),
+    Benchmark(
+        name="notaint_unsafe",
+        group=MICRO,
+        source=NOTAINT_UNSAFE,
+        proc="notaint_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={"high": [0, 50]},
+        notes="no public input; time is purely a function of the secret",
+    ),
+    Benchmark(
+        name="sanity_safe",
+        group=MICRO,
+        source=SANITY_SAFE,
+        proc="sanity_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="secret branch with equal-cost arms",
+    ),
+    Benchmark(
+        name="sanity_unsafe",
+        group=MICRO,
+        source=SANITY_UNSAFE,
+        proc="sanity_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={"high": [0, 1], "low": [50]},
+        notes="secret branch guarding a public-bounded loop",
+    ),
+    Benchmark(
+        name="straightline_safe",
+        group=MICRO,
+        source=STRAIGHTLINE_SAFE,
+        proc="straightline_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="no branching at all",
+    ),
+    Benchmark(
+        name="straightline_unsafe",
+        group=MICRO,
+        source=STRAIGHTLINE_UNSAFE,
+        proc="straightline_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={"high": [0, 1], "low": [0]},
+        notes="one large basic block vs a tiny one, chosen by the secret",
+    ),
+    Benchmark(
+        name="unixlogin_safe",
+        group=MICRO,
+        source=UNIXLOGIN_SAFE,
+        proc="unixlogin_safe",
+        expect="safe",
+        observer_factory=micro_observer,
+        notes="hashes the password whether or not the user exists",
+    ),
+    Benchmark(
+        name="unixlogin_unsafe",
+        group=MICRO,
+        source=UNIXLOGIN_UNSAFE,
+        proc="unixlogin_unsafe",
+        expect="attack",
+        observer_factory=micro_observer,
+        witness_space={"user_exists": [0, 1], "pass": [[1, 2, 3]]},
+        witness_gap=400,
+        notes="skips the hash for unknown users (leaks username existence)",
+    ),
+]

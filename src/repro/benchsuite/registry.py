@@ -1,0 +1,117 @@
+"""The benchmark registry: metadata for the 24 evaluation programs.
+
+Each benchmark mirrors one row of Table 1: its source (in the repro
+input language), the analyzed procedure, the expected verdict, the
+observer model the paper pairs with its family (polynomial-degree for
+MicroBench, 25k-instruction threshold at assumed-maximum inputs for
+STAC/Literature), and an input space for the empirical witness search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.blazer import Blazer, BlazerConfig, BlazerVerdict
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    ObserverModel,
+    PolynomialDegreeObserver,
+)
+from repro.bounds.summaries import SummaryRegistry, default_summaries
+
+MICRO = "MicroBench"
+STAC = "STAC"
+LITERATURE = "Literature"
+
+
+def micro_observer() -> ObserverModel:
+    return PolynomialDegreeObserver(epsilon=32)
+
+
+def realworld_observer() -> ObserverModel:
+    return ConcreteThresholdObserver(threshold=25_000, default_max=4096)
+
+
+@dataclass
+class Benchmark:
+    """One Table-1 row."""
+
+    name: str
+    group: str
+    source: str
+    proc: str
+    expect: str  # "safe" | "attack"
+    observer_factory: Callable[[], ObserverModel]
+    # Candidate values per parameter for the empirical witness search /
+    # soundness checks (None = use the generic default space).
+    witness_space: Optional[Dict[str, Sequence[object]]] = None
+    # Minimum concrete timing gap a witness must exhibit for "attack"
+    # benchmarks (defaults to just over the micro epsilon).
+    witness_gap: int = 33
+    notes: str = ""
+
+    @property
+    def is_safe(self) -> bool:
+        return self.expect == "safe"
+
+    def config(self) -> BlazerConfig:
+        return BlazerConfig(
+            observer=self.observer_factory(), summaries=default_summaries()
+        )
+
+    def analyzer(self) -> Blazer:
+        return Blazer.from_source(self.source, self.config())
+
+    def run(self) -> BlazerVerdict:
+        return self.analyzer().analyze(self.proc)
+
+
+class BenchmarkSuite:
+    def __init__(self, benchmarks: Sequence[Benchmark]):
+        self._by_name = {}
+        for bench in benchmarks:
+            if bench.name in self._by_name:
+                raise ValueError("duplicate benchmark %r" % bench.name)
+            self._by_name[bench.name] = bench
+
+    def get(self, name: str) -> Benchmark:
+        return self._by_name[name]
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def all(self) -> List[Benchmark]:
+        return list(self._by_name.values())
+
+    def by_group(self, group: str) -> List[Benchmark]:
+        return [b for b in self._by_name.values() if b.group == group]
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+BIGINT_EXTERNS = """
+extern bigMultiply(a: int, b: int): int;
+extern bigMod(a: int, m: int): int;
+extern bigTestBit(v: int, i: int): int;
+extern bigBitLength(v: int): int;
+"""
+
+MD5_EXTERN = """
+extern md5(p: byte[]): byte[];
+"""
+
+
+def crypto_witness_space(max_bits: int = 4096) -> Dict[str, Sequence[object]]:
+    """Fixed-width operands so concrete runs match the static model
+    (the summaries assume exponents of exactly ``max_bits`` bits)."""
+    top = 1 << (max_bits - 1)
+    return {
+        "base": [3, 7],
+        "exponent": [top, top | 1, top | (top >> 1), (1 << max_bits) - 1],
+        "modulus": [(1 << 61) - 1],
+    }

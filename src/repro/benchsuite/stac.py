@@ -1,0 +1,266 @@
+"""The 6 STAC benchmarks (Table 1, second block).
+
+Fragments modeled on the DARPA Space/Time Analysis for Cybersecurity
+challenge problems the paper extracted: two modular-exponentiation
+drivers over a BigInteger-style library (``modPow1`` after Fig. 3,
+``modPow2`` a larger windowed variant) and a password-equality check.
+Library arithmetic is constant-cost at the assumed operand size (4096
+bits), matching the paper's observer modeling; the observer is the
+25k-instruction concrete threshold.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.registry import (
+    BIGINT_EXTERNS,
+    STAC,
+    Benchmark,
+    crypto_witness_space,
+    realworld_observer,
+)
+from repro.core.observer import ConcreteThresholdObserver
+
+
+def _pwd_observer() -> ConcreteThresholdObserver:
+    """Threshold observer assuming passwords of at most 2048 bytes."""
+    return ConcreteThresholdObserver(
+        threshold=25_000,
+        default_max=4096,
+        max_values={"guess#len": 2048, "pw#len": 2048},
+    )
+
+# -- modPow1: square-and-multiply (Fig. 3 of the paper) ----------------------
+
+MODPOW1_SAFE = (
+    BIGINT_EXTERNS
+    + """
+proc modPow1_safe(public base: int, secret exponent: int, public modulus: int): int {
+    var s: int = 1;
+    var width: int = bigBitLength(exponent);
+    for (var i: int = 0; i < width; i = i + 1) {
+        s = bigMod(bigMultiply(s, s), modulus);
+        if (bigTestBit(exponent, width - i - 1) == 1) {
+            s = bigMod(bigMultiply(s, base), modulus);
+        } else {
+            // The "remove for unsafe" line of Fig. 3: a discarded
+            // multiply that balances the running time.
+            var dummy: int = bigMod(bigMultiply(s, base), modulus);
+        }
+    }
+    return s;
+}
+"""
+)
+
+MODPOW1_UNSAFE = (
+    BIGINT_EXTERNS
+    + """
+proc modPow1_unsafe(public base: int, secret exponent: int, public modulus: int): int {
+    var s: int = 1;
+    var width: int = bigBitLength(exponent);
+    for (var i: int = 0; i < width; i = i + 1) {
+        s = bigMod(bigMultiply(s, s), modulus);
+        if (bigTestBit(exponent, width - i - 1) == 1) {
+            s = bigMod(bigMultiply(s, base), modulus);
+        }
+    }
+    return s;
+}
+"""
+)
+
+# -- modPow2: a larger, 2-bit-windowed exponentiation -------------------------
+
+MODPOW2_SAFE = (
+    BIGINT_EXTERNS
+    + """
+proc modPow2_safe(public base: int, secret exponent: int, public modulus: int): int {
+    var s: int = 1;
+    var base2: int = bigMod(bigMultiply(base, base), modulus);
+    var base3: int = bigMod(bigMultiply(base2, base), modulus);
+    var width: int = bigBitLength(exponent);
+    var i: int = 0;
+    while (i < width) {
+        s = bigMod(bigMultiply(s, s), modulus);
+        s = bigMod(bigMultiply(s, s), modulus);
+        var hi: int = bigTestBit(exponent, width - i - 1);
+        var lo2: int = 0;
+        if (i + 1 < width) {
+            lo2 = bigTestBit(exponent, width - i - 2);
+        } else {
+            lo2 = bigTestBit(exponent, 0);
+        }
+        if (hi == 1) {
+            if (lo2 == 1) {
+                s = bigMod(bigMultiply(s, base3), modulus);
+            } else {
+                s = bigMod(bigMultiply(s, base2), modulus);
+            }
+        } else {
+            if (lo2 == 1) {
+                s = bigMod(bigMultiply(s, base), modulus);
+            } else {
+                // Window 00: multiply by 1, discarded — keeps every
+                // window the same cost.
+                var dummy: int = bigMod(bigMultiply(s, base), modulus);
+            }
+        }
+        i = i + 2;
+    }
+    return s;
+}
+"""
+)
+
+MODPOW2_UNSAFE = (
+    BIGINT_EXTERNS
+    + """
+proc modPow2_unsafe(public base: int, secret exponent: int, public modulus: int): int {
+    var s: int = 1;
+    var base2: int = bigMod(bigMultiply(base, base), modulus);
+    var base3: int = bigMod(bigMultiply(base2, base), modulus);
+    var width: int = bigBitLength(exponent);
+    var i: int = 0;
+    while (i < width) {
+        s = bigMod(bigMultiply(s, s), modulus);
+        s = bigMod(bigMultiply(s, s), modulus);
+        var hi: int = bigTestBit(exponent, width - i - 1);
+        var lo2: int = 0;
+        if (i + 1 < width) {
+            lo2 = bigTestBit(exponent, width - i - 2);
+        } else {
+            lo2 = bigTestBit(exponent, 0);
+        }
+        if (hi == 1) {
+            if (lo2 == 1) {
+                s = bigMod(bigMultiply(s, base3), modulus);
+            } else {
+                s = bigMod(bigMultiply(s, base2), modulus);
+            }
+        } else {
+            if (lo2 == 1) {
+                s = bigMod(bigMultiply(s, base), modulus);
+            }
+            // Window 00: skip the multiply entirely — each zero window
+            // saves a full multiplication, leaking the window pattern.
+        }
+        i = i + 2;
+    }
+    return s;
+}
+"""
+)
+
+# -- pwdEqual: password equality --------------------------------------------
+
+PWDEQUAL_SAFE = """
+proc pwdEqual_safe(public guess: byte[], secret pw: byte[]): bool {
+    var matches: bool = true;
+    var dummy: bool = false;
+    if (len(guess) != len(pw)) {
+        matches = false;
+    } else {
+        dummy = true;
+    }
+    for (var i: int = 0; i < len(guess); i = i + 1) {
+        if (i < len(pw)) {
+            if (guess[i] != pw[i]) {
+                matches = false;
+            } else {
+                dummy = true;
+            }
+        } else {
+            dummy = true;
+            matches = false;
+        }
+    }
+    return matches;
+}
+"""
+
+PWDEQUAL_UNSAFE = """
+proc pwdEqual_unsafe(public guess: byte[], secret pw: byte[]): bool {
+    if (len(guess) != len(pw)) {
+        return false;
+    }
+    for (var i: int = 0; i < len(guess); i = i + 1) {
+        if (guess[i] != pw[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+"""
+
+
+STAC_BENCHMARKS = [
+    Benchmark(
+        name="modPow1_safe",
+        group=STAC,
+        source=MODPOW1_SAFE,
+        proc="modPow1_safe",
+        expect="safe",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        notes="square-and-multiply with a balancing dummy multiply",
+    ),
+    Benchmark(
+        name="modPow1_unsafe",
+        group=STAC,
+        source=MODPOW1_UNSAFE,
+        proc="modPow1_unsafe",
+        expect="attack",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        witness_gap=25_000,
+        notes="zero exponent bits skip a multiplication",
+    ),
+    Benchmark(
+        name="modPow2_safe",
+        group=STAC,
+        source=MODPOW2_SAFE,
+        proc="modPow2_safe",
+        expect="safe",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        notes="2-bit windows, every window costs the same",
+    ),
+    Benchmark(
+        name="modPow2_unsafe",
+        group=STAC,
+        source=MODPOW2_UNSAFE,
+        proc="modPow2_unsafe",
+        expect="attack",
+        observer_factory=realworld_observer,
+        witness_space=crypto_witness_space(),
+        witness_gap=25_000,
+        notes="zero windows skip the multiply (larger trail space)",
+    ),
+    Benchmark(
+        name="pwdEqual_safe",
+        group=STAC,
+        source=PWDEQUAL_SAFE,
+        proc="pwdEqual_safe",
+        expect="safe",
+        observer_factory=_pwd_observer,
+        witness_space={
+            "guess": [[0, 0], [1, 2]],
+            "pw": [[0, 0], [1, 2], [1, 2, 3]],
+        },
+        notes="constant-time comparison with balanced arms",
+    ),
+    Benchmark(
+        name="pwdEqual_unsafe",
+        group=STAC,
+        source=PWDEQUAL_UNSAFE,
+        proc="pwdEqual_unsafe",
+        expect="attack",
+        observer_factory=_pwd_observer,
+        witness_space={
+            "guess": [[1] * 64],
+            "pw": [[1] * 64, [2] + [1] * 63, [0]],
+        },
+        witness_gap=40,
+        notes="early exit on the first mismatching byte (Tenex-style)",
+    ),
+]

@@ -1,0 +1,29 @@
+"""Symbolic running-time bound analysis (BOUNDANALYSIS of the paper)."""
+
+from repro.bounds.analysis import (
+    BoundAnalysis,
+    BoundResult,
+    compute_bound,
+    input_symbols,
+    nonneg_symbols,
+    symbol_levels,
+)
+from repro.bounds.cost import CostBound, Poly
+from repro.bounds.interproc import ProcBound, compute_proc_bounds
+from repro.bounds.summaries import CallSummary, SummaryRegistry, default_summaries
+
+__all__ = [
+    "BoundAnalysis",
+    "BoundResult",
+    "compute_bound",
+    "input_symbols",
+    "nonneg_symbols",
+    "symbol_levels",
+    "CostBound",
+    "Poly",
+    "ProcBound",
+    "compute_proc_bounds",
+    "CallSummary",
+    "SummaryRegistry",
+    "default_summaries",
+]

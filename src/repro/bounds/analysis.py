@@ -1,0 +1,532 @@
+"""BOUNDANALYSIS: symbolic lower/upper running-time bounds per trail.
+
+Given a procedure CFG and (optionally) a trail DFA, computes a
+:class:`~repro.bounds.cost.CostBound` covering the running time (in
+bytecode instruction units) of every *accepted, terminating* execution
+described by the trail:
+
+1. run the trail-restricted abstract interpreter to get invariants on
+   the product graph (CFG × trail DFA) and prune infeasible nodes — this
+   is what catches trails like the vulnerable-looking-but-infeasible
+   path of ``loopAndBranch_safe``;
+2. find the natural loops of the live product graph; for each loop
+   (innermost first) compute a seeded transition relation and match it
+   against the lemma database for iteration bounds;
+3. collapse loops into summary edges (``iterations × per-iteration cost
+   + tail``) and propagate min/max costs through the resulting DAG from
+   the entry to the *accepting* exit nodes.
+
+Call costs: extern procedures use the registered symbolic summaries
+(Section 5's "manually-specified bound summaries"); calls to defined
+procedures use bounds supplied by the caller (computed callee-first),
+instantiated by substituting argument symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.absint.engine import AnalysisResult, Engine, Node
+from repro.absint.transfer import TransferFunctions, len_var, operand_expr
+from repro.automata.dfa import DFA
+from repro.bounds.cost import CostBound, Poly
+from repro.bounds.graphops import (
+    GraphLoop,
+    IrreducibleGraphError,
+    natural_loops,
+    topo_order_dag,
+)
+from repro.bounds.lemmas import (
+    IterationBound,
+    RankCandidate,
+    linexpr_to_poly,
+    match_iteration_lemmas,
+    seed_name,
+    symbolic_form,
+)
+from repro.bounds.summaries import SummaryRegistry, default_summaries
+from repro.cfg.graph import ControlFlowGraph
+from repro.domains.base import AbstractState, Domain
+from repro.domains.linexpr import LinExpr, RelOp
+from repro.ir import instr as ir
+from repro.lang import ast
+
+if False:  # pragma: no cover - import for type checkers only
+    from repro.bounds.interproc import ProcBound
+
+
+def input_symbols(cfg: ControlFlowGraph) -> List[str]:
+    """The designated input symbols: int params and array-length params."""
+    out: List[str] = []
+    for param in cfg.params:
+        if param.declared.is_array:
+            out.append(len_var(param.name))
+        elif param.declared.is_numeric or param.declared == ast.BOOL:
+            out.append(param.name)
+    return out
+
+
+def nonneg_symbols(cfg: ControlFlowGraph) -> FrozenSet[str]:
+    """Symbols known non-negative (array lengths, booleans)."""
+    out = set()
+    for param in cfg.params:
+        if param.declared.is_array:
+            out.add(len_var(param.name))
+        elif param.declared in (ast.BOOL, ast.UINT):
+            out.add(param.name)
+    return frozenset(out)
+
+
+def symbol_levels(cfg: ControlFlowGraph) -> Dict[str, ast.SecLevel]:
+    """Security level of each input symbol (for narrowness checking)."""
+    levels: Dict[str, ast.SecLevel] = {}
+    for param in cfg.params:
+        name = len_var(param.name) if param.declared.is_array else param.name
+        levels[name] = param.level
+    return levels
+
+
+def subst_poly(poly: Poly, mapping: Dict[str, Poly]) -> Optional[Poly]:
+    """Substitute symbols in ``poly``; None if a symbol has no mapping."""
+    out = Poly.constant(0)
+    for mono, coeff in poly.terms.items():
+        term = Poly.constant(coeff)
+        for sym in mono:
+            replacement = mapping.get(sym)
+            if replacement is None:
+                return None
+            term = term * replacement
+        out = out + term
+    return out
+
+
+@dataclass
+class BoundResult:
+    """Outcome of one BOUNDANALYSIS run."""
+
+    feasible: bool
+    bound: Optional[CostBound]
+    main: Optional[AnalysisResult] = None
+    loop_bounds: Dict[Node, IterationBound] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return "<infeasible trail>"
+        return str(self.bound)
+
+
+class BoundAnalysis:
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        domain: Domain,
+        summaries: Optional[SummaryRegistry] = None,
+        trail_dfa: Optional[DFA] = None,
+        proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
+    ):
+        self._cfg = cfg
+        self._domain = domain
+        self._summaries = summaries if summaries is not None else default_summaries()
+        self._dfa = trail_dfa
+        self._proc_bounds = proc_bounds or {}
+        self._engine = Engine(cfg, domain, trail_dfa, summaries=self._summaries)
+        self._transfer = TransferFunctions(cfg, self._summaries)
+        self._symbols = input_symbols(cfg)
+        self._nonneg = nonneg_symbols(cfg)
+        # Populated during compute():
+        self._main: Optional[AnalysisResult] = None
+        self._adjacency: Dict[Node, list] = {}
+        self._live: Set[Node] = set()
+        self._loops: List[GraphLoop] = []
+        self._loop_summaries: Dict[Node, Dict[Tuple[Node, Node], CostBound]] = {}
+        self._iter_bounds: Dict[Node, IterationBound] = {}
+        self._node_costs: Dict[Node, CostBound] = {}
+
+    # -- public entry point ------------------------------------------------------
+
+    def compute(self) -> BoundResult:
+        cfg = self._cfg
+        main = self._engine.analyze()
+        self._main = main
+        self._adjacency = self._engine.product_graph()
+        self._live = {
+            node for node, state in main.invariants.items() if not state.is_bottom()
+        }
+        root = self._engine.initial_node()
+        targets = [node for node in self._live if self._is_accepting_exit(node)]
+        if root not in self._live or not targets:
+            return BoundResult(feasible=False, bound=None, main=main)
+
+        adj_live = {
+            u: [e.dst for e in self._adjacency.get(u, []) if e.dst in self._live]
+            for u in self._live
+        }
+        try:
+            self._loops = natural_loops(root, adj_live)
+        except IrreducibleGraphError:
+            # Occurrence splits can make the product graph irreducible
+            # (the "taken" DFA state is entered mid-loop, so the q1 copy
+            # of the loop header no longer dominates its latch).  Fall
+            # back to the unrestricted CFG bound: L(trail) is a subset of
+            # L(tr_mg), so the whole-program bound soundly covers the
+            # trail — only lower-bound precision is lost.
+            if self._dfa is not None:
+                projected = BoundAnalysis(
+                    self._cfg,
+                    self._domain,
+                    self._summaries,
+                    trail_dfa=None,
+                    proc_bounds=self._proc_bounds,
+                ).compute()
+                return BoundResult(
+                    feasible=True,
+                    bound=projected.bound
+                    if projected.bound is not None
+                    else CostBound.unbounded(nonneg=self._nonneg),
+                    main=main,
+                    loop_bounds=projected.loop_bounds,
+                )
+            return BoundResult(
+                feasible=True,
+                bound=CostBound.unbounded(nonneg=self._nonneg),
+                main=main,
+            )
+
+        top_loops = [l for l in self._loops if l.parent is None]
+        dist, _ = self._dag_costs(root, self._live, adj_live, top_loops)
+        bound: Optional[CostBound] = None
+        for target in targets:
+            rep = self._rep_of(target, top_loops)
+            cost = dist.get(rep)
+            if cost is None:
+                continue
+            bound = cost if bound is None else bound.join(cost)
+        if bound is None:
+            return BoundResult(feasible=False, bound=None, main=main)
+        iter_report = {l.header: self._iter_bounds[l.header] for l in self._loops if l.header in self._iter_bounds}
+        return BoundResult(feasible=True, bound=bound, main=main, loop_bounds=iter_report)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _is_accepting_exit(self, node: Node) -> bool:
+        if node[0] != self._cfg.exit_id:
+            return False
+        if self._dfa is None:
+            return True
+        return node[1] in self._dfa.accepting
+
+    @staticmethod
+    def _rep_of(node: Node, loops: Sequence[GraphLoop]) -> Node:
+        for loop in loops:
+            if node in loop.body:
+                return loop.header
+        return node
+
+    # -- per-node cost -----------------------------------------------------------------
+
+    def _node_cost(self, node: Node) -> CostBound:
+        cached = self._node_costs.get(node)
+        if cached is not None:
+            return cached
+        block = self._cfg.blocks[node[0]]
+        cost = CostBound.of_constant(block.cost, self._nonneg)
+        calls = [i for i in block.instrs if isinstance(i, ir.CallInstr)]
+        if calls:
+            assert self._main is not None
+            inv = self._main.invariants.get(node, self._domain.bottom())
+            for call in calls:
+                cost = cost + self._call_cost(call, inv)
+        self._node_costs[node] = cost
+        return cost
+
+    def _call_cost(self, call: ir.CallInstr, inv: AbstractState) -> CostBound:
+        # Extern with a registered summary.
+        summary = self._summaries.lookup(call.callee)
+        if summary is not None:
+            arg_lens: List[Optional[Poly]] = []
+            for arg in call.args:
+                arg_lens.append(self._array_length_poly(arg, inv))
+            return summary.instantiate(arg_lens)
+        # Defined procedure with a precomputed bound: substitute symbols.
+        callee_bound = self._proc_bounds.get(call.callee)
+        if callee_bound is not None:
+            return self._instantiate_proc_bound(call, callee_bound, inv)
+        # Unknown callee: no upper bound.
+        return CostBound.unbounded(nonneg=self._nonneg)
+
+    def _array_length_poly(self, arg: ir.Operand, inv: AbstractState) -> Optional[Poly]:
+        if isinstance(arg, ir.ConstArr):
+            return Poly.constant(len(arg.values))
+        if isinstance(arg, ir.Reg) and self._cfg.reg_kinds.get(arg.name) == "arr":
+            sym = symbolic_form(LinExpr.var(len_var(arg.name)), inv, self._symbols)
+            return None if sym is None else linexpr_to_poly(sym)
+        return None
+
+    def _instantiate_proc_bound(
+        self, call: ir.CallInstr, callee_bound: "ProcBound", inv: AbstractState
+    ) -> CostBound:
+        from repro.bounds import interproc
+
+        return interproc.instantiate_call_bound(
+            self._cfg, call, callee_bound, inv, self._symbols, self._nonneg
+        )
+
+    # -- DAG cost propagation --------------------------------------------------------------
+
+    def _dag_costs(
+        self,
+        entry: Node,
+        nodes: Set[Node],
+        adj_prop: Dict[Node, List[Node]],
+        child_loops: Sequence[GraphLoop],
+    ) -> Tuple[Dict[Node, CostBound], Dict[Tuple[Node, Node], CostBound]]:
+        """Min/max path costs through a region whose child loops collapse.
+
+        Returns (dist, dist_edge):
+        * ``dist[rep]`` — cost from region entry up to *entering* ``rep``
+          (a plain node or a collapsed child-loop header);
+        * ``dist_edge[(u, v)]`` — cost from region entry through
+          *traversing* the product edge ``(u, v)`` (defined for every
+          edge with ``u`` in the region, including edges leaving it).
+        """
+        rep_map: Dict[Node, Node] = {}
+        for loop in child_loops:
+            for member in loop.body:
+                rep_map[member] = loop.header
+
+        def rep_of(n: Node) -> Node:
+            return rep_map.get(n, n)
+
+        def local_weight(u: Node, v: Node) -> Optional[CostBound]:
+            loop = next((l for l in child_loops if u in l.body), None)
+            if loop is None:
+                return self._node_cost(u)
+            summary = self._loop_summary(loop)
+            return summary.get((u, v))
+
+        # Condensed propagation DAG.
+        reps = {rep_of(n) for n in nodes}
+        csucc: Dict[Node, List[Node]] = {r: [] for r in reps}
+        cedges: List[Tuple[Node, Node, Node, Node]] = []  # (ru, rv, u, v)
+        for u in sorted(nodes):
+            for v in adj_prop.get(u, []):
+                ru, rv = rep_of(u), rep_of(v)
+                if ru == rv:
+                    continue
+                csucc[ru].append(rv)
+                cedges.append((ru, rv, u, v))
+        order = topo_order_dag(sorted(reps), csucc)
+
+        dist: Dict[Node, CostBound] = {rep_of(entry): CostBound.ZERO}
+        edges_by_src: Dict[Node, List[Tuple[Node, Node, Node]]] = {}
+        for ru, rv, u, v in cedges:
+            edges_by_src.setdefault(ru, []).append((rv, u, v))
+        for r in order:
+            if r not in dist:
+                continue
+            base = dist[r]
+            for rv, u, v in edges_by_src.get(r, []):
+                weight = local_weight(u, v)
+                if weight is None:
+                    continue
+                through = base + weight
+                old = dist.get(rv)
+                dist[rv] = through if old is None else old.join(through)
+
+        # Edge-traversal costs for every out-edge of the region.
+        dist_edge: Dict[Tuple[Node, Node], CostBound] = {}
+        for u in sorted(nodes):
+            ru = rep_of(u)
+            if ru not in dist:
+                continue
+            for e in self._adjacency.get(u, []):
+                v = e.dst
+                if v in nodes and rep_of(v) == ru:
+                    continue  # internal to the same collapsed loop
+                weight = local_weight(u, v)
+                if weight is None:
+                    continue
+                dist_edge[(u, v)] = dist[ru] + weight
+        return dist, dist_edge
+
+    # -- loop machinery -----------------------------------------------------------------------
+
+    def _loop_summary(self, loop: GraphLoop) -> Dict[Tuple[Node, Node], CostBound]:
+        cached = self._loop_summaries.get(loop.header)
+        if cached is not None:
+            return cached
+        inner = [l for l in self._loops if l.parent is loop]
+        back = set(loop.back_edges)
+        body_adj = {
+            u: [
+                v
+                for v in (e.dst for e in self._adjacency.get(u, []))
+                if v in loop.body and v in self._live and (u, v) not in back
+            ]
+            for u in loop.body
+        }
+        dist, dist_edge = self._dag_costs(loop.header, loop.body, body_adj, inner)
+
+        periter: Optional[CostBound] = None
+        for (latch, header) in loop.back_edges:
+            cost = dist_edge.get((latch, header))
+            if cost is None:
+                continue
+            periter = cost if periter is None else periter.join(cost)
+        iters = self._iteration_bound(loop)
+        self._iter_bounds[loop.header] = iters
+        summary: Dict[Tuple[Node, Node], CostBound] = {}
+        if periter is None:
+            # The body cannot complete an iteration: only the partial
+            # "tail" paths to the exits are possible.
+            total_loop = CostBound.ZERO
+        else:
+            total_loop = periter.multiply(
+                iters.as_cost(self._nonneg), iterations_nonneg=iters.lower_nonneg
+            )
+        adj_live_nodes = self._live
+        for u in loop.body:
+            for e in self._adjacency.get(u, []):
+                v = e.dst
+                if v in loop.body or v not in adj_live_nodes:
+                    continue
+                tail = dist_edge.get((u, v))
+                if tail is None:
+                    continue
+                summary[(u, v)] = total_loop + tail
+        self._loop_summaries[loop.header] = summary
+        return summary
+
+    def _iteration_bound(self, loop: GraphLoop) -> IterationBound:
+        cached = self._iter_bounds.get(loop.header)
+        if cached is not None:
+            return cached
+        assert self._main is not None
+        inv = self._main.invariants
+
+        # Entry state: join over edges entering the header from outside.
+        entry = self._domain.bottom()
+        for m in self._live:
+            if m in loop.body:
+                continue
+            state = inv.get(m)
+            if state is None or state.is_bottom():
+                continue
+            for e, out_state in self._engine.edge_out_states(m, state):
+                if e.dst == loop.header and not out_state.is_bottom():
+                    entry = entry.join(out_state)
+        if loop.header == self._engine.initial_node():
+            entry = entry.join(self._transfer.entry_state(self._domain.top()))
+
+        # Seeded transition relation over the loop body.
+        tracked = self._tracked_vars(loop)
+        header_inv = inv.get(loop.header, self._domain.bottom())
+        seeded = header_inv
+        for var in sorted(tracked):
+            seeded = seeded.assign(seed_name(var), LinExpr.var(var))
+        back = set(loop.back_edges)
+        result = self._engine.analyze(
+            initial={loop.header: seeded},
+            restrict=set(loop.body),
+            collect=lambda s, d, e: (s, d) in back,
+        )
+        transition = result.collected_join()
+        if transition.is_bottom():
+            bound = IterationBound(lower=Poly.ZERO, upper=Poly.ZERO, exact=True)
+            self._iter_bounds[loop.header] = bound
+            return bound
+
+        # Rank candidates from exiting branches.
+        candidates: List[RankCandidate] = []
+        exit_edges: List[Tuple[Node, Node]] = []
+        exit_branches: Set[Node] = set()
+        for u in sorted(loop.body):
+            for e in self._adjacency.get(u, []):
+                if e.dst in loop.body or e.dst not in self._live:
+                    continue
+                exit_edges.append((u, e.dst))
+                exit_branches.add(u)
+                stay_edges = [
+                    e2
+                    for e2 in self._adjacency.get(u, [])
+                    if e2.dst in loop.body and e2.dst in self._live
+                ]
+                if len(stay_edges) != 1 or e.branch_taken is None:
+                    continue
+                stay = stay_edges[0]
+                if stay.branch_taken is None:
+                    continue
+                node_inv = inv.get(u)
+                if node_inv is None or node_inv.is_bottom():
+                    continue
+                _, conds = self._transfer.block_effect(u[0], node_inv)
+                cons = self._transfer.branch_constraint(u[0], stay.branch_taken, conds)
+                if cons is not None and cons.op is RelOp.LE:
+                    rank = -cons.expr
+                    # Express the rank in terms of header-entry values so
+                    # that block-local temps (dead across the back edge)
+                    # do not defeat the transition-relation query.
+                    rewritten = self._transfer.rewrite_to_block_entry(u[0], rank)
+                    if rewritten is not None:
+                        rank = rewritten
+                    candidates.append(RankCandidate(rank=rank, branch_node=u))
+
+        single_exit = None
+        if len(set(exit_edges)) >= 1 and len(exit_branches) == 1:
+            # All exits leave from one branch block.
+            only = next(iter(exit_branches))
+            if len([e for e in exit_edges]) == len(
+                [e for e in exit_edges if e[0] == only]
+            ) and len(set(exit_edges)) == 1:
+                single_exit = only
+
+        inner_finite = all(
+            self._iteration_bound(l).upper is not None
+            for l in self._loops
+            if l.parent is loop
+        )
+        bound = match_iteration_lemmas(
+            candidates=candidates,
+            transition=transition,
+            entry_state=entry,
+            seeded_vars=tracked,
+            symbols=self._symbols,
+            single_exit_branch=single_exit,
+            inner_loops_finite=inner_finite,
+        )
+        self._iter_bounds[loop.header] = bound
+        return bound
+
+    def _tracked_vars(self, loop: GraphLoop) -> Set[str]:
+        """Integer variables worth seeding for the transition relation."""
+        tracked: Set[str] = set()
+        blocks = {n[0] for n in loop.body}
+        for bid in blocks:
+            block = self._cfg.blocks[bid]
+            regs: List[ir.Reg] = []
+            for instr in block.instrs:
+                regs.extend(instr.defs())
+                regs.extend(instr.uses())
+                if isinstance(instr, ir.ArrLen) and isinstance(instr.arr, ir.Reg):
+                    tracked.add(len_var(instr.arr.name))
+            if block.term is not None:
+                regs.extend(block.term.uses())
+            for reg in regs:
+                kind = self._cfg.reg_kinds.get(reg.name, "int")
+                if kind == "arr":
+                    tracked.add(len_var(reg.name))
+                else:
+                    tracked.add(reg.name)
+        return tracked
+
+
+def compute_bound(
+    cfg: ControlFlowGraph,
+    domain: Domain,
+    summaries: Optional[SummaryRegistry] = None,
+    trail_dfa: Optional[DFA] = None,
+    proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
+) -> BoundResult:
+    """One-shot BOUNDANALYSIS convenience wrapper."""
+    return BoundAnalysis(cfg, domain, summaries, trail_dfa, proc_bounds).compute()

@@ -1,0 +1,189 @@
+"""Generic digraph algorithms over adjacency mappings.
+
+The bound analysis works on the *product graph* (CFG × trail DFA), whose
+nodes are ``(block, dfa_state)`` pairs, so the CFG-specific dominance and
+loop modules do not apply directly.  This module provides the same
+algorithms for arbitrary hashable nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+Adj = Dict[N, List[N]]
+
+
+def reverse_postorder(roots: Sequence[N], succs: Adj) -> List[N]:
+    seen: Set[N] = set()
+    order: List[N] = []
+    for root in roots:
+        if root in seen:
+            continue
+        seen.add(root)
+        stack: List[Tuple[N, int]] = [(root, 0)]
+        while stack:
+            node, idx = stack.pop()
+            children = succs.get(node, [])
+            if idx < len(children):
+                stack.append((node, idx + 1))
+                child = children[idx]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, 0))
+            else:
+                order.append(node)
+    return list(reversed(order))
+
+
+def predecessors(succs: Adj) -> Adj:
+    preds: Adj = {n: [] for n in succs}
+    for src, dsts in succs.items():
+        for dst in dsts:
+            preds.setdefault(dst, []).append(src)
+    return preds
+
+
+def immediate_dominators(root: N, succs: Adj) -> Dict[N, Optional[N]]:
+    """Cooper–Harvey–Kennedy over an arbitrary digraph."""
+    rpo = reverse_postorder([root], succs)
+    position = {node: i for i, node in enumerate(rpo)}
+    preds = predecessors(succs)
+    idom: Dict[N, Optional[N]] = {node: None for node in rpo}
+    idom[root] = root
+
+    def intersect(a: N, b: N) -> N:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root:
+                continue
+            new_idom: Optional[N] = None
+            for pred in preds.get(node, []):
+                if pred in position and idom.get(pred) is not None:
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+    idom[root] = None
+    return idom
+
+
+def dominates(idom: Dict[N, Optional[N]], a: N, b: N) -> bool:
+    node: Optional[N] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+@dataclass
+class GraphLoop:
+    """A natural loop of a generic digraph."""
+
+    header: N  # type: ignore[valid-type]
+    body: Set = field(default_factory=set)
+    back_edges: List[Tuple] = field(default_factory=list)
+    parent: Optional["GraphLoop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth, cur = 0, self.parent
+        while cur is not None:
+            depth += 1
+            cur = cur.parent
+        return depth
+
+    def exit_edges(self, succs: Adj) -> List[Tuple]:
+        out = []
+        for node in self.body:
+            for dst in succs.get(node, []):
+                if dst not in self.body:
+                    out.append((node, dst))
+        return sorted(out, key=repr)
+
+
+def natural_loops(root: N, succs: Adj) -> List[GraphLoop]:
+    """Natural loops, merged per header, sorted innermost-last.
+
+    Returns an empty list (and the caller falls back to ∞ bounds) if the
+    graph is irreducible — a retreating edge whose target does not
+    dominate its source.
+    """
+    idom = immediate_dominators(root, succs)
+    rpo = reverse_postorder([root], succs)
+    position = {node: i for i, node in enumerate(rpo)}
+    preds = predecessors(succs)
+    loops: Dict[N, GraphLoop] = {}
+    for src in rpo:
+        for dst in succs.get(src, []):
+            if dst not in position or position[dst] > position[src]:
+                continue
+            # Retreating edge src -> dst.
+            if not dominates(idom, dst, src):
+                raise IrreducibleGraphError(
+                    "irreducible graph: retreating edge %r -> %r" % (src, dst)
+                )
+            loop = loops.setdefault(dst, GraphLoop(header=dst, body={dst}))
+            loop.back_edges.append((src, dst))
+            stack = [src]
+            while stack:
+                node = stack.pop()
+                if node in loop.body:
+                    continue
+                loop.body.add(node)
+                stack.extend(p for p in preds.get(node, []) if p in position)
+    result = list(loops.values())
+    for loop in result:
+        candidates = [
+            other
+            for other in result
+            if other is not loop and loop.header in other.body and loop.body <= other.body
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.body))
+    result.sort(key=lambda l: (l.depth, repr(l.header)))
+    return result
+
+
+class IrreducibleGraphError(Exception):
+    """The product graph is irreducible; loop bounds cannot be computed."""
+
+
+def topo_order_dag(nodes: Sequence[N], succs: Adj) -> List[N]:
+    """Topological order of a DAG restricted to ``nodes``.
+
+    Raises ValueError on a cycle (callers collapse loops first).
+    """
+    node_set = set(nodes)
+    indegree: Dict[N, int] = {n: 0 for n in nodes}
+    for src in nodes:
+        for dst in succs.get(src, []):
+            if dst in node_set:
+                indegree[dst] += 1
+    queue = sorted([n for n in nodes if indegree[n] == 0], key=repr)
+    order: List[N] = []
+    while queue:
+        node = queue.pop(0)
+        order.append(node)
+        added = []
+        for dst in succs.get(node, []):
+            if dst in node_set:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    added.append(dst)
+        queue.extend(sorted(added, key=repr))
+    if len(order) != len(node_set):
+        raise ValueError("graph is not acyclic")
+    return order

@@ -1,0 +1,172 @@
+"""Interprocedural bounds: summaries for *defined* procedures.
+
+Blazer's bound analysis is intraprocedural with summaries at call sites.
+For calls to procedures defined in the same program we compute the
+callee's own (unrestricted-trail) bound first — callees before callers in
+the call graph — and instantiate it at each call site by substituting the
+callee's input symbols with caller-side polynomials.  Directly recursive
+procedures get no summary; members of mutual-recursion cycles are
+analyzed with the not-yet-summarized callees treated as unbounded, so
+they receive sound lower bounds but infinite upper bounds — matching the
+tool's documented restriction ("Blazer does not yet support recursive
+functions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.absint.transfer import len_var
+from repro.bounds.cost import CostBound, Poly
+from repro.bounds.lemmas import linexpr_to_poly, symbolic_form
+from repro.bounds.summaries import SummaryRegistry, default_summaries
+from repro.cfg.graph import ControlFlowGraph
+from repro.domains.base import AbstractState, Domain
+from repro.domains.linexpr import LinExpr
+from repro.ir import instr as ir
+
+
+@dataclass
+class ProcBound:
+    """A defined procedure's bound plus its symbol-to-parameter map."""
+
+    bound: CostBound
+    # Per parameter position: (symbol name, kind), kind in {"int", "len"}.
+    param_symbols: List[Tuple[str, str]]
+
+
+def proc_param_symbols(cfg: ControlFlowGraph) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    for param in cfg.params:
+        if param.declared.is_array:
+            out.append((len_var(param.name), "len"))
+        else:
+            out.append((param.name, "int"))
+    return out
+
+
+def _arg_poly(
+    cfg: ControlFlowGraph,
+    arg: ir.Operand,
+    kind: str,
+    inv: AbstractState,
+    symbols: Sequence[str],
+) -> Optional[Poly]:
+    """Caller-side polynomial for one argument (value or length)."""
+    if kind == "len":
+        if isinstance(arg, ir.ConstArr):
+            return Poly.constant(len(arg.values))
+        if isinstance(arg, ir.Reg):
+            expr = LinExpr.var(len_var(arg.name))
+        else:
+            return None
+    else:
+        if isinstance(arg, ir.ConstInt):
+            return Poly.constant(arg.value)
+        if isinstance(arg, ir.Reg):
+            expr = LinExpr.var(arg.name)
+        else:
+            return None
+    sym = symbolic_form(expr, inv, symbols)
+    return None if sym is None else linexpr_to_poly(sym)
+
+
+def instantiate_call_bound(
+    cfg: ControlFlowGraph,
+    call: ir.CallInstr,
+    proc_bound: ProcBound,
+    inv: AbstractState,
+    symbols: Sequence[str],
+    nonneg,
+) -> CostBound:
+    """Substitute the callee's input symbols with caller polynomials."""
+    mapping: Dict[str, Poly] = {}
+    for (sym, kind), arg in zip(proc_bound.param_symbols, call.args):
+        poly = _arg_poly(cfg, arg, kind, inv, symbols)
+        if poly is not None:
+            mapping[sym] = poly
+    callee = proc_bound.bound
+    lower_polys = []
+    for p in callee.lower:
+        sub = _subst(p, mapping)
+        lower_polys.append(sub if sub is not None else Poly.ZERO)
+    if callee.upper is None:
+        return CostBound(tuple(lower_polys) or (Poly.ZERO,), None, nonneg)
+    upper_polys = []
+    for p in callee.upper:
+        sub = _subst(p, mapping)
+        if sub is None:
+            return CostBound(tuple(lower_polys) or (Poly.ZERO,), None, nonneg)
+        upper_polys.append(sub)
+    return CostBound(
+        tuple(lower_polys) or (Poly.ZERO,),
+        tuple(upper_polys) + (Poly.ZERO,),
+        nonneg,
+    )
+
+
+def _subst(poly: Poly, mapping: Dict[str, Poly]) -> Optional[Poly]:
+    out = Poly.constant(0)
+    for mono, coeff in poly.terms.items():
+        term = Poly.constant(coeff)
+        for sym in mono:
+            replacement = mapping.get(sym)
+            if replacement is None:
+                return None
+            term = term * replacement
+        out = out + term
+    return out
+
+
+def call_graph(cfgs: Dict[str, ControlFlowGraph]) -> Dict[str, Set[str]]:
+    """callee sets per defined procedure (externs excluded)."""
+    graph: Dict[str, Set[str]] = {name: set() for name in cfgs}
+    for name, cfg in cfgs.items():
+        for _, instr in cfg.iter_instrs():
+            if isinstance(instr, ir.CallInstr) and instr.callee in cfgs:
+                graph[name].add(instr.callee)
+    return graph
+
+
+def compute_proc_bounds(
+    cfgs: Dict[str, ControlFlowGraph],
+    domain: Domain,
+    summaries: Optional[SummaryRegistry] = None,
+) -> Dict[str, ProcBound]:
+    """Bounds for all defined procedures, callees before callers.
+
+    Directly recursive procedures are skipped entirely; mutual-recursion
+    cycles yield bounds with infinite uppers (sound, never a finite
+    upper bound on a recursive computation).
+    """
+    from repro.bounds.analysis import BoundAnalysis
+
+    summaries = summaries if summaries is not None else default_summaries()
+    graph = call_graph(cfgs)
+    done: Dict[str, ProcBound] = {}
+    visiting: Set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in done or name in visiting:
+            return
+        visiting.add(name)
+        for callee in sorted(graph.get(name, ())):
+            if callee != name:
+                visit(callee)
+        visiting.discard(name)
+        # Skip self-recursive or cycle-stuck procedures.
+        if name in graph.get(name, ()):
+            return
+        if any(callee in visiting for callee in graph.get(name, ())):
+            return
+        analysis = BoundAnalysis(
+            cfgs[name], domain, summaries, trail_dfa=None, proc_bounds=done
+        )
+        result = analysis.compute()
+        if result.feasible and result.bound is not None:
+            done[name] = ProcBound(result.bound, proc_param_symbols(cfgs[name]))
+
+    for name in sorted(cfgs):
+        visit(name)
+    return done

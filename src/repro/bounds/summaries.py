@@ -1,0 +1,116 @@
+"""Symbolic running-time summaries for extern (library) procedures.
+
+Blazer "relies on manually-specified bound summaries for interprocedural
+function calls" (Section 5); this module is that mechanism.  A summary
+gives the (lower, upper) cost of one call.  Costs may reference the
+*byte lengths* of array arguments symbolically (``arg#len``-style) via
+``per_byte`` factors, or be plain constants configured for an assumed
+maximum operand size — exactly how the paper handles the BigInteger
+benchmarks ("we assume some reasonable maximum for the input variables,
+e.g., 4096 bits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence
+
+from repro.bounds.cost import CostBound, Poly
+
+
+@dataclass(frozen=True)
+class CallSummary:
+    """Cost of one call: ``[lo_const, hi_const] (+ per-arg-byte terms)``.
+
+    ``per_byte_arg`` (optional) names the 0-based index of an array
+    argument whose length scales the cost linearly with factor
+    ``per_byte``; the symbolic argument length is substituted by the
+    bound analysis at the call site.
+    """
+
+    name: str
+    lo: Fraction
+    hi: Fraction
+    per_byte_arg: Optional[int] = None
+    per_byte: Fraction = Fraction(0)
+    # Optional facts about the *return value*, used by the abstract
+    # interpreter: numeric range for int results, exact length for array
+    # results.  bigBitLength's [max_bits, max_bits] range is what makes
+    # the modPow loops statically bounded — the paper's "assume 4096-bit
+    # inputs" modeling.
+    ret_lo: Optional[Fraction] = None
+    ret_hi: Optional[Fraction] = None
+    ret_len: Optional[int] = None
+
+    def instantiate(self, arg_length_polys: Sequence[Optional[Poly]]) -> CostBound:
+        lo_poly = Poly.constant(self.lo)
+        hi_poly = Poly.constant(self.hi)
+        if self.per_byte_arg is not None:
+            if (
+                self.per_byte_arg < len(arg_length_polys)
+                and arg_length_polys[self.per_byte_arg] is not None
+            ):
+                scaled = arg_length_polys[self.per_byte_arg] * self.per_byte
+                lo_poly = lo_poly + scaled
+                hi_poly = hi_poly + scaled
+            else:
+                # Length unknown: the upper bound is lost.
+                return CostBound.range(lo_poly, None)
+        return CostBound.range(lo_poly, hi_poly)
+
+
+class SummaryRegistry:
+    """Named collection of call summaries used by the bound analysis."""
+
+    def __init__(self) -> None:
+        self._summaries: Dict[str, CallSummary] = {}
+
+    def register(self, summary: CallSummary) -> None:
+        self._summaries[summary.name] = summary
+
+    def lookup(self, name: str) -> Optional[CallSummary]:
+        return self._summaries.get(name)
+
+    def copy(self) -> "SummaryRegistry":
+        clone = SummaryRegistry()
+        clone._summaries = dict(self._summaries)
+        return clone
+
+
+def default_summaries(max_bits: int = 4096) -> SummaryRegistry:
+    """Summaries matching the concrete extern models of
+    :mod:`repro.interp.externs`, evaluated at an assumed maximum operand
+    size of ``max_bits`` bits for the BigInteger arithmetic.
+
+    Library arithmetic is constant-cost per call at the assumed operand
+    size (the concrete extern models charge the identical constants, so
+    concrete runs and static bounds agree exactly).  The interesting
+    narrowness question is about the *callers* (how many multiplies run),
+    not the primitives — the paper's treatment.
+    """
+    from repro.interp.externs import big_mod_cost, big_multiply_cost
+
+    registry = SummaryRegistry()
+    mul = Fraction(big_multiply_cost(max_bits))
+    mod = Fraction(big_mod_cost(max_bits))
+    registry.register(CallSummary("md5", Fraction(500), Fraction(500), ret_len=16))
+    registry.register(CallSummary("bigMultiply", mul, mul))
+    registry.register(CallSummary("bigMod", mod, mod))
+    registry.register(
+        CallSummary(
+            "bigTestBit", Fraction(5), Fraction(5), ret_lo=Fraction(0), ret_hi=Fraction(1)
+        )
+    )
+    # Cryptographic operands are assumed to have exactly the modeled
+    # width (fixed-size exponents), so bitLength is a known constant.
+    registry.register(
+        CallSummary(
+            "bigBitLength",
+            Fraction(5),
+            Fraction(5),
+            ret_lo=Fraction(max_bits),
+            ret_hi=Fraction(max_bits),
+        )
+    )
+    return registry

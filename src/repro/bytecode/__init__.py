@@ -1,0 +1,18 @@
+"""Stack bytecode: instruction set, compiler, verifier, disassembler."""
+
+from repro.bytecode.compile import compile_program
+from repro.bytecode.disasm import disassemble
+from repro.bytecode.instructions import CodeObject, Instr, LocalVar, Module, Opcode
+from repro.bytecode.verifier import verify_code, verify_module
+
+__all__ = [
+    "compile_program",
+    "disassemble",
+    "CodeObject",
+    "Instr",
+    "LocalVar",
+    "Module",
+    "Opcode",
+    "verify_code",
+    "verify_module",
+]

@@ -1,0 +1,342 @@
+"""AST-to-bytecode compiler.
+
+Compiles a type-checked :class:`~repro.lang.ast.Program` into a
+:class:`~repro.bytecode.instructions.Module`.  The translation is a
+conventional one-pass stack-code generator with backpatched labels:
+
+* ``&&`` and ``||`` compile to short-circuit branches (as ``javac`` does),
+  so conditions contribute branching blocks to the CFG — important for the
+  taint/trail machinery, which reasons about branch blocks;
+* ``for`` loops compile with a dedicated update label so that ``continue``
+  jumps to the update statement;
+* every named variable gets its own local slot (no slot reuse), which lets
+  the lifter recover meaningful variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bytecode.instructions import CodeObject, Instr, LocalVar, Module, Opcode
+from repro.lang import ast
+from repro.util.errors import CompileError
+
+
+class _Label:
+    """A forward-referenced jump target, resolved at the end of codegen."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self) -> None:
+        self.pc: Optional[int] = None
+
+
+_CMP_OPS = {
+    ast.BinOp.LT: Opcode.CMPLT,
+    ast.BinOp.LE: Opcode.CMPLE,
+    ast.BinOp.GT: Opcode.CMPGT,
+    ast.BinOp.GE: Opcode.CMPGE,
+    ast.BinOp.EQ: Opcode.CMPEQ,
+    ast.BinOp.NE: Opcode.CMPNE,
+}
+
+_ARITH_OPS = {
+    ast.BinOp.ADD: Opcode.ADD,
+    ast.BinOp.SUB: Opcode.SUB,
+    ast.BinOp.MUL: Opcode.MUL,
+    ast.BinOp.DIV: Opcode.DIV,
+    ast.BinOp.MOD: Opcode.MOD,
+}
+
+
+class _ProcCompiler:
+    def __init__(self, proc: ast.ProcDecl, program: ast.Program):
+        self._proc = proc
+        self._program = program
+        self._instrs: List[Instr] = []
+        self._labels: List[_Label] = []
+        self._patch: Dict[int, _Label] = {}
+        self._scopes: List[Dict[str, int]] = [{}]
+        self._locals: List[LocalVar] = []
+        self._params: List[LocalVar] = []
+        self._source_lines: Dict[int, int] = {}
+        # (break_label, continue_label) per enclosing loop.
+        self._loop_stack: List[tuple] = []
+        for i, param in enumerate(proc.params):
+            self._params.append(
+                LocalVar(i, param.name, param.declared, is_param=True, level=param.level)
+            )
+            self._scopes[0][param.name] = i
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit(self, instr: Instr, line: int = 0) -> int:
+        pc = len(self._instrs)
+        self._instrs.append(instr)
+        if line:
+            self._source_lines[pc] = line
+        return pc
+
+    def _new_label(self) -> _Label:
+        label = _Label()
+        self._labels.append(label)
+        return label
+
+    def _bind(self, label: _Label) -> None:
+        if label.pc is not None:
+            raise CompileError("label bound twice")
+        label.pc = len(self._instrs)
+
+    def _emit_jump(self, op: Opcode, label: _Label, line: int = 0) -> None:
+        pc = self._emit(Instr(op, None), line)
+        self._patch[pc] = label
+
+    def _resolve_labels(self) -> None:
+        for pc, label in self._patch.items():
+            if label.pc is None:
+                raise CompileError("unbound label at pc %d" % pc)
+            self._instrs[pc].arg = label.pc
+
+    # -- slots ----------------------------------------------------------------
+
+    def _declare_local(self, name: str, ty: ast.Type) -> int:
+        slot = len(self._params) + len(self._locals)
+        self._locals.append(LocalVar(slot, name, ty))
+        self._scopes[-1][name] = slot
+        return slot
+
+    def _lookup(self, name: str) -> int:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise CompileError("unresolved variable %r (typechecker bug?)" % name)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> None:
+        line = expr.span.start.line
+        if isinstance(expr, ast.IntLit):
+            self._emit(Instr(Opcode.PUSH, expr.value), line)
+        elif isinstance(expr, ast.BoolLit):
+            self._emit(Instr(Opcode.PUSH, 1 if expr.value else 0), line)
+        elif isinstance(expr, ast.NullLit):
+            self._emit(Instr(Opcode.PUSH_NULL), line)
+        elif isinstance(expr, ast.StrLit):
+            # String literals desugar to byte arrays; the constant is the
+            # tuple of code points, materialized by the interpreter.
+            self._emit(Instr(Opcode.PUSH, tuple(ord(c) for c in expr.value)), line)
+        elif isinstance(expr, ast.Var):
+            self._emit(Instr(Opcode.LOAD, self._lookup(expr.name)), line)
+        elif isinstance(expr, ast.Index):
+            self._compile_expr(expr.array)
+            self._compile_expr(expr.index)
+            self._emit(Instr(Opcode.ALOAD), line)
+        elif isinstance(expr, ast.Len):
+            self._compile_expr(expr.array)
+            self._emit(Instr(Opcode.ARRAYLEN), line)
+        elif isinstance(expr, ast.Unary):
+            self._compile_expr(expr.operand)
+            op = Opcode.NEG if expr.op is ast.UnOp.NEG else Opcode.NOT
+            self._emit(Instr(op), line)
+        elif isinstance(expr, ast.Binary):
+            self._compile_binary(expr)
+        elif isinstance(expr, ast.Call):
+            self._compile_call(expr)
+        elif isinstance(expr, ast.NewArray):
+            self._compile_expr(expr.size)
+            self._emit(Instr(Opcode.NEWARRAY, expr.elem.base), line)
+        else:
+            raise CompileError("unknown expression %r" % type(expr).__name__)
+
+    def _compile_binary(self, expr: ast.Binary) -> None:
+        line = expr.span.start.line
+        if expr.op is ast.BinOp.AND:
+            # a && b  =>  a ? b : false
+            false_label, end = self._new_label(), self._new_label()
+            self._compile_expr(expr.left)
+            self._emit_jump(Opcode.IFZ, false_label, line)
+            self._compile_expr(expr.right)
+            self._emit_jump(Opcode.GOTO, end, line)
+            self._bind(false_label)
+            self._emit(Instr(Opcode.PUSH, 0), line)
+            self._bind(end)
+            return
+        if expr.op is ast.BinOp.OR:
+            true_label, end = self._new_label(), self._new_label()
+            self._compile_expr(expr.left)
+            self._emit_jump(Opcode.IFNZ, true_label, line)
+            self._compile_expr(expr.right)
+            self._emit_jump(Opcode.GOTO, end, line)
+            self._bind(true_label)
+            self._emit(Instr(Opcode.PUSH, 1), line)
+            self._bind(end)
+            return
+        self._compile_expr(expr.left)
+        self._compile_expr(expr.right)
+        if expr.op in _ARITH_OPS:
+            self._emit(Instr(_ARITH_OPS[expr.op]), line)
+        elif expr.op in _CMP_OPS:
+            self._emit(Instr(_CMP_OPS[expr.op]), line)
+        else:
+            raise CompileError("unknown binary operator %s" % expr.op)
+
+    def _compile_call(self, expr: ast.Call) -> None:
+        proc = self._program.proc(expr.callee)
+        for arg in expr.args:
+            self._compile_expr(arg)
+        self._emit(
+            Instr(
+                Opcode.INVOKE,
+                callee=expr.callee,
+                argc=len(expr.args),
+                has_result=proc.ret != ast.VOID,
+            ),
+            expr.span.start.line,
+        )
+
+    # -- statements -------------------------------------------------------------
+
+    def _compile_block(self, block: ast.Block) -> None:
+        self._scopes.append({})
+        for stmt in block.stmts:
+            self._compile_stmt(stmt)
+        self._scopes.pop()
+
+    def _compile_stmt(self, stmt: ast.Stmt) -> None:
+        line = stmt.span.start.line
+        if isinstance(stmt, ast.Block):
+            self._compile_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._compile_expr(stmt.init)
+            else:
+                # Definite default value: 0 / false / null.
+                if stmt.declared.is_array:
+                    self._emit(Instr(Opcode.PUSH_NULL), line)
+                else:
+                    self._emit(Instr(Opcode.PUSH, 0), line)
+            slot = self._declare_local(stmt.name, stmt.declared)
+            self._emit(Instr(Opcode.STORE, slot), line)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Var):
+                self._compile_expr(stmt.value)
+                self._emit(Instr(Opcode.STORE, self._lookup(stmt.target.name)), line)
+            else:
+                assert isinstance(stmt.target, ast.Index)
+                self._compile_expr(stmt.target.array)
+                self._compile_expr(stmt.target.index)
+                self._compile_expr(stmt.value)
+                self._emit(Instr(Opcode.ASTORE), line)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._emit(Instr(Opcode.RET), line)
+            else:
+                self._compile_expr(stmt.value)
+                self._emit(Instr(Opcode.RETVAL), line)
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop (typechecker bug?)")
+            self._emit_jump(Opcode.GOTO, self._loop_stack[-1][0], line)
+        elif isinstance(stmt, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop (typechecker bug?)")
+            self._emit_jump(Opcode.GOTO, self._loop_stack[-1][1], line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._compile_expr(stmt.expr)
+            if stmt.expr.ty is not None and stmt.expr.ty != ast.VOID:
+                self._emit(Instr(Opcode.POP), line)
+        else:
+            raise CompileError("unknown statement %r" % type(stmt).__name__)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        line = stmt.span.start.line
+        else_label, end = self._new_label(), self._new_label()
+        self._compile_expr(stmt.cond)
+        self._emit_jump(Opcode.IFZ, else_label, line)
+        self._compile_block(stmt.then)
+        self._emit_jump(Opcode.GOTO, end, line)
+        self._bind(else_label)
+        if stmt.orelse is not None:
+            self._compile_block(stmt.orelse)
+        self._bind(end)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        line = stmt.span.start.line
+        head, exit_label = self._new_label(), self._new_label()
+        self._bind(head)
+        self._compile_expr(stmt.cond)
+        self._emit_jump(Opcode.IFZ, exit_label, line)
+        self._loop_stack.append((exit_label, head))
+        self._compile_block(stmt.body)
+        self._loop_stack.pop()
+        self._emit_jump(Opcode.GOTO, head, line)
+        self._bind(exit_label)
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        line = stmt.span.start.line
+        self._scopes.append({})  # scope of the init declaration
+        if stmt.init is not None:
+            self._compile_stmt(stmt.init)
+        head, update_label, exit_label = (
+            self._new_label(),
+            self._new_label(),
+            self._new_label(),
+        )
+        self._bind(head)
+        if stmt.cond is not None:
+            self._compile_expr(stmt.cond)
+            self._emit_jump(Opcode.IFZ, exit_label, line)
+        self._loop_stack.append((exit_label, update_label))
+        self._compile_block(stmt.body)
+        self._loop_stack.pop()
+        self._bind(update_label)
+        if stmt.update is not None:
+            self._compile_stmt(stmt.update)
+        self._emit_jump(Opcode.GOTO, head, line)
+        self._bind(exit_label)
+        self._scopes.pop()
+
+    # -- entry point -------------------------------------------------------------
+
+    def compile(self) -> CodeObject:
+        assert self._proc.body is not None
+        self._compile_block(self._proc.body)
+        # Pad with a final RET when execution could fall off the end
+        # (void procedures) or when a label resolved past the last
+        # instruction (e.g. the join label of an if whose arms both
+        # return: the jump to it is dead but must stay a valid target).
+        needs_pad = not self._instrs or not self._instrs[-1].is_terminator
+        if not needs_pad:
+            end = len(self._instrs)
+            needs_pad = any(label.pc == end for label in self._labels)
+        if needs_pad:
+            # For non-void procedures this pc is unreachable (the
+            # typechecker proved all paths return); RET keeps the stream
+            # well-terminated either way.
+            self._emit(Instr(Opcode.RET))
+        self._resolve_labels()
+        return CodeObject(
+            name=self._proc.name,
+            params=self._params,
+            ret=self._proc.ret,
+            instrs=self._instrs,
+            locals=self._locals,
+            source_lines=self._source_lines,
+        )
+
+
+def compile_program(program: ast.Program) -> Module:
+    """Compile a type-checked program to a bytecode module."""
+    module = Module()
+    for proc in program.procs:
+        if proc.is_extern:
+            module.externs[proc.name] = proc
+        else:
+            module.codes[proc.name] = _ProcCompiler(proc, program).compile()
+    return module

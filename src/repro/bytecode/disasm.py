@@ -1,0 +1,27 @@
+"""Bytecode disassembler: a readable listing of a code object."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.bytecode.instructions import CodeObject, Opcode
+
+
+def disassemble(code: CodeObject) -> str:
+    """Render ``code`` as a text listing with jump-target markers."""
+    targets: Set[int] = {t for _, t in code.jump_targets()}
+    lines: List[str] = []
+    params = ", ".join(
+        "%s %s: %s" % (p.level.value if p.level else "public", p.name, p.declared)
+        for p in code.params
+    )
+    lines.append("code %s(%s): %s  [%d slots]" % (code.name, params, code.ret, code.num_slots))
+    for pc, instr in enumerate(code.instrs):
+        marker = "L%d:" % pc if pc in targets else ""
+        text = str(instr)
+        if instr.op in (Opcode.LOAD, Opcode.STORE):
+            text += "    ; %s" % code.slot_name(int(instr.arg))  # type: ignore[arg-type]
+        elif instr.op in (Opcode.GOTO, Opcode.IFNZ, Opcode.IFZ):
+            text = "%s L%s" % (instr.op.value, instr.arg)
+        lines.append("%6s %4d  %s" % (marker, pc, text))
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Stack-machine bytecode: the analogue of JVM bytecode in this pipeline.
+
+Blazer consumes Java bytecode through WALA.  Our pipeline mirrors that
+architecture: the language front-end compiles to this stack bytecode, the
+lifter (:mod:`repro.ir.lift`) turns it into a register IR the analyses
+consume, and the paper's machine model — *each bytecode instruction counts
+as one time unit* — is interpreted against the lifted instruction stream.
+
+The instruction set is deliberately JVM-flavoured:
+
+========= =========================== =======================
+opcode    operands                    stack effect
+========= =========================== =======================
+PUSH      int constant                ``.. -> .., c``
+PUSH_NULL                             ``.. -> .., null``
+LOAD      local slot                  ``.. -> .., v``
+STORE     local slot                  ``.., v -> ..``
+ALOAD                                 ``.., a, i -> .., a[i]``
+ASTORE                                ``.., a, i, v -> ..``
+NEWARRAY  element kind                ``.., n -> .., ref``
+ARRAYLEN                              ``.., a -> .., len(a)``
+ADD/SUB/MUL/DIV/MOD                   ``.., a, b -> .., a op b``
+NEG/NOT                               ``.., a -> .., op a``
+CMPLT/LE/GT/GE/EQ/NE                  ``.., a, b -> .., bool``
+GOTO      target pc                   unchanged
+IFNZ      target pc                   ``.., v -> ..`` (jump if v != 0)
+IFZ       target pc                   ``.., v -> ..`` (jump if v == 0)
+INVOKE    proc name, argc, has_result pops argc, pushes result?
+RET                                   return void
+RETVAL                                ``.., v -> `` return v
+POP                                   ``.., v -> ..``
+DUP                                   ``.., v -> .., v, v``
+NOP                                   unchanged
+========= =========================== =======================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+
+
+class Opcode(enum.Enum):
+    PUSH = "push"
+    PUSH_NULL = "push_null"
+    LOAD = "load"
+    STORE = "store"
+    ALOAD = "aload"
+    ASTORE = "astore"
+    NEWARRAY = "newarray"
+    ARRAYLEN = "arraylen"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    NOT = "not"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    GOTO = "goto"
+    IFNZ = "ifnz"
+    IFZ = "ifz"
+    INVOKE = "invoke"
+    RET = "ret"
+    RETVAL = "retval"
+    POP = "pop"
+    DUP = "dup"
+    NOP = "nop"
+
+
+# Net change in stack height, for opcodes where it is fixed.
+_STACK_DELTA: Dict[Opcode, int] = {
+    Opcode.PUSH: 1,
+    Opcode.PUSH_NULL: 1,
+    Opcode.LOAD: 1,
+    Opcode.STORE: -1,
+    Opcode.ALOAD: -1,
+    Opcode.ASTORE: -3,
+    Opcode.NEWARRAY: 0,
+    Opcode.ARRAYLEN: 0,
+    Opcode.ADD: -1,
+    Opcode.SUB: -1,
+    Opcode.MUL: -1,
+    Opcode.DIV: -1,
+    Opcode.MOD: -1,
+    Opcode.NEG: 0,
+    Opcode.NOT: 0,
+    Opcode.CMPLT: -1,
+    Opcode.CMPLE: -1,
+    Opcode.CMPGT: -1,
+    Opcode.CMPGE: -1,
+    Opcode.CMPEQ: -1,
+    Opcode.CMPNE: -1,
+    Opcode.GOTO: 0,
+    Opcode.IFNZ: -1,
+    Opcode.IFZ: -1,
+    Opcode.RET: 0,
+    Opcode.RETVAL: -1,
+    Opcode.POP: -1,
+    Opcode.DUP: 1,
+    Opcode.NOP: 0,
+}
+
+BRANCH_OPS = frozenset({Opcode.IFNZ, Opcode.IFZ})
+TERMINATOR_OPS = frozenset({Opcode.GOTO, Opcode.RET, Opcode.RETVAL}) | BRANCH_OPS
+BINARY_ARITH_OPS = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD}
+)
+COMPARE_OPS = frozenset(
+    {Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPGT, Opcode.CMPGE, Opcode.CMPEQ, Opcode.CMPNE}
+)
+
+
+@dataclass
+class Instr:
+    """One bytecode instruction.
+
+    ``arg`` holds the constant for PUSH, slot index for LOAD/STORE, target
+    pc for jumps, and the element base type for NEWARRAY.  ``callee`` /
+    ``argc`` / ``has_result`` are used only by INVOKE.
+    """
+
+    op: Opcode
+    arg: object = None
+    callee: str = ""
+    argc: int = 0
+    has_result: bool = False
+
+    def stack_delta(self) -> int:
+        if self.op is Opcode.INVOKE:
+            return (1 if self.has_result else 0) - self.argc
+        return _STACK_DELTA[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATOR_OPS
+
+    def __str__(self) -> str:
+        if self.op is Opcode.INVOKE:
+            return "invoke %s/%d%s" % (
+                self.callee,
+                self.argc,
+                "" if self.has_result else " (void)",
+            )
+        if self.arg is None:
+            return self.op.value
+        return "%s %s" % (self.op.value, self.arg)
+
+
+@dataclass
+class LocalVar:
+    """Debug/lift metadata for one local slot."""
+
+    slot: int
+    name: str
+    declared: ast.Type
+    is_param: bool = False
+    level: Optional[ast.SecLevel] = None
+
+
+@dataclass
+class CodeObject:
+    """A compiled procedure: metadata plus a flat instruction list.
+
+    Jump targets are absolute instruction indices (pcs).  Slot 0..n-1 are
+    the parameters in order; further slots are locals and compiler temps.
+    """
+
+    name: str
+    params: List[LocalVar]
+    ret: ast.Type
+    instrs: List[Instr] = field(default_factory=list)
+    locals: List[LocalVar] = field(default_factory=list)
+    source_lines: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.params) + len(self.locals)
+
+    def all_locals(self) -> List[LocalVar]:
+        return list(self.params) + list(self.locals)
+
+    def slot_name(self, slot: int) -> str:
+        for var in self.all_locals():
+            if var.slot == slot:
+                return var.name
+        return "slot%d" % slot
+
+    def jump_targets(self) -> List[Tuple[int, int]]:
+        """All (pc, target) pairs of branch/goto instructions."""
+        out = []
+        for pc, instr in enumerate(self.instrs):
+            if instr.op in (Opcode.GOTO, Opcode.IFNZ, Opcode.IFZ):
+                out.append((pc, int(instr.arg)))  # type: ignore[arg-type]
+        return out
+
+    def __str__(self) -> str:
+        from repro.bytecode.disasm import disassemble
+
+        return disassemble(self)
+
+
+@dataclass
+class Module:
+    """A compiled program: code objects plus extern signatures."""
+
+    codes: Dict[str, CodeObject] = field(default_factory=dict)
+    externs: Dict[str, ast.ProcDecl] = field(default_factory=dict)
+
+    def code(self, name: str) -> CodeObject:
+        return self.codes[name]

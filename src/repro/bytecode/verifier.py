@@ -1,0 +1,263 @@
+"""Bytecode verifier.
+
+Performs the classic abstract-stack verification pass the JVM performs on
+class loading, adapted to our instruction set:
+
+* every jump target is a valid pc;
+* local slot indices are within ``num_slots``;
+* the operand stack never underflows;
+* the stack height (and abstract value kinds: INT vs REF) at each pc is
+  consistent along every control-flow path reaching it;
+* execution cannot fall off the end of the instruction stream;
+* RET/RETVAL match the declared return type and leave a clean stack.
+
+The verifier doubles as a safety net for the compiler (its tests feed it
+both compiler output and hand-corrupted code objects) and as a guarantee
+for the lifter, which relies on consistent stack heights at merge points.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.instructions import (
+    BINARY_ARITH_OPS,
+    COMPARE_OPS,
+    CodeObject,
+    Instr,
+    Module,
+    Opcode,
+)
+from repro.lang import ast
+from repro.util.errors import VerifyError
+
+
+class Kind(enum.Enum):
+    """Abstract kind of a stack cell."""
+
+    INT = "int"
+    REF = "ref"
+    NULL = "null"  # push_null: joins with REF
+
+
+def _join_kind(a: Kind, b: Kind, pc: int) -> Kind:
+    if a == b:
+        return a
+    if {a, b} == {Kind.REF, Kind.NULL}:
+        return Kind.REF
+    raise VerifyError("pc %d: inconsistent stack kinds %s vs %s" % (pc, a.value, b.value))
+
+
+def _kind_of_type(ty: ast.Type) -> Kind:
+    return Kind.REF if ty.is_array else Kind.INT
+
+
+class Verifier:
+    def __init__(self, code: CodeObject, module: Optional[Module] = None):
+        self._code = code
+        self._module = module
+
+    def verify(self) -> None:
+        code = self._code
+        n = len(code.instrs)
+        if n == 0:
+            raise VerifyError("%s: empty instruction stream" % code.name)
+        for pc, target in code.jump_targets():
+            if not 0 <= target < n:
+                raise VerifyError(
+                    "%s: pc %d jumps to invalid target %d" % (code.name, pc, target)
+                )
+        last = code.instrs[-1]
+        if not last.is_terminator:
+            raise VerifyError(
+                "%s: execution can fall off the end (last op %s)"
+                % (code.name, last.op.value)
+            )
+        self._check_stack_discipline()
+
+    # -- dataflow over abstract stacks ---------------------------------------
+
+    def _check_stack_discipline(self) -> None:
+        code = self._code
+        n = len(code.instrs)
+        states: Dict[int, Tuple[Kind, ...]] = {0: ()}
+        worklist: List[int] = [0]
+        while worklist:
+            pc = worklist.pop()
+            stack = states[pc]
+            instr = code.instrs[pc]
+            out_stack = self._transfer(pc, instr, stack)
+            for succ in self._successors(pc, instr, n):
+                if succ not in states:
+                    states[succ] = out_stack
+                    worklist.append(succ)
+                else:
+                    merged = self._merge(states[succ], out_stack, succ)
+                    if merged != states[succ]:
+                        states[succ] = merged
+                        worklist.append(succ)
+
+    def _merge(
+        self, a: Tuple[Kind, ...], b: Tuple[Kind, ...], pc: int
+    ) -> Tuple[Kind, ...]:
+        if len(a) != len(b):
+            raise VerifyError(
+                "%s: pc %d reachable with stack heights %d and %d"
+                % (self._code.name, pc, len(a), len(b))
+            )
+        return tuple(_join_kind(x, y, pc) for x, y in zip(a, b))
+
+    def _successors(self, pc: int, instr: Instr, n: int) -> List[int]:
+        if instr.op is Opcode.GOTO:
+            return [int(instr.arg)]  # type: ignore[arg-type]
+        if instr.op in (Opcode.IFNZ, Opcode.IFZ):
+            return [pc + 1, int(instr.arg)]  # type: ignore[arg-type]
+        if instr.op in (Opcode.RET, Opcode.RETVAL):
+            return []
+        if pc + 1 >= n:
+            raise VerifyError("%s: pc %d falls off the end" % (self._code.name, pc))
+        return [pc + 1]
+
+    def _pop(self, stack: List[Kind], pc: int, expect: Optional[Kind] = None) -> Kind:
+        if not stack:
+            raise VerifyError("%s: pc %d: stack underflow" % (self._code.name, pc))
+        kind = stack.pop()
+        if expect is Kind.INT and kind is not Kind.INT:
+            raise VerifyError(
+                "%s: pc %d: expected int on stack, found %s"
+                % (self._code.name, pc, kind.value)
+            )
+        if expect is Kind.REF and kind is Kind.INT:
+            raise VerifyError(
+                "%s: pc %d: expected array ref on stack, found int"
+                % (self._code.name, pc)
+            )
+        return kind
+
+    def _transfer(
+        self, pc: int, instr: Instr, in_stack: Tuple[Kind, ...]
+    ) -> Tuple[Kind, ...]:
+        code = self._code
+        stack = list(in_stack)
+        op = instr.op
+        if op is Opcode.PUSH:
+            stack.append(Kind.REF if isinstance(instr.arg, tuple) else Kind.INT)
+        elif op is Opcode.PUSH_NULL:
+            stack.append(Kind.NULL)
+        elif op is Opcode.LOAD:
+            slot = int(instr.arg)  # type: ignore[arg-type]
+            if not 0 <= slot < code.num_slots:
+                raise VerifyError("%s: pc %d: load of bad slot %d" % (code.name, pc, slot))
+            stack.append(self._slot_kind(slot))
+        elif op is Opcode.STORE:
+            slot = int(instr.arg)  # type: ignore[arg-type]
+            if not 0 <= slot < code.num_slots:
+                raise VerifyError("%s: pc %d: store to bad slot %d" % (code.name, pc, slot))
+            self._pop(stack, pc, self._slot_kind(slot))
+        elif op is Opcode.ALOAD:
+            self._pop(stack, pc, Kind.INT)
+            self._pop(stack, pc, Kind.REF)
+            stack.append(Kind.INT)
+        elif op is Opcode.ASTORE:
+            self._pop(stack, pc, Kind.INT)
+            self._pop(stack, pc, Kind.INT)
+            self._pop(stack, pc, Kind.REF)
+        elif op is Opcode.NEWARRAY:
+            self._pop(stack, pc, Kind.INT)
+            stack.append(Kind.REF)
+        elif op is Opcode.ARRAYLEN:
+            self._pop(stack, pc, Kind.REF)
+            stack.append(Kind.INT)
+        elif op in BINARY_ARITH_OPS:
+            self._pop(stack, pc, Kind.INT)
+            self._pop(stack, pc, Kind.INT)
+            stack.append(Kind.INT)
+        elif op in COMPARE_OPS:
+            b = self._pop(stack, pc)
+            a = self._pop(stack, pc)
+            if op in (Opcode.CMPEQ, Opcode.CMPNE):
+                ints = {Kind.INT}
+                if (a in ints) != (b in ints):
+                    raise VerifyError(
+                        "%s: pc %d: equality between int and ref" % (code.name, pc)
+                    )
+            else:
+                if a is not Kind.INT or b is not Kind.INT:
+                    raise VerifyError(
+                        "%s: pc %d: ordered comparison on refs" % (code.name, pc)
+                    )
+            stack.append(Kind.INT)
+        elif op in (Opcode.NEG, Opcode.NOT):
+            self._pop(stack, pc, Kind.INT)
+            stack.append(Kind.INT)
+        elif op in (Opcode.GOTO, Opcode.NOP):
+            pass
+        elif op in (Opcode.IFNZ, Opcode.IFZ):
+            self._pop(stack, pc, Kind.INT)
+        elif op is Opcode.INVOKE:
+            sig = self._invoke_signature(instr)
+            for expected in reversed(sig[0]):
+                self._pop(stack, pc, expected and _kind_of_type(expected))
+            if instr.has_result:
+                ret = sig[1]
+                stack.append(_kind_of_type(ret) if ret is not None else Kind.INT)
+        elif op is Opcode.RET:
+            if self._code.ret != ast.VOID:
+                raise VerifyError(
+                    "%s: pc %d: void return from non-void procedure" % (code.name, pc)
+                )
+            if stack:
+                raise VerifyError(
+                    "%s: pc %d: return with %d values on stack"
+                    % (code.name, pc, len(stack))
+                )
+        elif op is Opcode.RETVAL:
+            if self._code.ret == ast.VOID:
+                raise VerifyError(
+                    "%s: pc %d: value return from void procedure" % (code.name, pc)
+                )
+            self._pop(stack, pc, _kind_of_type(self._code.ret))
+            if stack:
+                raise VerifyError(
+                    "%s: pc %d: return with %d extra values on stack"
+                    % (code.name, pc, len(stack))
+                )
+        elif op is Opcode.POP:
+            self._pop(stack, pc)
+        elif op is Opcode.DUP:
+            top = self._pop(stack, pc)
+            stack.append(top)
+            stack.append(top)
+        else:  # pragma: no cover
+            raise VerifyError("%s: pc %d: unknown opcode %s" % (code.name, pc, op))
+        return tuple(stack)
+
+    def _slot_kind(self, slot: int) -> Kind:
+        for var in self._code.all_locals():
+            if var.slot == slot:
+                return _kind_of_type(var.declared)
+        raise VerifyError("%s: unknown slot %d" % (self._code.name, slot))
+
+    def _invoke_signature(self, instr: Instr):
+        """Return ([param types...], ret type) or permissive placeholders."""
+        if self._module is not None:
+            decl = self._module.externs.get(instr.callee)
+            if decl is None and instr.callee in self._module.codes:
+                callee = self._module.codes[instr.callee]
+                return [p.declared for p in callee.params], callee.ret
+            if decl is not None:
+                return [p.declared for p in decl.params], decl.ret
+        # Without module context, only the arity is checked.
+        return [None] * instr.argc, None
+
+
+def verify_code(code: CodeObject, module: Optional[Module] = None) -> None:
+    """Verify one code object; raises :class:`VerifyError` on violation."""
+    Verifier(code, module).verify()
+
+
+def verify_module(module: Module) -> None:
+    """Verify every code object in ``module``."""
+    for code in module.codes.values():
+        verify_code(code, module)

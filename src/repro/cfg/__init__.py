@@ -1,0 +1,29 @@
+"""Control-flow graphs: blocks, dominance, loops, the CFG automaton."""
+
+from repro.cfg.automaton import cfg_automaton, edge_alphabet, most_general_trail_regex
+from repro.cfg.dominance import (
+    DominatorTree,
+    control_dependence,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.cfg.graph import Block, ControlFlowGraph, Edge, ParamInfo
+from repro.cfg.loops import Loop, innermost_loop, is_reducible, natural_loops
+
+__all__ = [
+    "Block",
+    "ControlFlowGraph",
+    "Edge",
+    "ParamInfo",
+    "DominatorTree",
+    "dominator_tree",
+    "postdominator_tree",
+    "control_dependence",
+    "Loop",
+    "natural_loops",
+    "innermost_loop",
+    "is_reducible",
+    "cfg_automaton",
+    "edge_alphabet",
+    "most_general_trail_regex",
+]

@@ -1,0 +1,43 @@
+"""The control-flow-graph automaton (Section 4.1 of the paper).
+
+Given a CFG, its automaton A_C has the blocks as states, the CFG *edges*
+as alphabet symbols, a transition ``q --(q,p)--> p`` per edge, the entry
+block as initial state and the exit block as the only accepting state.
+An execution trace, projected to the sequence of edges it traverses, is a
+word over this alphabet; L(A_C) over-approximates the set of such words
+(it is the most general trail tr_mg).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.automata import regex as rx
+from repro.automata.dfa import DFA
+from repro.automata.elim import dfa_to_regex
+from repro.cfg.graph import ControlFlowGraph, Edge
+
+
+def edge_alphabet(cfg: ControlFlowGraph) -> FrozenSet[Edge]:
+    """The alphabet of the CFG automaton: all CFG edges."""
+    return frozenset(cfg.edges())
+
+
+def cfg_automaton(cfg: ControlFlowGraph) -> DFA:
+    """Build A_C.  It is deterministic by construction: the symbol (q, p)
+    uniquely determines both endpoints."""
+    transitions = {}
+    for (src, dst) in cfg.edges():
+        transitions[(src, (src, dst))] = dst
+    return DFA(
+        num_states=max(cfg.block_ids()) + 1,
+        initial=cfg.entry,
+        accepting={cfg.exit_id},
+        transitions=transitions,
+        alphabet=edge_alphabet(cfg),
+    )
+
+
+def most_general_trail_regex(cfg: ControlFlowGraph) -> rx.Regex:
+    """The most general trail tr_mg as a regular expression."""
+    return dfa_to_regex(cfg_automaton(cfg))

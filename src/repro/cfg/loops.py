@@ -1,0 +1,119 @@
+"""Natural-loop detection and loop nesting.
+
+The bound analysis (Section 5 of the paper) needs to know where the loops
+are, which blocks belong to each loop, and how loops nest, so that it can
+compute per-loop iteration bounds and multiply costs through the nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfg.dominance import dominator_tree
+from repro.cfg.graph import ControlFlowGraph, Edge
+
+
+@dataclass
+class Loop:
+    """One natural loop: header, body blocks (header included), exits."""
+
+    header: int
+    body: Set[int] = field(default_factory=set)
+    back_edges: List[Edge] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth, cur = 0, self.parent
+        while cur is not None:
+            depth += 1
+            cur = cur.parent
+        return depth
+
+    def exit_edges(self, cfg: ControlFlowGraph) -> List[Edge]:
+        """Edges leaving the loop body."""
+        out = []
+        for node in sorted(self.body):
+            for succ in cfg.successors(node):
+                if succ not in self.body:
+                    out.append((node, succ))
+        return out
+
+    def __str__(self) -> str:
+        return "loop(header=b%d, body=%s)" % (self.header, sorted(self.body))
+
+
+def natural_loops(cfg: ControlFlowGraph) -> List[Loop]:
+    """All natural loops, merged per header, outermost first.
+
+    A back edge is an edge ``n -> h`` where ``h`` dominates ``n``.  The
+    natural loop of the back edge is ``h`` plus all nodes that reach ``n``
+    without passing through ``h``.  Loops sharing a header are merged
+    (standard practice; our front-end never produces such CFGs, but
+    hand-written bytecode can).
+    """
+    dom = dominator_tree(cfg)
+    reachable = set(cfg.reverse_postorder())
+    loops_by_header: Dict[int, Loop] = {}
+    for a, b in cfg.edges():
+        if a not in reachable:
+            continue
+        if dom.dominates(b, a):
+            loop = loops_by_header.setdefault(b, Loop(header=b, body={b}))
+            loop.back_edges.append((a, b))
+            # Walk predecessors backwards from the latch.
+            stack = [a]
+            while stack:
+                node = stack.pop()
+                if node in loop.body:
+                    continue
+                loop.body.add(node)
+                stack.extend(p for p in cfg.predecessors(node) if p in reachable)
+    loops = list(loops_by_header.values())
+    # Establish nesting: the parent of L is the smallest loop strictly
+    # containing L's header among loops with a different header.
+    for loop in loops:
+        candidates = [
+            other
+            for other in loops
+            if other is not loop
+            and loop.header in other.body
+            and loop.body <= other.body
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.body))
+    loops.sort(key=lambda l: (l.depth, l.header))
+    return loops
+
+
+def loop_of_header(loops: List[Loop], header: int) -> Optional[Loop]:
+    for loop in loops:
+        if loop.header == header:
+            return loop
+    return None
+
+
+def innermost_loop(loops: List[Loop], block: int) -> Optional[Loop]:
+    """The innermost loop containing ``block``, if any."""
+    best: Optional[Loop] = None
+    for loop in loops:
+        if block in loop.body and (best is None or len(loop.body) < len(best.body)):
+            best = loop
+    return best
+
+
+def is_reducible(cfg: ControlFlowGraph) -> bool:
+    """Check reducibility: every retreating edge is a back edge.
+
+    Our compiler only emits reducible CFGs; the check guards hand-written
+    bytecode before the loop-based bound analysis runs.
+    """
+    dom = dominator_tree(cfg)
+    order = cfg.reverse_postorder()
+    position = {node: i for i, node in enumerate(order)}
+    for a, b in cfg.edges():
+        if a in position and b in position and position[b] <= position[a]:
+            if not dom.dominates(b, a):
+                return False
+    return True

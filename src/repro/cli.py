@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands mirror the stages a Blazer user cares about:
+
+``analyze FILE --proc P``
+    Run the full driver: SAFE / ATTACK / UNKNOWN, with the trail tree.
+
+``bounds FILE --proc P [--domain D]``
+    Just BOUNDANALYSIS on the most general trail.
+
+``taint FILE --proc P``
+    The low/high branch classification.
+
+``disasm FILE [--proc P]``
+    The compiled stack bytecode.
+
+``run FILE --proc P --args JSON``
+    Execute concretely; prints result and running time (instruction
+    count under the paper's machine model).
+
+``table1`` / ``figure1``
+    Regenerate the paper's evaluation artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bounds import compute_bound, default_summaries
+from repro.bytecode import compile_program, disassemble, verify_module
+from repro.core import Blazer, BlazerConfig
+from repro.core.observer import ConcreteThresholdObserver, PolynomialDegreeObserver
+from repro.domains import DOMAINS
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+from repro.taint import analyze_taint
+from repro.util.errors import ReproError
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return frontend(handle.read())
+
+
+def _pick_proc(cfgs, requested: Optional[str]) -> str:
+    if requested is not None:
+        if requested not in cfgs:
+            raise SystemExit(
+                "no procedure %r (available: %s)" % (requested, ", ".join(sorted(cfgs)))
+            )
+        return requested
+    if len(cfgs) == 1:
+        return next(iter(cfgs))
+    raise SystemExit(
+        "program defines several procedures; pick one with --proc "
+        "(available: %s)" % ", ".join(sorted(cfgs))
+    )
+
+
+def _observer(name: str, threshold: int, max_input: int):
+    if name == "degree":
+        return PolynomialDegreeObserver()
+    return ConcreteThresholdObserver(threshold=threshold, default_max=max_input)
+
+
+def cmd_analyze(args) -> int:
+    program = _load(args.file)
+    config = BlazerConfig(
+        domain=args.domain,
+        observer=_observer(args.observer, args.threshold, args.max_input),
+        summaries=default_summaries(args.max_bits),
+    )
+    blazer = Blazer(program, config)
+    proc = _pick_proc(blazer.cfgs, args.proc)
+    verdict = blazer.analyze(proc)
+    if args.json:
+        from repro.core.report import verdict_to_json
+
+        print(verdict_to_json(verdict))
+    else:
+        print(verdict.render())
+    return 0 if verdict.status == "safe" else (2 if verdict.status == "attack" else 3)
+
+
+def cmd_bounds(args) -> int:
+    program = _load(args.file)
+    module = compile_program(program)
+    verify_module(module)
+    cfgs = lift_module(module)
+    proc = _pick_proc(cfgs, args.proc)
+    result = compute_bound(
+        cfgs[proc], DOMAINS[args.domain], default_summaries(args.max_bits)
+    )
+    print("%s: %s" % (proc, result))
+    for header, ib in sorted(result.loop_bounds.items()):
+        print(
+            "  loop at block b%d: iterations [%s, %s]%s"
+            % (header[0], ib.lower, ib.upper if ib.upper is not None else "oo",
+               " (exact)" if ib.exact else "")
+        )
+    return 0
+
+
+def cmd_taint(args) -> int:
+    program = _load(args.file)
+    module = compile_program(program)
+    verify_module(module)
+    cfgs = lift_module(module)
+    proc = _pick_proc(cfgs, args.proc)
+    print(analyze_taint(cfgs[proc]))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = _load(args.file)
+    module = compile_program(program)
+    verify_module(module)
+    names = [args.proc] if args.proc else sorted(module.codes)
+    for name in names:
+        print(disassemble(module.code(name)))
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load(args.file)
+    module = compile_program(program)
+    verify_module(module)
+    cfgs = lift_module(module)
+    proc = _pick_proc(cfgs, args.proc)
+    call_args = json.loads(args.args) if args.args else {}
+    if not isinstance(call_args, (list, dict)):
+        raise SystemExit("--args must be a JSON array or object")
+    interp = Interpreter(cfgs)
+    trace = interp.run(proc, call_args)
+    print("result: %r" % (trace.result,))
+    print("time:   %d instructions" % trace.time)
+    print("edges:  %d CFG edges traversed" % len(trace.edges))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.benchsuite import ALL_BENCHMARKS
+    from repro.util.table import render_table
+
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        if args.group and bench.group != args.group:
+            continue
+        verdict = bench.run()
+        rows.append(
+            [
+                bench.name,
+                bench.group,
+                verdict.size,
+                verdict.status,
+                "%.2f" % verdict.safety_seconds,
+                "-" if verdict.status == "safe" else "%.2f" % verdict.total_seconds,
+                "OK" if verdict.status == bench.expect else "MISMATCH",
+            ]
+        )
+    print(
+        render_table(
+            ["Benchmark", "Group", "Size", "Verdict", "Safety (s)", "w/Attack (s)", "vs Table 1"],
+            rows,
+            aligns=["l", "l", "r", "l", "r", "r", "l"],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Blazer reproduction: timing-channel verification "
+        "by quotient partitioning (PLDI 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_proc=True):
+        p.add_argument("file", help="source file in the repro input language")
+        if needs_proc:
+            p.add_argument("--proc", help="procedure to analyze")
+        p.add_argument(
+            "--domain", default="zone", choices=sorted(DOMAINS), help="numeric domain"
+        )
+        p.add_argument(
+            "--max-bits", type=int, default=4096, help="assumed BigInteger width"
+        )
+
+    analyze = sub.add_parser("analyze", help="prove TCF or synthesize an attack")
+    common(analyze)
+    analyze.add_argument(
+        "--observer",
+        default="degree",
+        choices=["degree", "threshold"],
+        help="observer model (generic degree vs concrete threshold)",
+    )
+    analyze.add_argument("--threshold", type=int, default=25_000)
+    analyze.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    analyze.add_argument(
+        "--max-input", type=int, default=4096, help="assumed max input size"
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
+    common(bounds)
+    bounds.set_defaults(func=cmd_bounds)
+
+    taint = sub.add_parser("taint", help="low/high branch classification")
+    common(taint)
+    taint.set_defaults(func=cmd_taint)
+
+    disasm = sub.add_parser("disasm", help="stack-bytecode listing")
+    common(disasm)
+    disasm.set_defaults(func=cmd_disasm)
+
+    run = sub.add_parser("run", help="execute concretely and time it")
+    common(run)
+    run.add_argument(
+        "--args",
+        default="",
+        help='arguments as JSON, e.g. \'{"low": 3, "high": 7}\' or \'[3, 7]\'',
+    )
+    run.set_defaults(func=cmd_run)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--group", choices=["MicroBench", "STAC", "Literature"])
+    table1.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

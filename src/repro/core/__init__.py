@@ -1,0 +1,57 @@
+"""The paper's core: quotient partitioning, observers, the Blazer driver."""
+
+from repro.core.attack import AttackSpecification
+from repro.core.blazer import Blazer, BlazerConfig, BlazerVerdict, analyze_source
+from repro.core.ksafety import (
+    KSafetyProperty,
+    ccf,
+    det,
+    is_quotient_partition,
+    is_quotient_partitionable,
+    psi_ccf,
+    psi_det,
+    psi_tcf,
+    psi_true,
+    rbps_holds,
+    rbps_relational_holds,
+    tcf,
+    theorem_3_1_conclusion,
+    theorem_3_1_relational,
+)
+from repro.core.capacity import CapacityVerdict, verify_channel_capacity
+from repro.core.report import suite_report, verdict_to_dict, verdict_to_json
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    ObserverModel,
+    PolynomialDegreeObserver,
+)
+
+__all__ = [
+    "AttackSpecification",
+    "Blazer",
+    "BlazerConfig",
+    "BlazerVerdict",
+    "analyze_source",
+    "KSafetyProperty",
+    "tcf",
+    "det",
+    "ccf",
+    "psi_tcf",
+    "psi_det",
+    "psi_ccf",
+    "psi_true",
+    "is_quotient_partition",
+    "is_quotient_partitionable",
+    "rbps_holds",
+    "rbps_relational_holds",
+    "theorem_3_1_relational",
+    "theorem_3_1_conclusion",
+    "ObserverModel",
+    "verify_channel_capacity",
+    "CapacityVerdict",
+    "verdict_to_dict",
+    "verdict_to_json",
+    "suite_report",
+    "PolynomialDegreeObserver",
+    "ConcreteThresholdObserver",
+]

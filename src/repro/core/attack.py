@@ -1,0 +1,53 @@
+"""Attack specifications (Section 2.3).
+
+When CHECKSAFE fails and further taint-based refinement is impossible,
+Blazer switches to attack synthesis: it partitions on *secret*-dependent
+branches and reports two trails whose choice depends on high data but
+whose running times differ observably — a static witness schema.  "All
+that remains is to ensure that these traces are feasible by finding
+justifying inputs", which :mod:`repro.core.witness` automates for small
+input spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bounds.analysis import BoundResult
+from repro.trails.trail import Trail
+
+
+@dataclass
+class AttackSpecification:
+    """Two trails split on high data with observably different times.
+
+    ``single`` form: when a single component's bound already depends on
+    a secret symbol (e.g. an upper bound mentioning ``pw#len``),
+    ``trail_b``/``bound_b`` are None and the dependence itself is the
+    finding.
+    """
+
+    proc: str
+    trail_a: Trail
+    bound_a: BoundResult
+    trail_b: Optional[Trail] = None
+    bound_b: Optional[BoundResult] = None
+    reason: str = ""
+
+    @property
+    def is_pair(self) -> bool:
+        return self.trail_b is not None
+
+    def render(self) -> str:
+        lines = ["attack specification for %s:" % self.proc]
+        lines.append("  reason: %s" % self.reason)
+        lines.append("  trail A: %s" % self.trail_a.description)
+        lines.append("    bound: %s" % self.bound_a)
+        if self.trail_b is not None:
+            lines.append("  trail B: %s" % self.trail_b.description)
+            lines.append("    bound: %s" % self.bound_b)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

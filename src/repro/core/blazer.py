@@ -1,0 +1,387 @@
+"""The Blazer driver: Fig. 2's alternation of REFINEPARTITION,
+CHECKSAFE and CHECKATTACK.
+
+Pipeline: source → parse/type-check → stack bytecode (+ verifier) →
+register-IR CFG (lifter) → taint classification → iterative trail
+refinement with per-trail bound analysis.
+
+Safety phase
+    All partition leaves get bounds; a leaf is acceptable when its trail
+    is infeasible, or its bound is narrow (observer model) and mentions
+    only low-security symbols.  Otherwise the driver splits a failing
+    leaf at a fresh *low-only* branch (ψ-quotient preserving) and tries
+    again, until no refinement is possible.
+
+Attack phase
+    Failing leaves are split at *secret-dependent* branches; a pair of
+    sibling components with observably different bounds is an attack
+    specification (the choice between them depends on the secret).  A
+    single component whose bound mentions a secret symbol is reported
+    when no pair is found.  If neither exists the driver gives up
+    (verdict "unknown").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bounds.analysis import BoundAnalysis, BoundResult, symbol_levels
+from repro.bounds.interproc import ProcBound, compute_proc_bounds
+from repro.bounds.summaries import SummaryRegistry, default_summaries
+from repro.bytecode import compile_program, verify_module
+from repro.cfg.graph import ControlFlowGraph
+from repro.core.attack import AttackSpecification
+from repro.core.observer import ObserverModel, PolynomialDegreeObserver
+from repro.domains import DOMAINS
+from repro.domains.base import Domain
+from repro.ir import lift_module
+from repro.lang import ast, frontend
+from repro.taint import TaintResult, analyze_taint
+from repro.trails import PartitionTree, Trail, TrailNode, split_trail
+from repro.util.errors import AnalysisError
+
+
+@dataclass
+class BlazerConfig:
+    """Knobs of the driver (defaults match the MicroBench setup).
+
+    ``strategies`` is the REFINEPARTITION strategy chain for safety
+    splits (the paper's "collection of pluggable strategies"): each is
+    tried in order until one makes progress.  Defaults to the
+    occurrence split; prepend :class:`~repro.trails.RegexNodeSplit` to
+    prefer the paper's constructor-level splits where the regex shape
+    allows them.
+    """
+
+    domain: str = "zone"
+    observer: Optional[ObserverModel] = None
+    summaries: Optional[SummaryRegistry] = None
+    max_leaves: int = 48
+    max_attack_depth: int = 6
+    strategies: Optional[tuple] = None
+
+    def resolved_observer(self) -> ObserverModel:
+        return self.observer if self.observer is not None else PolynomialDegreeObserver()
+
+    def resolved_domain(self) -> Domain:
+        return DOMAINS[self.domain]
+
+
+@dataclass
+class BlazerVerdict:
+    """The outcome of analyzing one procedure."""
+
+    proc: str
+    status: str  # "safe" | "attack" | "unknown"
+    tree: PartitionTree
+    attack: Optional[AttackSpecification] = None
+    safety_seconds: float = 0.0
+    attack_seconds: float = 0.0
+    size: int = 0  # CFG basic blocks (the Size column of Table 1)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.safety_seconds + self.attack_seconds
+
+    def render(self) -> str:
+        lines = [
+            "%s: %s (size=%d, safety=%.2fs%s)"
+            % (
+                self.proc,
+                self.status.upper(),
+                self.size,
+                self.safety_seconds,
+                ", attack search=%.2fs" % self.attack_seconds
+                if self.attack_seconds
+                else "",
+            )
+        ]
+        lines.append(self.tree.render())
+        if self.attack is not None:
+            lines.append(self.attack.render())
+        return "\n".join(lines)
+
+
+class Blazer:
+    """Analyzes the procedures of one program."""
+
+    def __init__(self, program: ast.Program, config: Optional[BlazerConfig] = None):
+        self.config = config or BlazerConfig()
+        self.program = program
+        module = compile_program(program)
+        verify_module(module)
+        self.module = module
+        self.cfgs: Dict[str, ControlFlowGraph] = lift_module(module)
+        self._domain = self.config.resolved_domain()
+        self._summaries = (
+            self.config.summaries
+            if self.config.summaries is not None
+            else default_summaries()
+        )
+        self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
+            self.cfgs, self._domain, self._summaries
+        )
+        self._taints: Dict[str, TaintResult] = {}
+
+    @staticmethod
+    def from_source(source: str, config: Optional[BlazerConfig] = None) -> "Blazer":
+        return Blazer(frontend(source), config)
+
+    # -- helpers -------------------------------------------------------------
+
+    def taint(self, proc: str) -> TaintResult:
+        if proc not in self._taints:
+            self._taints[proc] = analyze_taint(self.cfgs[proc])
+        return self._taints[proc]
+
+    def _bound(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
+        analysis = BoundAnalysis(
+            cfg,
+            self._domain,
+            self._summaries,
+            trail_dfa=trail.dfa,
+            proc_bounds=self._proc_bounds,
+        )
+        return analysis.compute()
+
+    def _classify(self, cfg: ControlFlowGraph, node: TrailNode) -> None:
+        """CHECKSAFE for one component."""
+        assert node.bound is not None
+        result = node.bound
+        if not result.feasible:
+            node.status = "infeasible"
+            return
+        bound = result.bound
+        assert bound is not None
+        levels = symbol_levels(cfg)
+        secret_syms = sorted(
+            s
+            for s in bound.symbols()
+            if levels.get(s) is ast.SecLevel.SECRET
+        )
+        observer = self.config.resolved_observer()
+        if secret_syms:
+            node.status = "wide"
+            node.note = "bound depends on secret symbol(s): %s" % ", ".join(
+                secret_syms
+            )
+            return
+        if observer.is_narrow(bound):
+            node.status = "safe"
+        else:
+            node.status = "wide"
+            node.note = "running-time range is not narrow"
+
+    def _evaluate_leaves(self, cfg: ControlFlowGraph, tree: PartitionTree) -> None:
+        for leaf in tree.leaves():
+            if leaf.bound is None:
+                leaf.bound = self._bound(cfg, leaf.trail)
+                self._classify(cfg, leaf)
+
+    def _refine_for_safety(
+        self, cfg: ControlFlowGraph, taint: TaintResult, tree: PartitionTree
+    ) -> bool:
+        """One REFINEPARTITION(·, safe) step; False when out of splits."""
+        if len(tree.leaves()) >= self.config.max_leaves:
+            return False
+        for leaf in tree.leaves():
+            if leaf.status != "wide":
+                continue
+            assert leaf.bound is not None
+            live_blocks = (
+                leaf.bound.main.reachable_blocks()
+                if leaf.bound.main is not None
+                else set(cfg.block_ids())
+            )
+            for block in taint.low_branches():
+                if block in leaf.trail.split_blocks() or block not in live_blocks:
+                    continue
+                if self.config.strategies is not None:
+                    children = split_trail(
+                        leaf.trail, block, "taint", self.config.strategies
+                    )
+                else:
+                    children = split_trail(leaf.trail, block, "taint")
+                if not children:
+                    continue
+                for child in children:
+                    leaf.add_child(child)
+                return True
+        return False
+
+    # -- the two phases ---------------------------------------------------------
+
+    def analyze(self, proc: str) -> BlazerVerdict:
+        cfg = self.cfgs[proc]
+        taint = self.taint(proc)
+        tree = PartitionTree(Trail.most_general(cfg))
+        started = time.perf_counter()
+
+        while True:
+            self._evaluate_leaves(cfg, tree)
+            failing = [l for l in tree.leaves() if l.status == "wide"]
+            if not failing:
+                safety_seconds = time.perf_counter() - started
+                return BlazerVerdict(
+                    proc=proc,
+                    status="safe",
+                    tree=tree,
+                    safety_seconds=safety_seconds,
+                    size=cfg.size,
+                )
+            if not self._refine_for_safety(cfg, taint, tree):
+                break
+        safety_seconds = time.perf_counter() - started
+
+        attack_started = time.perf_counter()
+        attack = self._search_attack(cfg, taint, tree)
+        attack_seconds = time.perf_counter() - attack_started
+        return BlazerVerdict(
+            proc=proc,
+            status="attack" if attack is not None else "unknown",
+            tree=tree,
+            attack=attack,
+            safety_seconds=safety_seconds,
+            attack_seconds=attack_seconds,
+            size=cfg.size,
+        )
+
+    def _accepting_exit_state(self, node: TrailNode):
+        """Join of the invariants at *accepting* exit nodes of a trail's
+        product analysis (the states of its complete executions)."""
+        assert node.bound is not None and node.bound.main is not None
+        cfg = self.cfgs[node.bound.main.cfg.name]
+        dfa = node.trail.dfa
+        state = self._domain.bottom()
+        for pnode, inv in node.bound.main.invariants.items():
+            if pnode[0] != cfg.exit_id:
+                continue
+            if pnode[1] not in dfa.accepting:
+                continue
+            state = state.join(inv)
+        return state
+
+    def _low_compatible(self, cfg: ControlFlowGraph, a: TrailNode, b: TrailNode) -> bool:
+        """CHECKATTACK's realizability condition: the two components must
+        admit a *common public input* — otherwise their running-time
+        difference is driven by low data and T1 ⊎ T2 never splits a
+        low-equivalent pair (no ψ violation).  Checked by meeting each
+        side's accepting-exit invariant with the other side's constraints
+        over public symbols."""
+        levels = symbol_levels(cfg)
+        low_syms = {s for s, lvl in levels.items() if lvl is ast.SecLevel.PUBLIC}
+        state_a = self._accepting_exit_state(a)
+        state_b = self._accepting_exit_state(b)
+        if state_a.is_bottom() or state_b.is_bottom():
+            return False
+        for state, other in ((state_a, state_b), (state_b, state_a)):
+            refined = state
+            for cons in other.constraints():
+                if set(cons.variables()) <= low_syms:
+                    refined = refined.guard(cons)
+            if refined.is_bottom():
+                return False
+        return True
+
+    def _sec_splits(self, node: TrailNode, block: int) -> List[List[Trail]]:
+        """Candidate sec splits at a branch: one per branch edge."""
+        from repro.trails.refine import OccurrenceSplit
+
+        cfg = self.cfgs[node.trail.cfg.name]
+        strategy = OccurrenceSplit()
+        out: List[List[Trail]] = []
+        for edge in cfg.branch_edges(block):
+            components = strategy.split_on_edge(node.trail, block, edge, "sec")
+            if components:
+                out.append(components)
+        return out
+
+    def _search_attack(
+        self, cfg: ControlFlowGraph, taint: TaintResult, tree: PartitionTree
+    ) -> Optional[AttackSpecification]:
+        """CHECKATTACK with REFINEPARTITION(·, vulnerable).
+
+        A pair of sec-split siblings is an attack specification when
+        (i) both are feasible, (ii) their bounds are observably
+        distinguishable, and (iii) they admit a common public input
+        (realizability — the paper's "T1 ⊎ T2 is not a ψ_SC-quotient
+        partition" condition).  Both polarities of each secret branch
+        are tried."""
+        observer = self.config.resolved_observer()
+        queue: List[Tuple[TrailNode, int]] = [
+            (leaf, 0) for leaf in tree.leaves() if leaf.status == "wide"
+        ]
+        correlated: Optional[AttackSpecification] = None
+        while queue:
+            node, depth = queue.pop(0)
+            assert node.bound is not None
+            if not node.bound.feasible:
+                continue
+            if correlated is None and node.note.startswith("bound depends on secret"):
+                correlated = AttackSpecification(
+                    proc=cfg.name,
+                    trail_a=node.trail,
+                    bound_a=node.bound,
+                    reason=node.note,
+                )
+            if depth >= self.config.max_attack_depth:
+                continue
+            live_blocks = (
+                node.bound.main.reachable_blocks()
+                if node.bound.main is not None
+                else set(cfg.block_ids())
+            )
+            attached = False
+            for block in taint.high_branches():
+                if block in node.trail.split_blocks() or block not in live_blocks:
+                    continue
+                for children in self._sec_splits(node, block):
+                    child_nodes = [TrailNode(trail=c, parent=node) for c in children]
+                    for child in child_nodes:
+                        child.bound = self._bound(cfg, child.trail)
+                        self._classify(cfg, child)
+                    feasible = [
+                        c
+                        for c in child_nodes
+                        if c.bound is not None and c.bound.feasible
+                    ]
+                    if len(feasible) == 2:
+                        bound_a = feasible[0].bound.bound  # type: ignore[union-attr]
+                        bound_b = feasible[1].bound.bound  # type: ignore[union-attr]
+                        assert bound_a is not None and bound_b is not None
+                        if observer.distinguishable(
+                            bound_a, bound_b
+                        ) and self._low_compatible(cfg, feasible[0], feasible[1]):
+                            node.children.extend(child_nodes)
+                            feasible[0].status = "attack"
+                            feasible[1].status = "attack"
+                            return AttackSpecification(
+                                proc=cfg.name,
+                                trail_a=feasible[0].trail,
+                                bound_a=feasible[0].bound,  # type: ignore[arg-type]
+                                trail_b=feasible[1].trail,
+                                bound_b=feasible[1].bound,
+                                reason=(
+                                    "choice between the trails depends on secret "
+                                    "data (branch b%d) and their running times "
+                                    "differ observably" % block
+                                ),
+                            )
+                    if not attached and feasible:
+                        # Keep one split for deeper exploration.
+                        node.children.extend(child_nodes)
+                        attached = True
+                        for child in feasible:
+                            queue.append((child, depth + 1))
+                if attached:
+                    break  # one attached split per node per round
+        return correlated
+
+
+def analyze_source(
+    source: str, proc: str, config: Optional[BlazerConfig] = None
+) -> BlazerVerdict:
+    """Convenience wrapper: analyze one procedure of a source program."""
+    return Blazer.from_source(source, config).analyze(proc)

@@ -1,0 +1,195 @@
+"""Channel-capacity verification: the k>2 instance of Section 3.4.
+
+The paper generalizes timing-channel freedom to the *channel capacity*
+property ccf(q): at most ``q`` distinct running times per public input —
+a (q+1)-safety property, ψ_ccf-quotient partitionable exactly like tcf.
+
+The verification reuses the trail machinery with a *band-counting*
+recursion:
+
+* an infeasible trail contributes 0 time bands;
+* a trail whose bound is narrow and secret-free contributes 1 band
+  (one running time per public input, up to the observer slack);
+* a **taint** split bounds the component's bands by the *maximum* over
+  its children — two equal-low traces fall in the same child, so bands
+  do not accumulate across low splits;
+* a **sec** split bounds them by the *sum* — equal-low traces may land
+  in different children, each contributing its own bands.
+
+The program satisfies ccf(q) when the most general trail's band count is
+at most q.  With q = 1 this degenerates to the tcf driver's safety
+phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bounds.analysis import BoundResult, symbol_levels
+from repro.core.blazer import Blazer
+from repro.lang import ast
+from repro.trails import Trail
+from repro.trails.refine import OccurrenceSplit
+
+
+@dataclass
+class BandNode:
+    """One node of the band-counting tree (for reporting)."""
+
+    trail: Trail
+    bands: Optional[int]  # None = could not bound the band count
+    rule: str  # "infeasible" | "narrow" | "taint-max" | "sec-sum" | "stuck"
+    children: List["BandNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        label = "%s%s: bands=%s (%s)" % (
+            pad,
+            self.trail.description,
+            self.bands if self.bands is not None else "?",
+            self.rule,
+        )
+        return "\n".join([label] + [c.render(indent + 1) for c in self.children])
+
+
+@dataclass
+class CapacityVerdict:
+    proc: str
+    q: int
+    verified: bool
+    bands: Optional[int]
+    tree: BandNode
+
+    def render(self) -> str:
+        head = "%s: ccf(q=%d) %s (provable bands: %s)" % (
+            self.proc,
+            self.q,
+            "HOLDS" if self.verified else "NOT PROVED",
+            self.bands if self.bands is not None else "unbounded",
+        )
+        return head + "\n" + self.tree.render(1)
+
+
+class CapacityAnalysis:
+    """Band counting over the trail tree."""
+
+    def __init__(self, blazer: Blazer, proc: str, max_depth: int = 4):
+        self._blazer = blazer
+        self._proc = proc
+        self._cfg = blazer.cfgs[proc]
+        self._taint = blazer.taint(proc)
+        self._observer = blazer.config.resolved_observer()
+        self._max_depth = max_depth
+        self._levels = symbol_levels(self._cfg)
+
+    # -- leaf classification ----------------------------------------------------
+
+    def _bound(self, trail: Trail) -> BoundResult:
+        return self._blazer._bound(self._cfg, trail)
+
+    def _is_single_band(self, result: BoundResult) -> bool:
+        if result.bound is None:
+            return False
+        if any(
+            self._levels.get(s) is ast.SecLevel.SECRET
+            for s in result.bound.symbols()
+        ):
+            return False
+        return self._observer.is_narrow(result.bound)
+
+    # -- recursion -----------------------------------------------------------------
+
+    def bands_of(self, trail: Trail, depth: int, budget: int) -> BandNode:
+        """The best provable band count of ``trail``, capped at ``budget``
+        (counting beyond the budget is useless — prune)."""
+        result = self._bound(trail)
+        if not result.feasible:
+            return BandNode(trail, 0, "infeasible")
+        if self._is_single_band(result):
+            return BandNode(trail, 1, "narrow")
+        if depth >= self._max_depth or budget <= 1:
+            return BandNode(trail, None, "stuck")
+
+        live = (
+            result.main.reachable_blocks()
+            if result.main is not None
+            else set(self._cfg.block_ids())
+        )
+        best: Optional[BandNode] = None
+
+        # Taint splits: bands = max over children.
+        for block in self._taint.low_branches():
+            if block in trail.split_blocks() or block not in live:
+                continue
+            children = self._split_candidates(trail, block, "taint")
+            for parts in children:
+                nodes = [self.bands_of(p, depth + 1, budget) for p in parts]
+                if any(n.bands is None for n in nodes):
+                    continue
+                bands = max(n.bands for n in nodes)  # type: ignore[type-var]
+                candidate = BandNode(trail, bands, "taint-max", nodes)
+                if best is None or (best.bands or 0) > bands:
+                    best = candidate
+            if best is not None and best.bands == 1:
+                return best
+
+        # Sec splits: bands = sum over children.
+        for block in self._taint.high_branches():
+            if block in trail.split_blocks() or block not in live:
+                continue
+            for parts in self._split_candidates(trail, block, "sec"):
+                nodes = []
+                total = 0
+                ok = True
+                for part in parts:
+                    node = self.bands_of(part, depth + 1, budget - total)
+                    nodes.append(node)
+                    if node.bands is None:
+                        ok = False
+                        break
+                    total += node.bands
+                    if total > budget:
+                        ok = False
+                        break
+                if ok:
+                    candidate = BandNode(trail, total, "sec-sum", nodes)
+                    if best is None or best.bands is None or best.bands > total:
+                        best = candidate
+
+        return best if best is not None else BandNode(trail, None, "stuck")
+
+    def _split_candidates(
+        self, trail: Trail, block: int, kind: str
+    ) -> List[List[Trail]]:
+        strategy = OccurrenceSplit()
+        out: List[List[Trail]] = []
+        for edge in self._cfg.branch_edges(block):
+            parts = strategy.split_on_edge(trail, block, edge, kind)
+            if parts:
+                out.append(parts)
+        return out
+
+
+def verify_channel_capacity(
+    blazer: Blazer, proc: str, q: int, max_depth: int = 4
+) -> CapacityVerdict:
+    """Try to prove ccf(q): at most q running times per public input.
+
+    Soundness follows the same Theorem-3.1 argument as tcf: the taint
+    splits are ψ_ccf-quotient preserving, and within each component the
+    sec-split children's narrow bands witness the per-component
+    (q+1)-ary RBPS property P_{f1..fq} of §3.4.
+    """
+    if q < 1:
+        raise ValueError("capacity must be at least 1")
+    analysis = CapacityAnalysis(blazer, proc, max_depth)
+    root = analysis.bands_of(Trail.most_general(blazer.cfgs[proc]), 0, q)
+    bands = root.bands
+    return CapacityVerdict(
+        proc=proc,
+        q=q,
+        verified=bands is not None and bands <= q,
+        bands=bands,
+        tree=root,
+    )

@@ -1,0 +1,62 @@
+"""Constant-time checking: the stronger property of Almeida et al.
+
+The paper's related-work section contrasts timing-channel freedom with
+*constant-time* (Almeida et al., USENIX Security'16): constant-time
+"requires the program's control flow to be independent of the high
+security data" — a strictly stronger requirement.  Blazer's whole point
+is that TCF can hold without constant-time (e.g. ``modPow1_safe``
+branches on secret exponent bits but balances the cost).
+
+This checker decides the control-flow part of constant-time directly
+from the taint classification: the program is constant-time (in control
+flow) iff no *reachable* branch depends on high data.  It exists as the
+comparison point: the tests demonstrate TCF-safe programs that fail it,
+reproducing the paper's separation argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.absint.engine import Engine
+from repro.core.blazer import Blazer
+from repro.taint import Taint
+
+
+@dataclass
+class ConstTimeVerdict:
+    proc: str
+    constant_time: bool
+    offending_branches: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.constant_time:
+            return "%s: CONSTANT-TIME (no reachable secret-dependent branch)" % self.proc
+        return "%s: NOT constant-time (secret-dependent branches: %s)" % (
+            self.proc,
+            ", ".join("b%d" % b for b in self.offending_branches),
+        )
+
+
+def verify_constant_time(blazer: Blazer, proc: str) -> ConstTimeVerdict:
+    """Is the procedure's control flow independent of secret data?
+
+    Branches that the abstract interpreter proves unreachable are
+    ignored (the loopAndBranch pattern: a secret-guarded loop behind an
+    infeasible condition does not break constant-time).
+    """
+    cfg = blazer.cfgs[proc]
+    taint = blazer.taint(proc)
+    result = Engine(cfg, blazer.config.resolved_domain()).analyze()
+    reachable = result.reachable_blocks()
+    offending = [
+        block
+        for block in taint.high_branches()
+        if block in reachable
+    ]
+    return ConstTimeVerdict(
+        proc=proc,
+        constant_time=not offending,
+        offending_branches=offending,
+    )

@@ -1,0 +1,284 @@
+"""Executable formalization of Section 3: k-safety, quotient partitions.
+
+The paper's semantic development is stated over the (generally infinite)
+set of traces JCK.  This module makes every definition *executable over
+finite trace sets* — enumerated by the concrete interpreter — so that
+the property-based tests can check, end to end, that:
+
+* our partitions are ψ-quotient partitions (Definition in §3.2);
+* the per-component trace properties are relational-by-property-sharing
+  (RBPS, §3.3);
+* Theorem 3.1's conclusion actually holds on the enumerated traces.
+
+It also provides the three example properties the paper discusses:
+timing-channel freedom ``tcf`` (2-safety), determinism ``det``
+(2-safety), and channel capacity ``ccf`` (a (q+1)-safety property).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.interp.trace import Trace
+
+TracePredicate = Callable[[Trace], bool]
+KPredicate = Callable[[Sequence[Trace]], bool]
+
+
+@dataclass(frozen=True)
+class KSafetyProperty:
+    """q(C) = ∀ π1..πk ∈ JCK^k . Φ(π1..πk)."""
+
+    name: str
+    k: int
+    phi: KPredicate
+
+    def holds(self, traces: Sequence[Trace]) -> bool:
+        """Check the property over all k-tuples of the given finite set."""
+        return all(
+            self.phi(tup) for tup in itertools.product(traces, repeat=self.k)
+        )
+
+    def violations(self, traces: Sequence[Trace]) -> List[Tuple[Trace, ...]]:
+        return [
+            tup
+            for tup in itertools.product(traces, repeat=self.k)
+            if not self.phi(tup)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The paper's example properties
+# ---------------------------------------------------------------------------
+
+
+def tcf(epsilon: int = 0) -> KSafetyProperty:
+    """Timing-channel freedom: equal low inputs ⇒ indistinguishable times.
+
+    ``epsilon`` is the attacker-unobservable slack c of the paper
+    (time(π1) ≈ time(π2) iff |Δ| <= epsilon).
+    """
+
+    def phi(pair: Sequence[Trace]) -> bool:
+        a, b = pair
+        if not a.low_equivalent(b):
+            return True
+        return abs(a.time - b.time) <= epsilon
+
+    return KSafetyProperty("tcf", 2, phi)
+
+
+def det() -> KSafetyProperty:
+    """Determinism: equal inputs ⇒ equal outputs (§3.4)."""
+
+    def phi(pair: Sequence[Trace]) -> bool:
+        a, b = pair
+        if a.inputs != b.inputs:
+            return True
+        return a.result == b.result
+
+    return KSafetyProperty("det", 2, phi)
+
+
+def ccf(q: int = 2, epsilon: int = 0) -> KSafetyProperty:
+    """Channel capacity: at most ``q`` distinct times per public input.
+
+    A (q+1)-safety property (§3.4): among any q+1 low-equivalent traces,
+    some two must have indistinguishable running times.
+    """
+
+    def phi(tup: Sequence[Trace]) -> bool:
+        first = tup[0]
+        if not all(t.low_equivalent(first) for t in tup[1:]):
+            return True
+        return any(
+            abs(a.time - b.time) <= epsilon
+            for a, b in itertools.combinations(tup, 2)
+        )
+
+    return KSafetyProperty("ccf[q=%d]" % q, q + 1, phi)
+
+
+# ---------------------------------------------------------------------------
+# Quotient predicates and quotient partitions (§3.2)
+# ---------------------------------------------------------------------------
+
+
+def psi_tcf(pair: Sequence[Trace]) -> bool:
+    """ψ_tcf(π1, π2) = in(π1)[low] == in(π2)[low]."""
+    return pair[0].low_equivalent(pair[1])
+
+
+def psi_det(pair: Sequence[Trace]) -> bool:
+    return pair[0].inputs == pair[1].inputs
+
+
+def psi_ccf(tup: Sequence[Trace]) -> bool:
+    first = tup[0]
+    return all(t.low_equivalent(first) for t in tup[1:])
+
+
+def psi_true(tup: Sequence[Trace]) -> bool:
+    return True
+
+
+def is_quotient_partition(
+    traces: Sequence[Trace],
+    partition: Sequence[Sequence[Trace]],
+    psi: KPredicate,
+    k: int,
+) -> bool:
+    """Definition §3.2 over a finite trace set: every ψ-related k-tuple
+    lies entirely inside some component.  (Components need not be
+    disjoint, and must jointly cover the trace set.)"""
+    covered = set()
+    for component in partition:
+        covered.update(id(t) for t in component)
+    if any(id(t) not in covered for t in traces):
+        return False
+    component_sets = [set(id(t) for t in component) for component in partition]
+    for tup in itertools.product(traces, repeat=k):
+        if not psi(tup):
+            continue
+        ids = {id(t) for t in tup}
+        if not any(ids <= comp for comp in component_sets):
+            return False
+    return True
+
+
+def is_quotient_partitionable(
+    property_: KSafetyProperty, psi: KPredicate, traces: Sequence[Trace]
+) -> bool:
+    """§3.2: q is ψ-quotient partitionable iff for all k-tuples,
+    ψ(π̄) ∨ Φ(π̄).  Checked over the finite sample."""
+    return all(
+        psi(tup) or property_.phi(tup)
+        for tup in itertools.product(traces, repeat=property_.k)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Relational-by-property-sharing and Theorem 3.1 (§3.3)
+# ---------------------------------------------------------------------------
+
+
+def rbps_holds(
+    trace_property: TracePredicate,
+    property_: KSafetyProperty,
+    traces: Sequence[Trace],
+) -> bool:
+    """RBPS(P, q) over a finite sample: ∧ P(πi) ⇒ Φ(π1..πk)."""
+    for tup in itertools.product(traces, repeat=property_.k):
+        if all(trace_property(t) for t in tup) and not property_.phi(tup):
+            return False
+    return True
+
+
+def theorem_3_1_conclusion(
+    property_: KSafetyProperty,
+    psi: KPredicate,
+    traces: Sequence[Trace],
+    partition: Sequence[Sequence[Trace]],
+    component_properties: Sequence[TracePredicate],
+) -> bool:
+    """Check the *premises* of Theorem 3.1 on a finite trace set and,
+    when they hold, assert its conclusion q(C).
+
+    Returns True when either some premise fails (the theorem promises
+    nothing) or the conclusion holds; a False return exhibits a
+    counterexample to soundness — the property tests assert this never
+    happens.
+    """
+    if not is_quotient_partitionable(property_, psi, traces):
+        return True
+    if not is_quotient_partition(traces, partition, psi, property_.k):
+        return True
+    for component, prop in zip(partition, component_properties):
+        if not rbps_holds(prop, property_, traces):
+            return True
+        if not all(prop(t) for t in component):
+            return True
+    return property_.holds(traces)
+
+
+# ---------------------------------------------------------------------------
+# Relational partition properties (the RBPS(Θ, q) generalization, §3.3)
+# ---------------------------------------------------------------------------
+
+
+def rbps_relational_holds(
+    theta: KPredicate,
+    m: int,
+    property_: KSafetyProperty,
+    traces: Sequence[Trace],
+) -> bool:
+    """The m-ary generalization of RBPS: for every k-tuple, if Θ holds on
+    each of its m-element sub-tuples, then Φ holds on the k-tuple.
+
+    With m = 1 this degenerates to RBPS(P, q).
+    """
+    for tup in itertools.product(traces, repeat=property_.k):
+        subsets_ok = all(
+            theta(sub) for sub in itertools.combinations(tup, m)
+        )
+        if subsets_ok and not property_.phi(tup):
+            return False
+    return True
+
+
+def theorem_3_1_relational(
+    property_: KSafetyProperty,
+    psi: KPredicate,
+    traces: Sequence[Trace],
+    partition: Sequence[Sequence[Trace]],
+    thetas: Sequence[KPredicate],
+    m: int,
+) -> bool:
+    """The relational variant of Theorem 3.1 (§3.3's closing paragraph):
+    per-component m-ary properties Θ_T replace the non-relational P.
+
+    Premises: q ψ-quotient partitionable; T a ψ-quotient partition;
+    RBPS(Θ_T, q) and Θ_T on every m-tuple of each component.  Returns
+    True when a premise fails (vacuous) or the conclusion q(C) holds.
+    """
+    if not is_quotient_partitionable(property_, psi, traces):
+        return True
+    if not is_quotient_partition(traces, partition, psi, property_.k):
+        return True
+    for component, theta in zip(partition, thetas):
+        if not rbps_relational_holds(theta, m, property_, traces):
+            return True
+        if not all(
+            theta(sub) for sub in itertools.product(component, repeat=m)
+        ):
+            return True
+    return property_.holds(traces)
+
+
+def time_band_property(lo: int, hi: int) -> TracePredicate:
+    """The Pf of Example 7: running time within a fixed band.
+
+    When every trace of a component satisfies one band of width <= the
+    observer slack, the component cannot distinguish secrets by time.
+    """
+
+    def prop(trace: Trace) -> bool:
+        return lo <= trace.time <= hi
+
+    return prop
+
+
+def per_low_time_function(traces: Iterable[Trace]) -> TracePredicate:
+    """P_f for the function f mapping each low input to the set of times
+    seen for it in the sample (Example 7's high-independent function)."""
+    table = {}
+    for trace in traces:
+        table.setdefault(trace.low_inputs, set()).add(trace.time)
+
+    def prop(trace: Trace) -> bool:
+        times = table.get(trace.low_inputs)
+        return times is not None and trace.time in times and len(times) == 1
+
+    return prop

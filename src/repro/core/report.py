@@ -1,0 +1,93 @@
+"""Machine-readable reports: verdicts as JSON-serializable dictionaries.
+
+For CI integration and downstream tooling (the CLI exposes this via
+``analyze --json``).  The schema is stable and intentionally flat:
+strings for all symbolic content, numbers for timings and sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.bounds.analysis import BoundResult
+from repro.core.attack import AttackSpecification
+from repro.core.blazer import BlazerVerdict
+from repro.trails.partition import TrailNode
+
+
+def _bound_dict(result: Optional[BoundResult]) -> Optional[Dict[str, Any]]:
+    if result is None:
+        return None
+    if not result.feasible:
+        return {"feasible": False}
+    bound = result.bound
+    assert bound is not None
+    return {
+        "feasible": True,
+        "lower": [str(p) for p in bound.lower],
+        "upper": None if bound.upper is None else [str(p) for p in bound.upper],
+        "degree": bound.degree(),
+        "symbols": sorted(bound.symbols()),
+    }
+
+
+def _node_dict(node: TrailNode) -> Dict[str, Any]:
+    return {
+        "description": node.trail.description,
+        "split_kind": node.split_kind or None,
+        "splits": [str(s) for s in node.trail.splits],
+        "status": node.status,
+        "note": node.note or None,
+        "bound": _bound_dict(node.bound),
+        "children": [_node_dict(c) for c in node.children],
+    }
+
+
+def _attack_dict(attack: Optional[AttackSpecification]) -> Optional[Dict[str, Any]]:
+    if attack is None:
+        return None
+    out: Dict[str, Any] = {
+        "reason": attack.reason,
+        "trail_a": {
+            "description": attack.trail_a.description,
+            "bound": _bound_dict(attack.bound_a),
+        },
+    }
+    if attack.trail_b is not None:
+        out["trail_b"] = {
+            "description": attack.trail_b.description,
+            "bound": _bound_dict(attack.bound_b),
+        }
+    return out
+
+
+def verdict_to_dict(verdict: BlazerVerdict) -> Dict[str, Any]:
+    """The full verdict as a JSON-serializable dictionary."""
+    return {
+        "proc": verdict.proc,
+        "status": verdict.status,
+        "size": verdict.size,
+        "safety_seconds": round(verdict.safety_seconds, 6),
+        "attack_seconds": round(verdict.attack_seconds, 6),
+        "partition": _node_dict(verdict.tree.root),
+        "leaves": len(verdict.tree.leaves()),
+        "attack": _attack_dict(verdict.attack),
+    }
+
+
+def verdict_to_json(verdict: BlazerVerdict, indent: int = 2) -> str:
+    return json.dumps(verdict_to_dict(verdict), indent=indent, sort_keys=True)
+
+
+def suite_report(verdicts: List[BlazerVerdict]) -> Dict[str, Any]:
+    """An aggregate report over several verdicts (e.g. a whole program
+    or the benchmark suite)."""
+    return {
+        "total": len(verdicts),
+        "safe": sum(v.status == "safe" for v in verdicts),
+        "attack": sum(v.status == "attack" for v in verdicts),
+        "unknown": sum(v.status == "unknown" for v in verdicts),
+        "seconds": round(sum(v.total_seconds for v in verdicts), 6),
+        "verdicts": [verdict_to_dict(v) for v in verdicts],
+    }

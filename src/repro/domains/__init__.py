@@ -1,0 +1,32 @@
+"""Numeric abstract domains: intervals, zones, octagons, polyhedra."""
+
+from repro.domains.base import AbstractState, Domain
+from repro.domains.interval import IntervalDomain, IntervalState
+from repro.domains.linexpr import LinCons, LinExpr, RelOp
+from repro.domains.octagon import OctagonDomain, OctagonState
+from repro.domains.polyhedra import PolyhedraDomain, PolyhedraState
+from repro.domains.zone import ZoneDomain, ZoneState
+
+DOMAINS = {
+    "interval": IntervalDomain(),
+    "zone": ZoneDomain(),
+    "octagon": OctagonDomain(),
+    "polyhedra": PolyhedraDomain(),
+}
+
+__all__ = [
+    "AbstractState",
+    "Domain",
+    "LinExpr",
+    "LinCons",
+    "RelOp",
+    "IntervalDomain",
+    "IntervalState",
+    "ZoneDomain",
+    "ZoneState",
+    "OctagonDomain",
+    "OctagonState",
+    "PolyhedraDomain",
+    "PolyhedraState",
+    "DOMAINS",
+]

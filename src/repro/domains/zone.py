@@ -1,0 +1,464 @@
+"""The zone abstract domain (difference-bound matrices).
+
+Zones track constraints of the form ``x - y <= c`` and ``±x <= c``.
+This is the workhorse domain of the reproduction: the seeded
+transition-invariant analysis needs exactly relations like
+``i - i@seed <= k`` (progress per iteration) and ``i - low <= -1``
+(the loop guard), all of which zones represent exactly.
+
+Representation: a DBM over an index set {0 = the constant zero, one
+index per tracked variable}; ``m[i][j]`` is the tightest known upper
+bound on ``v_i - v_j`` (None = +oo).  Closure is Floyd–Warshall.
+Widening keeps stable bounds and drops unstable ones; following the
+standard recipe, the result of widening is *not* closed (closing it
+could un-do the widening and break termination), so closure is applied
+lazily on queries.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.domains.base import AbstractState, Bound, Domain
+from repro.domains.linexpr import LinCons, LinExpr, RelOp
+
+Matrix = List[List[Bound]]
+
+
+def _norm(value):
+    """Store integral bounds as plain ints: Fraction arithmetic is ~20x
+    slower than int arithmetic, and the Floyd-Warshall closure is the
+    hot loop of the whole tool.  Mixed int/Fraction comparisons and
+    sums are exact either way."""
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return int(value)
+    return value
+
+
+def _min_bound(a: Bound, b: Bound) -> Bound:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _max_bound(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def _add_bound(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+class ZoneState(AbstractState):
+    def __init__(
+        self,
+        variables: Sequence[str] = (),
+        matrix: Optional[Matrix] = None,
+        bottom: bool = False,
+        closed: bool = False,
+    ):
+        self._vars: List[str] = list(variables)
+        self._index: Dict[str, int] = {v: i + 1 for i, v in enumerate(self._vars)}
+        n = len(self._vars) + 1
+        if matrix is None:
+            matrix = [[None] * n for _ in range(n)]
+            for i in range(n):
+                matrix[i][i] = 0
+        self._m: Matrix = matrix
+        self._bottom = bottom
+        self._closed = closed
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _copy_matrix(self) -> Matrix:
+        return [row[:] for row in self._m]
+
+    def _dim(self) -> int:
+        return len(self._vars) + 1
+
+    def _with_vars(self, variables: Sequence[str]) -> "ZoneState":
+        """This state re-indexed over a superset of variables."""
+        new_vars = list(self._vars)
+        for var in variables:
+            if var not in self._index:
+                new_vars.append(var)
+        if len(new_vars) == len(self._vars):
+            return self
+        n_new = len(new_vars) + 1
+        matrix: Matrix = [[None] * n_new for _ in range(n_new)]
+        for i in range(n_new):
+            matrix[i][i] = 0
+        for i, vi in enumerate(self._vars):
+            for j, vj in enumerate(self._vars):
+                matrix[i + 1][j + 1] = self._m[i + 1][j + 1]
+            matrix[i + 1][0] = self._m[i + 1][0]
+            matrix[0][i + 1] = self._m[0][i + 1]
+        return ZoneState(new_vars, matrix, self._bottom, self._closed)
+
+    def _aligned(self, other: "ZoneState") -> Tuple["ZoneState", "ZoneState"]:
+        left = self._with_vars(other._vars)
+        right = other._with_vars(left._vars)
+        left = left._with_vars(right._vars)
+        # After two extensions the variable lists contain the same names,
+        # but possibly in different orders; re-order the right one.
+        if left._vars != right._vars:
+            right = right._reordered(left._vars)
+        return left, right
+
+    def _reordered(self, variables: Sequence[str]) -> "ZoneState":
+        assert set(variables) == set(self._vars)
+        n = len(variables) + 1
+        matrix: Matrix = [[None] * n for _ in range(n)]
+        old_pos = [0] + [self._index[v] for v in variables]
+        for i in range(n):
+            for j in range(n):
+                matrix[i][j] = self._m[old_pos[i]][old_pos[j]]
+        return ZoneState(variables, matrix, self._bottom, self._closed)
+
+    def _close(self) -> "ZoneState":
+        """Floyd–Warshall closure; detects emptiness."""
+        if self._bottom or self._closed:
+            return self
+        n = self._dim()
+        m = self._copy_matrix()
+        for k in range(n):
+            row_k = m[k]
+            for i in range(n):
+                mik = m[i][k]
+                if mik is None:
+                    continue
+                row_i = m[i]
+                for j in range(n):
+                    mkj = row_k[j]
+                    if mkj is None:
+                        continue
+                    candidate = mik + mkj
+                    if row_i[j] is None or candidate < row_i[j]:
+                        row_i[j] = candidate
+        for i in range(n):
+            if m[i][i] is not None and m[i][i] < 0:
+                return ZoneState(self._vars, None, bottom=True, closed=True)
+            m[i][i] = 0
+        return ZoneState(self._vars, m, False, closed=True)
+
+    # -- lattice ---------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        if self._bottom:
+            return True
+        closed = self._close()
+        return closed._bottom
+
+    def join(self, other: "ZoneState") -> "ZoneState":
+        a = self._close()
+        b = other._close()
+        if a._bottom:
+            return b
+        if b._bottom:
+            return a
+        a, b = a._aligned(b)
+        a, b = a._close(), b._close()
+        n = a._dim()
+        matrix: Matrix = [
+            [_max_bound(a._m[i][j], b._m[i][j]) for j in range(n)] for i in range(n)
+        ]
+        return ZoneState(a._vars, matrix, False, closed=True)
+
+    def widen(self, other: "ZoneState") -> "ZoneState":
+        old = self._close()
+        new = other._close()
+        if old._bottom:
+            return new
+        if new._bottom:
+            return old
+        old, new = old._aligned(new)
+        old, new = old._close(), new._close()
+        n = old._dim()
+        matrix: Matrix = [[None] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(n):
+                o, w = old._m[i][j], new._m[i][j]
+                # Keep stable bounds; drop bounds the new state exceeds.
+                if o is not None and w is not None and w <= o:
+                    matrix[i][j] = o
+                else:
+                    matrix[i][j] = None
+        for i in range(n):
+            matrix[i][i] = 0
+        # NOT closed: closing a widened zone can reintroduce dropped
+        # bounds and break termination.
+        return ZoneState(old._vars, matrix, False, closed=False)
+
+    def leq(self, other: "ZoneState") -> bool:
+        a = self._close()
+        if a._bottom:
+            return True
+        b = other._close()
+        if b._bottom:
+            return False
+        a, b = a._aligned(b)
+        a, b = a._close(), b._close()
+        n = a._dim()
+        for i in range(n):
+            for j in range(n):
+                bound_b = b._m[i][j]
+                if bound_b is None:
+                    continue
+                bound_a = a._m[i][j]
+                if bound_a is None or bound_a > bound_b:
+                    return False
+        return True
+
+    # -- transfer -----------------------------------------------------------------
+
+    def assign(self, var: str, expr: Optional[LinExpr]) -> "ZoneState":
+        if self._bottom:
+            return self
+        state = self._with_vars([var])._close()
+        if state._bottom:
+            return state
+        if expr is None:
+            return state.forget(var)
+        coeffs = expr.coeffs
+        x = state._index[var]
+        if not coeffs:
+            # var := c
+            m = state._copy_matrix()
+            n = state._dim()
+            for j in range(n):
+                m[x][j] = None
+                m[j][x] = None
+            m[x][x] = 0
+            m[x][0] = _norm(expr.const)
+            m[0][x] = _norm(-expr.const)
+            return ZoneState(state._vars, m, False, closed=False)._close()
+        if len(coeffs) == 1:
+            (src, coeff), = coeffs.items()
+            if coeff == 1 and src == var:
+                # var := var + c : shift the row/column.
+                c = _norm(expr.const)
+                m = state._copy_matrix()
+                n = state._dim()
+                for j in range(n):
+                    if j != x:
+                        m[x][j] = _add_bound(m[x][j], c)
+                        m[j][x] = _add_bound(m[j][x], -c)
+                return ZoneState(state._vars, m, False, closed=True)
+            if coeff == 1 and src != var:
+                state = state._with_vars([src])._close()
+                x = state._index[var]
+                y = state._index[src]
+                m = state._copy_matrix()
+                n = state._dim()
+                for j in range(n):
+                    m[x][j] = None
+                    m[j][x] = None
+                m[x][x] = 0
+                m[x][y] = _norm(expr.const)
+                m[y][x] = _norm(-expr.const)
+                return ZoneState(state._vars, m, False, closed=False)._close()
+        # General affine: havoc + interval bounds of the rhs.
+        lo, hi = state.bounds_of(expr)
+        result = state.forget(var)
+        m = result._copy_matrix()
+        x = result._index[var]
+        m[x][0] = _norm(hi) if hi is not None else None
+        m[0][x] = None if lo is None else _norm(-lo)
+        return ZoneState(result._vars, m, False, closed=False)._close()
+
+    def guard(self, cons: LinCons) -> "ZoneState":
+        if self._bottom:
+            return self
+        if cons.op is RelOp.EQ:
+            return self.guard(LinCons(cons.expr, RelOp.LE)).guard(
+                LinCons(-cons.expr, RelOp.LE)
+            )
+        expr = cons.expr
+        state = self._with_vars(list(expr.coeffs))._close()
+        if state._bottom:
+            return state
+        coeffs = expr.coeffs
+        m = state._copy_matrix()
+
+        def tighten(i: int, j: int, bound) -> None:
+            bound = _norm(bound)
+            if m[i][j] is None or bound < m[i][j]:
+                m[i][j] = bound
+
+        handled = False
+        items = sorted(coeffs.items())
+        if len(items) == 1:
+            (x_name, coeff), = items
+            x = state._index[x_name]
+            if coeff == 1:
+                tighten(x, 0, -expr.const)  # x <= -c
+                handled = True
+            elif coeff == -1:
+                tighten(0, x, -expr.const)  # -x <= -c
+                handled = True
+        elif len(items) == 2:
+            (a_name, ca), (b_name, cb) = items
+            if ca == 1 and cb == -1:
+                tighten(state._index[a_name], state._index[b_name], -expr.const)
+                handled = True
+            elif ca == -1 and cb == 1:
+                tighten(state._index[b_name], state._index[a_name], -expr.const)
+                handled = True
+        if not handled:
+            # Sound fallback: per-variable interval refinement.
+            closed = ZoneState(state._vars, m, False, closed=False)._close()
+            if closed._bottom:
+                return closed
+            lo, _ = closed.bounds_of(expr)
+            if lo is not None and lo > 0:
+                return ZoneState(state._vars, None, bottom=True, closed=True)
+            m = closed._copy_matrix()
+            for var, coeff in coeffs.items():
+                rest = LinExpr(
+                    {v: c for v, c in coeffs.items() if v != var}, expr.const
+                )
+                rest_lo, _ = closed.bounds_of(rest)
+                if rest_lo is None:
+                    continue
+                limit = -rest_lo / coeff
+                x = state._index[var]
+                if coeff > 0:
+                    if m[x][0] is None or limit < m[x][0]:
+                        m[x][0] = _norm(limit)
+                else:
+                    if m[0][x] is None or -limit < m[0][x]:
+                        m[0][x] = _norm(-limit)
+        return ZoneState(state._vars, m, False, closed=False)._close()
+
+    def forget(self, var: str) -> "ZoneState":
+        if self._bottom:
+            return self
+        if var not in self._index:
+            return self
+        state = self._close()
+        if state._bottom:
+            return state
+        m = state._copy_matrix()
+        x = state._index[var]
+        n = state._dim()
+        for j in range(n):
+            m[x][j] = None
+            m[j][x] = None
+        m[x][x] = Fraction(0)
+        return ZoneState(state._vars, m, False, closed=True)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def bounds_of(self, expr: LinExpr) -> Tuple[Bound, Bound]:
+        state = self._close()
+        if state._bottom:
+            return Fraction(0), Fraction(-1)
+        for var in expr.coeffs:
+            if var not in state._index:
+                return (None, None)
+        # Decompose the expression greedily into *difference pairs*
+        # (positive-coefficient var matched with a negative one), bounded
+        # by the DBM entries, then unary leftovers.  Pairs whose names
+        # differ only by a suffix (x vs x@pre / x@seed) are matched first:
+        # seeded transition queries like (low - i) - (low@pre - i@pre)
+        # become exact this way.
+        pos: Dict[str, Fraction] = {}
+        neg: Dict[str, Fraction] = {}
+        for var, coeff in expr.coeffs.items():
+            if coeff > 0:
+                pos[var] = coeff
+            else:
+                neg[var] = -coeff
+        lo: Bound = expr.const
+        hi: Bound = expr.const
+
+        def base(name: str) -> str:
+            return name.split("@", 1)[0]
+
+        def consume_pair(a: str, b: str) -> None:
+            """Account for t * (a - b) where t = min available amounts."""
+            nonlocal lo, hi
+            t = min(pos[a], neg[b])
+            i, j = state._index[a], state._index[b]
+            hi_ab = state._m[i][j]
+            lo_ab = None if state._m[j][i] is None else -state._m[j][i]
+            hi = _add_bound(hi, None if hi_ab is None else t * hi_ab)
+            lo = _add_bound(lo, None if lo_ab is None else t * lo_ab)
+            pos[a] -= t
+            neg[b] -= t
+            if pos[a] == 0:
+                del pos[a]
+            if neg[b] == 0:
+                del neg[b]
+
+        # First pass: same-base pairs (x with x@pre); second: any pairs
+        # with a finite difference bound; then unary leftovers.
+        for a in sorted(pos):
+            if a not in pos:
+                continue
+            for b in sorted(neg):
+                if a in pos and b in neg and base(a) == base(b):
+                    consume_pair(a, b)
+        for a in sorted(pos):
+            for b in sorted(neg):
+                if a in pos and b in neg:
+                    i, j = state._index[a], state._index[b]
+                    if state._m[i][j] is not None or state._m[j][i] is not None:
+                        consume_pair(a, b)
+        for var, amount in sorted(pos.items()):
+            x = state._index[var]
+            var_hi = state._m[x][0]
+            var_lo = None if state._m[0][x] is None else -state._m[0][x]
+            hi = _add_bound(hi, None if var_hi is None else amount * var_hi)
+            lo = _add_bound(lo, None if var_lo is None else amount * var_lo)
+        for var, amount in sorted(neg.items()):
+            x = state._index[var]
+            var_hi = state._m[x][0]
+            var_lo = None if state._m[0][x] is None else -state._m[0][x]
+            hi = _add_bound(hi, None if var_lo is None else amount * -var_lo)
+            lo = _add_bound(lo, None if var_hi is None else amount * -var_hi)
+        return lo, hi
+
+    def constraints(self) -> List[LinCons]:
+        state = self._close()
+        if state._bottom:
+            return [LinCons.le(LinExpr.constant(1), 0)]
+        out: List[LinCons] = []
+        n = state._dim()
+        names = ["0"] + state._vars
+        for i in range(n):
+            for j in range(n):
+                if i == j or state._m[i][j] is None:
+                    continue
+                bound = state._m[i][j]
+                if i == 0:
+                    expr = -LinExpr.var(names[j])
+                elif j == 0:
+                    expr = LinExpr.var(names[i])
+                else:
+                    expr = LinExpr.var(names[i]) - LinExpr.var(names[j])
+                out.append(LinCons.le(expr, bound))
+        return out
+
+    def __str__(self) -> str:
+        if self.is_bottom():
+            return "⊥"
+        cons = self.constraints()
+        return " ∧ ".join(str(c) for c in cons) if cons else "⊤"
+
+
+class ZoneDomain(Domain):
+    name = "zone"
+
+    def top(self, variables: Sequence[str] = ()) -> ZoneState:
+        return ZoneState(variables, closed=True)
+
+    def bottom(self, variables: Sequence[str] = ()) -> ZoneState:
+        return ZoneState(variables, None, bottom=True, closed=True)

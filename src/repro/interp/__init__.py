@@ -1,0 +1,7 @@
+"""Concrete interpreter: runtime values, timed traces, extern models."""
+
+from repro.interp.externs import ExternRegistry, default_registry
+from repro.interp.interp import Interpreter, RTArray
+from repro.interp.trace import Trace
+
+__all__ = ["Interpreter", "RTArray", "Trace", "ExternRegistry", "default_registry"]

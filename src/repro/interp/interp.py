@@ -1,0 +1,365 @@
+"""Concrete interpreter over the register IR.
+
+Executes a procedure's CFG with concrete values, recording the word of
+CFG edges traversed (the trace's trail word) and the accumulated cost in
+bytecode-instruction units (every IR instruction charges its ``weight``;
+extern calls charge their model's cost).  The resulting
+:class:`~repro.interp.trace.Trace` objects are exactly the π of the
+paper's formal development, which lets the test suite *empirically* check
+quotient partitions, trail membership and timing-channel verdicts.
+
+Runtime value model:
+
+* numbers are Python ints (arbitrary precision, so the BigInteger
+  benchmarks use plain ``int`` parameters);
+* arrays are :class:`RTArray` (a list plus element kind; byte arrays
+  store values mod 256);
+* ``null`` is ``None``.
+
+Division and modulus follow Java (truncate toward zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cfg.graph import ControlFlowGraph, Edge
+from repro.interp.externs import ExternRegistry, default_registry
+from repro.interp.trace import Trace
+from repro.ir import instr as ir
+from repro.lang import ast
+from repro.util.errors import FuelExhausted, InterpError
+
+Value = Union[int, "RTArray", None]
+
+
+class RTArray:
+    """A runtime array: element storage plus element kind."""
+
+    __slots__ = ("values", "elem")
+
+    def __init__(self, values: List[int], elem: ast.BaseType):
+        self.elem = elem
+        if elem is ast.BaseType.BYTE:
+            values = [v % 256 for v in values]
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, index: int) -> int:
+        if not 0 <= index < len(self.values):
+            raise InterpError(
+                "array index %d out of bounds [0, %d)" % (index, len(self.values))
+            )
+        return self.values[index]
+
+    def set(self, index: int, value: int) -> None:
+        if not 0 <= index < len(self.values):
+            raise InterpError(
+                "array index %d out of bounds [0, %d)" % (index, len(self.values))
+            )
+        if self.elem is ast.BaseType.BYTE:
+            value %= 256
+        self.values[index] = value
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.values)
+
+    def __repr__(self) -> str:
+        return "RTArray(%r, %s)" % (self.values, self.elem.value)
+
+
+def _java_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _java_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("modulus by zero")
+    return a - _java_div(a, b) * b
+
+
+_ARITH = {
+    ir.ArithOp.ADD: lambda a, b: a + b,
+    ir.ArithOp.SUB: lambda a, b: a - b,
+    ir.ArithOp.MUL: lambda a, b: a * b,
+    ir.ArithOp.DIV: _java_div,
+    ir.ArithOp.MOD: _java_mod,
+}
+
+_CMP = {
+    ir.CmpOp.LT: lambda a, b: a < b,
+    ir.CmpOp.LE: lambda a, b: a <= b,
+    ir.CmpOp.GT: lambda a, b: a > b,
+    ir.CmpOp.GE: lambda a, b: a >= b,
+}
+
+
+@dataclass
+class RunResult:
+    """Result of one interpreter run (before packaging into a Trace)."""
+
+    value: Value
+    cost: int
+    edges: Tuple[Edge, ...]
+
+
+class Interpreter:
+    """Executes procedures given their lifted CFGs.
+
+    ``fuel`` bounds the number of basic blocks executed across the whole
+    call tree, guarding against nontermination.
+    """
+
+    def __init__(
+        self,
+        cfgs: Dict[str, ControlFlowGraph],
+        externs: Optional[ExternRegistry] = None,
+        fuel: int = 1_000_000,
+    ):
+        self._cfgs = cfgs
+        self._externs = externs if externs is not None else default_registry()
+        self._fuel = fuel
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, proc: str, args: Union[Sequence[object], Dict[str, object]]) -> Trace:
+        """Run ``proc`` on ``args`` and package the result as a Trace."""
+        cfg = self._cfg(proc)
+        arg_map = self._bind_args(cfg, args)
+        budget = [self._fuel]
+        result = self._execute(cfg, dict(arg_map), budget, record_edges=True)
+        levels = {p.name: p.level for p in cfg.params}
+        inputs = {
+            name: value.snapshot() if isinstance(value, RTArray) else value
+            for name, value in arg_map.items()
+        }
+        packaged = (
+            result.value.snapshot() if isinstance(result.value, RTArray) else result.value
+        )
+        return Trace.make(proc, inputs, levels, result.edges, result.cost, packaged)
+
+    def time_of(self, proc: str, args: Union[Sequence[object], Dict[str, object]]) -> int:
+        """Just the running time (paper's time(π))."""
+        return self.run(proc, args).time
+
+    # -- internals ------------------------------------------------------------------
+
+    def _cfg(self, proc: str) -> ControlFlowGraph:
+        cfg = self._cfgs.get(proc)
+        if cfg is None:
+            raise InterpError("no CFG for procedure %r" % proc)
+        return cfg
+
+    def _bind_args(
+        self, cfg: ControlFlowGraph, args: Union[Sequence[object], Dict[str, object]]
+    ) -> Dict[str, Value]:
+        if isinstance(args, dict):
+            missing = [p.name for p in cfg.params if p.name not in args]
+            if missing:
+                raise InterpError("missing arguments: %s" % ", ".join(missing))
+            items = [(p, args[p.name]) for p in cfg.params]
+        else:
+            if len(args) != len(cfg.params):
+                raise InterpError(
+                    "%s expects %d arguments, got %d"
+                    % (cfg.name, len(cfg.params), len(args))
+                )
+            items = list(zip(cfg.params, args))
+        bound: Dict[str, Value] = {}
+        for param, raw in items:
+            bound[param.name] = self._coerce(raw, param.declared, param.name)
+        return bound
+
+    def _coerce(self, raw: object, declared: ast.Type, who: str) -> Value:
+        if declared.is_array:
+            if raw is None:
+                return None
+            if isinstance(raw, RTArray):
+                return raw
+            if isinstance(raw, (list, tuple)):
+                return RTArray([int(v) for v in raw], declared.base)
+            if isinstance(raw, (str, bytes)):
+                seq = [ord(c) for c in raw] if isinstance(raw, str) else list(raw)
+                return RTArray(seq, declared.base)
+            raise InterpError("argument %r: expected an array, got %r" % (who, raw))
+        if isinstance(raw, bool):
+            return 1 if raw else 0
+        if isinstance(raw, int):
+            if declared.base is ast.BaseType.UINT and raw < 0:
+                raise InterpError("argument %r: uint cannot be negative" % who)
+            return raw
+        raise InterpError("argument %r: expected an int, got %r" % (who, raw))
+
+    def _execute(
+        self,
+        cfg: ControlFlowGraph,
+        regs: Dict[str, Value],
+        budget: List[int],
+        record_edges: bool,
+    ) -> RunResult:
+        cost = 0
+        edges: List[Edge] = []
+        current = cfg.entry
+        while True:
+            if budget[0] <= 0:
+                raise FuelExhausted(
+                    "fuel exhausted in %s (possible nontermination)" % cfg.name
+                )
+            budget[0] -= 1
+            block = cfg.blocks[current]
+            for instr in block.instrs:
+                cost += instr.weight
+                cost += self._step(cfg, instr, regs, budget)
+            term = block.term
+            if term is None:
+                raise InterpError("%s: fell into the exit block" % cfg.name)
+            cost += term.weight
+            if isinstance(term, ir.Return):
+                value = self._operand(term.value, regs) if term.value is not None else None
+                if record_edges:
+                    edges.append((current, cfg.exit_id))
+                return RunResult(value, cost, tuple(edges))
+            if isinstance(term, ir.Jump):
+                nxt = term.target
+            elif isinstance(term, ir.Branch):
+                cond = self._operand(term.cond, regs)
+                if not isinstance(cond, int):
+                    raise InterpError("%s: branching on non-int %r" % (cfg.name, cond))
+                nxt = term.on_true if cond != 0 else term.on_false
+            else:  # pragma: no cover
+                raise InterpError("unknown terminator %r" % type(term).__name__)
+            if record_edges:
+                edges.append((current, nxt))
+            current = nxt
+
+    def _operand(self, operand: ir.Operand, regs: Dict[str, Value]) -> Value:
+        if isinstance(operand, ir.Reg):
+            if operand.name not in regs:
+                raise InterpError("read of undefined register %r" % operand.name)
+            return regs[operand.name]
+        if isinstance(operand, ir.ConstInt):
+            return operand.value
+        if isinstance(operand, ir.ConstNull):
+            return None
+        if isinstance(operand, ir.ConstArr):
+            return RTArray(list(operand.values), ast.BaseType.BYTE)
+        raise InterpError("unknown operand %r" % (operand,))
+
+    def _int(self, value: Value, what: str) -> int:
+        if not isinstance(value, int):
+            raise InterpError("%s: expected int, got %r" % (what, value))
+        return value
+
+    def _array(self, value: Value, what: str) -> RTArray:
+        if value is None:
+            raise InterpError("%s: null array dereference" % what)
+        if not isinstance(value, RTArray):
+            raise InterpError("%s: expected array, got %r" % (what, value))
+        return value
+
+    def _step(
+        self,
+        cfg: ControlFlowGraph,
+        instr: ir.Instr,
+        regs: Dict[str, Value],
+        budget: List[int],
+    ) -> int:
+        """Execute one instruction; returns any *extra* cost (call bodies)."""
+        if isinstance(instr, ir.Assign):
+            regs[instr.dst.name] = self._operand(instr.src, regs)
+            return 0
+        if isinstance(instr, ir.BinInstr):
+            a = self._int(self._operand(instr.a, regs), "arith lhs")
+            b = self._int(self._operand(instr.b, regs), "arith rhs")
+            regs[instr.dst.name] = _ARITH[instr.op](a, b)
+            return 0
+        if isinstance(instr, ir.CmpInstr):
+            a = self._operand(instr.a, regs)
+            b = self._operand(instr.b, regs)
+            if instr.op in _CMP:
+                result = _CMP[instr.op](
+                    self._int(a, "cmp lhs"), self._int(b, "cmp rhs")
+                )
+            else:
+                equal = self._ref_equal(a, b)
+                result = equal if instr.op is ir.CmpOp.EQ else not equal
+            regs[instr.dst.name] = 1 if result else 0
+            return 0
+        if isinstance(instr, ir.UnInstr):
+            a = self._int(self._operand(instr.a, regs), "unary operand")
+            regs[instr.dst.name] = -a if instr.op == "neg" else (0 if a != 0 else 1)
+            return 0
+        if isinstance(instr, ir.ALoad):
+            arr = self._array(self._operand(instr.arr, regs), "aload")
+            idx = self._int(self._operand(instr.idx, regs), "aload index")
+            regs[instr.dst.name] = arr.get(idx)
+            return 0
+        if isinstance(instr, ir.AStore):
+            arr = self._array(self._operand(instr.arr, regs), "astore")
+            idx = self._int(self._operand(instr.idx, regs), "astore index")
+            val = self._int(self._operand(instr.val, regs), "astore value")
+            arr.set(idx, val)
+            return 0
+        if isinstance(instr, ir.NewArr):
+            size = self._int(self._operand(instr.size, regs), "array size")
+            if size < 0:
+                raise InterpError("negative array size %d" % size)
+            regs[instr.dst.name] = RTArray([0] * size, instr.elem)
+            return 0
+        if isinstance(instr, ir.ArrLen):
+            arr = self._array(self._operand(instr.arr, regs), "len")
+            regs[instr.dst.name] = len(arr)
+            return 0
+        if isinstance(instr, ir.CallInstr):
+            return self._call(cfg, instr, regs, budget)
+        raise InterpError("unknown instruction %r" % type(instr).__name__)
+
+    def _ref_equal(self, a: Value, b: Value) -> bool:
+        if a is None or b is None:
+            return a is None and b is None
+        if isinstance(a, RTArray) and isinstance(b, RTArray):
+            return a is b
+        if isinstance(a, int) and isinstance(b, int):
+            return a == b
+        raise InterpError("equality between %r and %r" % (a, b))
+
+    def _call(
+        self,
+        cfg: ControlFlowGraph,
+        instr: ir.CallInstr,
+        regs: Dict[str, Value],
+        budget: List[int],
+    ) -> int:
+        args = [self._operand(a, regs) for a in instr.args]
+        if instr.callee in self._cfgs:
+            callee = self._cfgs[instr.callee]
+            if len(args) != len(callee.params):
+                raise InterpError("arity mismatch calling %r" % instr.callee)
+            frame = {
+                p.name: self._coerce(
+                    a.values if isinstance(a, RTArray) else a, p.declared, p.name
+                )
+                if not isinstance(a, RTArray)
+                else a  # pass arrays by reference (Java semantics)
+                for p, a in zip(callee.params, args)
+            }
+            result = self._execute(callee, frame, budget, record_edges=False)
+            if instr.dst is not None:
+                regs[instr.dst.name] = result.value
+            return result.cost
+        model = self._externs.resolve(instr.callee)
+        plain_args = [a.values if isinstance(a, RTArray) else a for a in args]
+        value, extern_cost = model.impl(plain_args)
+        if instr.dst is not None:
+            if isinstance(value, list):
+                value = RTArray(value, ast.BaseType.BYTE)
+            elif isinstance(value, bool):
+                value = 1 if value else 0
+            regs[instr.dst.name] = value
+        return extern_cost

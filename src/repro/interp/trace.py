@@ -1,0 +1,89 @@
+"""Execution traces: the π objects of the paper's formalization.
+
+A trace records the inputs that produced it, the word of CFG edges it
+traversed, its running time (bytecode instruction count under the
+paper's one-unit-per-instruction machine model) and its result.  The
+k-safety machinery in :mod:`repro.core.ksafety` and the property tests
+consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cfg.graph import Edge
+from repro.lang import ast
+
+
+def _freeze(value: object) -> object:
+    """Deep-freeze a runtime value so inputs are hashable."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One terminating execution of a procedure."""
+
+    proc: str
+    inputs: Tuple[Tuple[str, object], ...]
+    levels: Tuple[Tuple[str, ast.SecLevel], ...]
+    edges: Tuple[Edge, ...]
+    time: int
+    result: object = None
+
+    @staticmethod
+    def make(
+        proc: str,
+        inputs: Dict[str, object],
+        levels: Dict[str, ast.SecLevel],
+        edges: Tuple[Edge, ...],
+        time: int,
+        result: object = None,
+    ) -> "Trace":
+        return Trace(
+            proc=proc,
+            inputs=tuple(sorted((k, _freeze(v)) for k, v in inputs.items())),
+            levels=tuple(sorted(levels.items())),
+            edges=edges,
+            time=time,
+            result=_freeze(result),
+        )
+
+    # -- the in(π)[·] selectors of the paper ----------------------------------
+
+    def input(self, name: str) -> object:
+        for key, value in self.inputs:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def _by_level(self, level: ast.SecLevel) -> Tuple[Tuple[str, object], ...]:
+        levels = dict(self.levels)
+        return tuple(
+            (k, v) for k, v in self.inputs if levels.get(k, ast.SecLevel.PUBLIC) is level
+        )
+
+    @property
+    def low_inputs(self) -> Tuple[Tuple[str, object], ...]:
+        """``in(π)[low]`` — the public projection of the inputs."""
+        return self._by_level(ast.SecLevel.PUBLIC)
+
+    @property
+    def high_inputs(self) -> Tuple[Tuple[str, object], ...]:
+        """``in(π)[high]`` — the secret projection of the inputs."""
+        return self._by_level(ast.SecLevel.SECRET)
+
+    def low_equivalent(self, other: "Trace") -> bool:
+        """The quotient predicate ψ_tcf: equal public inputs."""
+        return self.low_inputs == other.low_inputs
+
+    def __str__(self) -> str:
+        return "Trace(%s, time=%d, low=%s, high=%s)" % (
+            self.proc,
+            self.time,
+            dict(self.low_inputs),
+            dict(self.high_inputs),
+        )

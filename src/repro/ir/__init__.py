@@ -1,0 +1,24 @@
+"""Register IR and the bytecode-to-IR lifter.
+
+The lift functions are re-exported lazily: ``repro.cfg.graph`` imports
+``repro.ir.instr`` while ``repro.ir.lift`` imports ``repro.cfg.graph``,
+so an eager import here would close an import cycle.
+"""
+
+from repro.ir import instr
+
+__all__ = ["instr", "lift_code", "lift_module"]
+
+
+def lift_code(code, module=None):
+    """Lift one verified code object into a CFG of register IR."""
+    from repro.ir.lift import lift_code as _lift_code
+
+    return _lift_code(code, module)
+
+
+def lift_module(module):
+    """Lift every code object of a verified module."""
+    from repro.ir.lift import lift_module as _lift_module
+
+    return _lift_module(module)

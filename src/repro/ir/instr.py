@@ -1,0 +1,352 @@
+"""Register-based intermediate representation.
+
+This IR plays the role WALA's SSA IR plays for Blazer: a register-machine
+view of the bytecode that the static analyses (taint, abstract
+interpretation, bound analysis) and the concrete interpreter consume.
+
+Every instruction carries a ``weight``: the number of *bytecode*
+instructions it absorbs.  The paper's machine model charges one time unit
+per bytecode instruction; summing weights along an execution path yields
+exactly the bytecode instruction count, so the static bound analysis and
+the concrete interpreter agree on the cost semantics to the unit.
+
+Operands are registers or constants.  Register names are meaningful:
+source-level locals keep their names, stack temporaries are ``t<n>``, and
+cross-block stack slots are ``s<depth>``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.lang import ast
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstInt:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ConstNull:
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class ConstArr:
+    """A constant byte array (from a string literal)."""
+
+    values: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return "arr%s" % (list(self.values),)
+
+
+Operand = Union[Reg, ConstInt, ConstNull, ConstArr]
+
+
+def operand_regs(operand: Operand) -> List[Reg]:
+    return [operand] if isinstance(operand, Reg) else []
+
+
+# ---------------------------------------------------------------------------
+# Straight-line instructions
+# ---------------------------------------------------------------------------
+
+
+class ArithOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+
+
+class CmpOp(enum.Enum):
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+    def negate(self) -> "CmpOp":
+        return _CMP_NEGATE[self]
+
+    def swap(self) -> "CmpOp":
+        """The comparison with operands swapped: ``a < b`` iff ``b > a``."""
+        return _CMP_SWAP[self]
+
+
+_CMP_NEGATE = {
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.GE: CmpOp.LT,
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+}
+_CMP_SWAP = {
+    CmpOp.LT: CmpOp.GT,
+    CmpOp.LE: CmpOp.GE,
+    CmpOp.GT: CmpOp.LT,
+    CmpOp.GE: CmpOp.LE,
+    CmpOp.EQ: CmpOp.EQ,
+    CmpOp.NE: CmpOp.NE,
+}
+
+
+@dataclass
+class Instr:
+    """Base class for straight-line IR instructions."""
+
+    weight: int = field(default=1, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+
+    def defs(self) -> List[Reg]:
+        return []
+
+    def uses(self) -> List[Reg]:
+        return []
+
+
+@dataclass
+class Assign(Instr):
+    """``dst = src`` (a move or constant load)."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    src: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.src)
+
+    def __str__(self) -> str:
+        return "%s = %s" % (self.dst, self.src)
+
+
+@dataclass
+class BinInstr(Instr):
+    """``dst = a op b`` for arithmetic ops."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    op: ArithOp = ArithOp.ADD
+    a: Operand = None  # type: ignore[assignment]
+    b: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.a) + operand_regs(self.b)
+
+    def __str__(self) -> str:
+        return "%s = %s %s %s" % (self.dst, self.a, self.op.value, self.b)
+
+
+@dataclass
+class CmpInstr(Instr):
+    """``dst = a cmp b`` producing 0/1."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    op: CmpOp = CmpOp.EQ
+    a: Operand = None  # type: ignore[assignment]
+    b: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.a) + operand_regs(self.b)
+
+    def __str__(self) -> str:
+        return "%s = %s %s %s" % (self.dst, self.a, self.op.value, self.b)
+
+
+@dataclass
+class UnInstr(Instr):
+    """``dst = op a`` for ``-`` (neg) and ``!`` (not)."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    op: str = "neg"
+    a: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.a)
+
+    def __str__(self) -> str:
+        sym = "-" if self.op == "neg" else "!"
+        return "%s = %s%s" % (self.dst, sym, self.a)
+
+
+@dataclass
+class ALoad(Instr):
+    """``dst = arr[idx]``."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    arr: Operand = None  # type: ignore[assignment]
+    idx: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.arr) + operand_regs(self.idx)
+
+    def __str__(self) -> str:
+        return "%s = %s[%s]" % (self.dst, self.arr, self.idx)
+
+
+@dataclass
+class AStore(Instr):
+    """``arr[idx] = val``."""
+
+    arr: Operand = None  # type: ignore[assignment]
+    idx: Operand = None  # type: ignore[assignment]
+    val: Operand = None  # type: ignore[assignment]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.arr) + operand_regs(self.idx) + operand_regs(self.val)
+
+    def __str__(self) -> str:
+        return "%s[%s] = %s" % (self.arr, self.idx, self.val)
+
+
+@dataclass
+class NewArr(Instr):
+    """``dst = new <elem>[size]`` zero-initialized."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    size: Operand = None  # type: ignore[assignment]
+    elem: ast.BaseType = ast.BaseType.INT
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.size)
+
+    def __str__(self) -> str:
+        return "%s = new %s[%s]" % (self.dst, self.elem.value, self.size)
+
+
+@dataclass
+class ArrLen(Instr):
+    """``dst = len(arr)``."""
+
+    dst: Reg = None  # type: ignore[assignment]
+    arr: Operand = None  # type: ignore[assignment]
+
+    def defs(self) -> List[Reg]:
+        return [self.dst]
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.arr)
+
+    def __str__(self) -> str:
+        return "%s = len(%s)" % (self.dst, self.arr)
+
+
+@dataclass
+class CallInstr(Instr):
+    """``dst = callee(args)``; ``dst`` is None for void calls."""
+
+    dst: Optional[Reg] = None
+    callee: str = ""
+    args: Sequence[Operand] = field(default_factory=tuple)
+
+    def defs(self) -> List[Reg]:
+        return [self.dst] if self.dst is not None else []
+
+    def uses(self) -> List[Reg]:
+        out: List[Reg] = []
+        for arg in self.args:
+            out.extend(operand_regs(arg))
+        return out
+
+    def __str__(self) -> str:
+        call = "%s(%s)" % (self.callee, ", ".join(str(a) for a in self.args))
+        return call if self.dst is None else "%s = %s" % (self.dst, call)
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Terminator:
+    weight: int = field(default=1, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+
+    def uses(self) -> List[Reg]:
+        return []
+
+    def successors(self) -> List[int]:
+        return []
+
+
+@dataclass
+class Jump(Terminator):
+    target: int = 0
+
+    def successors(self) -> List[int]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return "jump b%d" % self.target
+
+
+@dataclass
+class Branch(Terminator):
+    """``if cond != 0 goto on_true else on_false``."""
+
+    cond: Operand = None  # type: ignore[assignment]
+    on_true: int = 0
+    on_false: int = 0
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.cond)
+
+    def successors(self) -> List[int]:
+        return [self.on_true, self.on_false]
+
+    def __str__(self) -> str:
+        return "branch %s ? b%d : b%d" % (self.cond, self.on_true, self.on_false)
+
+
+@dataclass
+class Return(Terminator):
+    value: Optional[Operand] = None
+
+    def uses(self) -> List[Reg]:
+        return operand_regs(self.value) if self.value is not None else []
+
+    def __str__(self) -> str:
+        return "return" if self.value is None else "return %s" % self.value

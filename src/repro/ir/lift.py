@@ -1,0 +1,377 @@
+"""Bytecode-to-IR lifter (the WALA analogue of the pipeline).
+
+Lifts stack bytecode into the register IR by abstract interpretation of
+the operand stack: each basic block is entered with a stack of *stack
+registers* ``s0..s(h-1)`` (``h`` from a stack-height fixpoint), pushes are
+tracked symbolically, and values still on the stack at a block boundary
+are materialized back into the stack registers so that merge points agree.
+
+Correctness subtleties handled here:
+
+* a ``STORE x`` while ``x`` is still referenced by pending stack operands
+  first materializes those operands into temporaries (otherwise the stale
+  stack value would observe the new ``x``);
+* boundary materialization pre-copies any stack register that is both
+  overwritten and read by the pending writes;
+* every bytecode instruction's unit cost is absorbed into the ``weight``
+  of exactly one emitted IR instruction inside the same basic block, so
+  path costs in the IR equal bytecode instruction counts exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode.instructions import CodeObject, Instr as BInstr, Module, Opcode
+from repro.cfg.graph import Block, ControlFlowGraph, ParamInfo
+from repro.ir import instr as ir
+from repro.lang import ast
+from repro.util.errors import LiftError
+
+_ARITH = {
+    Opcode.ADD: ir.ArithOp.ADD,
+    Opcode.SUB: ir.ArithOp.SUB,
+    Opcode.MUL: ir.ArithOp.MUL,
+    Opcode.DIV: ir.ArithOp.DIV,
+    Opcode.MOD: ir.ArithOp.MOD,
+}
+_CMP = {
+    Opcode.CMPLT: ir.CmpOp.LT,
+    Opcode.CMPLE: ir.CmpOp.LE,
+    Opcode.CMPGT: ir.CmpOp.GT,
+    Opcode.CMPGE: ir.CmpOp.GE,
+    Opcode.CMPEQ: ir.CmpOp.EQ,
+    Opcode.CMPNE: ir.CmpOp.NE,
+}
+
+
+def _find_leaders(code: CodeObject) -> List[int]:
+    leaders: Set[int] = {0}
+    for pc, instr in enumerate(code.instrs):
+        if instr.op in (Opcode.GOTO, Opcode.IFNZ, Opcode.IFZ):
+            leaders.add(int(instr.arg))  # type: ignore[arg-type]
+        if instr.is_terminator and pc + 1 < len(code.instrs):
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def _entry_heights(code: CodeObject, leaders: List[int]) -> Dict[int, int]:
+    """Stack height at each pc (the verifier guarantees consistency)."""
+    heights: Dict[int, int] = {0: 0}
+    worklist = [0]
+    n = len(code.instrs)
+    while worklist:
+        pc = worklist.pop()
+        h = heights[pc]
+        instr = code.instrs[pc]
+        out = h + instr.stack_delta()
+        if out < 0:
+            raise LiftError("%s: stack underflow at pc %d" % (code.name, pc))
+        if instr.op is Opcode.GOTO:
+            succs = [int(instr.arg)]  # type: ignore[list-item]
+        elif instr.op in (Opcode.IFNZ, Opcode.IFZ):
+            succs = [pc + 1, int(instr.arg)]  # type: ignore[list-item]
+        elif instr.op in (Opcode.RET, Opcode.RETVAL):
+            succs = []
+        else:
+            succs = [pc + 1] if pc + 1 < n else []
+        for succ in succs:
+            if succ in heights:
+                if heights[succ] != out:
+                    raise LiftError(
+                        "%s: inconsistent stack heights at pc %d (%d vs %d)"
+                        % (code.name, succ, heights[succ], out)
+                    )
+            else:
+                heights[succ] = out
+                worklist.append(succ)
+    return {pc: h for pc, h in heights.items() if pc in leaders}
+
+
+class _Lifter:
+    def __init__(self, code: CodeObject, module: Optional[Module] = None):
+        self._code = code
+        self._module = module
+        self._temp_counter = 0
+        self._reg_kinds: Dict[str, str] = {}
+        for var in code.all_locals():
+            self._reg_kinds[var.name] = "arr" if var.declared.is_array else "int"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh_temp(self, kind: str) -> ir.Reg:
+        name = "t%d" % self._temp_counter
+        self._temp_counter += 1
+        self._reg_kinds[name] = kind
+        return ir.Reg(name)
+
+    def _sreg(self, depth: int, kind: str = "int") -> ir.Reg:
+        name = "s%d" % depth
+        if name not in self._reg_kinds:
+            self._reg_kinds[name] = kind
+        return ir.Reg(name)
+
+    def _operand_kind(self, operand: ir.Operand) -> str:
+        if isinstance(operand, ir.Reg):
+            return self._reg_kinds.get(operand.name, "int")
+        if isinstance(operand, (ir.ConstNull, ir.ConstArr)):
+            return "arr"
+        return "int"
+
+    def _callee_kind(self, callee: str) -> str:
+        if self._module is not None:
+            if callee in self._module.codes:
+                return "arr" if self._module.codes[callee].ret.is_array else "int"
+            decl = self._module.externs.get(callee)
+            if decl is not None:
+                return "arr" if decl.ret.is_array else "int"
+        return "int"
+
+    # -- the main lifting loop ---------------------------------------------------
+
+    def lift(self) -> ControlFlowGraph:
+        code = self._code
+        leaders = _find_leaders(code)
+        heights = _entry_heights(code, leaders)
+        block_of_pc = {pc: i for i, pc in enumerate(leaders)}
+        blocks: Dict[int, Block] = {}
+        exit_id = len(leaders)
+
+        for index, leader in enumerate(leaders):
+            end = leaders[index + 1] if index + 1 < len(leaders) else len(code.instrs)
+            if leader not in heights:
+                # Unreachable block (e.g. the dead trailing RET the compiler
+                # appends after a fully-returning body): keep the CFG total
+                # by emitting an empty block that falls through nowhere.
+                blocks[index] = Block(index, [], ir.Return(value=None, weight=0))
+                continue
+            blocks[index] = self._lift_block(
+                index, leader, end, heights[leader], block_of_pc
+            )
+
+        blocks[exit_id] = Block(exit_id, [], None)
+        params = [
+            ParamInfo(p.name, p.declared, p.level or ast.SecLevel.PUBLIC)
+            for p in code.params
+        ]
+        cfg = ControlFlowGraph(
+            name=code.name,
+            params=params,
+            ret=code.ret,
+            blocks=blocks,
+            entry=0,
+            exit_id=exit_id,
+        )
+        cfg.reg_kinds = dict(self._reg_kinds)
+        return cfg
+
+    def _lift_block(
+        self,
+        block_id: int,
+        leader: int,
+        end: int,
+        entry_height: int,
+        block_of_pc: Dict[int, int],
+    ) -> Block:
+        code = self._code
+        out: List[ir.Instr] = []
+        stack: List[ir.Operand] = [self._sreg(d) for d in range(entry_height)]
+        pending = 0  # bytecode instructions absorbed by the next IR instruction
+
+        def emit(instr: ir.Instr, extra_cost: int = 1) -> None:
+            nonlocal pending
+            instr.weight = pending + extra_cost
+            pending = 0
+            out.append(instr)
+
+        def pop() -> ir.Operand:
+            if not stack:
+                raise LiftError("%s: pc underflow in b%d" % (code.name, block_id))
+            return stack.pop()
+
+        def flush_boundary() -> None:
+            """Materialize remaining stack values into s-registers."""
+            writes: List[Tuple[int, ir.Operand]] = []
+            for depth, operand in enumerate(stack):
+                sreg = self._sreg(depth, self._operand_kind(operand))
+                self._reg_kinds[sreg.name] = self._operand_kind(operand)
+                if operand != sreg:
+                    writes.append((depth, operand))
+            overwritten = {"s%d" % d for d, _ in writes}
+            # Pre-copy any s-register that is both read and overwritten.
+            precopies: Dict[str, ir.Reg] = {}
+            for depth, operand in writes:
+                if (
+                    isinstance(operand, ir.Reg)
+                    and operand.name in overwritten
+                    and operand.name != "s%d" % depth
+                    and operand.name not in precopies
+                ):
+                    temp = self._fresh_temp(self._operand_kind(operand))
+                    out_instr = ir.Assign(dst=temp, src=operand)
+                    out_instr.weight = 0
+                    out.append(out_instr)
+                    precopies[operand.name] = temp
+            for depth, operand in writes:
+                if isinstance(operand, ir.Reg) and operand.name in precopies:
+                    operand = precopies[operand.name]
+                assign = ir.Assign(dst=self._sreg(depth), src=operand)
+                assign.weight = 0
+                out.append(assign)
+
+        def materialize_uses_of(reg_name: str) -> None:
+            """Copy stack operands reading ``reg_name`` into temporaries."""
+            for depth, operand in enumerate(stack):
+                if isinstance(operand, ir.Reg) and operand.name == reg_name:
+                    temp = self._fresh_temp(self._operand_kind(operand))
+                    copy = ir.Assign(dst=temp, src=operand)
+                    copy.weight = 0
+                    out.append(copy)
+                    stack[depth] = temp
+
+        term: Optional[ir.Terminator] = None
+        for pc in range(leader, end):
+            binstr: BInstr = code.instrs[pc]
+            line = code.source_lines.get(pc, 0)
+            op = binstr.op
+            if op is Opcode.PUSH:
+                if isinstance(binstr.arg, tuple):
+                    stack.append(ir.ConstArr(binstr.arg))
+                else:
+                    stack.append(ir.ConstInt(int(binstr.arg)))  # type: ignore[arg-type]
+                pending += 1
+            elif op is Opcode.PUSH_NULL:
+                stack.append(ir.ConstNull())
+                pending += 1
+            elif op is Opcode.LOAD:
+                stack.append(ir.Reg(code.slot_name(int(binstr.arg))))  # type: ignore[arg-type]
+                pending += 1
+            elif op is Opcode.STORE:
+                value = pop()
+                name = code.slot_name(int(binstr.arg))  # type: ignore[arg-type]
+                materialize_uses_of(name)
+                emit(ir.Assign(dst=ir.Reg(name), src=value, line=line))
+            elif op is Opcode.ALOAD:
+                idx = pop()
+                arr = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.ALoad(dst=dst, arr=arr, idx=idx, line=line))
+                stack.append(dst)
+            elif op is Opcode.ASTORE:
+                value = pop()
+                idx = pop()
+                arr = pop()
+                emit(ir.AStore(arr=arr, idx=idx, val=value, line=line))
+            elif op is Opcode.NEWARRAY:
+                size = pop()
+                dst = self._fresh_temp("arr")
+                emit(ir.NewArr(dst=dst, size=size, elem=binstr.arg, line=line))  # type: ignore[arg-type]
+                stack.append(dst)
+            elif op is Opcode.ARRAYLEN:
+                arr = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.ArrLen(dst=dst, arr=arr, line=line))
+                stack.append(dst)
+            elif op in _ARITH:
+                b = pop()
+                a = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.BinInstr(dst=dst, op=_ARITH[op], a=a, b=b, line=line))
+                stack.append(dst)
+            elif op in _CMP:
+                b = pop()
+                a = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.CmpInstr(dst=dst, op=_CMP[op], a=a, b=b, line=line))
+                stack.append(dst)
+            elif op is Opcode.NEG:
+                a = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.UnInstr(dst=dst, op="neg", a=a, line=line))
+                stack.append(dst)
+            elif op is Opcode.NOT:
+                a = pop()
+                dst = self._fresh_temp("int")
+                emit(ir.UnInstr(dst=dst, op="not", a=a, line=line))
+                stack.append(dst)
+            elif op is Opcode.POP:
+                pop()
+                pending += 1
+            elif op is Opcode.DUP:
+                top = pop()
+                if not isinstance(top, ir.Reg):
+                    stack.append(top)
+                    stack.append(top)
+                else:
+                    stack.append(top)
+                    stack.append(top)
+                pending += 1
+            elif op is Opcode.NOP:
+                pending += 1
+            elif op is Opcode.INVOKE:
+                args = [pop() for _ in range(binstr.argc)][::-1]
+                dst = (
+                    self._fresh_temp(self._callee_kind(binstr.callee))
+                    if binstr.has_result
+                    else None
+                )
+                emit(
+                    ir.CallInstr(dst=dst, callee=binstr.callee, args=tuple(args), line=line)
+                )
+                if dst is not None:
+                    stack.append(dst)
+            elif op is Opcode.GOTO:
+                flush_boundary()
+                term = ir.Jump(target=block_of_pc[int(binstr.arg)], weight=pending + 1, line=line)  # type: ignore[arg-type]
+                pending = 0
+            elif op in (Opcode.IFNZ, Opcode.IFZ):
+                cond = pop()
+                if isinstance(cond, ir.Reg) and cond.name.startswith("s"):
+                    # Boundary materialization below may overwrite stack
+                    # registers; keep the condition in a safe temporary.
+                    safe = self._fresh_temp(self._operand_kind(cond))
+                    copy = ir.Assign(dst=safe, src=cond)
+                    copy.weight = 0
+                    out.append(copy)
+                    cond = safe
+                flush_boundary()
+                target = block_of_pc[int(binstr.arg)]  # type: ignore[arg-type]
+                fall = block_of_pc[end] if end in block_of_pc else -1
+                if fall < 0:
+                    raise LiftError("%s: branch at pc %d has no fallthrough" % (code.name, pc))
+                if op is Opcode.IFNZ:
+                    term = ir.Branch(
+                        cond=cond, on_true=target, on_false=fall, weight=pending + 1, line=line
+                    )
+                else:
+                    term = ir.Branch(
+                        cond=cond, on_true=fall, on_false=target, weight=pending + 1, line=line
+                    )
+                pending = 0
+            elif op is Opcode.RET:
+                term = ir.Return(value=None, weight=pending + 1, line=line)
+                pending = 0
+            elif op is Opcode.RETVAL:
+                value = pop()
+                term = ir.Return(value=value, weight=pending + 1, line=line)
+                pending = 0
+            else:  # pragma: no cover
+                raise LiftError("%s: cannot lift opcode %s" % (code.name, op))
+
+        if term is None:
+            # Fallthrough into the next block.
+            flush_boundary()
+            if end not in block_of_pc:
+                raise LiftError("%s: block b%d falls off the end" % (code.name, block_id))
+            term = ir.Jump(target=block_of_pc[end], weight=pending)
+        return Block(block_id, out, term)
+
+
+def lift_code(code: CodeObject, module: Optional[Module] = None) -> ControlFlowGraph:
+    """Lift one verified code object into a CFG of register IR."""
+    return _Lifter(code, module).lift()
+
+
+def lift_module(module: Module) -> Dict[str, ControlFlowGraph]:
+    """Lift every code object of a verified module."""
+    return {name: lift_code(code, module) for name, code in module.codes.items()}

@@ -1,0 +1,18 @@
+"""Language front-end: AST, lexer, parser, type checker, pretty-printer."""
+
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import format_expr, format_program
+from repro.lang.typecheck import check_program
+
+__all__ = [
+    "parse_program",
+    "parse_expr",
+    "check_program",
+    "format_program",
+    "format_expr",
+]
+
+
+def frontend(source: str):
+    """Parse and type check ``source``, returning the checked Program."""
+    return check_program(parse_program(source))

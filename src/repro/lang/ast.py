@@ -1,0 +1,348 @@
+"""Abstract syntax for the repro input language.
+
+The input language is a small Java-like imperative language, rich enough
+to express every benchmark from the paper (password checks, modular
+exponentiation drivers, the STAC fragments, the hand-crafted micro
+benchmarks).  Procedures carry ``public`` / ``secret`` qualifiers on their
+parameters; these qualifiers seed the taint analysis exactly as JOANA's
+source/sink annotations seeded Blazer.
+
+Programs consist of:
+
+* ``extern`` declarations — library procedures (e.g. ``md5`` or the
+  ``BigInteger`` arithmetic used by the STAC modPow benchmarks) with no
+  body.  Their running-time summaries are supplied separately (see
+  :mod:`repro.bounds.summaries`), mirroring Blazer's manually-specified
+  bound summaries for interprocedural calls.
+* ``proc`` definitions — ordinary procedures with bodies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.util.source import UNKNOWN_SPAN, Span
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class BaseType(enum.Enum):
+    """Scalar base types of the language.
+
+    ``uint`` is the paper's unsigned integer (Example 1 declares
+    ``uint low``): it behaves as ``int`` but is known non-negative, which
+    the bound analysis exploits when clamping loop lower bounds.
+    """
+
+    INT = "int"
+    UINT = "uint"
+    BYTE = "byte"
+    BOOL = "bool"
+    VOID = "void"
+
+
+@dataclass(frozen=True)
+class Type:
+    """A language type: a scalar base type, optionally an array of it.
+
+    ``Type(BaseType.INT, is_array=True)`` is ``int[]``.  ``byte`` behaves
+    as ``int`` arithmetically; string literals have type ``byte[]``.
+    """
+
+    base: BaseType
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return self.base.value + ("[]" if self.is_array else "")
+
+    @property
+    def element(self) -> "Type":
+        if not self.is_array:
+            raise ValueError("element type of non-array %s" % self)
+        return Type(self.base)
+
+    @property
+    def is_numeric(self) -> bool:
+        return not self.is_array and self.base in (
+            BaseType.INT,
+            BaseType.UINT,
+            BaseType.BYTE,
+        )
+
+
+INT = Type(BaseType.INT)
+UINT = Type(BaseType.UINT)
+BYTE = Type(BaseType.BYTE)
+BOOL = Type(BaseType.BOOL)
+VOID = Type(BaseType.VOID)
+INT_ARRAY = Type(BaseType.INT, True)
+BYTE_ARRAY = Type(BaseType.BYTE, True)
+
+
+class SecLevel(enum.Enum):
+    """Security level of a procedure parameter.
+
+    ``PUBLIC`` data is attacker-controlled/observable ("low" in the
+    paper); ``SECRET`` data is confidential ("high").
+    """
+
+    PUBLIC = "public"
+    SECRET = "secret"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of all expressions.
+
+    ``ty`` is filled in by the type checker; it is ``None`` on freshly
+    parsed trees.
+    """
+
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+    ty: Optional[Type] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    """The ``null`` array reference (used by the login benchmarks)."""
+
+
+@dataclass
+class StrLit(Expr):
+    """A string literal; desugars to a ``byte[]`` of its code points."""
+
+    value: str = ""
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    array: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Len(Expr):
+    """``len(a)`` — array length (Java's ``a.length``)."""
+
+    array: Expr = None  # type: ignore[assignment]
+
+
+class UnOp(enum.Enum):
+    NEG = "-"
+    NOT = "!"
+
+
+@dataclass
+class Unary(Expr):
+    op: UnOp = UnOp.NEG
+    operand: Expr = None  # type: ignore[assignment]
+
+
+class BinOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+
+    @property
+    def is_arith(self) -> bool:
+        return self in (BinOp.ADD, BinOp.SUB, BinOp.MUL, BinOp.DIV, BinOp.MOD)
+
+    @property
+    def is_compare(self) -> bool:
+        return self in (BinOp.LT, BinOp.LE, BinOp.GT, BinOp.GE)
+
+    @property
+    def is_equality(self) -> bool:
+        return self in (BinOp.EQ, BinOp.NE)
+
+    @property
+    def is_logic(self) -> bool:
+        return self in (BinOp.AND, BinOp.OR)
+
+
+@dataclass
+class Binary(Expr):
+    op: BinOp = BinOp.ADD
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    """``new int[n]`` / ``new byte[n]`` — zero-initialized array."""
+
+    elem: Type = INT
+    size: Expr = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    declared: Type = INT
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a :class:`Var` or :class:`Index`."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = field(default_factory=Block)
+    orelse: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop: ``for (init; cond; update) body``.
+
+    ``init`` is a declaration or assignment, ``update`` an assignment.
+    ``continue`` inside the body jumps to ``update``.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    update: Optional[Stmt] = None
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (a call, typically)."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    declared: Type
+    level: SecLevel = SecLevel.PUBLIC
+    span: Span = UNKNOWN_SPAN
+
+    def __str__(self) -> str:
+        return "%s %s: %s" % (self.level.value, self.name, self.declared)
+
+
+@dataclass
+class ProcDecl:
+    """A procedure: extern (no body) or defined (with body)."""
+
+    name: str
+    params: List[Param]
+    ret: Type
+    body: Optional[Block] = None
+    span: Span = UNKNOWN_SPAN
+
+    @property
+    def is_extern(self) -> bool:
+        return self.body is None
+
+    def signature(self) -> Tuple[Tuple[Type, ...], Type]:
+        return tuple(p.declared for p in self.params), self.ret
+
+
+@dataclass
+class Program:
+    """A whole translation unit: a list of procedure declarations."""
+
+    procs: List[ProcDecl] = field(default_factory=list)
+
+    def proc(self, name: str) -> ProcDecl:
+        for p in self.procs:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def defined_procs(self) -> List[ProcDecl]:
+        return [p for p in self.procs if not p.is_extern]
+
+    def extern_procs(self) -> List[ProcDecl]:
+        return [p for p in self.procs if p.is_extern]

@@ -1,0 +1,213 @@
+"""Hand-rolled lexer for the repro input language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.util.errors import LexError
+from repro.util.source import Pos
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int-literal"
+    STRING = "string-literal"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "proc",
+        "extern",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "null",
+        "new",
+        "len",
+        "public",
+        "secret",
+        "int",
+        "uint",
+        "byte",
+        "bool",
+        "void",
+    }
+)
+
+# Longest-first so that two-character punctuation wins over its prefix.
+PUNCTS = [
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    pos: Pos
+
+    def __str__(self) -> str:
+        if self.kind is TokKind.EOF:
+            return "<eof>"
+        return self.text
+
+
+class Lexer:
+    """Tokenizes a source string; iterate to obtain :class:`Token` objects.
+
+    Supports ``//`` line comments and ``/* */`` block comments, decimal
+    integer literals, and double-quoted string literals with the escapes
+    ``\\n``, ``\\t``, ``\\\\``, ``\\"`` and ``\\0``.
+    """
+
+    def __init__(self, source: str):
+        self._src = source
+        self._i = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        j = self._i + offset
+        return self._src[j] if j < len(self._src) else ""
+
+    def _advance(self) -> str:
+        ch = self._src[self._i]
+        self._i += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _pos(self) -> Pos:
+        return Pos(self._line, self._col)
+
+    # -- skipping -----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self._i < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._i < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._pos()
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._i >= len(self._src):
+                        raise LexError(
+                            "unterminated block comment", start.line, start.column
+                        )
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    # -- token producers ----------------------------------------------------
+
+    def _lex_string(self) -> Token:
+        pos = self._pos()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        escapes = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "0": "\0"}
+        while True:
+            if self._i >= len(self._src):
+                raise LexError("unterminated string literal", pos.line, pos.column)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                esc = self._advance()
+                if esc not in escapes:
+                    raise LexError(
+                        "unknown escape \\%s" % esc, self._line, self._col
+                    )
+                chars.append(escapes[esc])
+            elif ch == "\n":
+                raise LexError("newline in string literal", pos.line, pos.column)
+            else:
+                chars.append(ch)
+        return Token(TokKind.STRING, "".join(chars), pos)
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            pos = self._pos()
+            if self._i >= len(self._src):
+                yield Token(TokKind.EOF, "", pos)
+                return
+            ch = self._peek()
+            if ch.isdigit():
+                start = self._i
+                while self._peek().isdigit():
+                    self._advance()
+                if self._peek().isalpha() or self._peek() == "_":
+                    raise LexError(
+                        "identifier cannot start with a digit", pos.line, pos.column
+                    )
+                yield Token(TokKind.INT, self._src[start : self._i], pos)
+            elif ch.isalpha() or ch == "_":
+                start = self._i
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                text = self._src[start : self._i]
+                kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+                yield Token(kind, text, pos)
+            elif ch == '"':
+                yield self._lex_string()
+            else:
+                for p in PUNCTS:
+                    if self._src.startswith(p, self._i):
+                        for _ in p:
+                            self._advance()
+                        yield Token(TokKind.PUNCT, p, pos)
+                        break
+                else:
+                    raise LexError("unexpected character %r" % ch, pos.line, pos.column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` fully; the last token is always EOF."""
+    return list(Lexer(source).tokens())

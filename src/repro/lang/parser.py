@@ -1,0 +1,397 @@
+"""Recursive-descent parser for the repro input language.
+
+Grammar sketch (if/while/for bodies must be brace-delimited blocks, which
+removes the dangling-else ambiguity)::
+
+    program   := decl*
+    decl      := "extern" ident "(" params? ")" (":" type)? ";"
+               | "proc"   ident "(" params? ")" (":" type)? block
+    param     := ("public" | "secret")? ident ":" type
+    type      := ("int" | "byte" | "bool" | "void") ("[" "]")?
+    stmt      := "var" ident ":" type ("=" expr)? ";"
+               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" for-init? ";" expr? ";" simple? ")" block
+               | "return" expr? ";" | "break" ";" | "continue" ";"
+               | block | simple ";"
+    simple    := lvalue "=" expr | expr
+
+Expression precedence (loosest to tightest): ``||``, ``&&``, equality,
+relational, additive, multiplicative, unary, postfix indexing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.lexer import TokKind, Token, tokenize
+from repro.util.errors import ParseError
+from repro.util.source import Span
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._toks = tokenize(source)
+        self._i = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        j = min(self._i + offset, len(self._toks) - 1)
+        return self._toks[j]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.EOF:
+            self._i += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        tok = self._peek()
+        return tok.kind in (TokKind.PUNCT, TokKind.KEYWORD) and tok.text == text
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._next()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        tok = self._peek()
+        if not self._check(text):
+            raise ParseError(
+                "expected %r but found %r" % (text, str(tok)),
+                tok.pos.line,
+                tok.pos.column,
+            )
+        return self._next()
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.IDENT:
+            raise ParseError(
+                "expected identifier but found %r" % str(tok),
+                tok.pos.line,
+                tok.pos.column,
+            )
+        return self._next()
+
+    def _span_from(self, tok: Token) -> Span:
+        return Span(tok.pos, self._peek().pos)
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        procs: List[ast.ProcDecl] = []
+        while self._peek().kind is not TokKind.EOF:
+            procs.append(self._parse_decl())
+        return ast.Program(procs)
+
+    def _parse_decl(self) -> ast.ProcDecl:
+        start = self._peek()
+        if self._accept("extern"):
+            name = self._expect_ident().text
+            params = self._parse_params()
+            ret = self._parse_ret_type()
+            self._expect(";")
+            return ast.ProcDecl(name, params, ret, None, self._span_from(start))
+        if self._accept("proc"):
+            name = self._expect_ident().text
+            params = self._parse_params()
+            ret = self._parse_ret_type()
+            body = self._parse_block()
+            return ast.ProcDecl(name, params, ret, body, self._span_from(start))
+        raise ParseError(
+            "expected 'proc' or 'extern' but found %r" % str(start),
+            start.pos.line,
+            start.pos.column,
+        )
+
+    def _parse_params(self) -> List[ast.Param]:
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            params.append(self._parse_param())
+            while self._accept(","):
+                params.append(self._parse_param())
+        self._expect(")")
+        return params
+
+    def _parse_param(self) -> ast.Param:
+        start = self._peek()
+        level = ast.SecLevel.PUBLIC
+        if self._accept("secret"):
+            level = ast.SecLevel.SECRET
+        else:
+            self._accept("public")
+        name = self._expect_ident().text
+        self._expect(":")
+        ty = self._parse_type()
+        return ast.Param(name, ty, level, self._span_from(start))
+
+    def _parse_ret_type(self) -> ast.Type:
+        if self._accept(":"):
+            return self._parse_type()
+        return ast.VOID
+
+    def _parse_type(self) -> ast.Type:
+        tok = self._peek()
+        for base in ast.BaseType:
+            if self._accept(base.value):
+                is_array = False
+                if self._accept("["):
+                    self._expect("]")
+                    is_array = True
+                if base is ast.BaseType.VOID and is_array:
+                    raise ParseError("void[] is not a type", tok.pos.line, tok.pos.column)
+                return ast.Type(base, is_array)
+        raise ParseError(
+            "expected a type but found %r" % str(tok), tok.pos.line, tok.pos.column
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._parse_stmt())
+        self._expect("}")
+        return ast.Block(stmts, span=self._span_from(start))
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if self._check("{"):
+            return self._parse_block()
+        if self._check("var"):
+            stmt = self._parse_var_decl()
+            self._expect(";")
+            return stmt
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            self._next()
+            self._expect("(")
+            cond = self.parse_expr()
+            self._expect(")")
+            body = self._parse_block()
+            return ast.While(cond, body, span=self._span_from(tok))
+        if self._check("for"):
+            return self._parse_for()
+        if self._accept("return"):
+            value = None if self._check(";") else self.parse_expr()
+            self._expect(";")
+            return ast.Return(value, span=self._span_from(tok))
+        if self._accept("break"):
+            self._expect(";")
+            return ast.Break(span=self._span_from(tok))
+        if self._accept("continue"):
+            self._expect(";")
+            return ast.Continue(span=self._span_from(tok))
+        stmt = self._parse_simple()
+        self._expect(";")
+        return stmt
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect("var")
+        name = self._expect_ident().text
+        self._expect(":")
+        ty = self._parse_type()
+        init = None
+        if self._accept("="):
+            init = self.parse_expr()
+        return ast.VarDecl(name, ty, init, span=self._span_from(start))
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("if")
+        self._expect("(")
+        cond = self.parse_expr()
+        self._expect(")")
+        then = self._parse_block()
+        orelse: Optional[ast.Block] = None
+        if self._accept("else"):
+            if self._check("if"):
+                nested = self._parse_if()
+                orelse = ast.Block([nested], span=nested.span)
+            else:
+                orelse = self._parse_block()
+        return ast.If(cond, then, orelse, span=self._span_from(start))
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            init = self._parse_var_decl() if self._check("var") else self._parse_simple()
+        self._expect(";")
+        cond = None if self._check(";") else self.parse_expr()
+        self._expect(";")
+        update = None if self._check(")") else self._parse_simple()
+        self._expect(")")
+        body = self._parse_block()
+        return ast.For(init, cond, update, body, span=self._span_from(start))
+
+    def _parse_simple(self) -> ast.Stmt:
+        start = self._peek()
+        expr = self.parse_expr()
+        if self._accept("="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError(
+                    "assignment target must be a variable or array element",
+                    start.pos.line,
+                    start.pos.column,
+                )
+            value = self.parse_expr()
+            return ast.Assign(expr, value, span=self._span_from(start))
+        return ast.ExprStmt(expr, span=self._span_from(start))
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._check("||"):
+            tok = self._next()
+            right = self._parse_and()
+            left = ast.Binary(ast.BinOp.OR, left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_eq()
+        while self._check("&&"):
+            tok = self._next()
+            right = self._parse_eq()
+            left = ast.Binary(ast.BinOp.AND, left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_eq(self) -> ast.Expr:
+        left = self._parse_rel()
+        while self._check("==") or self._check("!="):
+            tok = self._next()
+            op = ast.BinOp.EQ if tok.text == "==" else ast.BinOp.NE
+            right = self._parse_rel()
+            left = ast.Binary(op, left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_rel(self) -> ast.Expr:
+        left = self._parse_add()
+        rel_ops = {"<": ast.BinOp.LT, "<=": ast.BinOp.LE, ">": ast.BinOp.GT, ">=": ast.BinOp.GE}
+        while any(self._check(t) for t in rel_ops):
+            tok = self._next()
+            right = self._parse_add()
+            left = ast.Binary(rel_ops[tok.text], left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_add(self) -> ast.Expr:
+        left = self._parse_mul()
+        while self._check("+") or self._check("-"):
+            tok = self._next()
+            op = ast.BinOp.ADD if tok.text == "+" else ast.BinOp.SUB
+            right = self._parse_mul()
+            left = ast.Binary(op, left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_mul(self) -> ast.Expr:
+        left = self._parse_unary()
+        mul_ops = {"*": ast.BinOp.MUL, "/": ast.BinOp.DIV, "%": ast.BinOp.MOD}
+        while any(self._check(t) for t in mul_ops):
+            tok = self._next()
+            right = self._parse_unary()
+            left = ast.Binary(mul_ops[tok.text], left, right, span=Span.at(tok.pos))
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if self._accept("-"):
+            return ast.Unary(ast.UnOp.NEG, self._parse_unary(), span=Span.at(tok.pos))
+        if self._accept("!"):
+            return ast.Unary(ast.UnOp.NOT, self._parse_unary(), span=Span.at(tok.pos))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._accept("["):
+            index = self.parse_expr()
+            self._expect("]")
+            expr = ast.Index(expr, index, span=expr.span)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        span = Span.at(tok.pos)
+        if tok.kind is TokKind.INT:
+            self._next()
+            return ast.IntLit(int(tok.text), span=span)
+        if tok.kind is TokKind.STRING:
+            self._next()
+            return ast.StrLit(tok.text, span=span)
+        if self._accept("true"):
+            return ast.BoolLit(True, span=span)
+        if self._accept("false"):
+            return ast.BoolLit(False, span=span)
+        if self._accept("null"):
+            return ast.NullLit(span=span)
+        if self._accept("len"):
+            self._expect("(")
+            arr = self.parse_expr()
+            self._expect(")")
+            return ast.Len(arr, span=span)
+        if self._accept("new"):
+            ty = self._parse_scalar_type()
+            self._expect("[")
+            size = self.parse_expr()
+            self._expect("]")
+            return ast.NewArray(ty, size, span=span)
+        if self._accept("("):
+            inner = self.parse_expr()
+            self._expect(")")
+            return inner
+        if tok.kind is TokKind.IDENT:
+            self._next()
+            if self._accept("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self.parse_expr())
+                    while self._accept(","):
+                        args.append(self.parse_expr())
+                self._expect(")")
+                return ast.Call(tok.text, args, span=span)
+            return ast.Var(tok.text, span=span)
+        raise ParseError(
+            "expected an expression but found %r" % str(tok),
+            tok.pos.line,
+            tok.pos.column,
+        )
+
+    def _parse_scalar_type(self) -> ast.Type:
+        tok = self._peek()
+        for base in (ast.BaseType.INT, ast.BaseType.BYTE, ast.BaseType.BOOL):
+            if self._accept(base.value):
+                return ast.Type(base)
+        raise ParseError(
+            "expected an array element type (int/byte/bool) but found %r" % str(tok),
+            tok.pos.line,
+            tok.pos.column,
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a whole translation unit."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    tok = parser._peek()
+    if tok.kind is not TokKind.EOF:
+        raise ParseError(
+            "trailing input after expression: %r" % str(tok),
+            tok.pos.line,
+            tok.pos.column,
+        )
+    return expr

@@ -1,0 +1,146 @@
+"""Pretty-printer: AST back to concrete syntax.
+
+Emits canonical source that reparses to an equal AST (modulo spans and
+redundant parentheses); the round-trip is exercised by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+# Binding strength for parenthesization, loosest (1) to tightest.
+_PRECEDENCE = {
+    ast.BinOp.OR: 1,
+    ast.BinOp.AND: 2,
+    ast.BinOp.EQ: 3,
+    ast.BinOp.NE: 3,
+    ast.BinOp.LT: 4,
+    ast.BinOp.LE: 4,
+    ast.BinOp.GT: 4,
+    ast.BinOp.GE: 4,
+    ast.BinOp.ADD: 5,
+    ast.BinOp.SUB: 5,
+    ast.BinOp.MUL: 6,
+    ast.BinOp.DIV: 6,
+    ast.BinOp.MOD: 6,
+}
+_UNARY_PREC = 7
+
+_ESCAPES = {"\n": "\\n", "\t": "\\t", "\\": "\\\\", '"': '\\"', "\0": "\\0"}
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render ``expr``, parenthesizing when required by ``parent_prec``."""
+    if isinstance(expr, ast.IntLit):
+        # Negative literals only arise from constant folding; print as unary.
+        return str(expr.value) if expr.value >= 0 else "(-%d)" % -expr.value
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.StrLit):
+        return '"%s"' % "".join(_ESCAPES.get(c, c) for c in expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (format_expr(expr.array, _UNARY_PREC + 1), format_expr(expr.index))
+    if isinstance(expr, ast.Len):
+        return "len(%s)" % format_expr(expr.array)
+    if isinstance(expr, ast.Unary):
+        text = expr.op.value + format_expr(expr.operand, _UNARY_PREC)
+        return "(%s)" % text if parent_prec > _UNARY_PREC else text
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        # All binary operators are left-associative: the right child needs
+        # parentheses at equal precedence, the left child does not.
+        text = "%s %s %s" % (
+            format_expr(expr.left, prec),
+            expr.op.value,
+            format_expr(expr.right, prec + 1),
+        )
+        return "(%s)" % text if parent_prec > prec else text
+    if isinstance(expr, ast.Call):
+        return "%s(%s)" % (expr.callee, ", ".join(format_expr(a) for a in expr.args))
+    if isinstance(expr, ast.NewArray):
+        return "new %s[%s]" % (expr.elem, format_expr(expr.size))
+    raise TypeError("unknown expression %r" % type(expr).__name__)
+
+
+def _format_simple(stmt: ast.Stmt) -> str:
+    """Render an assignment/call/var-decl without the trailing semicolon."""
+    if isinstance(stmt, ast.VarDecl):
+        text = "var %s: %s" % (stmt.name, stmt.declared)
+        if stmt.init is not None:
+            text += " = %s" % format_expr(stmt.init)
+        return text
+    if isinstance(stmt, ast.Assign):
+        return "%s = %s" % (format_expr(stmt.target), format_expr(stmt.value))
+    if isinstance(stmt, ast.ExprStmt):
+        return format_expr(stmt.expr)
+    raise TypeError("not a simple statement: %r" % type(stmt).__name__)
+
+
+def _format_stmt(stmt: ast.Stmt, indent: int, out: List[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ast.Block):
+        out.append(pad + "{")
+        for inner in stmt.stmts:
+            _format_stmt(inner, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ExprStmt)):
+        out.append(pad + _format_simple(stmt) + ";")
+    elif isinstance(stmt, ast.If):
+        out.append(pad + "if (%s) {" % format_expr(stmt.cond))
+        for inner in stmt.then.stmts:
+            _format_stmt(inner, indent + 1, out)
+        if stmt.orelse is None:
+            out.append(pad + "}")
+        else:
+            out.append(pad + "} else {")
+            for inner in stmt.orelse.stmts:
+                _format_stmt(inner, indent + 1, out)
+            out.append(pad + "}")
+    elif isinstance(stmt, ast.While):
+        out.append(pad + "while (%s) {" % format_expr(stmt.cond))
+        for inner in stmt.body.stmts:
+            _format_stmt(inner, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ast.For):
+        init = _format_simple(stmt.init) if stmt.init is not None else ""
+        cond = format_expr(stmt.cond) if stmt.cond is not None else ""
+        update = _format_simple(stmt.update) if stmt.update is not None else ""
+        out.append(pad + "for (%s; %s; %s) {" % (init, cond, update))
+        for inner in stmt.body.stmts:
+            _format_stmt(inner, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(pad + "return;")
+        else:
+            out.append(pad + "return %s;" % format_expr(stmt.value))
+    elif isinstance(stmt, ast.Break):
+        out.append(pad + "break;")
+    elif isinstance(stmt, ast.Continue):
+        out.append(pad + "continue;")
+    else:
+        raise TypeError("unknown statement %r" % type(stmt).__name__)
+
+
+def format_proc(proc: ast.ProcDecl) -> str:
+    params = ", ".join(str(p) for p in proc.params)
+    ret = "" if proc.ret == ast.VOID else ": %s" % proc.ret
+    if proc.is_extern:
+        return "extern %s(%s)%s;" % (proc.name, params, ret)
+    out: List[str] = ["proc %s(%s)%s {" % (proc.name, params, ret)]
+    assert proc.body is not None
+    for stmt in proc.body.stmts:
+        _format_stmt(stmt, 1, out)
+    out.append("}")
+    return "\n".join(out)
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole program as canonical source text."""
+    return "\n\n".join(format_proc(p) for p in program.procs) + "\n"

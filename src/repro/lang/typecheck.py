@@ -1,0 +1,352 @@
+"""Type checker for the repro input language.
+
+Checks a parsed :class:`~repro.lang.ast.Program` and annotates every
+expression node's ``ty`` field in place.  Scoping is lexical; shadowing an
+existing binding is rejected (this keeps the AST-to-bytecode compiler's
+local-slot assignment trivially correct, mirroring how ``javac`` assigns
+slots).
+
+``byte`` and ``int`` are mutually assignable: ``byte`` is modeled as an
+integer of restricted range and the restriction is enforced dynamically by
+the interpreter, not statically (as in Java, arithmetic on bytes widens to
+int).  The ``null`` literal is typed contextually: it may appear wherever
+an array is expected, and in equality comparisons against arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang import ast
+from repro.util.errors import TypeError_
+from repro.util.source import Span
+
+
+def _err(message: str, span: Span) -> TypeError_:
+    return TypeError_(message, span.start.line, span.start.column)
+
+
+def _compatible(expected: ast.Type, actual: ast.Type) -> bool:
+    """May a value of ``actual`` type flow into a slot of ``expected`` type?"""
+    if expected == actual:
+        return True
+    if expected.is_numeric and actual.is_numeric:
+        return True
+    if expected.is_array and actual.is_array and expected.base == actual.base:
+        return True
+    return False
+
+
+class _Scope:
+    """A chain of lexical scopes mapping names to declared types."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self._parent = parent
+        self._bindings: Dict[str, ast.Type] = {}
+
+    def lookup(self, name: str) -> Optional[ast.Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope._bindings:
+                return scope._bindings[name]
+            scope = scope._parent
+        return None
+
+    def declare(self, name: str, ty: ast.Type, span: Span) -> None:
+        if self.lookup(name) is not None:
+            raise _err("redeclaration of %r (shadowing is not allowed)" % name, span)
+        self._bindings[name] = ty
+
+
+class TypeChecker:
+    """Checks one :class:`Program`; reusable across programs."""
+
+    def __init__(self, program: ast.Program):
+        self._program = program
+        self._procs: Dict[str, ast.ProcDecl] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def check(self) -> ast.Program:
+        for proc in self._program.procs:
+            if proc.name in self._procs:
+                raise _err("duplicate procedure %r" % proc.name, proc.span)
+            for param in proc.params:
+                if param.declared == ast.VOID:
+                    raise _err("parameter %r has type void" % param.name, param.span)
+            self._procs[proc.name] = proc
+        for proc in self._program.defined_procs():
+            self._check_proc(proc)
+        return self._program
+
+    # -- procedures ----------------------------------------------------------
+
+    def _check_proc(self, proc: ast.ProcDecl) -> None:
+        scope = _Scope()
+        seen: set = set()
+        for param in proc.params:
+            if param.name in seen:
+                raise _err("duplicate parameter %r" % param.name, param.span)
+            seen.add(param.name)
+            scope.declare(param.name, param.declared, param.span)
+        assert proc.body is not None
+        self._check_block(proc.body, scope, proc, loop_depth=0)
+        if proc.ret != ast.VOID and not _always_returns(proc.body):
+            raise _err(
+                "procedure %r may finish without returning a %s"
+                % (proc.name, proc.ret),
+                proc.span,
+            )
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_block(
+        self, block: ast.Block, scope: _Scope, proc: ast.ProcDecl, loop_depth: int
+    ) -> None:
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner, proc, loop_depth)
+
+    def _check_stmt(
+        self, stmt: ast.Stmt, scope: _Scope, proc: ast.ProcDecl, loop_depth: int
+    ) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, proc, loop_depth)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.declared == ast.VOID:
+                raise _err("variable %r has type void" % stmt.name, stmt.span)
+            if stmt.init is not None:
+                actual = self._check_expr(stmt.init, scope, expected=stmt.declared)
+                if not _compatible(stmt.declared, actual):
+                    raise _err(
+                        "cannot initialize %s %r with %s"
+                        % (stmt.declared, stmt.name, actual),
+                        stmt.span,
+                    )
+            scope.declare(stmt.name, stmt.declared, stmt.span)
+        elif isinstance(stmt, ast.Assign):
+            target_ty = self._check_lvalue(stmt.target, scope)
+            actual = self._check_expr(stmt.value, scope, expected=target_ty)
+            if not _compatible(target_ty, actual):
+                raise _err("cannot assign %s to %s" % (actual, target_ty), stmt.span)
+        elif isinstance(stmt, ast.If):
+            self._check_cond(stmt.cond, scope)
+            self._check_block(stmt.then, scope, proc, loop_depth)
+            if stmt.orelse is not None:
+                self._check_block(stmt.orelse, scope, proc, loop_depth)
+        elif isinstance(stmt, ast.While):
+            self._check_cond(stmt.cond, scope)
+            self._check_block(stmt.body, scope, proc, loop_depth + 1)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, proc, loop_depth)
+            if stmt.cond is not None:
+                self._check_cond(stmt.cond, inner)
+            if stmt.update is not None:
+                if not isinstance(stmt.update, (ast.Assign, ast.ExprStmt)):
+                    raise _err("for-update must be an assignment or call", stmt.span)
+                self._check_stmt(stmt.update, inner, proc, loop_depth)
+            self._check_block(stmt.body, inner, proc, loop_depth + 1)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if proc.ret != ast.VOID:
+                    raise _err(
+                        "return without a value in %s procedure" % proc.ret, stmt.span
+                    )
+            else:
+                if proc.ret == ast.VOID:
+                    raise _err("void procedure returns a value", stmt.span)
+                actual = self._check_expr(stmt.value, scope, expected=proc.ret)
+                if not _compatible(proc.ret, actual):
+                    raise _err(
+                        "return type mismatch: expected %s, got %s"
+                        % (proc.ret, actual),
+                        stmt.span,
+                    )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                kw = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise _err("%s outside of a loop" % kw, stmt.span)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise _err("only calls may be used as statements", stmt.span)
+            self._check_expr(stmt.expr, scope, allow_void=True)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise _err("unknown statement %r" % type(stmt).__name__, stmt.span)
+
+    def _check_cond(self, cond: ast.Expr, scope: _Scope) -> None:
+        actual = self._check_expr(cond, scope, expected=ast.BOOL)
+        if actual != ast.BOOL:
+            raise _err("condition must be bool, got %s" % actual, cond.span)
+
+    def _check_lvalue(self, target: ast.Expr, scope: _Scope) -> ast.Type:
+        if isinstance(target, ast.Var):
+            ty = scope.lookup(target.name)
+            if ty is None:
+                raise _err("undeclared variable %r" % target.name, target.span)
+            target.ty = ty
+            return ty
+        if isinstance(target, ast.Index):
+            return self._check_expr(target, scope)
+        raise _err("invalid assignment target", target.span)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _check_expr(
+        self,
+        expr: ast.Expr,
+        scope: _Scope,
+        expected: Optional[ast.Type] = None,
+        allow_void: bool = False,
+    ) -> ast.Type:
+        ty = self._infer(expr, scope, expected)
+        if ty == ast.VOID and not allow_void:
+            raise _err("void value used in an expression", expr.span)
+        expr.ty = ty
+        return ty
+
+    def _infer(
+        self, expr: ast.Expr, scope: _Scope, expected: Optional[ast.Type]
+    ) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            return ast.INT
+        if isinstance(expr, ast.BoolLit):
+            return ast.BOOL
+        if isinstance(expr, ast.StrLit):
+            return ast.BYTE_ARRAY
+        if isinstance(expr, ast.NullLit):
+            if expected is None or not expected.is_array:
+                raise _err("cannot infer a type for null here", expr.span)
+            return expected
+        if isinstance(expr, ast.Var):
+            ty = scope.lookup(expr.name)
+            if ty is None:
+                raise _err("undeclared variable %r" % expr.name, expr.span)
+            return ty
+        if isinstance(expr, ast.Index):
+            arr_ty = self._check_expr(expr.array, scope)
+            if not arr_ty.is_array:
+                raise _err("indexing a non-array %s" % arr_ty, expr.span)
+            idx_ty = self._check_expr(expr.index, scope, expected=ast.INT)
+            if not idx_ty.is_numeric:
+                raise _err("array index must be numeric, got %s" % idx_ty, expr.span)
+            return arr_ty.element
+        if isinstance(expr, ast.Len):
+            arr_ty = self._check_expr(expr.array, scope)
+            if not arr_ty.is_array:
+                raise _err("len() of non-array %s" % arr_ty, expr.span)
+            return ast.INT
+        if isinstance(expr, ast.Unary):
+            operand_ty = self._check_expr(
+                expr.operand, scope, expected=ast.INT if expr.op is ast.UnOp.NEG else ast.BOOL
+            )
+            if expr.op is ast.UnOp.NEG:
+                if not operand_ty.is_numeric:
+                    raise _err("unary - on %s" % operand_ty, expr.span)
+                return ast.INT
+            if operand_ty != ast.BOOL:
+                raise _err("unary ! on %s" % operand_ty, expr.span)
+            return ast.BOOL
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, scope)
+        if isinstance(expr, ast.NewArray):
+            size_ty = self._check_expr(expr.size, scope, expected=ast.INT)
+            if not size_ty.is_numeric:
+                raise _err("array size must be numeric, got %s" % size_ty, expr.span)
+            return ast.Type(expr.elem.base, True)
+        raise _err("unknown expression %r" % type(expr).__name__, expr.span)
+
+    def _infer_binary(self, expr: ast.Binary, scope: _Scope) -> ast.Type:
+        op = expr.op
+        if op.is_logic:
+            left = self._check_expr(expr.left, scope, expected=ast.BOOL)
+            right = self._check_expr(expr.right, scope, expected=ast.BOOL)
+            if left != ast.BOOL or right != ast.BOOL:
+                raise _err("%s requires bool operands" % op.value, expr.span)
+            return ast.BOOL
+        if op.is_arith:
+            left = self._check_expr(expr.left, scope, expected=ast.INT)
+            right = self._check_expr(expr.right, scope, expected=ast.INT)
+            if not (left.is_numeric and right.is_numeric):
+                raise _err(
+                    "%s requires numeric operands, got %s and %s"
+                    % (op.value, left, right),
+                    expr.span,
+                )
+            return ast.INT
+        if op.is_compare:
+            left = self._check_expr(expr.left, scope, expected=ast.INT)
+            right = self._check_expr(expr.right, scope, expected=ast.INT)
+            if not (left.is_numeric and right.is_numeric):
+                raise _err(
+                    "%s requires numeric operands, got %s and %s"
+                    % (op.value, left, right),
+                    expr.span,
+                )
+            return ast.BOOL
+        # Equality: numeric/numeric, bool/bool, array/array, array/null.
+        if isinstance(expr.right, ast.NullLit) and not isinstance(expr.left, ast.NullLit):
+            left = self._check_expr(expr.left, scope)
+            if not left.is_array:
+                raise _err("comparing %s against null" % left, expr.span)
+            self._check_expr(expr.right, scope, expected=left)
+            return ast.BOOL
+        if isinstance(expr.left, ast.NullLit) and not isinstance(expr.right, ast.NullLit):
+            right = self._check_expr(expr.right, scope)
+            if not right.is_array:
+                raise _err("comparing null against %s" % right, expr.span)
+            self._check_expr(expr.left, scope, expected=right)
+            return ast.BOOL
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        ok = (
+            (left.is_numeric and right.is_numeric)
+            or (left == ast.BOOL and right == ast.BOOL)
+            or (left.is_array and right.is_array and left.base == right.base)
+        )
+        if not ok:
+            raise _err("cannot compare %s with %s" % (left, right), expr.span)
+        return ast.BOOL
+
+    def _infer_call(self, expr: ast.Call, scope: _Scope) -> ast.Type:
+        proc = self._procs.get(expr.callee)
+        if proc is None:
+            raise _err("call to undeclared procedure %r" % expr.callee, expr.span)
+        if len(expr.args) != len(proc.params):
+            raise _err(
+                "%r expects %d arguments, got %d"
+                % (expr.callee, len(proc.params), len(expr.args)),
+                expr.span,
+            )
+        for arg, param in zip(expr.args, proc.params):
+            actual = self._check_expr(arg, scope, expected=param.declared)
+            if not _compatible(param.declared, actual):
+                raise _err(
+                    "argument %r of %r expects %s, got %s"
+                    % (param.name, expr.callee, param.declared, actual),
+                    arg.span,
+                )
+        return proc.ret
+
+
+def _always_returns(stmt: ast.Stmt) -> bool:
+    """Conservative must-return analysis used for the missing-return check."""
+    if isinstance(stmt, ast.Return):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_always_returns(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        return (
+            stmt.orelse is not None
+            and _always_returns(stmt.then)
+            and _always_returns(stmt.orelse)
+        )
+    return False
+
+
+def check_program(program: ast.Program) -> ast.Program:
+    """Type check ``program`` in place and return it."""
+    return TypeChecker(program).check()

@@ -1,0 +1,21 @@
+"""Taint / information-flow analysis (the JOANA analogue)."""
+
+from repro.taint.analysis import (
+    BOTH,
+    HIGH_ONLY,
+    LOW_ONLY,
+    NO_TAINT,
+    Taint,
+    TaintResult,
+    analyze_taint,
+)
+
+__all__ = [
+    "Taint",
+    "TaintResult",
+    "analyze_taint",
+    "NO_TAINT",
+    "LOW_ONLY",
+    "HIGH_ONLY",
+    "BOTH",
+]

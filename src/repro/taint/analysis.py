@@ -1,0 +1,245 @@
+"""Information-flow (taint) analysis: the JOANA stand-in.
+
+Blazer consumed JOANA's output as "which CFG branching blocks depend on
+low (attacker-controlled) data, which on high (secret) data".  This
+module computes the same classification:
+
+* every variable carries a taint set ⊆ {LOW, HIGH}: public parameters
+  seed LOW, secret parameters seed HIGH, constants carry neither;
+* explicit flows propagate through assignments, arithmetic, array
+  loads/stores (arrays are summarized as a whole: contents, length and
+  reference share one taint) and calls (conservatively: result and any
+  mutable array argument absorb all argument taints);
+* implicit flows: an assignment control-dependent on a branch absorbs
+  the branch condition's taint (computed with the post-dominance-frontier
+  characterization of control dependence).
+
+The analysis is *flow-sensitive* (per-block taint environments joined by
+pointwise union) — necessary precision: a loop guarded purely by low data
+must not absorb the taint of a high-guarded assignment on a disjoint
+path, or Example 1/2 of the paper would misclassify.  Branch taints feed
+back into implicit-flow contexts, so the fixpoint iterates over both.
+On the paper's benchmark shapes this matches the PDG-based
+classification JOANA would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.cfg.dominance import control_dependence
+from repro.cfg.graph import ControlFlowGraph
+from repro.ir import instr as ir
+from repro.lang import ast
+
+
+class Taint(enum.Enum):
+    LOW = "l"  # depends on public (attacker-controlled) input
+    HIGH = "h"  # depends on secret input
+
+
+TaintSet = FrozenSet[Taint]
+NO_TAINT: TaintSet = frozenset()
+LOW_ONLY: TaintSet = frozenset({Taint.LOW})
+HIGH_ONLY: TaintSet = frozenset({Taint.HIGH})
+BOTH: TaintSet = frozenset({Taint.LOW, Taint.HIGH})
+
+
+@dataclass
+class TaintResult:
+    """Per-variable and per-branch-block taint classification."""
+
+    cfg: ControlFlowGraph
+    var_taint: Dict[str, TaintSet] = field(default_factory=dict)
+    branch_taint: Dict[int, TaintSet] = field(default_factory=dict)
+
+    def taint_of_var(self, name: str) -> TaintSet:
+        return self.var_taint.get(name, NO_TAINT)
+
+    def taint_of_branch(self, block_id: int) -> TaintSet:
+        return self.branch_taint.get(block_id, NO_TAINT)
+
+    def low_branches(self) -> List[int]:
+        """Branch blocks influenced by low data only — legal split points
+        for safety partitions (ψ-quotient preserving)."""
+        return [
+            b
+            for b, t in sorted(self.branch_taint.items())
+            if Taint.LOW in t and Taint.HIGH not in t
+        ]
+
+    def high_branches(self) -> List[int]:
+        """Branch blocks influenced by high data (possibly also low) —
+        split points for attack-synthesis partitions."""
+        return [b for b, t in sorted(self.branch_taint.items()) if Taint.HIGH in t]
+
+    def untainted_branches(self) -> List[int]:
+        """Branch blocks with no input dependence at all (constant
+        conditions); these never appear in ``branch_taint``."""
+        return [
+            b
+            for b in self.cfg.branch_blocks()
+            if not self.branch_taint.get(b, NO_TAINT)
+        ]
+
+    def annotation(self, block_id: int) -> str:
+        """The paper's α annotation for a branch: 'l', 'h', 'l,h' or ''."""
+        taint = self.taint_of_branch(block_id)
+        parts = []
+        if Taint.LOW in taint:
+            parts.append("l")
+        if Taint.HIGH in taint:
+            parts.append("h")
+        return ",".join(parts)
+
+    def __str__(self) -> str:
+        lines = ["taint(%s):" % self.cfg.name]
+        for block in sorted(self.branch_taint):
+            lines.append(
+                "  b%d: |%s" % (block, self.annotation(block) or "-")
+            )
+        return "\n".join(lines)
+
+
+def _operand_taint(operand: ir.Operand, taint: Dict[str, Set[Taint]]) -> Set[Taint]:
+    if isinstance(operand, ir.Reg):
+        return set(taint.get(operand.name, ()))
+    return set()
+
+
+TaintEnv = Dict[str, TaintSet]
+
+
+def _join_env(a: TaintEnv, b: TaintEnv) -> TaintEnv:
+    out = dict(a)
+    for var, t in b.items():
+        out[var] = out.get(var, NO_TAINT) | t
+    return out
+
+
+def _env_leq(a: TaintEnv, b: TaintEnv) -> bool:
+    return all(t <= b.get(var, NO_TAINT) for var, t in a.items())
+
+
+class TaintAnalysis:
+    def __init__(self, cfg: ControlFlowGraph):
+        self._cfg = cfg
+
+    def run(self) -> TaintResult:
+        cfg = self._cfg
+        ctrl_dep = control_dependence(cfg)
+        # Reverse dependence: branch -> blocks control-dependent on it,
+        # for re-queuing when a branch's taint grows.
+        dependents: Dict[int, Set[int]] = {}
+        for block, deps in ctrl_dep.items():
+            for dep in deps:
+                dependents.setdefault(dep, set()).add(block)
+
+        entry_env: TaintEnv = {
+            p.name: (HIGH_ONLY if p.is_secret else LOW_ONLY) for p in cfg.params
+        }
+        in_envs: Dict[int, TaintEnv] = {cfg.entry: entry_env}
+        branch_taint: Dict[int, TaintSet] = {}
+        reachable = set(cfg.reverse_postorder())
+        worklist: List[int] = [b for b in cfg.reverse_postorder()]
+
+        while worklist:
+            bid = worklist.pop(0)
+            if bid not in in_envs or bid not in reachable:
+                continue
+            env = dict(in_envs[bid])
+            context: Set[Taint] = set()
+            for dep in ctrl_dep.get(bid, ()):
+                context |= branch_taint.get(dep, NO_TAINT)
+            for instr in cfg.blocks[bid].instrs:
+                self._transfer(instr, env, frozenset(context))
+            block = cfg.blocks[bid]
+            if isinstance(block.term, ir.Branch):
+                cond_taint = _operand_taint(block.term.cond, env)
+                old = branch_taint.get(bid, NO_TAINT)
+                if not cond_taint <= old:
+                    branch_taint[bid] = old | cond_taint
+                    worklist.extend(sorted(dependents.get(bid, ())))
+            for succ in cfg.successors(bid):
+                old_in = in_envs.get(succ)
+                if old_in is None:
+                    in_envs[succ] = dict(env)
+                    worklist.append(succ)
+                elif not _env_leq(env, old_in):
+                    in_envs[succ] = _join_env(old_in, env)
+                    worklist.append(succ)
+
+        # Final per-variable summary: union over all points (for display
+        # and for the trail annotator's variable queries).
+        var_taint: Dict[str, TaintSet] = {}
+        for env in in_envs.values():
+            for var, t in env.items():
+                var_taint[var] = var_taint.get(var, NO_TAINT) | t
+        return TaintResult(cfg=cfg, var_taint=var_taint, branch_taint=dict(branch_taint))
+
+    # -- transfer ----------------------------------------------------------------
+
+    def _transfer(self, instr: ir.Instr, env: TaintEnv, context: TaintSet) -> None:
+        new_taint: Optional[TaintSet] = None
+        targets: List[str] = []
+
+        if isinstance(instr, ir.Assign):
+            new_taint = _operand_taint(instr.src, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, (ir.BinInstr, ir.CmpInstr)):
+            new_taint = _operand_taint(instr.a, env) | _operand_taint(instr.b, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, ir.UnInstr):
+            new_taint = _operand_taint(instr.a, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, ir.ALoad):
+            new_taint = _operand_taint(instr.arr, env) | _operand_taint(instr.idx, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, ir.AStore):
+            # The array absorbs the stored value's and the index's taint.
+            # Weak update: arrays keep their old taint too.
+            extra = (
+                _operand_taint(instr.arr, env)
+                | _operand_taint(instr.idx, env)
+                | _operand_taint(instr.val, env)
+                | context
+            )
+            if isinstance(instr.arr, ir.Reg):
+                env[instr.arr.name] = env.get(instr.arr.name, NO_TAINT) | extra
+            return
+        elif isinstance(instr, ir.NewArr):
+            new_taint = _operand_taint(instr.size, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, ir.ArrLen):
+            new_taint = _operand_taint(instr.arr, env)
+            targets = [instr.dst.name]
+        elif isinstance(instr, ir.CallInstr):
+            gathered: TaintSet = NO_TAINT
+            for arg in instr.args:
+                gathered |= _operand_taint(arg, env)
+            new_taint = gathered
+            if instr.dst is not None:
+                targets = [instr.dst.name]
+            # Mutable (array) arguments may absorb every argument's taint
+            # (weak update).
+            for arg in instr.args:
+                if isinstance(arg, ir.Reg) and self._is_array(arg.name):
+                    env[arg.name] = env.get(arg.name, NO_TAINT) | gathered | context
+        else:
+            return
+
+        if new_taint is None:
+            return
+        result = new_taint | context
+        for target in targets:
+            env[target] = result  # strong update for scalars/temps
+
+    def _is_array(self, reg_name: str) -> bool:
+        return self._cfg.reg_kinds.get(reg_name) == "arr"
+
+
+def analyze_taint(cfg: ControlFlowGraph) -> TaintResult:
+    """Run the taint analysis on one procedure CFG."""
+    return TaintAnalysis(cfg).run()

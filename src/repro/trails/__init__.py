@@ -1,0 +1,31 @@
+"""Trails: annotated-regex partition components and their refinement."""
+
+from repro.trails.annotate import AnnotatedRegex, Annotation, annotate_trail
+from repro.trails.partition import PartitionTree, TrailNode
+from repro.trails.refine import (
+    DEFAULT_STRATEGIES,
+    OccurrenceSplit,
+    RegexNodeSplit,
+    SplitStrategy,
+    StarUnrollSplit,
+    split_trail,
+    verify_cover,
+)
+from repro.trails.trail import SplitInfo, Trail
+
+__all__ = [
+    "Trail",
+    "SplitInfo",
+    "annotate_trail",
+    "AnnotatedRegex",
+    "Annotation",
+    "PartitionTree",
+    "TrailNode",
+    "SplitStrategy",
+    "OccurrenceSplit",
+    "RegexNodeSplit",
+    "StarUnrollSplit",
+    "split_trail",
+    "verify_cover",
+    "DEFAULT_STRATEGIES",
+]

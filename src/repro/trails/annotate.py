@@ -1,0 +1,153 @@
+"""ANNOTATETRAIL: marking trail constructors as low/high-dependent.
+
+Section 4.2 of the paper: a union constructor of a trail is
+*low-dependent with respect to a tainted branch block b* if it is the
+outermost union such that one operand's language mentions one of b's
+branch edges while the other does not; similarly for Kleene stars (one
+of b's edges inside the starred body, the other not).
+
+The annotated regex drives the presentation (``|l``, ``*l``, ``|h``
+annotations exactly as in the paper's examples); the *refinement* itself
+works on the DFA form, using the taint classification directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.automata import regex as rx
+from repro.cfg.graph import ControlFlowGraph, Edge
+from repro.taint.analysis import Taint, TaintResult
+
+
+@dataclass
+class Annotation:
+    """The α ∈ {l, h, l·h} mark on one constructor."""
+
+    taints: Set[Taint] = field(default_factory=set)
+    blocks: Set[int] = field(default_factory=set)
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if Taint.LOW in self.taints:
+            parts.append("l")
+        if Taint.HIGH in self.taints:
+            parts.append("h")
+        return ",".join(parts)
+
+
+class AnnotatedRegex:
+    """A regex tree with per-constructor annotations (by node identity)."""
+
+    def __init__(self, regex: rx.Regex, annotations: Dict[int, Annotation]):
+        self.regex = regex
+        self._annotations = annotations
+
+    def annotation(self, node: rx.Regex) -> Optional[Annotation]:
+        return self._annotations.get(id(node))
+
+    def annotated_nodes(self) -> List[Tuple[rx.Regex, Annotation]]:
+        out = []
+        for node in rx.iter_subexprs(self.regex):
+            ann = self._annotations.get(id(node))
+            if ann is not None and ann.taints:
+                out.append((node, ann))
+        return out
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self) -> str:
+        return self._render(self.regex)
+
+    def _suffix(self, node: rx.Regex) -> str:
+        ann = self._annotations.get(id(node))
+        if ann is None or not ann.taints:
+            return ""
+        return "_" + ann.label
+
+    def _render(self, node: rx.Regex) -> str:
+        if isinstance(node, (rx.Empty, rx.Eps, rx.Sym)):
+            return str(node)
+        if isinstance(node, rx.Concat):
+            left = self._render(node.left)
+            right = self._render(node.right)
+            if isinstance(node.left, rx.Union):
+                left = "(%s)" % left
+            if isinstance(node.right, rx.Union):
+                right = "(%s)" % right
+            return "%s.%s" % (left, right)
+        if isinstance(node, rx.Union):
+            return "%s |%s %s" % (
+                self._render(node.left),
+                self._suffix(node),
+                self._render(node.right),
+            )
+        if isinstance(node, rx.Star):
+            inner = self._render(node.inner)
+            if not isinstance(node.inner, (rx.Sym, rx.Eps, rx.Empty)):
+                inner = "(%s)" % inner
+            return "%s*%s" % (inner, self._suffix(node))
+        raise TypeError(type(node).__name__)
+
+
+def _branch_edge_sets(
+    cfg: ControlFlowGraph, taint: TaintResult
+) -> List[Tuple[int, Edge, Edge, Set[Taint]]]:
+    out = []
+    for block in cfg.branch_blocks():
+        taints = set(taint.taint_of_branch(block))
+        if not taints:
+            continue
+        taken, not_taken = cfg.branch_edges(block)
+        out.append((block, taken, not_taken, taints))
+    return out
+
+
+def annotate_trail(
+    regex: rx.Regex, cfg: ControlFlowGraph, taint: TaintResult
+) -> AnnotatedRegex:
+    """Annotate each union/star constructor per Section 4.2."""
+    annotations: Dict[int, Annotation] = {}
+    branches = _branch_edge_sets(cfg, taint)
+
+    def mark(node: rx.Regex, taints: Set[Taint], block: int) -> None:
+        ann = annotations.setdefault(id(node), Annotation())
+        ann.taints |= taints
+        ann.blocks.add(block)
+
+    def visit(node: rx.Regex, pending: FrozenSet[int]) -> None:
+        """``pending``: branch blocks still awaiting their outermost mark."""
+        if isinstance(node, rx.Union):
+            left_syms = node.left.symbols()
+            right_syms = node.right.symbols()
+            next_pending = set(pending)
+            for block, e_t, e_f, taints in branches:
+                if block not in pending:
+                    continue
+                # §4.2: marked iff at least one operand contains exactly
+                # one of b's two branch edges.
+                split_left = (e_t in left_syms) != (e_f in left_syms)
+                split_right = (e_t in right_syms) != (e_f in right_syms)
+                if split_left or split_right:
+                    mark(node, taints, block)
+                    next_pending.discard(block)
+            visit(node.left, frozenset(next_pending))
+            visit(node.right, frozenset(next_pending))
+        elif isinstance(node, rx.Star):
+            inner_syms = node.inner.symbols()
+            next_pending = set(pending)
+            for block, e_t, e_f, taints in branches:
+                if block not in pending:
+                    continue
+                if (e_t in inner_syms) != (e_f in inner_syms):
+                    mark(node, taints, block)
+                    next_pending.discard(block)
+            visit(node.inner, frozenset(next_pending))
+        elif isinstance(node, rx.Concat):
+            visit(node.left, pending)
+            visit(node.right, pending)
+
+    visit(regex, frozenset(b for b, _, _, _ in branches))
+    return AnnotatedRegex(regex, annotations)

@@ -1,0 +1,101 @@
+"""Trees of trails: the partitions the driver refines.
+
+The paper represents a partition "as a tree of trails tr1..trn such that
+tri is a child of trj only if L(tri) ⊆ L(trj)"; the *current partition*
+is the set of active leaves.  Components need not be disjoint; the
+invariant maintained (and checked by :func:`PartitionTree.covers_root`)
+is that the leaves jointly cover the most general trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.bounds.analysis import BoundResult
+from repro.trails.trail import Trail
+from repro.util.table import render_tree
+
+
+@dataclass
+class TrailNode:
+    """A node of the trail tree: a trail plus its analysis results."""
+
+    trail: Trail
+    children: List["TrailNode"] = field(default_factory=list)
+    parent: Optional["TrailNode"] = None
+    bound: Optional[BoundResult] = None
+    # "unknown" | "safe" | "infeasible" | "wide" (bound not narrow) |
+    # "attack" (part of an attack specification)
+    status: str = "unknown"
+    note: str = ""
+
+    @property
+    def split_kind(self) -> str:
+        """The kind of split that created this node ('' for the root)."""
+        return self.trail.splits[-1].kind if self.trail.splits else ""
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, trail: Trail) -> "TrailNode":
+        child = TrailNode(trail=trail, parent=self)
+        self.children.append(child)
+        return child
+
+    def ancestors(self) -> Iterator["TrailNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def render(self) -> str:
+        bound = "" if self.bound is None else "  %s" % self.bound
+        status = " [%s]" % self.status if self.status != "unknown" else ""
+        arrow = "" if not self.split_kind else "(%s) " % self.split_kind
+        label = "%s%s%s%s" % (arrow, self.trail.description, bound, status)
+        return render_tree(label, [c.render() for c in self.children])
+
+
+class PartitionTree:
+    """The evolving partition: a tree rooted at the most general trail."""
+
+    def __init__(self, root_trail: Trail):
+        self.root = TrailNode(trail=root_trail)
+
+    def leaves(self) -> List[TrailNode]:
+        out: List[TrailNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return list(reversed(out))
+
+    def active_partition(self) -> List[Trail]:
+        """The current partition components (leaf trails)."""
+        return [leaf.trail for leaf in self.leaves()]
+
+    def covers_root(self) -> bool:
+        """⋃ L(leaf) ⊇ L(root) — the partition-coverage invariant."""
+        union = None
+        for leaf in self.leaves():
+            union = leaf.trail.dfa if union is None else union.union(leaf.trail.dfa)
+        if union is None:
+            return False
+        return union.includes(self.root.trail.dfa)
+
+    def all_nodes(self) -> List[TrailNode]:
+        out: List[TrailNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def render(self) -> str:
+        return self.root.render()

@@ -1,0 +1,98 @@
+"""Trails: symbolic representations of trace-partition components.
+
+A trail (Section 4.1) is a regular language over the CFG-edge alphabet.
+The canonical internal form is a DFA (refinement needs boolean language
+algebra); the regex form — the presentation used throughout the paper —
+is derived on demand by state elimination.
+
+``Trail`` also records *provenance*: the chain of splits that produced
+it from the most general trail, which is what the Fig.-1-style trees
+display (``taint`` vs ``sec`` arrows) and what the driver consults to
+avoid splitting on the same branch twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.automata import regex as rx
+from repro.automata.dfa import DFA
+from repro.automata.elim import dfa_to_regex
+from repro.cfg.automaton import cfg_automaton, edge_alphabet
+from repro.cfg.graph import ControlFlowGraph, Edge
+
+
+@dataclass(frozen=True)
+class SplitInfo:
+    """One refinement step in a trail's provenance."""
+
+    kind: str  # "taint" (low split) or "sec" (high split)
+    block: int  # the branch block split on
+    edge: Edge  # the branch edge whose occurrence was decided
+    polarity: bool  # True: the edge must occur; False: it never occurs
+
+    def __str__(self) -> str:
+        verb = "takes" if self.polarity else "avoids"
+        return "%s:%s %s->%s" % (self.kind, verb, self.edge[0], self.edge[1])
+
+
+@dataclass
+class Trail:
+    """One partition component, as a language of CFG-edge words."""
+
+    cfg: ControlFlowGraph
+    dfa: DFA
+    description: str
+    splits: Tuple[SplitInfo, ...] = ()
+    _regex_cache: Optional[rx.Regex] = field(default=None, repr=False, compare=False)
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def most_general(cfg: ControlFlowGraph) -> "Trail":
+        """tr_mg: all paths of the CFG automaton (entry to exit)."""
+        return Trail(
+            cfg=cfg,
+            dfa=cfg_automaton(cfg).minimized(),
+            description="most general trail (all paths are possible)",
+        )
+
+    # -- language queries ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> FrozenSet[Edge]:
+        return edge_alphabet(self.cfg)
+
+    def accepts(self, word: Tuple[Edge, ...]) -> bool:
+        return self.dfa.accepts(word)
+
+    def is_empty(self) -> bool:
+        return self.dfa.is_empty()
+
+    def includes(self, other: "Trail") -> bool:
+        """L(other) ⊆ L(self)."""
+        return self.dfa.includes(other.dfa)
+
+    def regex(self) -> rx.Regex:
+        """The trail as a regular expression (state elimination)."""
+        if self._regex_cache is None:
+            object.__setattr__(self, "_regex_cache", dfa_to_regex(self.dfa))
+        return self._regex_cache  # type: ignore[return-value]
+
+    def split_blocks(self) -> FrozenSet[int]:
+        """Branch blocks this trail's provenance already split on."""
+        return frozenset(s.block for s in self.splits)
+
+    def derived(
+        self, dfa: DFA, description: str, split: SplitInfo
+    ) -> "Trail":
+        return Trail(
+            cfg=self.cfg,
+            dfa=dfa.minimized(),
+            description=description,
+            splits=self.splits + (split,),
+        )
+
+    def __str__(self) -> str:
+        return "Trail(%s)" % self.description

@@ -1,0 +1,41 @@
+"""Shared utilities: errors, source positions, text tables."""
+
+from repro.util.errors import (
+    AnalysisError,
+    AutomatonError,
+    CompileError,
+    FuelExhausted,
+    InterpError,
+    LexError,
+    LiftError,
+    ParseError,
+    ReproError,
+    SourceError,
+    TrailError,
+    TypeError_,
+    VerifyError,
+)
+from repro.util.source import UNKNOWN_POS, UNKNOWN_SPAN, Pos, Span
+from repro.util.table import render_table, render_tree
+
+__all__ = [
+    "AnalysisError",
+    "AutomatonError",
+    "CompileError",
+    "FuelExhausted",
+    "InterpError",
+    "LexError",
+    "LiftError",
+    "ParseError",
+    "ReproError",
+    "SourceError",
+    "TrailError",
+    "TypeError_",
+    "VerifyError",
+    "Pos",
+    "Span",
+    "UNKNOWN_POS",
+    "UNKNOWN_SPAN",
+    "render_table",
+    "render_tree",
+]

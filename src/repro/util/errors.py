@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each pipeline stage raises its own subclass of :class:`ReproError` so that
+callers can distinguish, e.g., a parse error in a benchmark source from a
+failure of the bound analysis, while still being able to catch everything
+from the toolchain with a single ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolchain."""
+
+
+class SourceError(ReproError):
+    """An error tied to a position in a source program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "%d:%d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(SourceError):
+    """The parser met an unexpected token."""
+
+
+class TypeError_(SourceError):
+    """The type checker rejected the program.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class CompileError(ReproError):
+    """AST-to-bytecode compilation failed (an internal invariant broke)."""
+
+
+class VerifyError(ReproError):
+    """The bytecode verifier rejected a code object."""
+
+
+class LiftError(ReproError):
+    """The bytecode-to-IR lifter failed (e.g. inconsistent stack heights)."""
+
+
+class InterpError(ReproError):
+    """The concrete interpreter hit a runtime fault (bad index, div by 0)."""
+
+
+class FuelExhausted(InterpError):
+    """The concrete interpreter ran out of fuel (possible nontermination)."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis (taint, abstract interpretation, bounds) failed."""
+
+
+class AutomatonError(ReproError):
+    """An automata-library operation was used incorrectly."""
+
+
+class TrailError(ReproError):
+    """A trail expression or refinement operation was ill-formed."""

@@ -1,0 +1,37 @@
+"""Source positions and spans used by the lexer, parser and diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A 1-based (line, column) position in a source text."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return "%d:%d" % (self.line, self.column)
+
+
+UNKNOWN_POS = Pos(0, 0)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, used to attribute AST nodes."""
+
+    start: Pos
+    end: Pos
+
+    def __str__(self) -> str:
+        return "%s-%s" % (self.start, self.end)
+
+    @staticmethod
+    def at(pos: Pos) -> "Span":
+        return Span(pos, pos)
+
+
+UNKNOWN_SPAN = Span(UNKNOWN_POS, UNKNOWN_POS)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The evaluation harness reproduces Table 1 of the paper as monospace text;
+this module renders aligned columns without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    aligns: Sequence[str] = (),
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    ``aligns`` holds ``"l"`` or ``"r"`` per column; missing entries
+    default to left alignment.  Cells are stringified with ``str``.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError("row width %d != header width %d" % (len(row), ncols))
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            align = aligns[i] if i < len(aligns) else "l"
+            if align == "r":
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_tree(label: str, children: Sequence[str]) -> str:
+    """Render a one-level tree: a label plus indented child strings.
+
+    Children may themselves be multi-line renderings; every line of a
+    child is indented consistently, which lets callers nest calls to
+    build arbitrarily deep trees (used for trail-tree output a la Fig. 1).
+    """
+    lines = [label]
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        head = "`-- " if last else "|-- "
+        cont = "    " if last else "|   "
+        child_lines = child.splitlines() or [""]
+        lines.append(head + child_lines[0])
+        lines.extend(cont + rest for rest in child_lines[1:])
+    return "\n".join(lines)

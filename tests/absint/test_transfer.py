@@ -1,0 +1,146 @@
+"""Transfer-function unit tests (cond defs, block rewriting, externs)."""
+
+from repro.absint.transfer import CondDef, TransferFunctions, len_var, operand_expr
+from repro.bounds.summaries import default_summaries
+from repro.domains import DOMAINS, LinCons, LinExpr
+from repro.ir import instr as ir
+from tests.helpers import compile_one
+
+ZONE = DOMAINS["zone"]
+x = LinExpr.var
+
+
+class TestOperands:
+    def test_const_and_reg(self):
+        cfg = compile_one("proc f(a: int) { var b: int = a; }", "f")
+        assert operand_expr(ir.ConstInt(5), cfg) == LinExpr.constant(5)
+        assert operand_expr(ir.Reg("a"), cfg) == x("a")
+
+    def test_array_reg_is_not_numeric(self):
+        cfg = compile_one("proc f(a: byte[]) { }", "f")
+        assert operand_expr(ir.Reg("a"), cfg) is None
+        assert operand_expr(ir.ConstNull(), cfg) is None
+
+    def test_len_var_naming(self):
+        assert len_var("guess") == "guess#len"
+
+
+class TestCondDefs:
+    def test_negation_and_swap(self):
+        cond = CondDef(ir.CmpOp.LT, ir.Reg("a"), ir.Reg("b"))
+        neg = cond.negated()
+        assert neg.op is ir.CmpOp.GE
+        assert neg.negated().op is ir.CmpOp.LT
+
+    def test_constraint_generation(self):
+        cfg = compile_one("proc f(a: int, b: int) { }", "f")
+        cons = CondDef(ir.CmpOp.LT, ir.Reg("a"), ir.Reg("b")).constraint(cfg)
+        state = ZONE.top().guard(cons)
+        assert state.entails(LinCons.le(x("a") - x("b"), -1))
+
+    def test_ne_yields_no_constraint(self):
+        cfg = compile_one("proc f(a: int, b: int) { }", "f")
+        assert CondDef(ir.CmpOp.NE, ir.Reg("a"), ir.Reg("b")).constraint(cfg) is None
+
+    def test_array_comparison_yields_no_constraint(self):
+        cfg = compile_one("proc f(a: byte[]) { }", "f")
+        cond = CondDef(ir.CmpOp.EQ, ir.Reg("a"), ir.ConstNull())
+        assert cond.constraint(cfg) is None
+
+
+class TestBlockEffects:
+    def test_cond_def_survives_copy(self):
+        cfg = compile_one(
+            "proc f(a: int): bool { var c: bool = a > 0; return c; }", "f"
+        )
+        transfer = TransferFunctions(cfg)
+        state, conds = transfer.block_effect(cfg.entry, ZONE.top())
+        assert "c" in conds  # copied from the compare temp
+
+    def test_not_flips_cond_def(self):
+        cfg = compile_one(
+            "proc f(a: int): int { if (!(a > 0)) { return 1; } return 2; }", "f"
+        )
+        transfer = TransferFunctions(cfg)
+        _, conds = transfer.block_effect(cfg.entry, ZONE.top())
+        branch = cfg.branch_blocks()[0]
+        cons = transfer.branch_constraint(branch, True, conds)
+        state = ZONE.top().guard(cons)
+        assert state.entails(LinCons.le(x("a"), 0))
+
+    def test_rewrite_to_block_entry(self):
+        cfg = compile_one(
+            """
+            proc f(a: byte[], i: int): int {
+                var t: int = len(a);
+                if (i < t) { return 1; }
+                return 0;
+            }
+            """,
+            "f",
+        )
+        transfer = TransferFunctions(cfg)
+        expr = x("t") - x("i")
+        rewritten = transfer.rewrite_to_block_entry(cfg.entry, expr)
+        assert rewritten is not None
+        assert "a#len" in rewritten.variables()
+        assert "t" not in rewritten.variables()
+
+    def test_rewrite_fails_through_array_load(self):
+        cfg = compile_one(
+            "proc f(a: byte[]): int { var v: int = a[0]; return v; }", "f"
+        )
+        transfer = TransferFunctions(cfg)
+        assert transfer.rewrite_to_block_entry(cfg.entry, x("v")) is None
+
+
+class TestExternFacts:
+    def test_return_range_applied(self):
+        source = (
+            "extern bigBitLength(v: int): int;\n"
+            "proc f(e: int): int { return bigBitLength(e); }"
+        )
+        cfg = compile_one(source, "f")
+        transfer = TransferFunctions(cfg, default_summaries(256))
+        state, _ = transfer.block_effect(cfg.entry, ZONE.top())
+        call_dst = next(
+            i.dst.name
+            for _, i in cfg.iter_instrs()
+            if isinstance(i, ir.CallInstr)
+        )
+        lo, hi = state.var_bounds(call_dst)
+        assert lo == 256 and hi == 256
+
+    def test_return_length_applied(self):
+        source = (
+            "extern md5(p: byte[]): byte[];\n"
+            "proc f(p: byte[]): int { var h: byte[] = md5(p); return len(h); }"
+        )
+        cfg = compile_one(source, "f")
+        transfer = TransferFunctions(cfg, default_summaries())
+        state, _ = transfer.block_effect(cfg.entry, ZONE.top())
+        lo, hi = state.var_bounds("h#len")
+        assert lo == 16 and hi == 16
+
+    def test_without_summary_result_is_top(self):
+        source = "extern mystery(): int;\nproc f(): int { return mystery(); }"
+        cfg = compile_one(source, "f")
+        transfer = TransferFunctions(cfg)  # no summaries
+        state, _ = transfer.block_effect(cfg.entry, ZONE.top())
+        call_dst = next(
+            i.dst.name
+            for _, i in cfg.iter_instrs()
+            if isinstance(i, ir.CallInstr)
+        )
+        assert state.var_bounds(call_dst) == (None, None)
+
+    def test_entry_state_constraints(self):
+        cfg = compile_one(
+            "proc f(a: byte[], u: uint, b: bool, n: int) { }", "f"
+        )
+        transfer = TransferFunctions(cfg)
+        state = transfer.entry_state(ZONE.top())
+        assert state.entails(LinCons.ge(x("a#len"), 0))
+        assert state.entails(LinCons.ge(x("u"), 0))
+        assert state.entails(LinCons.le(x("b"), 1))
+        assert state.var_bounds("n") == (None, None)

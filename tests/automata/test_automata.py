@@ -1,0 +1,180 @@
+"""Automata library unit tests: regex, NFA, DFA algebra, elimination."""
+
+import itertools
+
+import pytest
+
+from repro.automata import (
+    DFA,
+    containing_symbol,
+    dfa_to_regex,
+    empty,
+    from_regex,
+    literal,
+    regex_to_dfa,
+    universal,
+)
+from repro.automata import regex as rx
+
+AB = frozenset("ab")
+ABCD = frozenset("abcd")
+
+
+def words(alphabet, max_len):
+    for n in range(max_len + 1):
+        yield from itertools.product(sorted(alphabet), repeat=n)
+
+
+class TestRegex:
+    def test_smart_constructors_normalize(self):
+        a = rx.sym("a")
+        assert rx.concat(rx.EMPTY, a) is rx.EMPTY
+        assert rx.concat(rx.EPSILON, a) == a
+        assert rx.union(rx.EMPTY, a) == a
+        assert rx.union(a, a) == a
+        assert rx.star(rx.EMPTY) == rx.EPSILON
+        assert rx.star(rx.star(a)) == rx.star(a)
+
+    def test_nullable(self):
+        assert rx.parse("a*").nullable()
+        assert rx.parse("&|a").nullable()
+        assert not rx.parse("a(b|c)").nullable()
+
+    def test_symbols(self):
+        assert rx.parse("a(b|c)*d").symbols() == frozenset("abcd")
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("(", "a)", "*", "a|*"):
+            with pytest.raises(ValueError):
+                rx.parse(bad)
+
+    def test_brute_matcher(self):
+        regex = rx.parse("(a|b)*abb")
+        assert rx.matches_brute(regex, tuple("abb"))
+        assert rx.matches_brute(regex, tuple("babb"))
+        assert not rx.matches_brute(regex, tuple("ab"))
+
+
+class TestNFA:
+    @pytest.mark.parametrize(
+        "pattern", ["a(b|c)*d", "ab|ba", "(ab)*", "a*b*", "(a|b)*abb", "&", "∅fallback"]
+    )
+    def test_thompson_matches_brute(self, pattern):
+        if pattern == "∅fallback":
+            regex = rx.EMPTY
+        else:
+            regex = rx.parse(pattern)
+        nfa = from_regex(regex)
+        for word in words(ABCD, 4):
+            assert nfa.accepts(word) == rx.matches_brute(regex, word), (pattern, word)
+
+    def test_determinize_preserves_language(self):
+        regex = rx.parse("a(b|c)*d|ad*")
+        nfa = from_regex(regex)
+        dfa = nfa.determinize()
+        for word in words(ABCD, 4):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+
+class TestDFAAlgebra:
+    def setup_method(self):
+        self.a = regex_to_dfa(rx.parse("(a|b)*a"), AB)
+        self.b = regex_to_dfa(rx.parse("a(a|b)*"), AB)
+
+    def test_intersection(self):
+        inter = self.a.intersect(self.b)
+        for word in words(AB, 5):
+            assert inter.accepts(word) == (self.a.accepts(word) and self.b.accepts(word))
+
+    def test_union(self):
+        un = self.a.union(self.b)
+        for word in words(AB, 5):
+            assert un.accepts(word) == (self.a.accepts(word) or self.b.accepts(word))
+
+    def test_complement(self):
+        comp = self.a.complement(AB)
+        for word in words(AB, 5):
+            assert comp.accepts(word) != self.a.accepts(word)
+
+    def test_difference_and_inclusion(self):
+        diff = self.a.difference(self.b)
+        for word in words(AB, 5):
+            assert diff.accepts(word) == (self.a.accepts(word) and not self.b.accepts(word))
+        assert self.a.includes(self.a.intersect(self.b))
+        assert self.a.union(self.b).includes(self.a)
+        assert not self.a.includes(self.b)
+
+    def test_equivalence(self):
+        left = regex_to_dfa(rx.parse("(ab)*a|a(ba)*"), AB)
+        right = regex_to_dfa(rx.parse("a(ba)*"), AB)
+        assert left.equivalent(right)
+
+    def test_emptiness_and_shortest(self):
+        assert empty().is_empty()
+        assert not self.a.is_empty()
+        assert regex_to_dfa(rx.parse("(a|b)*abb"), AB).shortest_word() == tuple("abb")
+        inter = self.a.intersect(self.a.complement(AB))
+        assert inter.is_empty()
+
+    def test_finiteness(self):
+        assert regex_to_dfa(rx.parse("ab|ba"), AB).is_finite()
+        assert not regex_to_dfa(rx.parse("ab*"), AB).is_finite()
+        assert empty().is_finite()
+
+    def test_minimization_preserves_language(self):
+        dfa = regex_to_dfa(rx.parse("(a|b)*abb"), AB)
+        minimal = dfa.minimized()
+        assert minimal.num_states <= dfa.num_states
+        for word in words(AB, 6):
+            assert minimal.accepts(word) == dfa.accepts(word)
+
+    def test_minimization_canonical_size(self):
+        # (a|b)*abb has a 4-state minimal DFA.
+        assert regex_to_dfa(rx.parse("(a|b)*abb"), AB).minimized().num_states == 4
+
+    def test_enumerate_words(self):
+        dfa = regex_to_dfa(rx.parse("ab|a"), AB)
+        assert dfa.enumerate_words(2) == [("a",), ("a", "b")]
+
+
+class TestHelpers:
+    def test_literal(self):
+        dfa = literal(tuple("abc"))
+        assert dfa.accepts(tuple("abc"))
+        assert not dfa.accepts(tuple("ab"))
+        assert not dfa.accepts(tuple("abcd"))
+
+    def test_universal(self):
+        dfa = universal(AB)
+        for word in words(AB, 3):
+            assert dfa.accepts(word)
+
+    def test_containing_symbol(self):
+        dfa = containing_symbol(AB, "a")
+        assert dfa.accepts(tuple("ba"))
+        assert dfa.accepts(tuple("aaa"))
+        assert not dfa.accepts(tuple("bbb"))
+        assert not dfa.accepts(())
+
+    def test_containing_symbol_partition(self):
+        """occurrence-split components cover the universal language."""
+        with_a = containing_symbol(AB, "a")
+        without_a = with_a.complement(AB)
+        union = with_a.union(without_a)
+        assert union.includes(universal(AB))
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize(
+        "pattern", ["a", "ab", "a|b", "(ab)*", "a(b|c)*d", "(a|b)*abb", "ab(c|&)d*"]
+    )
+    def test_roundtrip_language(self, pattern):
+        regex = rx.parse(pattern)
+        dfa = regex_to_dfa(regex, ABCD)
+        back = dfa_to_regex(dfa)
+        dfa2 = regex_to_dfa(back, ABCD)
+        for word in words(ABCD, 4):
+            assert dfa.accepts(word) == dfa2.accepts(word), (pattern, word)
+
+    def test_empty_language(self):
+        assert dfa_to_regex(empty()) == rx.EMPTY

@@ -1,0 +1,92 @@
+"""Benchmark-registry sanity tests (fast: no full analysis runs)."""
+
+import pytest
+
+from repro.benchsuite import (
+    ALL_BENCHMARKS,
+    EXTRA_BENCHMARKS,
+    FULL_SUITE,
+    LITERATURE,
+    MICRO,
+    STAC,
+    SUITE,
+    BenchmarkSuite,
+)
+from repro.bytecode import compile_program, verify_module
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+from repro.taint import analyze_taint
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS + EXTRA_BENCHMARKS, ids=lambda b: b.name)
+def test_sources_compile_and_verify(bench):
+    module = compile_program(frontend(bench.source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    assert bench.proc in cfgs
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_every_benchmark_has_a_secret_or_is_nosecret(bench):
+    cfgs = lift_module(compile_program(frontend(bench.source)))
+    cfg = cfgs[bench.proc]
+    has_secret = bool(cfg.secret_params())
+    if bench.name == "nosecret_safe":
+        assert not has_secret
+    else:
+        assert has_secret, bench.name
+
+
+@pytest.mark.parametrize(
+    "bench",
+    [b for b in ALL_BENCHMARKS if b.expect == "attack" and b.name != "notaint_unsafe"],
+    ids=lambda b: b.name,
+)
+def test_unsafe_benchmarks_have_high_influence(bench):
+    """Every unsafe benchmark's leak flows through a secret-dependent
+    branch or a secret-length loop."""
+    cfgs = lift_module(compile_program(frontend(bench.source)))
+    taint = analyze_taint(cfgs[bench.proc])
+    # Either a high branch exists, or some branch is secret-length driven.
+    assert taint.high_branches(), bench.name
+
+
+@pytest.mark.parametrize(
+    "bench",
+    [b for b in ALL_BENCHMARKS + EXTRA_BENCHMARKS if b.witness_space is not None],
+    ids=lambda b: b.name,
+)
+def test_witness_spaces_are_executable(bench):
+    """Every registered witness input combination actually runs."""
+    from repro.core.witness import enumerate_inputs
+
+    module = compile_program(frontend(bench.source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    interp = Interpreter(cfgs, fuel=10_000_000)
+    count = 0
+    for args in enumerate_inputs(cfgs[bench.proc], bench.witness_space, limit=4):
+        interp.run(bench.proc, args)  # must not raise
+        count += 1
+    assert count > 0
+
+
+class TestSuiteContainer:
+    def test_duplicate_names_rejected(self):
+        bench = ALL_BENCHMARKS[0]
+        with pytest.raises(ValueError):
+            BenchmarkSuite([bench, bench])
+
+    def test_groups_partition_suite(self):
+        names = set()
+        for group in (MICRO, STAC, LITERATURE):
+            names.update(b.name for b in SUITE.by_group(group))
+        assert names == set(SUITE.names())
+
+    def test_full_suite_is_25_programs(self):
+        assert len(FULL_SUITE) == 25
+
+    def test_get_and_iter(self):
+        assert SUITE.get("login_safe").proc == "login_safe"
+        assert len(list(iter(SUITE))) == 24

@@ -1,0 +1,95 @@
+"""Generic digraph algorithm tests (the product-graph toolbox)."""
+
+import pytest
+
+from repro.bounds.graphops import (
+    GraphLoop,
+    IrreducibleGraphError,
+    dominates,
+    immediate_dominators,
+    natural_loops,
+    predecessors,
+    reverse_postorder,
+    topo_order_dag,
+)
+
+DIAMOND = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+LOOP = {"a": ["b"], "b": ["c", "d"], "c": ["b"], "d": []}
+NESTED = {
+    "a": ["h1"],
+    "h1": ["h2", "x"],
+    "h2": ["body", "h1"],
+    "body": ["h2"],
+    "x": [],
+}
+IRREDUCIBLE = {"a": ["b", "c"], "b": ["c"], "c": ["b", "d"], "d": []}
+
+
+class TestTraversals:
+    def test_rpo_starts_at_root(self):
+        order = reverse_postorder(["a"], DIAMOND)
+        assert order[0] == "a"
+        assert order[-1] == "d"
+        assert set(order) == set(DIAMOND)
+
+    def test_rpo_respects_edges_in_dag(self):
+        order = reverse_postorder(["a"], DIAMOND)
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_predecessors(self):
+        preds = predecessors(DIAMOND)
+        assert sorted(preds["d"]) == ["b", "c"]
+        assert preds["a"] == []
+
+    def test_topo_order_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            topo_order_dag(list(LOOP), LOOP)
+
+    def test_topo_order_on_dag(self):
+        order = topo_order_dag(list(DIAMOND), DIAMOND)
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["b"] and pos["a"] < pos["c"] and pos["b"] < pos["d"]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        idom = immediate_dominators("a", DIAMOND)
+        assert idom["a"] is None
+        assert idom["b"] == "a" and idom["c"] == "a"
+        assert idom["d"] == "a"
+
+    def test_dominates_reflexive_and_transitive(self):
+        idom = immediate_dominators("a", NESTED)
+        assert dominates(idom, "a", "body")
+        assert dominates(idom, "h1", "h2")
+        assert dominates(idom, "body", "body")
+        assert not dominates(idom, "body", "h1")
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        loops = natural_loops("a", LOOP)
+        assert len(loops) == 1
+        (loop,) = loops
+        assert loop.header == "b"
+        assert loop.body == {"b", "c"}
+        assert loop.back_edges == [("c", "b")]
+        assert loop.exit_edges(LOOP) == [("b", "d")]
+
+    def test_nested_loops(self):
+        loops = natural_loops("a", NESTED)
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.header == "h1")
+        inner = next(l for l in loops if l.header == "h2")
+        assert inner.parent is outer
+        assert inner.body < outer.body
+        assert outer.depth == 0 and inner.depth == 1
+
+    def test_acyclic_graph_has_no_loops(self):
+        assert natural_loops("a", DIAMOND) == []
+
+    def test_irreducible_raises(self):
+        with pytest.raises(IrreducibleGraphError):
+            natural_loops("a", IRREDUCIBLE)

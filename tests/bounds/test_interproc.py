@@ -1,0 +1,135 @@
+"""Interprocedural bound tests: ProcBound instantiation and ordering."""
+
+from fractions import Fraction
+
+from repro.bounds import compute_bound, compute_proc_bounds, default_summaries
+from repro.bounds.interproc import call_graph, proc_param_symbols
+from repro.domains import DOMAINS
+from repro.interp import Interpreter
+from tests.helpers import compile_to_cfgs
+
+ZONE = DOMAINS["zone"]
+
+
+class TestCallGraph:
+    def test_edges(self):
+        cfgs = compile_to_cfgs(
+            """
+            proc a(): int { return b() + c(); }
+            proc b(): int { return c(); }
+            proc c(): int { return 1; }
+            """
+        )
+        graph = call_graph(cfgs)
+        assert graph["a"] == {"b", "c"}
+        assert graph["b"] == {"c"}
+        assert graph["c"] == set()
+
+    def test_externs_excluded(self):
+        cfgs = compile_to_cfgs(
+            "extern md5(p: byte[]): byte[];\n"
+            'proc f(): int { return len(md5("x")); }'
+        )
+        assert call_graph(cfgs)["f"] == set()
+
+
+class TestParamSymbols:
+    def test_kinds(self):
+        cfgs = compile_to_cfgs("proc f(a: byte[], n: int, u: uint) { }")
+        symbols = proc_param_symbols(cfgs["f"])
+        assert symbols == [("a#len", "len"), ("n", "int"), ("u", "int")]
+
+
+class TestInstantiation:
+    def test_symbolic_argument_substitution(self):
+        source = """
+        proc inner(k: uint): int {
+            var i: int = 0;
+            while (i < k) { i = i + 1; }
+            return i;
+        }
+        proc outer(n: uint): int {
+            return inner(n) + inner(n);
+        }
+        """
+        cfgs = compile_to_cfgs(source)
+        bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+        result = compute_bound(cfgs["outer"], ZONE, proc_bounds=bounds)
+        interp = Interpreter(cfgs)
+        for n in (0, 3, 6):
+            time = interp.time_of("outer", [n])
+            lo, hi = result.bound.evaluate({"n": n})
+            assert hi is not None
+            assert lo <= time <= hi, (n, time, lo, hi)
+
+    def test_constant_argument(self):
+        source = """
+        proc inner(k: uint): int {
+            var i: int = 0;
+            while (i < k) { i = i + 1; }
+            return i;
+        }
+        proc outer(): int { return inner(5); }
+        """
+        cfgs = compile_to_cfgs(source)
+        bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+        result = compute_bound(cfgs["outer"], ZONE, proc_bounds=bounds)
+        lo, hi = result.bound.evaluate({})
+        time = Interpreter(cfgs).time_of("outer", [])
+        assert lo <= time <= hi
+
+    def test_array_length_argument(self):
+        source = """
+        proc scan(a: byte[]): int {
+            var s: int = 0;
+            for (var i: int = 0; i < len(a); i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        proc caller(data: byte[]): int { return scan(data); }
+        """
+        cfgs = compile_to_cfgs(source)
+        bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+        result = compute_bound(cfgs["caller"], ZONE, proc_bounds=bounds)
+        assert "data#len" in result.bound.symbols()
+        interp = Interpreter(cfgs)
+        for data in ([], [1, 2, 3, 4]):
+            time = interp.time_of("caller", [data])
+            lo, hi = result.bound.evaluate({"data#len": len(data)})
+            assert lo <= time <= hi
+
+    def test_unresolvable_argument_loses_upper_only(self):
+        source = """
+        proc inner(k: int): int {
+            var i: int = 0;
+            while (i < k) { i = i + 1; }
+            return i;
+        }
+        proc outer(n: int, m: int): int {
+            return inner(n * m);
+        }
+        """
+        cfgs = compile_to_cfgs(source)
+        bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+        result = compute_bound(cfgs["outer"], ZONE, proc_bounds=bounds)
+        # n*m is not affine: the callee's n-linear upper bound cannot be
+        # instantiated; the result must be feasible with upper = None.
+        assert result.feasible
+        assert result.bound.upper is None
+
+    def test_mutual_recursion_skipped(self):
+        source = """
+        proc even(n: int): bool {
+            if (n == 0) { return true; }
+            return odd(n - 1);
+        }
+        proc odd(n: int): bool {
+            if (n == 0) { return false; }
+            return even(n - 1);
+        }
+        """
+        cfgs = compile_to_cfgs(source)
+        bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+        # Mutual recursion: sound bounds exist but never a finite upper.
+        for name in ("even", "odd"):
+            if name in bounds:
+                assert bounds[name].bound.upper is None

@@ -1,0 +1,87 @@
+"""Extern-summary tests, incl. consistency with the concrete models."""
+
+from fractions import Fraction
+
+from repro.bounds.cost import Poly
+from repro.bounds.summaries import CallSummary, SummaryRegistry, default_summaries
+from repro.interp.externs import (
+    DEFAULT_MAX_BITS,
+    big_mod_cost,
+    big_multiply_cost,
+    default_registry,
+)
+
+
+class TestCallSummary:
+    def test_constant_summary(self):
+        summary = CallSummary("f", Fraction(10), Fraction(20))
+        bound = summary.instantiate([])
+        assert bound.evaluate({}) == (10, 20)
+
+    def test_per_byte_summary(self):
+        summary = CallSummary(
+            "hash", Fraction(5), Fraction(5), per_byte_arg=0, per_byte=Fraction(3)
+        )
+        bound = summary.instantiate([Poly.symbol("p#len")])
+        lo, hi = bound.evaluate({"p#len": 4})
+        assert (lo, hi) == (17, 17)
+
+    def test_per_byte_with_unknown_length(self):
+        summary = CallSummary(
+            "hash", Fraction(5), Fraction(5), per_byte_arg=0, per_byte=Fraction(3)
+        )
+        bound = summary.instantiate([None])
+        assert bound.upper is None  # upper lost, lower kept
+
+    def test_registry_lookup_and_copy(self):
+        registry = SummaryRegistry()
+        registry.register(CallSummary("f", Fraction(1), Fraction(1)))
+        assert registry.lookup("f") is not None
+        assert registry.lookup("g") is None
+        clone = registry.copy()
+        clone.register(CallSummary("g", Fraction(2), Fraction(2)))
+        assert registry.lookup("g") is None
+
+
+class TestDefaults:
+    def test_all_benchmark_externs_covered(self):
+        registry = default_summaries()
+        for name in ("md5", "bigMultiply", "bigMod", "bigTestBit", "bigBitLength"):
+            assert registry.lookup(name) is not None, name
+
+    def test_costs_match_concrete_models(self):
+        """The static summaries and the interpreter's extern models must
+        charge the same constants, or the soundness tests would drift."""
+        registry = default_summaries(DEFAULT_MAX_BITS)
+        concrete = default_registry()
+        mul_result, mul_cost = concrete.resolve("bigMultiply").impl([3, 5])
+        assert mul_result == 15
+        summary = registry.lookup("bigMultiply")
+        assert summary.lo == summary.hi == mul_cost == big_multiply_cost()
+        mod_result, mod_cost = concrete.resolve("bigMod").impl([17, 5])
+        assert mod_result == 2
+        assert registry.lookup("bigMod").hi == mod_cost == big_mod_cost()
+
+    def test_bit_length_return_range_is_modeled_width(self):
+        registry = default_summaries(512)
+        summary = registry.lookup("bigBitLength")
+        assert summary.ret_lo == summary.ret_hi == 512
+
+    def test_testbit_returns_boolean_range(self):
+        summary = default_summaries().lookup("bigTestBit")
+        assert (summary.ret_lo, summary.ret_hi) == (0, 1)
+
+    def test_md5_returns_16_bytes(self):
+        registry = default_summaries()
+        assert registry.lookup("md5").ret_len == 16
+        concrete = default_registry()
+        digest, _ = concrete.resolve("md5").impl([[1, 2, 3]])
+        assert len(digest) == 16
+
+    def test_md5_digest_deterministic(self):
+        concrete = default_registry()
+        a, _ = concrete.resolve("md5").impl([[1, 2, 3]])
+        b, _ = concrete.resolve("md5").impl([[1, 2, 3]])
+        c, _ = concrete.resolve("md5").impl([[1, 2, 4]])
+        assert a == b
+        assert a != c

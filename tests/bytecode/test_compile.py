@@ -1,0 +1,144 @@
+"""Compiler unit tests: AST to stack bytecode."""
+
+import pytest
+
+from repro.bytecode import Opcode, compile_program, disassemble, verify_module
+from repro.lang import frontend
+from tests.helpers import compile_to_module
+
+
+def ops(source, proc):
+    module = compile_to_module(source)
+    return [i.op for i in module.code(proc).instrs]
+
+
+class TestStraightLine:
+    def test_constant_and_store(self):
+        sequence = ops("proc f() { var a: int = 7; }", "f")
+        assert sequence[:2] == [Opcode.PUSH, Opcode.STORE]
+
+    def test_default_initialization(self):
+        module = compile_to_module("proc f() { var a: int; var b: byte[]; }")
+        instrs = module.code("f").instrs
+        assert instrs[0].op is Opcode.PUSH and instrs[0].arg == 0
+        assert instrs[2].op is Opcode.PUSH_NULL
+
+    def test_arith_postfix_order(self):
+        sequence = ops("proc f(x: int) { var a: int = x * 2 + 1; }", "f")
+        assert sequence[:5] == [
+            Opcode.LOAD,
+            Opcode.PUSH,
+            Opcode.MUL,
+            Opcode.PUSH,
+            Opcode.ADD,
+        ]
+
+    def test_string_literal_constant(self):
+        module = compile_to_module('proc f() { var s: byte[] = "ab"; }')
+        push = module.code("f").instrs[0]
+        assert push.op is Opcode.PUSH and push.arg == (97, 98)
+
+    def test_discarded_call_result_popped(self):
+        sequence = ops(
+            "proc g(): int { return 1; } proc f() { g(); }", "f"
+        )
+        assert sequence == [Opcode.INVOKE, Opcode.POP, Opcode.RET]
+
+
+class TestControlFlow:
+    def test_every_compiled_module_verifies(self):
+        module = compile_to_module(
+            """
+            proc f(secret h: int, public l: uint): int {
+                var acc: int = 0;
+                for (var i: int = 0; i < l; i = i + 1) {
+                    if (h > 0 && i < 10) { acc = acc + 1; }
+                    else { acc = acc + 2; }
+                    if (acc > 100) { break; }
+                    if (acc == 50) { continue; }
+                    acc = acc + i;
+                }
+                while (acc > 0 || h < 0) { acc = acc - 1; }
+                return acc;
+            }
+            """
+        )
+        verify_module(module)  # should not raise
+
+    def test_branch_targets_resolved(self):
+        module = compile_to_module("proc f(x: int) { if (x > 0) { x = 1; } }")
+        code = module.code("f")
+        for pc, target in code.jump_targets():
+            assert 0 <= target < len(code.instrs)
+
+    def test_while_backedge(self):
+        module = compile_to_module("proc f(x: int) { while (x > 0) { x = x - 1; } }")
+        code = module.code("f")
+        backward = [(pc, t) for pc, t in code.jump_targets() if t <= pc]
+        assert backward, "a while loop must produce a backward jump"
+
+    def test_continue_jumps_to_update(self):
+        source = """
+        proc f(n: int) {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (i == 2) { continue; }
+                s = s + 1;
+            }
+        }
+        """
+        module = compile_to_module(source)
+        verify_module(module)
+
+    def test_short_circuit_and_emits_branches(self):
+        sequence = ops("proc f(a: bool, b: bool): bool { return a && b; }", "f")
+        assert Opcode.IFZ in sequence
+        assert sequence.count(Opcode.RETVAL) == 1
+
+    def test_short_circuit_or_emits_branches(self):
+        sequence = ops("proc f(a: bool, b: bool): bool { return a || b; }", "f")
+        assert Opcode.IFNZ in sequence
+
+
+class TestCallsAndReturns:
+    def test_void_proc_gets_implicit_ret(self):
+        sequence = ops("proc f() { }", "f")
+        assert sequence == [Opcode.RET]
+
+    def test_invoke_metadata(self):
+        module = compile_to_module(
+            "extern md5(p: byte[]): byte[];\n"
+            'proc f() { var h: byte[] = md5("x"); }'
+        )
+        invoke = next(
+            i for i in module.code("f").instrs if i.op is Opcode.INVOKE
+        )
+        assert invoke.callee == "md5"
+        assert invoke.argc == 1
+        assert invoke.has_result
+
+    def test_slot_names_preserved(self):
+        module = compile_to_module("proc f(alpha: int) { var beta: int = alpha; }")
+        code = module.code("f")
+        assert code.slot_name(0) == "alpha"
+        assert code.slot_name(1) == "beta"
+
+    def test_disassembly_mentions_names(self):
+        module = compile_to_module("proc f(alpha: int) { var beta: int = alpha; }")
+        text = disassemble(module.code("f"))
+        assert "alpha" in text and "beta" in text
+
+
+class TestScoping:
+    def test_sibling_scopes_can_reuse_names(self):
+        module = compile_to_module(
+            """
+            proc f(c: bool) {
+                if (c) { var t: int = 1; } else { var t: int = 2; }
+            }
+            """
+        )
+        verify_module(module)
+        # Two distinct slots named t (no reuse).
+        slots = [v.name for v in module.code("f").locals]
+        assert slots.count("t") == 2

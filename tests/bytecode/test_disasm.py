@@ -1,0 +1,24 @@
+"""Disassembler output tests."""
+
+from repro.bytecode import disassemble
+from tests.helpers import compile_to_module
+
+
+def test_listing_structure():
+    module = compile_to_module(
+        "proc f(secret h: int, public l: uint): int {"
+        " var i: int = 0; while (i < l) { i = i + 1; } return i; }"
+    )
+    text = disassemble(module.code("f"))
+    lines = text.splitlines()
+    assert lines[0].startswith("code f(")
+    assert "secret h: int" in lines[0]
+    # Jump targets are labeled and referenced symmetrically.
+    labels = {l.split(":")[0].strip() for l in lines[1:] if ":" in l.split()[0]}
+    refs = {tok for l in lines for tok in l.split() if tok.startswith("L") and tok[1:].isdigit()}
+    for ref in refs:
+        assert ref + ":" in text or ref in labels
+
+def test_slot_comments():
+    module = compile_to_module("proc f(alpha: int): int { return alpha; }")
+    assert "; alpha" in disassemble(module.code("f"))

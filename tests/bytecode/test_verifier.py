@@ -1,0 +1,174 @@
+"""Verifier unit tests: hand-corrupted code objects must be rejected."""
+
+import pytest
+
+from repro.bytecode import CodeObject, Instr, LocalVar, Opcode, verify_code
+from repro.lang import ast
+from repro.util.errors import VerifyError
+from tests.helpers import compile_to_module
+
+
+def make_code(instrs, params=(), ret=ast.VOID, locals_=()):
+    return CodeObject(
+        name="t",
+        params=list(params),
+        ret=ret,
+        instrs=list(instrs),
+        locals=list(locals_),
+    )
+
+
+INT_PARAM = LocalVar(0, "x", ast.INT, is_param=True, level=ast.SecLevel.PUBLIC)
+ARR_PARAM = LocalVar(0, "a", ast.INT_ARRAY, is_param=True, level=ast.SecLevel.PUBLIC)
+
+
+class TestAccepts:
+    def test_minimal_void_return(self):
+        verify_code(make_code([Instr(Opcode.RET)]))
+
+    def test_push_pop_balance(self):
+        verify_code(
+            make_code([Instr(Opcode.PUSH, 1), Instr(Opcode.POP), Instr(Opcode.RET)])
+        )
+
+    def test_value_return(self):
+        verify_code(
+            make_code([Instr(Opcode.PUSH, 1), Instr(Opcode.RETVAL)], ret=ast.INT)
+        )
+
+    def test_branch_merge_consistent(self):
+        # if (x) push 1 else push 2; pop; ret — stack heights agree.
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.IFZ, 4),
+                Instr(Opcode.PUSH, 1),
+                Instr(Opcode.GOTO, 5),
+                Instr(Opcode.PUSH, 2),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[INT_PARAM],
+        )
+        verify_code(code)
+
+    def test_compiled_suite_verifies(self):
+        compile_to_module(
+            """
+            proc f(a: byte[], n: int): int {
+                var s: int = 0;
+                for (var i: int = 0; i < n && i < len(a); i = i + 1) {
+                    s = s + a[i];
+                }
+                return s;
+            }
+            """
+        )
+
+
+class TestRejects:
+    def _reject(self, code):
+        with pytest.raises(VerifyError):
+            verify_code(code)
+
+    def test_empty_stream(self):
+        self._reject(make_code([]))
+
+    def test_falls_off_end(self):
+        self._reject(make_code([Instr(Opcode.PUSH, 1)]))
+
+    def test_bad_jump_target(self):
+        self._reject(make_code([Instr(Opcode.GOTO, 99), Instr(Opcode.RET)]))
+
+    def test_stack_underflow(self):
+        self._reject(make_code([Instr(Opcode.POP), Instr(Opcode.RET)]))
+
+    def test_inconsistent_merge_heights(self):
+        # One path pushes a value, the other does not.
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.IFZ, 3),
+                Instr(Opcode.PUSH, 1),
+                Instr(Opcode.RET),
+            ],
+            params=[INT_PARAM],
+        )
+        self._reject(code)
+
+    def test_bad_slot_index(self):
+        self._reject(make_code([Instr(Opcode.LOAD, 3), Instr(Opcode.RET)]))
+
+    def test_value_left_on_stack_at_ret(self):
+        self._reject(make_code([Instr(Opcode.PUSH, 1), Instr(Opcode.RET)]))
+
+    def test_retval_from_void(self):
+        self._reject(make_code([Instr(Opcode.PUSH, 1), Instr(Opcode.RETVAL)]))
+
+    def test_ret_from_nonvoid(self):
+        self._reject(make_code([Instr(Opcode.RET)], ret=ast.INT))
+
+    def test_aload_on_int(self):
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.PUSH, 0),
+                Instr(Opcode.ALOAD),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[INT_PARAM],
+        )
+        self._reject(code)
+
+    def test_arith_on_ref(self):
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.PUSH, 1),
+                Instr(Opcode.ADD),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[ARR_PARAM],
+        )
+        self._reject(code)
+
+    def test_ordered_compare_on_refs(self):
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.CMPLT),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[ARR_PARAM],
+        )
+        self._reject(code)
+
+    def test_equality_int_vs_ref(self):
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.PUSH, 1),
+                Instr(Opcode.CMPEQ),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[ARR_PARAM],
+        )
+        self._reject(code)
+
+    def test_ref_null_equality_allowed(self):
+        code = make_code(
+            [
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.PUSH_NULL),
+                Instr(Opcode.CMPEQ),
+                Instr(Opcode.POP),
+                Instr(Opcode.RET),
+            ],
+            params=[ARR_PARAM],
+        )
+        verify_code(code)  # should pass

@@ -1,0 +1,143 @@
+"""CFG structure, dominance, loops, and CFG-automaton tests."""
+
+from repro.cfg import (
+    cfg_automaton,
+    control_dependence,
+    dominator_tree,
+    edge_alphabet,
+    innermost_loop,
+    is_reducible,
+    most_general_trail_regex,
+    natural_loops,
+    postdominator_tree,
+)
+from tests.helpers import COUNT_LOOP, compile_one
+
+NESTED = """
+proc nested(n: uint): int {
+    var total: int = 0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        for (var j: int = 0; j < n; j = j + 1) {
+            total = total + 1;
+        }
+    }
+    return total;
+}
+"""
+
+DIAMOND = """
+proc diamond(x: int): int {
+    var r: int = 0;
+    if (x > 0) { r = 1; } else { r = 2; }
+    return r;
+}
+"""
+
+
+class TestDominance:
+    def test_entry_dominates_everything(self):
+        cfg = compile_one(NESTED, "nested")
+        dom = dominator_tree(cfg)
+        for bid in cfg.reverse_postorder():
+            assert dom.dominates(cfg.entry, bid)
+
+    def test_diamond_join_not_dominated_by_arms(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        dom = dominator_tree(cfg)
+        branch = cfg.branch_blocks()[0]
+        then_block, else_block = [t for _, t in [cfg.branch_edges(branch)[0], cfg.branch_edges(branch)[1]]]
+        # The join (successor of both arms) is dominated by the branch,
+        # not by either arm.
+        (join,) = set(cfg.successors(then_block)) & set(cfg.successors(else_block))
+        assert dom.dominates(branch, join)
+        assert not dom.dominates(then_block, join)
+        assert not dom.dominates(else_block, join)
+
+    def test_postdominance_of_exit(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        pdom = postdominator_tree(cfg)
+        for bid in cfg.reverse_postorder():
+            assert pdom.dominates(cfg.exit_id, bid)
+
+    def test_control_dependence_of_diamond(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        deps = control_dependence(cfg)
+        branch = cfg.branch_blocks()[0]
+        taken, not_taken = cfg.branch_edges(branch)
+        assert branch in deps[taken[1]]
+        assert branch in deps[not_taken[1]]
+
+    def test_loop_body_control_dependent_on_header(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        deps = control_dependence(cfg)
+        (loop,) = natural_loops(cfg)
+        body_blocks = loop.body - {loop.header}
+        for bid in body_blocks:
+            assert loop.header in deps[bid]
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].back_edges
+
+    def test_nested_loops_and_depths(self):
+        cfg = compile_one(NESTED, "nested")
+        loops = natural_loops(cfg)
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.parent is None)
+        inner = next(l for l in loops if l.parent is not None)
+        assert inner.parent is outer
+        assert inner.body < outer.body
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_innermost_loop_query(self):
+        cfg = compile_one(NESTED, "nested")
+        loops = natural_loops(cfg)
+        inner = next(l for l in loops if l.parent is not None)
+        assert innermost_loop(loops, inner.header) is inner
+
+    def test_exit_edges_leave_the_body(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        (loop,) = natural_loops(cfg)
+        for src, dst in loop.exit_edges(cfg):
+            assert src in loop.body and dst not in loop.body
+
+    def test_compiled_cfgs_are_reducible(self):
+        for source, name in ((NESTED, "nested"), (DIAMOND, "diamond")):
+            assert is_reducible(compile_one(source, name))
+
+    def test_loop_free_program(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        assert natural_loops(cfg) == []
+
+
+class TestCfgAutomaton:
+    def test_alphabet_is_edge_set(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        assert edge_alphabet(cfg) == frozenset(cfg.edges())
+
+    def test_automaton_accepts_straight_path(self):
+        cfg = compile_one("proc f() { }", "f")
+        automaton = cfg_automaton(cfg)
+        word = tuple()
+        # entry -> exit directly
+        path = [(cfg.entry, cfg.exit_id)]
+        assert automaton.accepts(tuple(path))
+
+    def test_automaton_rejects_non_paths(self):
+        cfg = compile_one(DIAMOND, "diamond")
+        automaton = cfg_automaton(cfg)
+        edges = cfg.edges()
+        # A word starting with a non-entry edge is rejected.
+        non_entry = [e for e in edges if e[0] != cfg.entry][0]
+        assert not automaton.accepts((non_entry,))
+
+    def test_most_general_trail_nonempty(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        regex = most_general_trail_regex(cfg)
+        assert not regex.is_empty_language()
+        # The regex must mention a back edge (the loop star).
+        assert "*" in str(regex)

@@ -1,0 +1,47 @@
+"""Driver API behaviors: multi-procedure programs, determinism, reuse."""
+
+from repro.core import Blazer
+
+TWO_PROCS = """
+proc helper(n: uint): int {
+    var i: int = 0;
+    while (i < n) { i = i + 1; }
+    return i;
+}
+proc outer(secret h: int, public l: uint): int {
+    return helper(l);
+}
+proc leaky(secret h: int, public l: uint): int {
+    if (h > 0) { return helper(l); }
+    return 0;
+}
+"""
+
+
+class TestBlazerAPI:
+    def setup_method(self):
+        self.blazer = Blazer.from_source(TWO_PROCS)
+
+    def test_analyze_multiple_procs_one_pipeline(self):
+        safe = self.blazer.analyze("outer")
+        attack = self.blazer.analyze("leaky")
+        assert safe.status == "safe"
+        assert attack.status == "attack"
+
+    def test_interprocedural_bound_used(self):
+        verdict = self.blazer.analyze("outer")
+        bound = verdict.tree.root.bound.bound
+        assert bound.upper is not None  # helper's bound was instantiated
+        assert "l" in bound.symbols()
+
+    def test_verdicts_deterministic(self):
+        a = self.blazer.analyze("leaky")
+        b = self.blazer.analyze("leaky")
+        assert a.status == b.status
+        assert len(a.tree.leaves()) == len(b.tree.leaves())
+        assert str(a.tree.root.bound) == str(b.tree.root.bound)
+
+    def test_taint_cached_per_proc(self):
+        t1 = self.blazer.taint("outer")
+        t2 = self.blazer.taint("outer")
+        assert t1 is t2

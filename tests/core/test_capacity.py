@@ -1,0 +1,76 @@
+"""Channel-capacity verification tests (the §3.4 k>2 extension)."""
+
+import pytest
+
+from repro.core import Blazer
+from repro.core.capacity import verify_channel_capacity
+from repro.core.ksafety import ccf
+from repro.interp import Interpreter
+
+LEAK = """
+proc leak(secret h: int, public l: uint): int {
+    var i: int = 0;
+    if (h > 0) {
+        while (i < l) { i = i + 1; }
+    }
+    return i;
+}
+"""
+
+SAFE = """
+proc fine(secret h: int, public l: uint): int {
+    var i: int = 0;
+    while (i < l) { i = i + 1; }
+    return i;
+}
+"""
+
+
+class TestCapacity:
+    def test_safe_program_has_capacity_1(self):
+        blazer = Blazer.from_source(SAFE)
+        verdict = verify_channel_capacity(blazer, "fine", 1)
+        assert verdict.verified
+        assert verdict.bands == 1
+
+    def test_leak_not_provable_at_q1(self):
+        blazer = Blazer.from_source(LEAK)
+        verdict = verify_channel_capacity(blazer, "leak", 1)
+        assert not verdict.verified
+
+    def test_leak_provable_at_q2(self):
+        blazer = Blazer.from_source(LEAK)
+        verdict = verify_channel_capacity(blazer, "leak", 2)
+        assert verdict.verified
+        assert verdict.bands == 2
+        assert "sec-sum" in verdict.render()
+
+    def test_monotone_in_q(self):
+        blazer = Blazer.from_source(LEAK)
+        assert verify_channel_capacity(blazer, "leak", 3).verified
+
+    def test_invalid_q(self):
+        blazer = Blazer.from_source(LEAK)
+        with pytest.raises(ValueError):
+            verify_channel_capacity(blazer, "leak", 0)
+
+    def test_static_capacity_matches_empirical_ccf(self):
+        """Soundness: ccf(q) proved statically must hold on enumerated
+        traces (with the observer's epsilon slack)."""
+        blazer = Blazer.from_source(LEAK)
+        verdict = verify_channel_capacity(blazer, "leak", 2)
+        assert verdict.verified
+        interp = Interpreter(blazer.cfgs)
+        traces = [
+            interp.run("leak", {"h": h, "l": l})
+            for l in (0, 2, 5)
+            for h in (-1, 0, 1, 9)
+        ]
+        assert ccf(q=2, epsilon=32).holds(traces)
+
+    def test_render_structure(self):
+        blazer = Blazer.from_source(LEAK)
+        verdict = verify_channel_capacity(blazer, "leak", 2)
+        text = verdict.render()
+        assert "ccf(q=2) HOLDS" in text
+        assert "bands=1 (narrow)" in text

@@ -1,0 +1,31 @@
+"""Channel capacity on the Table-1 benchmarks (extension coverage).
+
+Every 1-bit-style unsafe micro benchmark should be provable at q=2 —
+the secret chooses between two time bands — while the safe ones are
+capacity 1 by definition.
+"""
+
+import pytest
+
+from repro.benchsuite import SUITE
+from repro.core.capacity import verify_channel_capacity
+
+ONE_BIT_LEAKS = ["sanity_unsafe", "straightline_unsafe", "unixlogin_unsafe"]
+SAFE_MICRO = ["sanity_safe", "array_safe", "nosecret_safe"]
+
+
+@pytest.mark.parametrize("name", SAFE_MICRO)
+def test_safe_benchmarks_have_capacity_1(name):
+    bench = SUITE.get(name)
+    blazer = bench.analyzer()
+    verdict = verify_channel_capacity(blazer, bench.proc, 1)
+    assert verdict.verified, verdict.render()
+
+
+@pytest.mark.parametrize("name", ONE_BIT_LEAKS)
+def test_one_bit_leaks_have_capacity_2(name):
+    bench = SUITE.get(name)
+    blazer = bench.analyzer()
+    assert not verify_channel_capacity(blazer, bench.proc, 1).verified
+    verdict = verify_channel_capacity(blazer, bench.proc, 2)
+    assert verdict.verified, verdict.render()

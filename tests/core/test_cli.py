@@ -1,0 +1,110 @@
+"""CLI tests: the ``python -m repro`` entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SAFE_SRC = """
+proc check(secret pin: int, public attempts: uint): int {
+    var i: int = 0;
+    while (i < attempts) { i = i + 1; }
+    return i;
+}
+"""
+
+LEAKY_SRC = """
+proc check(secret pin: int, public attempts: uint): bool {
+    if (pin == 1234) {
+        var i: int = 0;
+        while (i < attempts) { i = i + 1; }
+        return true;
+    }
+    return false;
+}
+"""
+
+TWO_PROCS = SAFE_SRC + "\nproc other(x: int): int { return x; }\n"
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.rp"
+    path.write_text(SAFE_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def leaky_file(tmp_path):
+    path = tmp_path / "leaky.rp"
+    path.write_text(LEAKY_SRC)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_safe_exit_zero(self, safe_file, capsys):
+        assert main(["analyze", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+
+    def test_attack_exit_two(self, leaky_file, capsys):
+        assert main(["analyze", leaky_file]) == 2
+        out = capsys.readouterr().out
+        assert "ATTACK" in out
+        assert "attack specification" in out
+
+    def test_observer_flag(self, safe_file):
+        assert main(["analyze", safe_file, "--observer", "threshold"]) == 0
+
+    def test_domain_flag(self, safe_file):
+        assert main(["analyze", safe_file, "--domain", "octagon"]) == 0
+
+    def test_multiple_procs_need_flag(self, tmp_path):
+        path = tmp_path / "two.rp"
+        path.write_text(TWO_PROCS)
+        with pytest.raises(SystemExit):
+            main(["analyze", str(path)])
+        assert main(["analyze", str(path), "--proc", "other"]) == 0
+
+    def test_unknown_proc_rejected(self, safe_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", safe_file, "--proc", "nope"])
+
+
+class TestOtherCommands:
+    def test_bounds(self, safe_file, capsys):
+        assert main(["bounds", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "attempts" in out
+        assert "iterations" in out
+
+    def test_taint(self, leaky_file, capsys):
+        assert main(["taint", leaky_file]) == 0
+        assert "|h" in capsys.readouterr().out
+
+    def test_disasm(self, safe_file, capsys):
+        assert main(["disasm", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "cmplt" in out or "load" in out
+
+    def test_run_with_named_args(self, safe_file, capsys):
+        code = main(["run", safe_file, "--args", json.dumps({"pin": 1, "attempts": 3})])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result: 3" in out
+        assert "instructions" in out
+
+    def test_run_with_positional_args(self, safe_file, capsys):
+        assert main(["run", safe_file, "--args", "[1, 4]"]) == 0
+        assert "result: 4" in capsys.readouterr().out
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.rp"
+        path.write_text("proc broken( {")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, capsys):
+        assert main(["analyze", "/nonexistent/nope.rp"]) == 1
+        assert "error" in capsys.readouterr().err

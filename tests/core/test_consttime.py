@@ -1,0 +1,60 @@
+"""Constant-time checker tests: the TCF vs constant-time separation."""
+
+from repro.benchsuite import SUITE
+from repro.core import Blazer
+from repro.core.consttime import verify_constant_time
+
+
+class TestConstantTime:
+    def test_no_secret_branch_is_constant_time(self):
+        blazer = Blazer.from_source(
+            """
+            proc f(secret h: int, public l: uint): int {
+                var i: int = 0;
+                while (i < l) { i = i + 1; }
+                return i + h;
+            }
+            """
+        )
+        verdict = verify_constant_time(blazer, "f")
+        assert verdict.constant_time
+
+    def test_secret_branch_breaks_constant_time(self):
+        blazer = Blazer.from_source(
+            "proc f(secret h: int): int { if (h > 0) { return 1; } return 2; }"
+        )
+        verdict = verify_constant_time(blazer, "f")
+        assert not verdict.constant_time
+        assert verdict.offending_branches
+
+    def test_unreachable_secret_branch_ignored(self):
+        """The loopAndBranch pattern: the secret-dependent code is dead."""
+        blazer = Blazer.from_source(
+            """
+            proc f(secret h: int, public l: uint): int {
+                var i: int = 0;
+                if (l < 0) {
+                    if (h > 0) { i = 99; }
+                }
+                return i;
+            }
+            """
+        )
+        verdict = verify_constant_time(blazer, "f")
+        assert verdict.constant_time
+
+    def test_tcf_strictly_weaker_than_constant_time(self):
+        """The paper's separation: modPow1_safe is timing-channel free
+        (Table 1) yet NOT constant-time (it branches on exponent bits)."""
+        bench = SUITE.get("modPow1_safe")
+        blazer = bench.analyzer()
+        assert blazer.analyze(bench.proc).status == "safe"  # TCF holds
+        ct = verify_constant_time(blazer, bench.proc)
+        assert not ct.constant_time  # but constant-time fails
+
+    def test_render(self):
+        blazer = Blazer.from_source(
+            "proc f(secret h: int): int { if (h > 0) { return 1; } return 2; }"
+        )
+        text = verify_constant_time(blazer, "f").render()
+        assert "NOT constant-time" in text

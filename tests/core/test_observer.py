@@ -1,0 +1,107 @@
+"""Observer model tests."""
+
+from repro.bounds.cost import CostBound, Poly
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    PolynomialDegreeObserver,
+    default_observer_for,
+)
+
+N = frozenset({"n"})
+
+
+def bound(lo, hi, nonneg=N):
+    return CostBound.range(lo, hi, nonneg)
+
+
+def const(v):
+    return Poly.constant(v)
+
+
+def lin(coeff, c=0, sym="n"):
+    return coeff * Poly.symbol(sym) + Poly.constant(c)
+
+
+class TestDegreeObserver:
+    def setup_method(self):
+        self.obs = PolynomialDegreeObserver(epsilon=32)
+
+    def test_constant_band_narrow(self):
+        assert self.obs.is_narrow(bound(const(8), const(10)))
+
+    def test_constant_band_beyond_epsilon_wide(self):
+        assert not self.obs.is_narrow(bound(const(0), const(100)))
+
+    def test_same_degree_narrow(self):
+        assert self.obs.is_narrow(bound(lin(19, 10), lin(23, 10)))
+
+    def test_degree_mismatch_wide(self):
+        assert not self.obs.is_narrow(bound(const(6), lin(20, 8)))
+
+    def test_unbounded_wide(self):
+        assert not self.obs.is_narrow(CostBound.unbounded(const(0)))
+
+    def test_different_symbols_wide(self):
+        nn = frozenset({"a", "b"})
+        wide = CostBound.range(lin(5, 0, "a"), lin(5, 0, "b"), nn)
+        assert not self.obs.is_narrow(wide)
+
+    def test_identical_bounds_indistinguishable(self):
+        a = bound(lin(9, 8), lin(9, 8))
+        assert not self.obs.distinguishable(a, a)
+
+    def test_degree_gap_distinguishable(self):
+        assert self.obs.distinguishable(bound(const(9), const(9)), bound(lin(9, 12), lin(9, 12)))
+
+    def test_constant_gap_beyond_epsilon_distinguishable(self):
+        assert self.obs.distinguishable(
+            bound(const(0), const(0)), bound(const(100), const(100))
+        )
+
+    def test_small_constant_gap_not_distinguishable(self):
+        assert not self.obs.distinguishable(
+            bound(lin(21, 32), lin(21, 32)), bound(lin(21, 33), lin(22, 33))
+        )
+
+    def test_unbounded_always_distinguishable(self):
+        assert self.obs.distinguishable(
+            CostBound.unbounded(const(0)), bound(const(1), const(1))
+        )
+
+
+class TestThresholdObserver:
+    def setup_method(self):
+        self.obs = ConcreteThresholdObserver(threshold=25_000, default_max=4096)
+
+    def test_narrow_when_width_below_threshold(self):
+        assert self.obs.is_narrow(bound(lin(19, 10), lin(23, 10)))  # 4*4096 < 25k
+
+    def test_wide_when_width_exceeds_threshold(self):
+        assert not self.obs.is_narrow(bound(lin(10, 0), lin(20, 0)))  # 10*4096
+
+    def test_max_values_override(self):
+        tight = ConcreteThresholdObserver(
+            threshold=25_000, default_max=4096, max_values={"n": 64}
+        )
+        assert tight.is_narrow(bound(lin(10, 0), lin(20, 0)))  # 10*64 < 25k
+
+    def test_distinguishable_by_concrete_gap(self):
+        a = bound(lin(19, 0), lin(23, 0))
+        b = bound(const(8), const(8))
+        assert self.obs.distinguishable(a, b)  # lo gap 19*4096 >= 25k
+
+    def test_not_distinguishable_when_close(self):
+        a = bound(lin(19, 0), lin(23, 0))
+        b = bound(lin(19, 5), lin(23, 5))
+        assert not self.obs.distinguishable(a, b)
+
+    def test_unbounded_wide_and_distinguishable(self):
+        inf = CostBound.unbounded(const(0))
+        assert not self.obs.is_narrow(inf)
+        assert self.obs.distinguishable(inf, inf)
+
+
+class TestFactory:
+    def test_default_observers(self):
+        assert default_observer_for("micro").name == "degree"
+        assert default_observer_for("real").name == "threshold"

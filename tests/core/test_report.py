@@ -1,0 +1,66 @@
+"""JSON report tests."""
+
+import json
+
+from repro.core import analyze_source, suite_report, verdict_to_dict, verdict_to_json
+
+SAFE = """
+proc f(secret h: int, public l: uint): int {
+    var i: int = 0;
+    while (i < l) { i = i + 1; }
+    return i;
+}
+"""
+
+LEAKY = """
+proc g(secret h: int, public l: uint): int {
+    var i: int = 0;
+    if (h > 0) { while (i < l) { i = i + 1; } }
+    return i;
+}
+"""
+
+
+class TestVerdictDict:
+    def test_safe_schema(self):
+        verdict = analyze_source(SAFE, "f")
+        data = verdict_to_dict(verdict)
+        assert data["status"] == "safe"
+        assert data["proc"] == "f"
+        assert data["attack"] is None
+        assert data["partition"]["status"] in ("safe", "wide")
+        assert data["partition"]["bound"]["feasible"]
+        assert isinstance(data["partition"]["bound"]["upper"], list)
+
+    def test_attack_schema(self):
+        verdict = analyze_source(LEAKY, "g")
+        data = verdict_to_dict(verdict)
+        assert data["status"] == "attack"
+        assert data["attack"]["trail_a"]["bound"]["feasible"]
+        assert "trail_b" in data["attack"]
+        children = data["partition"]["children"]
+        assert children and all(c["split_kind"] == "sec" for c in children)
+
+    def test_json_roundtrips(self):
+        verdict = analyze_source(LEAKY, "g")
+        parsed = json.loads(verdict_to_json(verdict))
+        assert parsed["status"] == "attack"
+
+    def test_suite_report_aggregates(self):
+        verdicts = [analyze_source(SAFE, "f"), analyze_source(LEAKY, "g")]
+        report = suite_report(verdicts)
+        assert report["total"] == 2
+        assert report["safe"] == 1
+        assert report["attack"] == 1
+        assert report["seconds"] > 0
+
+
+class TestCliJson:
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.rp"
+        path.write_text(SAFE)
+        assert main(["analyze", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "safe"

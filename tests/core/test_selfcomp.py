@@ -1,0 +1,97 @@
+"""Self-composition baseline tests (the ablation comparator)."""
+
+from repro.core.selfcomp import SelfComposition
+from repro.domains import DOMAINS
+from tests.helpers import compile_one
+
+ZONE = DOMAINS["zone"]
+
+
+class TestSelfComposition:
+    def test_verifies_trivially_constant_program(self):
+        cfg = compile_one(
+            "proc f(secret h: int, public l: int): int { return l + 1; }", "f"
+        )
+        result = SelfComposition(cfg, ZONE).verify()
+        assert result.verified
+
+    def test_verifies_balanced_branch(self):
+        cfg = compile_one(
+            """
+            proc f(secret h: int, public l: int): int {
+                var x: int = 0;
+                if (l > 0) { x = 1; } else { x = 2; }
+                return x;
+            }
+            """,
+            "f",
+        )
+        result = SelfComposition(cfg, ZONE, epsilon=4).verify()
+        assert result.verified
+
+    def test_does_not_verify_secret_branch_with_cost_gap(self):
+        cfg = compile_one(
+            """
+            proc f(secret h: int): int {
+                var x: int = 0;
+                if (h > 0) {
+                    x = 1; x = 2; x = 3; x = 4; x = 5;
+                    x = 1; x = 2; x = 3; x = 4; x = 5;
+                }
+                return x;
+            }
+            """,
+            "f",
+        )
+        result = SelfComposition(cfg, ZONE, epsilon=2).verify()
+        assert not result.verified
+
+    def test_loses_loop_correlation_where_decomposition_wins(self):
+        """The headline ablation: the decomposition proves this safe (see
+        test_blazer), but the naive product analysis cannot keep the two
+        copies' counters correlated through the loop."""
+        source = """
+        proc f(secret h: int, public l: uint): int {
+            var i: int = 0;
+            while (i < l) { i = i + 1; }
+            return i;
+        }
+        """
+        cfg = compile_one(source, "f")
+        from repro.core import analyze_source
+
+        assert analyze_source(source, "f").status == "safe"
+        result = SelfComposition(cfg, ZONE, epsilon=4).verify()
+        assert not result.verified  # the baseline gives up / loses precision
+
+    def test_pair_state_space_is_quadratic(self):
+        cfg = compile_one(
+            """
+            proc f(secret h: int, public l: int): int {
+                var x: int = 0;
+                if (l > 0) { x = 1; } else { x = 2; }
+                if (l > 1) { x = 3; } else { x = 4; }
+                return x;
+            }
+            """,
+            "f",
+        )
+        result = SelfComposition(cfg, ZONE, epsilon=4).verify()
+        # Pair exploration visits ~|blocks|^2 nodes vs |blocks| for the
+        # decomposition's per-copy analysis.
+        assert result.explored_pairs > cfg.size
+
+    def test_budget_exhaustion_reported(self):
+        cfg = compile_one(
+            """
+            proc f(secret h: int, public l: uint): int {
+                var i: int = 0;
+                while (i < l) { i = i + 1; }
+                return i;
+            }
+            """,
+            "f",
+        )
+        result = SelfComposition(cfg, ZONE, max_pairs=3).verify()
+        assert not result.verified
+        assert "exceeded" in result.note

@@ -1,0 +1,107 @@
+"""Witness-search module tests."""
+
+import pytest
+
+from repro.core.witness import (
+    Witness,
+    default_value_space,
+    enumerate_inputs,
+    find_witness,
+    max_gap_per_low,
+    run_all,
+)
+from repro.interp import Interpreter
+from repro.lang import ast
+from tests.helpers import compile_to_cfgs
+
+LEAK = """
+proc leak(secret h: int, public l: uint): int {
+    var i: int = 0;
+    if (h > 0) {
+        while (i < l) { i = i + 1; }
+    }
+    return i;
+}
+"""
+
+SAFE = """
+proc fine(secret h: int, public l: uint): int {
+    var i: int = 0;
+    while (i < l) { i = i + 1; }
+    return i;
+}
+"""
+
+
+def setup_pair(source, proc):
+    cfgs = compile_to_cfgs(source)
+    return Interpreter(cfgs), cfgs[proc]
+
+
+class TestValueSpaces:
+    def test_default_spaces_by_type(self):
+        assert 0 in default_value_space(ast.UINT)
+        assert all(v >= 0 for v in default_value_space(ast.UINT))
+        assert set(default_value_space(ast.BOOL)) == {0, 1}
+        arrays = default_value_space(ast.BYTE_ARRAY)
+        assert [] in arrays and [0, 1] in arrays
+
+    def test_enumeration_respects_overrides_and_limit(self):
+        _, cfg = setup_pair(LEAK, "leak")
+        combos = list(enumerate_inputs(cfg, {"h": [0, 1], "l": [5]}))
+        assert combos == [{"h": 0, "l": 5}, {"h": 1, "l": 5}]
+        limited = list(enumerate_inputs(cfg, None, limit=3))
+        assert len(limited) == 3
+
+
+class TestSearch:
+    def test_finds_witness_on_leak(self):
+        interp, cfg = setup_pair(LEAK, "leak")
+        witness = find_witness(interp, cfg, gap=5, overrides={"h": [0, 1], "l": [5]})
+        assert witness is not None
+        assert witness.gap >= 5
+        assert witness.trace_a.low_equivalent(witness.trace_b)
+        assert witness.trace_a.high_inputs != witness.trace_b.high_inputs
+
+    def test_no_witness_on_safe(self):
+        interp, cfg = setup_pair(SAFE, "fine")
+        assert find_witness(interp, cfg, gap=2) is None
+
+    def test_returns_maximal_gap(self):
+        interp, cfg = setup_pair(LEAK, "leak")
+        witness = find_witness(
+            interp, cfg, gap=1, overrides={"h": [0, 1], "l": [1, 5]}
+        )
+        # The best witness uses l=5 (largest loop), not l=1.
+        assert witness.trace_a.input("l") == 5
+
+    def test_gap_threshold_filters(self):
+        interp, cfg = setup_pair(LEAK, "leak")
+        assert (
+            find_witness(interp, cfg, gap=10_000, overrides={"h": [0, 1], "l": [3]})
+            is None
+        )
+
+    def test_crashing_inputs_skipped(self):
+        source = """
+        proc f(secret h: int, public a: byte[]): int {
+            return a[3];
+        }
+        """
+        interp, cfg = setup_pair(source, "f")
+        # Arrays shorter than 4 trap; run_all must survive.
+        traces = run_all(interp, cfg, {"h": [0], "a": [[1], [1, 2, 3, 4]]})
+        assert len(traces) == 1
+
+    def test_max_gap_per_low(self):
+        interp, cfg = setup_pair(LEAK, "leak")
+        traces = run_all(interp, cfg, {"h": [0, 1], "l": [4]})
+        gap = max_gap_per_low(traces)
+        assert gap > 0
+        assert max_gap_per_low([]) == 0
+
+    def test_witness_str(self):
+        interp, cfg = setup_pair(LEAK, "leak")
+        witness = find_witness(interp, cfg, gap=1, overrides={"h": [0, 1], "l": [3]})
+        text = str(witness)
+        assert "gap=" in text and "low=" in text

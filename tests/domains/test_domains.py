@@ -1,0 +1,198 @@
+"""Shared behavioural tests run against every numeric domain.
+
+Each domain (interval, zone, octagon, polyhedra) must satisfy the same
+lattice/transfer contracts; relational facts are additionally checked on
+the domains that can express them.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.domains import DOMAINS, LinCons, LinExpr
+
+x = LinExpr.var("x")
+y = LinExpr.var("y")
+z = LinExpr.var("z")
+
+ALL = sorted(DOMAINS)
+RELATIONAL = ["zone", "octagon", "polyhedra"]
+
+
+@pytest.fixture(params=ALL)
+def domain(request):
+    return DOMAINS[request.param]
+
+
+@pytest.fixture(params=RELATIONAL)
+def rel_domain(request):
+    return DOMAINS[request.param]
+
+
+class TestLattice:
+    def test_top_is_not_bottom(self, domain):
+        assert not domain.top().is_bottom()
+        assert domain.bottom().is_bottom()
+
+    def test_bottom_leq_everything(self, domain):
+        bot = domain.bottom()
+        top = domain.top()
+        assert bot.leq(top)
+        assert bot.leq(bot)
+        assert top.leq(top)
+        assert not top.leq(bot)
+
+    def test_join_upper_bound(self, domain):
+        a = domain.top().assign("x", LinExpr.constant(1))
+        b = domain.top().assign("x", LinExpr.constant(5))
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+        lo, hi = joined.var_bounds("x")
+        assert lo == 1 and hi == 5
+
+    def test_join_with_bottom_is_identity(self, domain):
+        a = domain.top().assign("x", LinExpr.constant(2))
+        assert a.join(domain.bottom()).var_bounds("x") == (Fraction(2), Fraction(2))
+        assert domain.bottom().join(a).var_bounds("x") == (Fraction(2), Fraction(2))
+
+    def test_widen_covers_join(self, domain):
+        a = domain.top().assign("x", LinExpr.constant(0))
+        b = domain.top().assign("x", LinExpr.constant(1))
+        widened = a.widen(a.join(b))
+        assert a.leq(widened) and b.leq(widened)
+
+
+class TestTransfer:
+    def test_assign_constant(self, domain):
+        state = domain.top().assign("x", LinExpr.constant(7))
+        assert state.var_bounds("x") == (Fraction(7), Fraction(7))
+
+    def test_assign_affine(self, domain):
+        state = domain.top().assign("x", LinExpr.constant(3)).assign("y", x + 2)
+        assert state.var_bounds("y") == (Fraction(5), Fraction(5))
+
+    def test_assign_havoc(self, domain):
+        state = domain.top().assign("x", LinExpr.constant(3)).assign("x", None)
+        assert state.var_bounds("x") == (None, None)
+
+    def test_self_increment(self, domain):
+        state = domain.top().assign("x", LinExpr.constant(1)).assign("x", x + 1)
+        assert state.var_bounds("x") == (Fraction(2), Fraction(2))
+
+    def test_guard_refines(self, domain):
+        state = domain.top().guard(LinCons.le(x, 9)).guard(LinCons.ge(x, 1))
+        assert state.var_bounds("x") == (Fraction(1), Fraction(9))
+
+    def test_contradiction_is_bottom(self, domain):
+        state = domain.top().guard(LinCons.le(x, 0)).guard(LinCons.ge(x, 1))
+        assert state.is_bottom()
+
+    def test_constant_contradiction(self, domain):
+        assert domain.top().guard(LinCons.le(LinExpr.constant(3), 0)).is_bottom()
+
+    def test_forget(self, domain):
+        state = domain.top().assign("x", LinExpr.constant(2)).forget("x")
+        assert state.var_bounds("x") == (None, None)
+
+    def test_entails(self, domain):
+        state = domain.top().guard(LinCons.le(x, 4))
+        assert state.entails(LinCons.le(x, 5))
+        assert not state.entails(LinCons.le(x, 3))
+
+
+class TestRelational:
+    def test_difference_tracked(self, rel_domain):
+        state = rel_domain.top().assign("y", x + 3)
+        lo, hi = state.bounds_of(y - x)
+        assert lo == 3 and hi == 3
+
+    def test_guard_between_variables(self, rel_domain):
+        state = rel_domain.top().guard(LinCons.le(x, y))
+        assert state.entails(LinCons.le(x - y, 0))
+
+    def test_transitivity_via_closure(self, rel_domain):
+        state = (
+            rel_domain.top()
+            .guard(LinCons.le(x, y))
+            .guard(LinCons.le(y, z))
+        )
+        assert state.entails(LinCons.le(x, z))
+
+    def test_assign_preserves_relations_of_others(self, rel_domain):
+        state = rel_domain.top().guard(LinCons.eq(x, y)).assign("z", LinExpr.constant(0))
+        lo, hi = state.bounds_of(x - y)
+        assert lo == 0 and hi == 0
+
+    def test_join_keeps_common_relation(self, rel_domain):
+        a = rel_domain.top().guard(LinCons.eq(y - x, 1)).guard(LinCons.eq(x, 0))
+        b = rel_domain.top().guard(LinCons.eq(y - x, 1)).guard(LinCons.eq(x, 5))
+        joined = a.join(b)
+        lo, hi = joined.bounds_of(y - x)
+        assert lo == 1 and hi == 1
+
+    def test_counter_loop_invariant(self, rel_domain):
+        """The canonical fixpoint: x:=0; while (x<n) x++ gives x==n at exit."""
+        D = rel_domain
+        n = LinExpr.var("n")
+        # n >= 0 needed for x == n at exit (else the loop exits with x=0 > n).
+        init = D.top().guard(LinCons.ge(n, 0)).assign("x", LinExpr.constant(0))
+        inv = init
+        for _ in range(30):
+            body = inv.guard(LinCons.lt(x, n)).assign("x", x + 1)
+            nxt = init.join(body)
+            if nxt.leq(inv):
+                break
+            inv = inv.widen(nxt)
+        # one narrowing pass
+        body = inv.guard(LinCons.lt(x, n)).assign("x", x + 1)
+        inv = init.join(body)
+        exit_state = inv.guard(LinCons.ge(x, n))
+        lo, hi = exit_state.bounds_of(x - n)
+        assert lo == 0 and hi == 0
+
+
+class TestOctagonExtras:
+    def test_sum_constraints(self):
+        D = DOMAINS["octagon"]
+        state = D.top().guard(LinCons.le(x + y, 5)).guard(LinCons.ge(x + y, 5))
+        lo, hi = state.bounds_of(x + y)
+        assert lo == 5 and hi == 5
+
+    def test_negated_assign(self):
+        D = DOMAINS["octagon"]
+        state = D.top().assign("x", LinExpr.constant(3)).assign("y", -x + 1)
+        assert state.var_bounds("y") == (Fraction(-2), Fraction(-2))
+
+    def test_octagon_at_least_as_precise_as_zone_on_sums(self):
+        zone = DOMAINS["zone"].top().guard(LinCons.le(x + y, 5))
+        octa = DOMAINS["octagon"].top().guard(LinCons.le(x + y, 5))
+        # The zone cannot represent x+y<=5 exactly; the octagon can.
+        _, zone_hi = zone.bounds_of(x + y)
+        _, octa_hi = octa.bounds_of(x + y)
+        assert octa_hi == 5
+        assert zone_hi is None or zone_hi >= 5
+
+
+class TestPolyhedraExtras:
+    def test_general_affine_relation(self):
+        D = DOMAINS["polyhedra"]
+        # y = 2x + 1 is beyond octagons.
+        state = D.top().guard(LinCons.eq(y, 2 * x + 1)).guard(LinCons.eq(x, 4))
+        assert state.var_bounds("y") == (Fraction(9), Fraction(9))
+
+    def test_projection_keeps_consequences(self):
+        D = DOMAINS["polyhedra"]
+        state = (
+            D.top()
+            .guard(LinCons.le(x, y))
+            .guard(LinCons.le(y, z))
+            .forget("y")
+        )
+        assert state.entails(LinCons.le(x, z))
+
+    def test_assign_is_fourier_motzkin_exact(self):
+        D = DOMAINS["polyhedra"]
+        state = D.top().guard(LinCons.eq(x, 2)).assign("x", 3 * x + y)
+        # x' = 6 + y
+        lo, hi = state.bounds_of(LinExpr.var("x") - y)
+        assert lo == 6 and hi == 6

@@ -1,0 +1,83 @@
+"""Linear expressions and constraints."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.domains.linexpr import LinCons, LinExpr, RelOp
+
+x = LinExpr.var("x")
+y = LinExpr.var("y")
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        expr = 2 * x + y - 3
+        assert expr.coeff("x") == 2
+        assert expr.coeff("y") == 1
+        assert expr.const == -3
+
+    def test_zero_coefficients_dropped(self):
+        expr = x - x + y
+        assert expr.variables() == ("y",)
+
+    def test_evaluate(self):
+        expr = 2 * x - y + 1
+        assert expr.evaluate({"x": 3, "y": 5}) == 2
+
+    def test_substitute(self):
+        expr = 2 * x + y
+        assert expr.substitute("x", y + 1) == 3 * y + 2
+        assert expr.substitute("z", y) == expr
+
+    def test_rename(self):
+        expr = x + 2 * y
+        renamed = expr.rename({"x": "x@pre"})
+        assert renamed.coeff("x@pre") == 1
+        assert renamed.coeff("x") == 0
+
+    def test_equality_and_hash(self):
+        assert x + 1 == LinExpr({"x": 1}, 1)
+        assert hash(x + 1) == hash(LinExpr({"x": 1}, 1))
+        assert x + 1 != x + 2
+
+    def test_scalar_multiplication(self):
+        expr = (x + 2) * Fraction(1, 2)
+        assert expr.coeff("x") == Fraction(1, 2)
+        assert expr.const == 1
+
+
+class TestLinCons:
+    def test_le_normalization(self):
+        cons = LinCons.le(x, y)  # x - y <= 0
+        assert cons.op is RelOp.LE
+        assert cons.holds({"x": 1, "y": 2})
+        assert not cons.holds({"x": 3, "y": 2})
+
+    def test_strict_integer_tightening(self):
+        cons = LinCons.lt(x, 5)  # x <= 4
+        assert cons.holds({"x": 4})
+        assert not cons.holds({"x": 5})
+
+    def test_ge_gt(self):
+        assert LinCons.ge(x, 3).holds({"x": 3})
+        assert not LinCons.gt(x, 3).holds({"x": 3})
+
+    def test_eq(self):
+        cons = LinCons.eq(x + y, 4)
+        assert cons.holds({"x": 1, "y": 3})
+        assert not cons.holds({"x": 1, "y": 4})
+
+    def test_negate_inequality(self):
+        cons = LinCons.le(x, 3)
+        neg = cons.negate()
+        for value in (-1, 3, 4, 10):
+            assert cons.holds({"x": value}) != neg.holds({"x": value})
+
+    def test_negate_equality_raises(self):
+        with pytest.raises(ValueError):
+            LinCons.eq(x, 1).negate()
+
+    def test_rename(self):
+        cons = LinCons.le(x, y).rename({"x": "a"})
+        assert "a" in cons.variables()

@@ -1,0 +1,52 @@
+"""Shared helpers for the test suite: tiny pipelines over source text."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bytecode import compile_program, verify_module
+from repro.cfg.graph import ControlFlowGraph
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+
+
+def compile_to_module(source: str):
+    """source -> verified bytecode module."""
+    module = compile_program(frontend(source))
+    verify_module(module)
+    return module
+
+
+def compile_to_cfgs(source: str) -> Dict[str, ControlFlowGraph]:
+    """source -> lifted CFGs for every defined procedure."""
+    return lift_module(compile_to_module(source))
+
+
+def compile_one(source: str, name: str) -> ControlFlowGraph:
+    return compile_to_cfgs(source)[name]
+
+
+def interpreter_for(source: str) -> Interpreter:
+    return Interpreter(compile_to_cfgs(source))
+
+
+COUNT_LOOP = """
+proc count(public low: int): int {
+    var i: int = 0;
+    while (i < low) { i = i + 1; }
+    return i;
+}
+"""
+
+BRANCHY = """
+proc branchy(secret high: int, public low: int): int {
+    var x: int = 0;
+    if (low > 0) {
+        x = 1;
+    } else {
+        if (high > 0) { x = 2; } else { x = 3; }
+    }
+    return x;
+}
+"""

@@ -1,0 +1,90 @@
+"""Integration: every Table-1 benchmark must reproduce its verdict.
+
+Safe benchmarks must verify SAFE; unsafe ones must yield an attack
+specification.  Verdicts are computed once per module (the full suite
+takes about a minute, dominated by modPow2_unsafe — the same outlier as
+in the paper).
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS, EXTRA_BENCHMARKS, SUITE
+
+_VERDICTS = {}
+
+
+def verdict_of(bench):
+    if bench.name not in _VERDICTS:
+        _VERDICTS[bench.name] = bench.run()
+    return _VERDICTS[bench.name]
+
+
+FAST = [b for b in ALL_BENCHMARKS if b.name not in ("modPow2_unsafe",)]
+SLOW = [b for b in ALL_BENCHMARKS if b.name in ("modPow2_unsafe",)]
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_verdict_matches_table1(bench):
+    verdict = verdict_of(bench)
+    assert verdict.status == bench.expect, verdict.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", SLOW, ids=lambda b: b.name)
+def test_verdict_matches_table1_slow(bench):
+    verdict = verdict_of(bench)
+    assert verdict.status == bench.expect, verdict.render()
+
+
+@pytest.mark.parametrize(
+    "bench", [b for b in FAST if b.expect == "attack"], ids=lambda b: b.name
+)
+def test_attack_benchmarks_produce_specifications(bench):
+    verdict = verdict_of(bench)
+    assert verdict.attack is not None
+    text = verdict.attack.render()
+    assert "attack specification" in text
+
+
+@pytest.mark.parametrize(
+    "bench", [b for b in FAST if b.expect == "safe"], ids=lambda b: b.name
+)
+def test_safe_benchmarks_partition_covers(bench):
+    verdict = verdict_of(bench)
+    assert verdict.tree.covers_root()
+    # Every leaf is accounted for: safe or infeasible.
+    assert all(
+        leaf.status in ("safe", "infeasible") for leaf in verdict.tree.leaves()
+    ), verdict.render()
+
+
+def test_attack_search_costs_more_than_safety():
+    """Table 1's shape: the w/Attack column strictly exceeds the Safety
+    column (it includes it), summed over the unsafe benchmarks."""
+    unsafe = [b for b in FAST if b.expect == "attack"]
+    safety = sum(verdict_of(b).safety_seconds for b in unsafe)
+    total = sum(verdict_of(b).total_seconds for b in unsafe)
+    assert total > safety
+
+
+@pytest.mark.parametrize("bench", EXTRA_BENCHMARKS, ids=lambda b: b.name)
+def test_extra_unpaired_benchmark(bench):
+    """The paper's 25th program ("except for User", §6.1) — unsafe with
+    no safe twin."""
+    verdict = verdict_of(bench)
+    assert verdict.status == "attack"
+    assert verdict.attack is not None
+
+
+def test_suite_registry_shape():
+    assert len(SUITE) == 24
+    assert len(SUITE.by_group("MicroBench")) == 12
+    assert len(SUITE.by_group("STAC")) == 6
+    assert len(SUITE.by_group("Literature")) == 6
+    names = SUITE.names()
+    assert len(set(names)) == 24
+    # Benchmarks come in safe/unsafe pairs (except nosecret/notaint which
+    # pair with each other conceptually).
+    safe = {n for n in names if n.endswith("_safe")}
+    unsafe = {n for n in names if n.endswith("_unsafe")}
+    assert len(safe) == 12 and len(unsafe) == 12

@@ -1,0 +1,93 @@
+"""Figure 1 reproduction: the loginSafe / loginBad trail trees.
+
+Checks the *structure* the paper's figure shows: the safe version splits
+once on taint into an early-exit component and a must-loop component
+whose bounds are both narrow and of the form a·g.len + c; the bad
+version needs the attack phase, producing sec-split trails whose bounds
+differ observably (the early-exit trail vs the full-loop trail).
+"""
+
+import pytest
+
+from repro.benchsuite import SUITE
+
+
+@pytest.fixture(scope="module")
+def login_safe_verdict():
+    return SUITE.get("login_safe").run()
+
+
+@pytest.fixture(scope="module")
+def login_unsafe_verdict():
+    return SUITE.get("login_unsafe").run()
+
+
+class TestLoginSafe:
+    def test_verdict(self, login_safe_verdict):
+        assert login_safe_verdict.status == "safe"
+
+    def test_one_taint_split(self, login_safe_verdict):
+        leaves = login_safe_verdict.tree.leaves()
+        assert len(leaves) == 2
+        assert {l.split_kind for l in leaves} == {"taint"}
+
+    def test_early_exit_component_is_constant(self, login_safe_verdict):
+        leaves = login_safe_verdict.tree.leaves()
+        constant = [l for l in leaves if l.bound.bound.degree() == 0]
+        assert len(constant) == 1  # tr1: "may exit on line 5" — [8, 8]-like
+
+    def test_loop_component_linear_in_guess_len(self, login_safe_verdict):
+        leaves = login_safe_verdict.tree.leaves()
+        linear = [l for l in leaves if l.bound.bound.degree() == 1]
+        assert len(linear) == 1  # tr2: must enter the for loop
+        bound = linear[0].bound.bound
+        assert "guess#len" in bound.symbols()
+        # Crucially, the bound must NOT depend on the secret password.
+        assert "user_pw#len" not in bound.symbols()
+
+    def test_loop_component_has_exact_linear_lower_bound(self, login_safe_verdict):
+        """Fig. 1's tr2: [19·g.len + 10, 23·g.len + 10] — the lower bound
+        is linear too (the loop runs exactly g.len times)."""
+        leaves = login_safe_verdict.tree.leaves()
+        linear = [l for l in leaves if l.bound.bound.degree() == 1][0]
+        assert linear.bound.bound.lower_degree() == 1
+
+
+class TestLoginBad:
+    def test_verdict(self, login_unsafe_verdict):
+        assert login_unsafe_verdict.status == "attack"
+
+    def test_attack_trails_split_on_sec(self, login_unsafe_verdict):
+        attack = login_unsafe_verdict.attack
+        assert attack is not None and attack.is_pair
+        assert attack.trail_a.splits[-1].kind == "sec"
+        assert attack.trail_b.splits[-1].kind == "sec"
+
+    def test_attack_bounds_differ_in_shape(self, login_unsafe_verdict):
+        """One trail can run the full loop (linear upper bound), its
+        sibling exits early (constant bound) — the observable difference
+        of Fig. 1's tr3 vs tr4.  (Our driver may find the distinguishing
+        sec split one level earlier than the figure's exact pair; the
+        shape criterion is the same.)"""
+        attack = login_unsafe_verdict.attack
+        a, b = attack.bound_a.bound, attack.bound_b.bound
+        differs = (
+            a.degree() != b.degree()
+            or a.lower_degree() != b.lower_degree()
+        )
+        assert differs, (str(a), str(b))
+
+    def test_tree_contains_taint_then_sec_levels(self, login_unsafe_verdict):
+        kinds_by_depth = {}
+        for node in login_unsafe_verdict.tree.all_nodes():
+            depth = len(node.trail.splits)
+            if node.split_kind:
+                kinds_by_depth.setdefault(depth, set()).add(node.split_kind)
+        assert kinds_by_depth.get(1) == {"taint"}
+        assert "sec" in kinds_by_depth.get(2, set()) | kinds_by_depth.get(3, set())
+
+    def test_render_matches_figure_vocabulary(self, login_unsafe_verdict):
+        text = login_unsafe_verdict.render()
+        assert "(taint)" in text
+        assert "(sec)" in text
+        assert "attack specification" in text

@@ -1,0 +1,68 @@
+"""Cross-cutting consistency checks over the whole benchmark suite.
+
+These tie the layers together: for every benchmark program, the
+concrete traces must live inside the most general trail, the partition
+each verdict produces must cover them, and the cost model must be
+consistent between the interpreter and the static bounds.
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.bounds import compute_bound, compute_proc_bounds, default_summaries
+from repro.bytecode import compile_program, verify_module
+from repro.domains import DOMAINS
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+from repro.trails import Trail
+
+ZONE = DOMAINS["zone"]
+
+WITH_SPACE = [b for b in ALL_BENCHMARKS if b.witness_space is not None]
+
+
+def _pipeline(bench):
+    module = compile_program(frontend(bench.source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    return cfgs, Interpreter(cfgs, fuel=10_000_000)
+
+
+@pytest.mark.parametrize("bench", WITH_SPACE, ids=lambda b: b.name)
+def test_traces_within_most_general_trail(bench):
+    from repro.core.witness import enumerate_inputs
+
+    cfgs, interp = _pipeline(bench)
+    trail = Trail.most_general(cfgs[bench.proc])
+    for args in enumerate_inputs(cfgs[bench.proc], bench.witness_space, limit=6):
+        trace = interp.run(bench.proc, args)
+        assert trail.accepts(trace.edges), args
+
+
+@pytest.mark.parametrize("bench", WITH_SPACE, ids=lambda b: b.name)
+def test_static_bounds_contain_benchmark_times(bench):
+    """The whole-program bound must contain every concrete run of the
+    registered input space — the interpreter and the bound analysis
+    share one cost model to the instruction."""
+    from repro.absint.transfer import len_var
+    from repro.core.witness import enumerate_inputs
+
+    cfgs, interp = _pipeline(bench)
+    cfg = cfgs[bench.proc]
+    proc_bounds = compute_proc_bounds(cfgs, ZONE, default_summaries())
+    result = compute_bound(cfg, ZONE, default_summaries(), proc_bounds=proc_bounds)
+    assert result.feasible
+    for args in enumerate_inputs(cfg, bench.witness_space, limit=6):
+        trace = interp.run(bench.proc, args)
+        env = {}
+        for param in cfg.params:
+            value = args[param.name]
+            if param.declared.is_array:
+                env[len_var(param.name)] = len(value)
+            else:
+                env[param.name] = int(value)
+        lo, hi = result.bound.evaluate(env)
+        assert lo <= trace.time, (bench.name, args, trace.time, lo)
+        if hi is not None:
+            assert trace.time <= hi, (bench.name, args, trace.time, hi)

@@ -1,0 +1,174 @@
+"""Concrete interpreter unit tests."""
+
+import pytest
+
+from repro.interp import ExternRegistry, Interpreter
+from repro.util.errors import FuelExhausted, InterpError
+from tests.helpers import compile_to_cfgs, interpreter_for
+
+
+class TestArithmetic:
+    def setup_method(self):
+        self.interp = interpreter_for(
+            """
+            proc arith(a: int, b: int): int { return a / b + a % b; }
+            proc neg(a: int): int { return -a; }
+            proc logic(a: bool, b: bool): bool { return a && !b; }
+            """
+        )
+
+    def test_java_division_truncates_toward_zero(self):
+        assert self.interp.run("arith", [7, 2]).result == 3 + 1
+        assert self.interp.run("arith", [-7, 2]).result == -3 + -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            self.interp.run("arith", [1, 0])
+
+    def test_negation(self):
+        assert self.interp.run("neg", [5]).result == -5
+
+    def test_short_circuit_logic(self):
+        assert self.interp.run("logic", [1, 0]).result == 1
+        assert self.interp.run("logic", [1, 1]).result == 0
+
+
+class TestArrays:
+    def setup_method(self):
+        self.interp = interpreter_for(
+            """
+            proc get(a: byte[], i: int): int { return a[i]; }
+            proc set(a: int[], i: int, v: int): int { a[i] = v; return a[i]; }
+            proc make(n: int): int { var a: int[] = new int[n]; return len(a); }
+            proc nullcheck(a: byte[]): bool { return a == null; }
+            proc strlen(): int { return len("hello"); }
+            """
+        )
+
+    def test_load_store(self):
+        assert self.interp.run("get", [[10, 20, 30], 1]).result == 20
+        assert self.interp.run("set", [[0, 0], 1, 42]).result == 42
+
+    def test_out_of_bounds(self):
+        with pytest.raises(InterpError):
+            self.interp.run("get", [[1], 5])
+        with pytest.raises(InterpError):
+            self.interp.run("get", [[1], -1])
+
+    def test_byte_wrapping(self):
+        assert self.interp.run("get", [[300], 0]).result == 300 % 256
+
+    def test_new_array(self):
+        assert self.interp.run("make", [7]).result == 7
+        with pytest.raises(InterpError):
+            self.interp.run("make", [-1])
+
+    def test_null_handling(self):
+        assert self.interp.run("nullcheck", [None]).result == 1
+        assert self.interp.run("nullcheck", [[1]]).result == 0
+        with pytest.raises(InterpError):
+            self.interp.run("get", [None, 0])
+
+    def test_string_literal(self):
+        assert self.interp.run("strlen", []).result == 5
+
+
+class TestCallsAndCosts:
+    def test_defined_call_by_reference(self):
+        interp = interpreter_for(
+            """
+            proc fill(a: int[], v: int) { a[0] = v; }
+            proc f(): int {
+                var a: int[] = new int[1];
+                fill(a, 9);
+                return a[0];
+            }
+            """
+        )
+        assert interp.run("f", []).result == 9
+
+    def test_nested_call_cost_counted(self):
+        source = """
+        proc inner(n: int): int {
+            var i: int = 0;
+            while (i < n) { i = i + 1; }
+            return i;
+        }
+        proc outer(n: int): int { return inner(n); }
+        """
+        interp = interpreter_for(source)
+        t_small = interp.time_of("outer", [1])
+        t_large = interp.time_of("outer", [10])
+        assert t_large > t_small
+
+    def test_extern_cost_charged(self):
+        interp = interpreter_for(
+            'extern md5(p: byte[]): byte[];\n'
+            "proc f(p: byte[]): int { var h: byte[] = md5(p); return len(h); }"
+        )
+        trace = interp.run("f", [[1, 2]])
+        assert trace.result == 16  # md5 model returns a 16-byte digest
+        assert trace.time > 500  # the call's model cost is included
+
+    def test_missing_extern_model(self):
+        interp = Interpreter(
+            compile_to_cfgs("extern mystery(): int;\nproc f(): int { return mystery(); }"),
+            externs=ExternRegistry(),
+        )
+        with pytest.raises(InterpError):
+            interp.run("f", [])
+
+
+class TestTracesAndFuel:
+    def test_fuel_exhaustion(self):
+        interp = Interpreter(
+            compile_to_cfgs("proc spin() { while (true) { } }"), fuel=100
+        )
+        with pytest.raises(FuelExhausted):
+            interp.run("spin", [])
+
+    def test_deterministic_timing(self):
+        interp = interpreter_for(
+            "proc f(n: uint): int { var i: int = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        assert interp.time_of("f", [5]) == interp.time_of("f", [5])
+
+    def test_trace_records_edges_of_cfg(self):
+        from repro.cfg import cfg_automaton
+
+        cfgs = compile_to_cfgs(
+            "proc f(n: int): int { var i: int = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        interp = Interpreter(cfgs)
+        automaton = cfg_automaton(cfgs["f"])
+        for n in (0, 1, 4):
+            trace = interp.run("f", [n])
+            assert automaton.accepts(trace.edges)
+
+    def test_low_high_projections(self):
+        interp = interpreter_for(
+            "proc f(secret h: int, public l: int): int { return h + l; }"
+        )
+        trace = interp.run("f", {"h": 1, "l": 2})
+        assert dict(trace.low_inputs) == {"l": 2}
+        assert dict(trace.high_inputs) == {"h": 1}
+
+    def test_low_equivalence(self):
+        interp = interpreter_for(
+            "proc f(secret h: int, public l: int): int { return h + l; }"
+        )
+        a = interp.run("f", {"h": 1, "l": 2})
+        b = interp.run("f", {"h": 9, "l": 2})
+        c = interp.run("f", {"h": 1, "l": 3})
+        assert a.low_equivalent(b)
+        assert not a.low_equivalent(c)
+
+    def test_uint_rejects_negative(self):
+        interp = interpreter_for("proc f(n: uint): int { return n; }")
+        with pytest.raises(InterpError):
+            interp.run("f", [-1])
+
+    def test_missing_argument_named(self):
+        interp = interpreter_for("proc f(a: int, b: int): int { return a + b; }")
+        with pytest.raises(InterpError):
+            interp.run("f", {"a": 1})

@@ -1,0 +1,52 @@
+"""Trace object unit tests."""
+
+import pytest
+
+from repro.interp.trace import Trace
+from repro.lang import ast
+
+
+def make_trace(low=1, high=2, time=10, result=0):
+    return Trace.make(
+        proc="p",
+        inputs={"l": low, "h": high},
+        levels={"l": ast.SecLevel.PUBLIC, "h": ast.SecLevel.SECRET},
+        edges=((0, 1), (1, 2)),
+        time=time,
+        result=result,
+    )
+
+
+class TestTrace:
+    def test_projections(self):
+        trace = make_trace()
+        assert dict(trace.low_inputs) == {"l": 1}
+        assert dict(trace.high_inputs) == {"h": 2}
+        assert trace.input("l") == 1
+        with pytest.raises(KeyError):
+            trace.input("nope")
+
+    def test_low_equivalence(self):
+        assert make_trace(low=1, high=2).low_equivalent(make_trace(low=1, high=9))
+        assert not make_trace(low=1).low_equivalent(make_trace(low=3))
+
+    def test_mutable_inputs_frozen(self):
+        trace = Trace.make(
+            proc="p",
+            inputs={"a": [1, 2, 3]},
+            levels={"a": ast.SecLevel.PUBLIC},
+            edges=(),
+            time=1,
+            result=[4, 5],
+        )
+        assert trace.input("a") == (1, 2, 3)
+        assert trace.result == (4, 5)
+        hash(trace)  # fully hashable
+
+    def test_equality(self):
+        assert make_trace() == make_trace()
+        assert make_trace(time=11) != make_trace(time=10)
+
+    def test_str(self):
+        text = str(make_trace())
+        assert "time=10" in text and "low=" in text

@@ -1,0 +1,146 @@
+"""Lifter unit tests: bytecode to register IR."""
+
+import pytest
+
+from repro.bytecode import Opcode, compile_program, verify_module
+from repro.ir import instr as ir
+from repro.ir import lift_code
+from repro.lang import frontend
+from tests.helpers import compile_one, compile_to_cfgs, compile_to_module
+
+
+class TestWeights:
+    def test_weights_sum_to_bytecode_length(self):
+        """Every bytecode instruction's unit cost lands in exactly one IR
+        instruction, so the block-cost sum equals the bytecode length."""
+        source = """
+        proc f(secret h: int, public l: uint): int {
+            var acc: int = 0;
+            for (var i: int = 0; i < l; i = i + 1) {
+                if (h > 0 && i < 10) { acc = acc + 1; } else { acc = acc - 1; }
+            }
+            return acc;
+        }
+        """
+        module = compile_to_module(source)
+        cfg = lift_code(module.code("f"), module)
+        total = sum(block.cost for block in cfg.blocks.values())
+        assert total == len(module.code("f").instrs)
+
+    def test_exit_block_costs_nothing(self):
+        cfg = compile_one("proc f() { }", "f")
+        assert cfg.blocks[cfg.exit_id].cost == 0
+
+
+class TestStructure:
+    def test_branch_blocks_have_two_successors(self):
+        cfg = compile_one(
+            "proc f(x: int): int { if (x > 0) { return 1; } return 2; }", "f"
+        )
+        for bid in cfg.branch_blocks():
+            assert len(cfg.successors(bid)) == 2
+
+    def test_returns_edge_to_exit(self):
+        cfg = compile_one(
+            "proc f(x: int): int { if (x > 0) { return 1; } return 2; }", "f"
+        )
+        reachable = set(cfg.reverse_postorder())
+        preds = [p for p in cfg.predecessors(cfg.exit_id) if p in reachable]
+        assert len(preds) == 2
+
+    def test_local_names_survive(self):
+        cfg = compile_one("proc f(alpha: int) { var beta: int = alpha + 1; }", "f")
+        names = {
+            instr.dst.name
+            for _, instr in cfg.iter_instrs()
+            if instr.defs()
+        }
+        assert "beta" in names
+
+    def test_reg_kinds_classify_arrays(self):
+        cfg = compile_one("proc f(a: byte[], n: int) { var b: byte[] = a; }", "f")
+        assert cfg.reg_kinds["a"] == "arr"
+        assert cfg.reg_kinds["b"] == "arr"
+        assert cfg.reg_kinds["n"] == "int"
+
+    def test_short_circuit_produces_stack_registers(self):
+        cfg = compile_one(
+            "proc f(a: bool, b: bool): bool { return a && b; }", "f"
+        )
+        regs = set()
+        for _, instr in cfg.iter_instrs():
+            regs.update(r.name for r in instr.defs())
+        assert any(r.startswith("s") for r in regs), regs
+
+
+class TestSemanticssPreserved:
+    def test_stale_stack_value_not_clobbered_by_store(self):
+        """A LOAD x pushed on the stack must keep its value across a
+        subsequent STORE x (the lifter materializes a temp)."""
+        from repro.bytecode import CodeObject, Instr, LocalVar
+        from repro.interp import Interpreter
+        from repro.lang import ast
+
+        code = CodeObject(
+            name="t",
+            params=[LocalVar(0, "x", ast.INT, True, ast.SecLevel.PUBLIC)],
+            ret=ast.INT,
+            instrs=[
+                Instr(Opcode.LOAD, 0),  # push old x
+                Instr(Opcode.PUSH, 99),
+                Instr(Opcode.STORE, 0),  # x = 99
+                Instr(Opcode.RETVAL),  # must return the OLD x
+            ],
+        )
+        cfg = lift_code(code)
+        result = Interpreter({"t": cfg}).run("t", [7])
+        assert result.result == 7
+
+    def test_dup_semantics(self):
+        from repro.bytecode import CodeObject, Instr, LocalVar
+        from repro.interp import Interpreter
+        from repro.lang import ast
+
+        code = CodeObject(
+            name="t",
+            params=[LocalVar(0, "x", ast.INT, True, ast.SecLevel.PUBLIC)],
+            ret=ast.INT,
+            instrs=[
+                Instr(Opcode.LOAD, 0),
+                Instr(Opcode.DUP),
+                Instr(Opcode.ADD),  # x + x
+                Instr(Opcode.RETVAL),
+            ],
+        )
+        cfg = lift_code(code)
+        assert Interpreter({"t": cfg}).run("t", [21]).result == 42
+
+    def test_unreachable_code_tolerated(self):
+        # The compiler appends a dead RET after fully-returning bodies.
+        cfg = compile_one(
+            "proc f(x: int): int { if (x > 0) { return 1; } else { return 2; } }",
+            "f",
+        )
+        assert cfg.exit_id in cfg.blocks
+
+
+class TestCrossBlockStack:
+    def test_and_or_chain_evaluates_correctly(self):
+        from repro.interp import Interpreter
+
+        cfgs = compile_to_cfgs(
+            """
+            proc f(a: int, b: int, c: int): bool {
+                return a > 0 && (b > 0 || c > 0);
+            }
+            """
+        )
+        interp = Interpreter(cfgs)
+        cases = [
+            ((1, 1, 0), 1),
+            ((1, 0, 1), 1),
+            ((1, 0, 0), 0),
+            ((0, 1, 1), 0),
+        ]
+        for args, expected in cases:
+            assert interp.run("f", list(args)).result == expected, args

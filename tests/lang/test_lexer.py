@@ -1,0 +1,99 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import TokKind, tokenize
+from repro.util.errors import LexError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokKind.EOF
+
+    def test_identifier(self):
+        (tok, _) = tokenize("foo_bar1")
+        assert tok.kind is TokKind.IDENT
+        assert tok.text == "foo_bar1"
+
+    def test_keywords_are_not_identifiers(self):
+        for kw in ("proc", "while", "if", "return", "uint", "secret"):
+            (tok, _) = tokenize(kw)
+            assert tok.kind is TokKind.KEYWORD, kw
+
+    def test_integer_literal(self):
+        (tok, _) = tokenize("12345")
+        assert tok.kind is TokKind.INT
+        assert tok.text == "12345"
+
+    def test_identifier_cannot_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("1abc")
+
+    def test_two_char_punct_wins_over_prefix(self):
+        assert texts("== = <= < != !") == ["==", "=", "<=", "<", "!=", "!"]
+
+    def test_logical_operators(self):
+        assert texts("&& ||") == ["&&", "||"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_comment_at_eof(self):
+        assert texts("a //") == ["a"]
+
+
+class TestStringLiterals:
+    def test_simple_string(self):
+        (tok, _) = tokenize('"hello"')
+        assert tok.kind is TokKind.STRING
+        assert tok.text == "hello"
+
+    def test_escapes(self):
+        (tok, _) = tokenize(r'"a\nb\tc\\d\"e\0f"')
+        assert tok.text == 'a\nb\tc\\d"e\0f'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].pos.line == 1 and toks[0].pos.column == 1
+        assert toks[1].pos.line == 2 and toks[1].pos.column == 3
+
+    def test_position_after_comment(self):
+        toks = tokenize("// c\nxy")
+        assert toks[0].pos.line == 2

@@ -1,0 +1,159 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_program
+from repro.util.errors import ParseError
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op is ast.BinOp.ADD
+        assert isinstance(expr.right, ast.Binary) and expr.right.op is ast.BinOp.MUL
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op is ast.BinOp.SUB
+        assert isinstance(expr.left, ast.Binary)
+        assert isinstance(expr.right, ast.IntLit) and expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op is ast.BinOp.MUL
+        assert isinstance(expr.left, ast.Binary) and expr.left.op is ast.BinOp.ADD
+
+    def test_comparison_and_logic_layers(self):
+        expr = parse_expr("a < b && c == d || e > f")
+        assert expr.op is ast.BinOp.OR
+        assert expr.left.op is ast.BinOp.AND
+
+    def test_unary_operators(self):
+        expr = parse_expr("-x + !y")
+        assert isinstance(expr.left, ast.Unary) and expr.left.op is ast.UnOp.NEG
+        assert isinstance(expr.right, ast.Unary) and expr.right.op is ast.UnOp.NOT
+
+    def test_indexing_chains(self):
+        expr = parse_expr("a[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.array, ast.Index)
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, x, g())")
+        assert isinstance(expr, ast.Call)
+        assert expr.callee == "f"
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.Call)
+
+    def test_len_and_new(self):
+        expr = parse_expr("len(new byte[5])")
+        assert isinstance(expr, ast.Len)
+        assert isinstance(expr.array, ast.NewArray)
+        assert expr.array.elem.base is ast.BaseType.BYTE
+
+    def test_literals(self):
+        assert isinstance(parse_expr("true"), ast.BoolLit)
+        assert isinstance(parse_expr("null"), ast.NullLit)
+        assert parse_expr('"ab"').value == "ab"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")
+
+
+class TestDeclarations:
+    def test_extern_declaration(self):
+        prog = parse_program("extern md5(p: byte[]): byte[];")
+        (decl,) = prog.procs
+        assert decl.is_extern
+        assert decl.ret == ast.BYTE_ARRAY
+
+    def test_proc_with_qualifiers(self):
+        prog = parse_program(
+            "proc f(secret h: int, public l: uint, x: bool) { return; }"
+        )
+        params = prog.proc("f").params
+        assert params[0].level is ast.SecLevel.SECRET
+        assert params[1].level is ast.SecLevel.PUBLIC
+        assert params[2].level is ast.SecLevel.PUBLIC  # default
+        assert params[1].declared.base is ast.BaseType.UINT
+
+    def test_void_return_type_default(self):
+        prog = parse_program("proc f() { }")
+        assert prog.proc("f").ret == ast.VOID
+
+    def test_void_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc f(x: void[]) { }")
+
+    def test_toplevel_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("var x: int = 1;")
+
+
+class TestStatements:
+    def _body(self, stmts):
+        prog = parse_program("proc f(x: int) { %s }" % stmts)
+        return prog.proc("f").body.stmts
+
+    def test_var_decl_with_and_without_init(self):
+        decl, decl2 = self._body("var a: int = 1; var b: byte[];")
+        assert decl.init is not None
+        assert decl2.init is None and decl2.declared == ast.BYTE_ARRAY
+
+    def test_if_else_chain(self):
+        (stmt,) = self._body("if (x > 0) { } else if (x < 0) { } else { }")
+        assert isinstance(stmt, ast.If)
+        nested = stmt.orelse.stmts[0]
+        assert isinstance(nested, ast.If)
+        assert nested.orelse is not None
+
+    def test_while_loop(self):
+        (stmt,) = self._body("while (x > 0) { x = x - 1; }")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.body.stmts[0], ast.Assign)
+
+    def test_for_loop_full(self):
+        (stmt,) = self._body("for (var i: int = 0; i < x; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.cond is not None
+        assert isinstance(stmt.update, ast.Assign)
+
+    def test_for_loop_empty_slots(self):
+        (stmt,) = self._body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_break_continue_return(self):
+        stmts = self._body("while (x > 0) { break; continue; } return x;")
+        loop = stmts[0]
+        assert isinstance(loop.body.stmts[0], ast.Break)
+        assert isinstance(loop.body.stmts[1], ast.Continue)
+        assert isinstance(stmts[1], ast.Return)
+
+    def test_array_assignment_target(self):
+        (stmt,) = self._body("a[0] = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            self._body("1 = 2;")
+
+    def test_call_statement(self):
+        (stmt,) = self._body("f(x);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self._body("x = 1")
+
+    def test_if_requires_braces(self):
+        with pytest.raises(ParseError):
+            self._body("if (x > 0) x = 1;")

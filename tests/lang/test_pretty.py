@@ -1,0 +1,81 @@
+"""Pretty-printer unit tests (the full round-trip lives in properties/)."""
+
+from repro.lang import ast, format_expr, format_program, frontend
+from repro.lang.parser import parse_expr, parse_program
+
+
+def roundtrip(source: str) -> None:
+    prog = parse_program(source)
+    text = format_program(prog)
+    again = format_program(parse_program(text))
+    assert text == again
+
+
+class TestExprFormatting:
+    def test_precedence_parens_only_when_needed(self):
+        assert format_expr(parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+        assert format_expr(parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_left_assoc_subtraction(self):
+        assert format_expr(parse_expr("1 - (2 - 3)")) == "1 - (2 - 3)"
+        assert format_expr(parse_expr("(1 - 2) - 3")) == "1 - 2 - 3"
+
+    def test_unary_and_index(self):
+        assert format_expr(parse_expr("-a[1]")) == "-a[1]"
+        assert format_expr(parse_expr("!(a < b)")) == "!(a < b)"
+
+    def test_string_escapes(self):
+        expr = ast.StrLit('a"b\n')
+        assert format_expr(expr) == '"a\\"b\\n"'
+
+    def test_call_and_new(self):
+        assert format_expr(parse_expr("f(a, len(b))")) == "f(a, len(b))"
+        assert format_expr(parse_expr("new int[n + 1]")) == "new int[n + 1]"
+
+
+class TestProgramFormatting:
+    def test_stable_fixpoint_simple(self):
+        roundtrip(
+            """
+            proc f(secret h: int, public l: uint): int {
+                var a: int = 0;
+                for (var i: int = 0; i < l; i = i + 1) {
+                    if (a > h) { a = a - 1; } else { a = a + 1; }
+                }
+                while (a > 0) { a = a - 1; }
+                return a;
+            }
+            """
+        )
+
+    def test_stable_fixpoint_externs_and_arrays(self):
+        roundtrip(
+            """
+            extern md5(p: byte[]): byte[];
+            proc g(x: byte[]): bool {
+                var h: byte[] = md5(x);
+                if (h == null) { return false; }
+                h[0] = 1;
+                return len(h) > 0;
+            }
+            """
+        )
+
+    def test_formatted_output_typechecks(self):
+        source = """
+        proc f(public a: byte[]): int {
+            var s: int = 0;
+            for (var i: int = 0; i < len(a); i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+        text = format_program(frontend(source))
+        frontend(text)  # must not raise
+
+    def test_break_continue_rendered(self):
+        text = format_program(
+            parse_program(
+                "proc f(x: int) { while (x > 0) { break; continue; } }"
+            )
+        )
+        assert "break;" in text and "continue;" in text

@@ -1,0 +1,144 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.lang import ast, frontend
+from repro.util.errors import TypeError_
+
+
+def check(source):
+    return frontend(source)
+
+
+def check_body(body, params="x: int"):
+    return frontend("proc f(%s) { %s }" % (params, body))
+
+
+class TestAccepted:
+    def test_arithmetic_and_comparison(self):
+        check_body("var a: int = x * 2 + 1; var b: bool = a < x;")
+
+    def test_byte_int_interoperate(self):
+        check_body("var b: byte = 3; var s: int = b + x; b = s;", "x: int")
+
+    def test_uint_is_numeric(self):
+        check_body("var y: int = x + 1;", "x: uint")
+
+    def test_array_operations(self):
+        check_body(
+            "var a: byte[] = new byte[4]; a[0] = 1; var n: int = len(a) + a[0];"
+        )
+
+    def test_null_flows_into_arrays(self):
+        check_body("var a: int[] = null; if (a == null) { a = new int[1]; }")
+
+    def test_string_literal_is_byte_array(self):
+        check_body('var s: byte[] = "hi"; var n: int = len(s);')
+
+    def test_call_types(self):
+        check(
+            """
+            proc g(a: int, b: byte[]): bool { return a > len(b); }
+            proc f() { var r: bool = g(1, new byte[2]); }
+            """
+        )
+
+    def test_void_call_as_statement(self):
+        check(
+            """
+            proc g() { }
+            proc f() { g(); }
+            """
+        )
+
+    def test_all_paths_return(self):
+        check("proc f(x: int): int { if (x > 0) { return 1; } else { return 2; } }")
+        # must-return through a trailing return
+        check("proc f(x: int): int { if (x > 0) { return 1; } return 2; }")
+
+    def test_annotates_types_in_place(self):
+        prog = check_body("var a: int = x + 1;")
+        decl = prog.proc("f").body.stmts[0]
+        assert decl.init.ty == ast.INT
+
+
+class TestRejected:
+    def _fails(self, body, params="x: int"):
+        with pytest.raises(TypeError_):
+            check_body(body, params)
+
+    def test_undeclared_variable(self):
+        self._fails("y = 1;")
+
+    def test_redeclaration_shadowing(self):
+        self._fails("var a: int = 1; { var a: int = 2; }")
+
+    def test_bool_arith(self):
+        self._fails("var a: int = true + 1;")
+
+    def test_non_bool_condition(self):
+        self._fails("if (x) { }")
+
+    def test_array_index_on_scalar(self):
+        self._fails("var a: int = x[0];")
+
+    def test_len_of_scalar(self):
+        self._fails("var a: int = len(x);")
+
+    def test_assign_type_mismatch(self):
+        self._fails("var a: bool = true; a = 1;")
+
+    def test_array_base_mismatch(self):
+        self._fails("var a: int[] = new byte[2];")
+
+    def test_compare_bool_with_int(self):
+        self._fails("var a: bool = true == 1;")
+
+    def test_null_compared_with_scalar(self):
+        self._fails("var a: bool = x == null;")
+
+    def test_missing_return(self):
+        with pytest.raises(TypeError_):
+            check("proc f(x: int): int { if (x > 0) { return 1; } }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(TypeError_):
+            check("proc f() { return 1; }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(TypeError_):
+            check("proc f(): bool { return new int[1]; }")
+
+    def test_break_outside_loop(self):
+        self._fails("break;")
+
+    def test_call_arity(self):
+        with pytest.raises(TypeError_):
+            check("proc g(a: int) { } proc f() { g(); }")
+
+    def test_call_arg_type(self):
+        with pytest.raises(TypeError_):
+            check("proc g(a: int) { } proc f() { g(true); }")
+
+    def test_unknown_callee(self):
+        with pytest.raises(TypeError_):
+            check("proc f() { g(); }")
+
+    def test_duplicate_proc(self):
+        with pytest.raises(TypeError_):
+            check("proc f() { } proc f() { }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(TypeError_):
+            check("proc f(a: int, a: int) { }")
+
+    def test_void_variable(self):
+        self._fails("var v: void;")
+
+    def test_void_value_in_expression(self):
+        with pytest.raises(TypeError_):
+            check("proc g() { } proc f() { var a: int = g(); }")
+
+    def test_nonvoid_call_usable_as_statement(self):
+        # Calls whose result is discarded are allowed as statements.
+        check("proc g(): int { return 1; } proc f() { g(); }")

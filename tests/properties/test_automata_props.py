@@ -1,0 +1,115 @@
+"""Property-based tests for the automata library."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import dfa_to_regex, from_regex, regex_to_dfa
+from repro.automata import regex as rx
+
+ALPHABET = "abc"
+SYMBOLS = st.sampled_from(list(ALPHABET))
+
+
+def regexes(depth=3):
+    base = st.one_of(
+        SYMBOLS.map(rx.sym),
+        st.just(rx.EPSILON),
+        st.just(rx.EMPTY),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: rx.concat(*p)),
+            st.tuples(children, children).map(lambda p: rx.union(*p)),
+            children.map(rx.star),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+def sample_words(max_len=4):
+    out = []
+    for n in range(max_len + 1):
+        out.extend(itertools.product(ALPHABET, repeat=n))
+    return out
+
+
+WORDS = sample_words()
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes())
+def test_nfa_agrees_with_derivative_matcher(regex):
+    nfa = from_regex(regex)
+    for word in WORDS:
+        assert nfa.accepts(word) == rx.matches_brute(regex, word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_determinize_and_minimize_preserve_language(regex):
+    nfa = from_regex(regex)
+    dfa = nfa.determinize(frozenset(ALPHABET))
+    minimal = dfa.minimized()
+    for word in WORDS:
+        expected = rx.matches_brute(regex, word)
+        assert dfa.accepts(word) == expected
+        assert minimal.accepts(word) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes())
+def test_state_elimination_roundtrip(regex):
+    dfa = regex_to_dfa(regex, frozenset(ALPHABET))
+    back = dfa_to_regex(dfa)
+    dfa2 = regex_to_dfa(back, frozenset(ALPHABET))
+    for word in WORDS:
+        assert dfa.accepts(word) == dfa2.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes())
+def test_boolean_algebra(r1, r2):
+    a = regex_to_dfa(r1, frozenset(ALPHABET))
+    b = regex_to_dfa(r2, frozenset(ALPHABET))
+    inter = a.intersect(b)
+    union = a.union(b)
+    diff = a.difference(b)
+    comp = a.complement(frozenset(ALPHABET))
+    for word in WORDS:
+        in_a, in_b = a.accepts(word), b.accepts(word)
+        assert inter.accepts(word) == (in_a and in_b)
+        assert union.accepts(word) == (in_a or in_b)
+        assert diff.accepts(word) == (in_a and not in_b)
+        assert comp.accepts(word) == (not in_a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes())
+def test_inclusion_consistent_with_membership(r1, r2):
+    a = regex_to_dfa(r1, frozenset(ALPHABET))
+    b = regex_to_dfa(r2, frozenset(ALPHABET))
+    if b.includes(a):  # L(a) ⊆ L(b)
+        for word in WORDS:
+            if a.accepts(word):
+                assert b.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes())
+def test_emptiness_and_shortest_word_agree(regex):
+    dfa = regex_to_dfa(regex, frozenset(ALPHABET))
+    shortest = dfa.shortest_word()
+    if shortest is None:
+        assert dfa.is_empty()
+        for word in WORDS:
+            assert not dfa.accepts(word)
+    else:
+        assert dfa.accepts(shortest)
+        # No accepted sampled word is shorter.
+        for word in WORDS:
+            if dfa.accepts(word):
+                assert len(word) >= len(shortest)
+                break

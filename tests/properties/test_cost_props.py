@@ -1,0 +1,106 @@
+"""Property-based tests for the symbolic cost algebra.
+
+The semantic contract of a CostBound at a valuation x (with the nonneg
+symbols >= 0) is the interval  [min_i L_i(x), max(0, max_j U_j(x))].
+Addition, join and scaling must be sound interval operations under this
+reading; multiply must over-approximate the product with a non-negative
+left factor.
+"""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.cost import CostBound, Poly
+
+SYMS = ["n", "m"]
+NONNEG = frozenset(SYMS)
+
+
+@st.composite
+def polys(draw):
+    terms = {(): Fraction(draw(st.integers(-5, 20)))}
+    for sym in SYMS:
+        if draw(st.booleans()):
+            terms[(sym,)] = Fraction(draw(st.integers(0, 6)))
+    return Poly(terms)
+
+
+@st.composite
+def bounds(draw):
+    lo = draw(polys())
+    hi = lo + Poly.constant(draw(st.integers(0, 10)))
+    if draw(st.booleans()):
+        hi = hi + Poly.symbol(draw(st.sampled_from(SYMS)))
+    return CostBound.range(lo, hi, NONNEG)
+
+
+envs = st.fixed_dictionaries({s: st.integers(0, 9) for s in SYMS})
+
+
+def interval(bound, env):
+    lo, hi = bound.evaluate(env)
+    assert hi is None or lo <= max(hi, lo)  # well-formedness
+    return lo, hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(bounds(), bounds(), envs)
+def test_addition_is_interval_addition(a, b, env):
+    lo_a, hi_a = interval(a, env)
+    lo_b, hi_b = interval(b, env)
+    lo, hi = interval(a + b, env)
+    assert lo <= lo_a + lo_b
+    assert hi >= hi_a + hi_b
+
+
+@settings(max_examples=80, deadline=None)
+@given(bounds(), bounds(), envs)
+def test_join_contains_both(a, b, env):
+    joined = a.join(b)
+    lo, hi = interval(joined, env)
+    for side in (a, b):
+        s_lo, s_hi = interval(side, env)
+        assert lo <= s_lo
+        assert hi >= s_hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(bounds(), envs, st.integers(0, 5))
+def test_scale_is_pointwise(a, env, k):
+    lo_a, hi_a = interval(a, env)
+    lo, hi = interval(a.scale(k), env)
+    assert lo <= k * lo_a
+    assert hi >= k * hi_a
+
+
+@settings(max_examples=80, deadline=None)
+@given(bounds(), bounds(), envs)
+def test_multiply_over_approximates_nonneg_product(body, iters, env):
+    """For any achievable body cost c in [body] with c >= 0 and any
+    achievable iteration count k in [iters] with k >= 0, the product
+    c*k must lie inside body.multiply(iters)."""
+    product = body.multiply(iters)
+    b_lo, b_hi = interval(body, env)
+    i_lo, i_hi = interval(iters, env)
+    lo, hi = interval(product, env)
+    # Sample achievable nonnegative values at the interval corners.
+    for c in {max(b_lo, 0), max(b_hi, 0)}:
+        for k in {max(i_lo, 0), max(i_hi, 0)}:
+            assert lo <= c * k <= max(hi, 0), (c, k, lo, hi)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounds(), envs)
+def test_upper_clamped_at_zero(a, env):
+    _, hi = interval(a, env)
+    assert hi >= 0  # the embedded zero polynomial
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounds())
+def test_degree_reflects_symbols(a):
+    if a.degree() == 0:
+        assert all(p.is_constant for p in a.upper)
+    assert a.symbols() <= frozenset(SYMS)

@@ -1,0 +1,48 @@
+"""Front-end robustness: arbitrary input must never crash with anything
+but the library's own SourceError hierarchy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import frontend
+from repro.lang.lexer import tokenize
+from repro.util.errors import SourceError
+
+# Text biased toward language-ish fragments plus raw unicode noise.
+fragments = st.sampled_from(
+    [
+        "proc", "extern", "var", "if", "while", "for", "return", "int",
+        "uint", "byte[]", "{", "}", "(", ")", ";", ":", "=", "==", "&&",
+        "x", "f", "0", "42", '"s"', "//c\n", "/*", "*/", "len", "new",
+        "secret", "public", "+", "-", "<", "null", ",",
+    ]
+)
+noise = st.text(max_size=12)
+soup = st.lists(st.one_of(fragments, noise), max_size=25).map(" ".join)
+
+
+@settings(max_examples=150, deadline=None)
+@given(soup)
+def test_lexer_total(text):
+    try:
+        tokenize(text)
+    except SourceError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=150, deadline=None)
+@given(soup)
+def test_frontend_total(text):
+    try:
+        frontend(text)
+    except SourceError:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=40))
+def test_frontend_on_raw_unicode(text):
+    try:
+        frontend(text)
+    except SourceError:
+        pass

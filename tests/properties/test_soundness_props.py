@@ -1,0 +1,143 @@
+"""End-to-end soundness properties over randomly generated programs.
+
+These are the paper's guarantees, checked empirically:
+
+* every concrete trace's running time lies inside the static bound;
+* every concrete trace's edge word lies in L(tr_mg);
+* the driver's partitions cover every concrete trace, and taint-split
+  ("safe") partitions are ψ_tcf-quotient on the sampled traces;
+* a SAFE verdict implies empirical timing-channel freedom on the sample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import compute_bound
+from repro.core import Blazer, analyze_source
+from repro.core.ksafety import is_quotient_partition, psi_tcf, tcf
+from repro.domains import DOMAINS
+from repro.interp import Interpreter
+from repro.trails import Trail
+from tests.helpers import compile_to_cfgs
+
+ZONE = DOMAINS["zone"]
+
+# Template programs parameterized by hypothesis-drawn constants; each is
+# terminating by construction.  'h' is secret, 'l' public.
+TEMPLATES = [
+    # balanced secret branch
+    """
+    proc main(secret h: int, public l: uint): int {{
+        var acc: int = {c0};
+        while (acc < l) {{ acc = acc + 1; }}
+        if (h > {c1}) {{ acc = acc + {c2}; }} else {{ acc = acc + {c2}; }}
+        return acc;
+    }}
+    """,
+    # leaky secret loop guard
+    """
+    proc main(secret h: int, public l: uint): int {{
+        var acc: int = 0;
+        if (h > {c0}) {{
+            while (acc < l) {{ acc = acc + 1; }}
+        }}
+        return acc + {c1};
+    }}
+    """,
+    # low split with different shapes per side
+    """
+    proc main(secret h: int, public l: int): int {{
+        var acc: int = 0;
+        if (l > {c0}) {{
+            var i: int = 0;
+            while (i < l) {{ i = i + {c2}; acc = acc + 1; }}
+        }} else {{
+            acc = {c1};
+        }}
+        return acc;
+    }}
+    """,
+]
+
+constants = st.integers(min_value=1, max_value=4)
+template_ids = st.integers(0, len(TEMPLATES) - 1)
+lows = st.lists(st.integers(0, 5), min_size=2, max_size=4)
+highs = st.lists(st.integers(-2, 5), min_size=2, max_size=3)
+
+
+def build(template_id, c0, c1, c2):
+    return TEMPLATES[template_id].format(c0=c0, c1=c1, c2=c2)
+
+
+def sample_traces(source, low_values, high_values):
+    interp = Interpreter(compile_to_cfgs(source))
+    return [
+        interp.run("main", {"h": h, "l": l})
+        for l in low_values
+        for h in high_values
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(template_ids, constants, constants, constants, lows, highs)
+def test_static_bound_contains_concrete_times(tid, c0, c1, c2, ls, hs):
+    source = build(tid, c0, c1, c2)
+    cfgs = compile_to_cfgs(source)
+    result = compute_bound(cfgs["main"], ZONE)
+    assert result.feasible
+    for trace in sample_traces(source, ls, hs):
+        env = {"l": trace.input("l"), "h": trace.input("h")}
+        lo, hi = result.bound.evaluate(env)
+        assert lo <= trace.time, (trace, lo)
+        if hi is not None:
+            assert trace.time <= hi, (trace, hi)
+
+
+@settings(max_examples=20, deadline=None)
+@given(template_ids, constants, constants, constants, lows, highs)
+def test_traces_in_most_general_trail(tid, c0, c1, c2, ls, hs):
+    source = build(tid, c0, c1, c2)
+    cfgs = compile_to_cfgs(source)
+    trail = Trail.most_general(cfgs["main"])
+    for trace in sample_traces(source, ls, hs):
+        assert trail.accepts(trace.edges)
+
+
+@settings(max_examples=15, deadline=None)
+@given(template_ids, constants, constants, constants, lows, highs)
+def test_partition_covers_and_is_quotient(tid, c0, c1, c2, ls, hs):
+    source = build(tid, c0, c1, c2)
+    blazer = Blazer.from_source(source)
+    verdict = blazer.analyze("main")
+    assert verdict.tree.covers_root()
+    traces = sample_traces(source, ls, hs)
+    leaves = verdict.tree.leaves()
+    # Coverage: every concrete trace is a member of some leaf trail.
+    membership = [
+        [leaf.trail.accepts(t.edges) for leaf in leaves] for t in traces
+    ]
+    assert all(any(row) for row in membership)
+    # Quotient property for taint-only partitions (Section 4.3's claim).
+    if all(
+        s.kind == "taint" for leaf in leaves for s in leaf.trail.splits
+    ):
+        components = [
+            [t for t, row in zip(traces, membership) if row[i]]
+            for i in range(len(leaves))
+        ]
+        components = [c for c in components if c]
+        assert is_quotient_partition(traces, components, psi_tcf, 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(template_ids, constants, constants, constants, lows, highs)
+def test_safe_verdict_implies_empirical_tcf(tid, c0, c1, c2, ls, hs):
+    """Theorem 3.1, end to end: if the tool says SAFE, no sampled pair of
+    low-equivalent traces may differ observably in running time."""
+    source = build(tid, c0, c1, c2)
+    verdict = analyze_source(source, "main")
+    if verdict.status != "safe":
+        return
+    traces = sample_traces(source, ls, hs)
+    epsilon = 32  # the micro observer's constant slack
+    assert tcf(epsilon).holds(traces), verdict.render()

@@ -1,0 +1,61 @@
+"""State/constraints round-trip properties for the relational domains.
+
+For any state S reached by random operations, re-imposing S's own
+constraint set on top must give back an equivalent state (constraints()
+is a faithful description), and S must entail each of its constraints.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import DOMAINS, LinCons, LinExpr
+
+VARS = ["x", "y", "z"]
+consts = st.integers(-6, 6)
+
+
+@st.composite
+def states(draw, domain_name):
+    domain = DOMAINS[domain_name]
+    state = domain.top()
+    for _ in range(draw(st.integers(1, 5))):
+        var = draw(st.sampled_from(VARS))
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            state = state.assign(var, LinExpr.constant(draw(consts)))
+        elif choice == 1:
+            other = draw(st.sampled_from(VARS))
+            state = state.assign(var, LinExpr.var(other) + draw(consts))
+        elif choice == 2:
+            other = draw(st.sampled_from(VARS))
+            state = state.guard(
+                LinCons.le(LinExpr.var(var), LinExpr.var(other) + draw(consts))
+            )
+        else:
+            state = state.guard(LinCons.ge(LinExpr.var(var), draw(consts)))
+    return state
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data(), st.sampled_from(["zone", "octagon", "polyhedra"]))
+def test_constraints_are_entailed(data, domain_name):
+    state = data.draw(states(domain_name))
+    if state.is_bottom():
+        return
+    for cons in state.constraints():
+        assert state.entails(cons), (domain_name, str(cons), str(state))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data(), st.sampled_from(["zone", "octagon"]))
+def test_reimposing_constraints_is_identity(data, domain_name):
+    domain = DOMAINS[domain_name]
+    state = data.draw(states(domain_name))
+    if state.is_bottom():
+        return
+    rebuilt = domain.top().guard_all(state.constraints())
+    assert state.leq(rebuilt) and rebuilt.leq(state), (
+        domain_name,
+        str(state),
+        str(rebuilt),
+    )

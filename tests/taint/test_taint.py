@@ -1,0 +1,141 @@
+"""Taint analysis unit tests (branch classification fidelity)."""
+
+from repro.taint import Taint, analyze_taint
+from tests.helpers import compile_one
+
+
+def branch_annotations(source, proc):
+    cfg = compile_one(source, proc)
+    result = analyze_taint(cfg)
+    return result, cfg
+
+
+def annotation_set(source, proc):
+    result, cfg = branch_annotations(source, proc)
+    return {result.annotation(b) for b in cfg.branch_blocks()}
+
+
+class TestExplicitFlows:
+    def test_branch_on_public(self):
+        assert annotation_set(
+            "proc f(secret h: int, public l: int) { if (l > 0) { } }", "f"
+        ) == {"l"}
+
+    def test_branch_on_secret(self):
+        assert annotation_set(
+            "proc f(secret h: int, public l: int) { if (h > 0) { } }", "f"
+        ) == {"h"}
+
+    def test_branch_on_both(self):
+        assert annotation_set(
+            "proc f(secret h: int, public l: int) { if (h > l) { } }", "f"
+        ) == {"l,h"}
+
+    def test_branch_on_constant_is_untainted(self):
+        result, cfg = branch_annotations(
+            "proc f(secret h: int) { var c: int = 3; if (c > 1) { } }", "f"
+        )
+        assert result.untainted_branches() == cfg.branch_blocks()
+
+    def test_taint_through_arithmetic(self):
+        assert annotation_set(
+            "proc f(secret h: int) { var x: int = h * 2 + 1; if (x > 0) { } }",
+            "f",
+        ) == {"h"}
+
+    def test_taint_through_array_contents(self):
+        source = """
+        proc f(secret h: int, public l: int) {
+            var a: int[] = new int[4];
+            a[0] = h;
+            if (a[1] > 0) { }
+        }
+        """
+        # Array taint is coarse: any element read is tainted once any
+        # element was written with secret data.
+        assert annotation_set(source, "f") == {"h"}
+
+    def test_array_length_taint(self):
+        assert annotation_set(
+            "proc f(secret h: byte[]) { if (len(h) > 0) { } }", "f"
+        ) == {"h"}
+
+    def test_call_result_absorbs_args(self):
+        source = """
+        proc id(x: int): int { return x; }
+        proc f(secret h: int) { if (id(h) > 0) { } }
+        """
+        assert annotation_set(source, "f") == {"h"}
+
+
+class TestImplicitFlows:
+    def test_assignment_under_secret_branch(self):
+        source = """
+        proc f(secret h: int): int {
+            var x: int = 0;
+            if (h > 0) { x = 1; }
+            if (x > 0) { return 1; }
+            return 0;
+        }
+        """
+        result, cfg = branch_annotations(source, "f")
+        annotations = [result.annotation(b) for b in cfg.branch_blocks()]
+        assert annotations == ["h", "h"]
+
+    def test_loop_counter_under_public_guard_stays_public(self):
+        """Flow sensitivity: a low loop must not absorb taints from
+        disjoint high branches (the Example 1/2 requirement)."""
+        source = """
+        proc f(secret h: int, public l: int): int {
+            var i: int = 0;
+            if (l > 0) {
+                while (i < l) { i = i + 1; }
+            } else {
+                if (h == 0) { i = 5; } else { i = 7; }
+            }
+            return i;
+        }
+        """
+        result, cfg = branch_annotations(source, "f")
+        labels = {b: result.annotation(b) for b in cfg.branch_blocks()}
+        # The low loop guard stays "l".  The h==0 branch reports "l,h":
+        # its condition is high data and it sits under low control (the
+        # context keeps occurrence splits at such branches out of the
+        # safety phase, which is the sound direction).
+        assert sorted(labels.values()) == ["l", "l", "l,h"]
+        assert len(result.low_branches()) == 2
+
+    def test_low_and_high_branches_reported_separately(self):
+        source = """
+        proc f(secret h: int, public l: int) {
+            if (l > 0) { }
+            if (h > 0) { }
+        }
+        """
+        result, cfg = branch_annotations(source, "f")
+        assert len(result.low_branches()) == 1
+        assert len(result.high_branches()) == 1
+        assert set(result.low_branches()).isdisjoint(result.high_branches())
+
+    def test_secret_index_taints_read(self):
+        source = """
+        proc f(secret h: int, public a: byte[]) {
+            if (a[h] > 0) { }
+        }
+        """
+        assert annotation_set(source, "f") == {"l,h"}
+
+
+class TestSummaries:
+    def test_var_taint_reported(self):
+        source = "proc f(secret h: int, public l: int) { var m: int = h + l; }"
+        cfg = compile_one(source, "f")
+        result = analyze_taint(cfg)
+        assert result.taint_of_var("m") == frozenset({Taint.LOW, Taint.HIGH})
+        assert result.taint_of_var("h") == frozenset({Taint.HIGH})
+
+    def test_render_mentions_annotations(self):
+        source = "proc f(secret h: int) { if (h > 0) { } }"
+        cfg = compile_one(source, "f")
+        text = str(analyze_taint(cfg))
+        assert "|h" in text

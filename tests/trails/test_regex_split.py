@@ -1,0 +1,87 @@
+"""RegexNodeSplit strategy tests (§4.3's constructor-level splitting)."""
+
+from repro.core import BlazerConfig, analyze_source
+from repro.taint import analyze_taint
+from repro.trails import OccurrenceSplit, RegexNodeSplit, Trail, verify_cover
+from tests.helpers import compile_one
+
+EX2 = """
+proc bar(secret high: int, public low: int) {
+    var i: int = 0;
+    if (low > 0) {
+        while (i < low) { i = i + 1; }
+    } else {
+        if (high == 0) { i = 5; } else { i = 7; }
+    }
+}
+"""
+
+
+class TestRegexNodeSplit:
+    def setup_method(self):
+        self.cfg = compile_one(EX2, "bar")
+        self.taint = analyze_taint(self.cfg)
+        self.trail = Trail.most_general(self.cfg)
+        self.strategy = RegexNodeSplit()
+
+    def test_union_split_covers(self):
+        branch = self.taint.low_branches()[0]
+        parts = self.strategy.split(self.trail, branch, "taint")
+        assert len(parts) == 2
+        assert verify_cover(self.trail, parts)
+
+    def test_star_split_covers(self):
+        loop_branch = self.taint.low_branches()[1]
+        parts = self.strategy.split(self.trail, loop_branch, "taint")
+        assert len(parts) == 2
+        assert verify_cover(self.trail, parts)
+        descriptions = {p.description for p in parts}
+        assert any("skips the loop" in d for d in descriptions)
+        assert any("iterates the loop" in d for d in descriptions)
+
+    def test_components_within_parent(self):
+        branch = self.taint.low_branches()[0]
+        for part in self.strategy.split(self.trail, branch, "taint"):
+            assert self.trail.includes(part)
+
+    def test_star_split_semantics(self):
+        """The 'skips' component excludes looping traces and vice versa."""
+        from repro.interp import Interpreter
+        from tests.helpers import compile_to_cfgs
+
+        cfgs = compile_to_cfgs(EX2)
+        interp = Interpreter(cfgs)
+        loop_branch = self.taint.low_branches()[1]
+        parts = self.strategy.split(self.trail, loop_branch, "taint")
+        skip = next(p for p in parts if "skips" in p.description)
+        iterate = next(p for p in parts if "iterates" in p.description)
+        looping = interp.run("bar", {"high": 0, "low": 3})
+        nonloop = interp.run("bar", {"high": 0, "low": -1})
+        assert iterate.accepts(looping.edges)
+        assert not skip.accepts(looping.edges)
+        # The 'iterates' component keeps the else-branch context, so the
+        # non-looping trace through the other alternative stays covered.
+        assert skip.accepts(nonloop.edges)
+
+    def test_unannotated_branch_returns_empty(self):
+        # A branch block whose edges never surface as one constructor;
+        # splitting on the high branch with kind "taint" still works by
+        # annotation, so instead probe a non-existent association by
+        # using a constant-branch program.
+        cfg = compile_one(
+            "proc f(secret h: int) { var c: int = 1; if (c > 0) { } }", "f"
+        )
+        trail = Trail.most_general(cfg)
+        branch = cfg.branch_blocks()[0]
+        assert RegexNodeSplit().split(trail, branch, "taint") == []
+
+
+class TestDriverStrategyConfig:
+    def test_regex_first_chain_still_verifies(self):
+        config = BlazerConfig(strategies=(RegexNodeSplit(), OccurrenceSplit()))
+        verdict = analyze_source(EX2, "bar", config)
+        assert verdict.status == "safe"
+        assert verdict.tree.covers_root()
+
+    def test_default_chain_verifies(self):
+        assert analyze_source(EX2, "bar").status == "safe"

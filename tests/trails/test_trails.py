@@ -1,0 +1,174 @@
+"""Trails: representation, annotation, refinement, partition trees."""
+
+import pytest
+
+from repro.taint import analyze_taint
+from repro.trails import (
+    OccurrenceSplit,
+    PartitionTree,
+    Trail,
+    annotate_trail,
+    split_trail,
+    verify_cover,
+)
+from repro.util.errors import TrailError
+from tests.helpers import BRANCHY, COUNT_LOOP, compile_one
+
+EX2 = """
+proc bar(secret high: int, public low: int) {
+    var i: int = 0;
+    if (low > 0) {
+        while (i < low) { i = i + 1; }
+    } else {
+        if (high == 0) { i = 5; } else { i = 7; }
+    }
+}
+"""
+
+
+class TestTrail:
+    def test_most_general_covers_concrete_traces(self):
+        from repro.interp import Interpreter
+        from tests.helpers import compile_to_cfgs
+
+        cfgs = compile_to_cfgs(COUNT_LOOP)
+        trail = Trail.most_general(cfgs["count"])
+        interp = Interpreter(cfgs)
+        for n in (0, 1, 5):
+            trace = interp.run("count", [n])
+            assert trail.accepts(trace.edges)
+
+    def test_regex_rendering(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        text = str(Trail.most_general(cfg).regex())
+        assert "*" in text  # the loop appears as a star
+
+    def test_includes_reflexive(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        trail = Trail.most_general(cfg)
+        assert trail.includes(trail)
+
+    def test_split_blocks_provenance(self):
+        cfg = compile_one(EX2, "bar")
+        trail = Trail.most_general(cfg)
+        branch = cfg.branch_blocks()[0]
+        child = split_trail(trail, branch, "taint")[0]
+        assert child.split_blocks() == frozenset({branch})
+        assert child.splits[0].kind == "taint"
+
+
+class TestSplitting:
+    def test_occurrence_split_covers_parent(self):
+        cfg = compile_one(EX2, "bar")
+        trail = Trail.most_general(cfg)
+        for branch in cfg.branch_blocks():
+            parts = split_trail(trail, branch, "taint")
+            if parts:
+                assert verify_cover(trail, parts)
+
+    def test_split_components_subsets_of_parent(self):
+        cfg = compile_one(EX2, "bar")
+        trail = Trail.most_general(cfg)
+        branch = cfg.branch_blocks()[0]
+        for child in split_trail(trail, branch, "taint"):
+            assert trail.includes(child)
+
+    def test_split_separates_concrete_traces(self):
+        from repro.interp import Interpreter
+        from tests.helpers import compile_to_cfgs
+
+        cfgs = compile_to_cfgs(EX2)
+        cfg = cfgs["bar"]
+        trail = Trail.most_general(cfg)
+        branch = cfg.branch_blocks()[0]  # the low > 0 branch
+        part_a, part_b = split_trail(trail, branch, "taint")
+        interp = Interpreter(cfgs)
+        pos = interp.run("bar", {"high": 0, "low": 3})
+        neg = interp.run("bar", {"high": 0, "low": -1})
+        in_a = part_a.accepts(pos.edges)
+        assert in_a != part_b.accepts(pos.edges) or True  # may overlap
+        # Each trace must be covered by at least one component.
+        assert part_a.accepts(pos.edges) or part_b.accepts(pos.edges)
+        assert part_a.accepts(neg.edges) or part_b.accepts(neg.edges)
+        # And the two traces fall into different components.
+        assert part_a.accepts(pos.edges) != part_a.accepts(neg.edges)
+
+    def test_unsplittable_returns_empty(self):
+        # Splitting a loop-free diamond twice at the same block makes no
+        # progress the second time (children already decide the edge).
+        cfg = compile_one(EX2, "bar")
+        trail = Trail.most_general(cfg)
+        branch = cfg.branch_blocks()[0]
+        child = split_trail(trail, branch, "taint")[0]
+        assert split_trail(child, branch, "taint") == []
+
+    def test_split_on_non_branch_raises(self):
+        cfg = compile_one(EX2, "bar")
+        trail = Trail.most_general(cfg)
+        with pytest.raises(TrailError):
+            split_trail(trail, cfg.exit_id, "taint")
+
+
+class TestAnnotation:
+    def test_example2_annotations(self):
+        cfg = compile_one(EX2, "bar")
+        taint = analyze_taint(cfg)
+        annotated = annotate_trail(Trail.most_general(cfg).regex(), cfg, taint)
+        rendered = annotated.render()
+        assert "|_l" in rendered or "*_l" in rendered
+        # The high if sits inside: some constructor carries an h.
+        assert "_h" in rendered.replace("_l,h", "_#") or "_l,h" in rendered
+
+    def test_annotated_nodes_listed(self):
+        cfg = compile_one(EX2, "bar")
+        taint = analyze_taint(cfg)
+        annotated = annotate_trail(Trail.most_general(cfg).regex(), cfg, taint)
+        nodes = annotated.annotated_nodes()
+        assert nodes, "expected at least one annotated constructor"
+
+    def test_no_taint_no_annotations(self):
+        cfg = compile_one("proc f(x: int) { if (x > 0) { } }", "f")
+
+        class FakeTaint:
+            def taint_of_branch(self, b):
+                return frozenset()
+
+        # All branches untainted -> no annotations.
+        from repro.taint.analysis import TaintResult
+
+        taint = TaintResult(cfg=cfg, var_taint={}, branch_taint={})
+        annotated = annotate_trail(Trail.most_general(cfg).regex(), cfg, taint)
+        assert annotated.annotated_nodes() == []
+
+
+class TestPartitionTree:
+    def test_leaves_and_coverage(self):
+        cfg = compile_one(EX2, "bar")
+        tree = PartitionTree(Trail.most_general(cfg))
+        assert len(tree.leaves()) == 1
+        assert tree.covers_root()
+        branch = cfg.branch_blocks()[0]
+        node = tree.leaves()[0]
+        for child in split_trail(node.trail, branch, "taint"):
+            node.add_child(child)
+        assert len(tree.leaves()) == 2
+        assert tree.covers_root()
+
+    def test_render_shows_structure(self):
+        cfg = compile_one(EX2, "bar")
+        tree = PartitionTree(Trail.most_general(cfg))
+        branch = cfg.branch_blocks()[0]
+        node = tree.leaves()[0]
+        for child in split_trail(node.trail, branch, "taint"):
+            node.add_child(child)
+        text = tree.render()
+        assert "most general trail" in text
+        assert "|--" in text and "`--" in text
+
+    def test_ancestors(self):
+        cfg = compile_one(EX2, "bar")
+        tree = PartitionTree(Trail.most_general(cfg))
+        branch = cfg.branch_blocks()[0]
+        node = tree.leaves()[0]
+        children = [node.add_child(c) for c in split_trail(node.trail, branch, "taint")]
+        assert list(children[0].ancestors()) == [tree.root]

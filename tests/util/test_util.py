@@ -1,0 +1,78 @@
+"""Utility-module tests: tables, trees, errors, source positions."""
+
+import pytest
+
+from repro.util import (
+    LexError,
+    ParseError,
+    Pos,
+    ReproError,
+    SourceError,
+    Span,
+    render_table,
+    render_tree,
+)
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["bbb", 22]], ["l", "r"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].endswith(" 1")
+        assert lines[3].endswith("22")
+
+    def test_separator_row(self):
+        text = render_table(["x"], [["yy"]])
+        assert "--" in text.splitlines()[1]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestTree:
+    def test_single_level(self):
+        text = render_tree("root", ["child1", "child2"])
+        assert "|-- child1" in text
+        assert "`-- child2" in text
+
+    def test_nesting_indents_continuations(self):
+        inner = render_tree("mid", ["leaf"])
+        text = render_tree("root", [inner, "sibling"])
+        lines = text.splitlines()
+        assert lines[0] == "root"
+        assert lines[1] == "|-- mid"
+        assert lines[2] == "|   `-- leaf"
+        assert lines[3] == "`-- sibling"
+
+    def test_no_children(self):
+        assert render_tree("lonely", []) == "lonely"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(LexError, SourceError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_source_error_formats_position(self):
+        err = SourceError("bad thing", 3, 7)
+        assert "3:7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_source_error_without_position(self):
+        assert str(SourceError("plain")) == "plain"
+
+
+class TestPositions:
+    def test_pos_str(self):
+        assert str(Pos(2, 5)) == "2:5"
+
+    def test_span(self):
+        span = Span(Pos(1, 1), Pos(1, 9))
+        assert str(span) == "1:1-1:9"
+        assert Span.at(Pos(4, 2)).start == Pos(4, 2)
