@@ -1,0 +1,170 @@
+"""Perf harness: the memoized+parallel engine vs. the plain serial one.
+
+Runs every Table-1 benchmark twice —
+
+* **serial baseline**: one benchmark after another in this process with
+  the perf layer forced *off*, i.e. exactly the unmemoized seed engine;
+* **optimized**: the same benchmarks with the perf layer on, fanned out
+  over ``--jobs`` workers via :class:`ParallelSuiteRunner` (workers
+  start with cold caches — nothing is pre-warmed).
+
+— then verifies the two runs produced byte-identical analyses (content
+digests per :func:`repro.core.report.verdict_digest`) and writes the
+machine-readable ``BENCH_table1.json`` so future changes can track the
+perf trajectory.
+
+Usage::
+
+    python benchmarks/bench_perf.py [--jobs N] [--output PATH]
+    python benchmarks/bench_perf.py --quick     # CI smoke: 6 MicroBench
+                                                # pairs, --jobs 2, asserts
+                                                # speedup >= 1.0
+
+Exit status is non-zero on any verdict mismatch, digest divergence, or
+(in ``--quick`` mode) a speedup below 1.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.benchsuite import ALL_BENCHMARKS, MICRO, BenchResult, ParallelSuiteRunner
+
+
+def run_serial_baseline(names: List[str]) -> List[BenchResult]:
+    """The reference run: perf layer off, strictly sequential."""
+    runner = ParallelSuiteRunner(names, jobs=1, backend="serial", cache=False)
+    return runner.run()
+
+
+def run_optimized(names: List[str], jobs: int) -> List[BenchResult]:
+    """The measured run: perf layer on, ``jobs`` workers."""
+    runner = ParallelSuiteRunner(names, jobs=jobs, backend="auto", cache=True)
+    return runner.run()
+
+
+def build_report(
+    serial: List[BenchResult],
+    optimized: List[BenchResult],
+    serial_wall: float,
+    optimized_wall: float,
+    jobs: int,
+) -> Dict:
+    rows = []
+    for base, opt in zip(serial, optimized):
+        total = opt.cache_hits + opt.cache_misses
+        rows.append(
+            {
+                "name": base.name,
+                "group": base.group,
+                "verdict": opt.status,
+                "expect": base.expect,
+                "ok": opt.ok,
+                "digest_match": base.digest == opt.digest,
+                "serial_seconds": round(base.wall_seconds, 4),
+                "parallel_seconds": round(opt.wall_seconds, 4),
+                "speedup": round(base.wall_seconds / opt.wall_seconds, 2)
+                if opt.wall_seconds
+                else None,
+                "cache_hits": opt.cache_hits,
+                "cache_misses": opt.cache_misses,
+                "hit_rate": round(opt.cache_hits / total, 4) if total else 0.0,
+            }
+        )
+    return {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "jobs": jobs,
+        "benchmarks": rows,
+        "total": {
+            "serial_seconds": round(serial_wall, 4),
+            "parallel_seconds": round(optimized_wall, 4),
+            "speedup": round(serial_wall / optimized_wall, 2)
+            if optimized_wall
+            else None,
+            "all_ok": all(r["ok"] for r in rows),
+            "all_digests_match": all(r["digest_match"] for r in rows),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="workers for the optimized run"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_table1.json", help="report path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: MicroBench only, --jobs 2, assert speedup >= 1.0",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        benches = [b for b in ALL_BENCHMARKS if b.group == MICRO]
+        jobs = 2
+    else:
+        benches = list(ALL_BENCHMARKS)
+        jobs = args.jobs
+    names = [b.name for b in benches]
+
+    print("serial baseline (perf layer off, %d benchmarks)..." % len(names))
+    t0 = time.perf_counter()
+    serial = run_serial_baseline(names)
+    serial_wall = time.perf_counter() - t0
+    print("  %.2fs" % serial_wall)
+
+    print("optimized (perf layer on, --jobs %d)..." % jobs)
+    t0 = time.perf_counter()
+    optimized = run_optimized(names, jobs)
+    optimized_wall = time.perf_counter() - t0
+    print("  %.2fs" % optimized_wall)
+
+    report = build_report(serial, optimized, serial_wall, optimized_wall, jobs)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    total = report["total"]
+    speedup = total["speedup"]
+    print(
+        "speedup: %.2fx (%.2fs -> %.2fs), verdicts ok: %s, digests match: %s"
+        % (
+            speedup,
+            total["serial_seconds"],
+            total["parallel_seconds"],
+            total["all_ok"],
+            total["all_digests_match"],
+        )
+    )
+    print("report written to %s" % args.output)
+
+    failed = False
+    if not total["all_ok"]:
+        bad = [r["name"] for r in report["benchmarks"] if not r["ok"]]
+        print("FAIL: verdict mismatch in: %s" % ", ".join(bad), file=sys.stderr)
+        failed = True
+    if not total["all_digests_match"]:
+        bad = [r["name"] for r in report["benchmarks"] if not r["digest_match"]]
+        print(
+            "FAIL: optimized run diverged from baseline in: %s" % ", ".join(bad),
+            file=sys.stderr,
+        )
+        failed = True
+    if args.quick and speedup is not None and speedup < 1.0:
+        print(
+            "FAIL: quick-mode speedup %.2fx is below 1.0x" % speedup,
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

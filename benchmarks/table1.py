@@ -8,6 +8,12 @@ which need no attack search) — the same columns the paper reports.
 Usage::
 
     python benchmarks/table1.py [--group MicroBench|STAC|Literature]
+                                [--jobs N]
+
+``--jobs N`` fans the rows out over a process pool (see
+docs/PERFORMANCE.md).  The exit status is non-zero when any row's
+verdict disagrees with the paper's (a MISMATCH row), so CI can gate on
+verdict correctness.
 """
 
 from __future__ import annotations
@@ -16,33 +22,40 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.benchsuite import ALL_BENCHMARKS, Benchmark
+from repro.benchsuite import ALL_BENCHMARKS, Benchmark, BenchResult, ParallelSuiteRunner
 from repro.util.table import render_table
 
 
-def run_row(bench: Benchmark):
-    verdict = bench.run()
-    attack_time = "-" if verdict.status == "safe" else "%.2f" % verdict.total_seconds
-    expected = "OK" if verdict.status == bench.expect else "MISMATCH"
+def result_row(result: BenchResult) -> List[object]:
+    attack_time = (
+        "-"
+        if result.status == "safe"
+        else "%.2f" % (result.safety_seconds + result.attack_seconds)
+    )
     return [
-        bench.name,
-        bench.group,
-        verdict.size,
-        verdict.status,
-        "%.2f" % verdict.safety_seconds,
+        result.name,
+        result.group,
+        result.size,
+        result.status,
+        "%.2f" % result.safety_seconds,
         attack_time,
-        expected,
+        "OK" if result.ok else "MISMATCH",
     ]
 
 
-def generate(group: Optional[str] = None) -> str:
+def run_suite(
+    group: Optional[str] = None, jobs: int = 1, backend: str = "auto"
+) -> List[BenchResult]:
     benches: List[Benchmark] = [
         b for b in ALL_BENCHMARKS if group is None or b.group == group
     ]
-    rows = [run_row(b) for b in benches]
+    return ParallelSuiteRunner(benches, jobs=jobs, backend=backend).run()
+
+
+def render(results: List[BenchResult]) -> str:
     table = render_table(
         ["Benchmark", "Group", "Size", "Verdict", "Safety (s)", "w/Attack (s)", "vs Table 1"],
-        rows,
+        [result_row(r) for r in results],
         aligns=["l", "l", "r", "l", "r", "r", "l"],
     )
     header = (
@@ -53,11 +66,29 @@ def generate(group: Optional[str] = None) -> str:
     return header + "\n" + table
 
 
+def generate(group: Optional[str] = None, jobs: int = 1) -> str:
+    return render(run_suite(group, jobs=jobs))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--group", choices=["MicroBench", "STAC", "Literature"])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: serial)",
+    )
     args = parser.parse_args()
-    print(generate(args.group))
+    results = run_suite(args.group, jobs=args.jobs)
+    print(render(results))
+    mismatches = [r.name for r in results if not r.ok]
+    if mismatches:
+        print(
+            "MISMATCH in %d row(s): %s" % (len(mismatches), ", ".join(mismatches)),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.domains.base import AbstractState
 from repro.domains.linexpr import LinCons, LinExpr
 from repro.ir import instr as ir
+from repro.perf import runtime
 
 
 def len_var(reg_name: str) -> str:
@@ -93,7 +94,39 @@ class TransferFunctions:
         self, block_id: int, state: AbstractState
     ) -> Tuple[AbstractState, CondEnv]:
         """Run the straight-line part of a block; returns the out-state and
-        the cond defs live at the terminator."""
+        the cond defs live at the terminator.
+
+        The result is a pure function of (block, entry state, summaries)
+        and is independent of which trail DFA the engine is running, so
+        it is memoized *on the CFG*: every trail of one procedure —
+        including all the sibling leaves of a refinement split — shares
+        one table.  Requires the domain state to expose ``cache_key()``;
+        domains without it fall through uncached.
+        """
+        if runtime.enabled():
+            key_fn = getattr(state, "cache_key", None)
+            if key_fn is not None:
+                memo = runtime.cfg_memo(self._cfg).setdefault("transfer", {})
+                if len(memo) > runtime.TABLE_LIMIT:
+                    memo.clear()
+                key = (block_id, key_fn())
+                entry = memo.get(key)
+                # Summary registries are compared by identity: a different
+                # registry can change call effects, so it must not share
+                # cached results.
+                if entry is not None and entry[0] is self._summaries:
+                    runtime.STATS.hit("transfer")
+                    out, conds = entry[1]
+                    return out, dict(conds)
+                runtime.STATS.miss("transfer")
+                result = self._block_effect(block_id, state)
+                memo[key] = (self._summaries, result)
+                return result[0], dict(result[1])
+        return self._block_effect(block_id, state)
+
+    def _block_effect(
+        self, block_id: int, state: AbstractState
+    ) -> Tuple[AbstractState, CondEnv]:
         conds: CondEnv = {}
         for instr in self._cfg.blocks[block_id].instrs:
             state = self.step(instr, state, conds)

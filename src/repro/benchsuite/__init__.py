@@ -15,6 +15,7 @@ from repro.benchsuite.registry import (
     micro_observer,
     realworld_observer,
 )
+from repro.benchsuite.runner import BenchResult, ParallelSuiteRunner, run_benchmark
 from repro.benchsuite.stac import STAC_BENCHMARKS
 
 # The 24 Table-1 rows.
@@ -27,6 +28,9 @@ FULL_SUITE = BenchmarkSuite(ALL_BENCHMARKS + EXTRA_BENCHMARKS)
 __all__ = [
     "Benchmark",
     "BenchmarkSuite",
+    "BenchResult",
+    "ParallelSuiteRunner",
+    "run_benchmark",
     "ALL_BENCHMARKS",
     "EXTRA_BENCHMARKS",
     "FULL_SUITE",

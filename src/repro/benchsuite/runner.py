@@ -1,0 +1,120 @@
+"""Parallel benchmark-suite execution.
+
+The heavy objects (drivers, partition trees, abstract states) never
+cross a process boundary: workers receive benchmark *names*, rebuild the
+driver from the registry inside the worker, and return a slim picklable
+:class:`BenchResult` carrying the verdict summary plus the
+content digest of :func:`repro.core.report.verdict_digest` — which is
+how the caller can assert that every worker, whatever its process or
+cache temperature, produced the same analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf import runtime
+from repro.perf.parallel import parallel_map, resolve_jobs
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome, slim enough to pickle across processes."""
+
+    name: str
+    group: str
+    proc: str
+    expect: str
+    status: str
+    size: int
+    leaves: int
+    safety_seconds: float
+    attack_seconds: float
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+    cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == self.expect
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+def run_benchmark(name: str, cache: Optional[bool] = None) -> BenchResult:
+    """Execute one registry benchmark by name (the process-pool worker).
+
+    ``cache`` forces the perf layer on/off for the whole run (driver
+    construction included); None inherits the process-wide flag.
+    """
+    from repro.benchsuite import FULL_SUITE
+    from repro.core.report import verdict_digest
+
+    bench = FULL_SUITE.get(name)
+    started = time.perf_counter()
+    if cache is None:
+        verdict = bench.run()
+    else:
+        with runtime.override(cache):
+            verdict = bench.run()
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name=bench.name,
+        group=bench.group,
+        proc=bench.proc,
+        expect=bench.expect,
+        status=verdict.status,
+        size=verdict.size,
+        leaves=len(verdict.tree.leaves()),
+        safety_seconds=verdict.safety_seconds,
+        attack_seconds=verdict.attack_seconds,
+        wall_seconds=wall,
+        cache_hits=verdict.cache_hits,
+        cache_misses=verdict.cache_misses,
+        cache_stats=verdict.cache_stats,
+        digest=verdict_digest(verdict),
+    )
+
+
+class ParallelSuiteRunner:
+    """Run a set of registry benchmarks across a worker pool.
+
+    ``backend`` is one of ``"auto"`` / ``"process"`` / ``"thread"`` /
+    ``"serial"`` (see :mod:`repro.perf.parallel`); results always come
+    back in input order, so output is deterministic regardless of
+    completion order.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Optional[Sequence] = None,
+        jobs: Optional[int] = 1,
+        backend: str = "auto",
+        cache: Optional[bool] = None,
+    ):
+        if benchmarks is None:
+            from repro.benchsuite import ALL_BENCHMARKS
+
+            benchmarks = ALL_BENCHMARKS
+        self._names = [b.name if hasattr(b, "name") else str(b) for b in benchmarks]
+        self._jobs = resolve_jobs(jobs)
+        self._backend = backend
+        self._cache = cache
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def run(self) -> List[BenchResult]:
+        worker = partial(run_benchmark, cache=self._cache)
+        return parallel_map(
+            worker, self._names, jobs=self._jobs, backend=self._backend
+        )

@@ -51,13 +51,38 @@ from repro.domains.base import AbstractState, Domain
 from repro.domains.linexpr import LinExpr, RelOp
 from repro.ir import instr as ir
 from repro.lang import ast
+from repro.perf import runtime
 
 if False:  # pragma: no cover - import for type checkers only
     from repro.bounds.interproc import ProcBound
 
 
+def _cfg_meta(cfg: ControlFlowGraph, slot: str, compute):
+    """Memoize a pure per-CFG derived value on the CFG object itself.
+
+    Used by :func:`input_symbols` / :func:`nonneg_symbols` /
+    :func:`symbol_levels`, which are called once per leaf trail by the
+    driver — sharing the result avoids re-walking the parameter list for
+    every leaf.  Mutable containers are copied by the public wrappers so
+    callers can never corrupt the cached value.
+    """
+    if not runtime.enabled():
+        return compute(cfg)
+    memo = runtime.cfg_memo(cfg)
+    if slot in memo:
+        runtime.STATS.hit("cfg_meta")
+        return memo[slot]
+    runtime.STATS.miss("cfg_meta")
+    memo[slot] = value = compute(cfg)
+    return value
+
+
 def input_symbols(cfg: ControlFlowGraph) -> List[str]:
     """The designated input symbols: int params and array-length params."""
+    return list(_cfg_meta(cfg, "input_symbols", _input_symbols))
+
+
+def _input_symbols(cfg: ControlFlowGraph) -> List[str]:
     out: List[str] = []
     for param in cfg.params:
         if param.declared.is_array:
@@ -69,6 +94,10 @@ def input_symbols(cfg: ControlFlowGraph) -> List[str]:
 
 def nonneg_symbols(cfg: ControlFlowGraph) -> FrozenSet[str]:
     """Symbols known non-negative (array lengths, booleans)."""
+    return _cfg_meta(cfg, "nonneg_symbols", _nonneg_symbols)
+
+
+def _nonneg_symbols(cfg: ControlFlowGraph) -> FrozenSet[str]:
     out = set()
     for param in cfg.params:
         if param.declared.is_array:
@@ -80,6 +109,10 @@ def nonneg_symbols(cfg: ControlFlowGraph) -> FrozenSet[str]:
 
 def symbol_levels(cfg: ControlFlowGraph) -> Dict[str, ast.SecLevel]:
     """Security level of each input symbol (for narrowness checking)."""
+    return dict(_cfg_meta(cfg, "symbol_levels", _symbol_levels))
+
+
+def _symbol_levels(cfg: ControlFlowGraph) -> Dict[str, ast.SecLevel]:
     levels: Dict[str, ast.SecLevel] = {}
     for param in cfg.params:
         name = len_var(param.name) if param.declared.is_array else param.name

@@ -144,23 +144,26 @@ def cmd_run(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    from repro.benchsuite import ALL_BENCHMARKS
+    from repro.benchsuite import ALL_BENCHMARKS, ParallelSuiteRunner
     from repro.util.table import render_table
 
+    benches = [
+        b for b in ALL_BENCHMARKS if not args.group or b.group == args.group
+    ]
+    results = ParallelSuiteRunner(benches, jobs=args.jobs).run()
     rows = []
-    for bench in ALL_BENCHMARKS:
-        if args.group and bench.group != args.group:
-            continue
-        verdict = bench.run()
+    for result in results:
         rows.append(
             [
-                bench.name,
-                bench.group,
-                verdict.size,
-                verdict.status,
-                "%.2f" % verdict.safety_seconds,
-                "-" if verdict.status == "safe" else "%.2f" % verdict.total_seconds,
-                "OK" if verdict.status == bench.expect else "MISMATCH",
+                result.name,
+                result.group,
+                result.size,
+                result.status,
+                "%.2f" % result.safety_seconds,
+                "-"
+                if result.status == "safe"
+                else "%.2f" % (result.safety_seconds + result.attack_seconds),
+                "OK" if result.ok else "MISMATCH",
             ]
         )
     print(
@@ -170,6 +173,13 @@ def cmd_table1(args) -> int:
             aligns=["l", "l", "r", "l", "r", "r", "l"],
         )
     )
+    mismatches = [r.name for r in results if not r.ok]
+    if mismatches:
+        print(
+            "MISMATCH in %d row(s): %s" % (len(mismatches), ", ".join(mismatches)),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -232,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--group", choices=["MicroBench", "STAC", "Literature"])
+    table1.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: serial)",
+    )
     table1.set_defaults(func=cmd_table1)
 
     return parser

@@ -24,6 +24,7 @@ Attack phase
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,9 @@ from repro.domains import DOMAINS
 from repro.domains.base import Domain
 from repro.ir import lift_module
 from repro.lang import ast, frontend
+from repro.perf import runtime
+from repro.perf.cache import AnalysisCache
+from repro.perf.parallel import thread_map
 from repro.taint import TaintResult, analyze_taint
 from repro.trails import PartitionTree, Trail, TrailNode, split_trail
 from repro.util.errors import AnalysisError
@@ -61,6 +65,14 @@ class BlazerConfig:
     max_leaves: int = 48
     max_attack_depth: int = 6
     strategies: Optional[tuple] = None
+    # Perf layer (docs/PERFORMANCE.md): ``cache`` forces the perf layer
+    # on/off for this driver (None = inherit the process-wide flag);
+    # ``jobs`` > 1 fans leaf evaluation out over an in-process worker
+    # pool whenever a partition has at least ``parallel_leaf_min``
+    # unevaluated leaves.
+    cache: Optional[bool] = None
+    jobs: int = 1
+    parallel_leaf_min: int = 4
 
     def resolved_observer(self) -> ObserverModel:
         return self.observer if self.observer is not None else PolynomialDegreeObserver()
@@ -80,10 +92,22 @@ class BlazerVerdict:
     safety_seconds: float = 0.0
     attack_seconds: float = 0.0
     size: int = 0  # CFG basic blocks (the Size column of Table 1)
+    # Perf-layer observability: hits/misses accumulated across every
+    # cache category (trail bounds, zone closures, transfer effects, …)
+    # during this analyze() call; ``cache_stats`` has the per-category
+    # breakdown.  All zero when the perf layer is disabled.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return self.safety_seconds + self.attack_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def render(self) -> str:
         lines = [
@@ -110,20 +134,22 @@ class Blazer:
     def __init__(self, program: ast.Program, config: Optional[BlazerConfig] = None):
         self.config = config or BlazerConfig()
         self.program = program
-        module = compile_program(program)
-        verify_module(module)
-        self.module = module
-        self.cfgs: Dict[str, ControlFlowGraph] = lift_module(module)
-        self._domain = self.config.resolved_domain()
-        self._summaries = (
-            self.config.summaries
-            if self.config.summaries is not None
-            else default_summaries()
-        )
-        self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
-            self.cfgs, self._domain, self._summaries
-        )
-        self._taints: Dict[str, TaintResult] = {}
+        with self._perf_ctx():
+            module = compile_program(program)
+            verify_module(module)
+            self.module = module
+            self.cfgs: Dict[str, ControlFlowGraph] = lift_module(module)
+            self._domain = self.config.resolved_domain()
+            self._summaries = (
+                self.config.summaries
+                if self.config.summaries is not None
+                else default_summaries()
+            )
+            self.cache = AnalysisCache()
+            self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
+                self.cfgs, self._domain, self._summaries
+            )
+            self._taints: Dict[str, TaintResult] = {}
 
     @staticmethod
     def from_source(source: str, config: Optional[BlazerConfig] = None) -> "Blazer":
@@ -131,12 +157,23 @@ class Blazer:
 
     # -- helpers -------------------------------------------------------------
 
+    def _perf_ctx(self):
+        """The perf-flag context for this driver's work: forces the flag
+        to ``config.cache`` when set, otherwise leaves the process-wide
+        flag alone."""
+        if self.config.cache is None:
+            return nullcontext()
+        return runtime.override(self.config.cache)
+
     def taint(self, proc: str) -> TaintResult:
         if proc not in self._taints:
             self._taints[proc] = analyze_taint(self.cfgs[proc])
         return self._taints[proc]
 
     def _bound(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
+        return self.cache.bound_result(trail, lambda: self._bound_uncached(cfg, trail))
+
+    def _bound_uncached(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
         analysis = BoundAnalysis(
             cfg,
             self._domain,
@@ -175,10 +212,22 @@ class Blazer:
             node.note = "running-time range is not narrow"
 
     def _evaluate_leaves(self, cfg: ControlFlowGraph, tree: PartitionTree) -> None:
-        for leaf in tree.leaves():
-            if leaf.bound is None:
-                leaf.bound = self._bound(cfg, leaf.trail)
+        pending = [leaf for leaf in tree.leaves() if leaf.bound is None]
+        if self.config.jobs > 1 and len(pending) >= self.config.parallel_leaf_min:
+            # Fan the independent leaf analyses out over an in-process
+            # pool.  thread_map returns results in input order and
+            # classification stays sequential, so the outcome is
+            # identical to the serial loop.
+            bounds = thread_map(
+                lambda leaf: self._bound(cfg, leaf.trail), pending, self.config.jobs
+            )
+            for leaf, bound in zip(pending, bounds):
+                leaf.bound = bound
                 self._classify(cfg, leaf)
+            return
+        for leaf in pending:
+            leaf.bound = self._bound(cfg, leaf.trail)
+            self._classify(cfg, leaf)
 
     def _refine_for_safety(
         self, cfg: ControlFlowGraph, taint: TaintResult, tree: PartitionTree
@@ -214,6 +263,16 @@ class Blazer:
     # -- the two phases ---------------------------------------------------------
 
     def analyze(self, proc: str) -> BlazerVerdict:
+        with self._perf_ctx():
+            stats_before = runtime.STATS.snapshot()
+            verdict = self._analyze(proc)
+            delta = runtime.STATS.delta(stats_before)
+            verdict.cache_stats = delta
+            verdict.cache_hits = sum(pair[0] for pair in delta.values())
+            verdict.cache_misses = sum(pair[1] for pair in delta.values())
+            return verdict
+
+    def _analyze(self, proc: str) -> BlazerVerdict:
         cfg = self.cfgs[proc]
         taint = self.taint(proc)
         tree = PartitionTree(Trail.most_general(cfg))

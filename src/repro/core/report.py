@@ -7,6 +7,7 @@ strings for all symbolic content, numbers for timings and sizes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
@@ -73,11 +74,42 @@ def verdict_to_dict(verdict: BlazerVerdict) -> Dict[str, Any]:
         "partition": _node_dict(verdict.tree.root),
         "leaves": len(verdict.tree.leaves()),
         "attack": _attack_dict(verdict.attack),
+        "cache": {
+            "hits": verdict.cache_hits,
+            "misses": verdict.cache_misses,
+            "hit_rate": round(verdict.cache_hit_rate, 4),
+            "by_category": {
+                cat: {"hits": pair[0], "misses": pair[1]}
+                for cat, pair in sorted(verdict.cache_stats.items())
+            },
+        },
     }
 
 
 def verdict_to_json(verdict: BlazerVerdict, indent: int = 2) -> str:
     return json.dumps(verdict_to_dict(verdict), indent=indent, sort_keys=True)
+
+
+# Keys whose values legitimately vary between equal analyses: wall-clock
+# timings and the perf layer's own counters.  Everything else — verdict,
+# bounds, partition shape, attack specification — must be bit-stable.
+_VOLATILE_KEYS = ("safety_seconds", "attack_seconds", "cache")
+
+
+def verdict_digest(verdict: BlazerVerdict) -> str:
+    """A SHA-256 digest of the verdict's *analysis content*.
+
+    Strips the volatile keys (timings, cache counters) and hashes the
+    canonical JSON of the rest.  Two runs produced the same analysis —
+    regardless of caching, worker processes, or machine speed — iff
+    their digests are equal; the equivalence tests and the benchmark
+    harness compare runs this way.
+    """
+    data = verdict_to_dict(verdict)
+    for key in _VOLATILE_KEYS:
+        data.pop(key, None)
+    encoded = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 def suite_report(verdicts: List[BlazerVerdict]) -> Dict[str, Any]:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.domains.base import AbstractState, Bound, Domain
 from repro.domains.linexpr import LinCons, LinExpr, RelOp
+from repro.perf import runtime
 
 Matrix = List[List[Bound]]
 
@@ -74,6 +75,12 @@ class ZoneState(AbstractState):
         self._m: Matrix = matrix
         self._bottom = bottom
         self._closed = closed
+        # Perf layer (see docs/PERFORMANCE.md): the closed form of this
+        # state, computed at most once, and the hashable content key used
+        # by the closure/join/leq memo tables.  States are immutable
+        # after construction, so both can be cached unconditionally.
+        self._closure: Optional["ZoneState"] = None
+        self._key_cache: Optional[tuple] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -122,10 +129,61 @@ class ZoneState(AbstractState):
                 matrix[i][j] = self._m[old_pos[i]][old_pos[j]]
         return ZoneState(variables, matrix, self._bottom, self._closed)
 
+    def cache_key(self) -> str:
+        """A hashable key over this state's full content.
+
+        Two states with equal keys denote the same DBM (same variables in
+        the same order, entry-wise equal bounds), so every derived value
+        — closure, join, ordering, transfer results — is equal too.  The
+        key is a *string* on purpose: ``str`` objects cache their hash,
+        whereas a nested tuple of ``Fraction`` bounds would re-run the
+        (pure-Python, slow) ``Fraction.__hash__`` on every table lookup.
+        ``str(Fraction(3))`` and ``str(3)`` coincide, so mixed integral
+        representations of the same zone collapse onto one key.
+        """
+        key = self._key_cache
+        if key is None:
+            if self._bottom:
+                key = "bot"
+            else:
+                key = ",".join(self._vars) + "|" + "|".join(
+                    ";".join("N" if e is None else str(e) for e in row)
+                    for row in self._m
+                )
+            self._key_cache = key
+        return key
+
     def _close(self) -> "ZoneState":
-        """Floyd–Warshall closure; detects emptiness."""
+        """Floyd–Warshall closure; detects emptiness.
+
+        With the perf layer enabled the result is cached per instance and
+        interned process-wide by content key, so re-closing an equal
+        matrix (the common case across sibling trails of one refinement
+        split) is a dictionary lookup.
+        """
         if self._bottom or self._closed:
             return self
+        cached = self._closure
+        if cached is not None:
+            return cached
+        if runtime.enabled():
+            table = runtime.memo_table("zone.close")
+            key = self.cache_key()
+            hit = table.get(key)
+            if hit is not None:
+                runtime.STATS.hit("zone.close")
+                self._closure = hit
+                return hit
+            runtime.STATS.miss("zone.close")
+            result = self._close_full()
+            table[key] = result
+            self._closure = result
+            return result
+        result = self._close_full()
+        self._closure = result
+        return result
+
+    def _close_full(self) -> "ZoneState":
         n = self._dim()
         m = self._copy_matrix()
         for k in range(n):
@@ -148,6 +206,59 @@ class ZoneState(AbstractState):
             m[i][i] = 0
         return ZoneState(self._vars, m, False, closed=True)
 
+    def _tightened(self, updates: Sequence[Tuple[int, int, Bound]]) -> "ZoneState":
+        """Exact closure after tightening individual entries of a closed
+        matrix: O(n²) per update instead of the O(n³) Floyd–Warshall.
+
+        For a closed matrix ``m`` and a new constraint ``v_a - v_b <= c``
+        the closure of the tightened system is
+        ``min(m[i][j], m[i][a] + c + m[b][j])`` — every path either avoids
+        the new edge or uses it once (using it twice traverses the cycle
+        ``b →* a → b`` of weight ``m[b][a] + c >= 0``, which cannot
+        shorten anything once the emptiness pre-check has passed).  The
+        system is empty iff ``m[b][a] + c < 0``.  Because the closure of
+        a DBM is its unique shortest-path matrix, the result is
+        *identical* to what a full re-closure would produce.  Updates are
+        applied sequentially; after each one the matrix is closed again,
+        so chaining stays exact.
+        """
+        if self._bottom:
+            return self
+        base = self if self._closed else self._close()
+        if base._bottom:
+            return base
+        m = base._copy_matrix()
+        n = base._dim()
+        # Normalize the diagonal to plain int 0 (``forget`` leaves
+        # ``Fraction(0)`` there); otherwise every sum through a diagonal
+        # entry silently promotes the whole matrix to Fraction
+        # arithmetic, which is ~20x slower than int arithmetic.
+        for i in range(n):
+            m[i][i] = 0
+        for a, b, c in updates:
+            c = _norm(c)
+            cur = m[a][b]
+            if cur is not None and cur <= c:
+                continue
+            back = m[b][a]
+            if back is not None and back + c < 0:
+                return ZoneState(base._vars, None, bottom=True, closed=True)
+            row_b = m[b]
+            for i in range(n):
+                mia = m[i][a]
+                if mia is None:
+                    continue
+                head = mia + c
+                row_i = m[i]
+                for j in range(n):
+                    mbj = row_b[j]
+                    if mbj is None:
+                        continue
+                    cand = head + mbj
+                    if row_i[j] is None or cand < row_i[j]:
+                        row_i[j] = cand
+        return ZoneState(base._vars, m, False, closed=True)
+
     # -- lattice ---------------------------------------------------------------
 
     def is_bottom(self) -> bool:
@@ -157,6 +268,20 @@ class ZoneState(AbstractState):
         return closed._bottom
 
     def join(self, other: "ZoneState") -> "ZoneState":
+        if runtime.enabled():
+            table = runtime.memo_table("zone.join")
+            key = (self.cache_key(), other.cache_key())
+            hit = table.get(key)
+            if hit is not None:
+                runtime.STATS.hit("zone.join")
+                return hit
+            runtime.STATS.miss("zone.join")
+            result = self._join(other)
+            table[key] = result
+            return result
+        return self._join(other)
+
+    def _join(self, other: "ZoneState") -> "ZoneState":
         a = self._close()
         b = other._close()
         if a._bottom:
@@ -197,6 +322,20 @@ class ZoneState(AbstractState):
         return ZoneState(old._vars, matrix, False, closed=False)
 
     def leq(self, other: "ZoneState") -> bool:
+        if runtime.enabled():
+            table = runtime.memo_table("zone.leq")
+            key = (self.cache_key(), other.cache_key())
+            hit = table.get(key)
+            if hit is not None:
+                runtime.STATS.hit("zone.leq")
+                return hit
+            runtime.STATS.miss("zone.leq")
+            result = self._leq(other)
+            table[key] = result
+            return result
+        return self._leq(other)
+
+    def _leq(self, other: "ZoneState") -> bool:
         a = self._close()
         if a._bottom:
             return True
@@ -230,6 +369,14 @@ class ZoneState(AbstractState):
         x = state._index[var]
         if not coeffs:
             # var := c
+            if runtime.enabled():
+                # Havoc keeps the matrix closed; then two incremental
+                # tightenings replace the full re-closure.
+                havoc = state.forget(var)
+                x = havoc._index[var]
+                return havoc._tightened(
+                    [(x, 0, expr.const), (0, x, -expr.const)]
+                )
             m = state._copy_matrix()
             n = state._dim()
             for j in range(n):
@@ -255,6 +402,13 @@ class ZoneState(AbstractState):
                 state = state._with_vars([src])._close()
                 x = state._index[var]
                 y = state._index[src]
+                if runtime.enabled():
+                    havoc = state.forget(var)
+                    x = havoc._index[var]
+                    y = havoc._index[src]
+                    return havoc._tightened(
+                        [(x, y, expr.const), (y, x, -expr.const)]
+                    )
                 m = state._copy_matrix()
                 n = state._dim()
                 for j in range(n):
@@ -267,8 +421,15 @@ class ZoneState(AbstractState):
         # General affine: havoc + interval bounds of the rhs.
         lo, hi = state.bounds_of(expr)
         result = state.forget(var)
-        m = result._copy_matrix()
         x = result._index[var]
+        if runtime.enabled():
+            updates: List[Tuple[int, int, Bound]] = []
+            if hi is not None:
+                updates.append((x, 0, hi))
+            if lo is not None:
+                updates.append((0, x, -lo))
+            return result._tightened(updates) if updates else result
+        m = result._copy_matrix()
         m[x][0] = _norm(hi) if hi is not None else None
         m[0][x] = None if lo is None else _norm(-lo)
         return ZoneState(result._vars, m, False, closed=False)._close()
@@ -285,41 +446,36 @@ class ZoneState(AbstractState):
         if state._bottom:
             return state
         coeffs = expr.coeffs
-        m = state._copy_matrix()
-
-        def tighten(i: int, j: int, bound) -> None:
-            bound = _norm(bound)
-            if m[i][j] is None or bound < m[i][j]:
-                m[i][j] = bound
-
+        updates: List[Tuple[int, int, Bound]] = []
         handled = False
         items = sorted(coeffs.items())
         if len(items) == 1:
             (x_name, coeff), = items
             x = state._index[x_name]
             if coeff == 1:
-                tighten(x, 0, -expr.const)  # x <= -c
+                updates.append((x, 0, -expr.const))  # x <= -c
                 handled = True
             elif coeff == -1:
-                tighten(0, x, -expr.const)  # -x <= -c
+                updates.append((0, x, -expr.const))  # -x <= -c
                 handled = True
         elif len(items) == 2:
             (a_name, ca), (b_name, cb) = items
             if ca == 1 and cb == -1:
-                tighten(state._index[a_name], state._index[b_name], -expr.const)
+                updates.append(
+                    (state._index[a_name], state._index[b_name], -expr.const)
+                )
                 handled = True
             elif ca == -1 and cb == 1:
-                tighten(state._index[b_name], state._index[a_name], -expr.const)
+                updates.append(
+                    (state._index[b_name], state._index[a_name], -expr.const)
+                )
                 handled = True
         if not handled:
             # Sound fallback: per-variable interval refinement.
-            closed = ZoneState(state._vars, m, False, closed=False)._close()
-            if closed._bottom:
-                return closed
+            closed = state
             lo, _ = closed.bounds_of(expr)
             if lo is not None and lo > 0:
                 return ZoneState(state._vars, None, bottom=True, closed=True)
-            m = closed._copy_matrix()
             for var, coeff in coeffs.items():
                 rest = LinExpr(
                     {v: c for v, c in coeffs.items() if v != var}, expr.const
@@ -330,11 +486,16 @@ class ZoneState(AbstractState):
                 limit = -rest_lo / coeff
                 x = state._index[var]
                 if coeff > 0:
-                    if m[x][0] is None or limit < m[x][0]:
-                        m[x][0] = _norm(limit)
+                    updates.append((x, 0, limit))
                 else:
-                    if m[0][x] is None or -limit < m[0][x]:
-                        m[0][x] = _norm(-limit)
+                    updates.append((0, x, -limit))
+        if runtime.enabled():
+            return state._tightened(updates) if updates else state
+        m = state._copy_matrix()
+        for i, j, bound in updates:
+            bound = _norm(bound)
+            if m[i][j] is None or bound < m[i][j]:
+                m[i][j] = bound
         return ZoneState(state._vars, m, False, closed=False)._close()
 
     def forget(self, var: str) -> "ZoneState":
@@ -351,7 +512,7 @@ class ZoneState(AbstractState):
         for j in range(n):
             m[x][j] = None
             m[j][x] = None
-        m[x][x] = Fraction(0)
+        m[x][x] = 0 if runtime.enabled() else Fraction(0)
         return ZoneState(state._vars, m, False, closed=True)
 
     # -- queries -----------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""The analysis cache: trail-keyed bound results and derived structures.
+
+One :class:`AnalysisCache` is owned by each :class:`~repro.core.blazer.
+Blazer` instance, so its entries are implicitly keyed by that driver's
+fixed configuration (numeric domain, summary registry, interprocedural
+bounds) and only the *varying* inputs — the trail and its CFG — appear
+in the key.  Keys are the content fingerprints of
+:mod:`repro.perf.fingerprint`, which makes the cache robust to the
+driver re-deriving an equal trail through a different refinement route
+(the common case in the attack phase, where occurrence splits on the
+two edges of one branch produce pairwise-equal sibling languages).
+
+Invalidation: there is none, by construction — every cached value is a
+pure function of its content-addressed key, and the cache dies with its
+driver.  ``repro.perf.runtime.clear_caches()`` clears the process-wide
+memo tables (domain closures, transfer effects) the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.perf import runtime
+from repro.perf.fingerprint import trail_fingerprint
+
+
+class AnalysisCache:
+    """Memoized analysis results for one driver instance."""
+
+    def __init__(self, stats: runtime.PerfStats = runtime.STATS):
+        self._stats = stats
+        self._bounds: Dict[str, object] = {}
+        self._regions: Dict[tuple, object] = {}
+
+    # -- trail-keyed bound results ------------------------------------------------
+
+    def bound_result(self, trail, compute: Callable[[], object]):
+        """The memoized ``BoundAnalysis.compute()`` result for ``trail``.
+
+        Falls through to ``compute()`` (uncached) when the perf layer is
+        disabled.
+        """
+        if not runtime.enabled():
+            return compute()
+        # Trail objects cache their own fingerprint; fall back to the
+        # free function for bare trail-likes.
+        fp = getattr(trail, "fingerprint", None)
+        key = fp() if fp is not None else trail_fingerprint(trail)
+        cached = self._bounds.get(key)
+        if cached is not None:
+            self._stats.hit("bound")
+            return cached
+        self._stats.miss("bound")
+        result = compute()
+        self._bounds[key] = result
+        return result
+
+    # -- generic derived structures -----------------------------------------------
+
+    def derived(self, category: str, key: tuple, compute: Callable[[], object]):
+        """Memoize any derived structure under ``(category, key)``."""
+        if not runtime.enabled():
+            return compute()
+        full_key = (category,) + key
+        if full_key in self._regions:
+            self._stats.hit(category)
+            return self._regions[full_key]
+        self._stats.miss(category)
+        result = compute()
+        self._regions[full_key] = result
+        return result
+
+    def clear(self) -> None:
+        self._bounds.clear()
+        self._regions.clear()
+
+    def __len__(self) -> int:
+        return len(self._bounds) + len(self._regions)

@@ -1,0 +1,97 @@
+"""Worker-pool fan-out helpers shared by the driver and the bench suite.
+
+Three backends behind one function, in degradation order:
+
+* ``"process"`` — :class:`concurrent.futures.ProcessPoolExecutor`; the
+  only backend that buys wall-clock parallelism on CPython.  Requires
+  the work function and its arguments to be picklable and importable
+  from the worker (module-level functions only).
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`; used
+  for in-driver leaf fan-out (closures over live analysis state cannot
+  cross a process boundary) and as the automatic fallback on platforms
+  where process pools are unavailable (no ``fork``, restricted
+  sandboxes).
+* ``"serial"`` — a plain loop; always works, chosen whenever
+  ``jobs <= 1``.
+
+Results are always returned **in input order** regardless of backend or
+completion order, so callers stay deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BACKENDS = ("auto", "process", "thread", "serial")
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (respects affinity)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 → machine default, else max(1, n)."""
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def process_pool_usable() -> bool:
+    """Can this platform actually run a process pool?"""
+    try:
+        import multiprocessing
+
+        return len(multiprocessing.get_all_start_methods()) > 0
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    backend: str = "auto",
+) -> List[R]:
+    """Apply ``fn`` to every item, fanning out across ``jobs`` workers.
+
+    ``backend="auto"`` picks ``process`` when possible and degrades to
+    ``thread`` then ``serial``.  Exceptions raised by ``fn`` propagate
+    to the caller (the pools re-raise on result collection).
+    """
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r (expected one of %s)" % (backend, BACKENDS))
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1 or backend == "serial":
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    if backend in ("auto", "process") and process_pool_usable():
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, ValueError, ImportError):
+            if backend == "process":
+                raise
+            # auto: fall through to threads
+    if backend == "process":
+        # Explicit request but pools unusable: degrade loudly-but-soundly.
+        backend = "thread"
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def thread_map(fn: Callable[[T], R], items: Iterable[T], jobs: int) -> List[R]:
+    """In-process fan-out (shared memory, shared caches); input order."""
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

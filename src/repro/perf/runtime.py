@@ -1,0 +1,136 @@
+"""Process-wide switchboard of the perf layer: the enable flag, the
+hit/miss statistics, and the registry of memo tables.
+
+This module is a dependency leaf (it imports nothing from ``repro``) so
+that the hot modules — the zone domain, the transfer functions, the
+driver — can consult it without import cycles.
+
+Design rules
+------------
+* **One flag.**  ``enabled()`` gates every memo and fast path of the
+  perf layer at once.  With the flag off the tool behaves exactly like
+  the unmemoized seed engine — that configuration is the "serial"
+  baseline ``benchmarks/bench_perf.py`` measures speedups against.
+* **Counters are per process.**  ``STATS`` accumulates hits/misses per
+  category; callers that want a per-task view (the Blazer driver)
+  snapshot before and diff after.
+* **Tables are bounded.**  Every memo table obtained from
+  :func:`memo_table` is wholesale-cleared when it exceeds
+  ``TABLE_LIMIT`` entries — analyses are small, so this is a backstop
+  against pathological long-running processes, not an LRU policy.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+# Hard cap per memo table; crossing it clears the table (cheap, rare).
+TABLE_LIMIT = 100_000
+
+_ENABLED = os.environ.get("REPRO_PERF", "1") not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """Is the perf layer (caching + fast paths) active in this process?"""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def override(flag: bool) -> Iterator[None]:
+    """Temporarily force the perf layer on or off."""
+    global _ENABLED
+    saved = _ENABLED
+    _ENABLED = bool(flag)
+    try:
+        yield
+    finally:
+        _ENABLED = saved
+
+
+class PerfStats:
+    """Hit/miss counters, one pair per cache category.
+
+    Categories in use: ``zone.close``, ``zone.join``, ``zone.leq``,
+    ``transfer`` (block effects), ``cfg_meta`` (input symbols / levels),
+    ``taint``, ``bound`` (trail-keyed bound results).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, list] = {}
+
+    def hit(self, category: str) -> None:
+        self._counts.setdefault(category, [0, 0])[0] += 1
+
+    def miss(self, category: str) -> None:
+        self._counts.setdefault(category, [0, 0])[1] += 1
+
+    @property
+    def hits(self) -> int:
+        return sum(pair[0] for pair in self._counts.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(pair[1] for pair in self._counts.values())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        return {cat: (pair[0], pair[1]) for cat, pair in self._counts.items()}
+
+    def delta(self, before: Dict[str, Tuple[int, int]]) -> Dict[str, Tuple[int, int]]:
+        """Per-category (hits, misses) accumulated since ``before``."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for cat, (h, m) in self.snapshot().items():
+            h0, m0 = before.get(cat, (0, 0))
+            if h != h0 or m != m0:
+                out[cat] = (h - h0, m - m0)
+        return out
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+STATS = PerfStats()
+
+_TABLES: Dict[str, dict] = {}
+
+
+def memo_table(name: str) -> dict:
+    """A named process-wide memo table (created on first use)."""
+    table = _TABLES.get(name)
+    if table is None:
+        table = _TABLES[name] = {}
+    elif len(table) > TABLE_LIMIT:
+        table.clear()
+    return table
+
+
+def clear_caches() -> None:
+    """Drop every memo table (used by tests and long-lived servers)."""
+    for table in _TABLES.values():
+        table.clear()
+
+
+def cfg_memo(cfg) -> dict:
+    """The memo dict attached to one CFG object (lazily created).
+
+    Attaching to the CFG itself (rather than keying a global table by
+    ``id(cfg)``) ties the memo's lifetime to the graph's and rules out
+    id-reuse aliasing after garbage collection.
+    """
+    memo = getattr(cfg, "_perf_memo", None)
+    if memo is None:
+        memo = {}
+        cfg._perf_memo = memo
+    elif len(memo) > TABLE_LIMIT:
+        memo.clear()
+    return memo

@@ -35,6 +35,18 @@ class TrailNode:
         """The kind of split that created this node ('' for the root)."""
         return self.trail.splits[-1].kind if self.trail.splits else ""
 
+    def fingerprint(self) -> str:
+        """The node's content fingerprint: its trail's (the analysis
+        results hanging off the node are *derived from* the trail, so the
+        trail is the identity)."""
+        return self.trail.fingerprint()
+
+    def __hash__(self) -> int:
+        # Deterministic and consistent with the dataclass __eq__ (equal
+        # nodes carry equal trails).  Without this, @dataclass(eq=True)
+        # would make TrailNode unhashable.
+        return hash(self.trail.fingerprint())
+
     @property
     def is_leaf(self) -> bool:
         return not self.children

@@ -46,6 +46,7 @@ class Trail:
     description: str
     splits: Tuple[SplitInfo, ...] = ()
     _regex_cache: Optional[rx.Regex] = field(default=None, repr=False, compare=False)
+    _fingerprint_cache: Optional[str] = field(default=None, repr=False, compare=False)
 
     # -- constructors ----------------------------------------------------------
 
@@ -83,6 +84,33 @@ class Trail:
     def split_blocks(self) -> FrozenSet[int]:
         """Branch blocks this trail's provenance already split on."""
         return frozenset(s.block for s in self.splits)
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Deterministic content fingerprint of this trail (hex SHA-256).
+
+        Covers the CFG structure and the trail DFA *up to isomorphism*
+        (states are canonically renumbered), so it is stable across
+        processes and Python hash randomization.  Deliberately
+        **language-keyed**: the provenance (``splits``) and the
+        human-readable ``description`` are excluded, so two trails
+        denoting the same language — e.g. the same component reached via
+        a different refinement route, or an untouched sibling re-derived
+        after a split — share one fingerprint, and therefore one cached
+        bound in :class:`repro.perf.cache.AnalysisCache`.
+        """
+        if self._fingerprint_cache is None:
+            from repro.perf.fingerprint import trail_fingerprint
+
+            object.__setattr__(self, "_fingerprint_cache", trail_fingerprint(self))
+        return self._fingerprint_cache  # type: ignore[return-value]
+
+    def __hash__(self) -> int:
+        # Content-based and consistent with the dataclass __eq__: equal
+        # trails have equal cfg/dfa, hence equal fingerprints.  (Without
+        # this, @dataclass(eq=True) would set __hash__ to None.)
+        return hash(self.fingerprint())
 
     def derived(
         self, dfa: DFA, description: str, split: SplitInfo

@@ -1,0 +1,57 @@
+"""ParallelSuiteRunner: backend equivalence on real benchmarks."""
+
+import pytest
+
+from repro.benchsuite import (
+    ALL_BENCHMARKS,
+    MICRO,
+    BenchResult,
+    ParallelSuiteRunner,
+    run_benchmark,
+)
+
+SMALL = [b for b in ALL_BENCHMARKS if b.group == MICRO][:4]
+
+
+class TestRunBenchmark:
+    def test_returns_slim_result(self):
+        result = run_benchmark(SMALL[0].name)
+        assert isinstance(result, BenchResult)
+        assert result.name == SMALL[0].name
+        assert result.status == SMALL[0].expect
+        assert result.ok
+        assert result.digest and len(result.digest) == 64
+        assert result.wall_seconds > 0
+
+    def test_cache_flag_does_not_change_digest(self):
+        on = run_benchmark(SMALL[1].name, cache=True)
+        off = run_benchmark(SMALL[1].name, cache=False)
+        assert on.digest == off.digest
+        assert on.status == off.status
+        assert off.cache_hits == 0 and off.cache_misses == 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_benchmark("no_such_benchmark")
+
+
+class TestParallelSuiteRunner:
+    def _digests(self, backend, jobs=2):
+        runner = ParallelSuiteRunner(SMALL, jobs=jobs, backend=backend)
+        results = runner.run()
+        assert [r.name for r in results] == [b.name for b in SMALL]
+        return [r.digest for r in results]
+
+    def test_backends_produce_identical_analyses(self):
+        serial = self._digests("serial", jobs=1)
+        assert self._digests("thread") == serial
+        assert self._digests("process") == serial
+
+    def test_accepts_names_or_benchmarks(self):
+        by_obj = ParallelSuiteRunner(SMALL[:2], jobs=1).run()
+        by_name = ParallelSuiteRunner([b.name for b in SMALL[:2]], jobs=1).run()
+        assert [r.digest for r in by_obj] == [r.digest for r in by_name]
+
+    def test_default_jobs_resolution(self):
+        assert ParallelSuiteRunner(SMALL, jobs=0).jobs >= 1
+        assert ParallelSuiteRunner(SMALL, jobs=None).jobs >= 1

@@ -1,0 +1,72 @@
+"""Memoized per-CFG helpers: repeated calls must not re-walk the CFG."""
+
+from repro.bounds.analysis import input_symbols, nonneg_symbols, symbol_levels
+from repro.lang import ast
+from repro.perf import runtime
+from tests.helpers import compile_one
+
+SOURCE = """
+proc walk(secret high: int, public data: byte[], public flag: bool): int {
+    var i: int = 0;
+    while (i < len(data)) { i = i + 1; }
+    return i;
+}
+"""
+
+
+class CountingParams(list):
+    """A params list that counts how many times it is iterated."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.walks = 0
+
+    def __iter__(self):
+        self.walks += 1
+        return super().__iter__()
+
+
+def _instrumented_cfg():
+    cfg = compile_one(SOURCE, "walk")
+    cfg.params = CountingParams(cfg.params)
+    return cfg
+
+
+class TestMetaMemo:
+    def test_repeated_calls_do_not_rewalk(self):
+        cfg = _instrumented_cfg()
+        with runtime.override(True):
+            first = input_symbols(cfg)
+            for _ in range(5):
+                assert input_symbols(cfg) == first
+        assert cfg.params.walks == 1
+
+    def test_each_helper_walks_once(self):
+        cfg = _instrumented_cfg()
+        with runtime.override(True):
+            for _ in range(3):
+                input_symbols(cfg)
+                nonneg_symbols(cfg)
+                symbol_levels(cfg)
+        assert cfg.params.walks == 3  # one walk per distinct helper
+
+    def test_disabled_rewalks_every_call(self):
+        cfg = _instrumented_cfg()
+        with runtime.override(False):
+            input_symbols(cfg)
+            input_symbols(cfg)
+        assert cfg.params.walks == 2
+
+    def test_values_are_correct_and_isolated(self):
+        cfg = _instrumented_cfg()
+        with runtime.override(True):
+            symbols = input_symbols(cfg)
+            assert symbols == ["high", "data#len", "flag"]
+            # Mutating the returned copies must not corrupt the cache.
+            symbols.append("corrupted")
+            levels = symbol_levels(cfg)
+            levels["corrupted"] = None
+            assert input_symbols(cfg) == ["high", "data#len", "flag"]
+            assert "corrupted" not in symbol_levels(cfg)
+            assert nonneg_symbols(cfg) == frozenset({"data#len", "flag"})
+            assert symbol_levels(cfg)["high"] is ast.SecLevel.SECRET

@@ -1,0 +1,51 @@
+"""Regression gate: the perf layer must never change an analysis.
+
+Every registry benchmark is run twice — perf layer off (the seed
+engine) and on (memoized + fast paths) — and the two verdicts must have
+identical content digests: status, bounds, partition shape, and attack
+specification all bit-stable.  This is the test that licenses every
+cache in ``repro.perf``.
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.core.report import verdict_digest
+from repro.perf import runtime
+
+FAST = [b for b in ALL_BENCHMARKS if b.name != "modPow2_unsafe"]
+SLOW = [b for b in ALL_BENCHMARKS if b.name == "modPow2_unsafe"]
+
+
+def _both_verdicts(bench):
+    with runtime.override(False):
+        plain = bench.run()
+    with runtime.override(True):
+        runtime.clear_caches()
+        cached = bench.run()
+    return plain, cached
+
+
+def _check(bench):
+    plain, cached = _both_verdicts(bench)
+    assert cached.status == bench.expect
+    assert verdict_digest(plain) == verdict_digest(cached)
+    # The seed engine reports no cache traffic; the perf layer must
+    # report its counters on the verdict.
+    assert plain.cache_hits == 0 and plain.cache_misses == 0
+    assert cached.cache_hits + cached.cache_misses > 0
+    if len(cached.tree.leaves()) > 1:
+        # Acceptance criterion: every benchmark that performs at least
+        # one refinement split must observe cache hits.
+        assert cached.cache_hits > 0
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_cache_equivalence(bench):
+    _check(bench)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", SLOW, ids=lambda b: b.name)
+def test_cache_equivalence_outlier(bench):
+    _check(bench)

@@ -1,0 +1,100 @@
+"""Content fingerprints: canonicity, isomorphism-invariance, stability."""
+
+from repro.automata.dfa import DFA
+from repro.perf.fingerprint import (
+    cfg_fingerprint,
+    dfa_canonical,
+    dfa_fingerprint,
+    trail_fingerprint,
+)
+from repro.trails import Trail
+from tests.helpers import BRANCHY, COUNT_LOOP, compile_one
+
+
+def _chain_dfa(order):
+    """An a-b chain DFA whose three states are numbered per ``order``."""
+    s0, s1, s2 = order
+    return DFA(
+        num_states=3,
+        initial=s0,
+        accepting={s2},
+        transitions={(s0, "a"): s1, (s1, "b"): s2},
+        alphabet=frozenset({"a", "b"}),
+    )
+
+
+class TestDfaFingerprint:
+    def test_isomorphic_renumberings_agree(self):
+        base = dfa_fingerprint(_chain_dfa((0, 1, 2)))
+        assert dfa_fingerprint(_chain_dfa((2, 0, 1))) == base
+        assert dfa_fingerprint(_chain_dfa((1, 2, 0))) == base
+
+    def test_different_language_differs(self):
+        chain = _chain_dfa((0, 1, 2))
+        other = DFA(
+            num_states=3,
+            initial=0,
+            accepting={2},
+            transitions={(0, "b"): 1, (1, "a"): 2},
+            alphabet=frozenset({"a", "b"}),
+        )
+        assert dfa_fingerprint(chain) != dfa_fingerprint(other)
+
+    def test_accepting_set_matters(self):
+        accepting_mid = DFA(
+            num_states=3,
+            initial=0,
+            accepting={1},
+            transitions={(0, "a"): 1, (1, "b"): 2},
+            alphabet=frozenset({"a", "b"}),
+        )
+        assert dfa_fingerprint(accepting_mid) != dfa_fingerprint(_chain_dfa((0, 1, 2)))
+
+    def test_canonical_ignores_unreachable_states(self):
+        reachable = _chain_dfa((0, 1, 2))
+        padded = DFA(
+            num_states=5,
+            initial=0,
+            accepting={2},
+            transitions={(0, "a"): 1, (1, "b"): 2, (3, "a"): 4},
+            alphabet=frozenset({"a", "b"}),
+        )
+        assert dfa_canonical(padded) == dfa_canonical(reachable)
+
+
+class TestCfgFingerprint:
+    def test_deterministic_across_compilations(self):
+        a = compile_one(COUNT_LOOP, "count")
+        b = compile_one(COUNT_LOOP, "count")
+        assert a is not b
+        assert cfg_fingerprint(a) == cfg_fingerprint(b)
+
+    def test_different_programs_differ(self):
+        a = compile_one(COUNT_LOOP, "count")
+        b = compile_one(BRANCHY, "branchy")
+        assert cfg_fingerprint(a) != cfg_fingerprint(b)
+
+    def test_memoized_on_cfg(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        assert cfg_fingerprint(cfg) is cfg_fingerprint(cfg)
+
+
+class TestTrailFingerprint:
+    def test_language_keyed_not_description_keyed(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        a = Trail.most_general(cfg)
+        b = Trail(cfg=cfg, dfa=a.dfa, description="same language, other label")
+        assert trail_fingerprint(a) == trail_fingerprint(b)
+
+    def test_trail_method_matches_free_function(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        trail = Trail.most_general(cfg)
+        assert trail.fingerprint() == trail_fingerprint(trail)
+
+    def test_hashable_and_consistent_with_eq(self):
+        cfg = compile_one(COUNT_LOOP, "count")
+        a = Trail.most_general(cfg)
+        b = Trail.most_general(cfg)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

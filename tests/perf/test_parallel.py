@@ -1,0 +1,45 @@
+"""Worker-pool helpers: backend equivalence and ordering guarantees."""
+
+import pytest
+
+from repro.perf.parallel import parallel_map, resolve_jobs, thread_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_defaults_to_machine(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-2) == 1
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "auto"])
+    def test_backends_agree_in_order(self, backend):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=3, backend=backend) == [
+            x * x for x in items
+        ]
+
+    def test_jobs_one_is_serial(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1, backend="process") == [1, 4, 9]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], jobs=2, backend="bogus")
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("x=%d" % x)
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], jobs=2, backend="thread")
+
+    def test_thread_map_order(self):
+        assert thread_map(_square, range(10), jobs=4) == [x * x for x in range(10)]

@@ -1,0 +1,90 @@
+"""Trail identity under refinement: the cache-key guarantees.
+
+The property the bound cache relies on: splitting one leaf of a
+partition must not change the fingerprint of any *untouched sibling* —
+their languages are unchanged, so their cached bounds stay valid.
+"""
+
+from repro.taint import analyze_taint
+from repro.trails import PartitionTree, Trail, split_trail
+from tests.helpers import compile_one
+
+NESTED = """
+proc nested(secret high: int, public low: int): int {
+    var x: int = 0;
+    if (low > 0) {
+        if (high > 0) { x = 1; } else { x = 2; }
+    } else {
+        if (low > -10) { x = 3; } else { x = 4; }
+    }
+    return x;
+}
+"""
+
+
+def _tree_with_first_split(cfg, kind="taint"):
+    taint = analyze_taint(cfg)
+    tree = PartitionTree(Trail.most_general(cfg))
+    blocks = taint.low_branches() if kind == "taint" else taint.high_branches()
+    block = sorted(blocks)[0]
+    children = split_trail(tree.root.trail, block, kind)
+    assert children, "expected the split to produce components"
+    for child in children:
+        tree.root.add_child(child)
+    return tree, taint
+
+
+class TestSplitInvariance:
+    def test_untouched_sibling_keeps_fingerprint(self):
+        cfg = compile_one(NESTED, "nested")
+        tree, taint = _tree_with_first_split(cfg)
+        leaves = tree.leaves()
+        assert len(leaves) >= 2
+        fingerprints = {id(l): l.fingerprint() for l in leaves}
+
+        # Split the first leaf again on a different branch; its siblings
+        # must keep their identity (and therefore their cached bounds).
+        target = leaves[0]
+        remaining = [
+            b
+            for b in taint.low_branches()
+            if b not in target.trail.split_blocks()
+        ]
+        split_done = False
+        for block in sorted(remaining):
+            children = split_trail(target.trail, block, "taint")
+            if children:
+                for child in children:
+                    target.add_child(child)
+                split_done = True
+                break
+        assert split_done, "expected a second refinement to be possible"
+
+        for sibling in leaves[1:]:
+            assert sibling.fingerprint() == fingerprints[id(sibling)]
+            assert sibling in tree.leaves()  # still an active component
+
+    def test_split_children_differ_from_parent_and_each_other(self):
+        cfg = compile_one(NESTED, "nested")
+        tree, _ = _tree_with_first_split(cfg)
+        root_fp = tree.root.fingerprint()
+        child_fps = [c.fingerprint() for c in tree.root.children]
+        assert len(set(child_fps)) == len(child_fps)
+        assert all(fp != root_fp for fp in child_fps)
+
+    def test_fingerprint_ignores_provenance_route(self):
+        """Two components with equal languages share a fingerprint even
+        when their provenance chains differ (description/splits are
+        excluded by design)."""
+        cfg = compile_one(NESTED, "nested")
+        trail = Trail.most_general(cfg)
+        relabeled = Trail(
+            cfg=cfg, dfa=trail.dfa, description="another provenance route"
+        )
+        assert trail.fingerprint() == relabeled.fingerprint()
+        assert hash(trail) == hash(relabeled)
+
+    def test_fingerprint_stable_across_recompilation(self):
+        a = Trail.most_general(compile_one(NESTED, "nested"))
+        b = Trail.most_general(compile_one(NESTED, "nested"))
+        assert a.fingerprint() == b.fingerprint()
