@@ -8,12 +8,18 @@ which need no attack search) — the same columns the paper reports.
 Usage::
 
     python benchmarks/table1.py [--group MicroBench|STAC|Literature]
-                                [--jobs N]
+                                [--jobs N] [--retries N] [--deadline S]
+                                [--journal PATH] [--resume]
 
 ``--jobs N`` fans the rows out over a process pool (see
-docs/PERFORMANCE.md).  The exit status is non-zero when any row's
+docs/PERFORMANCE.md).  ``--retries`` / ``--journal`` / ``--resume`` /
+``--deadline`` are the crash-safe execution knobs of
+docs/RESILIENCE.md: failed rows are retried serially with backoff,
+completed rows are journaled as they land, and ``--resume`` skips rows
+the journal already has.  The exit status is non-zero when any row's
 verdict disagrees with the paper's (a MISMATCH row), so CI can gate on
-verdict correctness.
+verdict correctness; budget-degraded rows exit with the distinct
+code 4, an interrupted run with 130.
 """
 
 from __future__ import annotations
@@ -23,7 +29,11 @@ import sys
 from typing import List, Optional
 
 from repro.benchsuite import ALL_BENCHMARKS, Benchmark, BenchResult, ParallelSuiteRunner
+from repro.util.errors import SuiteInterrupted
 from repro.util.table import render_table
+
+EXIT_DEGRADED = 4
+EXIT_INTERRUPTED = 130
 
 
 def result_row(result: BenchResult) -> List[object]:
@@ -32,6 +42,9 @@ def result_row(result: BenchResult) -> List[object]:
         if result.status == "safe"
         else "%.2f" % (result.safety_seconds + result.attack_seconds)
     )
+    verdict_col = "DEGRADED" if result.degraded else (
+        "OK" if result.ok else "MISMATCH"
+    )
     return [
         result.name,
         result.group,
@@ -39,17 +52,33 @@ def result_row(result: BenchResult) -> List[object]:
         result.status,
         "%.2f" % result.safety_seconds,
         attack_time,
-        "OK" if result.ok else "MISMATCH",
+        verdict_col,
     ]
 
 
 def run_suite(
-    group: Optional[str] = None, jobs: int = 1, backend: str = "auto"
+    group: Optional[str] = None,
+    jobs: int = 1,
+    backend: str = "auto",
+    retries: int = 0,
+    deadline: Optional[float] = None,
+    task_timeout: Optional[float] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> List[BenchResult]:
     benches: List[Benchmark] = [
         b for b in ALL_BENCHMARKS if group is None or b.group == group
     ]
-    return ParallelSuiteRunner(benches, jobs=jobs, backend=backend).run()
+    return ParallelSuiteRunner(
+        benches,
+        jobs=jobs,
+        backend=backend,
+        retries=retries,
+        deadline=deadline,
+        task_timeout=task_timeout,
+        journal=journal,
+        resume=resume,
+    ).run()
 
 
 def render(results: List[BenchResult]) -> str:
@@ -79,16 +108,59 @@ def main() -> int:
         default=1,
         help="worker processes (0 = one per CPU; default: serial)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed row up to N times on the serial backend",
+    )
+    parser.add_argument(
+        "--deadline", type=float, help="per-benchmark wall-clock budget (seconds)"
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, help="hard per-benchmark worker timeout"
+    )
+    parser.add_argument(
+        "--journal", help="crash-safe JSONL journal of completed rows"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip rows already recorded in the journal",
+    )
     args = parser.parse_args()
-    results = run_suite(args.group, jobs=args.jobs)
+    journal = args.journal
+    if journal is None and (args.resume or args.retries):
+        journal = ".table1.journal.jsonl"
+    try:
+        results = run_suite(
+            args.group,
+            jobs=args.jobs,
+            retries=args.retries,
+            deadline=args.deadline,
+            task_timeout=args.task_timeout,
+            journal=journal,
+            resume=args.resume,
+        )
+    except (SuiteInterrupted, KeyboardInterrupt) as exc:
+        print("interrupted: %s" % exc, file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(render(results))
-    mismatches = [r.name for r in results if not r.ok]
+    degraded = [r.name for r in results if r.degraded]
+    mismatches = [r.name for r in results if not r.ok and not r.degraded]
     if mismatches:
         print(
             "MISMATCH in %d row(s): %s" % (len(mismatches), ", ".join(mismatches)),
             file=sys.stderr,
         )
         return 1
+    if degraded:
+        print(
+            "DEGRADED (budget exhausted) in %d row(s): %s"
+            % (len(degraded), ", ".join(degraded)),
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.absint.transfer import TransferFunctions
 from repro.automata.dfa import DFA
 from repro.cfg.graph import ControlFlowGraph, Edge
 from repro.domains.base import AbstractState, Domain
+from repro.resilience import faults
 from repro.util.errors import AnalysisError
 
 # A node of the product graph: (CFG block id, trail-DFA state).
@@ -95,6 +96,7 @@ class Engine:
         narrowing_passes: int = 2,
         max_iterations: int = 10_000,
         summaries=None,
+        budget=None,
     ):
         self._cfg = cfg
         self._domain = domain
@@ -103,6 +105,10 @@ class Engine:
         self._widening_delay = widening_delay
         self._narrowing_passes = narrowing_passes
         self._max_iterations = max_iterations
+        # Optional cooperative Budget (repro.resilience.budget): checked
+        # once per fixpoint step; None (the default and the whole seed
+        # path) costs a single comparison per iteration.
+        self._budget = budget
 
     # -- product graph ---------------------------------------------------------
 
@@ -226,6 +232,9 @@ class Engine:
                 raise AnalysisError(
                     "abstract interpretation did not converge on %s" % self._cfg.name
                 )
+            if self._budget is not None:
+                self._budget.step("engine.step")
+            faults.maybe_fire("engine.step", key=self._cfg.name)
             # Pop the node earliest in RPO for near-optimal iteration order.
             worklist.sort(key=lambda n: position.get(n, 0))
             node = worklist.pop(0)
@@ -262,6 +271,8 @@ class Engine:
                 node: initial.get(node, domain.bottom()) for node in order
             }
             for node in order:
+                if self._budget is not None:
+                    self._budget.step("engine.step")
                 state = invariants[node]
                 if state.is_bottom():
                     continue

@@ -60,11 +60,14 @@ class Benchmark:
             observer=self.observer_factory(), summaries=default_summaries()
         )
 
-    def analyzer(self) -> Blazer:
-        return Blazer.from_source(self.source, self.config())
+    def analyzer(self, budget=None) -> Blazer:
+        config = self.config()
+        if budget is not None:
+            config.budget = budget
+        return Blazer.from_source(self.source, config)
 
-    def run(self) -> BlazerVerdict:
-        return self.analyzer().analyze(self.proc)
+    def run(self, budget=None) -> BlazerVerdict:
+        return self.analyzer(budget=budget).analyze(self.proc)
 
 
 class BenchmarkSuite:

@@ -1,4 +1,4 @@
-"""Parallel benchmark-suite execution.
+"""Parallel benchmark-suite execution, crash-safe and budget-aware.
 
 The heavy objects (drivers, partition trees, abstract states) never
 cross a process boundary: workers receive benchmark *names*, rebuild the
@@ -7,17 +7,43 @@ driver from the registry inside the worker, and return a slim picklable
 content digest of :func:`repro.core.report.verdict_digest` — which is
 how the caller can assert that every worker, whatever its process or
 cache temperature, produced the same analysis.
+
+Resilience (docs/RESILIENCE.md):
+
+* failures are isolated per benchmark (:func:`repro.perf.parallel.
+  try_map`): a raised exception, a killed worker process
+  (``BrokenProcessPool``) or a per-task timeout marks that benchmark
+  failed without aborting the suite;
+* failed benchmarks are retried with exponential backoff on the
+  **serial in-process backend** — the most conservative substrate, and
+  immune to whatever broke the pool;
+* completed results are appended to an optional crash-safe JSONL
+  journal as they arrive; ``resume=True`` skips every benchmark the
+  journal already has, so an interrupted ``table1`` run continues where
+  it stopped;
+* ``KeyboardInterrupt`` (SIGINT) shuts the pool down, leaves the
+  journal flushed, and surfaces as :class:`~repro.util.errors.
+  SuiteInterrupted` carrying the completed prefix.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.perf import runtime
-from repro.perf.parallel import parallel_map, resolve_jobs
+from repro.perf.parallel import resolve_jobs, try_map
+from repro.resilience import faults
+from repro.resilience.budget import Budget
+from repro.resilience.journal import SuiteJournal, open_journal
+from repro.resilience.retry import RetryPolicy
+from repro.util.errors import SuiteInterrupted, WorkerCrashed
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -38,33 +64,78 @@ class BenchResult:
     cache_misses: int
     cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     digest: str = ""
+    # Resilience observability (satellite of docs/RESILIENCE.md): how
+    # many retries this row consumed, how many cache entries were
+    # quarantined, how many partition leaves degraded to ⊤, and the
+    # degradation report when the verdict was forced to "unknown".
+    # All volatile — excluded from content digests like the cache
+    # counters.
+    retries: int = 0
+    quarantined: int = 0
+    degraded_leaves: int = 0
+    degradation: Optional[Dict[str, Any]] = None
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == self.expect
 
     @property
+    def degraded(self) -> bool:
+        return self.degradation is not None
+
+    @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
 
-def run_benchmark(name: str, cache: Optional[bool] = None) -> BenchResult:
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "BenchResult":
+        data = dict(data)
+        # JSON round-trips tuples as lists; restore the declared shape.
+        data["cache_stats"] = {
+            cat: tuple(pair) for cat, pair in (data.get("cache_stats") or {}).items()
+        }
+        known = {f.name for f in dataclasses.fields(BenchResult)}
+        return BenchResult(**{k: v for k, v in data.items() if k in known})
+
+
+def run_benchmark(
+    name: str,
+    cache: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    max_refinements: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> BenchResult:
     """Execute one registry benchmark by name (the process-pool worker).
 
     ``cache`` forces the perf layer on/off for the whole run (driver
-    construction included); None inherits the process-wide flag.
+    construction included); None inherits the process-wide flag.  The
+    optional budget limits build a fresh :class:`Budget` inside the
+    worker (budgets hold a started monotonic clock, so they must never
+    travel across a process boundary pre-armed).
     """
     from repro.benchsuite import FULL_SUITE
     from repro.core.report import verdict_digest
 
+    faults.maybe_fire("worker.run", key=name)
     bench = FULL_SUITE.get(name)
+    budget: Optional[Budget] = None
+    if deadline is not None or max_refinements is not None or max_steps is not None:
+        budget = Budget(
+            wall_seconds=deadline,
+            max_refinements=max_refinements,
+            max_steps=max_steps,
+        )
     started = time.perf_counter()
     if cache is None:
-        verdict = bench.run()
+        verdict = bench.run(budget=budget)
     else:
         with runtime.override(cache):
-            verdict = bench.run()
+            verdict = bench.run(budget=budget)
     wall = time.perf_counter() - started
     return BenchResult(
         name=bench.name,
@@ -81,6 +152,11 @@ def run_benchmark(name: str, cache: Optional[bool] = None) -> BenchResult:
         cache_misses=verdict.cache_misses,
         cache_stats=verdict.cache_stats,
         digest=verdict_digest(verdict),
+        quarantined=verdict.quarantined,
+        degraded_leaves=verdict.degraded_leaves,
+        degradation=(
+            verdict.degradation.to_dict() if verdict.degradation is not None else None
+        ),
     )
 
 
@@ -91,6 +167,16 @@ class ParallelSuiteRunner:
     ``"serial"`` (see :mod:`repro.perf.parallel`); results always come
     back in input order, so output is deterministic regardless of
     completion order.
+
+    ``retries`` re-runs each failed benchmark (exception, crashed
+    worker, task timeout) up to N times on the serial in-process
+    backend with exponential backoff; a benchmark that still fails
+    raises :class:`WorkerCrashed`.  ``journal`` (a path) appends each
+    completed result as a JSONL record; with ``resume=True`` benchmarks
+    already journaled are returned from the journal instead of re-run.
+    ``deadline`` (seconds) hands every worker a wall-clock
+    :class:`Budget` — overruns degrade to "unknown" verdicts rather
+    than hang (see :mod:`repro.core.blazer`).
     """
 
     def __init__(
@@ -99,22 +185,141 @@ class ParallelSuiteRunner:
         jobs: Optional[int] = 1,
         backend: str = "auto",
         cache: Optional[bool] = None,
+        retries: int = 0,
+        task_timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        journal: Optional[str] = None,
+        resume: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if benchmarks is None:
             from repro.benchsuite import ALL_BENCHMARKS
 
             benchmarks = ALL_BENCHMARKS
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
         self._names = [b.name if hasattr(b, "name") else str(b) for b in benchmarks]
         self._jobs = resolve_jobs(jobs)
         self._backend = backend
         self._cache = cache
+        self._task_timeout = task_timeout
+        self._deadline = deadline
+        self._journal: Optional[SuiteJournal] = open_journal(journal)
+        self._resume = resume
+        self._policy = retry_policy or RetryPolicy(retries=retries)
+        # Observability for callers (the CLI, bench_perf): retry count
+        # per benchmark name, and how many rows came from the journal.
+        self.retry_counts: Dict[str, int] = {}
+        self.resumed_names: List[str] = []
 
     @property
     def jobs(self) -> int:
         return self._jobs
 
+    @property
+    def journal_path(self) -> Optional[str]:
+        return self._journal.path if self._journal is not None else None
+
+    # -- journal helpers ---------------------------------------------------
+
+    def _record(self, result: BenchResult) -> None:
+        if self._journal is not None:
+            self._journal.record_result(result.name, result.to_dict())
+
+    def _load_resumable(self) -> Dict[str, BenchResult]:
+        if not self._resume or self._journal is None:
+            return {}
+        out: Dict[str, BenchResult] = {}
+        for name, record in self._journal.load().items():
+            try:
+                result = BenchResult.from_dict(record["result"])
+            except (KeyError, TypeError):
+                continue
+            result.resumed = True
+            out[name] = result
+        return out
+
+    # -- execution ---------------------------------------------------------
+
     def run(self) -> List[BenchResult]:
-        worker = partial(run_benchmark, cache=self._cache)
-        return parallel_map(
-            worker, self._names, jobs=self._jobs, backend=self._backend
+        worker = partial(
+            run_benchmark, cache=self._cache, deadline=self._deadline
         )
+        completed: Dict[str, BenchResult] = self._load_resumable()
+        self.resumed_names = [n for n in self._names if n in completed]
+        pending = [n for n in self._names if n not in completed]
+
+        def journal_hook(index: int, outcome: Union[BenchResult, Exception]) -> None:
+            if isinstance(outcome, BenchResult):
+                completed[pending[index]] = outcome
+                self._record(outcome)
+
+        try:
+            outcomes = try_map(
+                worker,
+                pending,
+                jobs=self._jobs,
+                backend=self._backend,
+                task_timeout=self._task_timeout,
+                on_result=journal_hook,
+            )
+        except KeyboardInterrupt as exc:
+            raise SuiteInterrupted(
+                "suite interrupted with %d/%d benchmark(s) completed"
+                % (len(completed), len(self._names)),
+                completed=list(completed.values()),
+            ) from exc
+
+        failed: List[Tuple[str, Exception]] = []
+        for name, outcome in zip(pending, outcomes):
+            if isinstance(outcome, BenchResult):
+                completed[name] = outcome
+            else:
+                failed.append((name, outcome))
+
+        for name, first_error in failed:
+            completed[name] = self._retry(worker, name, first_error, completed)
+
+        return [completed[name] for name in self._names]
+
+    def _retry(
+        self,
+        worker,
+        name: str,
+        first_error: Exception,
+        completed: Dict[str, BenchResult],
+    ) -> BenchResult:
+        """Re-run one failed benchmark serially, with backoff."""
+        last: Exception = first_error
+        attempt = 0
+        while self._policy.allows(attempt + 1):
+            attempt += 1
+            log.warning(
+                "benchmark %s failed (%s: %s); retry %d/%d on the serial backend",
+                name,
+                type(last).__name__,
+                last,
+                attempt,
+                self._policy.retries,
+            )
+            self._policy.sleep_before(attempt)
+            try:
+                result = worker(name)
+            except KeyboardInterrupt as exc:
+                raise SuiteInterrupted(
+                    "suite interrupted during retry of %s" % name,
+                    completed=list(completed.values()),
+                ) from exc
+            except Exception as exc:
+                last = exc
+                continue
+            result.retries = attempt
+            self.retry_counts[name] = attempt
+            self._record(result)
+            return result
+        raise WorkerCrashed(
+            "benchmark %s failed after %d attempt(s): %s: %s"
+            % (name, attempt + 1, type(last).__name__, last),
+            task=name,
+            attempts=attempt + 1,
+        ) from last

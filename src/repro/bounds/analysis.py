@@ -142,10 +142,17 @@ class BoundResult:
     bound: Optional[CostBound]
     main: Optional[AnalysisResult] = None
     loop_bounds: Dict[Node, IterationBound] = field(default_factory=dict)
+    # True when this is a ⊤ placeholder substituted by the driver after
+    # budget exhaustion, not a computed analysis result.  A degraded
+    # bound soundly covers the trail (it claims nothing) but can never
+    # certify safety (⊤ is never narrow).
+    degraded: bool = False
 
     def __str__(self) -> str:
         if not self.feasible:
             return "<infeasible trail>"
+        if self.degraded:
+            return "%s (degraded: budget exhausted)" % self.bound
         return str(self.bound)
 
 
@@ -157,13 +164,19 @@ class BoundAnalysis:
         summaries: Optional[SummaryRegistry] = None,
         trail_dfa: Optional[DFA] = None,
         proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
+        budget=None,
     ):
         self._cfg = cfg
         self._domain = domain
         self._summaries = summaries if summaries is not None else default_summaries()
         self._dfa = trail_dfa
         self._proc_bounds = proc_bounds or {}
-        self._engine = Engine(cfg, domain, trail_dfa, summaries=self._summaries)
+        # Cooperative budget (repro.resilience.budget), shared with the
+        # fixpoint engine; None disables every checkpoint.
+        self._budget = budget
+        self._engine = Engine(
+            cfg, domain, trail_dfa, summaries=self._summaries, budget=budget
+        )
         self._transfer = TransferFunctions(cfg, self._summaries)
         self._symbols = input_symbols(cfg)
         self._nonneg = nonneg_symbols(cfg)
@@ -180,6 +193,8 @@ class BoundAnalysis:
 
     def compute(self) -> BoundResult:
         cfg = self._cfg
+        if self._budget is not None:
+            self._budget.checkpoint("bounds.compute")
         main = self._engine.analyze()
         self._main = main
         self._adjacency = self._engine.product_graph()
@@ -211,6 +226,7 @@ class BoundAnalysis:
                     self._summaries,
                     trail_dfa=None,
                     proc_bounds=self._proc_bounds,
+                    budget=self._budget,
                 ).compute()
                 return BoundResult(
                     feasible=True,
@@ -435,6 +451,8 @@ class BoundAnalysis:
         cached = self._iter_bounds.get(loop.header)
         if cached is not None:
             return cached
+        if self._budget is not None:
+            self._budget.checkpoint("bounds.loop")
         assert self._main is not None
         inv = self._main.invariants
 
@@ -560,6 +578,9 @@ def compute_bound(
     summaries: Optional[SummaryRegistry] = None,
     trail_dfa: Optional[DFA] = None,
     proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
+    budget=None,
 ) -> BoundResult:
     """One-shot BOUNDANALYSIS convenience wrapper."""
-    return BoundAnalysis(cfg, domain, summaries, trail_dfa, proc_bounds).compute()
+    return BoundAnalysis(
+        cfg, domain, summaries, trail_dfa, proc_bounds, budget=budget
+    ).compute()

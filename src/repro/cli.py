@@ -37,8 +37,17 @@ from repro.domains import DOMAINS
 from repro.interp import Interpreter
 from repro.ir import lift_module
 from repro.lang import frontend
+from repro.resilience.budget import Budget
 from repro.taint import analyze_taint
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, SuiteInterrupted
+
+# Exit codes (docs/RESILIENCE.md): 0 safe/ok, 1 generic error or Table-1
+# mismatch, 2 attack, 3 unknown, 4 unknown-because-degraded (a budget
+# ran out; rerun with a larger --deadline), 130 interrupted (SIGINT).
+EXIT_ATTACK = 2
+EXIT_UNKNOWN = 3
+EXIT_DEGRADED = 4
+EXIT_INTERRUPTED = 130
 
 
 def _load(path: str):
@@ -67,12 +76,26 @@ def _observer(name: str, threshold: int, max_input: int):
     return ConcreteThresholdObserver(threshold=threshold, default_max=max_input)
 
 
+def _budget_from_args(args) -> Optional[Budget]:
+    deadline = getattr(args, "deadline", None)
+    max_refinements = getattr(args, "max_refinements", None)
+    max_steps = getattr(args, "max_steps", None)
+    if deadline is None and max_refinements is None and max_steps is None:
+        return None
+    return Budget(
+        wall_seconds=deadline,
+        max_refinements=max_refinements,
+        max_steps=max_steps,
+    )
+
+
 def cmd_analyze(args) -> int:
     program = _load(args.file)
     config = BlazerConfig(
         domain=args.domain,
         observer=_observer(args.observer, args.threshold, args.max_input),
         summaries=default_summaries(args.max_bits),
+        budget=_budget_from_args(args),
     )
     blazer = Blazer(program, config)
     proc = _pick_proc(blazer.cfgs, args.proc)
@@ -83,7 +106,11 @@ def cmd_analyze(args) -> int:
         print(verdict_to_json(verdict))
     else:
         print(verdict.render())
-    return 0 if verdict.status == "safe" else (2 if verdict.status == "attack" else 3)
+    if verdict.status == "safe":
+        return 0
+    if verdict.status == "attack":
+        return EXIT_ATTACK
+    return EXIT_DEGRADED if verdict.degraded else EXIT_UNKNOWN
 
 
 def cmd_bounds(args) -> int:
@@ -143,6 +170,9 @@ def cmd_run(args) -> int:
     return 0
 
 
+DEFAULT_JOURNAL = ".table1.journal.jsonl"
+
+
 def cmd_table1(args) -> int:
     from repro.benchsuite import ALL_BENCHMARKS, ParallelSuiteRunner
     from repro.util.table import render_table
@@ -150,9 +180,24 @@ def cmd_table1(args) -> int:
     benches = [
         b for b in ALL_BENCHMARKS if not args.group or b.group == args.group
     ]
-    results = ParallelSuiteRunner(benches, jobs=args.jobs).run()
+    journal = args.journal
+    if journal is None and (args.resume or args.retries):
+        journal = DEFAULT_JOURNAL
+    runner = ParallelSuiteRunner(
+        benches,
+        jobs=args.jobs,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        deadline=args.deadline,
+        journal=journal,
+        resume=args.resume,
+    )
+    results = runner.run()
     rows = []
     for result in results:
+        verdict_col = "DEGRADED" if result.degraded else (
+            "OK" if result.ok else "MISMATCH"
+        )
         rows.append(
             [
                 result.name,
@@ -163,7 +208,7 @@ def cmd_table1(args) -> int:
                 "-"
                 if result.status == "safe"
                 else "%.2f" % (result.safety_seconds + result.attack_seconds),
-                "OK" if result.ok else "MISMATCH",
+                verdict_col,
             ]
         )
     print(
@@ -173,14 +218,47 @@ def cmd_table1(args) -> int:
             aligns=["l", "l", "r", "l", "r", "r", "l"],
         )
     )
-    mismatches = [r.name for r in results if not r.ok]
+    if runner.resumed_names:
+        print(
+            "resumed %d row(s) from %s" % (len(runner.resumed_names), journal),
+            file=sys.stderr,
+        )
+    if runner.retry_counts:
+        print(
+            "retried: %s"
+            % ", ".join(
+                "%s x%d" % (n, c) for n, c in sorted(runner.retry_counts.items())
+            ),
+            file=sys.stderr,
+        )
+    degraded = [r.name for r in results if r.degraded]
+    mismatches = [r.name for r in results if not r.ok and not r.degraded]
     if mismatches:
         print(
             "MISMATCH in %d row(s): %s" % (len(mismatches), ", ".join(mismatches)),
             file=sys.stderr,
         )
         return 1
+    if degraded:
+        print(
+            "DEGRADED (budget exhausted) in %d row(s): %s"
+            % (len(degraded), ", ".join(degraded)),
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
+
+
+def _jobs_arg(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError("jobs must be an integer, got %r" % value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            "jobs must be >= 0 (0 = one per CPU), got %d" % jobs
+        )
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--max-input", type=int, default=4096, help="assumed max input size"
     )
+    analyze.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; on exhaustion the verdict degrades "
+        "soundly to 'unknown' (exit %d)" % EXIT_DEGRADED,
+    )
+    analyze.add_argument(
+        "--max-refinements",
+        type=int,
+        metavar="N",
+        help="refinement-iteration budget (degrades like --deadline)",
+    )
+    analyze.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help="abstract-interpretation step budget (degrades like --deadline)",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
@@ -244,9 +341,40 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--group", choices=["MicroBench", "STAC", "Literature"])
     table1.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
         help="worker processes (0 = one per CPU; default: serial)",
+    )
+    table1.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed benchmark up to N times on the serial backend",
+    )
+    table1.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-benchmark wall-clock budget (degraded rows exit %d)"
+        % EXIT_DEGRADED,
+    )
+    table1.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="hard per-benchmark timeout: a worker that produces no "
+        "result in time is abandoned and the row retried",
+    )
+    table1.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="crash-safe JSONL journal of completed rows "
+        "(default %s when --resume or --retries is given)" % DEFAULT_JOURNAL,
+    )
+    table1.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip benchmarks already recorded in the journal",
     )
     table1.set_defaults(func=cmd_table1)
 
@@ -258,6 +386,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SuiteInterrupted as exc:
+        print("interrupted: %s" % exc, file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1

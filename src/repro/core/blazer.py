@@ -28,7 +28,13 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.bounds.analysis import BoundAnalysis, BoundResult, symbol_levels
+from repro.bounds.analysis import (
+    BoundAnalysis,
+    BoundResult,
+    nonneg_symbols,
+    symbol_levels,
+)
+from repro.bounds.cost import CostBound
 from repro.bounds.interproc import ProcBound, compute_proc_bounds
 from repro.bounds.summaries import SummaryRegistry, default_summaries
 from repro.bytecode import compile_program, verify_module
@@ -42,9 +48,10 @@ from repro.lang import ast, frontend
 from repro.perf import runtime
 from repro.perf.cache import AnalysisCache
 from repro.perf.parallel import thread_map
+from repro.resilience.budget import Budget, DegradationReport
 from repro.taint import TaintResult, analyze_taint
 from repro.trails import PartitionTree, Trail, TrailNode, split_trail
-from repro.util.errors import AnalysisError
+from repro.util.errors import AnalysisError, ResourceExhausted
 
 
 @dataclass
@@ -73,6 +80,13 @@ class BlazerConfig:
     cache: Optional[bool] = None
     jobs: int = 1
     parallel_leaf_min: int = 4
+    # Resilience layer (docs/RESILIENCE.md): a cooperative Budget bounds
+    # this driver's analyze() calls (wall clock, refinement iterations,
+    # fixpoint steps).  On exhaustion the driver degrades soundly: the
+    # affected leaves get ⊤ bounds, the verdict becomes "unknown" and
+    # carries a DegradationReport.  None (the default) adds no
+    # checkpoints anywhere — the exact seed behavior.
+    budget: Optional[Budget] = None
 
     def resolved_observer(self) -> ObserverModel:
         return self.observer if self.observer is not None else PolynomialDegreeObserver()
@@ -99,6 +113,17 @@ class BlazerVerdict:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # Resilience observability: non-None when a budget tripped and the
+    # driver degraded to "unknown"; the counters say how many partition
+    # leaves received ⊤ bounds and how many cache entries were
+    # quarantined (evicted as corrupt and recomputed) during analyze().
+    degradation: Optional[DegradationReport] = None
+    degraded_leaves: int = 0
+    quarantined: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation is not None
 
     @property
     def total_seconds(self) -> float:
@@ -122,6 +147,8 @@ class BlazerVerdict:
                 else "",
             )
         ]
+        if self.degradation is not None:
+            lines.append(self.degradation.render())
         lines.append(self.tree.render())
         if self.attack is not None:
             lines.append(self.attack.render())
@@ -134,6 +161,16 @@ class Blazer:
     def __init__(self, program: ast.Program, config: Optional[BlazerConfig] = None):
         self.config = config or BlazerConfig()
         self.program = program
+        # Arm the wall clock now so construction time (compilation,
+        # interprocedural bounds) counts against the deadline; the
+        # construction pipeline itself is bounded by the engine's
+        # max_iterations, so checkpoints only begin in analyze().
+        if self.config.budget is not None:
+            self.config.budget.start()
+        # First budget exhaustion seen during the current analyze() call
+        # (None while healthy); reset per analysis.
+        self._exhaustion: Optional[ResourceExhausted] = None
+        self._exhaustion_phase: str = "safety"
         with self._perf_ctx():
             module = compile_program(program)
             verify_module(module)
@@ -180,8 +217,40 @@ class Blazer:
             self._summaries,
             trail_dfa=trail.dfa,
             proc_bounds=self._proc_bounds,
+            budget=self.config.budget,
         )
         return analysis.compute()
+
+    # -- graceful degradation ------------------------------------------------
+
+    def _top_bound(self, cfg: ControlFlowGraph) -> BoundResult:
+        """The ⊤ substitute for a leaf whose analysis ran out of budget:
+        feasible (we cannot rule the trail out) with an unbounded
+        running-time range (we claim nothing about it)."""
+        return BoundResult(
+            feasible=True,
+            bound=CostBound.unbounded(nonneg=nonneg_symbols(cfg)),
+            degraded=True,
+        )
+
+    def _note_exhaustion(self, exc: ResourceExhausted, phase: str) -> None:
+        """Record the first budget trip of this analyze() call."""
+        if self._exhaustion is None:
+            self._exhaustion = exc
+            self._exhaustion_phase = phase
+
+    def _guarded_bound(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
+        """CHECKSAFE leaf evaluation that degrades instead of raising.
+
+        Once the budget has tripped, every remaining leaf's checkpoint
+        fires immediately, so the whole partition settles to ⊤ bounds in
+        time linear in the leaf count — never a hang.
+        """
+        try:
+            return self._bound(cfg, trail)
+        except ResourceExhausted as exc:
+            self._note_exhaustion(exc, "safety")
+            return self._top_bound(cfg)
 
     def _classify(self, cfg: ControlFlowGraph, node: TrailNode) -> None:
         """CHECKSAFE for one component."""
@@ -192,6 +261,13 @@ class Blazer:
             return
         bound = result.bound
         assert bound is not None
+        if result.degraded:
+            # ⊤ substitute after budget exhaustion: deliberately "wide"
+            # (an unbounded range is never narrow), so a degraded leaf
+            # can never contribute to a "safe" verdict.
+            node.status = "wide"
+            node.note = "budget exhausted: ⊤ bound assumed"
+            return
         levels = symbol_levels(cfg)
         secret_syms = sorted(
             s
@@ -217,16 +293,20 @@ class Blazer:
             # Fan the independent leaf analyses out over an in-process
             # pool.  thread_map returns results in input order and
             # classification stays sequential, so the outcome is
-            # identical to the serial loop.
+            # identical to the serial loop.  The guard lives inside the
+            # mapped function, so a budget trip in one worker thread
+            # degrades that leaf without tearing down the pool.
             bounds = thread_map(
-                lambda leaf: self._bound(cfg, leaf.trail), pending, self.config.jobs
+                lambda leaf: self._guarded_bound(cfg, leaf.trail),
+                pending,
+                self.config.jobs,
             )
             for leaf, bound in zip(pending, bounds):
                 leaf.bound = bound
                 self._classify(cfg, leaf)
             return
         for leaf in pending:
-            leaf.bound = self._bound(cfg, leaf.trail)
+            leaf.bound = self._guarded_bound(cfg, leaf.trail)
             self._classify(cfg, leaf)
 
     def _refine_for_safety(
@@ -263,23 +343,45 @@ class Blazer:
     # -- the two phases ---------------------------------------------------------
 
     def analyze(self, proc: str) -> BlazerVerdict:
+        if self.config.budget is not None:
+            self.config.budget.start()
         with self._perf_ctx():
             stats_before = runtime.STATS.snapshot()
+            events_before = runtime.STATS.events_snapshot()
             verdict = self._analyze(proc)
             delta = runtime.STATS.delta(stats_before)
             verdict.cache_stats = delta
             verdict.cache_hits = sum(pair[0] for pair in delta.values())
             verdict.cache_misses = sum(pair[1] for pair in delta.values())
+            events = runtime.STATS.events_delta(events_before)
+            verdict.quarantined = events.get("cache.quarantine", 0)
             return verdict
+
+    def _degradation_report(self, tree: PartitionTree) -> DegradationReport:
+        assert self._exhaustion is not None
+        report = DegradationReport.from_exhaustion(
+            self._exhaustion, self.config.budget, self._exhaustion_phase
+        )
+        leaves = tree.leaves()
+        report.leaves_total = len(leaves)
+        report.leaves_degraded = sum(
+            1 for l in leaves if l.bound is not None and l.bound.degraded
+        )
+        return report
 
     def _analyze(self, proc: str) -> BlazerVerdict:
         cfg = self.cfgs[proc]
         taint = self.taint(proc)
         tree = PartitionTree(Trail.most_general(cfg))
+        budget = self.config.budget
+        self._exhaustion = None
+        self._exhaustion_phase = "safety"
         started = time.perf_counter()
 
         while True:
             self._evaluate_leaves(cfg, tree)
+            if self._exhaustion is not None:
+                break  # a leaf degraded to ⊤ — stop refining, degrade
             failing = [l for l in tree.leaves() if l.status == "wide"]
             if not failing:
                 safety_seconds = time.perf_counter() - started
@@ -290,13 +392,32 @@ class Blazer:
                     safety_seconds=safety_seconds,
                     size=cfg.size,
                 )
-            if not self._refine_for_safety(cfg, taint, tree):
+            try:
+                if budget is not None:
+                    budget.refinement("blazer.refine")
+                if not self._refine_for_safety(cfg, taint, tree):
+                    break
+            except ResourceExhausted as exc:
+                self._note_exhaustion(exc, "safety")
                 break
         safety_seconds = time.perf_counter() - started
 
-        attack_started = time.perf_counter()
-        attack = self._search_attack(cfg, taint, tree)
-        attack_seconds = time.perf_counter() - attack_started
+        attack = None
+        attack_seconds = 0.0
+        if self._exhaustion is None:
+            # CHECKATTACK needs genuine bounds to certify an observable
+            # difference, so it only runs on a healthy partition; its
+            # own budget trips abort the search, never fake an attack.
+            attack_started = time.perf_counter()
+            try:
+                attack = self._search_attack(cfg, taint, tree)
+            except ResourceExhausted as exc:
+                self._note_exhaustion(exc, "attack")
+            attack_seconds = time.perf_counter() - attack_started
+
+        degradation = (
+            self._degradation_report(tree) if self._exhaustion is not None else None
+        )
         return BlazerVerdict(
             proc=proc,
             status="attack" if attack is not None else "unknown",
@@ -305,6 +426,8 @@ class Blazer:
             safety_seconds=safety_seconds,
             attack_seconds=attack_seconds,
             size=cfg.size,
+            degradation=degradation,
+            degraded_leaves=degradation.leaves_degraded if degradation else 0,
         )
 
     def _accepting_exit_state(self, node: TrailNode):

@@ -83,6 +83,16 @@ def verdict_to_dict(verdict: BlazerVerdict) -> Dict[str, Any]:
                 for cat, pair in sorted(verdict.cache_stats.items())
             },
         },
+        "resilience": {
+            "degraded": verdict.degraded,
+            "degraded_leaves": verdict.degraded_leaves,
+            "quarantined": verdict.quarantined,
+            "degradation": (
+                verdict.degradation.to_dict()
+                if verdict.degradation is not None
+                else None
+            ),
+        },
     }
 
 
@@ -91,9 +101,11 @@ def verdict_to_json(verdict: BlazerVerdict, indent: int = 2) -> str:
 
 
 # Keys whose values legitimately vary between equal analyses: wall-clock
-# timings and the perf layer's own counters.  Everything else — verdict,
-# bounds, partition shape, attack specification — must be bit-stable.
-_VOLATILE_KEYS = ("safety_seconds", "attack_seconds", "cache")
+# timings, the perf layer's own counters, and the resilience counters
+# (retries and quarantines depend on injected faults and scheduling, not
+# on what was proved).  Everything else — verdict, bounds, partition
+# shape, attack specification — must be bit-stable.
+_VOLATILE_KEYS = ("safety_seconds", "attack_seconds", "cache", "resilience")
 
 
 def verdict_digest(verdict: BlazerVerdict) -> str:

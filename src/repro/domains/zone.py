@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.domains.base import AbstractState, Bound, Domain
 from repro.domains.linexpr import LinCons, LinExpr, RelOp
 from repro.perf import runtime
+from repro.resilience import faults
 
 Matrix = List[List[Bound]]
 
@@ -166,6 +167,7 @@ class ZoneState(AbstractState):
         cached = self._closure
         if cached is not None:
             return cached
+        faults.maybe_fire("zone.closure")
         if runtime.enabled():
             table = runtime.memo_table("zone.close")
             key = self.cache_key()

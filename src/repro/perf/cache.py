@@ -14,14 +14,39 @@ Invalidation: there is none, by construction — every cached value is a
 pure function of its content-addressed key, and the cache dies with its
 driver.  ``repro.perf.runtime.clear_caches()`` clears the process-wide
 memo tables (domain closures, transfer effects) the same way.
+
+Self-healing (docs/RESILIENCE.md): every entry is stored alongside a
+checksum of its rendered content, verified on read.  A mismatch —
+memory corruption, a buggy mutation of a supposedly-immutable cached
+object, or an injected ``cache.get:corrupt`` fault — **quarantines**
+the entry: it is evicted, counted (``cache.quarantine`` on
+:data:`repro.perf.runtime.STATS`), and transparently recomputed.  A
+corrupt cache can therefore cost time but never wrong answers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import hashlib
+import logging
+from typing import Callable, Dict, Tuple
 
 from repro.perf import runtime
 from repro.perf.fingerprint import trail_fingerprint
+from repro.resilience import faults
+from repro.util.errors import CacheCorruption
+
+log = logging.getLogger(__name__)
+
+
+def entry_digest(value: object) -> str:
+    """Checksum of an entry's rendered content.
+
+    ``str()`` is the cheapest stable rendering the cached objects offer
+    (BoundResult, CostBound and the derived structures all render their
+    semantic content); hashing it costs microseconds against analysis
+    steps that cost milliseconds.
+    """
+    return hashlib.sha1(str(value).encode("utf-8", "replace")).hexdigest()
 
 
 class AnalysisCache:
@@ -29,8 +54,34 @@ class AnalysisCache:
 
     def __init__(self, stats: runtime.PerfStats = runtime.STATS):
         self._stats = stats
-        self._bounds: Dict[str, object] = {}
-        self._regions: Dict[tuple, object] = {}
+        self._bounds: Dict[str, Tuple[object, str]] = {}
+        self._regions: Dict[tuple, Tuple[object, str]] = {}
+        self.quarantined = 0
+
+    # -- integrity ----------------------------------------------------------------
+
+    def _checked(self, category: str, key, entry: Tuple[object, str]):
+        """Return the entry's value, or raise :class:`CacheCorruption`.
+
+        The ``cache.get`` fault site garbles the *stored checksum* (not
+        the value) so an injected corruption is detected exactly the way
+        a real one would be.
+        """
+        value, digest = entry
+        if faults.maybe_fire("cache.get", key=str(key)) == "corrupt":
+            digest = "corrupted:" + digest
+        if entry_digest(value) != digest:
+            raise CacheCorruption(
+                "cache entry %r/%r failed its checksum" % (category, key),
+                key=str(key),
+                category=category,
+            )
+        return value
+
+    def _quarantine(self, category: str, exc: CacheCorruption) -> None:
+        self.quarantined += 1
+        self._stats.event("cache.quarantine")
+        log.warning("quarantined corrupt cache entry: %s", exc)
 
     # -- trail-keyed bound results ------------------------------------------------
 
@@ -46,13 +97,19 @@ class AnalysisCache:
         # free function for bare trail-likes.
         fp = getattr(trail, "fingerprint", None)
         key = fp() if fp is not None else trail_fingerprint(trail)
-        cached = self._bounds.get(key)
-        if cached is not None:
-            self._stats.hit("bound")
-            return cached
+        entry = self._bounds.get(key)
+        if entry is not None:
+            try:
+                value = self._checked("bound", key, entry)
+            except CacheCorruption as exc:
+                del self._bounds[key]
+                self._quarantine("bound", exc)
+            else:
+                self._stats.hit("bound")
+                return value
         self._stats.miss("bound")
         result = compute()
-        self._bounds[key] = result
+        self._bounds[key] = (result, entry_digest(result))
         return result
 
     # -- generic derived structures -----------------------------------------------
@@ -62,12 +119,19 @@ class AnalysisCache:
         if not runtime.enabled():
             return compute()
         full_key = (category,) + key
-        if full_key in self._regions:
-            self._stats.hit(category)
-            return self._regions[full_key]
+        entry = self._regions.get(full_key)
+        if entry is not None:
+            try:
+                value = self._checked(category, full_key, entry)
+            except CacheCorruption as exc:
+                del self._regions[full_key]
+                self._quarantine(category, exc)
+            else:
+                self._stats.hit(category)
+                return value
         self._stats.miss(category)
         result = compute()
-        self._regions[full_key] = result
+        self._regions[full_key] = (result, entry_digest(result))
         return result
 
     def clear(self) -> None:

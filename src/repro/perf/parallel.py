@@ -16,13 +16,34 @@ Three backends behind one function, in degradation order:
 
 Results are always returned **in input order** regardless of backend or
 completion order, so callers stay deterministic.
+
+Two collection disciplines:
+
+* :func:`parallel_map` — fail-fast: the first exception propagates to
+  the caller (the pools re-raise on result collection).
+* :func:`try_map` — fault-isolating: each slot independently holds the
+  item's result *or* the exception it raised, worker crashes surface as
+  :class:`~repro.util.errors.WorkerCrashed` and per-task timeouts as
+  :class:`~repro.util.errors.ResourceExhausted`, so one bad task never
+  takes down the suite.  This is what the resilient benchmark runner
+  builds its retry logic on (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro.util.errors import ResourceExhausted, WorkerCrashed
+
+log = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,20 +60,42 @@ def default_jobs() -> int:
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: None/0 → machine default, else max(1, n)."""
+    """Normalize a ``--jobs`` value: None/0 → machine default.
+
+    Negative values are a configuration error, not a request for the
+    minimum — reject them loudly instead of silently clamping.
+    """
     if jobs is None or jobs == 0:
         return default_jobs()
-    return max(1, int(jobs))
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(
+            "jobs must be >= 0 (0 = one per CPU), got %d" % jobs
+        )
+    return jobs
 
 
 def process_pool_usable() -> bool:
-    """Can this platform actually run a process pool?"""
+    """Can this platform actually run a process pool?
+
+    Rejection is logged (never silently swallowed) so a run that quietly
+    degraded to threads can be diagnosed from the logs.
+    """
     try:
         import multiprocessing
 
-        return len(multiprocessing.get_all_start_methods()) > 0
-    except Exception:  # pragma: no cover - exotic platforms
+        usable = len(multiprocessing.get_all_start_methods()) > 0
+    except (ImportError, OSError, NotImplementedError) as exc:
+        # ImportError: _multiprocessing extension absent (minimal
+        # builds); OSError: no /dev/shm or fork rejected by the sandbox;
+        # NotImplementedError: platform has no start method at all.
+        log.warning("process pool backend unavailable: %s", exc)
         return False
+    if not usable:  # pragma: no cover - empty start-method list
+        log.warning(
+            "process pool backend unavailable: no multiprocessing start methods"
+        )
+    return usable
 
 
 def parallel_map(
@@ -95,3 +138,98 @@ def thread_map(fn: Callable[[T], R], items: Iterable[T], jobs: int) -> List[R]:
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+# -- fault-isolating collection ---------------------------------------------
+
+
+def try_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    backend: str = "auto",
+    task_timeout: Optional[float] = None,
+    on_result: Optional[Callable[[int, Union[R, Exception]], None]] = None,
+) -> List[Union[R, Exception]]:
+    """Like :func:`parallel_map`, but each slot holds the item's result
+    *or* the exception it raised — the suite-level primitive that makes
+    one crashing task a per-item outcome instead of a run-wide abort.
+
+    Failure mapping (always in input order):
+
+    * an exception from ``fn`` → that exception instance;
+    * a dead worker process (``BrokenExecutor``) →
+      :class:`WorkerCrashed`; the pool is broken, so every still-pending
+      item collects its own :class:`WorkerCrashed` immediately;
+    * ``task_timeout`` seconds without a result →
+      :class:`ResourceExhausted` (kind ``"task_timeout"``); the pool is
+      then abandoned without waiting (a truly hung worker cannot be
+      joined).
+
+    ``on_result(index, outcome)`` is invoked as each slot settles, in
+    input order — the journal hook: results are durable before the next
+    collection step.  ``KeyboardInterrupt`` is never captured: the pool
+    is shut down (without waiting) and the interrupt propagates so the
+    caller can flush state and exit with a distinct code.
+    """
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r (expected one of %s)" % (backend, BACKENDS))
+    items = list(items)
+
+    def settle(index: int, outcome):
+        if on_result is not None:
+            on_result(index, outcome)
+        return outcome
+
+    if jobs <= 1 or len(items) <= 1 or backend == "serial":
+        out: List[Union[R, Exception]] = []
+        for i, item in enumerate(items):
+            try:
+                outcome: Union[R, Exception] = fn(item)
+            except Exception as exc:
+                outcome = exc
+            out.append(settle(i, outcome))
+        return out
+
+    workers = min(jobs, len(items))
+    use_process = backend in ("auto", "process") and process_pool_usable()
+    if use_process:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    else:
+        pool = ThreadPoolExecutor(max_workers=workers)
+
+    results: List[Union[R, Exception]] = [None] * len(items)  # type: ignore[list-item]
+    hung = False
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+        for i, future in enumerate(futures):
+            try:
+                outcome = future.result(timeout=task_timeout)
+            except FutureTimeoutError:
+                hung = True
+                future.cancel()
+                outcome = ResourceExhausted(
+                    "task %d produced no result within %.6gs"
+                    % (i, task_timeout or 0.0),
+                    kind="task_timeout",
+                    site="worker.run",
+                    elapsed=task_timeout or 0.0,
+                )
+            except BrokenExecutor as exc:
+                outcome = WorkerCrashed(
+                    "worker pool broke while running task %d: %s" % (i, exc),
+                    task=str(items[i]),
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                outcome = exc
+            results[i] = settle(i, outcome)
+    except KeyboardInterrupt:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        # A hung worker can never be joined; abandon it instead of
+        # deadlocking in shutdown (the zombie dies with the parent).
+        pool.shutdown(wait=not hung, cancel_futures=True)
+    return results

@@ -64,12 +64,30 @@ class PerfStats:
 
     def __init__(self) -> None:
         self._counts: Dict[str, list] = {}
+        self._events: Dict[str, int] = {}
 
     def hit(self, category: str) -> None:
         self._counts.setdefault(category, [0, 0])[0] += 1
 
     def miss(self, category: str) -> None:
         self._counts.setdefault(category, [0, 0])[1] += 1
+
+    def event(self, name: str, n: int = 1) -> None:
+        """Count a one-sided event (quarantines, injected faults, …) —
+        things with no hit/miss duality."""
+        self._events[name] = self._events.get(name, 0) + n
+
+    def events_snapshot(self) -> Dict[str, int]:
+        return dict(self._events)
+
+    def events_delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-event counts accumulated since ``before``."""
+        out: Dict[str, int] = {}
+        for name, count in self._events.items():
+            prior = before.get(name, 0)
+            if count != prior:
+                out[name] = count - prior
+        return out
 
     @property
     def hits(self) -> int:
@@ -97,6 +115,7 @@ class PerfStats:
 
     def clear(self) -> None:
         self._counts.clear()
+        self._events.clear()
 
 
 STATS = PerfStats()

@@ -1,0 +1,25 @@
+"""The resilience layer: budgets, graceful degradation, fault injection.
+
+Every long-running path of the reproduction — the Blazer refinement
+loop, the bound analysis, the abstract-interpretation fixpoint, the
+parallel suite runner — is *budgeted* (cooperative deadlines and
+iteration limits), *recoverable* (retry-with-backoff, crash-safe
+journals, cache quarantine) and *testable under injected faults*
+(a seeded, deterministic :class:`FaultPlan`).  See docs/RESILIENCE.md
+for the design and the soundness argument for ⊤-bound degradation.
+"""
+
+from repro.resilience.budget import Budget, DegradationReport
+from repro.resilience.faults import FaultPlan, FaultSpec, maybe_fire
+from repro.resilience.journal import SuiteJournal
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "Budget",
+    "DegradationReport",
+    "FaultPlan",
+    "FaultSpec",
+    "maybe_fire",
+    "RetryPolicy",
+    "SuiteJournal",
+]

@@ -1,0 +1,205 @@
+"""Cooperative analysis budgets and the structured degradation report.
+
+A :class:`Budget` bounds one driver run along three axes — wall-clock
+seconds, REFINEPARTITION iterations, and abstract-interpretation
+fixpoint steps (the unit in which widening work is counted).  It is
+*cooperative*: the budgeted code calls cheap checkpoints
+(:meth:`Budget.checkpoint`, :meth:`Budget.step`,
+:meth:`Budget.refinement`) at named sites, and the budget raises
+:class:`~repro.util.errors.ResourceExhausted` when a limit is crossed.
+Nothing is preempted; a checkpoint-free stretch of code runs to its own
+internal bound (e.g. the engine's ``max_iterations``).
+
+The driver converts exhaustion into *sound degradation* rather than a
+crash: the leaf being analyzed gets a ⊤ (unbounded) running-time bound,
+which can never satisfy the observer's narrowness check, so the verdict
+becomes ``"unknown"`` — never a spurious ``"safe"`` — and the verdict
+carries a :class:`DegradationReport` saying which budget tripped where.
+
+Budgets are plain mutable objects shared across the driver's worker
+threads; the counters tolerate benign races (a handful of lost
+increments moves a trip point by a few steps, never past the wall-clock
+deadline, which is re-read from the monotonic clock).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.util.errors import ResourceExhausted
+
+# How many hot-loop ``step()`` calls may pass between wall-clock reads.
+DEFAULT_CHECK_INTERVAL = 64
+
+
+@dataclass
+class Budget:
+    """Limits for one analysis run; ``None`` disables an axis.
+
+    ``wall_seconds``
+        Monotonic wall-clock deadline, measured from :meth:`start` (the
+        driver starts the budget when analysis begins; the first
+        checkpoint starts it implicitly otherwise).
+    ``max_refinements``
+        REFINEPARTITION iterations across both driver phases.
+    ``max_steps``
+        Fixpoint iterations of the abstract-interpretation engine
+        (chaotic-iteration worklist pops and narrowing visits — the
+        unit widening work is counted in).
+    """
+
+    wall_seconds: Optional[float] = None
+    max_refinements: Optional[int] = None
+    max_steps: Optional[int] = None
+    check_interval: int = DEFAULT_CHECK_INTERVAL
+
+    _started: Optional[float] = field(default=None, init=False, repr=False)
+    _refinements: int = field(default=0, init=False, repr=False)
+    _steps: int = field(default=0, init=False, repr=False)
+    _tick: int = field(default=0, init=False, repr=False)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the wall clock (idempotent: the first call wins)."""
+        if self._started is None:
+            self._started = time.monotonic()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started is not None
+
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Wall-clock seconds left; None when no deadline is set."""
+        if self.wall_seconds is None:
+            return None
+        return self.wall_seconds - self.elapsed()
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def refinements(self) -> int:
+        return self._refinements
+
+    # -- checkpoints -------------------------------------------------------
+
+    def checkpoint(self, site: str) -> None:
+        """Coarse checkpoint: read the clock, raise if past the deadline."""
+        if self.wall_seconds is None:
+            return
+        self.start()
+        elapsed = self.elapsed()
+        if elapsed > self.wall_seconds:
+            raise ResourceExhausted(
+                "wall-clock budget of %.6gs exhausted at %s (%.6gs elapsed)"
+                % (self.wall_seconds, site, elapsed),
+                kind="wall",
+                site=site,
+                elapsed=elapsed,
+            )
+
+    def step(self, site: str) -> None:
+        """Hot-loop checkpoint: count a fixpoint step; read the clock
+        only every ``check_interval`` calls (a monotonic read per
+        iteration would dominate small transfer functions)."""
+        self._steps += 1
+        if self.max_steps is not None and self._steps > self.max_steps:
+            raise ResourceExhausted(
+                "fixpoint-step budget of %d exhausted at %s"
+                % (self.max_steps, site),
+                kind="steps",
+                site=site,
+                elapsed=self.elapsed(),
+            )
+        self._tick += 1
+        if self._tick >= self.check_interval:
+            self._tick = 0
+            self.checkpoint(site)
+
+    def refinement(self, site: str = "blazer.refine") -> None:
+        """Checkpoint for one REFINEPARTITION iteration."""
+        self._refinements += 1
+        if (
+            self.max_refinements is not None
+            and self._refinements > self.max_refinements
+        ):
+            raise ResourceExhausted(
+                "refinement budget of %d exhausted at %s"
+                % (self.max_refinements, site),
+                kind="refinements",
+                site=site,
+                elapsed=self.elapsed(),
+            )
+        self.checkpoint(site)
+
+
+@dataclass
+class DegradationReport:
+    """What gave out, where, and what state the analysis was left in.
+
+    Attached to a :class:`~repro.core.blazer.BlazerVerdict` whose status
+    was forced to ``"unknown"`` by budget exhaustion.  ``kind``/``site``
+    identify the tripped limit and checkpoint; ``phase`` is the driver
+    phase that was running; the leaf counters describe the partial
+    partition (how many components kept real bounds vs. received ⊤).
+    """
+
+    kind: str  # "wall" | "refinements" | "steps"
+    site: str
+    phase: str  # "safety" | "attack"
+    message: str
+    elapsed_seconds: float = 0.0
+    steps: int = 0
+    refinements: int = 0
+    leaves_total: int = 0
+    leaves_degraded: int = 0
+
+    @staticmethod
+    def from_exhaustion(
+        exc: ResourceExhausted, budget: Optional[Budget], phase: str
+    ) -> "DegradationReport":
+        return DegradationReport(
+            kind=exc.kind,
+            site=exc.site,
+            phase=phase,
+            message=str(exc),
+            elapsed_seconds=exc.elapsed,
+            steps=budget.steps if budget is not None else 0,
+            refinements=budget.refinements if budget is not None else 0,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "phase": self.phase,
+            "message": self.message,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "steps": self.steps,
+            "refinements": self.refinements,
+            "leaves_total": self.leaves_total,
+            "leaves_degraded": self.leaves_degraded,
+        }
+
+    def render(self) -> str:
+        return (
+            "degraded: %s budget exhausted at %s during %s phase "
+            "(%d/%d leaves assumed ⊤)"
+            % (
+                self.kind,
+                self.site or "<unknown site>",
+                self.phase,
+                self.leaves_degraded,
+                self.leaves_total,
+            )
+        )

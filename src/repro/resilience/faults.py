@@ -1,0 +1,320 @@
+"""Seeded, deterministic fault injection at named sites.
+
+This is how the resilience layer gets exercised in CI without flaky
+sleeps or real signals: a :class:`FaultPlan` decides — deterministically,
+from per-site hit counters and an optional seeded RNG — when a named
+site misbehaves, and how:
+
+``error``
+    raise :class:`~repro.util.errors.InjectedFault` (a picklable
+    exception that propagates like any worker failure);
+``crash``
+    ``os._exit(70)`` — simulates a killed pool worker, which surfaces
+    to the parent as ``BrokenProcessPool``;
+``interrupt``
+    raise ``KeyboardInterrupt`` — simulates SIGINT at the site;
+``delay=S``
+    sleep ``S`` seconds, then continue normally;
+``corrupt``
+    return the marker string ``"corrupt"`` to the caller, which applies
+    the corruption itself (e.g. the analysis cache garbles the stored
+    entry so its self-healing read path can be observed).
+
+Registered sites (callers of :func:`maybe_fire`):
+
+========================  ====================================================
+``worker.run``            entry of :func:`repro.benchsuite.runner.run_benchmark`
+``cache.get``             read path of :class:`repro.perf.cache.AnalysisCache`
+``zone.closure``          :meth:`ZoneState._close` (the DBM closure)
+``engine.step``           the abstract-interpretation fixpoint loop
+========================  ====================================================
+
+Activation: programmatic (:func:`install`) or via the environment, which
+is how a plan crosses a process-pool boundary (workers inherit the env
+and parse it lazily on first fire):
+
+``REPRO_FAULTS``
+    comma-separated specs
+    ``site:kind[:once][:pool][:match=SUBSTR][:p=PROB][@N[+]]``;
+    ``@N`` fires on the Nth matching hit in each process (default
+    ``@1``), ``@N+`` from the Nth hit onward, ``p=`` switches to a
+    seeded coin per hit, and ``pool`` restricts the spec to pool worker
+    processes (so e.g. a ``crash`` can kill a worker without taking the
+    parent harness down with it).
+``REPRO_FAULT_SEED``
+    integer seed for the per-site RNGs (default 0).
+``REPRO_FAULT_LEDGER``
+    directory used by ``once`` specs to fire at most once *across*
+    processes (the first process to claim the spec's marker file wins —
+    this is what lets a retry succeed after an injected crash).
+
+Hit counters are per process by design; cross-process once-semantics go
+through the ledger.  When no plan is active, :func:`maybe_fire` is a
+single global check — cheap enough for the closure and fixpoint paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import re
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf import runtime
+from repro.util.errors import InjectedFault
+
+SITES = ("worker.run", "cache.get", "zone.closure", "engine.step")
+KINDS = ("error", "crash", "interrupt", "delay", "corrupt")
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULT_SEED"
+ENV_LEDGER = "REPRO_FAULT_LEDGER"
+
+# Exit status used by ``crash`` faults (EX_SOFTWARE, recognizably ours).
+CRASH_EXIT_CODE = 70
+
+_AT_SUFFIX = re.compile(r"@(\d+)(\+)?$")
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule: where, what, and on which hits."""
+
+    site: str
+    kind: str
+    at: int = 1  # fire on the Nth matching hit...
+    from_on: bool = False  # ...or on every hit >= N
+    once: bool = False  # at most once across processes (needs a ledger)
+    pool_only: bool = False  # only fire inside a pool worker process
+    match: str = ""  # only hits whose key contains this substring
+    prob: Optional[float] = None  # seeded coin instead of the counter
+    delay: float = 0.0  # seconds, for kind == "delay"
+
+    def spec_id(self) -> str:
+        """A filesystem-safe identity for ledger marker files."""
+        raw = "%s-%s-%d-%s" % (self.site, self.kind, self.at, self.match)
+        return re.sub(r"[^A-Za-z0-9_.-]", "_", raw)
+
+    def describe(self) -> str:
+        parts = ["%s:%s" % (self.site, self.kind)]
+        if self.kind == "delay":
+            parts[0] += "=%g" % self.delay
+        if self.once:
+            parts.append("once")
+        if self.pool_only:
+            parts.append("pool")
+        if self.match:
+            parts.append("match=%s" % self.match)
+        if self.prob is not None:
+            parts.append("p=%g" % self.prob)
+        return ":".join(parts) + "@%d%s" % (self.at, "+" if self.from_on else "")
+
+
+def _in_pool_worker() -> bool:
+    """True inside a multiprocessing child (a ProcessPoolExecutor worker)."""
+    try:
+        import multiprocessing
+
+        return multiprocessing.parent_process() is not None
+    except (ImportError, AttributeError):  # pragma: no cover
+        return False
+
+
+def parse_spec(text: str) -> FaultSpec:
+    """Parse one ``site:kind[:flags...][@N[+]]`` spec (see module doc)."""
+    text = text.strip()
+    at, from_on = 1, False
+    suffix = _AT_SUFFIX.search(text)
+    if suffix is not None:
+        at = int(suffix.group(1))
+        from_on = suffix.group(2) == "+"
+        text = text[: suffix.start()]
+    fields = [f for f in text.split(":") if f]
+    if len(fields) < 2:
+        raise ValueError("fault spec %r needs at least site:kind" % text)
+    site, kind_field = fields[0], fields[1]
+    delay = 0.0
+    if kind_field.startswith("delay"):
+        kind = "delay"
+        if "=" in kind_field:
+            delay = float(kind_field.split("=", 1)[1])
+    else:
+        kind = kind_field
+    if kind not in KINDS:
+        raise ValueError("unknown fault kind %r (expected one of %s)" % (kind, KINDS))
+    spec = FaultSpec(site=site, kind=kind, at=at, from_on=from_on, delay=delay)
+    for flag in fields[2:]:
+        if flag == "once":
+            spec.once = True
+        elif flag == "pool":
+            spec.pool_only = True
+        elif flag.startswith("match="):
+            spec.match = flag.split("=", 1)[1]
+        elif flag.startswith("p="):
+            spec.prob = float(flag.split("=", 1)[1])
+        else:
+            raise ValueError("unknown fault flag %r in spec %r" % (flag, text))
+    return spec
+
+
+class FaultPlan:
+    """A set of fault specs plus the per-site deterministic state."""
+
+    def __init__(
+        self,
+        specs: List[FaultSpec],
+        seed: int = 0,
+        ledger: Optional[str] = None,
+        sleep=time.sleep,
+    ):
+        self.specs = list(specs)
+        self.seed = seed
+        self.ledger = ledger
+        self._sleep = sleep
+        self._hits: Dict[Tuple[int, str], int] = {}
+        self._rngs: Dict[int, random.Random] = {}
+
+    @staticmethod
+    def from_string(
+        text: str, seed: int = 0, ledger: Optional[str] = None
+    ) -> "FaultPlan":
+        specs = [parse_spec(part) for part in text.split(",") if part.strip()]
+        return FaultPlan(specs, seed=seed, ledger=ledger)
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self.specs)
+
+    # -- firing decision ---------------------------------------------------
+
+    def _rng(self, index: int) -> random.Random:
+        rng = self._rngs.get(index)
+        if rng is None:
+            spec = self.specs[index]
+            # Hash-randomization-proof integer seed: identical across
+            # processes for the same (seed, site, kind, position).
+            text = "%d|%s|%s|%d" % (self.seed, spec.site, spec.kind, index)
+            derived = int.from_bytes(
+                hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+            )
+            rng = self._rngs[index] = random.Random(derived)
+        return rng
+
+    def _should_fire(self, index: int, spec: FaultSpec, key: str) -> bool:
+        if spec.match and spec.match not in key:
+            return False
+        if spec.pool_only and not _in_pool_worker():
+            return False
+        count_key = (index, spec.match)
+        count = self._hits.get(count_key, 0) + 1
+        self._hits[count_key] = count
+        if count < spec.at:
+            return False
+        if spec.prob is not None:
+            if self._rng(index).random() >= spec.prob:
+                return False
+        elif not spec.from_on and count != spec.at:
+            return False
+        if spec.once and not self._claim(spec):
+            return False
+        return True
+
+    def _claim(self, spec: FaultSpec) -> bool:
+        """Atomically claim a ``once`` spec in the cross-process ledger.
+
+        Without a ledger, ``once`` degrades to once-per-process.
+        """
+        if self.ledger is None:
+            marker = "_claimed_%s" % spec.spec_id()
+            if getattr(self, marker, False):
+                return False
+            setattr(self, marker, True)
+            return True
+        os.makedirs(self.ledger, exist_ok=True)
+        path = os.path.join(self.ledger, spec.spec_id() + ".fired")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    # -- the act -----------------------------------------------------------
+
+    def fire(self, site: str, key: str = "") -> Optional[str]:
+        """Evaluate every spec for ``site``; trigger the first that fires.
+
+        Returns the kind string for non-raising kinds (``"corrupt"``,
+        ``"delay"``), None when nothing fired.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if not self._should_fire(index, spec, key):
+                continue
+            runtime.STATS.event("fault.%s" % spec.kind)
+            if spec.kind == "error":
+                raise InjectedFault(
+                    "injected fault at %s (key=%r)" % (site, key), site=site
+                )
+            if spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if spec.kind == "interrupt":
+                raise KeyboardInterrupt("injected SIGINT at %s" % site)
+            if spec.kind == "delay":
+                self._sleep(spec.delay)
+                return "delay"
+            return "corrupt"
+        return None
+
+
+# -- process-wide activation ----------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+_LOADED = False
+
+
+def plan_from_env(environ=None) -> Optional[FaultPlan]:
+    """Build the plan described by ``REPRO_FAULTS`` (None when unset)."""
+    env = os.environ if environ is None else environ
+    text = env.get(ENV_FAULTS, "").strip()
+    if not text:
+        return None
+    return FaultPlan.from_string(
+        text,
+        seed=int(env.get(ENV_SEED, "0") or "0"),
+        ledger=env.get(ENV_LEDGER) or None,
+    )
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Programmatically activate ``plan`` (None deactivates)."""
+    global _PLAN, _LOADED
+    _PLAN = plan
+    _LOADED = True
+
+
+def clear() -> None:
+    """Deactivate and forget; the env is re-read on the next fire."""
+    global _PLAN, _LOADED
+    _PLAN = None
+    _LOADED = False
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently active plan, loading the env on first use."""
+    global _PLAN, _LOADED
+    if not _LOADED:
+        _PLAN = plan_from_env()
+        _LOADED = True
+    return _PLAN
+
+
+def maybe_fire(site: str, key: str = "") -> Optional[str]:
+    """The hook the instrumented sites call; near-free when inactive."""
+    plan = _PLAN if _LOADED else active()
+    if plan is None:
+        return None
+    return plan.fire(site, key)

@@ -1,0 +1,81 @@
+"""Crash-safe JSONL journal for benchmark-suite runs.
+
+One line per completed benchmark, appended and fsync'd as results
+arrive, so a crashed or interrupted ``table1`` run loses at most the
+task that was in flight.  ``--resume`` loads the journal and skips
+every benchmark that already has a record.
+
+The format is deliberately dumb — ``{"name": ..., "result": {...}}``
+per line — and the loader is deliberately forgiving: a torn final line
+(the classic crash artifact) or a garbage line is skipped and counted,
+never fatal.  Records for the same name are last-writer-wins, so a
+re-run after a retry simply supersedes the earlier record.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Any, Dict, Optional
+
+log = logging.getLogger(__name__)
+
+
+class SuiteJournal:
+    """Append-only journal of completed benchmark records."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.skipped_lines = 0
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """name → record for every well-formed line (last wins)."""
+        records: Dict[str, Dict[str, Any]] = {}
+        self.skipped_lines = 0
+        if not self.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    name = record["name"]
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                records[name] = record
+        if self.skipped_lines:
+            log.warning(
+                "journal %s: skipped %d malformed line(s)",
+                self.path,
+                self.skipped_lines,
+            )
+        return records
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record and force it to disk before returning."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_result(self, name: str, result_dict: Dict[str, Any]) -> None:
+        self.append({"name": name, "result": result_dict})
+
+    def clear(self) -> None:
+        if self.exists():
+            os.remove(self.path)
+
+
+def open_journal(path: Optional[str]) -> Optional[SuiteJournal]:
+    """A journal for ``path``, or None when journaling is off."""
+    return SuiteJournal(path) if path else None

@@ -1,0 +1,43 @@
+"""Bounded retry-with-backoff policy for failed suite tasks.
+
+The policy is data, not control flow: callers (the suite runner) ask it
+how long to sleep before attempt *k* and whether another attempt is
+allowed.  ``sleep`` is injectable so tests exercise the backoff schedule
+without waiting it out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff, capped: ``base * factor**(attempt-1)``.
+
+    ``retries`` counts *re-runs* after the initial attempt; a task is
+    given up (and :class:`~repro.util.errors.WorkerCrashed` raised by
+    the caller) after ``1 + retries`` total attempts.
+    """
+
+    retries: int = 0
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def allows(self, attempt: int) -> bool:
+        """May retry number ``attempt`` (1-based) run at all?"""
+        return attempt <= self.retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = self.backoff_seconds * (self.backoff_factor ** max(0, attempt - 1))
+        return min(raw, self.max_backoff_seconds)
+
+    def sleep_before(self, attempt: int) -> None:
+        delay = self.delay(attempt)
+        if delay > 0:
+            self.sleep(delay)

@@ -63,6 +63,100 @@ class AnalysisError(ReproError):
     """A static analysis (taint, abstract interpretation, bounds) failed."""
 
 
+class ResilienceError(ReproError):
+    """Base class for the resilience layer (docs/RESILIENCE.md)."""
+
+
+class ResourceExhausted(ResilienceError):
+    """A cooperative :class:`~repro.resilience.budget.Budget` tripped.
+
+    Raised at a named checkpoint site when the wall-clock deadline, the
+    refinement-iteration limit, or the fixpoint-step limit is exceeded.
+    Callers that can degrade soundly (the Blazer driver) catch this and
+    substitute a ⊤ bound; everyone else lets it propagate.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "wall",
+        site: str = "",
+        elapsed: float = 0.0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.site = site
+        self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (str(self), self.kind, self.site, self.elapsed),
+        )
+
+
+class WorkerCrashed(ResilienceError):
+    """A pool worker died or kept failing past the retry budget.
+
+    Covers both hard crashes (``BrokenProcessPool``: the worker process
+    was killed) and tasks whose every attempt — including the serial
+    fallback retries — raised.
+    """
+
+    def __init__(self, message: str, task: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.task, self.attempts))
+
+
+class CacheCorruption(ResilienceError):
+    """A cache entry's stored checksum no longer matches its content.
+
+    Raised internally by the cache read path and converted into a
+    quarantine (evict + recompute + counter); it only propagates when
+    self-healing is impossible.
+    """
+
+    def __init__(self, message: str, key: str = "", category: str = ""):
+        super().__init__(message)
+        self.key = key
+        self.category = category
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.key, self.category))
+
+
+class InjectedFault(ResilienceError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Only ever raised when a :class:`~repro.resilience.faults.FaultPlan`
+    is active (tests, chaos drills) — production runs never see it.
+    """
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.site))
+
+
+class SuiteInterrupted(ResilienceError):
+    """A benchmark-suite run was interrupted (SIGINT/KeyboardInterrupt).
+
+    Carries the results completed before the interrupt; the journal (if
+    any) has already been flushed when this is raised, so a later
+    ``--resume`` run picks up where this one stopped.
+    """
+
+    def __init__(self, message: str, completed=None):
+        super().__init__(message)
+        self.completed = list(completed) if completed is not None else []
+
+
 class AutomatonError(ReproError):
     """An automata-library operation was used incorrectly."""
 

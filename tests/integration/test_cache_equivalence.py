@@ -45,6 +45,24 @@ def test_cache_equivalence(bench):
     _check(bench)
 
 
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_generous_budget_is_off_path(bench):
+    """The resilience layer's off-path gate: a budget generous enough to
+    never trip must leave the analysis byte-identical to the seed —
+    checkpoints may only observe, never perturb."""
+    from repro.resilience.budget import Budget
+
+    with runtime.override(False):
+        plain = bench.run()
+        budgeted = bench.run(
+            budget=Budget(
+                wall_seconds=3600.0, max_refinements=10**9, max_steps=10**12
+            )
+        )
+    assert not budgeted.degraded
+    assert verdict_digest(plain) == verdict_digest(budgeted)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("bench", SLOW, ids=lambda b: b.name)
 def test_cache_equivalence_outlier(bench):

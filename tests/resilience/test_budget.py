@@ -1,0 +1,135 @@
+"""Budgets and sound degradation: the deadline half of the resilience layer."""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.core.report import verdict_digest, verdict_to_dict
+from repro.resilience.budget import Budget, DegradationReport
+from repro.util.errors import ResourceExhausted
+
+pytestmark = pytest.mark.resilience
+
+MICRO = [b for b in ALL_BENCHMARKS if b.group == "MicroBench"]
+
+
+class TestBudget:
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget()
+        budget.start()
+        for _ in range(10_000):
+            budget.step("engine.step")
+        budget.checkpoint("bounds.compute")
+        budget.refinement()
+
+    def test_wall_budget_trips(self):
+        budget = Budget(wall_seconds=0.0)
+        budget.start()
+        with pytest.raises(ResourceExhausted) as info:
+            budget.checkpoint("bounds.compute")
+        assert info.value.kind == "wall"
+        assert info.value.site == "bounds.compute"
+
+    def test_step_budget_trips_at_limit(self):
+        budget = Budget(max_steps=3)
+        budget.start()
+        budget.step("engine.step")
+        budget.step("engine.step")
+        budget.step("engine.step")
+        with pytest.raises(ResourceExhausted) as info:
+            budget.step("engine.step")
+        assert info.value.kind == "steps"
+
+    def test_refinement_budget_trips(self):
+        budget = Budget(max_refinements=1)
+        budget.start()
+        budget.refinement()
+        with pytest.raises(ResourceExhausted) as info:
+            budget.refinement()
+        assert info.value.kind == "refinements"
+
+    def test_start_is_idempotent(self):
+        budget = Budget(wall_seconds=100.0)
+        budget.start()
+        first = budget.elapsed()
+        budget.start()
+        assert budget.elapsed() >= first
+
+    def test_steps_check_wall_at_interval(self):
+        budget = Budget(wall_seconds=0.0, check_interval=8)
+        budget.start()
+        with pytest.raises(ResourceExhausted) as info:
+            for _ in range(8):
+                budget.step("engine.step")
+        assert info.value.kind == "wall"
+
+
+class TestDegradedAnalysis:
+    def test_tiny_deadline_degrades_to_unknown(self):
+        bench = MICRO[0]
+        verdict = bench.run(budget=Budget(wall_seconds=0.001))
+        assert verdict.status == "unknown"
+        assert verdict.degraded
+        report = verdict.degradation
+        assert isinstance(report, DegradationReport)
+        assert report.kind == "wall"
+        assert report.leaves_degraded >= 1
+        assert report.leaves_degraded <= report.leaves_total
+
+    def test_tiny_deadline_is_bounded_in_time(self):
+        import time
+
+        t0 = time.monotonic()
+        MICRO[0].run(budget=Budget(wall_seconds=0.001))
+        assert time.monotonic() - t0 < 5.0
+
+    def test_step_budget_degrades(self):
+        verdict = MICRO[0].run(budget=Budget(max_steps=5))
+        assert verdict.status == "unknown"
+        assert verdict.degradation.kind == "steps"
+        assert verdict.degraded_leaves >= 1
+
+    def test_degraded_leaf_is_wide_never_safe(self):
+        """Soundness: an exhausted budget can only lose precision.  A
+        ⊤-bounded leaf must be classified "wide" — it can never support
+        a "safe" verdict."""
+        verdict = MICRO[0].run(budget=Budget(max_steps=5))
+        assert verdict.status != "safe"
+        wide = [l for l in verdict.tree.leaves() if l.bound and l.bound.degraded]
+        assert wide
+        assert all(l.status == "wide" for l in wide)
+
+    def test_degradation_in_json_report_but_not_digest(self):
+        bench = MICRO[0]
+        degraded = bench.run(budget=Budget(wall_seconds=0.001))
+        data = verdict_to_dict(degraded)
+        assert data["resilience"]["degraded"] is True
+        assert data["resilience"]["degradation"]["kind"] == "wall"
+        # The resilience block is volatile: two equally-degraded runs
+        # with different timings must still digest over analysis content
+        # only (the partition differs from the seed's, and that is the
+        # only thing allowed to differ).
+        from repro.core.report import _VOLATILE_KEYS
+
+        assert "resilience" in _VOLATILE_KEYS
+
+    def test_generous_budget_matches_seed_digest(self):
+        bench = MICRO[0]
+        plain = bench.run()
+        budgeted = bench.run(budget=Budget(wall_seconds=3600.0))
+        assert not budgeted.degraded
+        assert verdict_digest(plain) == verdict_digest(budgeted)
+
+
+class TestDegradationReport:
+    def test_from_exhaustion_and_render(self):
+        budget = Budget(wall_seconds=0.0)
+        budget.start()
+        try:
+            budget.checkpoint("bounds.compute")
+        except ResourceExhausted as exc:
+            report = DegradationReport.from_exhaustion(exc, budget, phase="safety")
+        assert report.kind == "wall"
+        assert report.phase == "safety"
+        assert "wall" in report.render()
+        data = report.to_dict()
+        assert data["site"] == "bounds.compute"

@@ -1,0 +1,83 @@
+"""Cache self-healing: corrupt entries are detected, quarantined, recomputed."""
+
+import pytest
+
+from repro.perf import runtime
+from repro.perf.cache import AnalysisCache, entry_digest
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, parse_spec
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestEntryDigest:
+    def test_stable_for_equal_renderings(self):
+        assert entry_digest([1, 2]) == entry_digest([1, 2])
+        assert entry_digest([1, 2]) != entry_digest([1, 3])
+
+
+class TestQuarantine:
+    def test_clean_entries_hit(self):
+        with runtime.override(True):
+            cache = AnalysisCache()
+            assert cache.derived("cat", ("k",), lambda: [1]) == [1]
+            assert cache.derived("cat", ("k",), lambda: [2]) == [1]
+            assert cache.quarantined == 0
+
+    def test_mutated_entry_is_quarantined_and_recomputed(self):
+        with runtime.override(True):
+            cache = AnalysisCache()
+            value = cache.derived("cat", ("k",), lambda: [1, 2])
+            value.append(99)  # corrupt the supposedly-immutable entry
+            healed = cache.derived("cat", ("k",), lambda: ["fresh"])
+            assert healed == ["fresh"]
+            assert cache.quarantined == 1
+            # The recomputed entry is healthy again.
+            assert cache.derived("cat", ("k",), lambda: ["newer"]) == ["fresh"]
+            assert cache.quarantined == 1
+
+    def test_injected_corruption_is_quarantined(self):
+        with runtime.override(True):
+            cache = AnalysisCache()
+            cache.derived("cat", ("k",), lambda: "v")
+            faults.install(FaultPlan([parse_spec("cache.get:corrupt")]))
+            assert cache.derived("cat", ("k",), lambda: "recomputed") == "recomputed"
+            assert cache.quarantined == 1
+
+    def test_quarantine_counts_to_stats_event(self):
+        with runtime.override(True):
+            before = runtime.STATS.events_snapshot()
+            cache = AnalysisCache()
+            cache.derived("cat", ("k",), lambda: "v")
+            faults.install(FaultPlan([parse_spec("cache.get:corrupt")]))
+            cache.derived("cat", ("k",), lambda: "recomputed")
+            delta = runtime.STATS.events_delta(before)
+            assert delta.get("cache.quarantine") == 1
+
+    def test_bound_result_path_heals_too(self):
+        class FakeTrail:
+            def fingerprint(self):
+                return "fp"
+
+        with runtime.override(True):
+            cache = AnalysisCache()
+            trail = FakeTrail()
+            assert cache.bound_result(trail, lambda: [10]) == [10]
+            assert cache.bound_result(trail, lambda: [20]) == [10]  # clean hit
+            cache._bounds["fp"][0].append(1)  # corrupt it
+            assert cache.bound_result(trail, lambda: [30]) == [30]
+            assert cache.quarantined == 1
+
+    def test_disabled_runtime_bypasses_cache_and_checks(self):
+        with runtime.override(False):
+            cache = AnalysisCache()
+            assert cache.derived("cat", ("k",), lambda: [1]) == [1]
+            assert cache.derived("cat", ("k",), lambda: [2]) == [2]
+            assert len(cache) == 0

@@ -1,0 +1,69 @@
+"""Satellite fault-matrix smoke: the perf harness survives injected chaos.
+
+Runs ``benchmarks/bench_perf.py --quick`` as a subprocess with a fault
+plan that (a) kills one pool worker (``BrokenProcessPool`` in the
+parent; ``pool`` keeps the serial baseline alive) and (b) corrupts a
+cache entry on read.  The harness must still exit 0 — the crashed row
+retried on the serial backend, the corrupt entry quarantined and
+recomputed — with every digest matching the fault-free baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import faults
+
+pytestmark = [pytest.mark.resilience, pytest.mark.slow]
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run_quick(tmp_path, tag, **fault_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    for var in (faults.ENV_FAULTS, faults.ENV_SEED, faults.ENV_LEDGER):
+        env.pop(var, None)
+    env.update(fault_env)
+    output = str(tmp_path / ("report-%s.json" % tag))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join("benchmarks", "bench_perf.py"),
+            "--quick",
+            "--output",
+            output,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        timeout=600,
+    )
+    report = None
+    if os.path.exists(output):
+        with open(output) as handle:
+            report = json.load(handle)
+    return proc, report
+
+
+def test_quick_survives_worker_crash_and_cache_corruption(tmp_path):
+    ledger = str(tmp_path / "ledger")
+    proc, report = _run_quick(
+        tmp_path,
+        "faulted",
+        REPRO_FAULTS="worker.run:crash:once:pool,cache.get:corrupt",
+        REPRO_FAULT_LEDGER=ledger,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert report is not None
+    assert report["total"]["all_ok"]
+    assert report["total"]["all_digests_match"]
+    # The chaos actually happened: the crash was claimed in the ledger
+    # and the broken pool forced serial retries.
+    assert os.listdir(ledger)
+    assert report["total"]["retries"] >= 1
+    assert report["faults"]  # the plan is recorded in the report

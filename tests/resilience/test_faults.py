@@ -1,0 +1,147 @@
+"""The fault-injection harness itself: parsing, determinism, semantics."""
+
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec, parse_spec, plan_from_env
+from repro.util.errors import InjectedFault
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestParseSpec:
+    def test_minimal(self):
+        spec = parse_spec("worker.run:error")
+        assert spec.site == "worker.run"
+        assert spec.kind == "error"
+        assert spec.at == 1 and not spec.from_on and not spec.once
+
+    def test_all_the_flags(self):
+        spec = parse_spec("cache.get:corrupt:once:match=modPow:p=0.5@3+")
+        assert spec.site == "cache.get"
+        assert spec.kind == "corrupt"
+        assert spec.once
+        assert spec.match == "modPow"
+        assert spec.prob == 0.5
+        assert spec.at == 3 and spec.from_on
+
+    def test_delay_carries_seconds(self):
+        spec = parse_spec("engine.step:delay=0.25")
+        assert spec.kind == "delay"
+        assert spec.delay == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_spec("worker.run:explode")
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault flag"):
+            parse_spec("worker.run:error:sometimes")
+
+    def test_round_trips_through_describe(self):
+        for text in ["worker.run:error@2", "cache.get:corrupt:once@1",
+                     "zone.closure:delay=0.1@1+"]:
+            spec = parse_spec(text)
+            assert parse_spec(spec.describe()) == spec
+
+
+class TestFiring:
+    def test_fires_on_nth_hit_only(self):
+        plan = FaultPlan([parse_spec("engine.step:error@3")])
+        assert plan.fire("engine.step") is None
+        assert plan.fire("engine.step") is None
+        with pytest.raises(InjectedFault):
+            plan.fire("engine.step")
+        assert plan.fire("engine.step") is None  # @N without + is one-shot
+
+    def test_from_on_fires_repeatedly(self):
+        plan = FaultPlan([parse_spec("engine.step:error@2+")])
+        assert plan.fire("engine.step") is None
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plan.fire("engine.step")
+
+    def test_site_isolation(self):
+        plan = FaultPlan([parse_spec("cache.get:corrupt")])
+        assert plan.fire("engine.step") is None
+        assert plan.fire("cache.get") == "corrupt"
+
+    def test_match_filters_by_key(self):
+        plan = FaultPlan([parse_spec("worker.run:error:match=modPow")])
+        assert plan.fire("worker.run", key="array_safe") is None
+        with pytest.raises(InjectedFault):
+            plan.fire("worker.run", key="modPow1_safe")
+
+    def test_delay_sleeps_and_continues(self):
+        slept = []
+        plan = FaultPlan([parse_spec("zone.closure:delay=0.5")], sleep=slept.append)
+        assert plan.fire("zone.closure") == "delay"
+        assert slept == [0.5]
+
+    def test_seeded_probability_is_deterministic(self):
+        def outcomes(seed):
+            plan = FaultPlan([parse_spec("engine.step:corrupt:p=0.5@1+")], seed=seed)
+            return [plan.fire("engine.step") for _ in range(32)]
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)
+        assert "corrupt" in outcomes(7) and None in outcomes(7)
+
+    def test_once_without_ledger_is_per_plan(self):
+        plan = FaultPlan([parse_spec("worker.run:error:once@1+")])
+        with pytest.raises(InjectedFault):
+            plan.fire("worker.run")
+        assert plan.fire("worker.run") is None
+
+    def test_once_with_ledger_spans_plans(self, tmp_path):
+        ledger = str(tmp_path / "ledger")
+        first = FaultPlan([parse_spec("worker.run:error:once")], ledger=ledger)
+        second = FaultPlan([parse_spec("worker.run:error:once")], ledger=ledger)
+        with pytest.raises(InjectedFault):
+            first.fire("worker.run")
+        # A fresh plan (another process, in real life) sees the claim.
+        assert second.fire("worker.run") is None
+        assert os.listdir(ledger)
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.maybe_fire("worker.run") is None
+
+    def test_install_and_clear(self):
+        faults.install(FaultPlan([parse_spec("cache.get:corrupt")]))
+        assert faults.maybe_fire("cache.get") == "corrupt"
+        faults.clear()
+        os.environ.pop(faults.ENV_FAULTS, None)
+        assert faults.maybe_fire("cache.get") is None
+
+    def test_plan_from_env(self):
+        env = {
+            faults.ENV_FAULTS: "worker.run:error@2, cache.get:corrupt:once",
+            faults.ENV_SEED: "9",
+            faults.ENV_LEDGER: "/tmp/some-ledger",
+        }
+        plan = plan_from_env(env)
+        assert plan is not None
+        assert len(plan.specs) == 2
+        assert plan.seed == 9
+        assert plan.ledger == "/tmp/some-ledger"
+        assert plan_from_env({}) is None
+
+    def test_fire_counts_events(self):
+        from repro.perf import runtime
+
+        before = runtime.STATS.events_snapshot()
+        faults.install(FaultPlan([parse_spec("cache.get:corrupt")]))
+        faults.maybe_fire("cache.get")
+        delta = runtime.STATS.events_delta(before)
+        assert delta.get("fault.corrupt") == 1
