@@ -1,0 +1,20 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test test-resilience smoke-service table1
+
+test:
+	$(PYTHON) -m pytest -q
+
+test-resilience:
+	$(PYTHON) -m pytest -q -m resilience
+
+# Boot the real `repro serve` process and push Fig. 1's login pair
+# through it (docs/SERVICE.md).
+smoke-service:
+	$(PYTHON) -m pytest -q -m service
+
+table1:
+	$(PYTHON) -m repro.cli table1 --jobs 0

@@ -40,8 +40,8 @@ from repro.perf.parallel import resolve_jobs, try_map
 from repro.resilience import faults
 from repro.resilience.budget import Budget
 from repro.resilience.journal import SuiteJournal, open_journal
-from repro.resilience.retry import RetryPolicy
-from repro.util.errors import SuiteInterrupted, WorkerCrashed
+from repro.resilience.retry import RetryPolicy, run_with_retries
+from repro.util.errors import SuiteInterrupted
 
 log = logging.getLogger(__name__)
 
@@ -289,37 +289,27 @@ class ParallelSuiteRunner:
         first_error: Exception,
         completed: Dict[str, BenchResult],
     ) -> BenchResult:
-        """Re-run one failed benchmark serially, with backoff."""
-        last: Exception = first_error
-        attempt = 0
-        while self._policy.allows(attempt + 1):
-            attempt += 1
-            log.warning(
-                "benchmark %s failed (%s: %s); retry %d/%d on the serial backend",
+        """Re-run one failed benchmark serially, with backoff.
+
+        The retry loop itself lives in :func:`repro.resilience.retry.
+        run_with_retries` (shared with the analysis-service workers);
+        this wrapper adds the suite bookkeeping: journal record, retry
+        counters, and interrupt-with-completed-prefix semantics.
+        """
+        try:
+            result, attempts = run_with_retries(
+                worker,
                 name,
-                type(last).__name__,
-                last,
-                attempt,
-                self._policy.retries,
+                self._policy,
+                first_error,
+                label="benchmark %s" % name,
             )
-            self._policy.sleep_before(attempt)
-            try:
-                result = worker(name)
-            except KeyboardInterrupt as exc:
-                raise SuiteInterrupted(
-                    "suite interrupted during retry of %s" % name,
-                    completed=list(completed.values()),
-                ) from exc
-            except Exception as exc:
-                last = exc
-                continue
-            result.retries = attempt
-            self.retry_counts[name] = attempt
-            self._record(result)
-            return result
-        raise WorkerCrashed(
-            "benchmark %s failed after %d attempt(s): %s: %s"
-            % (name, attempt + 1, type(last).__name__, last),
-            task=name,
-            attempts=attempt + 1,
-        ) from last
+        except KeyboardInterrupt as exc:
+            raise SuiteInterrupted(
+                "suite interrupted during retry of %s" % name,
+                completed=list(completed.values()),
+            ) from exc
+        result.retries = attempts
+        self.retry_counts[name] = attempts
+        self._record(result)
+        return result

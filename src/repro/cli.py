@@ -20,6 +20,10 @@ Subcommands mirror the stages a Blazer user cares about:
 
 ``table1`` / ``figure1``
     Regenerate the paper's evaluation artifacts.
+
+``serve`` / ``submit`` / ``status``
+    The resident analysis service (docs/SERVICE.md): boot the daemon,
+    send it a job over the NDJSON socket protocol, inspect its queue.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.ir import lift_module
 from repro.lang import frontend
 from repro.resilience.budget import Budget
 from repro.taint import analyze_taint
+from repro.util.cliargs import count_arg
 from repro.util.errors import ReproError, SuiteInterrupted
 
 # Exit codes (docs/RESILIENCE.md): 0 safe/ok, 1 generic error or Table-1
@@ -47,7 +52,30 @@ from repro.util.errors import ReproError, SuiteInterrupted
 EXIT_ATTACK = 2
 EXIT_UNKNOWN = 3
 EXIT_DEGRADED = 4
+EXIT_USAGE = 2  # argparse's own code for bad usage; also: no subcommand
 EXIT_INTERRUPTED = 130
+
+DEFAULT_ADDRESS = ".repro.sock"
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not pip-installed (PYTHONPATH=src checkouts)
+        import repro
+
+        return repro.__version__
+
+
+def _verdict_exit(status: str, degraded: bool) -> int:
+    """The shared exit-code contract for analysis outcomes."""
+    if status == "safe":
+        return 0
+    if status == "attack":
+        return EXIT_ATTACK
+    return EXIT_DEGRADED if degraded else EXIT_UNKNOWN
 
 
 def _load(path: str):
@@ -106,11 +134,7 @@ def cmd_analyze(args) -> int:
         print(verdict_to_json(verdict))
     else:
         print(verdict.render())
-    if verdict.status == "safe":
-        return 0
-    if verdict.status == "attack":
-        return EXIT_ATTACK
-    return EXIT_DEGRADED if verdict.degraded else EXIT_UNKNOWN
+    return _verdict_exit(verdict.status, verdict.degraded)
 
 
 def cmd_bounds(args) -> int:
@@ -249,16 +273,122 @@ def cmd_table1(args) -> int:
     return 0
 
 
-def _jobs_arg(value: str) -> int:
-    try:
-        jobs = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError("jobs must be an integer, got %r" % value)
-    if jobs < 0:
-        raise argparse.ArgumentTypeError(
-            "jobs must be >= 0 (0 = one per CPU), got %d" % jobs
+def cmd_serve(args) -> int:
+    from repro.service import AnalysisDaemon
+
+    daemon = AnalysisDaemon(
+        args.address,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        isolation=args.isolation,
+        retries=args.retries,
+        default_deadline=args.deadline,
+        task_timeout=args.task_timeout,
+    )
+    daemon.start()
+    print("serving on %s" % daemon.address, flush=True)
+    daemon.serve_forever()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.connect, timeout=args.timeout) as client:
+        response = client.submit(
+            open(args.file).read(),
+            proc=args.proc,
+            wait=not args.no_wait,
+            priority=args.priority,
+            domain=args.domain,
+            observer=args.observer,
+            threshold=args.threshold,
+            max_input=args.max_input,
+            max_bits=args.max_bits,
+            deadline=args.deadline,
+            max_refinements=args.max_refinements,
+            max_steps=args.max_steps,
         )
-    return jobs
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    if response.get("state") == "failed":
+        print(
+            "job %s failed: %s"
+            % (response.get("job", "?"), response.get("error", "unknown error")),
+            file=sys.stderr,
+        )
+        return 1
+    result = response.get("result")
+    if result is None:  # --no-wait (or wait timed out): job is in flight
+        if not args.json:
+            print("%s %s" % (response.get("job", "?"), response.get("state")))
+        return 0
+    if not args.json:
+        print(
+            "%s: %s%s  [digest %s%s]"
+            % (
+                result.get("proc"),
+                result.get("status", "?").upper(),
+                " (degraded)" if result.get("degraded") else "",
+                str(result.get("digest", ""))[:12],
+                ", cached: %s" % response["cached"] if response.get("cached") else "",
+            )
+        )
+    return _verdict_exit(result.get("status", "unknown"), bool(result.get("degraded")))
+
+
+def cmd_status(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.connect, timeout=args.timeout) as client:
+        if args.shutdown:
+            response = client.shutdown()
+        elif args.job:
+            response = client.status(args.job)
+        elif args.stats:
+            response = client.stats()
+        else:
+            response = client.status()
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    if args.shutdown:
+        print("daemon stopping")
+        return 0
+    if args.job:
+        line = "%s %s" % (response["job"], response["state"])
+        if response.get("error"):
+            line += " (%s)" % response["error"]
+        print(line)
+        return 0
+    if args.stats:
+        for name in sorted(response):
+            if name not in ("ok", "op", "v"):
+                print("%s: %s" % (name, response[name]))
+        return 0
+    print(
+        "%s: %d worker(s), %s isolation, queue depth %d"
+        % (
+            response["address"],
+            response["workers"],
+            response["isolation"],
+            response["queue_depth"],
+        )
+    )
+    for job in response.get("jobs", []):
+        line = "  %s %s proc=%s waiters=%d" % (
+            job["job"],
+            job["state"],
+            job.get("proc"),
+            job.get("waiters", 1),
+        )
+        if job.get("error"):
+            line += " error=%s" % job["error"]
+        print(line)
+    return 0
+
+
+_jobs_arg = count_arg("jobs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,7 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Blazer reproduction: timing-channel verification "
         "by quotient partitioning (PLDI 2017)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % _version()
+    )
+    sub = parser.add_subparsers(dest="command", required=False)
 
     def common(p, needs_proc=True):
         p.add_argument("file", help="source file in the repro input language")
@@ -280,40 +413,43 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-bits", type=int, default=4096, help="assumed BigInteger width"
         )
 
+    def analysis_flags(p):
+        p.add_argument(
+            "--observer",
+            default="degree",
+            choices=["degree", "threshold"],
+            help="observer model (generic degree vs concrete threshold)",
+        )
+        p.add_argument("--threshold", type=int, default=25_000)
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable JSON output"
+        )
+        p.add_argument(
+            "--max-input", type=int, default=4096, help="assumed max input size"
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            metavar="SECONDS",
+            help="wall-clock budget; on exhaustion the verdict degrades "
+            "soundly to 'unknown' (exit %d)" % EXIT_DEGRADED,
+        )
+        p.add_argument(
+            "--max-refinements",
+            type=int,
+            metavar="N",
+            help="refinement-iteration budget (degrades like --deadline)",
+        )
+        p.add_argument(
+            "--max-steps",
+            type=int,
+            metavar="N",
+            help="abstract-interpretation step budget (degrades like --deadline)",
+        )
+
     analyze = sub.add_parser("analyze", help="prove TCF or synthesize an attack")
     common(analyze)
-    analyze.add_argument(
-        "--observer",
-        default="degree",
-        choices=["degree", "threshold"],
-        help="observer model (generic degree vs concrete threshold)",
-    )
-    analyze.add_argument("--threshold", type=int, default=25_000)
-    analyze.add_argument(
-        "--json", action="store_true", help="machine-readable JSON output"
-    )
-    analyze.add_argument(
-        "--max-input", type=int, default=4096, help="assumed max input size"
-    )
-    analyze.add_argument(
-        "--deadline",
-        type=float,
-        metavar="SECONDS",
-        help="wall-clock budget; on exhaustion the verdict degrades "
-        "soundly to 'unknown' (exit %d)" % EXIT_DEGRADED,
-    )
-    analyze.add_argument(
-        "--max-refinements",
-        type=int,
-        metavar="N",
-        help="refinement-iteration budget (degrades like --deadline)",
-    )
-    analyze.add_argument(
-        "--max-steps",
-        type=int,
-        metavar="N",
-        help="abstract-interpretation step budget (degrades like --deadline)",
-    )
+    analysis_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
@@ -378,12 +514,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table1.set_defaults(func=cmd_table1)
 
+    serve = sub.add_parser(
+        "serve", help="run the resident analysis daemon (docs/SERVICE.md)"
+    )
+    serve.add_argument(
+        "address",
+        nargs="?",
+        default=DEFAULT_ADDRESS,
+        help="socket to listen on: unix:/path, tcp:host:port, a bare "
+        ".sock path, or host:port (default: %s; tcp port 0 picks a "
+        "free port and prints it)" % DEFAULT_ADDRESS,
+    )
+    serve.add_argument(
+        "--workers",
+        type=count_arg("workers", allow_zero=False),
+        default=1,
+        help="concurrent analysis workers (must be >= 1)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache directory; verdicts and bound "
+        "results stored here survive daemon restarts",
+    )
+    serve.add_argument(
+        "--isolation",
+        default="thread",
+        choices=["thread", "process"],
+        help="job isolation: threads (default) or a crash-isolated "
+        "process pool",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed job up to N times before failing it",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (jobs may override)",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="hard per-job timeout under --isolation process",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send one analysis job to a running daemon"
+    )
+    common(submit)
+    analysis_flags(submit)
+    submit.add_argument(
+        "--connect",
+        default=DEFAULT_ADDRESS,
+        metavar="ADDRESS",
+        help="daemon address (default: %s)" % DEFAULT_ADDRESS,
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and return immediately instead of waiting for the verdict",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="scheduling priority (higher first)"
+    )
+    submit.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="socket timeout"
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="inspect (or stop) a running analysis daemon"
+    )
+    status.add_argument(
+        "--connect",
+        default=DEFAULT_ADDRESS,
+        metavar="ADDRESS",
+        help="daemon address (default: %s)" % DEFAULT_ADDRESS,
+    )
+    status.add_argument("--job", metavar="ID", help="show one job instead")
+    status.add_argument(
+        "--stats", action="store_true", help="show daemon counters instead"
+    )
+    status.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to stop"
+    )
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    status.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="socket timeout"
+    )
+    status.set_defaults(func=cmd_status)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help(sys.stderr)
+        return EXIT_USAGE
     try:
         return args.func(args)
     except SuiteInterrupted as exc:

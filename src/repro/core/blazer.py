@@ -87,6 +87,10 @@ class BlazerConfig:
     # carries a DegradationReport.  None (the default) adds no
     # checkpoints anywhere — the exact seed behavior.
     budget: Optional[Budget] = None
+    # Service layer (docs/SERVICE.md): path of a persistent JSONL tier
+    # for trail-keyed bound results, shared across drivers and worker
+    # processes.  None (the default) keeps the cache purely in-memory.
+    disk_cache: Optional[str] = None
 
     def resolved_observer(self) -> ObserverModel:
         return self.observer if self.observer is not None else PolynomialDegreeObserver()
@@ -182,7 +186,12 @@ class Blazer:
                 if self.config.summaries is not None
                 else default_summaries()
             )
-            self.cache = AnalysisCache()
+            disk = None
+            if self.config.disk_cache:
+                from repro.perf.disktier import DiskTier
+
+                disk = DiskTier(self.config.disk_cache)
+            self.cache = AnalysisCache(disk=disk)
             self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
                 self.cfgs, self._domain, self._summaries
             )
@@ -567,3 +576,96 @@ def analyze_source(
 ) -> BlazerVerdict:
     """Convenience wrapper: analyze one procedure of a source program."""
     return Blazer.from_source(source, config).analyze(proc)
+
+
+# -- the job-shaped entry point ------------------------------------------------
+
+# Payload fields analyze_job understands; everything here (and nothing
+# else) participates in the service's request fingerprints, because this
+# is exactly the set of knobs that can change the analysis outcome.
+JOB_FIELDS = (
+    "source",
+    "proc",
+    "domain",
+    "observer",
+    "threshold",
+    "max_input",
+    "max_bits",
+    "deadline",
+    "max_refinements",
+    "max_steps",
+)
+
+
+def job_config(payload: Dict[str, object]) -> BlazerConfig:
+    """A :class:`BlazerConfig` for one plain-dict job payload."""
+    from repro.core.observer import ConcreteThresholdObserver
+
+    observer: ObserverModel
+    if payload.get("observer", "degree") == "threshold":
+        observer = ConcreteThresholdObserver(
+            threshold=int(payload.get("threshold", 25_000)),
+            default_max=int(payload.get("max_input", 4096)),
+        )
+    else:
+        observer = PolynomialDegreeObserver()
+    budget = None
+    limits = [payload.get(k) for k in ("deadline", "max_refinements", "max_steps")]
+    if any(v is not None for v in limits):
+        budget = Budget(
+            wall_seconds=limits[0],
+            max_refinements=limits[1],
+            max_steps=limits[2],
+        )
+    return BlazerConfig(
+        domain=str(payload.get("domain", "zone")),
+        observer=observer,
+        summaries=default_summaries(int(payload.get("max_bits", 4096))),
+        budget=budget,
+        disk_cache=payload.get("disk_cache") or None,  # type: ignore[arg-type]
+    )
+
+
+def resolve_proc(cfgs: Dict[str, object], requested: Optional[str]) -> str:
+    """Pick the procedure a request names (or the only one there is)."""
+    if requested is not None:
+        if requested not in cfgs:
+            raise AnalysisError(
+                "no procedure %r (available: %s)"
+                % (requested, ", ".join(sorted(cfgs)))
+            )
+        return requested
+    if len(cfgs) == 1:
+        return next(iter(cfgs))
+    raise AnalysisError(
+        "program defines several procedures; pick one with 'proc' "
+        "(available: %s)" % ", ".join(sorted(cfgs))
+    )
+
+
+def analyze_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Job-shaped entry point: a JSON-safe request dict in, a JSON-safe
+    result dict out (docs/SERVICE.md).
+
+    ``payload`` carries ``source`` plus the optional :data:`JOB_FIELDS`
+    knobs (and ``disk_cache``, the path of the persistent bound-result
+    tier).  The result carries the rendered verdict JSON, its
+    content digest — the cross-process equality witness — and the flat
+    fields the service maps to exit codes.  Raises
+    :class:`~repro.util.errors.ReproError` on malformed programs.
+    """
+    from repro.core.report import verdict_digest, verdict_to_dict
+
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise AnalysisError("job payload needs a non-empty 'source'")
+    blazer = Blazer.from_source(source, job_config(payload))
+    proc = resolve_proc(blazer.cfgs, payload.get("proc"))  # type: ignore[arg-type]
+    verdict = blazer.analyze(proc)
+    return {
+        "proc": proc,
+        "status": verdict.status,
+        "degraded": verdict.degraded,
+        "digest": verdict_digest(verdict),
+        "verdict": verdict_to_dict(verdict),
+    }

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import logging
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.perf import runtime
+from repro.perf.disktier import DiskTier
 from repro.perf.fingerprint import trail_fingerprint
 from repro.resilience import faults
 from repro.util.errors import CacheCorruption
@@ -50,10 +51,22 @@ def entry_digest(value: object) -> str:
 
 
 class AnalysisCache:
-    """Memoized analysis results for one driver instance."""
+    """Memoized analysis results for one driver instance.
 
-    def __init__(self, stats: runtime.PerfStats = runtime.STATS):
+    ``disk`` attaches an optional persistent tier below the in-memory
+    one (docs/SERVICE.md): trail-keyed bound results missing from
+    memory are looked up there (category ``bound.disk``) before being
+    recomputed, and fresh results are written through, so they survive
+    the driver — and the process — that computed them.
+    """
+
+    def __init__(
+        self,
+        stats: runtime.PerfStats = runtime.STATS,
+        disk: Optional[DiskTier] = None,
+    ):
         self._stats = stats
+        self._disk = disk
         self._bounds: Dict[str, Tuple[object, str]] = {}
         self._regions: Dict[tuple, Tuple[object, str]] = {}
         self.quarantined = 0
@@ -108,8 +121,17 @@ class AnalysisCache:
                 self._stats.hit("bound")
                 return value
         self._stats.miss("bound")
+        if self._disk is not None:
+            value = self._disk.get_pickled("bound/" + key)
+            if value is not None:
+                self._stats.hit("bound.disk")
+                self._bounds[key] = (value, entry_digest(value))
+                return value
+            self._stats.miss("bound.disk")
         result = compute()
         self._bounds[key] = (result, entry_digest(result))
+        if self._disk is not None:
+            self._disk.put_pickled("bound/" + key, result)
         return result
 
     # -- generic derived structures -----------------------------------------------
@@ -135,8 +157,17 @@ class AnalysisCache:
         return result
 
     def clear(self) -> None:
+        """Empty the in-memory tiers and reset quarantine bookkeeping.
+
+        A cleared cache has no entries left to distrust, so it reports
+        zeroed ``cache.quarantine`` counters in :class:`PerfStats` as
+        well.  The disk tier (if any) is deliberately left alone — it
+        outlives drivers by design; use ``DiskTier.clear()`` to purge it.
+        """
         self._bounds.clear()
         self._regions.clear()
+        self.quarantined = 0
+        self._stats.reset_event("cache.quarantine")
 
     def __len__(self) -> int:
         return len(self._bounds) + len(self._regions)

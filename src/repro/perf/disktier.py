@@ -1,0 +1,141 @@
+"""The persistent disk tier: checksum-verified JSONL key→payload store.
+
+This is the durable layer below the in-memory caches (docs/SERVICE.md):
+the analysis service keeps completed verdicts here so they survive
+daemon restarts, and :class:`~repro.perf.cache.AnalysisCache` can spill
+trail-keyed bound results here so a fresh driver — in this process or
+another — starts warm.
+
+The storage format deliberately reuses the crash-safe JSONL journal of
+:mod:`repro.resilience.journal` (append + fsync per record, forgiving
+loader, last-writer-wins per key), so a torn final line after a crash
+costs one entry, never the tier.  On top of the journal this module
+adds the PR 2 integrity discipline: every payload is stored alongside a
+SHA-256 of its canonical JSON and verified on read.  A mismatch
+**quarantines** the entry — evicted from the in-memory index, counted
+(``disk.quarantine`` on :data:`repro.perf.runtime.STATS`), and the
+caller recomputes — so a corrupt file can cost time but never wrong
+answers.
+
+Two payload disciplines:
+
+* :meth:`DiskTier.get` / :meth:`DiskTier.put` — JSON-safe dict payloads
+  (service verdicts);
+* :meth:`DiskTier.get_pickled` / :meth:`DiskTier.put_pickled` —
+  arbitrary Python values via pickle + base64 inside the JSON record
+  (bound results).  Unpicklable values are skipped silently: the disk
+  tier is an accelerator, never a correctness dependency.
+
+Concurrent writers (pool workers sharing one path) are safe because
+records are single appended lines and the loader takes the last record
+per key; readers see a consistent prefix.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import pickle
+from typing import Any, Dict, Optional
+
+from repro.perf import runtime
+from repro.resilience.journal import SuiteJournal
+
+log = logging.getLogger(__name__)
+
+QUARANTINE_EVENT = "disk.quarantine"
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class DiskTier:
+    """One JSONL file of checksummed ``key → payload`` entries."""
+
+    def __init__(self, path: str, stats: runtime.PerfStats = runtime.STATS):
+        self._journal = SuiteJournal(path)
+        self._stats = stats
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.quarantined = 0
+        self.refresh()
+
+    @property
+    def path(self) -> str:
+        return self._journal.path
+
+    def refresh(self) -> None:
+        """Re-read the file, picking up other processes' appends."""
+        self._entries = self._journal.load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- integrity ----------------------------------------------------------
+
+    def _quarantine(self, key: str, why: str) -> None:
+        self._entries.pop(key, None)
+        self.quarantined += 1
+        self._stats.event(QUARANTINE_EVENT)
+        log.warning("quarantined corrupt disk-tier entry %r (%s)", key, why)
+
+    # -- JSON payloads ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The payload stored under ``key``, or None (absent/corrupt)."""
+        record = self._entries.get(key)
+        if record is None:
+            return None
+        body = record.get("result")
+        if not isinstance(body, dict) or "payload" not in body:
+            self._quarantine(key, "malformed record")
+            return None
+        payload = body["payload"]
+        if payload_digest(payload) != body.get("digest"):
+            self._quarantine(key, "checksum mismatch")
+            return None
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Durably store ``payload`` under ``key`` (fsync'd append)."""
+        body = {"digest": payload_digest(payload), "payload": payload}
+        self._journal.record_result(key, body)
+        self._entries[key] = {"name": key, "result": body}
+
+    # -- pickled payloads ---------------------------------------------------
+
+    def get_pickled(self, key: str) -> Optional[object]:
+        """Unpickle the value stored under ``key`` (None when absent,
+        corrupt, or not unpicklable in this process)."""
+        payload = self.get(key)
+        if not isinstance(payload, dict) or "pickle" not in payload:
+            return None
+        try:
+            return pickle.loads(base64.b64decode(payload["pickle"]))
+        except Exception as exc:  # unpicklable here: treat as corrupt
+            self._quarantine(key, "unpickle failed: %s" % exc)
+            return None
+
+    def put_pickled(self, key: str, value: object) -> bool:
+        """Store an arbitrary value; False (and no write) if it cannot
+        be pickled — the caller just loses the warm start."""
+        try:
+            blob = base64.b64encode(pickle.dumps(value)).decode("ascii")
+        except Exception as exc:
+            log.debug("disk tier: cannot pickle %r entry: %s", key, exc)
+            return False
+        self.put(key, {"pickle": blob})
+        return True
+
+    def clear(self) -> None:
+        """Drop the file and the index (used by tests and cache purges)."""
+        self._journal.clear()
+        self._entries.clear()
+        self.quarantined = 0

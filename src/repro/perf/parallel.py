@@ -143,6 +143,52 @@ def thread_map(fn: Callable[[T], R], items: Iterable[T], jobs: int) -> List[R]:
 # -- fault-isolating collection ---------------------------------------------
 
 
+def collect_outcome(
+    future,
+    index: int = 0,
+    label: str = "",
+    task_timeout: Optional[float] = None,
+):
+    """Await one pool future with :func:`try_map`'s failure mapping.
+
+    Returns ``(outcome, timed_out)`` where ``outcome`` is the result or
+    the mapped exception instance (``BrokenExecutor`` →
+    :class:`WorkerCrashed`, timeout → :class:`ResourceExhausted` of kind
+    ``"task_timeout"``) and ``timed_out`` says the worker never
+    answered — its pool can only be abandoned, not joined.
+    ``KeyboardInterrupt`` propagates.  Shared by :func:`try_map` and the
+    analysis-service worker pool (docs/SERVICE.md), so one job's crash
+    is one job's failure everywhere.
+    """
+    try:
+        return future.result(timeout=task_timeout), False
+    except FutureTimeoutError:
+        future.cancel()
+        return (
+            ResourceExhausted(
+                "task %s produced no result within %.6gs"
+                % (label or index, task_timeout or 0.0),
+                kind="task_timeout",
+                site="worker.run",
+                elapsed=task_timeout or 0.0,
+            ),
+            True,
+        )
+    except BrokenExecutor as exc:
+        return (
+            WorkerCrashed(
+                "worker pool broke while running task %s: %s"
+                % (label or index, exc),
+                task=str(label or index),
+            ),
+            False,
+        )
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        return exc, False
+
+
 def try_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -203,27 +249,10 @@ def try_map(
     try:
         futures = [pool.submit(fn, item) for item in items]
         for i, future in enumerate(futures):
-            try:
-                outcome = future.result(timeout=task_timeout)
-            except FutureTimeoutError:
-                hung = True
-                future.cancel()
-                outcome = ResourceExhausted(
-                    "task %d produced no result within %.6gs"
-                    % (i, task_timeout or 0.0),
-                    kind="task_timeout",
-                    site="worker.run",
-                    elapsed=task_timeout or 0.0,
-                )
-            except BrokenExecutor as exc:
-                outcome = WorkerCrashed(
-                    "worker pool broke while running task %d: %s" % (i, exc),
-                    task=str(items[i]),
-                )
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                outcome = exc
+            outcome, timed_out = collect_outcome(
+                future, index=i, label=str(items[i]), task_timeout=task_timeout
+            )
+            hung = hung or timed_out
             results[i] = settle(i, outcome)
     except KeyboardInterrupt:
         pool.shutdown(wait=False, cancel_futures=True)

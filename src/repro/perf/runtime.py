@@ -80,6 +80,11 @@ class PerfStats:
     def events_snapshot(self) -> Dict[str, int]:
         return dict(self._events)
 
+    def reset_event(self, name: str) -> None:
+        """Zero one event counter (e.g. ``cache.quarantine`` when the
+        cache that was quarantining entries has been cleared)."""
+        self._events.pop(name, None)
+
     def events_delta(self, before: Dict[str, int]) -> Dict[str, int]:
         """Per-event counts accumulated since ``before``."""
         out: Dict[str, int] = {}

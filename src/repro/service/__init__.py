@@ -1,0 +1,28 @@
+"""The analysis service: a resident daemon that amortizes the Blazer
+pipeline across requests (docs/SERVICE.md).
+
+One-shot ``repro analyze`` pays full process startup and a cold cache
+per query.  The service keeps the expensive pieces resident: a
+:class:`~repro.service.daemon.AnalysisDaemon` owns a prioritized
+:class:`~repro.service.jobs.JobQueue` (identical in-flight submissions
+coalesce onto one job, keyed by content fingerprints), a crash-isolated
+worker pool, and a persistent disk-backed result store shared across
+restarts and worker processes.  Clients speak a newline-delimited-JSON
+protocol over a Unix or TCP socket via
+:class:`~repro.service.client.ServiceClient`, or from the shell with
+``repro serve`` / ``repro submit`` / ``repro status``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import AnalysisDaemon
+from repro.service.jobs import Job, JobQueue, job_key
+from repro.service.store import ResultStore
+
+__all__ = [
+    "AnalysisDaemon",
+    "ServiceClient",
+    "Job",
+    "JobQueue",
+    "job_key",
+    "ResultStore",
+]

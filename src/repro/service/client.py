@@ -1,0 +1,191 @@
+"""A blocking client for the analysis service.
+
+One persistent connection, one request/response in flight at a time —
+the protocol is strictly ordered, so the client is a thin convenience
+over :mod:`repro.service.protocol`: it connects lazily, frames the
+message, and raises :class:`~repro.util.errors.ServiceError` when the
+daemon answers ``ok: false`` or hangs up mid-request.  Job *failures*
+are not client errors: a ``state: "failed"`` response comes back as
+data, exactly as received.
+
+>>> with ServiceClient("unix:/tmp/repro.sock") as client:
+...     reply = client.submit(source, proc="login", wait=True)
+...     reply["result"]["status"]
+'safe'
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+from repro.util.errors import ServiceError
+
+
+def wait_for_service(
+    address: str, timeout: float = 5.0, interval: float = 0.05
+) -> None:
+    """Block until a daemon answers ``ping`` at ``address`` (or raise).
+
+    The boot-ordering helper: ``repro serve`` binds its socket in a
+    subprocess, and callers (tests, scripts) need a moment of patience
+    before the first real request.
+    """
+    parsed = protocol.parse_address(address)
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            sock = protocol.connect_socket(parsed, timeout=interval * 4)
+        except OSError as exc:
+            last_error = exc
+            time.sleep(interval)
+            continue
+        sock.close()
+        return
+    raise ServiceError(
+        "no analysis service at %s after %.1fs (%s)"
+        % (address, timeout, last_error or "no connection attempt succeeded")
+    )
+
+
+class ServiceClient:
+    """A blocking NDJSON client bound to one service address."""
+
+    def __init__(self, address: str, timeout: Optional[float] = None):
+        self.address = address
+        self._parsed = protocol.parse_address(address)
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._wire = None
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            try:
+                self._sock = protocol.connect_socket(
+                    self._parsed, timeout=self._timeout
+                )
+            except OSError as exc:
+                raise ServiceError(
+                    "cannot reach analysis service at %s: %s" % (self.address, exc)
+                )
+            self._wire = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._wire is not None:
+            try:
+                self._wire.close()
+            except OSError:
+                pass
+            self._wire = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message and return the raw response dict.
+
+        Raises :class:`ServiceError` on transport problems (connection
+        refused, daemon hung up) but returns ``ok: false`` responses
+        as-is — use the verb helpers for checked calls.
+        """
+        self.connect()
+        assert self._wire is not None
+        try:
+            protocol.send_message(self._wire, message)
+            response = protocol.read_message(self._wire)
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise ServiceError(
+                "analysis service at %s dropped the connection: %s"
+                % (self.address, exc)
+            )
+        if response is None:
+            self.close()
+            raise ServiceError(
+                "analysis service at %s closed the connection mid-request"
+                % self.address
+            )
+        return response
+
+    def _checked(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ServiceError(
+                "service %s request failed: %s"
+                % (message.get("op"), response.get("error", "unknown error"))
+            )
+        return response
+
+    # -- verbs -------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._checked({"op": "ping"})
+
+    def submit(
+        self,
+        source: str,
+        proc: Optional[str] = None,
+        wait: bool = True,
+        priority: int = 0,
+        wait_timeout: Optional[float] = None,
+        **knobs: Any,
+    ) -> Dict[str, Any]:
+        """Submit one analysis job.  ``knobs`` are the
+        :data:`repro.core.blazer.JOB_FIELDS` configuration fields
+        (``domain``, ``observer``, ``threshold``, ``deadline``, ...)."""
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "source": source,
+            "wait": wait,
+            "priority": priority,
+        }
+        if proc is not None:
+            message["proc"] = proc
+        if wait_timeout is not None:
+            message["wait_timeout"] = wait_timeout
+        for name, value in knobs.items():
+            if value is not None:
+                message[name] = value
+        return self._checked(message)
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "status"}
+        if job is not None:
+            message["job"] = job
+        return self._checked(message)
+
+    def result(
+        self,
+        job: str,
+        wait: bool = False,
+        wait_timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "result", "job": job, "wait": wait}
+        if wait_timeout is not None:
+            message["wait_timeout"] = wait_timeout
+        return self._checked(message)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        response = self._checked({"op": "shutdown"})
+        self.close()
+        return response

@@ -1,0 +1,494 @@
+"""The analysis daemon: socket server + scheduler + worker pool.
+
+Structure (one process, cooperating threads)::
+
+    accept loop ──spawns──▶ connection handlers ──submit──▶ JobQueue
+                                                              │ pop
+    ResultStore (memory ▸ disk JSONL) ◀──put── worker threads ┘
+
+* **Connection handlers** parse NDJSON requests, answer ``submit`` from
+  the result store when they can (memory hit, then disk hit), coalesce
+  identical in-flight submissions onto one queued job, and otherwise
+  enqueue.  ``wait: true`` blocks the handler — not the daemon — on the
+  job's completion event.
+* **Worker threads** pop jobs by priority and run them through the same
+  crash-safety machinery as the benchmark suite: under
+  ``isolation="process"`` each job executes in a process pool and is
+  collected with :func:`repro.perf.parallel.collect_outcome` (a killed
+  worker process becomes that job's ``WorkerCrashed``, the pool is
+  rebuilt, the daemon lives); under the default ``isolation="thread"``
+  the job runs in the worker thread with per-job exception isolation.
+  Failed jobs retry serially under a
+  :class:`~repro.resilience.retry.RetryPolicy` via
+  :func:`~repro.resilience.retry.run_with_retries`.
+* **Budgets**: every job gets a per-job deadline — its own, or the
+  daemon's ``default_deadline`` — which becomes a cooperative
+  :class:`~repro.resilience.budget.Budget` inside the worker, so a
+  pathological request degrades to a sound "unknown" instead of
+  starving the queue.
+
+Failure semantics are the suite's, transplanted: one job's crash,
+injected fault, timeout, or budget exhaustion settles *that job* and
+nothing else (docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.perf.parallel import collect_outcome, process_pool_usable, resolve_jobs
+from repro.resilience.retry import RetryPolicy, run_with_retries
+from repro.service import protocol
+from repro.service.jobs import Job, JobQueue, fingerprint_job
+from repro.service.store import ResultStore
+from repro.service.worker import execute_job
+from repro.util.errors import ProtocolError, ReproError
+
+log = logging.getLogger(__name__)
+
+ISOLATIONS = ("thread", "process")
+
+VERDICTS_FILE = "verdicts.jsonl"
+BOUNDS_FILE = "bounds.jsonl"
+
+
+class ServiceStats:
+    """Monotonic daemon counters (one lock, snapshot on read)."""
+
+    FIELDS = (
+        "submitted",
+        "coalesced",
+        "hits_memory",
+        "hits_disk",
+        "executed",
+        "completed",
+        "failed",
+        "degraded",
+        "retried",
+        "rejected",
+        "connections",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self.FIELDS}
+        self.started_at = time.time()
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += n
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class AnalysisDaemon:
+    """A resident analysis service bound to one socket address.
+
+    ``address`` is a :func:`repro.service.protocol.parse_address` string
+    (``unix:/path`` or ``tcp:host:port``; TCP port 0 picks a free port —
+    read the bound one back from :attr:`address`).  ``cache_dir``
+    enables the persistent tiers: completed verdicts in
+    ``verdicts.jsonl`` and trail-keyed bound results in ``bounds.jsonl``
+    (handed to every worker as the driver's disk cache).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        isolation: str = "thread",
+        retries: int = 0,
+        default_deadline: Optional[float] = None,
+        task_timeout: Optional[float] = None,
+        default_priority: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        if isolation not in ISOLATIONS:
+            raise ValueError(
+                "unknown isolation %r (expected one of %s)" % (isolation, ISOLATIONS)
+            )
+        if isolation == "process" and not process_pool_usable():
+            log.warning(
+                "process isolation requested but process pools are unusable "
+                "on this platform; degrading to thread isolation"
+            )
+            isolation = "thread"
+        self._requested_address = protocol.parse_address(address)
+        self.workers = resolve_jobs(workers)
+        self.isolation = isolation
+        self._task_timeout = task_timeout
+        self._default_deadline = default_deadline
+        self._default_priority = default_priority
+        self._policy = retry_policy or RetryPolicy(retries=retries)
+        self._cache_dir = cache_dir
+        self._bounds_path: Optional[str] = None
+        store_path: Optional[str] = None
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+            store_path = os.path.join(cache_dir, VERDICTS_FILE)
+            self._bounds_path = os.path.join(cache_dir, BOUNDS_FILE)
+        self.queue = JobQueue()
+        self.store = ResultStore(store_path)
+        self.stats = ServiceStats()
+        self._server: Optional[socket.socket] = None
+        self._bound_address: Optional[protocol.Address] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The bound address string (clients connect here)."""
+        bound = self._bound_address or self._requested_address
+        return protocol.format_address(bound)
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped.is_set()
+
+    def start(self) -> "AnalysisDaemon":
+        """Bind the socket and start the accept + worker threads."""
+        if self._started:
+            raise ReproError("daemon already started")
+        self._started = True
+        addr = self._requested_address
+        if addr[0] == "unix" and os.path.exists(addr[1]):
+            # A leftover socket file from a dead daemon refuses binds;
+            # a live daemon holds it open, so only remove stale ones.
+            if self._socket_stale(addr):
+                os.unlink(addr[1])
+        self._server = protocol.bind_socket(addr)
+        self._server.settimeout(0.2)
+        if addr[0] == "tcp":
+            host, port = self._server.getsockname()[:2]
+            self._bound_address = ("tcp", addr[1], port)
+        else:
+            self._bound_address = addr
+        if self.isolation == "process":
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name="repro-worker-%d" % index, daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        log.info(
+            "analysis daemon listening on %s (%d worker(s), %s isolation)",
+            self.address,
+            self.workers,
+            self.isolation,
+        )
+        return self
+
+    @staticmethod
+    def _socket_stale(addr: protocol.Address) -> bool:
+        try:
+            probe = protocol.connect_socket(addr, timeout=0.2)
+        except OSError:
+            return True
+        probe.close()
+        return False
+
+    def stop(self) -> None:
+        """Orderly shutdown: close the queue, join workers, unbind."""
+        if self._stopped.is_set():
+            return
+        self._stopping.set()
+        self.queue.close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._server is not None:
+            try:
+                self._server.close()
+            finally:
+                self._server = None
+        bound = self._bound_address
+        if bound is not None and bound[0] == "unix":
+            try:
+                os.unlink(bound[1])
+            except OSError:
+                pass
+        self._stopped.set()
+        log.info("analysis daemon on %s stopped", self.address)
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (a ``shutdown`` request, or SIGINT
+        in the caller)."""
+        if not self._started:
+            self.start()
+        try:
+            while not self._stopping.wait(0.2):
+                pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "AnalysisDaemon":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept / connection handling --------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            server = self._server
+            if server is None:
+                return
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed under us during stop()
+            self.stats.bump("connections")
+            handler = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        wire = conn.makefile("rwb")
+        try:
+            while True:
+                try:
+                    message = protocol.read_message(wire)
+                except ProtocolError as exc:
+                    protocol.send_message(
+                        wire, protocol.error_response("?", str(exc))
+                    )
+                    return
+                if message is None:
+                    return
+                if not message:
+                    continue
+                response = self._dispatch(message)
+                protocol.send_message(wire, response)
+                if message.get("op") == "shutdown":
+                    return
+        except (OSError, ValueError):
+            pass  # client went away mid-message; nothing to salvage
+        finally:
+            try:
+                wire.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- request dispatch ---------------------------------------------------
+
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op not in protocol.OPS:
+            self.stats.bump("rejected")
+            return protocol.error_response(
+                str(op), "unknown op %r (expected one of %s)" % (op, protocol.OPS)
+            )
+        try:
+            if op == "ping":
+                return protocol.ok_response("ping", address=self.address)
+            if op == "submit":
+                return self._handle_submit(message)
+            if op == "status":
+                return self._handle_status(message)
+            if op == "result":
+                return self._handle_result(message)
+            if op == "stats":
+                return self._handle_stats()
+            return self._handle_shutdown()
+        except ReproError as exc:
+            self.stats.bump("rejected")
+            return protocol.error_response(op, str(exc))
+
+    def _job_response(self, job: Job, **fields: Any) -> Dict[str, Any]:
+        response = protocol.ok_response("submit", **job.snapshot())
+        if job.state == "done":
+            response["result"] = job.result
+        response.update(fields)
+        return response
+
+    def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        payload = {
+            k: message[k] for k in ("source", "proc") if message.get(k) is not None
+        }
+        from repro.core.blazer import JOB_FIELDS
+
+        for knob in JOB_FIELDS:
+            if knob not in payload and message.get(knob) is not None:
+                payload[knob] = message[knob]
+        key, proc = fingerprint_job(payload)  # validates; raises ReproError
+        payload["proc"] = proc  # normalized for display and fault matching
+        self.stats.bump("submitted")
+        cached, tier = self.store.get(key)
+        if cached is not None:
+            self.stats.bump("hits_memory" if tier == "memory" else "hits_disk")
+            return protocol.ok_response(
+                "submit", key=key, state="done", cached=tier, result=cached
+            )
+        deadline = payload.get("deadline", self._default_deadline)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if self._bounds_path is not None:
+            payload["disk_cache"] = self._bounds_path
+        priority = int(message.get("priority", self._default_priority))
+        job, coalesced = self.queue.submit(
+            payload, key, priority=priority, deadline=deadline
+        )
+        if coalesced:
+            self.stats.bump("coalesced")
+        if message.get("wait", True):
+            timeout = message.get("wait_timeout")
+            if not job.done.wait(None if timeout is None else float(timeout)):
+                return self._job_response(job, coalesced=coalesced, timed_out=True)
+        return self._job_response(job, coalesced=coalesced)
+
+    def _handle_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job")
+        if job_id is not None:
+            job = self.queue.get(str(job_id))
+            if job is None:
+                return protocol.error_response("status", "no job %r" % job_id)
+            return protocol.ok_response("status", **job.snapshot())
+        jobs = self.queue.jobs()
+        return protocol.ok_response(
+            "status",
+            address=self.address,
+            workers=self.workers,
+            isolation=self.isolation,
+            queue_depth=self.queue.depth(),
+            jobs=[j.snapshot() for j in jobs[-50:]],
+        )
+
+    def _handle_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job")
+        if job_id is None:
+            return protocol.error_response("result", "result needs a 'job' id")
+        job = self.queue.get(str(job_id))
+        if job is None:
+            return protocol.error_response("result", "no job %r" % job_id)
+        if message.get("wait") and not job.settled:
+            timeout = message.get("wait_timeout")
+            job.done.wait(None if timeout is None else float(timeout))
+        response = protocol.ok_response("result", **job.snapshot())
+        if job.state == "done":
+            response["result"] = job.result
+        return response
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        counters = self.stats.snapshot()
+        return protocol.ok_response(
+            "stats",
+            address=self.address,
+            workers=self.workers,
+            isolation=self.isolation,
+            uptime_seconds=round(time.time() - self.stats.started_at, 3),
+            queue_depth=self.queue.depth(),
+            store=self.store.stats(),
+            **counters,
+        )
+
+    def _handle_shutdown(self) -> Dict[str, Any]:
+        log.info("shutdown requested over the wire")
+        self._stopping.set()
+        self.queue.close()
+        return protocol.ok_response("shutdown", stopping=True)
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                self._run_job(job)
+            except BaseException:  # a worker thread must never die silently
+                log.exception("worker loop failed on %s", job.id)
+                if not job.settled:
+                    self.queue.finish(job, error="internal worker failure")
+
+    def _execute_once(self, job: Job) -> Any:
+        """One execution attempt → result dict or Exception instance."""
+        self.stats.bump("executed")
+        if self._pool is not None:
+            future = self._pool.submit(execute_job, job.payload)
+            outcome, timed_out = collect_outcome(
+                future, label=job.id, task_timeout=self._task_timeout
+            )
+            if timed_out or isinstance(outcome, Exception) and self._pool_broken():
+                self._rebuild_pool()
+            return outcome
+        try:
+            return execute_job(job.payload)
+        except KeyboardInterrupt as exc:
+            # An injected interrupt in a worker thread is a job failure,
+            # not a daemon signal (real SIGINT lands on the main thread).
+            return exc
+        except Exception as exc:
+            return exc
+
+    def _pool_broken(self) -> bool:
+        pool = self._pool
+        return pool is not None and getattr(pool, "_broken", False)
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def _run_job(self, job: Job) -> None:
+        job.attempts = 1
+        outcome = self._execute_once(job)
+        if isinstance(outcome, Exception) and self._policy.retries:
+            self.stats.bump("retried")
+            try:
+                outcome, attempts = run_with_retries(
+                    execute_job, job.payload, self._policy, outcome, label=job.id
+                )
+                job.attempts += attempts
+            except ReproError as exc:  # WorkerCrashed after exhausted retries
+                outcome = exc
+            except KeyboardInterrupt as exc:
+                outcome = exc
+        if isinstance(outcome, BaseException):
+            self.stats.bump("failed")
+            self.queue.finish(
+                job, error="%s: %s" % (type(outcome).__name__, outcome)
+            )
+            return
+        self.stats.bump("completed")
+        if outcome.get("degraded"):
+            self.stats.bump("degraded")
+        self.store.put(job.key, outcome)
+        self.queue.finish(job, result=outcome)

@@ -1,0 +1,227 @@
+"""Jobs, request fingerprints, and the coalescing priority queue.
+
+A *job* is one analysis request in flight.  Its identity for
+deduplication is :func:`job_key` — a content fingerprint, not the raw
+request text: the structural part reuses
+:func:`repro.perf.fingerprint.cfg_fingerprint` over the compiled CFG of
+the requested procedure, so two submissions that differ only in
+formatting or comments (or that reach an identical CFG from different
+spellings) coalesce onto a single Blazer execution.  The configuration
+knobs that can change the outcome (domain, observer, bit width, budget
+limits — :data:`repro.core.blazer.JOB_FIELDS`) are hashed alongside, so
+a 5-second-deadline request never collides with an unbudgeted one.
+
+:class:`JobQueue` is the scheduler's heart: a priority heap (higher
+``priority`` first, FIFO within a priority) under one condition
+variable.  ``submit`` returns an existing queued/running job when the
+key matches — *coalescing*: the duplicate submission costs a dict
+lookup, both waiters get the same result object, and the daemon counts
+it.  Completed jobs leave the active index, so a resubmission after
+completion is answered by the result store tiers instead
+(:mod:`repro.service.store`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.blazer import JOB_FIELDS, resolve_proc
+from repro.util.errors import ReproError
+
+# Job lifecycle: queued → running → done | failed.
+STATES = ("queued", "running", "done", "failed")
+
+
+def job_key(payload: Dict[str, Any]) -> str:
+    """The content fingerprint identical submissions share."""
+    return fingerprint_job(payload)[0]
+
+
+def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
+    """``(key, proc)``: the content fingerprint identical submissions
+    share, plus the procedure it resolved to.
+
+    Compiles the payload's program and fingerprints the requested
+    procedure's CFG plus every outcome-relevant knob.  Raises
+    :class:`~repro.util.errors.ReproError` when the program is
+    malformed or the procedure does not exist — submit-time validation,
+    so a bad request fails its sender instead of a worker.
+    """
+    from repro.bytecode import compile_program, verify_module
+    from repro.ir import lift_module
+    from repro.lang import frontend
+    from repro.perf.fingerprint import cfg_fingerprint
+
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ReproError("job payload needs a non-empty 'source'")
+    module = compile_program(frontend(source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    proc = resolve_proc(cfgs, payload.get("proc"))
+    h = hashlib.sha256()
+    h.update(cfg_fingerprint(cfgs[proc]).encode("ascii"))
+    knobs = {
+        k: payload.get(k)
+        for k in JOB_FIELDS
+        if k not in ("source", "proc") and payload.get(k) is not None
+    }
+    h.update(json.dumps(knobs, sort_keys=True, separators=(",", ":")).encode("utf-8"))
+    return h.hexdigest(), proc
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record."""
+
+    id: str
+    key: str
+    payload: Dict[str, Any]
+    priority: int = 0
+    deadline: Optional[float] = None  # per-job wall-clock Budget seconds
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 0  # execution attempts consumed (1 = no retries)
+    waiters: int = 1  # submissions coalesced onto this job
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def settled(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The JSON-safe view the ``status`` verb returns."""
+        out: Dict[str, Any] = {
+            "job": self.id,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "proc": self.payload.get("proc"),
+            "waiters": self.waiters,
+            "attempts": self.attempts,
+            "submitted_at": round(self.submitted_at, 6),
+        }
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.started_at is not None:
+            out["started_at"] = round(self.started_at, 6)
+        if self.finished_at is not None:
+            out["finished_at"] = round(self.finished_at, 6)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """Priority queue of jobs with in-flight deduplication.
+
+    Thread-safe; one lock + condition covers the heap and the indexes.
+    ``submit`` coalesces onto an *active* (queued or running) job with
+    the same key; settled jobs never absorb new submissions — result
+    reuse after completion is the store's business, not the queue's.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, job id)
+        self._seq = 0
+        self._jobs: Dict[str, Job] = {}
+        self._active: Dict[str, Job] = {}  # key → queued/running job
+        self._closed = False
+        self.coalesced = 0
+
+    def submit(
+        self,
+        payload: Dict[str, Any],
+        key: str,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> Tuple[Job, bool]:
+        """Enqueue a job (or coalesce).  Returns ``(job, coalesced)``."""
+        with self._cond:
+            if self._closed:
+                raise ReproError("job queue is closed")
+            existing = self._active.get(key)
+            if existing is not None:
+                existing.waiters += 1
+                self.coalesced += 1
+                return existing, True
+            self._seq += 1
+            job = Job(
+                id="job-%d" % self._seq,
+                key=key,
+                payload=payload,
+                priority=priority,
+                deadline=deadline,
+            )
+            self._jobs[job.id] = job
+            self._active[key] = job
+            heapq.heappush(self._heap, (-priority, self._seq, job.id))
+            self._cond.notify()
+            return job, False
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """The highest-priority queued job, marked running; None on
+        timeout or when the queue has been closed and drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._cond.wait(remaining)
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs[job_id]
+            job.state = "running"
+            job.started_at = time.time()
+            return job
+
+    def finish(
+        self,
+        job: Job,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Settle a job: exactly one of ``result`` / ``error``."""
+        with self._cond:
+            job.result = result
+            job.error = error
+            job.state = "failed" if error is not None else "done"
+            job.finished_at = time.time()
+            if self._active.get(job.key) is job:
+                del self._active[job.key]
+        job.done.set()
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def depth(self) -> int:
+        """Queued (not yet running) jobs."""
+        with self._lock:
+            return len(self._heap)
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake every blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

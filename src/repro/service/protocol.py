@@ -1,0 +1,205 @@
+"""The service wire protocol: newline-delimited JSON over a socket.
+
+One request per line, one response per line, always in order — no
+framing headers, no multiplexing, nothing a shell one-liner or a
+language without our client can't speak::
+
+    {"op": "submit", "source": "proc f(...) {...}", "wait": true}
+    {"ok": true, "op": "submit", "job": "job-1", "state": "done", ...}
+
+Verbs (full field reference in docs/SERVICE.md):
+
+``submit``
+    enqueue an analysis job (or coalesce onto an identical in-flight
+    one, or answer straight from the result store); ``wait`` blocks the
+    connection until the job settles.
+``status``
+    one job's state, or the queue/worker overview when no job is named.
+``result``
+    a settled job's result; ``wait`` blocks until it settles.
+``stats``
+    daemon counters (submissions, coalesced, cache tiers, failures).
+``ping`` / ``shutdown``
+    liveness probe / orderly stop.
+
+Responses always carry ``ok``; protocol-level failures (unknown verb,
+malformed JSON, bad request) come back as ``{"ok": false, "error": ...}``
+— job *failures* are data, not protocol errors, and arrive with
+``ok: true, state: "failed"``.
+
+Addresses are strings so they fit CLI flags and config files:
+``unix:/path/to.sock`` (or any bare path containing ``/``) and
+``tcp:host:port`` (or bare ``host:port``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.util.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+# A line longer than this is a protocol violation, not a big request —
+# it protects the daemon from unframed garbage on the socket.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+OPS = ("submit", "status", "result", "stats", "ping", "shutdown")
+
+Address = Union[Tuple[str, str], Tuple[str, str, int]]  # ("unix", path) | ("tcp", host, port)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as one JSON line (compact, key-sorted, ``\\n``-terminated)."""
+    try:
+        text = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("unencodable message: %s" % exc)
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("message exceeds %d bytes" % MAX_LINE_BYTES)
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("malformed message line: %s" % exc)
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "message must be a JSON object, got %s" % type(message).__name__
+        )
+    return message
+
+
+def send_message(wire, message: Dict[str, Any]) -> None:
+    """Write one message to a file-like binary wire and flush it."""
+    wire.write(encode_message(message))
+    wire.flush()
+
+
+def read_message(wire) -> Optional[Dict[str, Any]]:
+    """Read one message; None on a cleanly closed connection (EOF)."""
+    line = wire.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if not line.endswith(b"\n") and len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("message exceeds %d bytes" % MAX_LINE_BYTES)
+    line = line.strip()
+    if not line:
+        return {}
+    return decode_message(line)
+
+
+# -- responses ---------------------------------------------------------------
+
+
+def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
+    response = {"ok": True, "op": op, "v": PROTOCOL_VERSION}
+    response.update(fields)
+    return response
+
+
+def error_response(op: str, message: str, **fields: Any) -> Dict[str, Any]:
+    response = {"ok": False, "op": op, "v": PROTOCOL_VERSION, "error": message}
+    response.update(fields)
+    return response
+
+
+# -- addresses ---------------------------------------------------------------
+
+
+def parse_address(text: str) -> Address:
+    """Parse an address string into ``("unix", path)`` or
+    ``("tcp", host, port)``."""
+    text = text.strip()
+    if not text:
+        raise ProtocolError("empty service address")
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise ProtocolError("unix address needs a socket path")
+        return ("unix", path)
+    if text.startswith("tcp:"):
+        rest = text[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ProtocolError("tcp address must be tcp:host:port, got %r" % text)
+        return ("tcp", host, _port(port, text))
+    if "/" in text or text.endswith(".sock"):
+        return ("unix", text)
+    host, sep, port = text.rpartition(":")
+    if sep and host:
+        return ("tcp", host, _port(port, text))
+    raise ProtocolError(
+        "cannot parse service address %r (want unix:/path, tcp:host:port, "
+        "a socket path, or host:port)" % text
+    )
+
+
+def _port(value: str, text: str) -> int:
+    try:
+        port = int(value)
+    except ValueError:
+        raise ProtocolError("bad port in service address %r" % text)
+    if not 0 <= port <= 65535:
+        raise ProtocolError("port out of range in service address %r" % text)
+    return port
+
+
+def format_address(address: Address) -> str:
+    if address[0] == "unix":
+        return "unix:%s" % address[1]
+    return "tcp:%s:%d" % (address[1], address[2])
+
+
+def unix_supported() -> bool:
+    return hasattr(socket, "AF_UNIX")
+
+
+def bind_socket(address: Address, backlog: int = 32) -> socket.socket:
+    """Create, bind, and listen on a server socket for ``address``."""
+    if address[0] == "unix":
+        if not unix_supported():  # pragma: no cover - non-POSIX
+            raise ProtocolError("unix sockets are not supported on this platform")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.bind(address[1])
+        except OSError:
+            server.close()
+            raise
+    else:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((address[1], address[2]))
+        except OSError:
+            server.close()
+            raise
+    server.listen(backlog)
+    return server
+
+
+def connect_socket(address: Address, timeout: Optional[float] = None) -> socket.socket:
+    """A connected client socket for ``address``."""
+    if address[0] == "unix":
+        if not unix_supported():  # pragma: no cover - non-POSIX
+            raise ProtocolError("unix sockets are not supported on this platform")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        target: Any = address[1]
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        target = (address[1], address[2])
+    sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except OSError:
+        sock.close()
+        raise
+    return sock

@@ -1,0 +1,78 @@
+"""The daemon's result store: a memory tier over the persistent tier.
+
+``get`` answers from process memory first (free), then from the
+disk-backed :class:`~repro.perf.disktier.DiskTier` (checksum-verified
+JSONL — survives daemon restarts and is shared across worker
+processes), promoting disk hits into memory.  ``put`` writes through.
+
+What is cached is a *policy* decision made here, once: only settled
+results that are **not degraded** persist.  A degraded verdict says "a
+budget ran out", which is a fact about that request's deadline, not
+about the program — serving it to a patient caller would waste their
+larger budget.  Failed jobs are never cached for the same reason:
+crashes and injected faults are circumstances, not answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.perf.disktier import DiskTier
+
+
+def cacheable(result: Dict[str, Any]) -> bool:
+    """May this job result be served to future identical requests?"""
+    return not result.get("degraded", False)
+
+
+class ResultStore:
+    """Two result tiers behind one ``get``/``put`` pair."""
+
+    def __init__(self, path: Optional[str] = None):
+        self._lock = threading.Lock()
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._disk = DiskTier(path) if path else None
+
+    @property
+    def disk_path(self) -> Optional[str]:
+        return self._disk.path if self._disk is not None else None
+
+    def get(self, key: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """``(result, tier)`` where tier is ``"memory"``/``"disk"``/None."""
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                return result, "memory"
+            if self._disk is not None:
+                payload = self._disk.get(key)
+                if isinstance(payload, dict):
+                    self._memory[key] = payload
+                    return payload, "disk"
+            return None, None
+
+    def put(self, key: str, result: Dict[str, Any]) -> bool:
+        """Write through both tiers; False when the result is not
+        cacheable (degraded) and was dropped."""
+        if not cacheable(result):
+            return False
+        with self._lock:
+            self._memory[key] = result
+            if self._disk is not None:
+                self._disk.put(key, result)
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = {"memory_entries": len(self._memory)}
+            if self._disk is not None:
+                out["disk_entries"] = len(self._disk)
+                out["disk_quarantined"] = self._disk.quarantined
+                out["disk_path"] = self._disk.path
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            if self._disk is not None:
+                self._disk.clear()

@@ -1,0 +1,28 @@
+"""The worker-side job body: what one analysis job actually runs.
+
+Module-level and picklable on purpose — under ``isolation="process"``
+the daemon ships ``execute_job`` to a pool worker by name, exactly like
+:func:`repro.benchsuite.runner.run_benchmark`.  The heavy objects
+(driver, partition tree) never cross back: the return value is the
+JSON-safe result dict of :func:`repro.core.blazer.analyze_job`.
+
+The entry fires the ``worker.run`` fault site (keyed by the job's
+procedure name, falling back to the request key), so the deterministic
+chaos harness of docs/RESILIENCE.md can crash or fail exactly one
+service job: ``REPRO_FAULTS=worker.run:error:match=<proc>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.blazer import analyze_job
+from repro.resilience import faults
+
+
+def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job payload to a result dict (the pool-worker function)."""
+    faults.maybe_fire(
+        "worker.run", key=str(payload.get("proc") or payload.get("key") or "")
+    )
+    return analyze_job(payload)

@@ -157,6 +157,21 @@ class SuiteInterrupted(ResilienceError):
         self.completed = list(completed) if completed is not None else []
 
 
+class ServiceError(ReproError):
+    """The analysis service (docs/SERVICE.md) failed on the client side.
+
+    Raised by :class:`~repro.service.client.ServiceClient` for
+    connection failures and for requests the daemon rejected
+    (``{"ok": false}`` responses).  Job *failures* are not errors at
+    this level: a submitted job that crashed comes back as a normal
+    response with ``state == "failed"``.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed message on the service's NDJSON wire protocol."""
+
+
 class AutomatonError(ReproError):
     """An automata-library operation was used incorrectly."""
 

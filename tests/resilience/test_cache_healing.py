@@ -81,3 +81,63 @@ class TestQuarantine:
             assert cache.derived("cat", ("k",), lambda: [1]) == [1]
             assert cache.derived("cat", ("k",), lambda: [2]) == [2]
             assert len(cache) == 0
+
+
+class TestClearResetsQuarantine:
+    def test_clear_zeroes_counter_and_stats_event(self):
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            cache = AnalysisCache(stats=stats)
+            cache.derived("cat", ("k",), lambda: "v")
+            faults.install(FaultPlan([parse_spec("cache.get:corrupt")]))
+            cache.derived("cat", ("k",), lambda: "recomputed")
+            faults.clear()
+            assert cache.quarantined == 1
+            assert stats.events_snapshot().get("cache.quarantine") == 1
+            cache.clear()
+            assert len(cache) == 0
+            assert cache.quarantined == 0
+            assert stats.events_snapshot().get("cache.quarantine") is None
+
+    def test_clear_leaves_other_events_alone(self):
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            stats.event("unrelated.event")
+            AnalysisCache(stats=stats).clear()
+            assert stats.events_snapshot().get("unrelated.event") == 1
+
+
+class TestDiskBackedBounds:
+    class FakeTrail:
+        def fingerprint(self):
+            return "fp"
+
+    def test_disk_hit_across_cache_instances(self, tmp_path):
+        from repro.perf.disktier import DiskTier
+
+        path = str(tmp_path / "bounds.jsonl")
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            warm = AnalysisCache(stats=stats, disk=DiskTier(path, stats=stats))
+            assert warm.bound_result(self.FakeTrail(), lambda: [10]) == [10]
+            # A fresh cache (fresh driver, maybe a fresh process) warms
+            # up from the shared disk tier instead of recomputing.
+            cold = AnalysisCache(stats=stats, disk=DiskTier(path, stats=stats))
+            assert cold.bound_result(self.FakeTrail(), lambda: ["MISS"]) == [10]
+            snap = stats.snapshot()
+            # One disk miss (the cold write) and one disk hit (the warm read).
+            assert snap["bound.disk"] == (1, 1)
+
+    def test_clear_leaves_disk_tier_alone(self, tmp_path):
+        from repro.perf.disktier import DiskTier
+
+        path = str(tmp_path / "bounds.jsonl")
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            cache = AnalysisCache(stats=stats, disk=DiskTier(path, stats=stats))
+            cache.bound_result(self.FakeTrail(), lambda: [10])
+            cache.clear()
+            assert len(cache) == 0
+            # The persistent tier outlives the driver by design.
+            again = AnalysisCache(stats=stats, disk=DiskTier(path, stats=stats))
+            assert again.bound_result(self.FakeTrail(), lambda: ["MISS"]) == [10]

@@ -1,0 +1,1 @@
+"""Tests for the analysis service (daemon, queue, protocol, client)."""

@@ -1,0 +1,298 @@
+"""The daemon end to end: coalescing, persistence, crash isolation.
+
+These run the real socket server in-process (daemon threads) against
+real Blazer analyses of tiny programs, so they exercise the acceptance
+path of docs/SERVICE.md: one execution for concurrent identical
+submissions, disk-tier hits across restarts, and injected worker faults
+failing exactly one job.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, parse_spec
+from repro.service import AnalysisDaemon, ServiceClient
+from repro.service.protocol import unix_supported
+from repro.service.store import ResultStore, cacheable
+
+SAFE_SRC = """
+proc check(secret pin: int, public attempts: uint): int {
+    var i: int = 0;
+    while (i < attempts) { i = i + 1; }
+    return i;
+}
+"""
+
+LEAKY_SRC = """
+proc check(secret pin: int, public attempts: uint): bool {
+    if (pin == 1234) {
+        var i: int = 0;
+        while (i < attempts) { i = i + 1; }
+        return true;
+    }
+    return false;
+}
+"""
+
+FILLER_SRC = "proc filler(public x: int): int { return x; }\n"
+BOOM_SRC = "proc boom(public x: int): int { return x; }\n"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _address(tmp_path):
+    if unix_supported():
+        return "unix:%s" % (tmp_path / "svc.sock")
+    return "tcp:127.0.0.1:0"  # pragma: no cover - non-POSIX
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    started = []
+
+    def boot(**kwargs):
+        d = AnalysisDaemon(_address(tmp_path), **kwargs).start()
+        started.append(d)
+        return d
+
+    yield boot
+    for d in started:
+        d.stop()
+
+
+class TestBasics:
+    def test_ping_status_stats(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            assert client.ping()["ok"]
+            status = client.status()
+            assert status["workers"] == 1
+            assert status["queue_depth"] == 0
+            stats = client.stats()
+            assert stats["submitted"] == 0
+            assert stats["uptime_seconds"] >= 0
+
+    def test_submit_and_result_verbs(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            reply = client.submit(SAFE_SRC, wait=True)
+            assert reply["state"] == "done"
+            assert reply["result"]["status"] == "safe"
+            again = client.result(reply["job"])
+            assert again["result"]["digest"] == reply["result"]["digest"]
+
+    def test_memory_hit_on_resubmission(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            first = client.submit(SAFE_SRC, wait=True)
+            second = client.submit(SAFE_SRC, wait=True)
+            assert second["cached"] == "memory"
+            assert second["result"]["digest"] == first["result"]["digest"]
+            assert client.stats()["executed"] == 1
+
+    def test_bad_program_rejected_at_submit(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            response = client.request({"op": "submit", "source": "proc oops("})
+            assert response["ok"] is False
+            assert client.stats()["executed"] == 0
+
+    def test_unknown_op_rejected(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            response = client.request({"op": "frobnicate"})
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]
+
+    def test_tcp_address_reports_bound_port(self):
+        d = AnalysisDaemon("tcp:127.0.0.1:0", workers=1).start()
+        try:
+            assert not d.address.endswith(":0")
+            with ServiceClient(d.address) as client:
+                assert client.ping()["ok"]
+        finally:
+            d.stop()
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_run_once(self, daemon):
+        """Acceptance: two concurrent identical submissions → exactly one
+        Blazer execution, digest-identical verdicts for both."""
+        d = daemon(workers=1)
+        # Pin the single worker on a filler job long enough for both
+        # real submissions to be in flight together.
+        faults.install(FaultPlan([parse_spec("worker.run:delay=0.8:match=filler")]))
+        with ServiceClient(d.address) as warm:
+            warm.submit(FILLER_SRC, wait=False)
+        replies = []
+
+        def submit():
+            with ServiceClient(d.address) as client:
+                replies.append(client.submit(SAFE_SRC, wait=True))
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(replies) == 2
+        assert all(r["state"] == "done" for r in replies)
+        digests = {r["result"]["digest"] for r in replies}
+        assert len(digests) == 1
+        assert replies[0]["job"] == replies[1]["job"]
+        with ServiceClient(d.address) as client:
+            stats = client.stats()
+        assert stats["executed"] == 2  # filler + ONE coalesced execution
+        assert stats["coalesced"] == 1
+
+    def test_coalesced_job_counts_waiters(self, daemon):
+        d = daemon(workers=1)
+        faults.install(FaultPlan([parse_spec("worker.run:delay=0.8:match=filler")]))
+        with ServiceClient(d.address) as client:
+            client.submit(FILLER_SRC, wait=False)
+            first = client.submit(SAFE_SRC, wait=False)
+            second = client.submit(SAFE_SRC, wait=False)
+            assert first["job"] == second["job"]
+            assert second["coalesced"] is True
+            assert second["waiters"] == 2
+            final = client.result(first["job"], wait=True, wait_timeout=30.0)
+            assert final["state"] == "done"
+
+
+class TestPersistence:
+    def test_restart_serves_from_disk_without_rerunning(self, daemon, tmp_path):
+        """Acceptance: after a daemon restart, resubmission is served
+        from the persistent cache tier with zero executions."""
+        cache_dir = str(tmp_path / "cache")
+        d1 = daemon(workers=1, cache_dir=cache_dir)
+        with ServiceClient(d1.address) as client:
+            first = client.submit(SAFE_SRC, wait=True)
+            assert first["state"] == "done"
+        d1.stop()
+
+        d2 = daemon(workers=1, cache_dir=cache_dir)
+        with ServiceClient(d2.address) as client:
+            second = client.submit(SAFE_SRC, wait=True)
+            assert second["cached"] == "disk"
+            assert second["result"]["digest"] == first["result"]["digest"]
+            stats = client.stats()
+            assert stats["executed"] == 0
+            assert stats["hits_disk"] == 1
+
+    def test_degraded_results_are_not_cached(self, daemon, tmp_path):
+        d = daemon(workers=1, cache_dir=str(tmp_path / "cache"))
+        with ServiceClient(d.address) as client:
+            first = client.submit(SAFE_SRC, wait=True, max_steps=1)
+            assert first["result"]["degraded"] is True
+            second = client.submit(SAFE_SRC, wait=True, max_steps=1)
+            assert second.get("cached") is None  # re-analyzed, not served stale
+            assert client.stats()["executed"] == 2
+
+
+class TestCrashIsolation:
+    def test_injected_fault_fails_only_that_job(self, daemon):
+        """Acceptance: a worker.run fault fails the affected job while
+        the daemon keeps serving everything else."""
+        d = daemon(workers=1)
+        faults.install(FaultPlan([parse_spec("worker.run:error:match=boom")]))
+        with ServiceClient(d.address) as client:
+            doomed = client.submit(BOOM_SRC, wait=True)
+            assert doomed["state"] == "failed"
+            assert "InjectedFault" in doomed["error"]
+            healthy = client.submit(SAFE_SRC, wait=True)
+            assert healthy["state"] == "done"
+            assert healthy["result"]["status"] == "safe"
+            stats = client.stats()
+            assert stats["failed"] == 1 and stats["completed"] == 1
+            assert client.ping()["ok"]
+
+    def test_failed_jobs_are_not_cached(self, daemon):
+        d = daemon(workers=1)
+        faults.install(FaultPlan([parse_spec("worker.run:error:once:match=boom")]))
+        with ServiceClient(d.address) as client:
+            assert client.submit(BOOM_SRC, wait=True)["state"] == "failed"
+            # The fault was once-only: a resubmission re-executes (no
+            # poisoned cache entry) and succeeds.
+            retry = client.submit(BOOM_SRC, wait=True)
+            assert retry["state"] == "done"
+            assert retry.get("cached") is None
+
+    def test_retry_policy_heals_transient_faults(self, daemon):
+        d = daemon(workers=1, retries=1)
+        faults.install(FaultPlan([parse_spec("worker.run:error:once:match=boom")]))
+        with ServiceClient(d.address) as client:
+            reply = client.submit(BOOM_SRC, wait=True)
+            assert reply["state"] == "done"
+            assert reply["attempts"] == 2
+            assert client.stats()["retried"] == 1
+
+    def test_process_isolation_survives_real_worker_crash(
+        self, daemon, monkeypatch
+    ):
+        """Acceptance, the hard way: REPRO_FAULTS worker.run:crash makes
+        the pool worker ``os._exit`` mid-job.  The job fails as a
+        WorkerCrashed, the pool is rebuilt, the daemon keeps serving."""
+        from repro.perf.parallel import process_pool_usable
+
+        if not process_pool_usable():
+            pytest.skip("process pools unusable on this platform")
+        monkeypatch.setenv("REPRO_FAULTS", "worker.run:crash:match=boom")
+        d = daemon(workers=1, isolation="process")
+        with ServiceClient(d.address) as client:
+            doomed = client.submit(BOOM_SRC, wait=True)
+            assert doomed["state"] == "failed"
+            assert "WorkerCrashed" in doomed["error"]
+            healthy = client.submit(SAFE_SRC, wait=True)
+            assert healthy["state"] == "done"
+            assert healthy["result"]["status"] == "safe"
+
+    def test_interrupt_fault_fails_job_not_daemon(self, daemon):
+        d = daemon(workers=1)
+        faults.install(FaultPlan([parse_spec("worker.run:interrupt:match=boom")]))
+        with ServiceClient(d.address) as client:
+            doomed = client.submit(BOOM_SRC, wait=True)
+            assert doomed["state"] == "failed"
+            assert client.ping()["ok"]
+
+
+class TestShutdown:
+    def test_shutdown_verb_stops_daemon(self, daemon):
+        d = daemon(workers=1)
+        with ServiceClient(d.address) as client:
+            assert client.shutdown()["stopping"] is True
+        deadline = threading.Event()
+        deadline.wait(0.1)
+        d.stop()  # idempotent with the wire-initiated stop
+        assert not d.running
+
+
+class TestResultStore:
+    def test_memory_then_disk_promotion(self, tmp_path):
+        path = str(tmp_path / "verdicts.jsonl")
+        store = ResultStore(path)
+        store.put("k", {"status": "safe", "degraded": False})
+        fresh = ResultStore(path)
+        result, tier = fresh.get("k")
+        assert tier == "disk" and result["status"] == "safe"
+        _, tier2 = fresh.get("k")
+        assert tier2 == "memory"  # promoted on first disk hit
+
+    def test_degraded_results_dropped(self, tmp_path):
+        store = ResultStore(str(tmp_path / "verdicts.jsonl"))
+        assert store.put("k", {"status": "unknown", "degraded": True}) is False
+        assert store.get("k") == (None, None)
+        assert not cacheable({"degraded": True})
+        assert cacheable({"status": "safe", "degraded": False})
+
+    def test_memory_only_store(self):
+        store = ResultStore(None)
+        store.put("k", {"status": "safe"})
+        assert store.get("k")[1] == "memory"
+        assert "disk_entries" not in store.stats()

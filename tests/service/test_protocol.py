@@ -1,0 +1,116 @@
+"""The NDJSON wire protocol: framing, responses, addresses, sockets."""
+
+import io
+import socket
+
+import pytest
+
+from repro.service import protocol
+from repro.util.errors import ProtocolError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "submit", "source": "proc f() {}", "wait": True}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode_message(line.strip()) == message
+
+    def test_encoding_is_canonical(self):
+        a = protocol.encode_message({"b": 1, "a": 2})
+        b = protocol.encode_message({"a": 2, "b": 1})
+        assert a == b
+
+    def test_unencodable_message_raises(self):
+        with pytest.raises(ProtocolError, match="unencodable"):
+            protocol.encode_message({"op": object()})
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            protocol.decode_message(b"{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_message(b"[1, 2, 3]")
+
+    def test_read_eof_is_none(self):
+        wire = io.BytesIO(b"")
+        assert protocol.read_message(wire) is None
+
+    def test_read_blank_line_is_empty_dict(self):
+        wire = io.BytesIO(b"\n")
+        assert protocol.read_message(wire) == {}
+
+    def test_read_write_pair(self):
+        wire = io.BytesIO()
+        protocol.send_message(wire, {"op": "ping"})
+        wire.seek(0)
+        assert protocol.read_message(wire) == {"op": "ping"}
+
+
+class TestResponses:
+    def test_ok_response(self):
+        response = protocol.ok_response("stats", executed=3)
+        assert response["ok"] is True
+        assert response["op"] == "stats"
+        assert response["v"] == protocol.PROTOCOL_VERSION
+        assert response["executed"] == 3
+
+    def test_error_response(self):
+        response = protocol.error_response("submit", "bad program")
+        assert response["ok"] is False
+        assert response["error"] == "bad program"
+
+
+class TestAddresses:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("unix:/tmp/x.sock", ("unix", "/tmp/x.sock")),
+            ("/tmp/x.sock", ("unix", "/tmp/x.sock")),
+            ("svc.sock", ("unix", "svc.sock")),
+            ("tcp:127.0.0.1:9000", ("tcp", "127.0.0.1", 9000)),
+            ("localhost:0", ("tcp", "localhost", 0)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert protocol.parse_address(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "unix:", "tcp:nohost", "tcp:h:notaport", "tcp:h:70000", "plain"]
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ProtocolError):
+            protocol.parse_address(text)
+
+    def test_format_round_trips(self):
+        for text in ("unix:/tmp/x.sock", "tcp:127.0.0.1:9000"):
+            assert protocol.format_address(protocol.parse_address(text)) == text
+
+
+class TestSockets:
+    def test_tcp_bind_and_connect(self):
+        server = protocol.bind_socket(("tcp", "127.0.0.1", 0))
+        try:
+            port = server.getsockname()[1]
+            client = protocol.connect_socket(("tcp", "127.0.0.1", port), timeout=2.0)
+            client.close()
+        finally:
+            server.close()
+
+    @pytest.mark.skipif(
+        not protocol.unix_supported(), reason="no AF_UNIX on this platform"
+    )
+    def test_unix_bind_and_connect(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+        server = protocol.bind_socket(("unix", path))
+        try:
+            client = protocol.connect_socket(("unix", path), timeout=2.0)
+            client.close()
+        finally:
+            server.close()
+
+    def test_connect_refused_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            protocol.connect_socket(("unix", str(tmp_path / "nothing.sock")))
