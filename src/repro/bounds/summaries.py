@@ -12,6 +12,7 @@ e.g., 4096 bits").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Optional, Sequence
@@ -76,6 +77,22 @@ class SummaryRegistry:
         clone = SummaryRegistry()
         clone._summaries = dict(self._summaries)
         return clone
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of every registered summary.
+
+        ``CallSummary`` is a frozen dataclass of strings and Fractions,
+        so its ``repr`` is a canonical rendering; two registries with
+        equal summaries (e.g. ``default_summaries`` at the same
+        ``max_bits``) fingerprint identically across processes.  Used to
+        scope persisted bound results (docs/SERVICE.md), which depend on
+        the summary costs in effect when they were computed.
+        """
+        h = hashlib.sha256()
+        for name in sorted(self._summaries):
+            h.update(repr(self._summaries[name]).encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
 
 def default_summaries(max_bits: int = 4096) -> SummaryRegistry:

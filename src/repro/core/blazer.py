@@ -187,11 +187,21 @@ class Blazer:
                 else default_summaries()
             )
             disk = None
+            scope = ""
             if self.config.disk_cache:
                 from repro.perf.disktier import DiskTier
+                from repro.perf.fingerprint import analysis_scope_fingerprint
 
                 disk = DiskTier(self.config.disk_cache)
-            self.cache = AnalysisCache(disk=disk)
+                # The disk tier is shared across drivers, configurations
+                # and programs; scope its keys by everything a bound
+                # result depends on beyond its trail — domain, summaries
+                # (max_bits), and all defined procedure bodies (callee
+                # bounds reach every trail through proc_bounds).
+                scope = analysis_scope_fingerprint(
+                    self.config.domain, self._summaries.fingerprint(), self.cfgs
+                )
+            self.cache = AnalysisCache(disk=disk, disk_scope=scope)
             self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
                 self.cfgs, self._domain, self._summaries
             )

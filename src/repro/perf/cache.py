@@ -58,15 +58,29 @@ class AnalysisCache:
     memory are looked up there (category ``bound.disk``) before being
     recomputed, and fresh results are written through, so they survive
     the driver — and the process — that computed them.
+
+    The in-memory tiers need no scope: they die with the driver, whose
+    configuration is fixed.  The *disk* tier is shared across drivers,
+    configurations, and programs, and a bound result is a function of
+    the abstract domain, the summary registry, and every callee body —
+    not just its trail.  ``disk_scope`` (the
+    :func:`~repro.perf.fingerprint.analysis_scope_fingerprint` of the
+    owning driver) therefore namespaces every persisted entry; an entry
+    written under one scope is invisible to every other.  *Degraded*
+    bound results (⊤ substitutes after budget exhaustion) are never
+    written or served — they describe a request's deadline, not the
+    trail.
     """
 
     def __init__(
         self,
         stats: runtime.PerfStats = runtime.STATS,
         disk: Optional[DiskTier] = None,
+        disk_scope: str = "",
     ):
         self._stats = stats
         self._disk = disk
+        self._disk_scope = disk_scope
         self._bounds: Dict[str, Tuple[object, str]] = {}
         self._regions: Dict[tuple, Tuple[object, str]] = {}
         self.quarantined = 0
@@ -122,17 +136,22 @@ class AnalysisCache:
                 return value
         self._stats.miss("bound")
         if self._disk is not None:
-            value = self._disk.get_pickled("bound/" + key)
-            if value is not None:
+            value = self._disk.get_pickled(self._disk_key(key))
+            if value is not None and not getattr(value, "degraded", False):
                 self._stats.hit("bound.disk")
                 self._bounds[key] = (value, entry_digest(value))
                 return value
             self._stats.miss("bound.disk")
         result = compute()
         self._bounds[key] = (result, entry_digest(result))
-        if self._disk is not None:
-            self._disk.put_pickled("bound/" + key, result)
+        if self._disk is not None and not getattr(result, "degraded", False):
+            self._disk.put_pickled(self._disk_key(key), result)
         return result
+
+    def _disk_key(self, key: str) -> str:
+        if self._disk_scope:
+            return "bound/%s/%s" % (self._disk_scope, key)
+        return "bound/" + key
 
     # -- generic derived structures -----------------------------------------------
 
@@ -159,15 +178,18 @@ class AnalysisCache:
     def clear(self) -> None:
         """Empty the in-memory tiers and reset quarantine bookkeeping.
 
-        A cleared cache has no entries left to distrust, so it reports
-        zeroed ``cache.quarantine`` counters in :class:`PerfStats` as
-        well.  The disk tier (if any) is deliberately left alone — it
-        outlives drivers by design; use ``DiskTier.clear()`` to purge it.
+        A cleared cache has no entries left to distrust, so it retracts
+        *its own* quarantines from the shared ``cache.quarantine``
+        counter in :class:`PerfStats` — and only its own: other cache
+        instances reporting to the same stats object keep their counts.
+        The disk tier (if any) is deliberately left alone — it outlives
+        drivers by design; use ``DiskTier.clear()`` to purge it.
         """
         self._bounds.clear()
         self._regions.clear()
+        if self.quarantined:
+            self._stats.discount_event("cache.quarantine", self.quarantined)
         self.quarantined = 0
-        self._stats.reset_event("cache.quarantine")
 
     def __len__(self) -> int:
         return len(self._bounds) + len(self._regions)

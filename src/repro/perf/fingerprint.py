@@ -18,13 +18,19 @@ trail-keyed bound cache sound:
   human-readable description are excluded, so two trails denoting the
   same language share a fingerprint (and a cached bound) even when they
   were reached by different refinement routes.
+* :func:`module_fingerprint` combines the CFG fingerprints of several
+  procedures — all of a module's, or the call-graph closure of one
+  entry point.  This is the key ingredient whenever a result depends on
+  *callee bodies* through interprocedural summaries: a procedure's
+  analysis outcome is a function of every CFG it can reach, not just
+  its own, so any cross-program cache key must hash the closure.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import deque
-from typing import List
+from typing import Dict, List, Optional, Set
 
 from repro.perf import runtime
 
@@ -93,3 +99,54 @@ def cfg_fingerprint(cfg) -> str:
 def trail_fingerprint(trail) -> str:
     """Language-keyed trail fingerprint: CFG structure + trail DFA."""
     return _digest([cfg_fingerprint(trail.cfg), dfa_canonical(trail.dfa)])
+
+
+def reachable_procs(cfgs: Dict[str, object], root: str) -> Set[str]:
+    """Names of the procedures ``root`` can reach through calls to
+    *defined* procedures (``root`` included)."""
+    from repro.bounds.interproc import call_graph
+
+    graph = call_graph(cfgs)
+    seen = {root}
+    stack = [root]
+    while stack:
+        for callee in graph.get(stack.pop(), ()):
+            if callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return seen
+
+
+def module_fingerprint(cfgs: Dict[str, object], root: Optional[str] = None) -> str:
+    """Combined fingerprint of a group of procedure bodies: the whole
+    module, or (with ``root``) just the procedures ``root`` can reach.
+
+    Interprocedural summaries make callee bodies outcome-relevant
+    (``CallInstr`` renders callees by name only, so a single CFG's
+    fingerprint says nothing about what its calls *do*); hashing the
+    reachable closure restores the content-addressing guarantee for
+    whole-analysis keys.
+    """
+    names = sorted(cfgs) if root is None else sorted(reachable_procs(cfgs, root))
+    return _digest(["%s=%s" % (name, cfg_fingerprint(cfgs[name])) for name in names])
+
+
+def analysis_scope_fingerprint(
+    domain: str, summaries_fp: str, cfgs: Dict[str, object]
+) -> str:
+    """Scope key for bound results shared *across* driver instances.
+
+    A persisted :class:`~repro.bounds.analysis.BoundResult` is a
+    function of more than its trail: the abstract domain, the call
+    summary registry (``max_bits``), and the bounds of every defined
+    callee all feed ``BoundAnalysis.compute()``.  Entries written under
+    one scope must never be served under another, so the disk tier
+    prefixes its keys with this digest (docs/SERVICE.md).
+    """
+    return _digest(
+        [
+            "domain=%s" % domain,
+            "summaries=%s" % summaries_fp,
+            "module=%s" % module_fingerprint(cfgs),
+        ]
+    )

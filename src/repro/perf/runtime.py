@@ -85,6 +85,18 @@ class PerfStats:
         cache that was quarantining entries has been cleared)."""
         self._events.pop(name, None)
 
+    def discount_event(self, name: str, n: int) -> None:
+        """Subtract one contributor's share from an event counter,
+        dropping it entirely when nothing remains.  This is how a
+        cleared cache retracts *its own* quarantines from the shared
+        process-wide counter without zeroing what other cache instances
+        contributed."""
+        remaining = self._events.get(name, 0) - n
+        if remaining > 0:
+            self._events[name] = remaining
+        else:
+            self._events.pop(name, None)
+
     def events_delta(self, before: Dict[str, int]) -> Dict[str, int]:
         """Per-event counts accumulated since ``before``."""
         out: Dict[str, int] = {}

@@ -18,9 +18,12 @@ Structure (one process, cooperating threads)::
   worker process becomes that job's ``WorkerCrashed``, the pool is
   rebuilt, the daemon lives); under the default ``isolation="thread"``
   the job runs in the worker thread with per-job exception isolation.
-  Failed jobs retry serially under a
+  Failed jobs retry under a
   :class:`~repro.resilience.retry.RetryPolicy` via
-  :func:`~repro.resilience.retry.run_with_retries`.
+  :func:`~repro.resilience.retry.run_with_retries`, with every retry
+  attempt going through the *same* isolation path as the first — a job
+  that keeps crashing its worker keeps killing pool workers, never the
+  daemon.
 * **Budgets**: every job gets a per-job deadline — its own, or the
   daemon's ``default_deadline`` — which becomes a cooperative
   :class:`~repro.resilience.budget.Budget` inside the worker, so a
@@ -467,6 +470,22 @@ class AnalysisDaemon:
             self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
+    def _execute_attempt(self, job: Job) -> Any:
+        """One *retry* attempt, raising on failure.
+
+        Adapts :meth:`_execute_once` (outcome-or-exception) to the
+        raise-on-failure contract of
+        :func:`~repro.resilience.retry.run_with_retries`.  Critically,
+        this goes through the same isolation path as the first attempt:
+        under ``isolation="process"`` a retried job re-enters the
+        process pool, so a job that crashes its worker on every attempt
+        kills pool workers — never the daemon.
+        """
+        outcome = self._execute_once(job)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
     def _run_job(self, job: Job) -> None:
         job.attempts = 1
         outcome = self._execute_once(job)
@@ -474,7 +493,7 @@ class AnalysisDaemon:
             self.stats.bump("retried")
             try:
                 outcome, attempts = run_with_retries(
-                    execute_job, job.payload, self._policy, outcome, label=job.id
+                    self._execute_attempt, job, self._policy, outcome, label=job.id
                 )
                 job.attempts += attempts
             except ReproError as exc:  # WorkerCrashed after exhausted retries

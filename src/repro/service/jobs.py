@@ -3,13 +3,17 @@
 A *job* is one analysis request in flight.  Its identity for
 deduplication is :func:`job_key` — a content fingerprint, not the raw
 request text: the structural part reuses
-:func:`repro.perf.fingerprint.cfg_fingerprint` over the compiled CFG of
-the requested procedure, so two submissions that differ only in
-formatting or comments (or that reach an identical CFG from different
-spellings) coalesce onto a single Blazer execution.  The configuration
-knobs that can change the outcome (domain, observer, bit width, budget
-limits — :data:`repro.core.blazer.JOB_FIELDS`) are hashed alongside, so
-a 5-second-deadline request never collides with an unbudgeted one.
+:func:`repro.perf.fingerprint.module_fingerprint` over the compiled
+CFGs of the requested procedure *and every procedure it can reach
+through calls* (interprocedural summaries make callee bodies
+outcome-relevant, so two programs with an identical entry procedure but
+different callee implementations must never share a key), so two
+submissions that differ only in formatting or comments (or that reach
+identical CFGs from different spellings) coalesce onto a single Blazer
+execution.  The configuration knobs that can change the outcome
+(domain, observer, bit width, budget limits —
+:data:`repro.core.blazer.JOB_FIELDS`) are hashed alongside, so a
+5-second-deadline request never collides with an unbudgeted one.
 
 :class:`JobQueue` is the scheduler's heart: a priority heap (higher
 ``priority`` first, FIFO within a priority) under one condition
@@ -28,14 +32,21 @@ import heapq
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Deque, List, Optional, Tuple
 
 from repro.core.blazer import JOB_FIELDS, resolve_proc
 from repro.util.errors import ReproError
 
 # Job lifecycle: queued → running → done | failed.
 STATES = ("queued", "running", "done", "failed")
+
+# Settled jobs kept around for `status`/`result` lookups.  A resident
+# daemon must not grow with its lifetime submission count: beyond this
+# many settled jobs the oldest are evicted (their results live on in the
+# ResultStore; only the lifecycle record goes away).
+SETTLED_RETENTION = 512
 
 
 def job_key(payload: Dict[str, Any]) -> str:
@@ -56,7 +67,7 @@ def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
     from repro.bytecode import compile_program, verify_module
     from repro.ir import lift_module
     from repro.lang import frontend
-    from repro.perf.fingerprint import cfg_fingerprint
+    from repro.perf.fingerprint import module_fingerprint
 
     source = payload.get("source")
     if not isinstance(source, str) or not source.strip():
@@ -66,7 +77,10 @@ def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
     cfgs = lift_module(module)
     proc = resolve_proc(cfgs, payload.get("proc"))
     h = hashlib.sha256()
-    h.update(cfg_fingerprint(cfgs[proc]).encode("ascii"))
+    # The call-graph closure, not just cfgs[proc]: the analysis reads
+    # callee bodies through interprocedural summaries, so they are part
+    # of the request's content.
+    h.update(module_fingerprint(cfgs, proc).encode("ascii"))
     knobs = {
         k: payload.get(k)
         for k in JOB_FIELDS
@@ -129,15 +143,23 @@ class JobQueue:
     ``submit`` coalesces onto an *active* (queued or running) job with
     the same key; settled jobs never absorb new submissions — result
     reuse after completion is the store's business, not the queue's.
+
+    Settled jobs are retained for ``max_settled`` lookups and then
+    evicted oldest-first, so the queue's footprint is bounded by the
+    *concurrent* load, not the lifetime submission count.  Eviction only
+    drops the queue's own reference: handlers still blocked on an
+    evicted job's ``done`` event hold the object alive themselves.
     """
 
-    def __init__(self):
+    def __init__(self, max_settled: int = SETTLED_RETENTION):
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, job id)
         self._seq = 0
         self._jobs: Dict[str, Job] = {}
         self._active: Dict[str, Job] = {}  # key → queued/running job
+        self._settled: Deque[str] = deque()  # settled job ids, oldest first
+        self._max_settled = max(1, max_settled)
         self._closed = False
         self.coalesced = 0
 
@@ -205,6 +227,10 @@ class JobQueue:
             job.finished_at = time.time()
             if self._active.get(job.key) is job:
                 del self._active[job.key]
+            if job.id in self._jobs:
+                self._settled.append(job.id)
+            while len(self._settled) > self._max_settled:
+                self._jobs.pop(self._settled.popleft(), None)
         job.done.set()
 
     def get(self, job_id: str) -> Optional[Job]:

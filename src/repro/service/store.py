@@ -11,14 +11,25 @@ budget ran out", which is a fact about that request's deadline, not
 about the program — serving it to a patient caller would waste their
 larger budget.  Failed jobs are never cached for the same reason:
 crashes and injected faults are circumstances, not answers.
+
+The memory tier is a bounded LRU (``max_memory`` entries): a resident
+daemon's footprint must not grow with every distinct submission it has
+ever answered.  Evicting a memory entry costs at most a disk re-read —
+the persistent tier keeps everything.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.perf.disktier import DiskTier
+
+# Default memory-tier capacity; the working set of distinct verdicts a
+# daemon serves hot.  Verdict dicts are small (a few KB), so this is
+# megabytes, not gigabytes.
+MEMORY_TIER_LIMIT = 1024
 
 
 def cacheable(result: Dict[str, Any]) -> bool:
@@ -29,9 +40,10 @@ def cacheable(result: Dict[str, Any]) -> bool:
 class ResultStore:
     """Two result tiers behind one ``get``/``put`` pair."""
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, max_memory: int = MEMORY_TIER_LIMIT):
         self._lock = threading.Lock()
-        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._max_memory = max(1, max_memory)
         self._disk = DiskTier(path) if path else None
 
     @property
@@ -43,13 +55,22 @@ class ResultStore:
         with self._lock:
             result = self._memory.get(key)
             if result is not None:
+                self._memory.move_to_end(key)
                 return result, "memory"
             if self._disk is not None:
                 payload = self._disk.get(key)
                 if isinstance(payload, dict):
-                    self._memory[key] = payload
+                    self._remember(key, payload)
                     return payload, "disk"
             return None, None
+
+    def _remember(self, key: str, result: Dict[str, Any]) -> None:
+        """Insert into the memory LRU, evicting least-recently-used
+        entries beyond capacity (lock held by the caller)."""
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._max_memory:
+            self._memory.popitem(last=False)
 
     def put(self, key: str, result: Dict[str, Any]) -> bool:
         """Write through both tiers; False when the result is not
@@ -57,7 +78,7 @@ class ResultStore:
         if not cacheable(result):
             return False
         with self._lock:
-            self._memory[key] = result
+            self._remember(key, result)
             if self._disk is not None:
                 self._disk.put(key, result)
         return True

@@ -106,6 +106,27 @@ class TestClearResetsQuarantine:
             AnalysisCache(stats=stats).clear()
             assert stats.events_snapshot().get("unrelated.event") == 1
 
+    def test_clear_discounts_only_own_contribution(self):
+        """Two caches share one stats object: clearing one retracts its
+        own quarantines and leaves the other's standing."""
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            first = AnalysisCache(stats=stats)
+            second = AnalysisCache(stats=stats)
+            for cache in (first, second):
+                cache.derived("cat", ("k",), lambda: "v")
+            faults.install(FaultPlan([parse_spec("cache.get:corrupt@1+")]))
+            for cache in (first, second):
+                cache.derived("cat", ("k",), lambda: "recomputed")
+            faults.clear()
+            assert stats.events_snapshot().get("cache.quarantine") == 2
+            first.clear()
+            assert first.quarantined == 0
+            assert second.quarantined == 1
+            assert stats.events_snapshot().get("cache.quarantine") == 1
+            second.clear()
+            assert stats.events_snapshot().get("cache.quarantine") is None
+
 
 class TestDiskBackedBounds:
     class FakeTrail:
@@ -127,6 +148,50 @@ class TestDiskBackedBounds:
             snap = stats.snapshot()
             # One disk miss (the cold write) and one disk hit (the warm read).
             assert snap["bound.disk"] == (1, 1)
+
+    def test_disk_scope_isolates_configurations(self, tmp_path):
+        """Entries written under one analysis scope (domain, summaries,
+        module) are invisible to caches opened under another — a bound
+        computed for configuration A must never answer configuration B."""
+        from repro.perf.disktier import DiskTier
+
+        path = str(tmp_path / "bounds.jsonl")
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            zone = AnalysisCache(
+                stats=stats, disk=DiskTier(path, stats=stats), disk_scope="scope-A"
+            )
+            assert zone.bound_result(self.FakeTrail(), lambda: ["A"]) == ["A"]
+            other = AnalysisCache(
+                stats=stats, disk=DiskTier(path, stats=stats), disk_scope="scope-B"
+            )
+            assert other.bound_result(self.FakeTrail(), lambda: ["B"]) == ["B"]
+            # Same scope still warms up across instances.
+            warm = AnalysisCache(
+                stats=stats, disk=DiskTier(path, stats=stats), disk_scope="scope-A"
+            )
+            assert warm.bound_result(self.FakeTrail(), lambda: ["MISS"]) == ["A"]
+
+    def test_degraded_bound_results_never_persist(self, tmp_path):
+        """A ⊤ substitute after budget exhaustion describes a deadline,
+        not the trail: it must not be written to (or served from) the
+        shared persistent tier."""
+        from repro.bounds.analysis import BoundResult
+        from repro.bounds.cost import CostBound
+        from repro.perf.disktier import DiskTier
+
+        path = str(tmp_path / "bounds.jsonl")
+        degraded = BoundResult(
+            feasible=True, bound=CostBound.unbounded(), degraded=True
+        )
+        with runtime.override(True):
+            stats = runtime.PerfStats()
+            tier = DiskTier(path, stats=stats)
+            cache = AnalysisCache(stats=stats, disk=tier)
+            assert cache.bound_result(self.FakeTrail(), lambda: degraded) is degraded
+            assert len(tier) == 0  # nothing written
+            fresh = AnalysisCache(stats=stats, disk=DiskTier(path, stats=stats))
+            assert fresh.bound_result(self.FakeTrail(), lambda: "clean") == "clean"
 
     def test_clear_leaves_disk_tier_alone(self, tmp_path):
         from repro.perf.disktier import DiskTier

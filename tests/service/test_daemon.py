@@ -253,6 +253,32 @@ class TestCrashIsolation:
             assert healthy["state"] == "done"
             assert healthy["result"]["status"] == "safe"
 
+    def test_retries_under_process_isolation_stay_in_the_pool(
+        self, daemon, monkeypatch
+    ):
+        """A job that crashes its worker on *every* attempt consumes its
+        retries inside the pool: each attempt kills a pool worker, the
+        job settles as WorkerCrashed, the daemon survives.  (Retries
+        must never fall back to in-daemon execution — here that would
+        ``os._exit`` the daemon itself.)"""
+        from repro.perf.parallel import process_pool_usable
+
+        if not process_pool_usable():
+            pytest.skip("process pools unusable on this platform")
+        monkeypatch.setenv("REPRO_FAULTS", "worker.run:crash:match=boom")
+        d = daemon(workers=1, isolation="process", retries=1)
+        with ServiceClient(d.address) as client:
+            doomed = client.submit(BOOM_SRC, wait=True)
+            assert doomed["state"] == "failed"
+            assert "WorkerCrashed" in doomed["error"]
+            healthy = client.submit(SAFE_SRC, wait=True)
+            assert healthy["state"] == "done"
+            stats = client.stats()
+            # Both attempts of the doomed job executed through the pool
+            # path, plus the healthy job: three pool executions.
+            assert stats["executed"] == 3
+            assert stats["retried"] == 1
+
     def test_interrupt_fault_fails_job_not_daemon(self, daemon):
         d = daemon(workers=1)
         faults.install(FaultPlan([parse_spec("worker.run:interrupt:match=boom")]))
@@ -296,3 +322,24 @@ class TestResultStore:
         store.put("k", {"status": "safe"})
         assert store.get("k")[1] == "memory"
         assert "disk_entries" not in store.stats()
+
+    def test_memory_tier_is_a_bounded_lru(self, tmp_path):
+        store = ResultStore(str(tmp_path / "verdicts.jsonl"), max_memory=2)
+        store.put("a", {"status": "safe"})
+        store.put("b", {"status": "safe"})
+        assert store.get("a")[1] == "memory"  # refresh a
+        store.put("c", {"status": "safe"})  # evicts b (LRU)
+        assert store.stats()["memory_entries"] == 2
+        assert store.get("a")[1] == "memory"
+        # b was evicted from memory but persists on disk; the disk hit
+        # promotes it back (evicting c, now the least recently used).
+        assert store.get("b")[1] == "disk"
+        assert store.stats()["memory_entries"] == 2
+        assert store.get("c")[1] == "disk"
+
+    def test_memory_only_lru_drops_oldest(self):
+        store = ResultStore(None, max_memory=1)
+        store.put("a", {"status": "safe"})
+        store.put("b", {"status": "safe"})
+        assert store.get("a") == (None, None)
+        assert store.get("b")[1] == "memory"

@@ -37,6 +37,27 @@ class TestJobKey:
     def test_formatting_and_comments_coalesce(self):
         assert job_key({"source": SRC}) == job_key({"source": SRC_REFORMATTED})
 
+    def test_callee_bodies_are_part_of_the_key(self):
+        """Same entry procedure, different callee implementation →
+        different keys: the analysis reads callee bodies through
+        interprocedural summaries, so serving one program's verdict for
+        the other would be wrong."""
+        caller = """
+        proc main(secret s: int, public n: int): int { return helper(n); }
+        """
+        slow = "proc helper(public n: int): int { var i: int = 0; while (i < n) { i = i + 1; } return i; }\n"
+        fast = "proc helper(public n: int): int { return n; }\n"
+        key_slow = job_key({"source": slow + caller, "proc": "main"})
+        key_fast = job_key({"source": fast + caller, "proc": "main"})
+        assert key_slow != key_fast
+
+    def test_unreachable_procs_do_not_change_the_key(self):
+        """Procedures the entry point cannot reach are not part of its
+        content — adding one still coalesces."""
+        base = job_key({"source": SRC, "proc": "check"})
+        extra = SRC + "\nproc unrelated(public x: int): int { return x; }\n"
+        assert job_key({"source": extra, "proc": "check"}) == base
+
     def test_knobs_separate_keys(self):
         base = job_key({"source": SRC})
         assert job_key({"source": SRC, "deadline": 5.0}) != base
@@ -136,6 +157,31 @@ class TestJobQueue:
         queue.close()
         assert queue.pop(timeout=0.1) is a
         assert queue.pop(timeout=0.1) is None
+
+    def test_settled_jobs_are_evicted_beyond_retention(self):
+        queue = JobQueue(max_settled=2)
+        jobs = []
+        for name in ("a", "b", "c"):
+            job, _ = _job(queue, name)
+            queue.pop(timeout=0.1)
+            queue.finish(job, result={"status": "safe"})
+            jobs.append(job)
+        # Oldest settled record evicted; the two newest remain.
+        assert queue.get(jobs[0].id) is None
+        assert queue.get(jobs[1].id) is jobs[1]
+        assert queue.get(jobs[2].id) is jobs[2]
+        # Eviction dropped only the queue's reference — the settled
+        # object itself (a waiter's handle) is untouched.
+        assert jobs[0].state == "done" and jobs[0].done.is_set()
+
+    def test_active_jobs_never_evicted(self):
+        queue = JobQueue(max_settled=1)
+        active, _ = _job(queue, "active")  # stays queued throughout
+        for name in ("a", "b", "c"):
+            job, _ = _job(queue, name, priority=1)
+            queue.pop(timeout=0.1)
+            queue.finish(job, result={"status": "safe"})
+        assert queue.get(active.id) is active
 
     def test_snapshot_is_json_shaped(self):
         job = Job(id="job-1", key="k", payload={"proc": "check"}, priority=2)
