@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service table1
+.PHONY: test test-resilience smoke-service smoke-metrics table1
 
 test:
 	$(PYTHON) -m pytest -q
@@ -15,6 +15,11 @@ test-resilience:
 # through it (docs/SERVICE.md).
 smoke-service:
 	$(PYTHON) -m pytest -q -m service
+
+# Boot a daemon and scrape its Prometheus `metrics` endpoint
+# (docs/OBSERVABILITY.md).
+smoke-metrics:
+	$(PYTHON) -m pytest -q -m obs
 
 table1:
 	$(PYTHON) -m repro.cli table1 --jobs 0

@@ -10,6 +10,13 @@ Usage::
     python benchmarks/table1.py [--group MicroBench|STAC|Literature]
                                 [--jobs N] [--retries N] [--deadline S]
                                 [--journal PATH] [--resume]
+                                [--bench-json PATH]
+
+Besides the paper's columns, the run prints a per-phase timing table
+(taint / bounds / refine / attack — docs/OBSERVABILITY.md) and merges
+the phase totals into the machine-readable ``BENCH_table1.json``
+(``--bench-json``; the perf harness's other keys in that file are
+preserved).
 
 ``--jobs N`` fans the rows out over a process pool (see
 docs/PERFORMANCE.md).  ``--retries`` / ``--journal`` / ``--resume`` /
@@ -25,8 +32,11 @@ code 4, an interrupted run with 130.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from repro.benchsuite import ALL_BENCHMARKS, Benchmark, BenchResult, ParallelSuiteRunner
 from repro.util.errors import SuiteInterrupted
@@ -34,6 +44,11 @@ from repro.util.table import render_table
 
 EXIT_DEGRADED = 4
 EXIT_INTERRUPTED = 130
+
+# Column order for the per-phase timing table; matches the driver's
+# phase_seconds keys (repro.core.blazer._phase_snapshot).
+PHASES = ("taint", "bounds", "refine", "attack", "total")
+DEFAULT_BENCH_JSON = "BENCH_table1.json"
 
 
 def result_row(result: BenchResult) -> List[object]:
@@ -95,6 +110,71 @@ def render(results: List[BenchResult]) -> str:
     return header + "\n" + table
 
 
+def aggregate_phases(results: List[BenchResult]) -> Dict[str, float]:
+    """Suite-wide wall seconds per analysis phase."""
+    totals = {name: 0.0 for name in PHASES}
+    for result in results:
+        for name in PHASES:
+            totals[name] += float(result.phase_seconds.get(name, 0.0))
+    return {name: round(totals[name], 6) for name in PHASES}
+
+
+def render_phases(results: List[BenchResult]) -> str:
+    rows = [
+        [r.name]
+        + ["%.3f" % float(r.phase_seconds.get(name, 0.0)) for name in PHASES]
+        for r in results
+    ]
+    totals = aggregate_phases(results)
+    rows.append(["TOTAL"] + ["%.3f" % totals[name] for name in PHASES])
+    table = render_table(
+        ["Benchmark"] + [name.capitalize() + " (s)" for name in PHASES],
+        rows,
+        aligns=["l"] + ["r"] * len(PHASES),
+    )
+    header = (
+        "Per-phase wall time (taint tracking, loop-bound analysis,\n"
+        "partition refinement, attack search; docs/OBSERVABILITY.md)\n"
+    )
+    return header + "\n" + table
+
+
+def persist_phases(
+    results: List[BenchResult], path: str = DEFAULT_BENCH_JSON
+) -> Dict[str, Any]:
+    """Merge a ``phases`` section into the bench JSON at ``path``.
+
+    ``BENCH_table1.json`` is shared with ``benchmarks/bench_perf.py``
+    (schema ``{generated, jobs, faults, benchmarks, total}``), so the
+    file is read-merged-written: every key the perf harness owns is
+    preserved, only ``phases`` is replaced.
+    """
+    report: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                report = loaded
+        except (OSError, ValueError):
+            pass  # corrupt or unreadable: rewrite with just the phases
+    report["phases"] = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rows": {
+            r.name: {
+                name: round(float(r.phase_seconds.get(name, 0.0)), 6)
+                for name in PHASES
+            }
+            for r in results
+        },
+        "total": aggregate_phases(results),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
 def generate(group: Optional[str] = None, jobs: int = 1) -> str:
     return render(run_suite(group, jobs=jobs))
 
@@ -128,6 +208,12 @@ def main() -> int:
         action="store_true",
         help="skip rows already recorded in the journal",
     )
+    parser.add_argument(
+        "--bench-json",
+        default=DEFAULT_BENCH_JSON,
+        help="merge per-phase timings into this JSON report"
+        " (default: %(default)s; empty string disables)",
+    )
     args = parser.parse_args()
     journal = args.journal
     if journal is None and (args.resume or args.retries):
@@ -146,6 +232,11 @@ def main() -> int:
         print("interrupted: %s" % exc, file=sys.stderr)
         return EXIT_INTERRUPTED
     print(render(results))
+    print()
+    print(render_phases(results))
+    if args.bench_json:
+        persist_phases(results, args.bench_json)
+        print("per-phase timings merged into %s" % args.bench_json)
     degraded = [r.name for r in results if r.degraded]
     mismatches = [r.name for r in results if not r.ok and not r.degraded]
     if mismatches:

@@ -30,6 +30,7 @@ from repro.absint.transfer import TransferFunctions
 from repro.automata.dfa import DFA
 from repro.cfg.graph import ControlFlowGraph, Edge
 from repro.domains.base import AbstractState, Domain
+from repro.obs.trace import span as trace_span
 from repro.resilience import faults
 from repro.util.errors import AnalysisError
 
@@ -226,53 +227,23 @@ class Engine:
         worklist: List[Node] = list(order)
         in_worklist: Set[Node] = set(worklist)
         iterations = 0
-        while worklist:
-            iterations += 1
-            if iterations > self._max_iterations:
-                raise AnalysisError(
-                    "abstract interpretation did not converge on %s" % self._cfg.name
-                )
-            if self._budget is not None:
-                self._budget.step("engine.step")
-            faults.maybe_fire("engine.step", key=self._cfg.name)
-            # Pop the node earliest in RPO for near-optimal iteration order.
-            worklist.sort(key=lambda n: position.get(n, 0))
-            node = worklist.pop(0)
-            in_worklist.discard(node)
-            state = invariants[node]
-            if state.is_bottom():
-                continue
-            for e, out_state in self._edge_states(node, state, adjacency):
-                if collect is not None and collect(e.src, e.dst, e.cfg_edge):
-                    key = (e.src, e.dst)
-                    prev = result_collected.get(key, domain.bottom())
-                    result_collected[key] = prev.join(out_state)
-                    continue
-                if out_state.is_bottom():
-                    continue
-                old = invariants.get(e.dst, domain.bottom())
-                if out_state.leq(old):
-                    continue
-                joined = old.join(out_state)
-                visits[e.dst] = visits.get(e.dst, 0) + 1
-                if e.dst in widen_at and visits[e.dst] > self._widening_delay:
-                    joined = old.widen(joined)
-                invariants[e.dst] = joined
-                if e.dst not in in_worklist:
-                    worklist.append(e.dst)
-                    in_worklist.add(e.dst)
-
-        # Narrowing: recompute joins without widening, a fixed number of
-        # passes (each pass is sound: transfer is monotone and we only
-        # shrink toward a post-fixpoint).
-        for _ in range(self._narrowing_passes):
-            changed = False
-            incoming: Dict[Node, AbstractState] = {
-                node: initial.get(node, domain.bottom()) for node in order
-            }
-            for node in order:
+        with trace_span(
+            "engine.widen", cfg=self._cfg.name, nodes=len(order)
+        ) as widen_span:
+            while worklist:
+                iterations += 1
+                if iterations > self._max_iterations:
+                    raise AnalysisError(
+                        "abstract interpretation did not converge on %s"
+                        % self._cfg.name
+                    )
                 if self._budget is not None:
                     self._budget.step("engine.step")
+                faults.maybe_fire("engine.step", key=self._cfg.name)
+                # Pop the node earliest in RPO for near-optimal iteration order.
+                worklist.sort(key=lambda n: position.get(n, 0))
+                node = worklist.pop(0)
+                in_worklist.discard(node)
                 state = invariants[node]
                 if state.is_bottom():
                     continue
@@ -282,18 +253,59 @@ class Engine:
                         prev = result_collected.get(key, domain.bottom())
                         result_collected[key] = prev.join(out_state)
                         continue
-                    prev_in = incoming.get(e.dst, domain.bottom())
-                    incoming[e.dst] = prev_in.join(out_state)
-            for node in order:
-                new_state = incoming[node]
-                # Each narrowing iterate initial ∪ F(X) of a sound X is
-                # itself sound, so plain assignment is safe; the pass count
-                # bounds any oscillation.
-                if not (new_state.leq(invariants[node]) and invariants[node].leq(new_state)):
-                    changed = True
-                invariants[node] = new_state
-            if not changed:
-                break
+                    if out_state.is_bottom():
+                        continue
+                    old = invariants.get(e.dst, domain.bottom())
+                    if out_state.leq(old):
+                        continue
+                    joined = old.join(out_state)
+                    visits[e.dst] = visits.get(e.dst, 0) + 1
+                    if e.dst in widen_at and visits[e.dst] > self._widening_delay:
+                        joined = old.widen(joined)
+                    invariants[e.dst] = joined
+                    if e.dst not in in_worklist:
+                        worklist.append(e.dst)
+                        in_worklist.add(e.dst)
+            widen_span.annotate(iterations=iterations)
+
+        # Narrowing: recompute joins without widening, a fixed number of
+        # passes (each pass is sound: transfer is monotone and we only
+        # shrink toward a post-fixpoint).
+        with trace_span(
+            "engine.narrow", cfg=self._cfg.name, passes=self._narrowing_passes
+        ):
+            for _ in range(self._narrowing_passes):
+                changed = False
+                incoming: Dict[Node, AbstractState] = {
+                    node: initial.get(node, domain.bottom()) for node in order
+                }
+                for node in order:
+                    if self._budget is not None:
+                        self._budget.step("engine.step")
+                    state = invariants[node]
+                    if state.is_bottom():
+                        continue
+                    for e, out_state in self._edge_states(node, state, adjacency):
+                        if collect is not None and collect(e.src, e.dst, e.cfg_edge):
+                            key = (e.src, e.dst)
+                            prev = result_collected.get(key, domain.bottom())
+                            result_collected[key] = prev.join(out_state)
+                            continue
+                        prev_in = incoming.get(e.dst, domain.bottom())
+                        incoming[e.dst] = prev_in.join(out_state)
+                for node in order:
+                    new_state = incoming[node]
+                    # Each narrowing iterate initial ∪ F(X) of a sound X is
+                    # itself sound, so plain assignment is safe; the pass count
+                    # bounds any oscillation.
+                    if not (
+                        new_state.leq(invariants[node])
+                        and invariants[node].leq(new_state)
+                    ):
+                        changed = True
+                    invariants[node] = new_state
+                if not changed:
+                    break
 
         return AnalysisResult(
             cfg=self._cfg,

@@ -63,6 +63,10 @@ class BenchResult:
     cache_hits: int
     cache_misses: int
     cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # Per-phase wall seconds from the driver (taint / bounds / refine /
+    # attack / total; docs/OBSERVABILITY.md).  Volatile like the other
+    # timings: excluded from content digests.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     digest: str = ""
     # Resilience observability (satellite of docs/RESILIENCE.md): how
     # many retries this row consumed, how many cache entries were
@@ -151,6 +155,7 @@ def run_benchmark(
         cache_hits=verdict.cache_hits,
         cache_misses=verdict.cache_misses,
         cache_stats=verdict.cache_stats,
+        phase_seconds=dict(verdict.phase_seconds),
         digest=verdict_digest(verdict),
         quarantined=verdict.quarantined,
         degraded_leaves=verdict.degraded_leaves,

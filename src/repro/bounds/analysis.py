@@ -51,6 +51,7 @@ from repro.domains.base import AbstractState, Domain
 from repro.domains.linexpr import LinExpr, RelOp
 from repro.ir import instr as ir
 from repro.lang import ast
+from repro.obs.trace import span as trace_span
 from repro.perf import runtime
 
 if False:  # pragma: no cover - import for type checkers only
@@ -192,6 +193,14 @@ class BoundAnalysis:
     # -- public entry point ------------------------------------------------------
 
     def compute(self) -> BoundResult:
+        with trace_span(
+            "bounds.compute",
+            cfg=self._cfg.name,
+            restricted=self._dfa is not None,
+        ):
+            return self._compute()
+
+    def _compute(self) -> BoundResult:
         cfg = self._cfg
         if self._budget is not None:
             self._budget.checkpoint("bounds.compute")
@@ -453,6 +462,12 @@ class BoundAnalysis:
             return cached
         if self._budget is not None:
             self._budget.checkpoint("bounds.loop")
+        with trace_span(
+            "bounds.loop", cfg=self._cfg.name, header=str(loop.header)
+        ):
+            return self._iteration_bound_uncached(loop)
+
+    def _iteration_bound_uncached(self, loop: GraphLoop) -> IterationBound:
         assert self._main is not None
         inv = self._main.invariants
 

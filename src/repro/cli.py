@@ -24,12 +24,23 @@ Subcommands mirror the stages a Blazer user cares about:
 ``serve`` / ``submit`` / ``status``
     The resident analysis service (docs/SERVICE.md): boot the daemon,
     send it a job over the NDJSON socket protocol, inspect its queue.
+
+``metrics``
+    A running daemon's unified metrics registry (docs/OBSERVABILITY.md)
+    in Prometheus text exposition (or JSON with ``--json``).
+
+Top-level ``-v`` / ``--log-level`` install a stderr logging handler for
+the ``repro`` logger tree (the library itself never configures logging);
+``--obs`` / ``--trace`` on ``analyze`` and ``table1`` arm the
+observability layer for one run without touching the environment by
+hand.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -104,6 +115,51 @@ def _observer(name: str, threshold: int, max_input: int):
     return ConcreteThresholdObserver(threshold=threshold, default_max=max_input)
 
 
+def configure_logging(verbosity: int = 0, level_name: Optional[str] = None) -> None:
+    """Install a stderr handler on the ``repro`` logger tree (idempotent).
+
+    Level: ``--log-level`` wins; else ``-v`` → INFO, ``-vv`` → DEBUG,
+    default WARNING.  Installing only on explicit request keeps the
+    default CLI byte-identical to the unconfigured-logging behavior.
+    """
+    if level_name:
+        level = getattr(logging, level_name.upper(), None)
+        if not isinstance(level, int):
+            raise SystemExit("unknown log level %r" % level_name)
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(getattr(h, "_repro_cli", False) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+
+
+def _arm_observability(args) -> None:
+    """Honor ``--obs`` / ``--trace``: flip the process-wide REPRO_OBS
+    switch and export it (plus the trace path) through the environment
+    so worker processes inherit both."""
+    import os
+
+    trace = getattr(args, "trace", None)
+    if not getattr(args, "obs", False) and trace is None:
+        return
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.set_enabled(True)
+    os.environ["REPRO_OBS"] = "1"
+    if trace is not None:
+        obs_runtime.set_trace_path(trace, export_env=True)
+
+
 def _budget_from_args(args) -> Optional[Budget]:
     deadline = getattr(args, "deadline", None)
     max_refinements = getattr(args, "max_refinements", None)
@@ -118,6 +174,7 @@ def _budget_from_args(args) -> Optional[Budget]:
 
 
 def cmd_analyze(args) -> int:
+    _arm_observability(args)
     program = _load(args.file)
     config = BlazerConfig(
         domain=args.domain,
@@ -198,6 +255,21 @@ DEFAULT_JOURNAL = ".table1.journal.jsonl"
 
 
 def cmd_table1(args) -> int:
+    _arm_observability(args)
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.trace import span as trace_span
+
+    # One root span over the whole suite run, backdated to process
+    # start: with --trace, the exported JSONL covers the command's full
+    # end-to-end wall time, interpreter startup included.
+    with trace_span(
+        "table1.suite", group=args.group or "all", jobs=args.jobs
+    ) as root:
+        root.backdate(obs_runtime.process_age_seconds())
+        return _cmd_table1(args)
+
+
+def _cmd_table1(args) -> int:
     from repro.benchsuite import ALL_BENCHMARKS, ParallelSuiteRunner
     from repro.util.table import render_table
 
@@ -388,6 +460,19 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.connect, timeout=args.timeout) as client:
+        if args.json:
+            response = client.metrics(format="json")
+            print(json.dumps(response["metrics"], indent=2, sort_keys=True))
+        else:
+            response = client.metrics()
+            sys.stdout.write(response["text"])
+    return 0
+
+
 _jobs_arg = count_arg("jobs")
 
 
@@ -399,6 +484,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version="repro %s" % _version()
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr: -v for INFO, -vv for DEBUG (before the "
+        "subcommand, e.g. 'repro -v table1')",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="explicit stderr log level (DEBUG, INFO, WARNING, ERROR); "
+        "overrides -v",
     )
     sub = parser.add_subparsers(dest="command", required=False)
 
@@ -447,9 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="abstract-interpretation step budget (degrades like --deadline)",
         )
 
+    def obs_flags(p):
+        p.add_argument(
+            "--obs",
+            action="store_true",
+            help="enable the observability layer (REPRO_OBS=1) for this run "
+            "(docs/OBSERVABILITY.md)",
+        )
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            help="export trace spans as JSONL to PATH (implies --obs; "
+            "worker processes append to the same file)",
+        )
+
     analyze = sub.add_parser("analyze", help="prove TCF or synthesize an attack")
     common(analyze)
     analysis_flags(analyze)
+    obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
@@ -512,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip benchmarks already recorded in the journal",
     )
+    obs_flags(table1)
     table1.set_defaults(func=cmd_table1)
 
     serve = sub.add_parser(
@@ -612,12 +727,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.set_defaults(func=cmd_status)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running daemon's metrics (docs/OBSERVABILITY.md)",
+    )
+    metrics.add_argument(
+        "--connect",
+        default=DEFAULT_ADDRESS,
+        metavar="ADDRESS",
+        help="daemon address (default: %s)" % DEFAULT_ADDRESS,
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="JSON snapshot instead of Prometheus text exposition",
+    )
+    metrics.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="socket timeout"
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose or args.log_level:
+        configure_logging(args.verbose, args.log_level)
     if getattr(args, "func", None) is None:
         parser.print_help(sys.stderr)
         return EXIT_USAGE

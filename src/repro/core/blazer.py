@@ -23,6 +23,7 @@ Attack phase
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.domains import DOMAINS
 from repro.domains.base import Domain
 from repro.ir import lift_module
 from repro.lang import ast, frontend
+from repro.obs.trace import current_context, span as trace_span
 from repro.perf import runtime
 from repro.perf.cache import AnalysisCache
 from repro.perf.parallel import thread_map
@@ -124,6 +126,11 @@ class BlazerVerdict:
     degradation: Optional[DegradationReport] = None
     degraded_leaves: int = 0
     quarantined: int = 0
+    # Observability (docs/OBSERVABILITY.md): wall seconds the driver
+    # spent per phase — "taint", "bounds" (every per-trail bound
+    # analysis, CHECKSAFE and CHECKATTACK alike), "refine", "attack",
+    # "total".  Volatile like the other timings: stripped from digests.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -175,7 +182,7 @@ class Blazer:
         # (None while healthy); reset per analysis.
         self._exhaustion: Optional[ResourceExhausted] = None
         self._exhaustion_phase: str = "safety"
-        with self._perf_ctx():
+        with self._perf_ctx(), trace_span("blazer.construct"):
             module = compile_program(program)
             verify_module(module)
             self.module = module
@@ -206,6 +213,22 @@ class Blazer:
                 self.cfgs, self._domain, self._summaries
             )
             self._taints: Dict[str, TaintResult] = {}
+        # Per-phase wall-clock accumulators for the current analyze()
+        # call.  Leaf evaluation can fan out over worker threads
+        # (``jobs`` > 1), so accumulation is lock-protected.
+        self._phase: Dict[str, float] = {}
+        self._phase_lock = threading.Lock()
+
+    def _add_phase(self, name: str, seconds: float) -> None:
+        with self._phase_lock:
+            self._phase[name] = self._phase.get(name, 0.0) + seconds
+
+    def _phase_snapshot(self, verdict: "BlazerVerdict") -> Dict[str, float]:
+        with self._phase_lock:
+            phases = dict(self._phase)
+        phases["attack"] = verdict.attack_seconds
+        phases["total"] = verdict.total_seconds
+        return {name: round(phases[name], 6) for name in sorted(phases)}
 
     @staticmethod
     def from_source(source: str, config: Optional[BlazerConfig] = None) -> "Blazer":
@@ -223,11 +246,20 @@ class Blazer:
 
     def taint(self, proc: str) -> TaintResult:
         if proc not in self._taints:
-            self._taints[proc] = analyze_taint(self.cfgs[proc])
+            started = time.perf_counter()
+            with trace_span("taint", proc=proc):
+                self._taints[proc] = analyze_taint(self.cfgs[proc])
+            self._add_phase("taint", time.perf_counter() - started)
         return self._taints[proc]
 
     def _bound(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
-        return self.cache.bound_result(trail, lambda: self._bound_uncached(cfg, trail))
+        started = time.perf_counter()
+        try:
+            return self.cache.bound_result(
+                trail, lambda: self._bound_uncached(cfg, trail)
+            )
+        finally:
+            self._add_phase("bounds", time.perf_counter() - started)
 
     def _bound_uncached(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
         analysis = BoundAnalysis(
@@ -258,18 +290,25 @@ class Blazer:
             self._exhaustion = exc
             self._exhaustion_phase = phase
 
-    def _guarded_bound(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
+    def _guarded_bound(
+        self, cfg: ControlFlowGraph, trail: Trail, parent=None
+    ) -> BoundResult:
         """CHECKSAFE leaf evaluation that degrades instead of raising.
 
         Once the budget has tripped, every remaining leaf's checkpoint
         fires immediately, so the whole partition settles to ⊤ bounds in
         time linear in the leaf count — never a hang.
+
+        ``parent`` is the caller's span context: worker threads have
+        empty span stacks of their own, so the parallel path passes it
+        explicitly to keep CHECKSAFE spans nested under the round.
         """
-        try:
-            return self._bound(cfg, trail)
-        except ResourceExhausted as exc:
-            self._note_exhaustion(exc, "safety")
-            return self._top_bound(cfg)
+        with trace_span("checksafe", parent=parent, trail=trail):
+            try:
+                return self._bound(cfg, trail)
+            except ResourceExhausted as exc:
+                self._note_exhaustion(exc, "safety")
+                return self._top_bound(cfg)
 
     def _classify(self, cfg: ControlFlowGraph, node: TrailNode) -> None:
         """CHECKSAFE for one component."""
@@ -315,8 +354,9 @@ class Blazer:
             # identical to the serial loop.  The guard lives inside the
             # mapped function, so a budget trip in one worker thread
             # degrades that leaf without tearing down the pool.
+            ctx = current_context()
             bounds = thread_map(
-                lambda leaf: self._guarded_bound(cfg, leaf.trail),
+                lambda leaf: self._guarded_bound(cfg, leaf.trail, parent=ctx),
                 pending,
                 self.config.jobs,
             )
@@ -364,7 +404,9 @@ class Blazer:
     def analyze(self, proc: str) -> BlazerVerdict:
         if self.config.budget is not None:
             self.config.budget.start()
-        with self._perf_ctx():
+        with self._phase_lock:
+            self._phase = {}
+        with self._perf_ctx(), trace_span("blazer.analyze", proc=proc) as root:
             stats_before = runtime.STATS.snapshot()
             events_before = runtime.STATS.events_snapshot()
             verdict = self._analyze(proc)
@@ -374,6 +416,8 @@ class Blazer:
             verdict.cache_misses = sum(pair[1] for pair in delta.values())
             events = runtime.STATS.events_delta(events_before)
             verdict.quarantined = events.get("cache.quarantine", 0)
+            verdict.phase_seconds = self._phase_snapshot(verdict)
+            root.annotate(status=verdict.status, leaves=len(verdict.tree.leaves()))
             return verdict
 
     def _degradation_report(self, tree: PartitionTree) -> DegradationReport:
@@ -397,28 +441,37 @@ class Blazer:
         self._exhaustion_phase = "safety"
         started = time.perf_counter()
 
+        rounds = 0
         while True:
-            self._evaluate_leaves(cfg, tree)
-            if self._exhaustion is not None:
-                break  # a leaf degraded to ⊤ — stop refining, degrade
-            failing = [l for l in tree.leaves() if l.status == "wide"]
-            if not failing:
-                safety_seconds = time.perf_counter() - started
-                return BlazerVerdict(
-                    proc=proc,
-                    status="safe",
-                    tree=tree,
-                    safety_seconds=safety_seconds,
-                    size=cfg.size,
-                )
-            try:
-                if budget is not None:
-                    budget.refinement("blazer.refine")
-                if not self._refine_for_safety(cfg, taint, tree):
+            rounds += 1
+            with trace_span("blazer.round", round=rounds, leaves=len(tree.leaves())):
+                self._evaluate_leaves(cfg, tree)
+                if self._exhaustion is not None:
+                    break  # a leaf degraded to ⊤ — stop refining, degrade
+                failing = [l for l in tree.leaves() if l.status == "wide"]
+                if not failing:
+                    safety_seconds = time.perf_counter() - started
+                    verdict = BlazerVerdict(
+                        proc=proc,
+                        status="safe",
+                        tree=tree,
+                        safety_seconds=safety_seconds,
+                        size=cfg.size,
+                    )
+                    return verdict
+                refine_started = time.perf_counter()
+                try:
+                    if budget is not None:
+                        budget.refinement("blazer.refine")
+                    with trace_span("blazer.refine", round=rounds):
+                        progressed = self._refine_for_safety(cfg, taint, tree)
+                    if not progressed:
+                        break
+                except ResourceExhausted as exc:
+                    self._note_exhaustion(exc, "safety")
                     break
-            except ResourceExhausted as exc:
-                self._note_exhaustion(exc, "safety")
-                break
+                finally:
+                    self._add_phase("refine", time.perf_counter() - refine_started)
         safety_seconds = time.perf_counter() - started
 
         attack = None
@@ -428,10 +481,12 @@ class Blazer:
             # difference, so it only runs on a healthy partition; its
             # own budget trips abort the search, never fake an attack.
             attack_started = time.perf_counter()
-            try:
-                attack = self._search_attack(cfg, taint, tree)
-            except ResourceExhausted as exc:
-                self._note_exhaustion(exc, "attack")
+            with trace_span("checkattack", proc=proc) as attack_span:
+                try:
+                    attack = self._search_attack(cfg, taint, tree)
+                except ResourceExhausted as exc:
+                    self._note_exhaustion(exc, "attack")
+                attack_span.annotate(found=attack is not None)
             attack_seconds = time.perf_counter() - attack_started
 
         degradation = (
@@ -541,7 +596,10 @@ class Blazer:
                 for children in self._sec_splits(node, block):
                     child_nodes = [TrailNode(trail=c, parent=node) for c in children]
                     for child in child_nodes:
-                        child.bound = self._bound(cfg, child.trail)
+                        with trace_span(
+                            "checkattack.bound", trail=child.trail, block=block
+                        ):
+                            child.bound = self._bound(cfg, child.trail)
                         self._classify(cfg, child)
                     feasible = [
                         c

@@ -71,6 +71,10 @@ def verdict_to_dict(verdict: BlazerVerdict) -> Dict[str, Any]:
         "size": verdict.size,
         "safety_seconds": round(verdict.safety_seconds, 6),
         "attack_seconds": round(verdict.attack_seconds, 6),
+        "phases": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(verdict.phase_seconds.items())
+        },
         "partition": _node_dict(verdict.tree.root),
         "leaves": len(verdict.tree.leaves()),
         "attack": _attack_dict(verdict.attack),
@@ -105,7 +109,7 @@ def verdict_to_json(verdict: BlazerVerdict, indent: int = 2) -> str:
 # (retries and quarantines depend on injected faults and scheduling, not
 # on what was proved).  Everything else — verdict, bounds, partition
 # shape, attack specification — must be bit-stable.
-_VOLATILE_KEYS = ("safety_seconds", "attack_seconds", "cache", "resilience")
+_VOLATILE_KEYS = ("safety_seconds", "attack_seconds", "phases", "cache", "resilience")
 
 
 def verdict_digest(verdict: BlazerVerdict) -> str:

@@ -1,0 +1,100 @@
+"""Process-wide switchboard of the observability layer.
+
+Mirrors :mod:`repro.perf.runtime`: one flag (``REPRO_OBS``), read from
+the environment at import so worker processes inherit the caller's
+choice, plus programmatic ``set_enabled`` / ``override`` for tests and
+embedders.  The flag defaults *off* — with it off, :func:`repro.obs.
+trace.span` returns a shared no-op context manager and every
+instrumented hot path behaves exactly like the seed engine.
+
+The trace destination (``REPRO_TRACE``, a JSONL path) lives here too,
+for the same reason: it must reach pool workers through the
+environment, so the process-wide accessor and the env var are one
+mechanism.
+
+This module is a dependency leaf (it imports nothing from ``repro``) so
+the hot modules — the driver, the bound analysis, the fixpoint engine —
+can consult it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_OFF_VALUES = ("", "0", "false", "off")
+
+_ENABLED = os.environ.get("REPRO_OBS", "0") not in _OFF_VALUES
+
+# Overrides the environment when set programmatically (None = use env).
+_TRACE_PATH: Optional[str] = None
+
+
+def enabled() -> bool:
+    """Is the observability layer (spans + trace export) active?"""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def override(flag: bool) -> Iterator[None]:
+    """Temporarily force the observability layer on or off."""
+    global _ENABLED
+    saved = _ENABLED
+    _ENABLED = bool(flag)
+    try:
+        yield
+    finally:
+        _ENABLED = saved
+
+
+def trace_path() -> Optional[str]:
+    """Where completed spans are exported (JSONL), or None.
+
+    Reads ``REPRO_TRACE`` unless :func:`set_trace_path` installed an
+    explicit destination.  Pool workers inherit the environment, so a
+    path exported by the parent reaches every worker process.
+    """
+    if _TRACE_PATH is not None:
+        return _TRACE_PATH or None
+    return os.environ.get("REPRO_TRACE") or None
+
+
+def process_age_seconds() -> float:
+    """How long this process has existed, interpreter startup included.
+
+    Read from ``/proc`` (field 22 of ``/proc/self/stat`` is the process
+    start time in clock ticks since boot); 0.0 where that is
+    unavailable.  The CLI uses this to stretch its root span back over
+    startup, so trace coverage is measured against the *end-to-end*
+    wall time of the command, not just the instrumented part.
+    """
+    try:
+        with open("/proc/self/stat", "rb") as handle:
+            # Split after the parenthesized comm field: executable names
+            # may contain spaces, everything after ") " is fixed-format.
+            fields = handle.read().rsplit(b") ", 1)[1].split()
+        started_ticks = float(fields[19])  # "starttime", field 22 overall
+        with open("/proc/uptime", "rb") as handle:
+            uptime = float(handle.read().split()[0])
+        age = uptime - started_ticks / os.sysconf("SC_CLK_TCK")
+        return max(0.0, age)
+    except (OSError, ValueError, IndexError, AttributeError):
+        return 0.0
+
+
+def set_trace_path(path: Optional[str], export_env: bool = False) -> None:
+    """Install a trace destination; ``export_env`` also sets
+    ``REPRO_TRACE`` so worker *processes* spawned later inherit it."""
+    global _TRACE_PATH
+    _TRACE_PATH = path
+    if export_env:
+        if path:
+            os.environ["REPRO_TRACE"] = path
+        else:
+            os.environ.pop("REPRO_TRACE", None)

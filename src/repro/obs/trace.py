@@ -1,0 +1,302 @@
+"""Lightweight trace spans: where an analysis spends its time.
+
+The paper's driver (Fig. 2) alternates REFINEPARTITION / CHECKSAFE /
+CHECKATTACK; a span is one timed occurrence of such a phase::
+
+    with span("checksafe", trail=leaf.trail):
+        ...
+
+Design:
+
+* **Off means off.**  With the ``REPRO_OBS`` switch down
+  (:mod:`repro.obs.runtime`), :func:`span` returns one shared no-op
+  context manager — no allocation, no clock read, no stack push.  The
+  instrumented engine is behaviorally identical to the seed engine.
+* **Monotonic clocks.**  Durations come from ``time.perf_counter``;
+  the wall-clock timestamp on each record is informational only.
+* **Parent/child nesting** via a thread-local span stack; sibling
+  threads keep independent stacks, and a worker can link its spans to
+  a parent in another thread (or process) by passing the parent's
+  ``(trace, span)`` context explicitly (:func:`current_context`).
+* **Thread+process-safe IDs.**  A span id is
+  ``"<pid:x>-<tid:x>-<seq:x>"`` — the triple is unique across every
+  thread of every worker process without any coordination.  The trace
+  id is the root span's id.
+* **Lazy attributes.**  Attribute values are rendered only when the
+  span is recorded (obs on): pass a ``Trail`` and its (memoized)
+  fingerprint is taken at exit; pass a callable and it is called then.
+
+Completed spans go to the process-wide :data:`COLLECTOR`: a bounded
+in-memory ring (tests, ad-hoc inspection), per-span-name metrics on
+:data:`repro.obs.metrics.REGISTRY` (``repro_spans_total``,
+``repro_span_seconds``), and — when ``REPRO_TRACE`` names a file — a
+JSONL export riding the crash-safe journal machinery of
+:mod:`repro.resilience.journal` (flush per record, no per-span fsync).
+Worker processes inherit ``REPRO_TRACE`` through the environment and
+append to the same file; single-line ``O_APPEND`` writes keep the
+records intact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import runtime
+from repro.obs.metrics import REGISTRY
+from repro.resilience.journal import write_record
+
+log = logging.getLogger(__name__)
+
+# How many completed spans the in-memory ring retains.
+RING_LIMIT = 4096
+
+_SEQ = itertools.count(1)  # next() is atomic under the GIL
+
+SpanContext = Tuple[str, str]  # (trace id, span id)
+
+
+def _new_id() -> str:
+    return "%x-%x-%x" % (os.getpid(), threading.get_ident(), next(_SEQ))
+
+
+class _Stack(threading.local):
+    def __init__(self) -> None:
+        self.spans: List["Span"] = []
+
+
+_STACK = _Stack()
+
+
+def _render_attr(value: Any) -> Any:
+    """Render one attribute for the span record, as late and as cheaply
+    as possible: callables are thunks, trail-likes contribute their
+    memoized fingerprint, JSON scalars pass through."""
+    if callable(value):
+        value = value()
+    fingerprint = getattr(value, "fingerprint", None)
+    if callable(fingerprint):
+        try:
+            return fingerprint()
+        except Exception:  # pragma: no cover - a broken attr never kills a span
+            return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class Span:
+    """One in-flight timed phase (use via :func:`span`)."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "started_wall",
+        "started",
+        "seconds",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any], parent: Optional[SpanContext]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _new_id()
+        if parent is not None:
+            self.trace_id, self.parent_id = parent
+        else:
+            enclosing = _STACK.spans[-1] if _STACK.spans else None
+            if enclosing is not None:
+                self.trace_id = enclosing.trace_id
+                self.parent_id: Optional[str] = enclosing.span_id
+            else:
+                self.trace_id = self.span_id
+                self.parent_id = None
+        self.started_wall = time.time()
+        self.started = time.perf_counter()
+        self.seconds = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to an already-open span."""
+        self.attrs.update(attrs)
+
+    def backdate(self, seconds: float) -> None:
+        """Stretch the span's start ``seconds`` into the past — how the
+        CLI's root span absorbs interpreter startup
+        (:func:`repro.obs.runtime.process_age_seconds`)."""
+        if seconds > 0:
+            self.started -= seconds
+            self.started_wall -= seconds
+
+    @property
+    def context(self) -> SpanContext:
+        return (self.trace_id, self.span_id)
+
+    def __enter__(self) -> "Span":
+        _STACK.spans.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.started
+        stack = _STACK.spans
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; recover, don't corrupt
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        COLLECTOR.record(self)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "pid": os.getpid(),
+            "thread": threading.get_ident(),
+            "t_wall": round(self.started_wall, 6),
+            "seconds": round(self.seconds, 9),
+            "attrs": {k: _render_attr(v) for k, v in sorted(self.attrs.items())},
+        }
+
+
+class _NullSpan:
+    """The shared off-switch context manager: stateless, reentrant."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def backdate(self, seconds: float) -> None:
+        return None
+
+    @property
+    def context(self) -> None:
+        return None
+
+
+_NULL = _NullSpan()
+
+
+def span(name: str, parent: Optional[SpanContext] = None, **attrs: Any):
+    """A context manager timing one named phase (no-op when obs is off).
+
+    ``parent`` explicitly links the span into another thread's or
+    process's trace; without it, nesting follows this thread's span
+    stack.
+    """
+    if not runtime.enabled():
+        return _NULL
+    return Span(name, attrs, parent)
+
+
+def current_context() -> Optional[SpanContext]:
+    """The innermost open span's ``(trace, span)`` — what a caller hands
+    to workers so their spans nest under it across threads/processes."""
+    if not _STACK.spans:
+        return None
+    return _STACK.spans[-1].context
+
+
+class TraceCollector:
+    """Process-wide sink for completed spans (ring + metrics + JSONL)."""
+
+    def __init__(self, ring_limit: int = RING_LIMIT):
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=ring_limit)
+        self._handle = None
+        self._handle_path: Optional[str] = None
+        self._handle_pid: Optional[int] = None
+        self._spans_total = REGISTRY.counter(
+            "repro_spans_total",
+            "Completed trace spans by phase name",
+            labelnames=("name",),
+        )
+        self._span_seconds = REGISTRY.histogram(
+            "repro_span_seconds",
+            "Trace span duration by phase name (seconds)",
+            labelnames=("name",),
+        )
+
+    def record(self, span: Span) -> None:
+        record = span.to_record()
+        with self._lock:
+            self._ring.append(record)
+        self._spans_total.labels(name=span.name).inc()
+        self._span_seconds.labels(name=span.name).observe(span.seconds)
+        path = runtime.trace_path()
+        if path is not None:
+            self._export(path, record)
+
+    def _export(self, path: str, record: Dict[str, Any]) -> None:
+        with self._lock:
+            try:
+                handle = self._ensure_handle(path)
+                write_record(handle, record, fsync=False)
+            except OSError as exc:  # a dead trace file must not kill analyses
+                log.warning("cannot export span to %s: %s", path, exc)
+
+    def _ensure_handle(self, path: str):
+        pid = os.getpid()
+        if (
+            self._handle is None
+            or self._handle_path != path
+            or self._handle_pid != pid  # reopened after fork: own offset
+        ):
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+            self._handle_path = path
+            self._handle_pid = pid
+        return self._handle
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = list(self._ring)
+        if name is None:
+            return records
+        return [r for r in records if r["name"] == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+COLLECTOR = TraceCollector()
+
+
+def load_trace(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the span records of a JSONL trace file, skipping malformed
+    lines (the forgiving-loader convention of the suite journal)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "span" in record:
+                yield record

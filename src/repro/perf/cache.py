@@ -30,6 +30,7 @@ import hashlib
 import logging
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs.trace import span as trace_span
 from repro.perf import runtime
 from repro.perf.disktier import DiskTier
 from repro.perf.fingerprint import trail_fingerprint
@@ -136,7 +137,8 @@ class AnalysisCache:
                 return value
         self._stats.miss("bound")
         if self._disk is not None:
-            value = self._disk.get_pickled(self._disk_key(key))
+            with trace_span("cache.disk_get", key=key):
+                value = self._disk.get_pickled(self._disk_key(key))
             if value is not None and not getattr(value, "degraded", False):
                 self._stats.hit("bound.disk")
                 self._bounds[key] = (value, entry_digest(value))
@@ -145,7 +147,8 @@ class AnalysisCache:
         result = compute()
         self._bounds[key] = (result, entry_digest(result))
         if self._disk is not None and not getattr(result, "degraded", False):
-            self._disk.put_pickled(self._disk_key(key), result)
+            with trace_span("cache.disk_put", key=key):
+                self._disk.put_pickled(self._disk_key(key), result)
         return result
 
     def _disk_key(self, key: str) -> str:

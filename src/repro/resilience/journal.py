@@ -17,9 +17,29 @@ from __future__ import annotations
 import json
 import logging
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, TextIO
 
 log = logging.getLogger(__name__)
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One record as one compact, key-sorted JSON line (no newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_record(handle: TextIO, record: Dict[str, Any], fsync: bool = True) -> None:
+    """Append one JSONL record to an open handle and flush it.
+
+    ``fsync=True`` (the journal's mode) forces the line to disk before
+    returning — crash-safe, one syscall per record.  ``fsync=False``
+    (the trace exporter's mode, :mod:`repro.obs.trace`) only flushes to
+    the OS: span records are high-volume observability data, worth at
+    most the process's last buffer on a crash, never an fsync each.
+    """
+    handle.write(encode_record(record) + "\n")
+    handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
 
 
 class SuiteJournal:
@@ -60,13 +80,10 @@ class SuiteJournal:
 
     def append(self, record: Dict[str, Any]) -> None:
         """Write one record and force it to disk before returning."""
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            write_record(handle, record, fsync=True)
 
     def record_result(self, name: str, result_dict: Dict[str, Any]) -> None:
         self.append({"name": name, "result": result_dict})

@@ -185,6 +185,12 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._checked({"op": "stats"})
 
+    def metrics(self, format: str = "text") -> Dict[str, Any]:
+        """The daemon's unified metrics snapshot: Prometheus text
+        exposition under ``text`` (the default; response field ``text``),
+        a JSON snapshot under ``json`` (response field ``metrics``)."""
+        return self._checked({"op": "metrics", "format": format})
+
     def shutdown(self) -> Dict[str, Any]:
         response = self._checked({"op": "shutdown"})
         self.close()

@@ -45,6 +45,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional
 
+from repro.obs import exporters as obs_exporters
+from repro.obs.metrics import Family, MetricsRegistry, REGISTRY as GLOBAL_REGISTRY
+from repro.obs.trace import span as trace_span
 from repro.perf.parallel import collect_outcome, process_pool_usable, resolve_jobs
 from repro.resilience.retry import RetryPolicy, run_with_retries
 from repro.service import protocol
@@ -59,6 +62,8 @@ ISOLATIONS = ("thread", "process")
 
 VERDICTS_FILE = "verdicts.jsonl"
 BOUNDS_FILE = "bounds.jsonl"
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ServiceStats:
@@ -81,7 +86,13 @@ class ServiceStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts = {name: 0 for name in self.FIELDS}
-        self.started_at = time.time()
+        # Monotonic, like every other duration in the codebase: uptime
+        # must not jump when the wall clock is stepped by NTP.
+        self.started_at = time.monotonic()
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
 
     def bump(self, name: str, n: int = 1) -> None:
         with self._lock:
@@ -146,6 +157,24 @@ class AnalysisDaemon:
         self.queue = JobQueue()
         self.store = ResultStore(store_path)
         self.stats = ServiceStats()
+        # The daemon's own metrics registry (docs/OBSERVABILITY.md).
+        # Native families cover what only the workers see as it happens
+        # (per-job latency, busy workers); everything already counted
+        # elsewhere — ServiceStats, queue depth, the process-wide perf
+        # stats — joins through pull-time collectors, so serving the
+        # ``metrics`` op adds nothing to the submit/execute hot paths.
+        self.registry = MetricsRegistry()
+        self._job_seconds = self.registry.histogram(
+            "repro_service_job_seconds",
+            "Wall seconds per executed job by outcome",
+            labelnames=("outcome",),
+        )
+        self._busy_workers = self.registry.gauge(
+            "repro_service_busy_workers",
+            "Worker threads currently executing a job",
+        )
+        self.registry.register_collector(self._service_families)
+        obs_exporters.register_perf_collector(self.registry)
         self._server: Optional[socket.socket] = None
         self._bound_address: Optional[protocol.Address] = None
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -327,6 +356,8 @@ class AnalysisDaemon:
                 return self._handle_result(message)
             if op == "stats":
                 return self._handle_stats()
+            if op == "metrics":
+                return self._handle_metrics(message)
             return self._handle_shutdown()
         except ReproError as exc:
             self.stats.bump("rejected")
@@ -413,10 +444,70 @@ class AnalysisDaemon:
             address=self.address,
             workers=self.workers,
             isolation=self.isolation,
-            uptime_seconds=round(time.time() - self.stats.started_at, 3),
+            uptime_seconds=round(self.stats.uptime_seconds, 3),
             queue_depth=self.queue.depth(),
             store=self.store.stats(),
             **counters,
+        )
+
+    def _service_families(self) -> List[Family]:
+        """Pull-time collector: the pre-existing daemon state as metric
+        families (this is how ``ServiceStats`` was migrated onto the
+        registry — its counters stay the source of truth)."""
+        counters = [
+            ({"event": name}, value)
+            for name, value in sorted(self.stats.snapshot().items())
+        ]
+        return [
+            Family.constant(
+                "repro_service_events_total",
+                "counter",
+                "Daemon lifecycle counters (submissions, cache hits, "
+                "failures, ...)",
+                counters,
+            ),
+            Family.constant(
+                "repro_service_queue_depth",
+                "gauge",
+                "Jobs currently queued and not yet popped by a worker",
+                [({}, self.queue.depth())],
+            ),
+            Family.constant(
+                "repro_service_workers",
+                "gauge",
+                "Size of the worker pool",
+                [({}, self.workers)],
+            ),
+            Family.constant(
+                "repro_service_uptime_seconds",
+                "gauge",
+                "Seconds since the daemon's stats epoch (monotonic clock)",
+                [({}, round(self.stats.uptime_seconds, 3))],
+            ),
+        ]
+
+    def _handle_metrics(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """The unified snapshot: the daemon's registry (service counters,
+        queue depth, worker utilization, job latencies, perf cache
+        hit/miss rates) merged with the process-wide one (span
+        metrics)."""
+        fmt = message.get("format", "text")
+        registries = (GLOBAL_REGISTRY, self.registry)
+        if fmt == "json":
+            return protocol.ok_response(
+                "metrics",
+                format="json",
+                metrics=obs_exporters.metrics_snapshot(*registries),
+            )
+        if fmt != "text":
+            return protocol.error_response(
+                "metrics", "unknown metrics format %r (want 'text' or 'json')" % fmt
+            )
+        return protocol.ok_response(
+            "metrics",
+            format="text",
+            content_type=PROMETHEUS_CONTENT_TYPE,
+            text=obs_exporters.prometheus_text(*registries),
         )
 
     def _handle_shutdown(self) -> Dict[str, Any]:
@@ -487,6 +578,27 @@ class AnalysisDaemon:
         return outcome
 
     def _run_job(self, job: Job) -> None:
+        started = time.perf_counter()
+        label = "error"  # only survives if _settle_job itself raises
+        self._busy_workers.inc()
+        try:
+            with trace_span(
+                "service.job",
+                job=job.id,
+                proc=job.payload.get("proc"),
+                isolation=self.isolation,
+            ):
+                label = self._settle_job(job)
+        finally:
+            self._busy_workers.dec()
+            self._job_seconds.labels(outcome=label).observe(
+                time.perf_counter() - started
+            )
+
+    def _settle_job(self, job: Job) -> str:
+        """Execute ``job`` to a settled state; returns the outcome label
+        (``completed`` | ``degraded`` | ``failed``) for the job-latency
+        histogram."""
         job.attempts = 1
         outcome = self._execute_once(job)
         if isinstance(outcome, Exception) and self._policy.retries:
@@ -505,9 +617,11 @@ class AnalysisDaemon:
             self.queue.finish(
                 job, error="%s: %s" % (type(outcome).__name__, outcome)
             )
-            return
+            return "failed"
         self.stats.bump("completed")
-        if outcome.get("degraded"):
+        degraded = bool(outcome.get("degraded"))
+        if degraded:
             self.stats.bump("degraded")
         self.store.put(job.key, outcome)
         self.queue.finish(job, result=outcome)
+        return "degraded" if degraded else "completed"

@@ -19,6 +19,10 @@ Verbs (full field reference in docs/SERVICE.md):
     a settled job's result; ``wait`` blocks until it settles.
 ``stats``
     daemon counters (submissions, coalesced, cache tiers, failures).
+``metrics``
+    the daemon's unified metrics registry (docs/OBSERVABILITY.md):
+    Prometheus text exposition by default, a JSON snapshot with
+    ``format: "json"``.
 ``ping`` / ``shutdown``
     liveness probe / orderly stop.
 
@@ -46,7 +50,7 @@ PROTOCOL_VERSION = 1
 # it protects the daemon from unframed garbage on the socket.
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-OPS = ("submit", "status", "result", "stats", "ping", "shutdown")
+OPS = ("submit", "status", "result", "stats", "metrics", "ping", "shutdown")
 
 Address = Union[Tuple[str, str], Tuple[str, str, int]]  # ("unix", path) | ("tcp", host, port)
 

@@ -1,0 +1,98 @@
+"""The off-switch contract: ``REPRO_OBS=0`` (the default) must be the
+seed engine — identical verdict digests, no trace output, no span
+overhead objects on the hot path (docs/OBSERVABILITY.md)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import Blazer
+from repro.core.report import verdict_digest, verdict_to_dict
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import COLLECTOR
+
+SAFE_SRC = """
+proc check(secret pin: int, public attempts: uint): int {
+    var i: int = 0;
+    while (i < attempts) { i = i + 1; }
+    return i;
+}
+"""
+
+LEAKY_SRC = """
+proc leak(secret high: int, public low: uint): int {
+    var i: int = 0;
+    if (high > 0) {
+        while (i < low) { i = i + 1; }
+    }
+    return i;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    COLLECTOR.clear()
+    obs_runtime.set_trace_path(None)
+    yield
+    COLLECTOR.clear()
+    obs_runtime.set_trace_path(None)
+
+
+def test_obs_defaults_off_in_a_fresh_process():
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_OBS"}
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [sys.executable, "-c", "from repro.obs import runtime; print(runtime.enabled())"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert out.stdout.strip() == "False"
+
+
+def test_env_zero_means_off_and_one_means_on():
+    for value, expected in (("0", "False"), ("", "False"), ("1", "True")):
+        env = dict(os.environ, PYTHONPATH="src", REPRO_OBS=value)
+        out = subprocess.run(
+            [sys.executable, "-c", "from repro.obs import runtime; print(runtime.enabled())"],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == expected, "REPRO_OBS=%r" % value
+
+
+@pytest.mark.parametrize(
+    "source,proc,status",
+    [(SAFE_SRC, "check", "safe"), (LEAKY_SRC, "leak", "attack")],
+)
+def test_digests_identical_with_obs_on(source, proc, status, tmp_path):
+    with obs_runtime.override(False):
+        off = Blazer.from_source(source).analyze(proc)
+    obs_runtime.set_trace_path(str(tmp_path / "trace.jsonl"))
+    with obs_runtime.override(True):
+        on = Blazer.from_source(source).analyze(proc)
+    assert off.status == on.status == status
+    assert verdict_digest(off) == verdict_digest(on)
+    assert COLLECTOR.spans("blazer.analyze")  # the on-run really traced
+
+
+def test_phase_timings_are_volatile(tmp_path):
+    with obs_runtime.override(False):
+        verdict = Blazer.from_source(SAFE_SRC).analyze("check")
+    assert set(verdict.phase_seconds) >= {"taint", "bounds", "total"}
+    assert "phases" in verdict_to_dict(verdict)
+    before = verdict_digest(verdict)
+    verdict.phase_seconds = {"taint": 99.0}
+    assert verdict_digest(verdict) == before  # timings never shift the digest
+
+
+def test_no_spans_recorded_when_off():
+    with obs_runtime.override(False):
+        Blazer.from_source(SAFE_SRC).analyze("check")
+    assert COLLECTOR.spans() == []

@@ -1,0 +1,228 @@
+"""Trace spans: nesting, cross-thread/process linkage, JSONL export.
+
+The process-backend test fans span-producing workers over the real
+:func:`repro.perf.parallel.try_map` process pool; workers inherit
+``REPRO_OBS`` / ``REPRO_TRACE`` through the environment (fork) and
+append to one shared JSONL trace, which is then reassembled with
+:func:`load_trace`.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import (
+    COLLECTOR,
+    _NULL,
+    Span,
+    current_context,
+    load_trace,
+    span,
+)
+from repro.perf.parallel import process_pool_usable, try_map
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    COLLECTOR.clear()
+    obs_runtime.set_trace_path(None)
+    yield
+    COLLECTOR.clear()
+    obs_runtime.set_trace_path(None)
+    obs_runtime.set_enabled(os.environ.get("REPRO_OBS", "0") not in ("", "0", "false", "off"))
+
+
+class TestOffSwitch:
+    def test_disabled_span_is_the_shared_noop(self):
+        with obs_runtime.override(False):
+            assert span("checksafe") is _NULL
+            assert span("other", trail="x") is _NULL
+
+    def test_noop_span_records_nothing(self):
+        with obs_runtime.override(False):
+            with span("checksafe") as s:
+                s.annotate(extra=1)
+                assert s.context is None
+            assert current_context() is None
+        assert COLLECTOR.spans() == []
+
+    def test_enabled_span_is_real(self):
+        with obs_runtime.override(True):
+            assert isinstance(span("checksafe"), Span)
+
+
+class TestNesting:
+    def test_parent_child_share_trace(self):
+        with obs_runtime.override(True):
+            with span("blazer.analyze") as root:
+                assert root.trace_id == root.span_id  # root starts the trace
+                assert root.parent_id is None
+                with span("checksafe") as child:
+                    assert child.trace_id == root.trace_id
+                    assert child.parent_id == root.span_id
+                    assert current_context() == child.context
+                assert current_context() == root.context
+        records = {r["name"]: r for r in COLLECTOR.spans()}
+        assert records["checksafe"]["parent"] == records["blazer.analyze"]["span"]
+
+    def test_explicit_parent_overrides_stack(self):
+        with obs_runtime.override(True):
+            with span("root") as root:
+                ctx = root.context
+            with span("adopted", parent=ctx) as adopted:
+                assert adopted.trace_id == root.trace_id
+                assert adopted.parent_id == root.span_id
+
+    def test_attrs_rendered_lazily(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return "rendered"
+
+        with obs_runtime.override(True):
+            with span("lazy", value=thunk):
+                assert calls == []  # not rendered while open
+        assert COLLECTOR.spans("lazy")[0]["attrs"]["value"] == "rendered"
+
+    def test_exception_still_records_and_pops(self):
+        with obs_runtime.override(True):
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+            assert current_context() is None
+        assert len(COLLECTOR.spans("doomed")) == 1
+
+    def test_span_ids_embed_pid(self):
+        with obs_runtime.override(True):
+            with span("here") as s:
+                assert s.span_id.startswith("%x-" % os.getpid())
+
+    def test_backdate_stretches_duration(self):
+        with obs_runtime.override(True):
+            with span("stretched") as s:
+                s.backdate(5.0)
+        assert COLLECTOR.spans("stretched")[0]["seconds"] >= 5.0
+        with obs_runtime.override(False):
+            span("noop").backdate(5.0)  # the null span just ignores it
+
+    def test_process_age_covers_interpreter_startup(self):
+        age = obs_runtime.process_age_seconds()
+        assert age > 0.0  # /proc-less platforms would report 0.0
+        assert age < 3600.0
+
+
+class TestThreads:
+    def test_sibling_threads_get_independent_stacks(self):
+        seen = {}
+
+        def worker(name):
+            with span(name) as s:
+                seen[name] = (s.trace_id, s.parent_id)
+
+        with obs_runtime.override(True):
+            with span("main.root"):
+                threads = [
+                    threading.Thread(target=worker, args=("t%d" % i,))
+                    for i in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        for trace_id, parent_id in seen.values():
+            assert parent_id is None  # not nested under another thread's span
+        assert len({trace for trace, _ in seen.values()}) == 4
+
+    def test_explicit_context_links_across_threads(self):
+        def worker(ctx, idx):
+            with span("thread.child", parent=ctx, idx=idx):
+                pass
+
+        with obs_runtime.override(True):
+            with span("fanout.root") as root:
+                ctx = current_context()
+                threads = [
+                    threading.Thread(target=worker, args=(ctx, i)) for i in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        children = COLLECTOR.spans("thread.child")
+        assert len(children) == 4
+        assert {c["parent"] for c in children} == {root.span_id}
+        assert {c["trace"] for c in children} == {root.trace_id}
+
+
+def _process_span_worker(arg):
+    """Module-level for pickling; runs inside a pool worker process."""
+    idx, parent = arg
+    from repro.obs import runtime as worker_runtime
+    from repro.obs.trace import span as worker_span
+
+    worker_runtime.set_enabled(True)  # idempotent under fork, needed under spawn
+    with worker_span("process.child", parent=tuple(parent), idx=idx):
+        pass
+    return os.getpid()
+
+
+class TestProcesses:
+    @pytest.mark.skipif(not process_pool_usable(), reason="no process pools here")
+    def test_workers_export_linked_spans_to_shared_trace(self, tmp_path, monkeypatch):
+        trace_file = str(tmp_path / "trace.jsonl")
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_TRACE", trace_file)
+        with obs_runtime.override(True):
+            with span("suite.root") as root:
+                ctx = current_context()
+                outcomes = try_map(
+                    _process_span_worker,
+                    [(i, ctx) for i in range(4)],
+                    jobs=2,
+                    backend="process",
+                )
+        pids = [o for o in outcomes if isinstance(o, int)]
+        assert len(pids) == 4
+        assert all(pid != os.getpid() for pid in pids)
+
+        records = list(load_trace(trace_file))
+        children = [r for r in records if r["name"] == "process.child"]
+        assert len(children) == 4
+        assert {c["parent"] for c in children} == {root.span_id}
+        assert {c["trace"] for c in children} == {root.trace_id}
+        assert {c["pid"] for c in children} == set(pids)
+        roots = [r for r in records if r["name"] == "suite.root"]
+        assert len(roots) == 1  # the parent process exported its root too
+
+
+class TestExport:
+    def test_jsonl_export_and_forgiving_loader(self, tmp_path):
+        trace_file = str(tmp_path / "trace.jsonl")
+        obs_runtime.set_trace_path(trace_file)
+        with obs_runtime.override(True):
+            with span("outer", proc="foo"):
+                with span("inner"):
+                    pass
+        with open(trace_file, "a", encoding="utf-8") as handle:
+            handle.write("not json\n\n{\"no_span_key\": true}\n")
+        records = list(load_trace(trace_file))
+        assert [r["name"] for r in records] == ["inner", "outer"]  # exit order
+        assert records[0]["parent"] == records[1]["span"]
+        assert records[1]["attrs"] == {"proc": "foo"}
+        assert all(r["seconds"] >= 0 for r in records)
+
+    def test_span_metrics_feed_the_global_registry(self):
+        from repro.obs.metrics import REGISTRY
+
+        with obs_runtime.override(True):
+            with span("metered"):
+                pass
+        families = {f.name: f for f in REGISTRY.collect()}
+        totals = {
+            dict(c.key)["name"]: c.value
+            for c in families["repro_spans_total"].children()
+        }
+        assert totals.get("metered", 0) >= 1
