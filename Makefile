@@ -3,10 +3,21 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-metrics table1
+.PHONY: test test-resilience smoke-service smoke-metrics diffcheck-smoke table1
 
-test:
+test: diffcheck-smoke
 	$(PYTHON) -m pytest -q
+
+# Differential fuzz smoke: 200 generated programs cross-checked against
+# the ground-truth timing oracle at a pinned seed (docs/DIFFCHECK.md).
+# Exit 1 = soundness bug.  Shrinking is off: the smoke gate only needs
+# the verdicts, and precision-gap shrinks would dominate the runtime.
+# The reduced --max-pairs budget keeps the gate under a minute even on
+# one core; it only trims the self-composition baseline's exploration
+# (extra "exhausted" outcomes, never different verdicts), and full
+# campaigns keep the 2500 default.
+diffcheck-smoke:
+	$(PYTHON) -m repro diffcheck --seed 0 --count 200 --jobs 1 --no-shrink --max-pairs 80
 
 test-resilience:
 	$(PYTHON) -m pytest -q -m resilience

@@ -120,6 +120,13 @@ class DFA:
         return removed == len(useful)
 
     def _useful_states(self) -> Set[int]:
+        # Index successors/predecessors once: scanning the transition
+        # dict per visited state is quadratic on product automata.
+        fwd: Dict[int, List[int]] = {}
+        rev: Dict[int, List[int]] = {}
+        for (src, _), dst in self.transitions.items():
+            fwd.setdefault(src, []).append(dst)
+            rev.setdefault(dst, []).append(src)
         reachable: Set[int] = set()
         stack = [self.initial]
         while stack:
@@ -127,17 +134,15 @@ class DFA:
             if state in reachable:
                 continue
             reachable.add(state)
-            for (src, _), dst in self.transitions.items():
-                if src == state and dst not in reachable:
-                    stack.append(dst)
-        coreachable: Set[int] = set(self.accepting)
-        changed = True
-        while changed:
-            changed = False
-            for (src, _), dst in self.transitions.items():
-                if dst in coreachable and src not in coreachable:
-                    coreachable.add(src)
-                    changed = True
+            stack.extend(dst for dst in fwd.get(state, ()) if dst not in reachable)
+        coreachable: Set[int] = set()
+        stack = list(self.accepting)
+        while stack:
+            state = stack.pop()
+            if state in coreachable:
+                continue
+            coreachable.add(state)
+            stack.extend(src for src in rev.get(state, ()) if src not in coreachable)
         return reachable & coreachable
 
     # -- constructions -----------------------------------------------------------

@@ -182,6 +182,13 @@ class ParallelSuiteRunner:
     ``deadline`` (seconds) hands every worker a wall-clock
     :class:`Budget` — overruns degrade to "unknown" verdicts rather
     than hang (see :mod:`repro.core.blazer`).
+
+    The runner is reusable for non-benchmark suites (the differential
+    harness rides it for fuzz campaigns): pass ``worker`` (a picklable
+    callable from item name to result) and ``codec`` (the result class,
+    providing ``from_dict`` for resume and ``to_dict``/``retries``/
+    ``resumed`` on instances).  The defaults reproduce the benchmark
+    behavior exactly.
     """
 
     def __init__(
@@ -196,6 +203,8 @@ class ParallelSuiteRunner:
         journal: Optional[str] = None,
         resume: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        worker=None,
+        codec=None,
     ):
         if benchmarks is None:
             from repro.benchsuite import ALL_BENCHMARKS
@@ -212,6 +221,8 @@ class ParallelSuiteRunner:
         self._journal: Optional[SuiteJournal] = open_journal(journal)
         self._resume = resume
         self._policy = retry_policy or RetryPolicy(retries=retries)
+        self._worker = worker
+        self._codec = codec or BenchResult
         # Observability for callers (the CLI, bench_perf): retry count
         # per benchmark name, and how many rows came from the journal.
         self.retry_counts: Dict[str, int] = {}
@@ -237,7 +248,7 @@ class ParallelSuiteRunner:
         out: Dict[str, BenchResult] = {}
         for name, record in self._journal.load().items():
             try:
-                result = BenchResult.from_dict(record["result"])
+                result = self._codec.from_dict(record["result"])
             except (KeyError, TypeError):
                 continue
             result.resumed = True
@@ -247,15 +258,17 @@ class ParallelSuiteRunner:
     # -- execution ---------------------------------------------------------
 
     def run(self) -> List[BenchResult]:
-        worker = partial(
-            run_benchmark, cache=self._cache, deadline=self._deadline
-        )
+        worker = self._worker
+        if worker is None:
+            worker = partial(
+                run_benchmark, cache=self._cache, deadline=self._deadline
+            )
         completed: Dict[str, BenchResult] = self._load_resumable()
         self.resumed_names = [n for n in self._names if n in completed]
         pending = [n for n in self._names if n not in completed]
 
         def journal_hook(index: int, outcome: Union[BenchResult, Exception]) -> None:
-            if isinstance(outcome, BenchResult):
+            if not isinstance(outcome, Exception):
                 completed[pending[index]] = outcome
                 self._record(outcome)
 
@@ -277,7 +290,7 @@ class ParallelSuiteRunner:
 
         failed: List[Tuple[str, Exception]] = []
         for name, outcome in zip(pending, outcomes):
-            if isinstance(outcome, BenchResult):
+            if not isinstance(outcome, Exception):
                 completed[name] = outcome
             else:
                 failed.append((name, outcome))

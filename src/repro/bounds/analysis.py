@@ -560,6 +560,7 @@ class BoundAnalysis:
             symbols=self._symbols,
             single_exit_branch=single_exit,
             inner_loops_finite=inner_finite,
+            header=loop.header,
         )
         self._iter_bounds[loop.header] = bound
         return bound

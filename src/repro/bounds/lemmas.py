@@ -126,11 +126,21 @@ def match_iteration_lemmas(
     symbols: Sequence[str],
     single_exit_branch: Optional[Tuple[int, int]],
     inner_loops_finite: bool,
+    header: Optional[Tuple[int, int]] = None,
 ) -> IterationBound:
     """Try every rank candidate against the lemma database; combine.
 
     ``single_exit_branch`` is the product node of the loop's only exiting
     branch when there is exactly one, else None (disables EXACT_COUNTER).
+
+    ``header`` is the loop's header node.  EXACT_COUNTER's lower bound
+    counts stay-decisions at the ranked branch starting from the rank's
+    value at loop entry — which is only the value at the *first check*
+    when the branch is the header.  Occurrence-split product graphs
+    rotate loops (the trail DFA's state change moves the natural-loop
+    header into the body), so the rank may already have decreased by one
+    step before the branch first fires; the lower bound then concedes
+    one decrement, and exactness is never claimed.
     """
     best_upper: Optional[Poly] = None
     best_upper_key: Optional[Tuple] = None
@@ -178,20 +188,28 @@ def match_iteration_lemmas(
             and inner_loops_finite
         ):
             delta_max = None if delta_lo is None else -delta_lo
+            at_header = header is None or cand.branch_node == header
             if delta_max is not None and delta_max >= 1:
                 entry_sym_exact = symbolic_form(r, entry_state, symbols)
                 if entry_sym_exact is not None:
                     # iterations = ceil((r+1)/δ) >= (r+1)/δ.  (Using
                     # r/δ + 1 instead would overcount whenever δ does not
                     # divide r+1 — e.g. a step-2 loop over an odd range.)
+                    # A rotated loop (branch below the header) concedes
+                    # one decrement before the first check.
+                    concede = 0 if at_header else 1
                     if not entry_sym_exact.coeffs:
                         lower = Poly.constant(
-                            max(0, math.ceil((entry_sym_exact.const + 1) / delta_max))
+                            max(
+                                0,
+                                math.ceil((entry_sym_exact.const + 1) / delta_max)
+                                - concede,
+                            )
                         )
                     else:
                         lower = (
                             linexpr_to_poly(entry_sym_exact) + Poly.constant(1)
-                        ) * (Fraction(1) / delta_max)
+                        ) * (Fraction(1) / delta_max) - Poly.constant(concede)
                     entry_r_lo, _ = entry_state.bounds_of(r)
                     # The unclamped product is sound when the entry state
                     # proves r >= 0, and also whenever the decrement is
@@ -205,8 +223,9 @@ def match_iteration_lemmas(
                     if best_lower is None or lkey > (best_lower.degree(), str(best_lower)):
                         best_lower = lower
                         best_lower_nonneg = nonneg_here
-                    if delta_max == delta_min == 1 or (
-                        delta_max == delta_min and not entry_sym_exact.coeffs
+                    if at_header and (
+                        delta_max == delta_min == 1
+                        or (delta_max == delta_min and not entry_sym_exact.coeffs)
                     ):
                         # Unit steps (symbolically) or constant ranks
                         # (exact ceiling) give lower == upper.

@@ -21,6 +21,11 @@ Subcommands mirror the stages a Blazer user cares about:
 ``table1`` / ``figure1``
     Regenerate the paper's evaluation artifacts.
 
+``diffcheck --seed S --count N``
+    Differential fuzz campaign (docs/DIFFCHECK.md): random programs
+    checked oracle vs driver vs self-composition baseline; exit 1 on a
+    soundness bug.
+
 ``serve`` / ``submit`` / ``status``
     The resident analysis service (docs/SERVICE.md): boot the daemon,
     send it a job over the NDJSON socket protocol, inspect its queue.
@@ -345,6 +350,84 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+DEFAULT_DIFF_JOURNAL = ".diffcheck.journal.jsonl"
+
+
+def cmd_diffcheck(args) -> int:
+    _arm_observability(args)
+    from repro.diffcheck import CampaignConfig, DiffConfig, run_campaign
+    from repro.diffcheck.campaign import write_corpus
+
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        diff=DiffConfig(
+            threshold=args.threshold,
+            domain=args.domain,
+            max_pairs=args.max_pairs,
+        ),
+        shrink=not args.no_shrink,
+    )
+    journal = args.journal
+    if journal is None and args.resume:
+        journal = DEFAULT_DIFF_JOURNAL
+    report = run_campaign(
+        config,
+        jobs=args.jobs,
+        journal=journal,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.corpus:
+        written = write_corpus(report, args.corpus)
+        if written:
+            print(
+                "wrote %d reproducer(s) to %s" % (len(written), args.corpus),
+                file=sys.stderr,
+            )
+    summary = report.to_dict()["summary"]
+    print(
+        "diffcheck: seed=%d programs=%d clean=%d leaky=%d "
+        "blazer safe/attack=%d/%d"
+        % (
+            report.seed,
+            summary["programs"],
+            summary["clean"],
+            summary["oracle_leaky"],
+            summary["blazer_safe"],
+            summary["blazer_attack"],
+        )
+    )
+    for kind, count in sorted(summary["disagreements"].items()):
+        print("  %s: %d" % (kind, count))
+    for outcome in report.soundness_bugs:
+        print(
+            "SOUNDNESS BUG in %s: %s"
+            % (
+                outcome.name,
+                "; ".join(
+                    d["detail"]
+                    for d in outcome.disagreements
+                    if d["kind"] == "soundness_bug"
+                ),
+            ),
+            file=sys.stderr,
+        )
+        reproducer = outcome.shrunk_source or outcome.source
+        if reproducer:
+            print(reproducer, file=sys.stderr)
+    if report.errors:
+        print(
+            "DEGRADED: %d program(s) errored: %s"
+            % (len(report.errors), ", ".join(o.name for o in report.errors)),
+            file=sys.stderr,
+        )
+    return report.exit_code
+
+
 def cmd_serve(args) -> int:
     from repro.service import AnalysisDaemon
 
@@ -628,6 +711,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_flags(table1)
     table1.set_defaults(func=cmd_table1)
+
+    diffcheck = sub.add_parser(
+        "diffcheck",
+        help="differential fuzz campaign: oracle vs driver vs baseline "
+        "(docs/DIFFCHECK.md)",
+    )
+    diffcheck.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    diffcheck.add_argument(
+        "--count", type=int, default=200, help="programs to generate (default: 200)"
+    )
+    diffcheck.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="worker processes (0 = one per CPU; default: serial); the "
+        "report is byte-identical at any job count",
+    )
+    diffcheck.add_argument(
+        "--threshold",
+        type=int,
+        default=24,
+        help="observer slack T: a concrete low-equal gap >= T is a leak "
+        "(default: 24)",
+    )
+    diffcheck.add_argument(
+        "--domain", default="zone", choices=sorted(DOMAINS), help="numeric domain"
+    )
+    diffcheck.add_argument(
+        "--max-pairs",
+        type=int,
+        default=2500,
+        help="self-composition pair-space budget per program; beyond it "
+        "the baseline reports 'exhausted' instead of a verdict "
+        "(default: 2500; the smoke gate uses a smaller budget)",
+    )
+    diffcheck.add_argument(
+        "--report", metavar="PATH", help="write the canonical JSON report here"
+    )
+    diffcheck.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="write shrunk reproducers of soundness bugs and attack-spec "
+        "mismatches into DIR",
+    )
+    diffcheck.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record raw counterexamples without minimizing them",
+    )
+    diffcheck.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="crash-safe JSONL journal of completed programs "
+        "(default %s when --resume is given)" % DEFAULT_DIFF_JOURNAL,
+    )
+    diffcheck.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip programs already recorded in the journal",
+    )
+    diffcheck.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="hard per-program timeout: a worker that produces no result "
+        "in time is abandoned and the program retried serially",
+    )
+    obs_flags(diffcheck)
+    diffcheck.set_defaults(func=cmd_diffcheck)
 
     serve = sub.add_parser(
         "serve", help="run the resident analysis daemon (docs/SERVICE.md)"

@@ -28,7 +28,7 @@ from repro.domains.base import AbstractState, Domain
 from repro.domains.linexpr import LinCons, LinExpr
 from repro.ir import instr as ir
 from repro.lang import ast
-from repro.util.errors import AnalysisError
+from repro.util.errors import AnalysisError, ResourceExhausted
 
 _SUFFIX = "$2"
 
@@ -45,10 +45,29 @@ def _rename_copy(cfg: ControlFlowGraph) -> Dict[str, str]:
 
 @dataclass
 class SelfCompositionResult:
+    """Outcome of one pair-space verification attempt.
+
+    ``outcome`` is three-valued so downstream consumers (the
+    differential harness in particular) can tell "the baseline proved
+    nothing" apart from "the baseline gave up": ``"verified"`` /
+    ``"unverified"`` are real answers, ``"exhausted"`` means the pair
+    state space blew past ``max_pairs`` or the abstract semantics hit a
+    resource/feature wall — a precision data point, never a crash.
+    """
+
     verified: bool
     seconds: float
     explored_pairs: int
     note: str = ""
+    outcome: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.outcome:
+            self.outcome = "verified" if self.verified else "unverified"
+
+    @property
+    def exhausted(self) -> bool:
+        return self.outcome == "exhausted"
 
 
 class SelfComposition:
@@ -77,41 +96,56 @@ class SelfComposition:
     _COST2 = "#cost" + _SUFFIX
 
     def verify(self) -> SelfCompositionResult:
-        """Try to prove |cost1 - cost2| <= epsilon at the paired exits."""
+        """Try to prove |cost1 - cost2| <= epsilon at the paired exits.
+
+        Never raises on resource limits: state-space blowup and abstract
+        semantics the pair renaming cannot model both yield an
+        ``outcome="exhausted"`` result (see :class:`SelfCompositionResult`).
+        """
         started = time.perf_counter()
         cfg = self._cfg
         domain = self._domain
-        entry = self._entry_state()
-        invariants: Dict[PairNode, AbstractState] = {
-            (cfg.entry, cfg.entry): entry
-        }
-        worklist: List[PairNode] = [(cfg.entry, cfg.entry)]
-        visits: Dict[PairNode, int] = {}
         explored = 0
-        while worklist:
-            node = worklist.pop(0)
-            explored += 1
-            if explored > self._max_pairs:
-                return SelfCompositionResult(
-                    verified=False,
-                    seconds=time.perf_counter() - started,
-                    explored_pairs=explored,
-                    note="pair state space exceeded %d nodes" % self._max_pairs,
-                )
-            state = invariants[node]
-            if state.is_bottom():
-                continue
-            for succ, out_state in self._pair_successors(node, state):
-                old = invariants.get(succ, domain.bottom())
-                if out_state.leq(old):
+        try:
+            entry = self._entry_state()
+            invariants: Dict[PairNode, AbstractState] = {
+                (cfg.entry, cfg.entry): entry
+            }
+            worklist: List[PairNode] = [(cfg.entry, cfg.entry)]
+            visits: Dict[PairNode, int] = {}
+            while worklist:
+                node = worklist.pop(0)
+                explored += 1
+                if explored > self._max_pairs:
+                    return SelfCompositionResult(
+                        verified=False,
+                        seconds=time.perf_counter() - started,
+                        explored_pairs=explored,
+                        note="pair state space exceeded %d nodes" % self._max_pairs,
+                        outcome="exhausted",
+                    )
+                state = invariants[node]
+                if state.is_bottom():
                     continue
-                joined = old.join(out_state)
-                visits[succ] = visits.get(succ, 0) + 1
-                if visits[succ] > 3:
-                    joined = old.widen(joined)
-                invariants[succ] = joined
-                if succ not in worklist:
-                    worklist.append(succ)
+                for succ, out_state in self._pair_successors(node, state):
+                    old = invariants.get(succ, domain.bottom())
+                    if out_state.leq(old):
+                        continue
+                    joined = old.join(out_state)
+                    visits[succ] = visits.get(succ, 0) + 1
+                    if visits[succ] > 3:
+                        joined = old.widen(joined)
+                    invariants[succ] = joined
+                    if succ not in worklist:
+                        worklist.append(succ)
+        except (AnalysisError, ResourceExhausted) as exc:
+            return SelfCompositionResult(
+                verified=False,
+                seconds=time.perf_counter() - started,
+                explored_pairs=explored,
+                note="pair semantics gave up: %s" % exc,
+                outcome="exhausted",
+            )
 
         exit_pair = (cfg.exit_id, cfg.exit_id)
         state = invariants.get(exit_pair)

@@ -1,0 +1,59 @@
+"""Differential verification harness (docs/DIFFCHECK.md).
+
+The repo's strongest correctness tool: generate thousands of small
+random programs, compute ground-truth timing-channel freedom with the
+concrete interpreter, and cross-check it against the two static
+analyses we ship — the Blazer driver (:mod:`repro.core.blazer`) and the
+self-composition baseline (:mod:`repro.core.selfcomp`).  Disagreements
+are classified (soundness bug / precision gap / attack-spec mismatch /
+missed attack), shrunk to minimal reproducers, and journaled into a
+regression corpus.
+
+Pieces:
+
+* :mod:`repro.diffcheck.generator` — seeded, deterministic program
+  generator over the :mod:`repro.lang` AST;
+* :mod:`repro.diffcheck.oracle` — exhaustive (or stratified) concrete
+  timing oracle deciding exact TCF against an observer's slack;
+* :mod:`repro.diffcheck.differ` — the three-way differential check of
+  one program;
+* :mod:`repro.diffcheck.shrink` — greedy statement-deleting shrinker;
+* :mod:`repro.diffcheck.campaign` — the fuzz-campaign runner behind
+  ``repro diffcheck`` (crash-safe journal, ``--resume``, worker pool).
+"""
+
+from repro.diffcheck.generator import GeneratedProgram, GeneratorConfig, generate_program
+from repro.diffcheck.oracle import OracleVerdict, TimingOracle, observer_slack
+from repro.diffcheck.differ import (
+    DiffConfig,
+    Disagreement,
+    ProgramReport,
+    check_program,
+    check_source,
+)
+from repro.diffcheck.shrink import shrink_source
+from repro.diffcheck.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    ProgramOutcome,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "DiffConfig",
+    "Disagreement",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "OracleVerdict",
+    "ProgramOutcome",
+    "ProgramReport",
+    "TimingOracle",
+    "check_program",
+    "check_source",
+    "generate_program",
+    "observer_slack",
+    "run_campaign",
+    "shrink_source",
+]

@@ -1,0 +1,298 @@
+"""Fuzz-campaign runner: generate, check, shrink, journal, report.
+
+``repro diffcheck --seed S --count N`` runs N differential checks on
+the worker pool of :class:`~repro.benchsuite.runner.ParallelSuiteRunner`
+(custom ``worker``/``codec``, same crash isolation, retry, JSONL
+journal and ``--resume`` machinery the benchmark suite uses).
+
+Determinism contract: the campaign *report* is a pure function of
+``(seed, count, config)`` — program ``pNNNNNN`` is replayable from its
+coordinates, results are emitted in index order whatever the completion
+order, and no wall-clock timing, job count, or host detail enters the
+report.  ``--seed S`` twice, and serial vs ``--jobs 4``, produce
+byte-identical JSON; the determinism test enforces this.
+
+Worker errors never kill a campaign: the worker catches its own
+exceptions into error outcomes (counted as *degraded*, exit 4), so the
+pool-level retry path only ever sees genuine crashes/timeouts.
+
+Exit-code contract (shared with the rest of the CLI): 0 clean /
+1 soundness bug / 4 degraded / 130 interrupted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Dict, List, Optional
+
+from repro.benchsuite.runner import ParallelSuiteRunner
+from repro.diffcheck.differ import FATAL_KIND, DiffConfig, check_program
+from repro.diffcheck.generator import GeneratorConfig, generate_program
+from repro.diffcheck.shrink import shrink_source
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.resilience.retry import RetryPolicy
+
+PROGRAMS_TOTAL = REGISTRY.counter(
+    "repro_diffcheck_programs_total",
+    "Differentially checked programs by result",
+    labelnames=("result",),
+)
+DISAGREEMENTS_TOTAL = REGISTRY.counter(
+    "repro_diffcheck_disagreements_total",
+    "Differential disagreements by kind",
+    labelnames=("kind",),
+)
+
+# Disagreement kinds worth a shrunk reproducer.  Precision gaps are
+# routine (the self-composition baseline is *supposed* to be weak) and
+# would swamp the corpus.
+SHRINK_KINDS = (FATAL_KIND, "attack_spec_mismatch")
+
+
+@dataclass
+class ProgramOutcome:
+    """One program's campaign row — slim, picklable, JSON-stable.
+
+    ``retries``/``resumed`` are runner bookkeeping and deliberately
+    excluded from :meth:`to_dict`, so journal rows and reports stay
+    byte-identical across job counts and resume boundaries.
+    """
+
+    name: str
+    index: int
+    seed: int
+    oracle_leaky: bool = False
+    oracle_max_gap: int = 0
+    oracle_errors: int = 0
+    blazer: str = ""
+    selfcomp: str = ""
+    constant_time: bool = False
+    disagreements: List[Dict[str, str]] = field(default_factory=list)
+    source: str = ""  # kept only for shrink-worthy rows
+    shrunk_source: str = ""
+    domains: Dict[str, List[int]] = field(default_factory=dict)  # ditto
+    error: str = ""  # worker-side failure (degrades the campaign)
+    retries: int = 0
+    resumed: bool = False
+
+    @property
+    def fatal(self) -> bool:
+        return any(d["kind"] == FATAL_KIND for d in self.disagreements)
+
+    @property
+    def clean(self) -> bool:
+        return not self.disagreements and not self.error
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        del record["retries"]
+        del record["resumed"]
+        return record
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ProgramOutcome":
+        known = {f.name for f in dataclasses.fields(ProgramOutcome)}
+        return ProgramOutcome(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign needs — picklable for the worker pool."""
+
+    seed: int = 0
+    count: int = 200
+    diff: DiffConfig = DiffConfig()
+    generator: GeneratorConfig = GeneratorConfig()
+    shrink: bool = True
+    max_shrink_checks: int = 200
+
+
+def run_program(name: str, config: CampaignConfig) -> ProgramOutcome:
+    """The pool worker: regenerate program ``name`` and check it.
+
+    Never raises on analysis trouble: any exception becomes an error
+    outcome so one pathological program cannot sink the campaign.
+    """
+    index = int(name.lstrip("p"))
+    outcome = ProgramOutcome(name=name, index=index, seed=config.seed)
+    with span("diffcheck.program", program=name, seed=config.seed):
+        try:
+            program = generate_program(config.seed, index, config.generator)
+            report = check_program(program, config.diff)
+            outcome.oracle_leaky = report.oracle.leaky
+            outcome.oracle_max_gap = report.oracle.max_gap
+            outcome.oracle_errors = report.oracle.errors
+            outcome.blazer = report.blazer_status
+            outcome.selfcomp = report.selfcomp_outcome
+            outcome.constant_time = report.constant_time
+            outcome.disagreements = [d.to_dict() for d in report.disagreements]
+            worth_shrinking = {
+                (d.kind, d.engine)
+                for d in report.disagreements
+                if d.kind in SHRINK_KINDS
+            }
+            if worth_shrinking:
+                outcome.source = program.source
+                outcome.domains = {
+                    name: list(values) for name, values in program.domains
+                }
+                if config.shrink:
+                    shrunk = shrink_source(
+                        program.source,
+                        program.domain_map,
+                        config.diff,
+                        target=frozenset(worth_shrinking),
+                        name=name,
+                        max_checks=config.max_shrink_checks,
+                    )
+                    outcome.shrunk_source = shrunk.source
+        except Exception as exc:  # noqa: BLE001 - campaign fault isolation
+            outcome.error = "%s: %s" % (type(exc).__name__, exc)
+    return outcome
+
+
+@dataclass
+class CampaignReport:
+    """The deterministic end-of-campaign artifact."""
+
+    seed: int
+    count: int
+    threshold: int
+    domain: str
+    outcomes: List[ProgramOutcome]
+
+    @property
+    def soundness_bugs(self) -> List[ProgramOutcome]:
+        return [o for o in self.outcomes if o.fatal]
+
+    @property
+    def errors(self) -> List[ProgramOutcome]:
+        return [o for o in self.outcomes if o.error]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def exit_code(self) -> int:
+        if self.soundness_bugs:
+            return 1
+        if self.degraded:
+            return 4
+        return 0
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for d in outcome.disagreements:
+                counts[d["kind"]] = counts.get(d["kind"], 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": {
+                "seed": self.seed,
+                "count": self.count,
+                "threshold": self.threshold,
+                "domain": self.domain,
+            },
+            "summary": {
+                "programs": len(self.outcomes),
+                "clean": sum(1 for o in self.outcomes if o.clean),
+                "oracle_leaky": sum(1 for o in self.outcomes if o.oracle_leaky),
+                "blazer_safe": sum(1 for o in self.outcomes if o.blazer == "safe"),
+                "blazer_attack": sum(1 for o in self.outcomes if o.blazer == "attack"),
+                "soundness_bugs": len(self.soundness_bugs),
+                "errors": len(self.errors),
+                "disagreements": self.kind_counts(),
+            },
+            "programs": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        """Canonical rendering — the byte-identical determinism surface."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def write_corpus(report: CampaignReport, corpus_dir: str) -> List[str]:
+    """Write every shrunk reproducer as a corpus JSON file.
+
+    Files are keyed by campaign coordinates (``sSEED-pNNNNNN.json``) so
+    re-running the same campaign overwrites rather than duplicates.
+    """
+    written: List[str] = []
+    os.makedirs(corpus_dir, exist_ok=True)
+    for outcome in report.outcomes:
+        if not outcome.shrunk_source and not outcome.source:
+            continue
+        entry = {
+            "name": "s%d-%s" % (outcome.seed, outcome.name),
+            "seed": outcome.seed,
+            "index": outcome.index,
+            "threshold": report.threshold,
+            "domain": report.domain,
+            "source": outcome.shrunk_source or outcome.source,
+            "domains": outcome.domains,
+            "expect": sorted(
+                {
+                    (d["kind"], d["engine"])
+                    for d in outcome.disagreements
+                    if d["kind"] in SHRINK_KINDS
+                }
+            ),
+        }
+        path = os.path.join(corpus_dir, entry["name"] + ".json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+def run_campaign(
+    config: CampaignConfig,
+    jobs: Optional[int] = 1,
+    backend: str = "auto",
+    journal: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 1,
+    task_timeout: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> CampaignReport:
+    """Run one campaign on the suite runner's pool machinery.
+
+    Raises :class:`~repro.util.errors.SuiteInterrupted` on SIGINT with
+    the completed prefix journaled (the CLI maps that to exit 130).
+    """
+    names = ["p%06d" % index for index in range(config.count)]
+    with span("diffcheck.campaign", seed=config.seed, count=config.count):
+        runner = ParallelSuiteRunner(
+            benchmarks=names,
+            jobs=jobs,
+            backend=backend,
+            retries=retries,
+            task_timeout=task_timeout,
+            journal=journal,
+            resume=resume,
+            retry_policy=retry_policy,
+            worker=partial(run_program, config=config),
+            codec=ProgramOutcome,
+        )
+        outcomes = runner.run()
+    for outcome in outcomes:
+        result = "error" if outcome.error else ("dirty" if not outcome.clean else "clean")
+        PROGRAMS_TOTAL.labels(result=result).inc()
+        for d in outcome.disagreements:
+            DISAGREEMENTS_TOTAL.labels(kind=d["kind"]).inc()
+    return CampaignReport(
+        seed=config.seed,
+        count=config.count,
+        threshold=config.diff.threshold,
+        domain=config.diff.domain,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,274 @@
+"""Three-way differential check: oracle vs Blazer vs self-composition.
+
+One program, four verdicts:
+
+* the **ground-truth oracle** (exhaustive interpretation, exact TCF at
+  the observer's slack);
+* the **Blazer driver** — safe / attack / unknown, run with the
+  interval-sound :class:`~repro.core.observer.DomainThresholdObserver`
+  over the exact generated domains so its "safe" claims and the
+  oracle's leak criterion answer the same question;
+* the **self-composition baseline** — verified / unverified /
+  exhausted, with ``epsilon = threshold - 1`` (``gap < T`` iff
+  ``gap <= T-1``);
+* the **constant-time checker** — a free cross-check: a scalar,
+  extern-free program whose control flow is public-determined executes
+  the same instruction sequence on every member of a low class, so
+  control-flow constant-time implies a concrete gap of exactly zero.
+
+Disagreement taxonomy (docs/DIFFCHECK.md):
+
+=====================  =====  ==========================================
+kind                   fatal  meaning
+=====================  =====  ==========================================
+``soundness_bug``      yes    an engine claimed safety the oracle refutes
+``precision_gap``      no     engine failed to prove a truly safe program
+``attack_spec_mismatch`` no   CHECKATTACK's trail pair does not replay
+``missed_attack``      no     program leaks but CHECKATTACK found nothing
+=====================  =====  ==========================================
+
+The ``break_engine`` hook exists purely so the test suite can prove the
+harness has teeth: ``"narrow"`` wraps the observer to call *every*
+bound narrow (a deliberately unsound CHECKSAFE), which must surface as
+``soundness_bug`` on any leaky program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.blazer import Blazer, BlazerConfig
+from repro.core.consttime import verify_constant_time
+from repro.core.observer import DomainThresholdObserver, ObserverModel
+from repro.core.selfcomp import SelfComposition
+from repro.core.witness import find_witness
+from repro.diffcheck.generator import PROC_NAME, GeneratedProgram
+from repro.diffcheck.oracle import OracleVerdict, TimingOracle
+from repro.domains import DOMAINS
+from repro.interp.interp import Interpreter
+
+FATAL_KIND = "soundness_bug"
+KINDS = (FATAL_KIND, "precision_gap", "attack_spec_mismatch", "missed_attack")
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """Shared knobs of one differential check / campaign."""
+
+    threshold: int = 24  # observer slack T: a gap >= T is a leak
+    domain: str = "zone"
+    max_pairs: int = 2500  # self-composition pair-space budget
+    oracle_limit: int = 8192
+    fuel: int = 50_000  # far above any generated program's real cost
+    # Test-only sabotage hook ("narrow"): see module docstring.
+    break_engine: Optional[str] = None
+
+    def observer(self, domains: Mapping[str, Sequence[int]]) -> ObserverModel:
+        observer: ObserverModel = DomainThresholdObserver(
+            threshold=self.threshold,
+            domains={name: tuple(values) for name, values in domains.items()},
+        )
+        if self.break_engine == "narrow":
+            observer = _NarrowEverything(observer)
+        return observer
+
+
+class _NarrowEverything(ObserverModel):
+    """Deliberately unsound wrapper: every bound is 'narrow'."""
+
+    name = "broken-narrow"
+
+    def __init__(self, inner: ObserverModel):
+        self._inner = inner
+
+    def is_narrow(self, bound) -> bool:
+        return True
+
+    def distinguishable(self, a, b) -> bool:
+        return self._inner.distinguishable(a, b)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One classified divergence between an engine and the oracle."""
+
+    kind: str  # one of KINDS
+    engine: str  # "blazer" | "selfcomp" | "consttime"
+    detail: str
+
+    @property
+    def fatal(self) -> bool:
+        return self.kind == FATAL_KIND
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "engine": self.engine, "detail": self.detail}
+
+
+@dataclass
+class ProgramReport:
+    """Everything the campaign records about one checked program."""
+
+    name: str
+    source: str
+    oracle: OracleVerdict
+    blazer_status: str
+    selfcomp_outcome: str
+    constant_time: bool
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        return any(d.fatal for d in self.disagreements)
+
+    @property
+    def clean(self) -> bool:
+        return not self.disagreements
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "oracle": self.oracle.to_dict(),
+            "blazer": self.blazer_status,
+            "selfcomp": self.selfcomp_outcome,
+            "constant_time": self.constant_time,
+            "disagreements": [d.to_dict() for d in self.disagreements],
+        }
+
+
+def check_source(
+    source: str,
+    domains: Mapping[str, Sequence[int]],
+    config: DiffConfig = DiffConfig(),
+    name: str = "program",
+    proc: str = PROC_NAME,
+) -> ProgramReport:
+    """Run the full three-way differential check on one program."""
+    blazer = Blazer.from_source(
+        source,
+        BlazerConfig(domain=config.domain, observer=config.observer(domains)),
+    )
+    cfg = blazer.cfgs[proc]
+    verdict = blazer.analyze(proc)
+    consttime = verify_constant_time(blazer, proc)
+    selfcomp = SelfComposition(
+        cfg,
+        DOMAINS[config.domain],
+        epsilon=config.threshold - 1,
+        max_pairs=config.max_pairs,
+    ).verify()
+
+    interpreter = Interpreter(blazer.cfgs, fuel=config.fuel)
+    oracle = TimingOracle(
+        interpreter,
+        cfg,
+        domains,
+        slack=config.threshold,
+        limit=config.oracle_limit,
+    ).run()
+
+    disagreements: List[Disagreement] = []
+
+    # -- soundness: a safety claim the concrete semantics refute ----------
+    if verdict.status == "safe" and oracle.leaky:
+        disagreements.append(
+            Disagreement(
+                FATAL_KIND,
+                "blazer",
+                "CHECKSAFE verdict but oracle found low-equal gap %d >= %d"
+                % (oracle.max_gap, oracle.slack),
+            )
+        )
+    if selfcomp.verified and oracle.leaky:
+        disagreements.append(
+            Disagreement(
+                FATAL_KIND,
+                "selfcomp",
+                "pair analysis proved |gap| <= %d but oracle found gap %d"
+                % (config.threshold - 1, oracle.max_gap),
+            )
+        )
+    if consttime.constant_time and oracle.max_gap > 0:
+        disagreements.append(
+            Disagreement(
+                FATAL_KIND,
+                "consttime",
+                "control flow called constant-time but oracle gap is %d"
+                % oracle.max_gap,
+            )
+        )
+
+    # -- precision: a truly safe program the engines could not prove ------
+    if not oracle.leaky:
+        if verdict.status != "safe":
+            disagreements.append(
+                Disagreement(
+                    "precision_gap",
+                    "blazer",
+                    "status %r on program with max gap %d < %d"
+                    % (verdict.status, oracle.max_gap, oracle.slack),
+                )
+            )
+        if not selfcomp.verified:
+            disagreements.append(
+                Disagreement(
+                    "precision_gap",
+                    "selfcomp",
+                    "outcome %r on program with max gap %d < %d"
+                    % (selfcomp.outcome, oracle.max_gap, oracle.slack),
+                )
+            )
+
+    # -- attack specifications must replay under the interpreter ----------
+    if verdict.status == "attack" and oracle.leaky and verdict.attack is not None:
+        if verdict.attack.is_pair:
+            witness = find_witness(
+                interpreter,
+                cfg,
+                gap=config.threshold,
+                spec=verdict.attack,
+                overrides={k: list(v) for k, v in domains.items()},
+                limit=config.oracle_limit,
+            )
+            if witness is None:
+                disagreements.append(
+                    Disagreement(
+                        "attack_spec_mismatch",
+                        "blazer",
+                        "no low-equal pair with gap >= %d follows the "
+                        "specification's trails" % config.threshold,
+                    )
+                )
+
+    # -- leaks CHECKATTACK failed to describe ------------------------------
+    if oracle.leaky and verdict.status == "unknown":
+        disagreements.append(
+            Disagreement(
+                "missed_attack",
+                "blazer",
+                "oracle gap %d >= %d but no attack specification found"
+                % (oracle.max_gap, oracle.slack),
+            )
+        )
+
+    return ProgramReport(
+        name=name,
+        source=source,
+        oracle=oracle,
+        blazer_status=verdict.status,
+        selfcomp_outcome=selfcomp.outcome,
+        constant_time=consttime.constant_time,
+        disagreements=disagreements,
+    )
+
+
+def check_program(
+    program: GeneratedProgram, config: DiffConfig = DiffConfig()
+) -> ProgramReport:
+    """Differentially check one generated program."""
+    return check_source(
+        program.source,
+        program.domain_map,
+        config,
+        name=program.name,
+    )

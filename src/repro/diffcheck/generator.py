@@ -1,0 +1,269 @@
+"""Seeded, deterministic random-program generator.
+
+Emits well-typed programs over the :mod:`repro.lang` AST, shaped so
+that the concrete state space stays enumerable by the timing oracle:
+
+* every parameter ranges over a tiny finite domain (a handful of small
+  integers chosen by type), so the full input product is at most a few
+  hundred tuples;
+* every loop is *counted*: a fresh counter initialized to zero, a
+  ``while (i < bound)`` guard, and the increment as the last statement
+  of the body.  Bounds mention only literals and parameters (which are
+  never assigned), counters are never assigned by generated body
+  statements, and ``continue`` is never emitted — together these make
+  termination structural, not probabilistic;
+* the operator set is ``+ - *`` plus comparisons; no division, so no
+  runtime faults.
+
+Determinism contract: the program for ``(seed, index)`` depends only on
+``(seed, index, config)`` — every choice flows through one
+``random.Random`` seeded from them, and no set/dict iteration order is
+consulted.  Campaigns across worker pools rely on this to replay any
+program from its coordinates alone.
+
+The secret parameters feed branch conditions and loop bodies exactly
+like the paper's examples (Fig. 1's early-exit password loop), so a
+healthy fraction of generated programs genuinely leak timing — those
+exercise CHECKATTACK and the attack-spec replay, while the rest
+exercise CHECKSAFE against the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.lang import ast
+from repro.lang.pretty import format_program
+
+PROC_NAME = "main"
+
+# Parameter roster: (name, level).  Mirrors the paper's ``l``/``h``
+# naming; a program draws a prefix of each column.
+_PUBLIC_NAMES = ("l", "k")
+_SECRET_NAMES = ("h", "g")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size knobs for generated programs.
+
+    The defaults keep the interpreter's whole input product under ~1.3k
+    tuples (4 params x <=6 values) and every loop under ~6 iterations,
+    so one oracle pass costs about a millisecond.
+    """
+
+    max_stmts: int = 5  # statements per block before the final return
+    max_depth: int = 2  # nesting depth of if/while
+    max_loops: int = 2  # loops per program
+    max_locals: int = 4
+    loop_bound_const: int = 4  # literal loop bounds range over 1..this
+    uint_max: int = 3  # uint params range over 0..uint_max
+    int_min: int = -2  # int params range over int_min..int_max
+    int_max: int = 3
+    lit_max: int = 4  # integer literals range over 0..lit_max
+
+    def domain(self, ty: ast.Type) -> Tuple[int, ...]:
+        """The finite value domain the oracle enumerates for ``ty``."""
+        if ty == ast.UINT:
+            return tuple(range(0, self.uint_max + 1))
+        return tuple(range(self.int_min, self.int_max + 1))
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated program plus the metadata the oracle needs."""
+
+    name: str
+    seed: int
+    index: int
+    source: str
+    domains: Tuple[Tuple[str, Tuple[int, ...]], ...]  # param order preserved
+
+    @property
+    def domain_map(self) -> Dict[str, Tuple[int, ...]]:
+        return dict(self.domains)
+
+    @property
+    def state_space(self) -> int:
+        size = 1
+        for _, values in self.domains:
+            size *= len(values)
+        return size
+
+
+@dataclass
+class _Scope:
+    """Mutable generation state threaded through one program.
+
+    ``locals``/``counters`` hold the *currently visible* names (block
+    scoping: :meth:`mark`/:meth:`restore` bracket nested blocks), while
+    the ``next_*`` counters keep every generated name program-unique so
+    the no-shadowing rule can never trip.
+    """
+
+    rng: random.Random
+    config: GeneratorConfig
+    params: List[ast.Param]
+    locals: List[str] = field(default_factory=list)
+    counters: List[str] = field(default_factory=list)  # readable, never assigned
+    loops_made: int = 0
+    next_local: int = 0
+    next_counter: int = 0
+
+    def readable(self) -> List[str]:
+        return [p.name for p in self.params] + self.locals + self.counters
+
+    def fresh_local(self) -> str:
+        name = "x%d" % self.next_local
+        self.next_local += 1
+        self.locals.append(name)
+        return name
+
+    def fresh_counter(self) -> str:
+        name = "i%d" % self.next_counter
+        self.next_counter += 1
+        self.counters.append(name)
+        return name
+
+    def mark(self) -> Tuple[int, int]:
+        return len(self.locals), len(self.counters)
+
+    def restore(self, mark: Tuple[int, int]) -> None:
+        del self.locals[mark[0] :]
+        del self.counters[mark[1] :]
+
+
+def _int_expr(scope: _Scope, depth: int) -> ast.Expr:
+    """A numeric expression over literals and in-scope names."""
+    rng = scope.rng
+    names = scope.readable()
+    if depth <= 0 or rng.random() < 0.35:
+        if names and rng.random() < 0.6:
+            return ast.Var(rng.choice(names))
+        return ast.IntLit(rng.randrange(0, scope.config.lit_max + 1))
+    op = rng.choice((ast.BinOp.ADD, ast.BinOp.SUB, ast.BinOp.MUL))
+    return ast.Binary(op, _int_expr(scope, depth - 1), _int_expr(scope, depth - 1))
+
+
+def _cond_expr(scope: _Scope) -> ast.Expr:
+    """A boolean condition: a comparison, sometimes conjoined."""
+    rng = scope.rng
+    op = rng.choice(
+        (ast.BinOp.LT, ast.BinOp.LE, ast.BinOp.GT, ast.BinOp.GE, ast.BinOp.EQ, ast.BinOp.NE)
+    )
+    cmp = ast.Binary(op, _int_expr(scope, 1), _int_expr(scope, 1))
+    if rng.random() < 0.15:
+        logic = rng.choice((ast.BinOp.AND, ast.BinOp.OR))
+        return ast.Binary(logic, cmp, _cond_expr(scope))
+    return cmp
+
+
+def _loop_bound(scope: _Scope) -> ast.Expr:
+    """A termination-safe loop bound: literal, parameter, or param+c.
+
+    Parameters are never assigned, so the bound is loop-invariant; a
+    negative ``int`` parameter simply yields a zero-iteration loop.
+    """
+    rng = scope.rng
+    choice = rng.random()
+    if choice < 0.4 or not scope.params:
+        return ast.IntLit(rng.randrange(1, scope.config.loop_bound_const + 1))
+    param = rng.choice([p.name for p in scope.params])
+    if choice < 0.75:
+        return ast.Var(param)
+    return ast.Binary(ast.BinOp.ADD, ast.Var(param), ast.IntLit(rng.randrange(0, 3)))
+
+
+def _counted_loop(scope: _Scope, depth: int) -> List[ast.Stmt]:
+    """``var iN = 0; while (iN < bound) { body...; iN = iN + 1; }``"""
+    scope.loops_made += 1
+    bound = _loop_bound(scope)  # choose before the counter enters scope
+    counter = scope.fresh_counter()  # declared alongside the loop: outlives it
+    mark = scope.mark()
+    body = _stmts(scope, depth - 1, in_loop=True)
+    scope.restore(mark)
+    body.append(
+        ast.Assign(ast.Var(counter), ast.Binary(ast.BinOp.ADD, ast.Var(counter), ast.IntLit(1)))
+    )
+    return [
+        ast.VarDecl(counter, ast.INT, ast.IntLit(0)),
+        ast.While(ast.Binary(ast.BinOp.LT, ast.Var(counter), bound), ast.Block(body)),
+    ]
+
+
+def _stmt(scope: _Scope, depth: int, in_loop: bool) -> List[ast.Stmt]:
+    rng = scope.rng
+    cfg = scope.config
+    kinds: List[str] = ["assign"]
+    if len(scope.locals) < cfg.max_locals:
+        kinds.append("decl")
+        kinds.append("decl")  # bias toward growing state early
+    if depth > 0:
+        kinds.append("if")
+        if scope.loops_made < cfg.max_loops:
+            kinds.append("loop")
+    if in_loop:
+        kinds.append("guarded_break")
+    kind = rng.choice(kinds)
+
+    if kind == "decl" or (kind == "assign" and not scope.locals):
+        init = _int_expr(scope, 2)  # drawn before the name enters scope
+        return [ast.VarDecl(scope.fresh_local(), ast.INT, init)]
+    if kind == "assign":
+        target = rng.choice(scope.locals)
+        return [ast.Assign(ast.Var(target), _int_expr(scope, 2))]
+    if kind == "if":
+        cond = _cond_expr(scope)
+        mark = scope.mark()
+        then = ast.Block(_stmts(scope, depth - 1, in_loop))
+        scope.restore(mark)
+        orelse = None
+        if rng.random() < 0.5:
+            orelse = ast.Block(_stmts(scope, depth - 1, in_loop))
+            scope.restore(mark)
+        return [ast.If(cond, then, orelse)]
+    if kind == "loop":
+        return _counted_loop(scope, depth)
+    # guarded_break
+    return [ast.If(_cond_expr(scope), ast.Block([ast.Break()]), None)]
+
+
+def _stmts(scope: _Scope, depth: int, in_loop: bool = False) -> List[ast.Stmt]:
+    count = scope.rng.randrange(1, scope.config.max_stmts + 1)
+    out: List[ast.Stmt] = []
+    for _ in range(count):
+        out.extend(_stmt(scope, depth, in_loop))
+    return out
+
+
+def _draw_params(rng: random.Random) -> List[ast.Param]:
+    params: List[ast.Param] = []
+    for pool, level in ((_PUBLIC_NAMES, ast.SecLevel.PUBLIC), (_SECRET_NAMES, ast.SecLevel.SECRET)):
+        count = rng.choice((1, 1, 2))  # bias toward one of each
+        for name in pool[:count]:
+            ty = rng.choice((ast.INT, ast.UINT))
+            params.append(ast.Param(name, ty, level))
+    return params
+
+
+def generate_program(
+    seed: int, index: int, config: GeneratorConfig = GeneratorConfig()
+) -> GeneratedProgram:
+    """Deterministically generate program ``index`` of campaign ``seed``."""
+    rng = random.Random(seed * 1_000_003 + index)
+    params = _draw_params(rng)
+    scope = _Scope(rng=rng, config=config, params=params)
+    body = _stmts(scope, config.max_depth)
+    body.append(ast.Return(_int_expr(scope, 2)))
+    proc = ast.ProcDecl(PROC_NAME, params, ast.INT, ast.Block(body))
+    source = format_program(ast.Program([proc]))
+    domains = tuple((p.name, config.domain(p.declared)) for p in params)
+    return GeneratedProgram(
+        name="p%06d" % index,
+        seed=seed,
+        index=index,
+        source=source,
+        domains=domains,
+    )

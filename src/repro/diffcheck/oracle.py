@@ -1,0 +1,171 @@
+"""Ground-truth timing oracle: exact TCF by exhaustive interpretation.
+
+On the tiny domains the generator emits, timing-channel freedom is
+*decidable by brute force*: run the interpreter on every input tuple,
+group traces by their public projection, and compare running times
+within each low-equivalence class.  The program leaks — in exactly the
+paper's 2-safety sense, Definition 1 instantiated with the observer's
+concrete slack — iff some class contains two traces whose cost gap
+reaches the slack.
+
+The slack is the same number the static side uses to call a bound
+"narrow" (:func:`observer_slack` mirrors how the empirical tests read
+it off an :class:`~repro.core.observer.ObserverModel`), so oracle and
+engine answer the *same question* and disagreements are meaningful:
+
+* oracle says leaky + engine says safe  ->  soundness bug;
+* oracle says safe + engine says leaky/unknown  ->  precision gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.interp.interp import Interpreter
+from repro.interp.trace import Trace
+from repro.util.errors import FuelExhausted, InterpError
+
+
+def observer_slack(observer: object) -> int:
+    """The concrete gap at which an observer distinguishes two times.
+
+    ``ConcreteThresholdObserver`` exposes ``threshold``; the polynomial
+    observer falls back to its ``epsilon``.  (Same convention as the
+    empirical integration tests.)
+    """
+    slack = getattr(observer, "threshold", None)
+    if slack is None:
+        slack = getattr(observer, "epsilon", 1)
+    return max(1, int(slack))
+
+
+@dataclass(frozen=True)
+class OracleWitness:
+    """A concrete low-equivalent pair realizing the maximal gap."""
+
+    low: Tuple[Tuple[str, object], ...]
+    high_a: Tuple[Tuple[str, object], ...]
+    high_b: Tuple[Tuple[str, object], ...]
+    time_a: int
+    time_b: int
+
+    @property
+    def gap(self) -> int:
+        return abs(self.time_a - self.time_b)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "low": dict(self.low),
+            "high_a": dict(self.high_a),
+            "high_b": dict(self.high_b),
+            "time_a": self.time_a,
+            "time_b": self.time_b,
+            "gap": self.gap,
+        }
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """The ground truth for one program under one slack."""
+
+    leaky: bool
+    max_gap: int
+    slack: int
+    traces: int
+    classes: int
+    errors: int  # inputs where the interpreter faulted (skipped)
+    witness: Optional[OracleWitness] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "leaky": self.leaky,
+            "max_gap": self.max_gap,
+            "slack": self.slack,
+            "traces": self.traces,
+            "classes": self.classes,
+            "errors": self.errors,
+        }
+        if self.witness is not None:
+            record["witness"] = self.witness.to_dict()
+        return record
+
+
+@dataclass
+class TimingOracle:
+    """Exhaustively decides TCF for one procedure on finite domains.
+
+    ``domains`` maps every parameter name to the values it ranges over;
+    enumeration order is the deterministic ``itertools.product`` order
+    of those sequences, truncated at ``limit`` (stratification for the
+    rare oversized space — the cut is deterministic, so campaign
+    replays see the same truncation).
+    """
+
+    interpreter: Interpreter
+    cfg: ControlFlowGraph
+    domains: Mapping[str, Sequence[object]]
+    slack: int = 1
+    limit: int = 8192
+    _traces: List[Trace] = field(default_factory=list, repr=False)
+
+    def run(self) -> OracleVerdict:
+        traces, errors = self._execute()
+        by_low: Dict[Tuple, List[Trace]] = {}
+        for trace in traces:
+            by_low.setdefault(trace.low_inputs, []).append(trace)
+        max_gap = 0
+        witness: Optional[OracleWitness] = None
+        for group in by_low.values():
+            fastest = min(group, key=lambda t: t.time)
+            slowest = max(group, key=lambda t: t.time)
+            gap = slowest.time - fastest.time
+            if gap > max_gap:
+                max_gap = gap
+                witness = OracleWitness(
+                    low=fastest.low_inputs,
+                    high_a=fastest.high_inputs,
+                    high_b=slowest.high_inputs,
+                    time_a=fastest.time,
+                    time_b=slowest.time,
+                )
+        return OracleVerdict(
+            leaky=max_gap >= self.slack,
+            max_gap=max_gap,
+            slack=self.slack,
+            traces=len(traces),
+            classes=len(by_low),
+            errors=errors,
+            witness=witness,
+        )
+
+    @property
+    def trace_pool(self) -> List[Trace]:
+        """The traces of the last :meth:`run` (for attack-spec replay)."""
+        return self._traces
+
+    def _execute(self) -> Tuple[List[Trace], int]:
+        params = [p.name for p in self.cfg.params]
+        spaces = [list(self.domains[name]) for name in params]
+        traces: List[Trace] = []
+        errors = 0
+        count = 0
+        for combo in itertools.product(*spaces):
+            if count >= self.limit:
+                break
+            count += 1
+            args = dict(zip(params, combo))
+            try:
+                traces.append(self.interpreter.run(self.cfg.name, args))
+            except FuelExhausted:
+                # A nontermination candidate (the shrinker creates these
+                # by deleting loop increments): one fuel burn is enough
+                # evidence — abort instead of burning fuel per input.
+                errors += 1
+                break
+            except InterpError:
+                errors += 1
+        self._traces = traces
+        return traces, errors

@@ -1,0 +1,171 @@
+"""Greedy counterexample shrinker.
+
+When the differential checker flags a program, the raw generated source
+is rarely the story — half its statements are noise.  The shrinker
+repeatedly tries structural deletions and keeps any candidate on which
+the *same disagreement signature* (the set of ``(kind, engine)`` pairs
+originally observed) still shows up, until no single mutation helps.
+
+Mutations, all strictly size-decreasing (so the greedy loop terminates
+without a fuel counter of its own):
+
+* delete one statement — except a procedure's trailing ``return`` and
+  the trailing increment of a counted loop body (deleting that would
+  manufacture an infinite loop, not a smaller reproducer; candidates
+  that loop anyway are rejected because the oracle aborts on fuel
+  exhaustion);
+* splice an ``if`` into its then- or else-branch statements;
+* replace a ``return e`` value with ``0``.
+
+Candidates that fail the front end (orphaned uses after a deletion,
+missing return) are simply rejected — the type checker is the validity
+filter, the differ is the interestingness filter.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.diffcheck.differ import DiffConfig, ProgramReport, check_source
+from repro.lang import ast, parse_program
+from repro.lang.pretty import format_program
+from repro.util.errors import ReproError
+
+Signature = FrozenSet[Tuple[str, str]]
+
+
+def signature_of(report: ProgramReport) -> Signature:
+    """The shrink-invariant: which engines disagreed, and how."""
+    return frozenset((d.kind, d.engine) for d in report.disagreements)
+
+
+@dataclass
+class ShrinkResult:
+    source: str
+    report: ProgramReport
+    checks: int  # differ invocations spent
+    removed: int  # statements removed from the original
+
+
+def _blocks(program: ast.Program) -> Iterator[Tuple[ast.Block, bool]]:
+    """Every block in deterministic order, flagged when it is a loop body."""
+
+    def walk(block: ast.Block, loop_body: bool) -> Iterator[Tuple[ast.Block, bool]]:
+        yield block, loop_body
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.If):
+                yield from walk(stmt.then, loop_body)
+                if stmt.orelse is not None:
+                    yield from walk(stmt.orelse, loop_body)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                yield from walk(stmt.body, True)
+
+    for proc in program.defined_procs():
+        assert proc.body is not None
+        yield from walk(proc.body, False)
+
+
+def _stmt_count(program: ast.Program) -> int:
+    count = 0
+    for block, _ in _blocks(program):
+        count += len(block.stmts)
+    return count
+
+
+def _candidates(program: ast.Program) -> Iterator[Tuple[int, int, str]]:
+    """(block index, statement index, action) triples on the current AST."""
+    for bi, (block, loop_body) in enumerate(_blocks(program)):
+        last = len(block.stmts) - 1
+        for si, stmt in enumerate(block.stmts):
+            deletable = True
+            if isinstance(stmt, ast.Return):
+                deletable = False
+            if loop_body and si == last:
+                deletable = False  # the counted loop's increment
+            if deletable:
+                yield bi, si, "delete"
+            if isinstance(stmt, ast.If):
+                yield bi, si, "then"
+                if stmt.orelse is not None:
+                    yield bi, si, "else"
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if not isinstance(stmt.value, ast.IntLit):
+                    yield bi, si, "zero"
+
+
+def _apply(program: ast.Program, bi: int, si: int, action: str) -> Optional[ast.Program]:
+    mutated = copy.deepcopy(program)
+    block = [b for b, _ in _blocks(mutated)][bi]
+    stmt = block.stmts[si]
+    if action == "delete":
+        del block.stmts[si]
+    elif action == "then":
+        assert isinstance(stmt, ast.If)
+        block.stmts[si : si + 1] = list(stmt.then.stmts)
+    elif action == "else":
+        assert isinstance(stmt, ast.If) and stmt.orelse is not None
+        block.stmts[si : si + 1] = list(stmt.orelse.stmts)
+    elif action == "zero":
+        assert isinstance(stmt, ast.Return)
+        stmt.value = ast.IntLit(0)
+    else:  # pragma: no cover - defensive
+        return None
+    return mutated
+
+
+def shrink_source(
+    source: str,
+    domains: Mapping[str, Sequence[int]],
+    config: DiffConfig = DiffConfig(),
+    target: Optional[Signature] = None,
+    name: str = "shrunk",
+    max_checks: int = 400,
+) -> ShrinkResult:
+    """Greedily minimize ``source`` while its disagreements persist.
+
+    ``target`` defaults to the signature of the initial check; shrinking
+    keeps a candidate iff its signature is a superset (mutations may
+    surface *extra* disagreements — they never launder the original
+    away).
+    """
+    report = check_source(source, domains, config, name=name)
+    if target is None:
+        target = signature_of(report)
+    checks = 1
+    if not target:
+        return ShrinkResult(source, report, checks, 0)
+
+    program = parse_program(source)
+    before = _stmt_count(program)
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for bi, si, action in list(_candidates(program)):
+            if checks >= max_checks:
+                break
+            mutated = _apply(program, bi, si, action)
+            if mutated is None:
+                continue
+            text = format_program(mutated)
+            try:
+                candidate = check_source(text, domains, config, name=name)
+            except ReproError:
+                continue
+            finally:
+                checks += 1
+            if candidate.oracle.errors:
+                continue  # fuel abort or faulting inputs: not a reproducer
+            if not target <= signature_of(candidate):
+                continue
+            program = mutated
+            report = candidate
+            progress = True
+            break  # restart candidate enumeration on the smaller AST
+    return ShrinkResult(
+        source=format_program(program),
+        report=report,
+        checks=checks,
+        removed=before - _stmt_count(program),
+    )

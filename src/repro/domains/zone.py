@@ -99,15 +99,18 @@ class ZoneState(AbstractState):
                 new_vars.append(var)
         if len(new_vars) == len(self._vars):
             return self
-        n_new = len(new_vars) + 1
-        matrix: Matrix = [[None] * n_new for _ in range(n_new)]
-        for i in range(n_new):
-            matrix[i][i] = 0
-        for i, vi in enumerate(self._vars):
-            for j, vj in enumerate(self._vars):
-                matrix[i + 1][j + 1] = self._m[i + 1][j + 1]
-            matrix[i + 1][0] = self._m[i + 1][0]
-            matrix[0][i + 1] = self._m[0][i + 1]
+        # New variables are appended, so the old DBM is exactly the
+        # top-left block of the new one: copy rows by slicing instead of
+        # entry-by-entry (this sits on the alignment hot path).
+        n_old = len(self._vars) + 1
+        extra = len(new_vars) - len(self._vars)
+        n_new = n_old + extra
+        tail: List[Optional[Bound]] = [None] * extra
+        matrix: Matrix = [self._m[i] + tail for i in range(n_old)]
+        for k in range(extra):
+            row: List[Optional[Bound]] = [None] * n_new
+            row[n_old + k] = 0
+            matrix.append(row)
         return ZoneState(new_vars, matrix, self._bottom, self._closed)
 
     def _aligned(self, other: "ZoneState") -> Tuple["ZoneState", "ZoneState"]:
@@ -122,12 +125,10 @@ class ZoneState(AbstractState):
 
     def _reordered(self, variables: Sequence[str]) -> "ZoneState":
         assert set(variables) == set(self._vars)
-        n = len(variables) + 1
-        matrix: Matrix = [[None] * n for _ in range(n)]
         old_pos = [0] + [self._index[v] for v in variables]
-        for i in range(n):
-            for j in range(n):
-                matrix[i][j] = self._m[old_pos[i]][old_pos[j]]
+        matrix: Matrix = [
+            [row[j] for j in old_pos] for row in (self._m[i] for i in old_pos)
+        ]
         return ZoneState(variables, matrix, self._bottom, self._closed)
 
     def cache_key(self) -> str:
@@ -147,10 +148,22 @@ class ZoneState(AbstractState):
             if self._bottom:
                 key = "bot"
             else:
-                key = ",".join(self._vars) + "|" + "|".join(
-                    ";".join("N" if e is None else str(e) for e in row)
-                    for row in self._m
-                )
+                # Fast path: a Fraction-free matrix (ints and None, the
+                # overwhelmingly common case) keys by its C-level repr.
+                # ``repr`` is injective on int/None entries, and the
+                # "R!" prefix cannot collide with the slow format (no
+                # variable name contains "!"), so equal keys still imply
+                # equal DBMs.  Matrices holding Fractions keep the
+                # normalized str() rendering so integral Fractions and
+                # ints collapse onto one key.
+                body = repr(self._m)
+                if "Fraction" not in body:
+                    key = "R!" + ",".join(self._vars) + "|" + body
+                else:
+                    key = ",".join(self._vars) + "|" + "|".join(
+                        ";".join("N" if e is None else str(e) for e in row)
+                        for row in self._m
+                    )
             self._key_cache = key
         return key
 
@@ -292,9 +305,8 @@ class ZoneState(AbstractState):
             return a
         a, b = a._aligned(b)
         a, b = a._close(), b._close()
-        n = a._dim()
         matrix: Matrix = [
-            [_max_bound(a._m[i][j], b._m[i][j]) for j in range(n)] for i in range(n)
+            list(map(_max_bound, row_a, row_b)) for row_a, row_b in zip(a._m, b._m)
         ]
         return ZoneState(a._vars, matrix, False, closed=True)
 

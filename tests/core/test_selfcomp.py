@@ -95,3 +95,27 @@ class TestSelfComposition:
         result = SelfComposition(cfg, ZONE, max_pairs=3).verify()
         assert not result.verified
         assert "exceeded" in result.note
+        assert result.outcome == "exhausted"
+        assert result.exhausted
+
+    def test_real_answers_carry_explicit_outcomes(self):
+        safe = compile_one(
+            "proc f(secret h: int, public l: int): int { return l + 1; }", "f"
+        )
+        assert SelfComposition(safe, ZONE).verify().outcome == "verified"
+        leaky = compile_one(
+            """
+            proc f(secret h: int): int {
+                var x: int = 0;
+                if (h > 0) {
+                    x = 1; x = 2; x = 3; x = 4; x = 5;
+                    x = 1; x = 2; x = 3; x = 4; x = 5;
+                }
+                return x;
+            }
+            """,
+            "f",
+        )
+        result = SelfComposition(leaky, ZONE, epsilon=2).verify()
+        assert result.outcome == "unverified"
+        assert not result.exhausted

@@ -1,0 +1,79 @@
+"""Bounds-soundness over the Table-1 suite, via the differential lens.
+
+The harness fuzzes tiny generated programs; this satellite turns the
+same question on the real benchmarks: for every concrete input the
+empirical tests enumerate, the interpreter's exact cost must lie inside
+the [lo, hi] of *every* feasible leaf whose trail covers the trace —
+the per-trail analogue of the whole-program bound-soundness property
+test, and exactly the invariant the driver's narrowness verdicts stand
+on.  Infeasible leaves must cover nothing at all.
+"""
+
+import pytest
+
+from repro.absint.transfer import len_var
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.bytecode import compile_program, verify_module
+from repro.core.witness import run_all
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+
+pytestmark = pytest.mark.diffcheck
+
+# Same split as the integration suite: modPow2_unsafe takes ~a minute.
+FAST = [b for b in ALL_BENCHMARKS if b.name not in ("modPow2_unsafe",)]
+
+_VERDICTS = {}
+
+
+def verdict_of(bench):
+    if bench.name not in _VERDICTS:
+        _VERDICTS[bench.name] = bench.run()
+    return _VERDICTS[bench.name]
+
+
+def _symbol_env(cfg, trace):
+    env = {}
+    for param in cfg.params:
+        value = trace.input(param.name)
+        if param.declared.is_array:
+            env[len_var(param.name)] = len(value)
+        else:
+            env[param.name] = value
+    return env
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_leaf_bounds_contain_concrete_costs(bench):
+    verdict = verdict_of(bench)
+    module = compile_program(frontend(bench.source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    cfg = cfgs[bench.proc]
+    traces = run_all(Interpreter(cfgs), cfg, overrides=bench.witness_space, limit=256)
+    assert traces, "no concrete traces for %s" % bench.name
+
+    leaves = verdict.tree.leaves()
+    for trace in traces:
+        env = _symbol_env(cfg, trace)
+        covering = [leaf for leaf in leaves if leaf.trail.accepts(trace.edges)]
+        assert covering, "trace of %s escapes the partition" % bench.name
+        for leaf in covering:
+            result = leaf.bound
+            if result is None or result.degraded:
+                continue
+            assert result.feasible, (
+                "infeasible leaf of %s covers a concrete trace" % bench.name
+            )
+            if result.bound is None:
+                continue
+            lo, hi = result.bound.evaluate(env)
+            assert lo <= trace.time, (
+                "%s: cost %d under leaf lower bound %s" % (bench.name, trace.time, lo)
+            )
+            if hi is not None:
+                assert trace.time <= hi, (
+                    "%s: cost %d over leaf upper bound %s"
+                    % (bench.name, trace.time, hi)
+                )

@@ -1,0 +1,107 @@
+"""Campaign runner: determinism, resume, exit codes, corpus output."""
+
+import json
+import os
+
+import pytest
+
+from repro.diffcheck.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    ProgramOutcome,
+    run_campaign,
+    write_corpus,
+)
+from repro.diffcheck.differ import DiffConfig
+
+pytestmark = pytest.mark.diffcheck
+
+# Small but non-trivial: enough programs that the sample includes leaky
+# and safe ones, cheap enough for the default suite.
+SMALL = CampaignConfig(seed=1, count=6, shrink=False)
+
+
+def test_serial_and_parallel_reports_are_byte_identical():
+    serial = run_campaign(SMALL, jobs=1)
+    parallel = run_campaign(SMALL, jobs=4)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_same_seed_twice_is_byte_identical():
+    assert run_campaign(SMALL, jobs=1).to_json() == run_campaign(SMALL, jobs=1).to_json()
+
+
+def test_report_shape_and_exit_code_clean():
+    report = run_campaign(SMALL, jobs=1)
+    record = report.to_dict()
+    assert record["campaign"] == {
+        "seed": 1,
+        "count": 6,
+        "threshold": 24,
+        "domain": "zone",
+    }
+    assert record["summary"]["programs"] == 6
+    assert len(record["programs"]) == 6
+    assert [p["name"] for p in record["programs"]] == [
+        "p%06d" % i for i in range(6)
+    ]
+    assert report.exit_code in (0, 4)  # never 1: the engine is sound here
+    assert not report.soundness_bugs
+
+
+def test_resume_from_journal_is_byte_identical(tmp_path):
+    journal = str(tmp_path / "campaign.jsonl")
+    first = run_campaign(SMALL, jobs=1, journal=journal)
+    assert os.path.exists(journal)
+    resumed = run_campaign(SMALL, jobs=1, journal=journal, resume=True)
+    assert first.to_json() == resumed.to_json()
+
+
+def test_broken_engine_campaign_exits_fatal(tmp_path):
+    config = CampaignConfig(
+        seed=1,
+        count=6,
+        diff=DiffConfig(break_engine="narrow"),
+        shrink=False,
+    )
+    report = run_campaign(config, jobs=1)
+    assert report.soundness_bugs, "sabotaged engine must be caught"
+    assert report.exit_code == 1
+    # Fatal rows keep their source so the bug is reproducible.
+    for outcome in report.soundness_bugs:
+        assert outcome.source
+        assert outcome.domains
+
+    written = write_corpus(report, str(tmp_path / "corpus"))
+    assert written
+    entry = json.loads(open(written[0], encoding="utf-8").read())
+    assert entry["source"]
+    assert ["soundness_bug", "blazer"] in entry["expect"]
+
+
+def test_exit_code_degraded_on_worker_errors():
+    ok = ProgramOutcome(name="p000000", index=0, seed=0)
+    broken = ProgramOutcome(name="p000001", index=1, seed=0, error="boom")
+    report = CampaignReport(
+        seed=0, count=2, threshold=24, domain="zone", outcomes=[ok, broken]
+    )
+    assert report.degraded and report.exit_code == 4
+    fatal = ProgramOutcome(
+        name="p000002",
+        index=2,
+        seed=0,
+        disagreements=[{"kind": "soundness_bug", "engine": "blazer", "detail": ""}],
+    )
+    report.outcomes.append(fatal)
+    assert report.exit_code == 1  # fatal outranks degraded
+
+
+def test_outcome_round_trip_drops_runner_bookkeeping():
+    outcome = ProgramOutcome(
+        name="p000003", index=3, seed=9, blazer="safe", retries=2, resumed=True
+    )
+    record = outcome.to_dict()
+    assert "retries" not in record and "resumed" not in record
+    back = ProgramOutcome.from_dict(record)
+    assert back.name == outcome.name and back.blazer == "safe"
+    assert back.retries == 0 and back.resumed is False

@@ -1,0 +1,59 @@
+"""Seed-pinned regression corpus: fixed bugs stay fixed.
+
+Every file in ``tests/diffcheck/corpus/`` is a shrunk counterexample
+harvested from a development campaign (``repro diffcheck --corpus``):
+the program source, its exact input domains, the campaign threshold,
+and the disagreement signature it exhibited.  This test replays each
+one through the live differ and asserts the expected classification
+still shows — so a "fixed" attack-spec or soundness regression cannot
+silently return.
+
+Entries record non-fatal signatures too (``attack_spec_mismatch`` is
+corpus material: it documents known spec-replay imprecision).  What
+must NEVER appear on replay is a disagreement kind *worse* than the
+recorded one: a corpus entry recorded as a mismatch that starts
+tripping ``soundness_bug`` is a new bug, not a known one.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.diffcheck.differ import FATAL_KIND, DiffConfig, check_source
+
+pytestmark = pytest.mark.diffcheck
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ENTRIES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "the regression corpus must ship at least one entry"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: os.path.basename(p))
+def test_corpus_entry_replays_expected_classification(path):
+    entry = _load(path)
+    domains = {name: tuple(values) for name, values in entry["domains"].items()}
+    config = DiffConfig(threshold=entry["threshold"], domain=entry["domain"])
+    report = check_source(entry["source"], domains, config, name=entry["name"])
+
+    observed = {(d.kind, d.engine) for d in report.disagreements}
+    expected = {(kind, engine) for kind, engine in entry["expect"]}
+    missing = expected - observed
+    assert not missing, (
+        "corpus entry %s lost its recorded disagreement(s) %s (observed %s) "
+        "without the corpus being updated" % (entry["name"], missing, observed)
+    )
+    if FATAL_KIND not in {kind for kind, _ in expected}:
+        assert not report.fatal, (
+            "corpus entry %s regressed from %s to a soundness bug: %s"
+            % (entry["name"], sorted(expected), [d.to_dict() for d in report.disagreements])
+        )

@@ -1,0 +1,89 @@
+"""The three-way differential check and its disagreement taxonomy.
+
+The key acceptance test lives here: deliberately breaking the engine
+(``break_engine="narrow"`` — an observer that calls every bound narrow,
+i.e. an unsound CHECKSAFE) must surface as a fatal ``soundness_bug``.
+A harness that cannot catch a sabotaged engine proves nothing.
+"""
+
+import pytest
+
+from repro.diffcheck.differ import FATAL_KIND, DiffConfig, check_source
+
+pytestmark = pytest.mark.diffcheck
+
+SAFE = """
+proc main(public l: uint, secret h: int): int {
+    var acc: int = h + 1;
+    return acc + l;
+}
+"""
+
+LEAKY = """
+proc main(public l: uint, secret h: int): int {
+    var acc: int = 0;
+    if (h > 0) {
+        var i: int = 0;
+        while (i < 30) { acc = acc + i; i = i + 1; }
+    }
+    return acc + l;
+}
+"""
+
+DOMAINS = {"l": (0, 1, 2), "h": (-1, 0, 1, 2)}
+CONFIG = DiffConfig(threshold=24)
+
+
+def test_straightline_program_is_clean():
+    report = check_source(SAFE, DOMAINS, CONFIG, name="safe")
+    assert report.blazer_status == "safe"
+    assert report.selfcomp_outcome == "verified"
+    assert report.constant_time
+    assert not report.oracle.leaky
+    assert report.clean and not report.fatal
+
+
+def test_leaky_program_agrees_without_soundness_bug():
+    report = check_source(LEAKY, DOMAINS, CONFIG, name="leaky")
+    assert report.oracle.leaky
+    assert report.blazer_status != "safe"
+    assert report.selfcomp_outcome != "verified"
+    assert not report.constant_time
+    assert not report.fatal
+
+
+def test_broken_engine_is_caught_as_soundness_bug():
+    config = DiffConfig(threshold=24, break_engine="narrow")
+    report = check_source(LEAKY, DOMAINS, config, name="sabotaged")
+    assert report.blazer_status == "safe"  # the sabotage "works"...
+    assert report.fatal  # ...and the oracle refutes it
+    kinds = {(d.kind, d.engine) for d in report.disagreements}
+    assert (FATAL_KIND, "blazer") in kinds
+
+
+def test_break_engine_leaves_safe_programs_alone():
+    config = DiffConfig(threshold=24, break_engine="narrow")
+    report = check_source(SAFE, DOMAINS, config, name="sabotaged-safe")
+    assert not report.fatal  # unsoundness only shows on actual leaks
+
+
+def test_precision_gaps_are_not_fatal():
+    # Low threshold: the oracle calls the 2-instruction then/else skew of
+    # a balanced branch a leak criterion miss only when slack <= gap; at
+    # a huge threshold the leaky program is oracle-safe, and any engine
+    # that fails to prove it lands in precision_gap, never soundness_bug.
+    config = DiffConfig(threshold=10_000)
+    report = check_source(LEAKY, DOMAINS, config, name="coarse")
+    assert not report.oracle.leaky
+    for d in report.disagreements:
+        assert d.kind == "precision_gap"
+        assert not d.fatal
+
+
+def test_report_to_dict_round_trips_the_verdicts():
+    report = check_source(LEAKY, DOMAINS, CONFIG, name="leaky")
+    record = report.to_dict()
+    assert record["name"] == "leaky"
+    assert record["blazer"] == report.blazer_status
+    assert record["oracle"]["leaky"] is True
+    assert isinstance(record["disagreements"], list)

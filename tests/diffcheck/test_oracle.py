@@ -1,0 +1,95 @@
+"""The ground-truth oracle: exact TCF by exhaustive interpretation."""
+
+import pytest
+
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    PolynomialDegreeObserver,
+)
+from repro.diffcheck.oracle import TimingOracle, observer_slack
+from repro.interp import Interpreter
+from tests.helpers import compile_to_cfgs
+
+pytestmark = pytest.mark.diffcheck
+
+LEAKY = """
+proc main(public l: uint, secret h: int): int {
+    var acc: int = 0;
+    if (h > 0) {
+        var i: int = 0;
+        while (i < 8) { acc = acc + i; i = i + 1; }
+    }
+    return acc + l;
+}
+"""
+
+STRAIGHTLINE = """
+proc main(public l: uint, secret h: int): int {
+    var acc: int = h + 1;
+    return acc + l;
+}
+"""
+
+DOMAINS = {"l": (0, 1, 2), "h": (-1, 0, 1, 2)}
+
+
+def _oracle(source, slack, fuel=50_000, limit=8192):
+    cfgs = compile_to_cfgs(source)
+    return TimingOracle(
+        Interpreter(cfgs, fuel=fuel), cfgs["main"], DOMAINS, slack=slack, limit=limit
+    )
+
+
+def test_leaky_program_is_leaky():
+    verdict = _oracle(LEAKY, slack=4).run()
+    assert verdict.leaky
+    assert verdict.max_gap >= 4
+    assert verdict.traces == 12 and verdict.classes == 3
+    assert verdict.errors == 0
+    # The witness is a genuine low-equivalent pair realizing the gap.
+    w = verdict.witness
+    assert w is not None
+    assert dict(w.high_a) != dict(w.high_b)
+    assert w.gap == verdict.max_gap == abs(w.time_a - w.time_b)
+
+
+def test_straightline_program_is_gap_free():
+    verdict = _oracle(STRAIGHTLINE, slack=1).run()
+    assert not verdict.leaky
+    assert verdict.max_gap == 0
+    assert verdict.witness is None
+
+
+def test_slack_is_the_leak_criterion():
+    gap = _oracle(LEAKY, slack=1).run().max_gap
+    assert _oracle(LEAKY, slack=gap).run().leaky
+    assert not _oracle(LEAKY, slack=gap + 1).run().leaky
+
+
+def test_fuel_exhaustion_aborts_enumeration():
+    """One nonterminating input is enough evidence: the oracle burns
+    fuel once, records the error, and stops instead of timing out on
+    every remaining input tuple."""
+    spinning = """
+    proc main(public l: uint, secret h: int): int {
+        var i: int = 0;
+        while (i < 10) { i = i * 1; }
+        return l;
+    }
+    """
+    verdict = _oracle(spinning, slack=1, fuel=500).run()
+    assert verdict.errors == 1
+    assert verdict.traces == 0
+
+
+def test_limit_truncates_deterministically():
+    a = _oracle(LEAKY, slack=4, limit=5).run()
+    b = _oracle(LEAKY, slack=4, limit=5).run()
+    assert a.traces == b.traces == 5
+    assert a.to_dict() == b.to_dict()
+
+
+def test_observer_slack_reads_either_convention():
+    assert observer_slack(ConcreteThresholdObserver(threshold=123)) == 123
+    assert observer_slack(PolynomialDegreeObserver(epsilon=7)) == 7
+    assert observer_slack(object()) == 1

@@ -1,0 +1,67 @@
+"""The greedy shrinker: smaller reproducer, same disagreement."""
+
+import pytest
+
+from repro.diffcheck.differ import FATAL_KIND, DiffConfig, check_source
+from repro.diffcheck.shrink import shrink_source, signature_of
+from repro.lang import frontend
+
+pytestmark = pytest.mark.diffcheck
+
+# A leaky core buried in noise: the secret-guarded loop is the story,
+# the rest is deletable padding.
+NOISY_LEAK = """
+proc main(public l: uint, secret h: int): int {
+    var junk: int = l * 2;
+    junk = junk + 3;
+    var acc: int = 0;
+    if (l > 1) { junk = junk - 1; } else { junk = junk + 1; }
+    if (h > 0) {
+        var i: int = 0;
+        while (i < 30) { acc = acc + i; i = i + 1; }
+    }
+    var tail: int = junk * junk;
+    return acc + tail;
+}
+"""
+
+DOMAINS = {"l": (0, 1, 2), "h": (-1, 0, 1, 2)}
+BROKEN = DiffConfig(threshold=24, break_engine="narrow")
+
+
+def test_shrink_preserves_soundness_bug_signature():
+    original = check_source(NOISY_LEAK, DOMAINS, BROKEN)
+    target = signature_of(original)
+    assert (FATAL_KIND, "blazer") in target
+
+    result = shrink_source(NOISY_LEAK, DOMAINS, BROKEN, target=target)
+    assert result.removed > 0
+    assert target <= signature_of(result.report)
+    # The reproducer still passes the frontend and still leaks.
+    frontend(result.source)
+    assert result.report.oracle.leaky
+
+
+def test_shrunk_source_is_a_fixpoint():
+    """Re-shrinking the shrunk source removes nothing further."""
+    result = shrink_source(NOISY_LEAK, DOMAINS, BROKEN)
+    again = shrink_source(result.source, DOMAINS, BROKEN)
+    assert again.removed == 0
+    assert again.source == result.source
+
+
+def test_clean_program_is_returned_untouched():
+    clean = """
+    proc main(public l: uint, secret h: int): int {
+        return l + 1;
+    }
+    """
+    result = shrink_source(clean, DOMAINS, DiffConfig(threshold=24))
+    assert signature_of(result.report) == frozenset()
+    assert result.removed == 0
+    assert result.checks == 1
+
+
+def test_max_checks_caps_differ_invocations():
+    result = shrink_source(NOISY_LEAK, DOMAINS, BROKEN, max_checks=3)
+    assert result.checks <= 3
