@@ -3,21 +3,28 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-metrics diffcheck-smoke table1
+.PHONY: test test-resilience smoke-service smoke-metrics diffcheck-smoke perf-smoke table1
 
-test: diffcheck-smoke
+test: diffcheck-smoke perf-smoke
 	$(PYTHON) -m pytest -q
 
-# Differential fuzz smoke: 200 generated programs cross-checked against
-# the ground-truth timing oracle at a pinned seed (docs/DIFFCHECK.md).
-# Exit 1 = soundness bug.  Shrinking is off: the smoke gate only needs
-# the verdicts, and precision-gap shrinks would dominate the runtime.
-# The reduced --max-pairs budget keeps the gate under a minute even on
-# one core; it only trims the self-composition baseline's exploration
-# (extra "exhausted" outcomes, never different verdicts), and full
-# campaigns keep the 2500 default.
+# Differential fuzz smoke: 500 generated programs cross-checked against
+# the ground-truth timing oracle at a pinned seed (docs/DIFFCHECK.md),
+# dispatched through the warm worker pool (--jobs 4).  Exit 1 =
+# soundness bug.  Shrinking is off: the smoke gate only needs the
+# verdicts, and precision-gap shrinks would dominate the runtime.  The
+# reduced --max-pairs budget keeps the gate fast even on one core; it
+# only trims the self-composition baseline's exploration (extra
+# "exhausted" outcomes, never different verdicts), and full campaigns
+# keep the 2500 default.
 diffcheck-smoke:
-	$(PYTHON) -m repro diffcheck --seed 0 --count 200 --jobs 1 --no-shrink --max-pairs 80
+	$(PYTHON) -m repro diffcheck --seed 0 --count 500 --jobs 4 --no-shrink --max-pairs 80
+
+# Perf gate (docs/PERFORMANCE.md): the MicroBench group serial (perf
+# off) and warm-pool parallel (perf on); asserts total speedup >= 1.0
+# and byte-identical digests.  Well under 90 s.
+perf-smoke:
+	$(PYTHON) benchmarks/bench_perf.py --quick --output /tmp/bench_quick.json
 
 test-resilience:
 	$(PYTHON) -m pytest -q -m resilience

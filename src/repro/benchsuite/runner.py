@@ -8,12 +8,16 @@ content digest of :func:`repro.core.report.verdict_digest` — which is
 how the caller can assert that every worker, whatever its process or
 cache temperature, produced the same analysis.
 
-Resilience (docs/RESILIENCE.md):
+Multi-benchmark process runs dispatch through the persistent warm pool
+(:mod:`repro.perf.pool`): benchmarks are grouped into chunks, chunks are
+fed to CPU-clamped warm workers as they free up, and the pool survives
+across runner instances.  Runs with a per-task timeout (and the thread/
+serial backends) keep the one-future-per-item :func:`~repro.perf.
+parallel.try_map` shape.  Both paths observe the same contracts:
 
-* failures are isolated per benchmark (:func:`repro.perf.parallel.
-  try_map`): a raised exception, a killed worker process
-  (``BrokenProcessPool``) or a per-task timeout marks that benchmark
-  failed without aborting the suite;
+* failures are isolated per benchmark: a raised exception, a killed
+  worker process (``BrokenProcessPool``) or a per-task timeout marks
+  that benchmark failed without aborting the suite;
 * failed benchmarks are retried with exponential backoff on the
   **serial in-process backend** — the most conservative substrate, and
   immune to whatever broke the pool;
@@ -37,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.perf import runtime
 from repro.perf.parallel import resolve_jobs, try_map
+from repro.perf.pool import shared_pool, warm_pool_usable
 from repro.resilience import faults
 from repro.resilience.budget import Budget
 from repro.resilience.journal import SuiteJournal, open_journal
@@ -205,6 +210,7 @@ class ParallelSuiteRunner:
         retry_policy: Optional[RetryPolicy] = None,
         worker=None,
         codec=None,
+        warm: Optional[bool] = None,
     ):
         if benchmarks is None:
             from repro.benchsuite import ALL_BENCHMARKS
@@ -223,6 +229,7 @@ class ParallelSuiteRunner:
         self._policy = retry_policy or RetryPolicy(retries=retries)
         self._worker = worker
         self._codec = codec or BenchResult
+        self._warm = warm
         # Observability for callers (the CLI, bench_perf): retry count
         # per benchmark name, and how many rows came from the journal.
         self.retry_counts: Dict[str, int] = {}
@@ -257,6 +264,30 @@ class ParallelSuiteRunner:
 
     # -- execution ---------------------------------------------------------
 
+    def _use_warm_pool(self, pending: Sequence[str]) -> bool:
+        """Route this run through the persistent warm pool?
+
+        The warm pool (:mod:`repro.perf.pool`) is the fast path for
+        multi-benchmark process runs: chunked dispatch amortizes the
+        per-task round-trip, the pool itself survives across runs, and
+        the worker count is clamped to the machine (``--jobs 4`` on one
+        core stops oversubscribing).  ``warm=False`` opts out;
+        ``task_timeout`` forces the per-task-future shape of
+        :func:`try_map` (a chunk cannot time out item-by-item), as do
+        the thread/serial backends.  Failure semantics are unchanged
+        either way: per-item result-or-exception, ``WorkerCrashed`` on
+        a dead pool, journal hook in input order.
+        """
+        if self._warm is False:
+            return False
+        if self._task_timeout is not None:
+            return False
+        if self._jobs <= 1 or len(pending) <= 1:
+            return False
+        if self._backend not in ("auto", "process"):
+            return False
+        return warm_pool_usable()
+
     def run(self) -> List[BenchResult]:
         worker = self._worker
         if worker is None:
@@ -273,14 +304,19 @@ class ParallelSuiteRunner:
                 self._record(outcome)
 
         try:
-            outcomes = try_map(
-                worker,
-                pending,
-                jobs=self._jobs,
-                backend=self._backend,
-                task_timeout=self._task_timeout,
-                on_result=journal_hook,
-            )
+            if self._use_warm_pool(pending):
+                outcomes = shared_pool(self._jobs).map_chunked(
+                    worker, pending, on_result=journal_hook
+                )
+            else:
+                outcomes = try_map(
+                    worker,
+                    pending,
+                    jobs=self._jobs,
+                    backend=self._backend,
+                    task_timeout=self._task_timeout,
+                    on_result=journal_hook,
+                )
         except KeyboardInterrupt as exc:
             raise SuiteInterrupted(
                 "suite interrupted with %d/%d benchmark(s) completed"

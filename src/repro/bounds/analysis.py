@@ -189,6 +189,7 @@ class BoundAnalysis:
         self._loop_summaries: Dict[Node, Dict[Tuple[Node, Node], CostBound]] = {}
         self._iter_bounds: Dict[Node, IterationBound] = {}
         self._node_costs: Dict[Node, CostBound] = {}
+        self._summaries_fp: Optional[str] = None
 
     # -- public entry point ------------------------------------------------------
 
@@ -491,13 +492,7 @@ class BoundAnalysis:
         seeded = header_inv
         for var in sorted(tracked):
             seeded = seeded.assign(seed_name(var), LinExpr.var(var))
-        back = set(loop.back_edges)
-        result = self._engine.analyze(
-            initial={loop.header: seeded},
-            restrict=set(loop.body),
-            collect=lambda s, d, e: (s, d) in back,
-        )
-        transition = result.collected_join()
+        transition = self._loop_transition(loop, seeded)
         if transition.is_bottom():
             bound = IterationBound(lower=Poly.ZERO, upper=Poly.ZERO, exact=True)
             self._iter_bounds[loop.header] = bound
@@ -564,6 +559,111 @@ class BoundAnalysis:
         )
         self._iter_bounds[loop.header] = bound
         return bound
+
+    # -- incremental re-analysis ---------------------------------------------------
+
+    def _loop_transition(self, loop: GraphLoop, seeded: AbstractState) -> AbstractState:
+        """The loop's seeded transition relation (join of the states
+        flowing along its back edges), memoized by *content* so a
+        refinement split reuses the parent trail's fixpoints.
+
+        When REFINEPARTITION splits a trail at a branch, every loop the
+        split does not touch reappears in each child with an isomorphic
+        product subgraph (same blocks, same edge structure, different
+        DFA-state numbers) and — whenever the split did not sharpen the
+        header invariant — an equal seeded entry state.  The transition
+        relation is a pure function of (a) the explored product subgraph
+        up to DFA-state renaming, (b) the seeded state's content, and
+        (c) the driver-fixed inputs (CFG, domain, summaries): the
+        engine's exploration order, RPO, widening points and worklist
+        order all derive from the adjacency *structure* (successor lists
+        follow CFG edge order), never from the raw DFA state numbers,
+        and ``collected_join()`` discards node labels entirely.  Keying
+        the memo by a canonical (DFS-numbered) encoding of the subgraph
+        therefore returns bit-identical results to a fresh run — this is
+        the "delta on the split constructor": only loops the split
+        actually changed are re-analyzed.
+
+        Budget-carrying analyses bypass the memo: a hit would skip the
+        engine's per-step budget checkpoints and change exhaustion
+        behavior, and degraded results must never be reused.
+        """
+        back = set(loop.back_edges)
+        key = None
+        if runtime.enabled() and self._budget is None:
+            key = self._loop_transition_key(loop, seeded, back)
+            if key is not None:
+                table = runtime.memo_table("bounds.transition")
+                hit = table.get(key)
+                if hit is not None:
+                    runtime.STATS.hit("bounds.transition")
+                    return hit
+                runtime.STATS.miss("bounds.transition")
+        result = self._engine.analyze(
+            initial={loop.header: seeded},
+            restrict=set(loop.body),
+            collect=lambda s, d, e: (s, d) in back,
+        )
+        transition = result.collected_join()
+        if key is not None:
+            runtime.memo_table("bounds.transition")[key] = transition
+        return transition
+
+    def _loop_transition_key(
+        self, loop: GraphLoop, seeded: AbstractState, back: Set[Tuple[Node, Node]]
+    ) -> Optional[tuple]:
+        """Canonical content key for one seeded loop analysis, or None
+        when the state offers no content key.
+
+        Mirrors the engine's own DFS (``_explore``) from the header over
+        the body-restricted adjacency to number nodes structurally, then
+        encodes every node as (block id, ordered successors) with each
+        successor as (canonical dst, branch polarity, is-back-edge).
+        Equal keys imply the engine sees identical inputs up to a
+        DFA-state renaming its computation cannot observe.
+        """
+        key_of = getattr(seeded, "cache_key", None)
+        if key_of is None:
+            return None
+        from repro.perf.fingerprint import cfg_fingerprint
+
+        body = loop.body
+        adj = {
+            u: [e for e in self._adjacency.get(u, []) if e.dst in body] for u in body
+        }
+        order: List[Node] = []
+        seen: Set[Node] = set()
+        stack: List[Node] = [loop.header]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            order.append(node)
+            for e in adj.get(node, []):
+                if e.dst not in seen:
+                    stack.append(e.dst)
+        canon = {node: i for i, node in enumerate(order)}
+        enc = tuple(
+            (
+                node[0],
+                tuple(
+                    (canon[e.dst], e.branch_taken, (node, e.dst) in back)
+                    for e in adj.get(node, [])
+                ),
+            )
+            for node in order
+        )
+        summaries_fp = self._summaries_fp
+        if summaries_fp is None:
+            summaries_fp = self._summaries_fp = self._summaries.fingerprint()
+        return (
+            cfg_fingerprint(self._cfg),
+            self._domain.name,
+            summaries_fp,
+            key_of(),
+            enc,
+        )
 
     def _tracked_vars(self, loop: GraphLoop) -> Set[str]:
         """Integer variables worth seeding for the transition relation."""

@@ -49,7 +49,7 @@ from repro.lang import ast, frontend
 from repro.obs.trace import current_context, span as trace_span
 from repro.perf import runtime
 from repro.perf.cache import AnalysisCache
-from repro.perf.parallel import thread_map
+from repro.perf.parallel import thread_map_chunked
 from repro.resilience.budget import Budget, DegradationReport
 from repro.taint import TaintResult, analyze_taint
 from repro.trails import PartitionTree, Trail, TrailNode, split_trail
@@ -349,13 +349,16 @@ class Blazer:
         pending = [leaf for leaf in tree.leaves() if leaf.bound is None]
         if self.config.jobs > 1 and len(pending) >= self.config.parallel_leaf_min:
             # Fan the independent leaf analyses out over an in-process
-            # pool.  thread_map returns results in input order and
-            # classification stays sequential, so the outcome is
-            # identical to the serial loop.  The guard lives inside the
-            # mapped function, so a budget trip in one worker thread
-            # degrades that leaf without tearing down the pool.
+            # pool in *chunks* — one task per handful of leaves, not per
+            # leaf, since a cached leaf bound settles in microseconds
+            # and a per-leaf future would cost more than the work.
+            # Results come back in input order and classification stays
+            # sequential, so the outcome is identical to the serial
+            # loop.  The guard lives inside the mapped function, so a
+            # budget trip in one worker thread degrades that leaf
+            # without tearing down the pool.
             ctx = current_context()
-            bounds = thread_map(
+            bounds = thread_map_chunked(
                 lambda leaf: self._guarded_bound(cfg, leaf.trail, parent=ctx),
                 pending,
                 self.config.jobs,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.domains import dbm
 from repro.domains.base import AbstractState, Bound, Domain
 from repro.domains.linexpr import LinCons, LinExpr, RelOp
 
@@ -113,6 +114,10 @@ class OctagonState(AbstractState):
         return OctagonState(variables, matrix, self._bottom, self._closed)
 
     def _aligned(self, other: "OctagonState") -> Tuple["OctagonState", "OctagonState"]:
+        if self._vars == other._vars:
+            # Identity fast path: same index space already (see the zone
+            # domain) — alignment sits under every join/leq/widen.
+            return self, other
         left = self._with_vars(other._vars)
         right = other._with_vars(left._vars)
         left = left._with_vars(right._vars)
@@ -124,48 +129,15 @@ class OctagonState(AbstractState):
         if self._bottom or self._closed:
             return self
         n = self._dim()
-        m = self._copy_matrix()
-        # Alternate shortest-paths and strengthening until stable (two
-        # rounds almost always suffice; the loop is belt-and-braces so the
-        # result is genuinely strongly closed, which join/leq rely on for
-        # precision).
-        for _ in range(4):
-            changed = False
-            for k in range(n):
-                row_k = m[k]
-                for i in range(n):
-                    mik = m[i][k]
-                    if mik is None:
-                        continue
-                    row_i = m[i]
-                    for j in range(n):
-                        mkj = row_k[j]
-                        if mkj is None:
-                            continue
-                        cand = mik + mkj
-                        if row_i[j] is None or cand < row_i[j]:
-                            row_i[j] = cand
-                            changed = True
-            # Strengthening with the unary bounds.  Division stays exact:
-            # even ints halve to ints, odd ones become Fractions.
-            for i in range(n):
-                for j in range(n):
-                    half = _add(m[i][_bar(i)], m[_bar(j)][j])
-                    if half is not None:
-                        if isinstance(half, int):
-                            cand = half // 2 if half % 2 == 0 else Fraction(half, 2)
-                        else:
-                            cand = half / 2
-                        if m[i][j] is None or cand < m[i][j]:
-                            m[i][j] = cand
-                            changed = True
-            for i in range(n):
-                if m[i][i] is not None and m[i][i] < 0:
-                    return OctagonState(self._vars, None, bottom=True, closed=True)
-                m[i][i] = 0
-            if not changed:
-                break
-        return OctagonState(self._vars, m, False, closed=True)
+        # Strong closure runs on the flat INF-encoded kernel
+        # (repro.domains.dbm): alternating shortest-path and
+        # strengthening rounds, identical entry-wise to the reference
+        # triple loop.  Division stays exact: even ints halve to ints,
+        # odd ones become Fractions.
+        m = dbm.rows_from_opt(self._m)
+        if not dbm.octagon_close_rows(m, n):
+            return OctagonState(self._vars, None, bottom=True, closed=True)
+        return OctagonState(self._vars, dbm.rows_to_opt(m), False, closed=True)
 
     def _set(self, m: Matrix, i: int, j: int, bound) -> None:
         """Tighten m[i][j] (and its coherent mirror) to ``bound``."""

@@ -8,7 +8,15 @@ transition-invariant analysis needs exactly relations like
 
 Representation: a DBM over an index set {0 = the constant zero, one
 index per tracked variable}; ``m[i][j]`` is the tightest known upper
-bound on ``v_i - v_j`` (None = +oo).  Closure is Floyd–Warshall.
+bound on ``v_i - v_j``, with ``dbm.INF`` (``float("inf")``) encoding
++∞ so the closure kernels can relax whole rows with ``map(min, ...)``
+instead of testing ``is None`` per entry (see
+:mod:`repro.domains.dbm`).  Closure is Floyd–Warshall for a cold
+matrix and the exact O(n²) incremental tightening for the
+one-constraint updates ``assign``/``guard`` produce — on *both* the
+perf-on and perf-off paths: the incremental closure of a DBM equals
+its re-closure (shortest paths are unique), so the digests are
+unchanged while the dominant O(n³) loop disappears from the hot path.
 Widening keeps stable bounds and drops unstable ones; following the
 standard recipe, the result of widening is *not* closed (closing it
 could un-do the widening and break termination), so closure is applied
@@ -20,42 +28,41 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.domains import dbm
 from repro.domains.base import AbstractState, Bound, Domain
+from repro.domains.dbm import INF, NEG_INF
 from repro.domains.linexpr import LinCons, LinExpr, RelOp
 from repro.perf import runtime
 from repro.resilience import faults
 
-Matrix = List[List[Bound]]
+Matrix = List[List[object]]
 
 
 def _norm(value):
     """Store integral bounds as plain ints: Fraction arithmetic is ~20x
-    slower than int arithmetic, and the Floyd-Warshall closure is the
-    hot loop of the whole tool.  Mixed int/Fraction comparisons and
-    sums are exact either way."""
+    slower than int arithmetic, and the closure kernels are the hot
+    loop of the whole tool.  Mixed int/Fraction comparisons and sums
+    are exact either way."""
     if isinstance(value, Fraction) and value.denominator == 1:
         return int(value)
     return value
 
 
-def _min_bound(a: Bound, b: Bound) -> Bound:
-    if a is None:
-        return b
-    if b is None:
-        return a
-    return min(a, b)
+_INDEX_CACHE: Dict[Tuple[str, ...], Dict[str, int]] = {}
 
 
-def _max_bound(a: Bound, b: Bound) -> Bound:
-    if a is None or b is None:
-        return None
-    return max(a, b)
-
-
-def _add_bound(a: Bound, b: Bound) -> Bound:
-    if a is None or b is None:
-        return None
-    return a + b
+def _index_for(variables: Sequence[str]) -> Dict[str, int]:
+    """The name→DBM-index dict for a variable list, interned: sibling
+    states over one variable set (every state of one fixpoint run) share
+    a single read-only dict instead of rebuilding it per state."""
+    key = tuple(variables)
+    index = _INDEX_CACHE.get(key)
+    if index is None:
+        if len(_INDEX_CACHE) >= 10_000:
+            _INDEX_CACHE.clear()
+        index = {v: i + 1 for i, v in enumerate(key)}
+        _INDEX_CACHE[key] = index
+    return index
 
 
 class ZoneState(AbstractState):
@@ -67,10 +74,10 @@ class ZoneState(AbstractState):
         closed: bool = False,
     ):
         self._vars: List[str] = list(variables)
-        self._index: Dict[str, int] = {v: i + 1 for i, v in enumerate(self._vars)}
+        self._index: Dict[str, int] = _index_for(self._vars)
         n = len(self._vars) + 1
         if matrix is None:
-            matrix = [[None] * n for _ in range(n)]
+            matrix = [[INF] * n for _ in range(n)]
             for i in range(n):
                 matrix[i][i] = 0
         self._m: Matrix = matrix
@@ -81,7 +88,16 @@ class ZoneState(AbstractState):
         # by the closure/join/leq memo tables.  States are immutable
         # after construction, so both can be cached unconditionally.
         self._closure: Optional["ZoneState"] = None
-        self._key_cache: Optional[tuple] = None
+        self._key_cache: Optional[object] = None
+        # Single-slot identity memos for the lattice operations (perf
+        # layer only).  The fixpoint engine re-joins / re-compares the
+        # same *objects* across widening and narrowing iterations — the
+        # transfer memo returns cached state objects, and a stable loop
+        # head keeps its invariant object — so remembering the last
+        # partner by identity (a strong ref, so ids stay valid) hits the
+        # hot repeats without paying content-key construction.
+        self._join_last: Optional[Tuple["ZoneState", "ZoneState"]] = None
+        self._leq_last: Optional[Tuple["ZoneState", bool]] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -93,27 +109,34 @@ class ZoneState(AbstractState):
 
     def _with_vars(self, variables: Sequence[str]) -> "ZoneState":
         """This state re-indexed over a superset of variables."""
+        index = self._index
         new_vars = list(self._vars)
         for var in variables:
-            if var not in self._index:
+            if var not in index:
                 new_vars.append(var)
         if len(new_vars) == len(self._vars):
-            return self
+            return self  # identity: no new variables to add
         # New variables are appended, so the old DBM is exactly the
         # top-left block of the new one: copy rows by slicing instead of
         # entry-by-entry (this sits on the alignment hot path).
         n_old = len(self._vars) + 1
         extra = len(new_vars) - len(self._vars)
         n_new = n_old + extra
-        tail: List[Optional[Bound]] = [None] * extra
+        tail: List[object] = [INF] * extra
         matrix: Matrix = [self._m[i] + tail for i in range(n_old)]
         for k in range(extra):
-            row: List[Optional[Bound]] = [None] * n_new
+            row: List[object] = [INF] * n_new
             row[n_old + k] = 0
             matrix.append(row)
         return ZoneState(new_vars, matrix, self._bottom, self._closed)
 
     def _aligned(self, other: "ZoneState") -> Tuple["ZoneState", "ZoneState"]:
+        if self._vars == other._vars:
+            # Identity fast path: equal variable lists mean both DBMs
+            # already share one index space — re-deriving (and possibly
+            # re-ordering) them would rebuild two n×n matrices for
+            # nothing, and alignment sits under every join/leq/widen.
+            return self, other
         left = self._with_vars(other._vars)
         right = other._with_vars(left._vars)
         left = left._with_vars(right._vars)
@@ -131,37 +154,34 @@ class ZoneState(AbstractState):
         ]
         return ZoneState(variables, matrix, self._bottom, self._closed)
 
-    def cache_key(self) -> str:
+    def cache_key(self) -> object:
         """A hashable key over this state's full content.
 
         Two states with equal keys denote the same DBM (same variables in
         the same order, entry-wise equal bounds), so every derived value
         — closure, join, ordering, transfer results — is equal too.  The
-        key is a *string* on purpose: ``str`` objects cache their hash,
-        whereas a nested tuple of ``Fraction`` bounds would re-run the
-        (pure-Python, slow) ``Fraction.__hash__`` on every table lookup.
+        common all-int matrix packs into a single ``array('q')`` buffer
+        (:func:`repro.domains.dbm.int_key`): a compact bytes key whose
+        hash is one C-level pass.  Matrices holding ``Fraction`` bounds
+        fall back to a normalized string rendering, under which
         ``str(Fraction(3))`` and ``str(3)`` coincide, so mixed integral
-        representations of the same zone collapse onto one key.
+        representations of the same zone collapse onto one key.  Bytes
+        and str keys can never collide (different types never compare
+        equal).
         """
         key = self._key_cache
         if key is None:
             if self._bottom:
                 key = "bot"
             else:
-                # Fast path: a Fraction-free matrix (ints and None, the
-                # overwhelmingly common case) keys by its C-level repr.
-                # ``repr`` is injective on int/None entries, and the
-                # "R!" prefix cannot collide with the slow format (no
-                # variable name contains "!"), so equal keys still imply
-                # equal DBMs.  Matrices holding Fractions keep the
-                # normalized str() rendering so integral Fractions and
-                # ints collapse onto one key.
-                body = repr(self._m)
-                if "Fraction" not in body:
-                    key = "R!" + ",".join(self._vars) + "|" + body
+                packed = dbm.int_key(self._m)
+                if packed is not None:
+                    key = (",".join(self._vars), packed)
                 else:
                     key = ",".join(self._vars) + "|" + "|".join(
-                        ";".join("N" if e is None else str(e) for e in row)
+                        ";".join(
+                            "N" if e == INF else str(e) for e in row
+                        )
                         for row in self._m
                     )
             self._key_cache = key
@@ -191,6 +211,10 @@ class ZoneState(AbstractState):
                 return hit
             runtime.STATS.miss("zone.close")
             result = self._close_full()
+            if not result._bottom:
+                # Canonical-matrix interning: equal closures share one
+                # row-list object (states never mutate their matrix).
+                result._m = dbm.intern_rows(result.cache_key(), result._m)
             table[key] = result
             self._closure = result
             return result
@@ -201,27 +225,11 @@ class ZoneState(AbstractState):
     def _close_full(self) -> "ZoneState":
         n = self._dim()
         m = self._copy_matrix()
-        for k in range(n):
-            row_k = m[k]
-            for i in range(n):
-                mik = m[i][k]
-                if mik is None:
-                    continue
-                row_i = m[i]
-                for j in range(n):
-                    mkj = row_k[j]
-                    if mkj is None:
-                        continue
-                    candidate = mik + mkj
-                    if row_i[j] is None or candidate < row_i[j]:
-                        row_i[j] = candidate
-        for i in range(n):
-            if m[i][i] is not None and m[i][i] < 0:
-                return ZoneState(self._vars, None, bottom=True, closed=True)
-            m[i][i] = 0
+        if not dbm.fw_close_rows(m, n):
+            return ZoneState(self._vars, None, bottom=True, closed=True)
         return ZoneState(self._vars, m, False, closed=True)
 
-    def _tightened(self, updates: Sequence[Tuple[int, int, Bound]]) -> "ZoneState":
+    def _tightened(self, updates: Sequence[Tuple[int, int, object]]) -> "ZoneState":
         """Exact closure after tightening individual entries of a closed
         matrix: O(n²) per update instead of the O(n³) Floyd–Warshall.
 
@@ -242,36 +250,49 @@ class ZoneState(AbstractState):
         base = self if self._closed else self._close()
         if base._bottom:
             return base
-        m = base._copy_matrix()
+        # Copy lazily: re-applying an already-satisfied constraint (the
+        # common case when a loop guard is re-evaluated at a fixpoint)
+        # touches nothing, so the no-op path allocates nothing.
+        m: Optional[Matrix] = None
         n = base._dim()
-        # Normalize the diagonal to plain int 0 (``forget`` leaves
-        # ``Fraction(0)`` there); otherwise every sum through a diagonal
-        # entry silently promotes the whole matrix to Fraction
-        # arithmetic, which is ~20x slower than int arithmetic.
-        for i in range(n):
-            m[i][i] = 0
         for a, b, c in updates:
             c = _norm(c)
-            cur = m[a][b]
-            if cur is not None and cur <= c:
+            src = base._m if m is None else m
+            if src[a][b] <= c:
                 continue
-            back = m[b][a]
-            if back is not None and back + c < 0:
+            if src[b][a] + c < 0:
                 return ZoneState(base._vars, None, bottom=True, closed=True)
-            row_b = m[b]
-            for i in range(n):
-                mia = m[i][a]
-                if mia is None:
-                    continue
-                head = mia + c
-                row_i = m[i]
-                for j in range(n):
-                    mbj = row_b[j]
-                    if mbj is None:
-                        continue
-                    cand = head + mbj
-                    if row_i[j] is None or cand < row_i[j]:
-                        row_i[j] = cand
+            if m is None:
+                m = base._copy_matrix()
+            dbm.tighten_rows(m, n, a, b, c)
+        if m is None:
+            return base
+        return ZoneState(base._vars, m, False, closed=True)
+
+    def _assigned_eq(self, x: int, y: int, c) -> "ZoneState":
+        """The exact closed result of ``v_x := v_y + c`` on this (closed,
+        non-bottom) state, ``x != y``: havoc ``x``, then impose
+        ``v_x - v_y = c``.
+
+        On the havocked closed matrix the incremental closure of the two
+        tightenings ``(x, y, c)`` and ``(y, x, -c)`` collapses to copying
+        ``y``'s row and column shifted by ``±c`` — every shortest path
+        through the fresh ``x`` must enter and leave it via the equality
+        edges, and entries not involving ``x`` are already shortest
+        (hacking through ``x`` adds the zero-weight cycle ``y→x→y``).
+        O(n) instead of two O(n²) tightening sweeps; entry-wise identical
+        to what ``forget`` + ``_tightened`` produce.
+        """
+        base = self if self._closed else self._close()
+        if base._bottom:
+            return base
+        c = _norm(c)
+        m = base._copy_matrix()
+        row_x = [v + c for v in m[y]]
+        row_x[x] = 0
+        for row in m:
+            row[x] = row[y] - c
+        m[x] = row_x
         return ZoneState(base._vars, m, False, closed=True)
 
     # -- lattice ---------------------------------------------------------------
@@ -283,16 +304,18 @@ class ZoneState(AbstractState):
         return closed._bottom
 
     def join(self, other: "ZoneState") -> "ZoneState":
+        # No content-keyed memo table here (unlike ``_close``): a join
+        # on closed matrices is one C-level row-wise max, cheaper than
+        # building content keys for operands the fixpoint usually never
+        # joins again.  The identity slot still catches the repeats the
+        # engine does produce (same invariant object joined with the
+        # same transfer-memoized out-state every iteration).
         if runtime.enabled():
-            table = runtime.memo_table("zone.join")
-            key = (self.cache_key(), other.cache_key())
-            hit = table.get(key)
-            if hit is not None:
-                runtime.STATS.hit("zone.join")
-                return hit
-            runtime.STATS.miss("zone.join")
+            memo = self._join_last
+            if memo is not None and memo[0] is other:
+                return memo[1]
             result = self._join(other)
-            table[key] = result
+            self._join_last = (other, result)
             return result
         return self._join(other)
 
@@ -303,10 +326,17 @@ class ZoneState(AbstractState):
             return b
         if b._bottom:
             return a
+        if a is b:
+            return a  # identity fast path: join with itself
         a, b = a._aligned(b)
         a, b = a._close(), b._close()
+        if a._m == b._m:
+            # Identity fast path: equal closed matrices (the common case
+            # at a fixpoint) — the entry-wise max IS either operand.
+            return a
         matrix: Matrix = [
-            list(map(_max_bound, row_a, row_b)) for row_a, row_b in zip(a._m, b._m)
+            row_a if row_a == row_b else list(map(max, row_a, row_b))
+            for row_a, row_b in zip(a._m, b._m)
         ]
         return ZoneState(a._vars, matrix, False, closed=True)
 
@@ -320,15 +350,11 @@ class ZoneState(AbstractState):
         old, new = old._aligned(new)
         old, new = old._close(), new._close()
         n = old._dim()
-        matrix: Matrix = [[None] * n for _ in range(n)]
-        for i in range(n):
-            for j in range(n):
-                o, w = old._m[i][j], new._m[i][j]
-                # Keep stable bounds; drop bounds the new state exceeds.
-                if o is not None and w is not None and w <= o:
-                    matrix[i][j] = o
-                else:
-                    matrix[i][j] = None
+        matrix: Matrix = [
+            # Keep stable bounds; drop bounds the new state exceeds.
+            [o if (o != INF and w <= o) else INF for o, w in zip(row_o, row_n)]
+            for row_o, row_n in zip(old._m, new._m)
+        ]
         for i in range(n):
             matrix[i][i] = 0
         # NOT closed: closing a widened zone can reintroduce dropped
@@ -336,16 +362,15 @@ class ZoneState(AbstractState):
         return ZoneState(old._vars, matrix, False, closed=False)
 
     def leq(self, other: "ZoneState") -> bool:
+        # Identity slot only, for the same reason as ``join``: the
+        # early-out row comparison is cheaper than content-keying both
+        # operands.
         if runtime.enabled():
-            table = runtime.memo_table("zone.leq")
-            key = (self.cache_key(), other.cache_key())
-            hit = table.get(key)
-            if hit is not None:
-                runtime.STATS.hit("zone.leq")
-                return hit
-            runtime.STATS.miss("zone.leq")
+            memo = self._leq_last
+            if memo is not None and memo[0] is other:
+                return memo[1]
             result = self._leq(other)
-            table[key] = result
+            self._leq_last = (other, result)
             return result
         return self._leq(other)
 
@@ -356,16 +381,15 @@ class ZoneState(AbstractState):
         b = other._close()
         if b._bottom:
             return False
+        if a is b:
+            return True
         a, b = a._aligned(b)
         a, b = a._close(), b._close()
-        n = a._dim()
-        for i in range(n):
-            for j in range(n):
-                bound_b = b._m[i][j]
-                if bound_b is None:
-                    continue
-                bound_a = a._m[i][j]
-                if bound_a is None or bound_a > bound_b:
+        for row_a, row_b in zip(a._m, b._m):
+            if row_a == row_b:
+                continue  # equal rows cannot violate the ordering
+            for x, y in zip(row_a, row_b):
+                if x > y:
                     return False
         return True
 
@@ -382,24 +406,8 @@ class ZoneState(AbstractState):
         coeffs = expr.coeffs
         x = state._index[var]
         if not coeffs:
-            # var := c
-            if runtime.enabled():
-                # Havoc keeps the matrix closed; then two incremental
-                # tightenings replace the full re-closure.
-                havoc = state.forget(var)
-                x = havoc._index[var]
-                return havoc._tightened(
-                    [(x, 0, expr.const), (0, x, -expr.const)]
-                )
-            m = state._copy_matrix()
-            n = state._dim()
-            for j in range(n):
-                m[x][j] = None
-                m[j][x] = None
-            m[x][x] = 0
-            m[x][0] = _norm(expr.const)
-            m[0][x] = _norm(-expr.const)
-            return ZoneState(state._vars, m, False, closed=False)._close()
+            # var := c is var := zero + c (index 0 is the constant zero).
+            return state._assigned_eq(x, 0, expr.const)
         if len(coeffs) == 1:
             (src, coeff), = coeffs.items()
             if coeff == 1 and src == var:
@@ -407,46 +415,28 @@ class ZoneState(AbstractState):
                 c = _norm(expr.const)
                 m = state._copy_matrix()
                 n = state._dim()
+                row_x = m[x]
                 for j in range(n):
                     if j != x:
-                        m[x][j] = _add_bound(m[x][j], c)
-                        m[j][x] = _add_bound(m[j][x], -c)
+                        row_x[j] = row_x[j] + c
+                        m[j][x] = m[j][x] - c
                 return ZoneState(state._vars, m, False, closed=True)
             if coeff == 1 and src != var:
+                # var := src + c
                 state = state._with_vars([src])._close()
-                x = state._index[var]
-                y = state._index[src]
-                if runtime.enabled():
-                    havoc = state.forget(var)
-                    x = havoc._index[var]
-                    y = havoc._index[src]
-                    return havoc._tightened(
-                        [(x, y, expr.const), (y, x, -expr.const)]
-                    )
-                m = state._copy_matrix()
-                n = state._dim()
-                for j in range(n):
-                    m[x][j] = None
-                    m[j][x] = None
-                m[x][x] = 0
-                m[x][y] = _norm(expr.const)
-                m[y][x] = _norm(-expr.const)
-                return ZoneState(state._vars, m, False, closed=False)._close()
+                return state._assigned_eq(
+                    state._index[var], state._index[src], expr.const
+                )
         # General affine: havoc + interval bounds of the rhs.
         lo, hi = state.bounds_of(expr)
         result = state.forget(var)
         x = result._index[var]
-        if runtime.enabled():
-            updates: List[Tuple[int, int, Bound]] = []
-            if hi is not None:
-                updates.append((x, 0, hi))
-            if lo is not None:
-                updates.append((0, x, -lo))
-            return result._tightened(updates) if updates else result
-        m = result._copy_matrix()
-        m[x][0] = _norm(hi) if hi is not None else None
-        m[0][x] = None if lo is None else _norm(-lo)
-        return ZoneState(result._vars, m, False, closed=False)._close()
+        updates: List[Tuple[int, int, object]] = []
+        if hi is not None:
+            updates.append((x, 0, hi))
+        if lo is not None:
+            updates.append((0, x, -lo))
+        return result._tightened(updates) if updates else result
 
     def guard(self, cons: LinCons) -> "ZoneState":
         if self._bottom:
@@ -460,7 +450,7 @@ class ZoneState(AbstractState):
         if state._bottom:
             return state
         coeffs = expr.coeffs
-        updates: List[Tuple[int, int, Bound]] = []
+        updates: List[Tuple[int, int, object]] = []
         handled = False
         items = sorted(coeffs.items())
         if len(items) == 1:
@@ -503,14 +493,7 @@ class ZoneState(AbstractState):
                     updates.append((x, 0, limit))
                 else:
                     updates.append((0, x, -limit))
-        if runtime.enabled():
-            return state._tightened(updates) if updates else state
-        m = state._copy_matrix()
-        for i, j, bound in updates:
-            bound = _norm(bound)
-            if m[i][j] is None or bound < m[i][j]:
-                m[i][j] = bound
-        return ZoneState(state._vars, m, False, closed=False)._close()
+        return state._tightened(updates) if updates else state
 
     def forget(self, var: str) -> "ZoneState":
         if self._bottom:
@@ -523,10 +506,11 @@ class ZoneState(AbstractState):
         m = state._copy_matrix()
         x = state._index[var]
         n = state._dim()
+        row_x = m[x]
         for j in range(n):
-            m[x][j] = None
-            m[j][x] = None
-        m[x][x] = 0 if runtime.enabled() else Fraction(0)
+            row_x[j] = INF
+            m[j][x] = INF
+        row_x[x] = 0
         return ZoneState(state._vars, m, False, closed=True)
 
     # -- queries -----------------------------------------------------------------------
@@ -551,8 +535,11 @@ class ZoneState(AbstractState):
                 pos[var] = coeff
             else:
                 neg[var] = -coeff
-        lo: Bound = expr.const
-        hi: Bound = expr.const
+        # Accumulate with the ±∞ encodings; convert to the None API at
+        # the end.  Upper-bound terms are never -∞ and lower-bound terms
+        # never +∞, so the sums cannot produce inf + (-inf).
+        lo = expr.const
+        hi = expr.const
 
         def base(name: str) -> str:
             return name.split("@", 1)[0]
@@ -562,10 +549,8 @@ class ZoneState(AbstractState):
             nonlocal lo, hi
             t = min(pos[a], neg[b])
             i, j = state._index[a], state._index[b]
-            hi_ab = state._m[i][j]
-            lo_ab = None if state._m[j][i] is None else -state._m[j][i]
-            hi = _add_bound(hi, None if hi_ab is None else t * hi_ab)
-            lo = _add_bound(lo, None if lo_ab is None else t * lo_ab)
+            hi = hi + t * state._m[i][j]
+            lo = lo + t * -state._m[j][i]
             pos[a] -= t
             neg[b] -= t
             if pos[a] == 0:
@@ -585,21 +570,17 @@ class ZoneState(AbstractState):
             for b in sorted(neg):
                 if a in pos and b in neg:
                     i, j = state._index[a], state._index[b]
-                    if state._m[i][j] is not None or state._m[j][i] is not None:
+                    if state._m[i][j] != INF or state._m[j][i] != INF:
                         consume_pair(a, b)
         for var, amount in sorted(pos.items()):
             x = state._index[var]
-            var_hi = state._m[x][0]
-            var_lo = None if state._m[0][x] is None else -state._m[0][x]
-            hi = _add_bound(hi, None if var_hi is None else amount * var_hi)
-            lo = _add_bound(lo, None if var_lo is None else amount * var_lo)
+            hi = hi + amount * state._m[x][0]
+            lo = lo + amount * -state._m[0][x]
         for var, amount in sorted(neg.items()):
             x = state._index[var]
-            var_hi = state._m[x][0]
-            var_lo = None if state._m[0][x] is None else -state._m[0][x]
-            hi = _add_bound(hi, None if var_lo is None else amount * -var_lo)
-            lo = _add_bound(lo, None if var_hi is None else amount * -var_hi)
-        return lo, hi
+            hi = hi + amount * state._m[0][x]
+            lo = lo + amount * -state._m[x][0]
+        return (None if lo == NEG_INF else lo, None if hi == INF else hi)
 
     def constraints(self) -> List[LinCons]:
         state = self._close()
@@ -610,9 +591,9 @@ class ZoneState(AbstractState):
         names = ["0"] + state._vars
         for i in range(n):
             for j in range(n):
-                if i == j or state._m[i][j] is None:
-                    continue
                 bound = state._m[i][j]
+                if i == j or bound == INF:
+                    continue
                 if i == 0:
                     expr = -LinExpr.var(names[j])
                 elif j == 0:

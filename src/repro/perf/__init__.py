@@ -28,7 +28,9 @@ from repro.perf.parallel import (
     process_pool_usable,
     resolve_jobs,
     thread_map,
+    thread_map_chunked,
 )
+from repro.perf.pool import WarmPool, effective_workers, shared_pool
 
 __all__ = [
     "STATS",
@@ -47,4 +49,8 @@ __all__ = [
     "process_pool_usable",
     "resolve_jobs",
     "thread_map",
+    "thread_map_chunked",
+    "WarmPool",
+    "effective_workers",
+    "shared_pool",
 ]

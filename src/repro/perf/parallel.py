@@ -140,6 +140,36 @@ def thread_map(fn: Callable[[T], R], items: Iterable[T], jobs: int) -> List[R]:
         return list(pool.map(fn, items))
 
 
+def thread_map_chunked(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int,
+    chunk_size: Optional[int] = None,
+) -> List[R]:
+    """:func:`thread_map` with coarse work units: items are grouped into
+    chunks (~4 per worker) and each chunk runs serially inside one
+    thread task, so the per-item pool round-trip — future allocation,
+    queue hop, result box — is paid once per *chunk*.  That overhead is
+    pure loss for the driver's leaf fan-out, where one leaf's bound
+    computation is often microseconds against a warm cache.  Input
+    order; fail-fast like :func:`thread_map`.
+    """
+    items = list(items)
+    n = len(items)
+    if jobs <= 1 or n <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, n)
+    if chunk_size is None:
+        chunk_size = max(1, -(-n // (workers * 4)))
+    chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
+
+    def run_chunk(chunk: List[T]) -> List[R]:
+        return [fn(item) for item in chunk]
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        return [out for chunk_out in pool.map(run_chunk, chunks) for out in chunk_out]
+
+
 # -- fault-isolating collection ---------------------------------------------
 
 

@@ -57,9 +57,12 @@ def override(flag: bool) -> Iterator[None]:
 class PerfStats:
     """Hit/miss counters, one pair per cache category.
 
-    Categories in use: ``zone.close``, ``zone.join``, ``zone.leq``,
-    ``transfer`` (block effects), ``cfg_meta`` (input symbols / levels),
-    ``taint``, ``bound`` (trail-keyed bound results).
+    Categories in use: ``zone.close``, ``bounds.transition`` (seeded
+    loop transition relations), ``trail.regex`` (interned state
+    eliminations), ``transfer`` (block effects), ``cfg_meta`` (input
+    symbols / levels), ``taint``, ``bound`` (trail-keyed bound
+    results).  Zone ``join``/``leq`` use zero-key single-slot identity
+    memos on the states themselves and report no counters.
     """
 
     def __init__(self) -> None:

@@ -49,6 +49,7 @@ from repro.obs import exporters as obs_exporters
 from repro.obs.metrics import Family, MetricsRegistry, REGISTRY as GLOBAL_REGISTRY
 from repro.obs.trace import span as trace_span
 from repro.perf.parallel import collect_outcome, process_pool_usable, resolve_jobs
+from repro.perf.pool import warm_executor
 from repro.resilience.retry import RetryPolicy, run_with_retries
 from repro.service import protocol
 from repro.service.jobs import Job, JobQueue, fingerprint_job
@@ -214,7 +215,9 @@ class AnalysisDaemon:
         else:
             self._bound_address = addr
         if self.isolation == "process":
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            # Warm workers (repro.perf.pool): the first job a worker
+            # sees should pay analysis cost, not import cost.
+            self._pool = warm_executor(self.workers)
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name="repro-worker-%d" % index, daemon=True
@@ -559,7 +562,7 @@ class AnalysisDaemon:
     def _rebuild_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
-        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._pool = warm_executor(self.workers)
 
     def _execute_attempt(self, job: Job) -> Any:
         """One *retry* attempt, raising on failure.

@@ -103,24 +103,37 @@ class TaintResult:
         return "\n".join(lines)
 
 
-def _operand_taint(operand: ir.Operand, taint: Dict[str, Set[Taint]]) -> Set[Taint]:
+# The fixpoint below runs on a bitset encoding of taint sets: LOW is
+# bit 0, HIGH is bit 1, a whole taint set is an int in 0..3 and an
+# environment is ``Dict[str, int]``.  Set union is ``|`` on ints and
+# the subset test is one mask-and-compare — no frozenset hashing or
+# allocation anywhere in the propagation loop.  The public
+# :class:`TaintResult` keeps the frozenset vocabulary: ``_SET_OF``
+# translates exactly once, at the end of :meth:`TaintAnalysis.run`.
+_LOW_BIT = 1
+_HIGH_BIT = 2
+_SET_OF: tuple = (NO_TAINT, LOW_ONLY, HIGH_ONLY, BOTH)
+
+BitEnv = Dict[str, int]
+
+
+def _operand_bits(operand: ir.Operand, env: BitEnv) -> int:
     if isinstance(operand, ir.Reg):
-        return set(taint.get(operand.name, ()))
-    return set()
+        return env.get(operand.name, 0)
+    return 0
 
 
-TaintEnv = Dict[str, TaintSet]
-
-
-def _join_env(a: TaintEnv, b: TaintEnv) -> TaintEnv:
+def _join_env(a: BitEnv, b: BitEnv) -> BitEnv:
     out = dict(a)
     for var, t in b.items():
-        out[var] = out.get(var, NO_TAINT) | t
+        prior = out.get(var, 0)
+        if t | prior != prior:
+            out[var] = prior | t
     return out
 
 
-def _env_leq(a: TaintEnv, b: TaintEnv) -> bool:
-    return all(t <= b.get(var, NO_TAINT) for var, t in a.items())
+def _env_leq(a: BitEnv, b: BitEnv) -> bool:
+    return all(t | b.get(var, 0) == b.get(var, 0) for var, t in a.items())
 
 
 class TaintAnalysis:
@@ -137,11 +150,11 @@ class TaintAnalysis:
             for dep in deps:
                 dependents.setdefault(dep, set()).add(block)
 
-        entry_env: TaintEnv = {
-            p.name: (HIGH_ONLY if p.is_secret else LOW_ONLY) for p in cfg.params
+        entry_env: BitEnv = {
+            p.name: (_HIGH_BIT if p.is_secret else _LOW_BIT) for p in cfg.params
         }
-        in_envs: Dict[int, TaintEnv] = {cfg.entry: entry_env}
-        branch_taint: Dict[int, TaintSet] = {}
+        in_envs: Dict[int, BitEnv] = {cfg.entry: entry_env}
+        branch_bits: Dict[int, int] = {}
         reachable = set(cfg.reverse_postorder())
         worklist: List[int] = [b for b in cfg.reverse_postorder()]
 
@@ -150,17 +163,17 @@ class TaintAnalysis:
             if bid not in in_envs or bid not in reachable:
                 continue
             env = dict(in_envs[bid])
-            context: Set[Taint] = set()
+            context = 0
             for dep in ctrl_dep.get(bid, ()):
-                context |= branch_taint.get(dep, NO_TAINT)
+                context |= branch_bits.get(dep, 0)
             for instr in cfg.blocks[bid].instrs:
-                self._transfer(instr, env, frozenset(context))
+                self._transfer(instr, env, context)
             block = cfg.blocks[bid]
             if isinstance(block.term, ir.Branch):
-                cond_taint = _operand_taint(block.term.cond, env)
-                old = branch_taint.get(bid, NO_TAINT)
-                if not cond_taint <= old:
-                    branch_taint[bid] = old | cond_taint
+                cond_bits = _operand_bits(block.term.cond, env)
+                old = branch_bits.get(bid, 0)
+                if cond_bits | old != old:
+                    branch_bits[bid] = old | cond_bits
                     worklist.extend(sorted(dependents.get(bid, ())))
             for succ in cfg.successors(bid):
                 old_in = in_envs.get(succ)
@@ -172,53 +185,58 @@ class TaintAnalysis:
                     worklist.append(succ)
 
         # Final per-variable summary: union over all points (for display
-        # and for the trail annotator's variable queries).
-        var_taint: Dict[str, TaintSet] = {}
+        # and for the trail annotator's variable queries), translated
+        # back from bits to the public frozenset vocabulary.
+        var_bits: Dict[str, int] = {}
         for env in in_envs.values():
             for var, t in env.items():
-                var_taint[var] = var_taint.get(var, NO_TAINT) | t
-        return TaintResult(cfg=cfg, var_taint=var_taint, branch_taint=dict(branch_taint))
+                var_bits[var] = var_bits.get(var, 0) | t
+        return TaintResult(
+            cfg=cfg,
+            var_taint={var: _SET_OF[t] for var, t in var_bits.items()},
+            branch_taint={bid: _SET_OF[t] for bid, t in branch_bits.items()},
+        )
 
     # -- transfer ----------------------------------------------------------------
 
-    def _transfer(self, instr: ir.Instr, env: TaintEnv, context: TaintSet) -> None:
-        new_taint: Optional[TaintSet] = None
+    def _transfer(self, instr: ir.Instr, env: BitEnv, context: int) -> None:
+        new_taint: Optional[int] = None
         targets: List[str] = []
 
         if isinstance(instr, ir.Assign):
-            new_taint = _operand_taint(instr.src, env)
+            new_taint = _operand_bits(instr.src, env)
             targets = [instr.dst.name]
         elif isinstance(instr, (ir.BinInstr, ir.CmpInstr)):
-            new_taint = _operand_taint(instr.a, env) | _operand_taint(instr.b, env)
+            new_taint = _operand_bits(instr.a, env) | _operand_bits(instr.b, env)
             targets = [instr.dst.name]
         elif isinstance(instr, ir.UnInstr):
-            new_taint = _operand_taint(instr.a, env)
+            new_taint = _operand_bits(instr.a, env)
             targets = [instr.dst.name]
         elif isinstance(instr, ir.ALoad):
-            new_taint = _operand_taint(instr.arr, env) | _operand_taint(instr.idx, env)
+            new_taint = _operand_bits(instr.arr, env) | _operand_bits(instr.idx, env)
             targets = [instr.dst.name]
         elif isinstance(instr, ir.AStore):
             # The array absorbs the stored value's and the index's taint.
             # Weak update: arrays keep their old taint too.
             extra = (
-                _operand_taint(instr.arr, env)
-                | _operand_taint(instr.idx, env)
-                | _operand_taint(instr.val, env)
+                _operand_bits(instr.arr, env)
+                | _operand_bits(instr.idx, env)
+                | _operand_bits(instr.val, env)
                 | context
             )
             if isinstance(instr.arr, ir.Reg):
-                env[instr.arr.name] = env.get(instr.arr.name, NO_TAINT) | extra
+                env[instr.arr.name] = env.get(instr.arr.name, 0) | extra
             return
         elif isinstance(instr, ir.NewArr):
-            new_taint = _operand_taint(instr.size, env)
+            new_taint = _operand_bits(instr.size, env)
             targets = [instr.dst.name]
         elif isinstance(instr, ir.ArrLen):
-            new_taint = _operand_taint(instr.arr, env)
+            new_taint = _operand_bits(instr.arr, env)
             targets = [instr.dst.name]
         elif isinstance(instr, ir.CallInstr):
-            gathered: TaintSet = NO_TAINT
+            gathered = 0
             for arg in instr.args:
-                gathered |= _operand_taint(arg, env)
+                gathered |= _operand_bits(arg, env)
             new_taint = gathered
             if instr.dst is not None:
                 targets = [instr.dst.name]
@@ -226,7 +244,7 @@ class TaintAnalysis:
             # (weak update).
             for arg in instr.args:
                 if isinstance(arg, ir.Reg) and self._is_array(arg.name):
-                    env[arg.name] = env.get(arg.name, NO_TAINT) | gathered | context
+                    env[arg.name] = env.get(arg.name, 0) | gathered | context
         else:
             return
 

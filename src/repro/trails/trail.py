@@ -76,9 +76,40 @@ class Trail:
         return self.dfa.includes(other.dfa)
 
     def regex(self) -> rx.Regex:
-        """The trail as a regular expression (state elimination)."""
+        """The trail as a regular expression (state elimination).
+
+        With the perf layer on, the computed regex is interned in a
+        process-wide table keyed by the DFA's *exact* state structure
+        (state count, initial, accepting set, transition map) — NOT the
+        canonical isomorphism-class fingerprint: state elimination's
+        output shape depends on concrete state numbering, and the seed
+        semantics must see the regex this exact DFA would produce.
+        Sibling trails re-derived across refinement rounds share one
+        elimination run; regexes are immutable, so sharing is safe.
+        """
         if self._regex_cache is None:
-            object.__setattr__(self, "_regex_cache", dfa_to_regex(self.dfa))
+            regex = None
+            from repro.perf import runtime
+
+            key = None
+            if runtime.enabled():
+                dfa = self.dfa
+                key = (
+                    dfa.num_states,
+                    dfa.initial,
+                    frozenset(dfa.accepting),
+                    frozenset(dfa.transitions.items()),
+                )
+                regex = runtime.memo_table("trail.regex").get(key)
+                if regex is None:
+                    runtime.STATS.miss("trail.regex")
+                else:
+                    runtime.STATS.hit("trail.regex")
+            if regex is None:
+                regex = dfa_to_regex(self.dfa)
+                if key is not None:
+                    runtime.memo_table("trail.regex")[key] = regex
+            object.__setattr__(self, "_regex_cache", regex)
         return self._regex_cache  # type: ignore[return-value]
 
     def split_blocks(self) -> FrozenSet[int]:

@@ -1,0 +1,151 @@
+"""Property tests: flat DBM kernels vs the seed list-of-lists closure.
+
+The referee is :func:`repro.domains.dbm.closure_reference` — the seed
+engine's ``None``-encoded triple loop, kept verbatim.  On seeded random
+DBMs (ints and Fractions, varying +∞ density, planted negative cycles):
+
+* the flat Floyd–Warshall kernel must agree entry-wise, including the
+  inconsistency verdict and the int-vs-Fraction *type* of every entry;
+* the O(n²) incremental closure after one tightened constraint must
+  agree with re-closing the tightened matrix from scratch;
+* the bytes cache key must be injective where defined and refuse
+  exactly the matrices it cannot encode.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.domains import dbm
+from repro.domains.dbm import INF
+
+
+def random_opt_matrix(rng, n, frac_prob=0.0, inf_prob=0.35, lo=-8, hi=12):
+    """A random ``None``-encoded DBM with a zero diagonal."""
+    m = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            if i == j:
+                row.append(0)
+            elif rng.random() < inf_prob:
+                row.append(None)
+            elif rng.random() < frac_prob:
+                row.append(Fraction(rng.randint(lo, hi), rng.randint(1, 4)))
+            else:
+                row.append(rng.randint(lo, hi))
+        m.append(row)
+    return m
+
+
+def close_flat(matrix):
+    """Close a ``None``-encoded matrix with the flat kernel; mirror the
+    ``(closed, empty)`` contract of ``closure_reference``."""
+    rows = dbm.rows_from_opt(matrix)
+    ok = dbm.fw_close_rows(rows, len(rows))
+    if not ok:
+        return None, True
+    return dbm.rows_to_opt(rows), False
+
+
+class TestFlatClosureAgreesWithSeed:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_int_matrices(self, seed):
+        rng = random.Random(seed)
+        matrix = random_opt_matrix(rng, rng.randint(1, 7))
+        expect, expect_empty = dbm.closure_reference(matrix)
+        got, got_empty = close_flat(matrix)
+        assert got_empty == expect_empty
+        if not expect_empty:
+            assert got == expect
+            # Entry *types* must survive too: a min tie keeps the
+            # original int, never a float or needless Fraction.
+            for row_e, row_g in zip(expect, got):
+                for e, g in zip(row_e, row_g):
+                    assert type(e) is type(g)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_fraction_matrices(self, seed):
+        rng = random.Random(1000 + seed)
+        matrix = random_opt_matrix(rng, rng.randint(1, 6), frac_prob=0.4)
+        expect, expect_empty = dbm.closure_reference(matrix)
+        got, got_empty = close_flat(matrix)
+        assert got_empty == expect_empty
+        if not expect_empty:
+            assert got == expect
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_planted_negative_cycles_are_detected(self, seed):
+        rng = random.Random(2000 + seed)
+        n = rng.randint(2, 6)
+        matrix = random_opt_matrix(rng, n, inf_prob=0.2)
+        # Plant a certain negative 2-cycle.
+        i, j = rng.sample(range(n), 2)
+        matrix[i][j] = -5
+        matrix[j][i] = 2
+        expect, expect_empty = dbm.closure_reference(matrix)
+        got, got_empty = close_flat(matrix)
+        assert expect_empty and got_empty
+        assert got is None and expect is None
+
+
+class TestIncrementalClosureAgreesWithFull:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_tighten_matches_reclose(self, seed):
+        rng = random.Random(3000 + seed)
+        n = rng.randint(2, 7)
+        matrix = random_opt_matrix(
+            rng, n, frac_prob=0.2 if seed % 3 == 0 else 0.0
+        )
+        closed, empty = dbm.closure_reference(matrix)
+        if empty:
+            return
+        a, b = rng.sample(range(n), 2)
+        old = closed[a][b]
+        # Pick a strictly tightening, still-consistent bound.
+        c = (old - rng.randint(1, 3)) if old is not None else rng.randint(-3, 3)
+        back = closed[b][a]
+        if back is not None and back + c < 0:
+            return  # would go empty; tighten_rows' contract excludes this
+        rows = dbm.rows_from_opt(closed)
+        rows[a][b] = c
+        dbm.tighten_rows(rows, n, a, b, c)
+        tightened = [list(r) for r in closed]
+        tightened[a][b] = c
+        expect, expect_empty = dbm.closure_reference(tightened)
+        assert not expect_empty
+        assert dbm.rows_to_opt(rows) == expect
+
+
+class TestIntKey:
+    def test_distinct_matrices_distinct_keys(self):
+        rng = random.Random(7)
+        seen = {}
+        for _ in range(200):
+            m = dbm.rows_from_opt(random_opt_matrix(rng, 3))
+            key = dbm.int_key(m)
+            assert key is not None
+            flat = tuple(tuple(r) for r in m)
+            if key in seen:
+                assert seen[key] == flat
+            seen[key] = flat
+
+    def test_fraction_entries_refuse_fast_key(self):
+        assert dbm.int_key([[0, Fraction(1, 2)], [1, 0]]) is None
+
+    def test_huge_int_refuses_fast_key(self):
+        assert dbm.int_key([[0, 10**25], [1, 0]]) is None
+
+    def test_sentinel_collision_refuses_fast_key(self):
+        # A *finite* entry equal to the +∞ sentinel must not be
+        # conflated with a real +∞.
+        sentinel = (1 << 63) - 1
+        assert dbm.int_key([[0, sentinel], [1, 0]]) is None
+        assert dbm.int_key([[0, INF], [1, 0]]) is not None
+
+    def test_inf_encodes_stably(self):
+        a = dbm.int_key([[0, INF], [3, 0]])
+        b = dbm.int_key([[0, INF], [3, 0]])
+        c = dbm.int_key([[0, INF], [4, 0]])
+        assert a == b and a != c
