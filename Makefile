@@ -3,9 +3,9 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-metrics diffcheck-smoke perf-smoke table1
+.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke perf-smoke bench-service table1
 
-test: diffcheck-smoke perf-smoke
+test: diffcheck-smoke perf-smoke smoke-service-load
 	$(PYTHON) -m pytest -q
 
 # Differential fuzz smoke: 500 generated programs cross-checked against
@@ -38,6 +38,20 @@ smoke-service:
 # (docs/OBSERVABILITY.md).
 smoke-metrics:
 	$(PYTHON) -m pytest -q -m obs
+
+# Async-tier load gate (docs/SERVICE.md): ~200 concurrent clients of
+# mixed traffic through the in-process asyncio daemon *with the chaos
+# plan on* (injected worker delays + one injected error), audited for
+# zero lost and zero wrongly-settled jobs.  Finishes well under 60s.
+smoke-service-load:
+	$(PYTHON) benchmarks/bench_service.py --quick --output /tmp/bench_service_quick.json
+	$(PYTHON) -m pytest -q -m service_load
+
+# The full service benchmark: 1000-client clean scenario (publishes
+# p50/p99 into BENCH_service.json, gated against the committed report),
+# chaos scenario, and a graceful drain + restart scenario.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --output BENCH_service.json
 
 table1:
 	$(PYTHON) -m repro.cli table1 --jobs 0

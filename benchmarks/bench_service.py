@@ -1,0 +1,269 @@
+"""Service-tier load benchmark: throughput, latency, and the audit.
+
+Runs the :mod:`repro.service.loadgen` harness (docs/SERVICE.md) through
+three scenarios against an in-process async daemon and writes the
+machine-readable ``BENCH_service.json``:
+
+* **clean** — the headline numbers: 1000 concurrent clients of mixed
+  benchmark + generated-program traffic, no faults.  This scenario's
+  p50/p99 are the service's published latency figures.
+* **chaos** — the same mix under a ``REPRO_FAULTS`` plan (injected
+  worker delays and one injected error); the acceptance bar is the
+  ledger audit, not the clock: zero lost, zero wrongly-settled.
+* **restart** — a graceful drain + restart mid-run; clients ride
+  through on retries and the fresh daemon serves settled verdicts from
+  the disk tier.
+
+Every scenario must pass its ledger audit
+(:func:`~repro.service.loadgen.verify_ledger`) — violations are listed
+and exit status is non-zero.  In full mode the clean scenario's p99 is
+additionally gated against the committed ``BENCH_service.json`` (read
+before being overwritten): a regression beyond
+``P99_REGRESSION_TOLERANCE`` fails the run.  Timing gates are skipped
+when an *ambient* fault plan is active (``REPRO_FAULTS`` in the
+environment — injected delays make latency assertions meaningless),
+exactly as in ``bench_perf.py``; the audit gates always apply.
+
+Usage::
+
+    python benchmarks/bench_service.py [--output PATH] [--clients N]
+    python benchmarks/bench_service.py --quick   # CI smoke: ~200
+        # clients with the chaos plan on, must finish well under 60s;
+        # this is what `make smoke-service-load` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.resilience import faults
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+# Clean-scenario p99 tolerance against the committed report.  Generous
+# by design: the benchmark shares one box with whatever else runs, and
+# the gate is meant to catch structural regressions (an accidental
+# serialization, a lost cache tier), not scheduler noise.
+P99_REGRESSION_TOLERANCE = 2.0
+
+# The chaos plan: 30% of worker executions delayed, one injected error.
+# Thread-isolation shards keep the benchmark deterministic and cheap;
+# process-crash chaos is exercised by the loadgen CLI and the service
+# test suite, where a crashed worker's rebuild cost is the point.
+CHAOS_PLAN = "worker.run:delay=0.05:p=0.3,worker.run:error:once"
+
+
+def scenario_configs(
+    quick: bool, clients: int, cache_root: str
+) -> List[Dict[str, Any]]:
+    if quick:
+        return [
+            {
+                "name": "smoke-chaos",
+                "config": LoadgenConfig(
+                    clients=min(200, clients),
+                    requests_per_client=2,
+                    shards=2,
+                    isolation="thread",
+                    generated=4,
+                    cache_dir=os.path.join(cache_root, "smoke"),
+                    faults=CHAOS_PLAN,
+                    deadline=55.0,
+                ),
+            }
+        ]
+    return [
+        {
+            "name": "clean",
+            "config": LoadgenConfig(
+                clients=clients,
+                requests_per_client=2,
+                shards=2,
+                isolation="thread",
+                generated=12,
+                cache_dir=os.path.join(cache_root, "clean"),
+                deadline=120.0,
+            ),
+        },
+        {
+            "name": "chaos",
+            "config": LoadgenConfig(
+                clients=max(1, clients // 4),
+                requests_per_client=2,
+                shards=2,
+                isolation="thread",
+                generated=8,
+                cache_dir=os.path.join(cache_root, "chaos"),
+                faults=CHAOS_PLAN,
+                deadline=120.0,
+            ),
+        },
+        {
+            "name": "restart",
+            "config": LoadgenConfig(
+                clients=max(1, clients // 5),
+                requests_per_client=3,
+                shards=2,
+                isolation="thread",
+                generated=4,
+                cache_dir=os.path.join(cache_root, "restart"),
+                restart_after=max(10, clients // 10),
+                deadline=120.0,
+            ),
+        },
+    ]
+
+
+def committed_clean_p99(path: str) -> Optional[float]:
+    """The clean scenario's p99 in the committed report (pre-overwrite)."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+        for scenario in report["scenarios"]:
+            if scenario["name"] == "clean":
+                return float(scenario["latency_seconds"]["p99"])
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    return None
+
+
+def summarize(scenario: Dict[str, Any], report: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": scenario["name"],
+        "ok": report["ok"],
+        "violations": report["violations"],
+        "clients": report["config"]["clients"],
+        "requests": report["requests"],
+        "requests_done": report["requests_done"],
+        "requests_failed": report["requests_failed"],
+        "requests_lost": report["requests_lost"],
+        "retry_attempts": report["retry_attempts"],
+        "restarts": report["restarts"],
+        "faults": report["faults"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "throughput_rps": report["throughput_rps"],
+        "latency_seconds": report["latency_seconds"],
+        "daemon": {
+            key: report["daemon"].get(key)
+            for key in (
+                "executed",
+                "coalesced",
+                "hits_memory",
+                "hits_disk",
+                "retried",
+                "shed",
+                "quarantined",
+            )
+        }
+        if report.get("daemon")
+        else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=1000,
+        help="concurrent clients for the clean scenario (default: 1000)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", help="report path"
+    )
+    parser.add_argument(
+        "--cache-root",
+        default="/tmp/bench_service_cache",
+        help="root dir for per-scenario daemon caches",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: ~200 clients with the chaos plan, <60s",
+    )
+    args = parser.parse_args()
+
+    # An ambient plan means someone is chaos-testing the whole stack;
+    # the scenarios install their own plans and must not fight it.
+    ambient = faults.active() is not None or bool(os.environ.get("REPRO_FAULTS"))
+    timing_gates = not ambient and not args.quick
+    if ambient:
+        print("ambient fault plan active: timing gates disabled")
+    reference_p99 = (
+        committed_clean_p99(args.output) if os.path.exists(args.output) else None
+    )
+
+    scenarios = scenario_configs(args.quick, args.clients, args.cache_root)
+    results: List[Dict[str, Any]] = []
+    failed = False
+    for scenario in scenarios:
+        config = scenario["config"]
+        print(
+            "scenario %s: %d client(s) x %d request(s)%s..."
+            % (
+                scenario["name"],
+                config.clients,
+                config.requests_per_client,
+                " under %r" % config.faults if config.faults else "",
+            )
+        )
+        report = run_loadgen(config)
+        summary = summarize(scenario, report)
+        results.append(summary)
+        latency = summary["latency_seconds"]
+        print(
+            "  %d done, %d failed, %d lost in %.2fs (%.1f req/s); "
+            "p50=%s p99=%s"
+            % (
+                summary["requests_done"],
+                summary["requests_failed"],
+                summary["requests_lost"],
+                summary["elapsed_seconds"],
+                summary["throughput_rps"],
+                latency["p50"],
+                latency["p99"],
+            )
+        )
+        if not report["ok"]:
+            for violation in report["violations"]:
+                print(
+                    "FAIL [%s]: %s" % (scenario["name"], violation),
+                    file=sys.stderr,
+                )
+            failed = True
+
+    out_report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": args.quick,
+        "scenarios": results,
+        "all_ok": all(s["ok"] for s in results),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(out_report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("report written to %s" % args.output)
+
+    if timing_gates and reference_p99 is not None:
+        clean = next((s for s in results if s["name"] == "clean"), None)
+        p99 = clean["latency_seconds"]["p99"] if clean else None
+        if p99 is not None and p99 > reference_p99 * P99_REGRESSION_TOLERANCE:
+            print(
+                "FAIL: clean-scenario p99 %.3fs regressed more than %.0f%% "
+                "over the committed %.3fs"
+                % (
+                    p99,
+                    (P99_REGRESSION_TOLERANCE - 1) * 100,
+                    reference_p99,
+                ),
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,15 @@ Subcommands mirror the stages a Blazer user cares about:
 ``serve`` / ``submit`` / ``status``
     The resident analysis service (docs/SERVICE.md): boot the daemon,
     send it a job over the NDJSON socket protocol, inspect its queue.
+    ``serve --aio`` boots the asyncio sharded tier instead — pipelined
+    connections, admission control, circuit-breaker shard quarantine,
+    graceful SIGTERM drain.
+
+``loadgen``
+    Replay mixed benchmark + diffcheck traffic against the async tier
+    (in-process by default, or ``--connect`` to a running daemon) and
+    audit the run for lost or wrongly-settled jobs; ``--faults`` runs
+    the same audit under a REPRO_FAULTS chaos plan.
 
 ``metrics``
     A running daemon's unified metrics registry (docs/OBSERVABILITY.md)
@@ -429,6 +438,44 @@ def cmd_diffcheck(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.aio:
+        import asyncio
+
+        from repro.service.aio import AsyncAnalysisDaemon
+
+        daemon = AsyncAnalysisDaemon(
+            args.address,
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            cache_dir=args.cache_dir,
+            isolation=args.isolation,
+            max_pending=args.max_pending,
+            shard_inflight=args.shard_inflight,
+            rate=args.rate,
+            burst=args.burst,
+            default_deadline=args.deadline,
+            task_timeout=args.task_timeout,
+        )
+
+        async def _serve() -> None:
+            await daemon.start()
+            print(
+                "serving on %s (async, %d shard(s) x %d worker(s), %s isolation)"
+                % (
+                    daemon.address,
+                    daemon.shards.count,
+                    args.workers_per_shard,
+                    daemon.isolation,
+                ),
+                flush=True,
+            )
+            await daemon.serve_forever()  # SIGTERM/SIGINT drain gracefully
+
+        asyncio.run(_serve())
+        return 0
+
+    import signal
+
     from repro.service import AnalysisDaemon
 
     daemon = AnalysisDaemon(
@@ -441,9 +488,68 @@ def cmd_serve(args) -> int:
         task_timeout=args.task_timeout,
     )
     daemon.start()
+    # SIGTERM = graceful drain (the rolling-restart contract): stop
+    # accepting, settle in-flight jobs, flush the disk tier, exit.
+    previous = signal.signal(signal.SIGTERM, lambda *_: daemon.request_stop())
     print("serving on %s" % daemon.address, flush=True)
-    daemon.serve_forever()
+    try:
+        daemon.serve_forever()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.service.loadgen import LoadgenConfig, run_loadgen, write_report
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        isolation=args.isolation,
+        generated=args.generated,
+        seed=args.seed,
+        connect=args.connect,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
+        shard_inflight=args.shard_inflight,
+        rate=args.rate,
+        faults=args.faults,
+        restart_after=args.restart_after,
+        deadline=args.deadline,
+    )
+    report = run_loadgen(config)
+    if args.report:
+        write_report(report, args.report)
+    latency = report["latency_seconds"]
+    print(
+        "loadgen: %d client(s) x %d request(s) -> %d done, %d failed, "
+        "%d lost in %.2fs (%.1f req/s)"
+        % (
+            args.clients,
+            args.requests,
+            report["requests_done"],
+            report["requests_failed"],
+            report["requests_lost"],
+            report["elapsed_seconds"],
+            report["throughput_rps"],
+        )
+    )
+    print(
+        "latency: p50=%s p99=%s max=%s (histogram p50=%s p99=%s)"
+        % tuple(
+            "%.3fs" % latency[k] if latency[k] is not None else "-"
+            for k in ("p50", "p99", "max", "histogram_p50", "histogram_p99")
+        )
+    )
+    if report["restarts"]:
+        print("restarts: %d (graceful drain mid-run)" % report["restarts"])
+    if report["faults"]:
+        print("fault plan: %s" % report["faults"])
+    for violation in report["violations"]:
+        print("VIOLATION: %s" % violation, file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def cmd_submit(args) -> int:
@@ -831,7 +937,123 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="hard per-job timeout under --isolation process",
     )
+    serve.add_argument(
+        "--aio",
+        action="store_true",
+        help="run the asyncio sharded tier instead of the thread-per-"
+        "connection daemon: pipelined connections, admission control, "
+        "circuit-breaker shard quarantine, graceful SIGTERM drain",
+    )
+    serve.add_argument(
+        "--shards",
+        type=count_arg("shards", allow_zero=False),
+        default=2,
+        help="worker shards under --aio (default: 2)",
+    )
+    serve.add_argument(
+        "--workers-per-shard",
+        type=count_arg("workers-per-shard", allow_zero=False),
+        default=1,
+        help="pool workers per shard under --aio (default: 1)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="unsettled-job ceiling before submissions are shed with "
+        "'overloaded' (--aio; default: 256)",
+    )
+    serve.add_argument(
+        "--shard-inflight",
+        type=int,
+        default=64,
+        help="per-shard unsettled-job bound (backpressure; --aio; "
+        "default: 64)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        metavar="PER_SECOND",
+        help="per-connection submission rate limit (--aio; token bucket)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        metavar="TOKENS",
+        help="token-bucket burst size for --rate (default: max(1, rate))",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay mixed analysis traffic against the async tier and "
+        "audit it for lost or wrongly-settled jobs (docs/SERVICE.md)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=1000, help="concurrent clients (default: 1000)"
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="requests per client (default: 4)",
+    )
+    loadgen.add_argument(
+        "--shards", type=int, default=2, help="shards for the in-process daemon"
+    )
+    loadgen.add_argument(
+        "--workers-per-shard", type=int, default=1, help="workers per shard"
+    )
+    loadgen.add_argument(
+        "--isolation",
+        default="thread",
+        choices=["thread", "process"],
+        help="shard isolation (crash faults need 'process')",
+    )
+    loadgen.add_argument(
+        "--generated",
+        type=int,
+        default=12,
+        help="diffcheck-generated programs in the mix (default: 12)",
+    )
+    loadgen.add_argument("--seed", type=int, default=20260808)
+    loadgen.add_argument(
+        "--connect",
+        metavar="ADDRESS",
+        help="target a running daemon instead of booting one in-process",
+    )
+    loadgen.add_argument(
+        "--cache-dir", metavar="DIR", help="cache dir for the in-process daemon"
+    )
+    loadgen.add_argument("--max-pending", type=int, default=256)
+    loadgen.add_argument("--shard-inflight", type=int, default=64)
+    loadgen.add_argument(
+        "--rate", type=float, metavar="PER_SECOND", help="per-connection rate limit"
+    )
+    loadgen.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="REPRO_FAULTS chaos plan active during the load phase "
+        "(e.g. 'worker.run:crash@1,worker.run:delay=0.2@5')",
+    )
+    loadgen.add_argument(
+        "--restart-after",
+        type=int,
+        metavar="N",
+        help="drain the daemon gracefully after N settled requests and "
+        "boot a fresh one on the same address (rolling restart)",
+    )
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="harness wall ceiling; requests beyond it count as LOST "
+        "(default: 120)",
+    )
+    loadgen.add_argument(
+        "--report", metavar="PATH", help="write the JSON audit report here"
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     submit = sub.add_parser(
         "submit", help="send one analysis job to a running daemon"

@@ -105,6 +105,36 @@ class Child:
             self.sum += value
             self.count += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``0 < q <= 1``) of the observed
+        distribution, interpolated linearly inside the log-scale bucket
+        the rank falls in — the standard Prometheus ``histogram_quantile``
+        estimate, computed locally so the service loadgen can publish
+        p50/p99 straight from its latency histograms.
+
+        None before the first observation.  Ranks beyond the last bucket
+        bound clamp to that bound (the histogram cannot see further).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1], got %r" % q)
+        assert self.bucket_counts is not None
+        with self._lock:
+            if self.count == 0:
+                return None
+            rank = q * self.count
+            seen = 0
+            bounds = self._family.buckets
+            for i, in_bucket in enumerate(self.bucket_counts):
+                if in_bucket == 0:
+                    continue
+                if seen + in_bucket >= rank:
+                    lower = bounds[i - 1] if i > 0 else 0.0
+                    upper = bounds[i]
+                    fraction = (rank - seen) / in_bucket
+                    return lower + (upper - lower) * fraction
+                seen += in_bucket
+            return bounds[-1]  # rank lives in the +Inf overflow
+
 
 class Family:
     """One named metric (a set of label-addressed children)."""

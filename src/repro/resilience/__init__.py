@@ -9,6 +9,7 @@ journals, cache quarantine) and *testable under injected faults*
 for the design and the soundness argument for ⊤-bound degradation.
 """
 
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import Budget, DegradationReport
 from repro.resilience.faults import FaultPlan, FaultSpec, maybe_fire
 from repro.resilience.journal import SuiteJournal
@@ -16,6 +17,7 @@ from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "Budget",
+    "CircuitBreaker",
     "DegradationReport",
     "FaultPlan",
     "FaultSpec",

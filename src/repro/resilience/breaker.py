@@ -1,0 +1,152 @@
+"""Circuit breaker: stop hammering a dependency that keeps failing.
+
+The classic three-state machine (docs/RESILIENCE.md), tuned for the
+sharded analysis service but dependency-agnostic:
+
+``closed``
+    Normal operation.  Failures are counted; ``failure_threshold``
+    *consecutive* failures trip the breaker open.  Any success resets
+    the streak — one crash among healthy jobs is an incident, not an
+    outage.
+``open``
+    The protected resource is quarantined: :meth:`allow` answers False
+    and callers route around it.  After ``reset_seconds`` of quiet (or
+    an explicit :meth:`force_probe` once the owner has rebuilt the
+    resource) the breaker moves to half-open.
+``half_open``
+    Probation: up to ``half_open_max`` concurrent probes are let
+    through.  A probe success closes the breaker; a probe failure
+    re-opens it and restarts the quiet period.
+
+Everything is driven by the caller reporting outcomes —
+:meth:`record_success` / :meth:`record_failure` — so the breaker never
+wraps or times anything itself.  ``clock`` is injectable (monotonic
+seconds) so tests never sleep.
+
+Thread-safe: one lock, no callbacks under it.  The shard manager of
+:mod:`repro.service.shard` gives every worker shard one of these; a
+shard whose workers keep crashing is quarantined, its fingerprint range
+reroutes to healthy shards, and a background rebuild ends with
+``force_probe()`` so the very next routed job tests the fresh pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed or forced probation."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.half_open_max = max(1, half_open_max)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._streak = 0  # consecutive failures while closed
+        self._opened_at: Optional[float] = None
+        self._probes = 0  # probes admitted while half-open
+        self.trips = 0  # lifetime closed/half-open -> open transitions
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._advance()
+
+    def _advance(self) -> str:
+        """Open -> half-open once the quiet period elapsed (lock held)."""
+        if self._state == "open" and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                self._state = "half_open"
+                self._probes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request go through right now?
+
+        In half-open state this *consumes* a probe slot, so at most
+        ``half_open_max`` callers get a True between failures.
+        """
+        with self._lock:
+            state = self._advance()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probes >= self.half_open_max:
+                return False
+            self._probes += 1
+            return True
+
+    # -- outcome reports ---------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._streak = 0
+            if self._state == "half_open":
+                self._state = "closed"
+                self._opened_at = None
+                self._probes = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; True when this report tripped the breaker
+        open (the caller should start quarantine/rebuild)."""
+        with self._lock:
+            state = self._advance()
+            if state == "half_open":
+                # The probe failed: straight back to open, fresh timer.
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probes = 0
+                self.trips += 1
+                return True
+            if state == "open":
+                return False
+            self._streak += 1
+            if self._streak >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._streak = 0
+                self.trips += 1
+                return True
+            return False
+
+    def force_probe(self) -> None:
+        """Move an open breaker to half-open *now* — the owner rebuilt
+        the protected resource and wants the next request to test it."""
+        with self._lock:
+            if self._state == "open":
+                self._state = "half_open"
+                self._probes = 0
+
+    def reset(self) -> None:
+        """Back to pristine closed (tests, explicit operator action)."""
+        with self._lock:
+            self._state = "closed"
+            self._streak = 0
+            self._opened_at = None
+            self._probes = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._advance(),
+                "streak": self._streak,
+                "trips": self.trips,
+            }

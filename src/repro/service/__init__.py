@@ -11,18 +11,43 @@ restarts and worker processes.  Clients speak a newline-delimited-JSON
 protocol over a Unix or TCP socket via
 :class:`~repro.service.client.ServiceClient`, or from the shell with
 ``repro serve`` / ``repro submit`` / ``repro status``.
+
+For high-concurrency deployments the asyncio tier
+(:class:`~repro.service.aio.AsyncAnalysisDaemon`, ``repro serve
+--aio``) puts one event loop in front of N breaker-guarded worker
+shards (:mod:`repro.service.shard`) with admission control
+(:mod:`repro.service.admission`), pipelined connections
+(:class:`~repro.service.aioclient.AsyncServiceClient`), and graceful
+SIGTERM drain — same wire protocol, same results.
 """
 
+from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.client import ServiceClient
 from repro.service.daemon import AnalysisDaemon
 from repro.service.jobs import Job, JobQueue, job_key
 from repro.service.store import ResultStore
 
 __all__ = [
+    "AdmissionController",
     "AnalysisDaemon",
+    "AsyncAnalysisDaemon",
+    "AsyncServiceClient",
     "ServiceClient",
     "Job",
     "JobQueue",
+    "TokenBucket",
     "job_key",
     "ResultStore",
 ]
+
+
+def __getattr__(name):  # lazy: keep `import repro.service` free of asyncio
+    if name == "AsyncAnalysisDaemon":
+        from repro.service.aio import AsyncAnalysisDaemon
+
+        return AsyncAnalysisDaemon
+    if name == "AsyncServiceClient":
+        from repro.service.aioclient import AsyncServiceClient
+
+        return AsyncServiceClient
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -8,6 +8,22 @@ daemon answers ``ok: false`` or hangs up mid-request.  Job *failures*
 are not client errors: a ``state: "failed"`` response comes back as
 data, exactly as received.
 
+Robustness (docs/SERVICE.md):
+
+* **Timeouts.**  ``connect_timeout`` (default 5 s) bounds the TCP/unix
+  connect — a dead daemon fails fast instead of blocking forever.
+  ``timeout`` is the per-read socket timeout and defaults to None
+  because a ``submit`` with ``wait: true`` legitimately blocks for the
+  analysis duration; set it when you want a hard ceiling.
+* **Bounded retry with jitter.**  ``retries`` (default 2) re-runs a
+  request after ``ConnectionRefusedError``/missing-socket connects,
+  after a connection dropped mid-request (every verb is idempotent:
+  submissions are content-keyed and coalesce/cache server-side), and
+  after an explicit ``overloaded`` response — honoring the daemon's
+  ``retry_after`` hint plus full jitter, so a shedding daemon is not
+  hit by a synchronized retry herd.  An exhausted overload budget
+  raises :class:`~repro.util.errors.ServiceOverloaded`.
+
 >>> with ServiceClient("unix:/tmp/repro.sock") as client:
 ...     reply = client.submit(source, proc="login", wait=True)
 ...     reply["result"]["status"]
@@ -16,12 +32,21 @@ data, exactly as received.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.service import protocol
-from repro.util.errors import ServiceError
+from repro.util.errors import ServiceError, ServiceOverloaded
+
+DEFAULT_CONNECT_TIMEOUT = 5.0
+DEFAULT_RETRIES = 2
+
+# Backoff schedule for connect/transport retries: base * 2^k, capped,
+# then scaled by full jitter in [0.5, 1.0].
+RETRY_BACKOFF = 0.1
+RETRY_BACKOFF_CAP = 2.0
 
 
 def wait_for_service(
@@ -54,10 +79,22 @@ def wait_for_service(
 class ServiceClient:
     """A blocking NDJSON client bound to one service address."""
 
-    def __init__(self, address: str, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        address: str,
+        timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.address = address
         self._parsed = protocol.parse_address(address)
         self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._retries = max(0, int(retries))
+        self._sleep = sleep
+        self._rng = rng or random.Random()
         self._sock: Optional[socket.socket] = None
         self._wire = None
 
@@ -67,12 +104,15 @@ class ServiceClient:
         if self._sock is None:
             try:
                 self._sock = protocol.connect_socket(
-                    self._parsed, timeout=self._timeout
+                    self._parsed, timeout=self._connect_timeout
                 )
             except OSError as exc:
                 raise ServiceError(
                     "cannot reach analysis service at %s: %s" % (self.address, exc)
-                )
+                ) from exc
+            # Per-read timeout after connecting: None means "wait for
+            # the analysis", a float means "fail this read loudly".
+            self._sock.settimeout(self._timeout)
             self._wire = self._sock.makefile("rwb")
         return self
 
@@ -98,13 +138,17 @@ class ServiceClient:
 
     # -- request plumbing --------------------------------------------------
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one message and return the raw response dict.
+    def _backoff(self, attempt: int, floor: float = 0.0) -> None:
+        """Sleep before retry ``attempt`` (1-based): capped exponential
+        with full jitter, never below the daemon's own hint."""
+        delay = min(RETRY_BACKOFF * (2.0 ** (attempt - 1)), RETRY_BACKOFF_CAP)
+        delay = max(floor, delay) * self._rng.uniform(0.5, 1.0)
+        if floor > 0:
+            delay = max(delay, floor)
+        if delay > 0:
+            self._sleep(delay)
 
-        Raises :class:`ServiceError` on transport problems (connection
-        refused, daemon hung up) but returns ``ok: false`` responses
-        as-is — use the verb helpers for checked calls.
-        """
+    def _request_once(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self.connect()
         assert self._wire is not None
         try:
@@ -115,7 +159,7 @@ class ServiceClient:
             raise ServiceError(
                 "analysis service at %s dropped the connection: %s"
                 % (self.address, exc)
-            )
+            ) from exc
         if response is None:
             self.close()
             raise ServiceError(
@@ -124,19 +168,64 @@ class ServiceClient:
             )
         return response
 
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message and return the raw response dict.
+
+        Retries transport failures (connection refused, daemon hung up
+        mid-request) up to the bounded budget with jittered backoff;
+        raises :class:`ServiceError` once it is exhausted.  Returns
+        ``ok: false`` responses as-is — use the verb helpers for
+        checked calls.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(message)
+            except ServiceError:
+                attempt += 1
+                if attempt > self._retries:
+                    raise
+                self._backoff(attempt)
+
     def _checked(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        response = self.request(message)
-        if not response.get("ok"):
+        """``request`` + ok-check + bounded retry on ``overloaded``."""
+        attempt = 0
+        while True:
+            response = self.request(message)
+            if response.get("ok"):
+                return response
+            if response.get("overloaded"):
+                retry_after = float(response.get("retry_after", 0.0) or 0.0)
+                attempt += 1
+                if attempt > self._retries:
+                    raise ServiceOverloaded(
+                        "service %s request shed by %s after %d attempt(s) (%s)"
+                        % (
+                            message.get("op"),
+                            self.address,
+                            attempt,
+                            response.get("error", "overloaded"),
+                        ),
+                        retry_after=retry_after,
+                    )
+                self._backoff(attempt, floor=retry_after)
+                continue
             raise ServiceError(
                 "service %s request failed: %s"
                 % (message.get("op"), response.get("error", "unknown error"))
             )
-        return response
 
     # -- verbs -------------------------------------------------------------
 
     def ping(self) -> Dict[str, Any]:
         return self._checked({"op": "ping"})
+
+    def health(self) -> Dict[str, Any]:
+        return self._checked({"op": "health"})
+
+    def ready(self) -> bool:
+        """Readiness as a bool (the load-balancer probe)."""
+        return bool(self._checked({"op": "ready"}).get("ready"))
 
     def submit(
         self,
@@ -190,6 +279,10 @@ class ServiceClient:
         exposition under ``text`` (the default; response field ``text``),
         a JSON snapshot under ``json`` (response field ``metrics``)."""
         return self._checked({"op": "metrics", "format": format})
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the daemon to drain gracefully (keep serving reads)."""
+        return self._checked({"op": "drain"})
 
     def shutdown(self) -> Dict[str, Any]:
         response = self._checked({"op": "shutdown"})

@@ -61,6 +61,10 @@ log = logging.getLogger(__name__)
 
 ISOLATIONS = ("thread", "process")
 
+# Default ceiling on how long stop() waits for in-flight jobs to settle
+# before tearing the workers down anyway.
+DRAIN_TIMEOUT = 30.0
+
 VERDICTS_FILE = "verdicts.jsonl"
 BOUNDS_FILE = "bounds.jsonl"
 
@@ -181,8 +185,16 @@ class AnalysisDaemon:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._threads: List[threading.Thread] = []
         self._stopping = threading.Event()
+        self._draining = threading.Event()
         self._stopped = threading.Event()
         self._started = False
+        # Requests currently being dispatched/answered by connection
+        # handlers; the drain path waits for this to hit zero so the
+        # last responses reach the wire before teardown.
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_zero = threading.Event()
+        self._inflight_zero.set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -246,23 +258,60 @@ class AnalysisDaemon:
         probe.close()
         return False
 
-    def stop(self) -> None:
-        """Orderly shutdown: close the queue, join workers, unbind."""
+    def request_stop(self) -> None:
+        """Ask for an orderly stop from a signal handler or another
+        thread: :meth:`serve_forever` wakes and runs the full drain +
+        stop sequence.  This is the SIGTERM hook (``repro serve``)."""
+        self._stopping.set()
+
+    def stop(self, drain_timeout: Optional[float] = DRAIN_TIMEOUT) -> None:
+        """Graceful shutdown: stop accepting, settle in-flight jobs,
+        flush the disk tier, then tear down.
+
+        Order matters and is the opposite of the original
+        implementation, which closed the listener *last* and joined
+        workers on a short timeout while they might still be settling a
+        job — losing that job's response.  Now:
+
+        1. close the listener first (no new connections, no new work);
+        2. close the queue (new submissions on live connections are
+           rejected; workers keep popping until the heap is empty);
+        3. wait — up to ``drain_timeout`` — for every in-flight job to
+           settle and for the connection handlers to flush the last
+           responses onto the wire;
+        4. only then join the workers, shut the pool down, and flush
+           the result store's disk tier.
+
+        ``drain_timeout=0`` skips step 3 (the old, abrupt behavior, for
+        tests that want teardown speed over settled jobs).
+        """
         if self._stopped.is_set():
             return
+        self._draining.set()
         self._stopping.set()
+        server, self._server = self._server, None
+        if server is not None:
+            try:
+                server.close()
+            except OSError:
+                pass
         self.queue.close()
+        if drain_timeout is None or drain_timeout > 0:
+            if not self.queue.wait_idle(drain_timeout):
+                log.warning(
+                    "drain timed out after %.1fs with %d job(s) unsettled",
+                    drain_timeout or 0.0,
+                    self.queue.pending(),
+                )
+            # Let handlers push the just-settled responses to the wire.
+            self._inflight_zero.wait(timeout=2.0)
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=5.0)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
-        if self._server is not None:
-            try:
-                self._server.close()
-            finally:
-                self._server = None
+        flushed = self.store.flush()
         bound = self._bound_address
         if bound is not None and bound[0] == "unix":
             try:
@@ -270,7 +319,11 @@ class AnalysisDaemon:
             except OSError:
                 pass
         self._stopped.set()
-        log.info("analysis daemon on %s stopped", self.address)
+        log.info(
+            "analysis daemon on %s stopped (store at shutdown: %s)",
+            self.address,
+            flushed,
+        )
 
     def serve_forever(self) -> None:
         """Block until :meth:`stop` (a ``shutdown`` request, or SIGINT
@@ -323,8 +376,12 @@ class AnalysisDaemon:
                     return
                 if not message:
                     continue
-                response = self._dispatch(message)
-                protocol.send_message(wire, response)
+                self._begin_request()
+                try:
+                    response = self._dispatch(message)
+                    protocol.send_message(wire, protocol.attach_id(response, message))
+                finally:
+                    self._end_request()
                 if message.get("op") == "shutdown":
                     return
         except (OSError, ValueError):
@@ -339,6 +396,17 @@ class AnalysisDaemon:
             except OSError:
                 pass
 
+    def _begin_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._inflight_zero.clear()
+
+    def _end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_zero.set()
+
     # -- request dispatch ---------------------------------------------------
 
     def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -351,6 +419,10 @@ class AnalysisDaemon:
         try:
             if op == "ping":
                 return protocol.ok_response("ping", address=self.address)
+            if op == "health":
+                return self._handle_health()
+            if op == "ready":
+                return self._handle_ready()
             if op == "submit":
                 return self._handle_submit(message)
             if op == "status":
@@ -361,6 +433,8 @@ class AnalysisDaemon:
                 return self._handle_stats()
             if op == "metrics":
                 return self._handle_metrics(message)
+            if op == "drain":
+                return self._handle_drain()
             return self._handle_shutdown()
         except ReproError as exc:
             self.stats.bump("rejected")
@@ -373,7 +447,40 @@ class AnalysisDaemon:
         response.update(fields)
         return response
 
+    def _handle_health(self) -> Dict[str, Any]:
+        """Process health: answers as long as the daemon is alive, even
+        mid-drain (liveness, not readiness)."""
+        return protocol.ok_response(
+            "health",
+            address=self.address,
+            state="draining" if self._draining.is_set() else "running",
+            uptime_seconds=round(self.stats.uptime_seconds, 3),
+            pending=self.queue.pending(),
+        )
+
+    def _handle_ready(self) -> Dict[str, Any]:
+        """Readiness: ok only while new submissions are being accepted.
+        Load balancers and rolling restarts watch this field."""
+        ready = self.running and not self._draining.is_set()
+        return protocol.ok_response("ready", ready=ready)
+
+    def _handle_drain(self) -> Dict[str, Any]:
+        """Begin a graceful drain over the wire: stop admitting, keep
+        answering status/result/health while in-flight jobs settle.
+        A follow-up ``shutdown`` (or SIGTERM) completes the stop."""
+        log.info("drain requested over the wire")
+        self._draining.set()
+        self.queue.close()
+        return protocol.ok_response(
+            "drain", draining=True, pending=self.queue.pending()
+        )
+
     def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining.is_set():
+            self.stats.bump("rejected")
+            return protocol.overloaded_response(
+                "submit", 1.0, reason="draining", draining=True
+            )
         payload = {
             k: message[k] for k in ("source", "proc") if message.get(k) is not None
         }
@@ -515,6 +622,7 @@ class AnalysisDaemon:
 
     def _handle_shutdown(self) -> Dict[str, Any]:
         log.info("shutdown requested over the wire")
+        self._draining.set()
         self._stopping.set()
         self.queue.close()
         return protocol.ok_response("shutdown", stopping=True)

@@ -231,7 +231,35 @@ class JobQueue:
                 self._settled.append(job.id)
             while len(self._settled) > self._max_settled:
                 self._jobs.pop(self._settled.popleft(), None)
+            # Wake wait_idle: a drain is watching the active index empty.
+            self._cond.notify_all()
         job.done.set()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has settled (the active index
+        is empty).  This is the drain primitive: ``close()`` stops new
+        submissions, the workers keep popping until the heap is empty,
+        and ``wait_idle`` tells the caller when the last in-flight job
+        has been settled — *then* it is safe to tear the daemon down.
+
+        Returns False if ``timeout`` elapsed with work still in flight.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._active:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    def pending(self) -> int:
+        """Unsettled jobs (queued *and* running) — the admission-control
+        load signal, as opposed to :meth:`depth` (queued only)."""
+        with self._lock:
+            return len(self._active)
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:

@@ -1,0 +1,486 @@
+"""Chaos-aware load generator with a zero-loss correctness ledger.
+
+``repro loadgen`` is the proof harness for the async service tier
+(docs/SERVICE.md): it boots an in-process
+:class:`~repro.service.aio.AsyncAnalysisDaemon` (or targets a running
+one with ``--connect``), replays a mixed benchmark + generated-program
+workload from N concurrent clients, and *audits* the run rather than
+merely timing it:
+
+* **Ground truth first.**  Every distinct program's expected verdict
+  digest is computed serially through the seed engine
+  (:func:`repro.core.blazer.analyze_job`) before any load or fault
+  plan exists.  A digest is the cross-process equality witness, so the
+  audit is exact: a wrongly-settled job cannot hide behind load.
+* **A ledger, not a counter.**  Each client request becomes exactly one
+  ledger entry — ``done`` (digest checked), ``failed`` (the daemon
+  settled it as failed), or ``lost`` (the harness deadline expired
+  first).  The acceptance bar is zero lost, zero wrong digests, and
+  failures only when a fault plan makes them legitimate.
+* **Chaos.**  ``faults`` takes a ``REPRO_FAULTS`` spec string
+  (worker crash / delay / corrupt — docs/RESILIENCE.md) installed only
+  for the load phase; ``crash`` kinds require process isolation and are
+  forced ``pool``-only so a worker dies, never the harness.
+* **Rolling restart.**  ``restart_after`` drains the daemon gracefully
+  mid-run and boots a fresh one on the same address and cache dir;
+  clients ride through on retries, and previously-settled jobs must be
+  served from the disk tier.
+
+Latency lands both in an :mod:`repro.obs.metrics` histogram — whose
+interpolated :meth:`~repro.obs.metrics.Child.quantile` estimates are
+published next to the exact percentiles so the two views can be
+compared — and in the raw list the report's p50/p99 come from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.blazer import analyze_job
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+from repro.service.aio import AsyncAnalysisDaemon
+from repro.service.aioclient import AsyncServiceClient
+from repro.util.errors import ReproError, ServiceError, ServiceOverloaded
+
+log = logging.getLogger(__name__)
+
+# How a client paces itself when the daemon sheds or vanishes: sleep
+# this floor (scaled by jitter and the daemon's retry_after hint) and
+# try again until the harness deadline says the request is lost.
+RETRY_FLOOR = 0.05
+RETRY_CEIL = 1.0
+
+
+@dataclass
+class LoadgenConfig:
+    """One load scenario (CLI flags map 1:1 — see ``repro loadgen``)."""
+
+    clients: int = 1000
+    requests_per_client: int = 4
+    shards: int = 2
+    workers_per_shard: int = 1
+    isolation: str = "thread"
+    generated: int = 12  # diffcheck-generated programs in the mix
+    seed: int = 20260808
+    connect: Optional[str] = None  # external daemon; None boots in-process
+    address: Optional[str] = None  # explicit bind address for the in-process daemon
+    cache_dir: Optional[str] = None
+    max_pending: int = 256
+    shard_inflight: int = 64
+    rate: Optional[float] = None
+    task_timeout: Optional[float] = None
+    faults: Optional[str] = None  # REPRO_FAULTS spec for the load phase
+    restart_after: Optional[int] = None  # settled count triggering drain+restart
+    deadline: float = 120.0  # harness wall ceiling; beyond it requests are lost
+    client_retries: int = 2  # AsyncServiceClient transport/overload budget
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+
+@dataclass
+class _RunState:
+    """Shared mutable run state (loop-confined)."""
+
+    daemon: Optional[AsyncAnalysisDaemon] = None
+    address: str = ""
+    settled: int = 0
+    restarts: int = 0
+    ledger: List[Dict[str, Any]] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+
+
+# -- workload ---------------------------------------------------------------
+
+
+def build_workload(config: LoadgenConfig) -> List[Dict[str, Any]]:
+    """The program mix: every micro benchmark plus ``generated``
+    deterministic diffcheck programs for campaign ``seed``."""
+    from repro.benchsuite import MICRO_BENCHMARKS
+    from repro.diffcheck.generator import GeneratorConfig, generate_program
+
+    programs: List[Dict[str, Any]] = [
+        {"name": b.name, "source": b.source, "proc": b.proc}
+        for b in MICRO_BENCHMARKS
+    ]
+    gen_config = GeneratorConfig()
+    for index in range(max(0, config.generated)):
+        generated = generate_program(config.seed, index, gen_config)
+        programs.append(
+            {"name": generated.name, "source": generated.source, "proc": "main"}
+        )
+    return programs
+
+
+def compute_expected(programs: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Serial seed-engine ground truth, computed before load and before
+    any fault plan is active."""
+    expected: Dict[str, Dict[str, Any]] = {}
+    for program in programs:
+        result = analyze_job(
+            {"source": program["source"], "proc": program["proc"]}
+        )
+        expected[program["name"]] = {
+            "digest": result["digest"],
+            "status": result["status"],
+        }
+    return expected
+
+
+# -- fault plan -------------------------------------------------------------
+
+
+def _activate_faults(config: LoadgenConfig) -> Optional[str]:
+    """Install the chaos plan for the load phase; returns the normalized
+    spec text (also exported for pool workers), or None."""
+    if not config.faults:
+        return None
+    plan = faults.FaultPlan.from_string(config.faults, seed=config.seed)
+    for spec in plan.specs:
+        if spec.kind == "crash":
+            if config.isolation != "process":
+                raise ReproError(
+                    "crash faults need --isolation process: a crash in a "
+                    "thread shard would kill the daemon, not a worker"
+                )
+            # A worker dies, never the harness — and at most once across
+            # the run: hit counters are per process, so a bare crash@1
+            # would kill every freshly-rebuilt worker on its first job
+            # and no amount of rerouting could ever settle anything.
+            spec.pool_only = True
+            spec.once = True
+        if spec.kind == "interrupt" and config.isolation != "process":
+            raise ReproError(
+                "interrupt faults need --isolation process under loadgen"
+            )
+    ledger: Optional[str] = None
+    if any(spec.once for spec in plan.specs):
+        import tempfile
+
+        ledger = tempfile.mkdtemp(prefix="repro-fault-ledger-")
+        os.environ[faults.ENV_LEDGER] = ledger
+        plan.ledger = ledger
+    text = plan.describe()
+    os.environ[faults.ENV_FAULTS] = text  # crosses the pool boundary
+    os.environ[faults.ENV_SEED] = str(config.seed)
+    faults.install(plan)
+    return text
+
+
+def _deactivate_faults(active: Optional[str]) -> None:
+    if active is None:
+        return
+    os.environ.pop(faults.ENV_FAULTS, None)
+    os.environ.pop(faults.ENV_SEED, None)
+    os.environ.pop(faults.ENV_LEDGER, None)
+    faults.clear()
+
+
+# -- the clients ------------------------------------------------------------
+
+
+async def _one_request(
+    client: AsyncServiceClient,
+    program: Dict[str, Any],
+    expected: Dict[str, Dict[str, Any]],
+    state: _RunState,
+    rng: random.Random,
+    deadline_ts: float,
+) -> Dict[str, Any]:
+    """Drive one logical request to a settled ledger entry, retrying
+    through overload, drain, and restart until the harness deadline."""
+    entry: Dict[str, Any] = {"program": program["name"], "attempts": 0}
+    while True:
+        remaining = deadline_ts - time.monotonic()
+        if remaining <= 0:
+            entry["outcome"] = "lost"
+            return entry
+        entry["attempts"] += 1
+        started = time.perf_counter()
+        try:
+            response = await asyncio.wait_for(
+                client.submit(
+                    program["source"], proc=program["proc"], wait=True
+                ),
+                timeout=remaining,
+            )
+        except ServiceOverloaded as exc:
+            pause = min(RETRY_CEIL, max(RETRY_FLOOR, exc.retry_after or 0.0))
+            await asyncio.sleep(pause * rng.uniform(0.5, 1.5))
+            continue
+        except (ServiceError, asyncio.TimeoutError):
+            # Daemon draining/restarting (dead socket, dropped line):
+            # pause, reconnect, resend — submissions are idempotent.
+            await asyncio.sleep(RETRY_FLOOR * rng.uniform(1.0, 3.0))
+            continue
+        latency = time.perf_counter() - started
+        job_state = response.get("state")
+        if job_state == "done":
+            state.latencies.append(latency)
+            digest = (response.get("result") or {}).get("digest")
+            want = expected[program["name"]]["digest"]
+            entry["outcome"] = "done"
+            entry["digest_ok"] = digest == want
+            entry["cached"] = response.get("cached")
+            state.settled += 1
+            return entry
+        if job_state == "failed":
+            state.latencies.append(latency)
+            entry["outcome"] = "failed"
+            entry["error"] = response.get("error")
+            state.settled += 1
+            return entry
+        # queued/running (a wait that returned early): ask again.
+        await asyncio.sleep(RETRY_FLOOR)
+
+
+async def _client_task(
+    cid: int,
+    config: LoadgenConfig,
+    programs: List[Dict[str, Any]],
+    expected: Dict[str, Dict[str, Any]],
+    state: _RunState,
+    deadline_ts: float,
+) -> None:
+    rng = random.Random(config.seed * 7919 + cid)
+    client = AsyncServiceClient(
+        state.address, retries=config.client_retries, rng=rng
+    )
+    try:
+        for r in range(config.requests_per_client):
+            # Deterministic mixed draw: every client walks the program
+            # list at a coprime stride, so the mix hits every program.
+            program = programs[(cid * 13 + r * 7) % len(programs)]
+            entry = await _one_request(
+                client, program, expected, state, rng, deadline_ts
+            )
+            entry["client"] = cid
+            entry["request"] = r
+            state.ledger.append(entry)
+    finally:
+        await client.close()
+
+
+# -- restart controller -----------------------------------------------------
+
+
+def _boot_daemon(config: LoadgenConfig, address: str) -> AsyncAnalysisDaemon:
+    return AsyncAnalysisDaemon(
+        address,
+        shards=config.shards,
+        workers_per_shard=config.workers_per_shard,
+        cache_dir=config.cache_dir,
+        isolation=config.isolation,
+        max_pending=config.max_pending,
+        shard_inflight=config.shard_inflight,
+        rate=config.rate,
+        task_timeout=config.task_timeout,
+    )
+
+
+async def _restart_controller(
+    config: LoadgenConfig, state: _RunState, deadline_ts: float
+) -> None:
+    """Drain the daemon gracefully once ``restart_after`` requests have
+    settled, then boot a fresh one on the same address and cache dir —
+    the rolling-restart scenario.  Clients ride through on retries."""
+    assert config.restart_after is not None
+    while state.settled < config.restart_after:
+        if time.monotonic() >= deadline_ts:
+            return
+        await asyncio.sleep(0.02)
+    old = state.daemon
+    assert old is not None
+    log.info(
+        "loadgen restart: draining daemon after %d settled request(s)",
+        state.settled,
+    )
+    await old.stop(drain_timeout=min(15.0, config.deadline / 4))
+    fresh = _boot_daemon(config, state.address)
+    await fresh.start()
+    state.daemon = fresh
+    state.restarts += 1
+
+
+# -- report -----------------------------------------------------------------
+
+
+def verify_ledger(
+    report: Dict[str, Any], faults_active: bool
+) -> List[str]:
+    """The acceptance audit: the list of violations (empty = pass)."""
+    violations: List[str] = []
+    if report["requests_settled"] + report["requests_lost"] != report["requests"]:
+        violations.append(
+            "ledger accounts for %d of %d requests"
+            % (report["requests_settled"] + report["requests_lost"], report["requests"])
+        )
+    if report["requests_lost"]:
+        violations.append("%d request(s) lost" % report["requests_lost"])
+    if report["wrong_digests"]:
+        violations.append(
+            "%d settled job(s) with a digest differing from the seed engine"
+            % report["wrong_digests"]
+        )
+    if report["requests_failed"] and not faults_active:
+        violations.append(
+            "%d job(s) failed with no fault plan active"
+            % report["requests_failed"]
+        )
+    if report["duplicate_entries"]:
+        violations.append(
+            "%d duplicate ledger entr(ies)" % report["duplicate_entries"]
+        )
+    return violations
+
+
+def _percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+# -- entry points -----------------------------------------------------------
+
+
+async def _run(config: LoadgenConfig) -> Dict[str, Any]:
+    _raise_fd_soft_limit(config.clients * 2 + 256)
+    programs = build_workload(config)
+    expected = compute_expected(programs)
+
+    state = _RunState()
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "repro_loadgen_request_seconds",
+        "Client-observed wall seconds per settled loadgen request",
+    )
+
+    if config.connect:
+        state.address = config.connect
+    else:
+        state.address = config.address or "unix:%s" % os.path.join(
+            config.cache_dir or ".", "loadgen-%d.sock" % os.getpid()
+        )
+        state.daemon = _boot_daemon(config, state.address)
+        await state.daemon.start()
+
+    active_faults = _activate_faults(config)
+    started = time.perf_counter()
+    deadline_ts = time.monotonic() + config.deadline
+    try:
+        tasks = [
+            asyncio.ensure_future(
+                _client_task(cid, config, programs, expected, state, deadline_ts)
+            )
+            for cid in range(config.clients)
+        ]
+        if config.restart_after is not None and state.daemon is not None:
+            tasks.append(
+                asyncio.ensure_future(
+                    _restart_controller(config, state, deadline_ts)
+                )
+            )
+        await asyncio.gather(*tasks)
+    finally:
+        _deactivate_faults(active_faults)
+        elapsed = time.perf_counter() - started
+        daemon_stats: Optional[Dict[str, Any]] = None
+        if state.daemon is not None:
+            daemon_stats = {
+                **state.daemon.stats.snapshot(),
+                "shed": state.daemon.admission.shed,
+                "quarantined": state.daemon.shards.quarantined(),
+                "shard_states": state.daemon.shards.snapshot(),
+                "store": state.daemon.store.stats(),
+            }
+            await state.daemon.stop()
+
+    for latency in state.latencies:
+        hist.observe(latency)
+    child = hist.labels()
+    ordered = sorted(state.latencies)
+    ledger = state.ledger
+    done = sum(1 for e in ledger if e.get("outcome") == "done")
+    failed = sum(1 for e in ledger if e.get("outcome") == "failed")
+    lost = sum(1 for e in ledger if e.get("outcome") == "lost")
+    wrong = sum(
+        1 for e in ledger if e.get("outcome") == "done" and not e.get("digest_ok")
+    )
+    seen = set()
+    duplicates = 0
+    for e in ledger:
+        key = (e.get("client"), e.get("request"))
+        if key in seen:
+            duplicates += 1
+        seen.add(key)
+    report: Dict[str, Any] = {
+        "config": asdict(config),
+        "programs": len(programs),
+        "requests": config.total_requests,
+        "requests_settled": done + failed,
+        "requests_done": done,
+        "requests_failed": failed,
+        "requests_lost": lost,
+        "wrong_digests": wrong,
+        "duplicate_entries": duplicates,
+        "retry_attempts": sum(e.get("attempts", 1) - 1 for e in ledger),
+        "restarts": state.restarts,
+        "faults": active_faults,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_rps": round((done + failed) / elapsed, 2) if elapsed else 0.0,
+        "latency_seconds": {
+            "count": len(ordered),
+            "mean": round(sum(ordered) / len(ordered), 6) if ordered else None,
+            "p50": _round6(_percentile(ordered, 0.50)),
+            "p99": _round6(_percentile(ordered, 0.99)),
+            "max": _round6(ordered[-1]) if ordered else None,
+            # The obs-histogram view of the same data: interpolated
+            # estimates from the log-scale buckets, for cross-checking.
+            "histogram_p50": _round6(child.quantile(0.50)),
+            "histogram_p99": _round6(child.quantile(0.99)),
+        },
+        "daemon": daemon_stats,
+    }
+    report["violations"] = verify_ledger(report, faults_active=bool(active_faults))
+    report["ok"] = not report["violations"]
+    return report
+
+
+def _round6(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 6)
+
+
+def _raise_fd_soft_limit(needed: int) -> None:
+    """A thousand client sockets needs fd headroom; lift the soft limit
+    toward the hard one when it is in the way (best effort)."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft != resource.RLIM_INFINITY and soft < needed:
+            target = needed if hard == resource.RLIM_INFINITY else min(needed, hard)
+            if target > soft:
+                resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
+    """Blocking entry point: run the scenario, return the audit report."""
+    return asyncio.run(_run(config))
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

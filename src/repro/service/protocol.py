@@ -23,13 +23,29 @@ Verbs (full field reference in docs/SERVICE.md):
     the daemon's unified metrics registry (docs/OBSERVABILITY.md):
     Prometheus text exposition by default, a JSON snapshot with
     ``format: "json"``.
-``ping`` / ``shutdown``
-    liveness probe / orderly stop.
+``ping`` / ``health`` / ``ready``
+    liveness probe / process health (answers even while draining) /
+    readiness (ok only while accepting new work — load balancers and
+    rolling restarts key off this one).
+``drain`` / ``shutdown``
+    graceful drain (stop accepting, settle in-flight jobs, flush the
+    disk tier) / orderly stop.
 
 Responses always carry ``ok``; protocol-level failures (unknown verb,
 malformed JSON, bad request) come back as ``{"ok": false, "error": ...}``
 — job *failures* are data, not protocol errors, and arrive with
 ``ok: true, state: "failed"``.
+
+Overload is a first-class response, not a dropped connection: a shed
+request comes back ``{"ok": false, "error": "overloaded",
+"overloaded": true, "retry_after": seconds}`` and clients back off
+(with jitter) and retry.
+
+Requests may carry an ``id`` field; the response echoes it verbatim.
+That is what makes *pipelining* safe: the async daemon handles a
+connection's requests concurrently and responses may interleave, so an
+``id``-carrying client matches them back up.  Requests without ``id``
+are answered strictly in order (the blocking client's contract).
 
 Addresses are strings so they fit CLI flags and config files:
 ``unix:/path/to.sock`` (or any bare path containing ``/``) and
@@ -50,7 +66,18 @@ PROTOCOL_VERSION = 1
 # it protects the daemon from unframed garbage on the socket.
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-OPS = ("submit", "status", "result", "stats", "metrics", "ping", "shutdown")
+OPS = (
+    "submit",
+    "status",
+    "result",
+    "stats",
+    "metrics",
+    "ping",
+    "health",
+    "ready",
+    "drain",
+    "shutdown",
+)
 
 Address = Union[Tuple[str, str], Tuple[str, str, int]]  # ("unix", path) | ("tcp", host, port)
 
@@ -113,6 +140,26 @@ def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
 def error_response(op: str, message: str, **fields: Any) -> Dict[str, Any]:
     response = {"ok": False, "op": op, "v": PROTOCOL_VERSION, "error": message}
     response.update(fields)
+    return response
+
+
+def overloaded_response(
+    op: str, retry_after: float, reason: str = "overloaded", **fields: Any
+) -> Dict[str, Any]:
+    """The explicit load-shed answer: retryable, with a backoff hint."""
+    return error_response(
+        op,
+        reason,
+        overloaded=True,
+        retry_after=round(float(retry_after), 4),
+        **fields,
+    )
+
+
+def attach_id(response: Dict[str, Any], message: Dict[str, Any]) -> Dict[str, Any]:
+    """Echo a request's ``id`` (if any) onto its response, in place."""
+    if "id" in message:
+        response["id"] = message["id"]
     return response
 
 

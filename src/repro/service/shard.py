@@ -1,0 +1,220 @@
+"""Sharded worker pools with circuit-breaker quarantine.
+
+The async service tier (:mod:`repro.service.aio`) does not own one big
+worker pool: it owns N *shards*, each a small executor of warm workers,
+and routes every job by its content fingerprint —
+``int(key[:16], 16) % shards``.  Two properties fall out:
+
+* **Stable routing.**  A fingerprint always lands on the same shard, so
+  coalescing, per-shard caches, and crash blast radius are all keyed
+  consistently: a poisoned input can only take down the shard its
+  fingerprint range maps to.
+* **Quarantine and reroute.**  Each shard carries a
+  :class:`~repro.resilience.breaker.CircuitBreaker`.  Worker *crashes*
+  (a killed process → ``BrokenExecutor``) count against the shard;
+  job-level failures (an ``InjectedFault``, a budget timeout) do not —
+  they are facts about the job, not the shard.  When a shard's breaker
+  opens, :meth:`ShardManager.route` walks to the next live shard, so
+  the crashed fingerprint range is *rerouted* while the owner rebuilds
+  the broken executor in the background and then
+  :meth:`~repro.resilience.breaker.CircuitBreaker.force_probe`\\ s the
+  breaker: the next routed job is the trial balloon that closes it.
+
+Shards are plain synchronous objects — ``submit`` returns a
+``concurrent.futures.Future`` — so the asyncio tier bridges with
+``asyncio.wrap_future`` and nothing here needs an event loop.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.perf.parallel import process_pool_usable
+from repro.perf.pool import warm_executor
+from repro.resilience.breaker import CircuitBreaker
+from repro.service.worker import execute_job
+
+log = logging.getLogger(__name__)
+
+# Crashes a shard absorbs before its breaker opens and its fingerprint
+# range reroutes.  Low on purpose: a dead worker process is expensive
+# (every queued job on that executor fails) and rarely transient.
+SHARD_FAILURE_THRESHOLD = 2
+
+# Seconds an open shard rests before the breaker half-opens by itself.
+# Rebuilds normally finish much sooner and force_probe immediately.
+SHARD_RESET_SECONDS = 30.0
+
+
+class Shard:
+    """One worker pool plus the breaker that judges it.
+
+    ``isolation="process"`` builds a warm ``ProcessPoolExecutor``
+    (:func:`repro.perf.pool.warm_executor` — workers pre-import the
+    analysis stack); ``"thread"`` a ``ThreadPoolExecutor`` running
+    :func:`~repro.service.worker.execute_job` in-process (the fallback
+    when process pools are unusable, and the cheap mode for tests).
+
+    The executor is created lazily and replaced wholesale by
+    :meth:`rebuild`; ``inflight`` is maintained by the routing tier
+    (the asyncio daemon touches it only from its event loop).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        workers: int = 1,
+        isolation: str = "process",
+        disk_prime: Optional[str] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        if isolation == "process" and not process_pool_usable():
+            isolation = "thread"
+        self.index = index
+        self.workers = max(1, int(workers))
+        self.isolation = isolation
+        self._disk_prime = disk_prime
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=SHARD_FAILURE_THRESHOLD,
+            reset_seconds=SHARD_RESET_SECONDS,
+        )
+        self._lock = threading.Lock()
+        self._executor: Optional[Executor] = None
+        self.inflight = 0  # jobs routed here and not yet settled
+        self.executed = 0  # lifetime jobs submitted to this shard
+        self.rebuilds = 0  # executors discarded after crashes
+
+    # -- executor lifecycle -------------------------------------------------
+
+    def _build(self) -> Executor:
+        if self.isolation == "process":
+            return warm_executor(self.workers, disk_prime=self._disk_prime)
+        return ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-shard-%d" % self.index,
+        )
+
+    def executor(self) -> Executor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._build()
+            return self._executor
+
+    def submit(self, payload: Dict[str, Any]) -> "Future[Dict[str, Any]]":
+        """One job into this shard's pool (may raise if the executor is
+        broken beyond accepting work — the caller treats that exactly
+        like a crashed future)."""
+        self.executed += 1
+        return self.executor().submit(execute_job, payload)
+
+    def broken(self) -> bool:
+        """Has the current executor lost a worker process?"""
+        with self._lock:
+            pool = self._executor
+        return isinstance(pool, ProcessPoolExecutor) and bool(
+            getattr(pool, "_broken", False)
+        )
+
+    def rebuild(self) -> None:
+        """Discard the (broken) executor and build a fresh one, waiting
+        for one probe round-trip so the new workers are genuinely up.
+
+        Blocking by design — the asyncio tier runs it in a thread
+        executor so a rebuild never stalls the event loop.
+        """
+        with self._lock:
+            old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        self.rebuilds += 1
+        pool = self.executor()
+        try:
+            pool.submit(_probe).result(timeout=60.0)
+        except Exception:  # pragma: no cover - probe failure is logged, not fatal
+            log.exception("shard %d rebuild probe failed", self.index)
+        log.info("shard %d rebuilt its %s pool", self.index, self.isolation)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._executor = self._executor, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = dict(self.breaker.snapshot())
+        state.update(
+            shard=self.index,
+            isolation=self.isolation,
+            workers=self.workers,
+            inflight=self.inflight,
+            executed=self.executed,
+            rebuilds=self.rebuilds,
+        )
+        return state
+
+
+def _probe() -> bool:
+    """Round-trip no-op proving a rebuilt pool has live workers."""
+    return True
+
+
+class ShardManager:
+    """N shards, fingerprint routing, and the quarantine walk."""
+
+    def __init__(
+        self,
+        count: int = 2,
+        workers_per_shard: int = 1,
+        isolation: str = "process",
+        disk_prime: Optional[str] = None,
+    ):
+        if count < 1:
+            raise ValueError("need at least one shard")
+        self.shards: List[Shard] = [
+            Shard(
+                i,
+                workers=workers_per_shard,
+                isolation=isolation,
+                disk_prime=disk_prime,
+            )
+            for i in range(count)
+        ]
+
+    @property
+    def count(self) -> int:
+        return len(self.shards)
+
+    def home(self, key: str) -> Shard:
+        """The shard a fingerprint natively belongs to."""
+        return self.shards[int(key[:16], 16) % len(self.shards)]
+
+    def route(self, key: str) -> Optional[Shard]:
+        """The shard that should run ``key`` right now: its home shard,
+        or — when the home's breaker is open — the next shard whose
+        breaker admits work.  None when every shard is quarantined
+        (the caller sheds the request with ``overloaded``)."""
+        start = self.home(key).index
+        n = len(self.shards)
+        for step in range(n):
+            shard = self.shards[(start + step) % n]
+            if shard.breaker.allow():
+                return shard
+        return None
+
+    def prewarm(self) -> None:
+        """Build every shard's executor now (start-up, not first-job)."""
+        for shard in self.shards:
+            shard.executor()
+
+    def shutdown(self) -> None:
+        for shard in self.shards:
+            shard.shutdown()
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [shard.snapshot() for shard in self.shards]
+
+    def quarantined(self) -> int:
+        return sum(1 for s in self.shards if s.breaker.state != "closed")

@@ -172,6 +172,23 @@ class ProtocolError(ServiceError):
     """A malformed message on the service's NDJSON wire protocol."""
 
 
+class ServiceOverloaded(ServiceError):
+    """The daemon shed this request (admission control or rate limit).
+
+    Raised by the clients once their bounded retry budget is exhausted;
+    ``retry_after`` is the daemon's latest backoff hint in seconds.
+    Overload is an explicit, *sound* degradation — the daemon said
+    "not now", it never answered wrongly.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.retry_after))
+
+
 class AutomatonError(ReproError):
     """An automata-library operation was used incorrectly."""
 

@@ -157,3 +157,55 @@ class TestJsonSnapshot:
     def test_json_round_trips(self, registry):
         registry.gauge("repro_g").set(4)
         assert json.loads(metrics_json(registry))["repro_g"]["samples"][0]["value"] == 4
+
+
+class TestHistogramQuantile:
+    def test_no_observations_is_none(self, registry):
+        histo = registry.histogram("repro_q")._default()
+        assert histo.quantile(0.5) is None
+
+    def test_interpolates_inside_one_bucket(self, registry):
+        # Buckets (0,1], (1,2]: four observations in the second bucket
+        # put every quantile on the interpolated line through (1, 2).
+        histo = registry.histogram("repro_q", buckets=(1.0, 2.0))._default()
+        for _ in range(4):
+            histo.observe(1.5)
+        assert histo.quantile(0.25) == pytest.approx(1.25)
+        assert histo.quantile(0.5) == pytest.approx(1.5)
+        assert histo.quantile(1.0) == pytest.approx(2.0)
+
+    def test_rank_walks_across_buckets(self, registry):
+        histo = registry.histogram("repro_q", buckets=(1.0, 2.0, 4.0))._default()
+        for value in (0.5, 0.5, 1.5, 3.0):
+            histo.observe(value)
+        # Half the mass sits at or below the first bucket's bound.
+        assert histo.quantile(0.5) == pytest.approx(1.0)
+        assert histo.quantile(0.75) == pytest.approx(2.0)
+        assert 2.0 < histo.quantile(0.9) <= 4.0
+
+    def test_overflow_clamps_to_last_bound(self, registry):
+        histo = registry.histogram("repro_q", buckets=(1.0,))._default()
+        histo.observe(100.0)  # beyond every bound: only +Inf sees it
+        assert histo.quantile(0.99) == 1.0
+
+    def test_estimate_tracks_exact_percentile_on_default_buckets(self, registry):
+        histo = registry.histogram("repro_q")._default()
+        values = [0.001 * (1.13 ** n) for n in range(80)]
+        for value in values:
+            histo.observe(value)
+        exact = sorted(values)[int(0.5 * len(values))]
+        estimate = histo.quantile(0.5)
+        # Log-scale buckets bound the relative error by the bucket ratio.
+        assert exact / 2 <= estimate <= exact * 2
+
+    def test_invalid_quantile_rejected(self, registry):
+        histo = registry.histogram("repro_q")._default()
+        with pytest.raises(ValueError):
+            histo.quantile(0.0)
+        with pytest.raises(ValueError):
+            histo.quantile(1.5)
+
+    def test_non_histogram_has_no_quantile(self, registry):
+        counter = registry.counter("repro_q_c")._default()
+        with pytest.raises((AssertionError, TypeError)):
+            counter.quantile(0.5)

@@ -1,0 +1,182 @@
+"""The circuit breaker state machine, driven by a fake clock.
+
+Every transition of docs/RESILIENCE.md's three-state machine: the
+consecutive-failure trip, the timed and the forced probation, probe
+accounting, and the reports the shard manager relies on.  No test here
+sleeps — ``clock`` is injected.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+pytestmark = pytest.mark.resilience
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_seconds=30.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        # Two more failures are again below the threshold of three.
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestTrip:
+    def test_threshold_consecutive_failures_trip(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.record_failure() is True  # this report tripped it
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_failures_while_open_do_not_retrip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.record_failure() is False
+        assert breaker.trips == 1
+
+
+class TestProbation:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_timed_half_open_after_quiet_period(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(29.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_probe_slots_are_consumed(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=1.0, half_open_max=2, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots taken
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_timer(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(30.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # probe failed: caller rebuilds
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(29.0)
+        assert breaker.state == "open"  # the quiet period restarted
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_force_probe_skips_the_wait(self, breaker):
+        self._trip(breaker)
+        breaker.force_probe()
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_force_probe_noop_unless_open(self, breaker):
+        breaker.force_probe()
+        assert breaker.state == "closed"
+
+    def test_close_resets_probe_accounting(self, breaker, clock):
+        self._trip(breaker)
+        breaker.force_probe()
+        assert breaker.allow()
+        breaker.record_success()
+        # A later trip + probation starts with a full probe budget.
+        self._trip(breaker)
+        breaker.force_probe()
+        assert breaker.allow()
+
+
+class TestReports:
+    def test_reset_returns_to_pristine(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.snapshot()["streak"] == 0
+
+    def test_snapshot_fields(self, breaker):
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {"state": "closed", "streak": 1, "trips": 0}
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.snapshot()["state"] == "open"
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_thread_safety_under_mixed_reports(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    breaker.allow()
+                    breaker.record_failure()
+                    breaker.record_success()
+                    breaker.state
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert breaker.state in ("closed", "open", "half_open")

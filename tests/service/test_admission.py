@@ -1,0 +1,102 @@
+"""Admission control: token buckets and the queue-depth gate.
+
+Clock-injected, so the token schedule is checked exactly — including
+the ``retry_after`` arithmetic the ``overloaded`` protocol response is
+built from.
+"""
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+
+pytestmark = pytest.mark.service
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_is_available_immediately(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_empty_bucket_reports_exact_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        # One token at 2/s is half a second away.
+        assert bucket.try_acquire() == pytest.approx(0.5)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(0.5)  # one token back
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_default_burst_covers_low_rates(self):
+        # rate 0.1/s still admits one request up front.
+        bucket = TokenBucket(rate=0.1, clock=FakeClock())
+        assert bucket.burst == 1.0
+        assert bucket.try_acquire() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_admits_below_the_limit(self):
+        gate = AdmissionController(max_pending=4)
+        assert gate.admit(0) is None
+        assert gate.admit(3) is None
+        assert gate.shed == 0
+
+    def test_sheds_at_the_limit(self):
+        gate = AdmissionController(max_pending=4, base_retry_after=0.25)
+        assert gate.admit(4) == pytest.approx(0.25)
+        assert gate.shed == 1
+
+    def test_retry_after_scales_with_overshoot(self):
+        gate = AdmissionController(max_pending=4, base_retry_after=0.25)
+        light = gate.admit(4)
+        heavy = gate.admit(8)  # 100% overshoot doubles the hint
+        assert heavy == pytest.approx(2 * light)
+
+    def test_retry_after_is_capped(self):
+        gate = AdmissionController(
+            max_pending=1, base_retry_after=1.0, max_retry_after=5.0
+        )
+        assert gate.admit(10_000) == 5.0
+
+    def test_shed_counter_accumulates(self):
+        gate = AdmissionController(max_pending=1)
+        for depth in (1, 2, 3):
+            gate.admit(depth)
+        assert gate.shed == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)

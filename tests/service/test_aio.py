@@ -1,0 +1,423 @@
+"""The asyncio sharded tier end to end, on real sockets.
+
+Each test boots a real :class:`AsyncAnalysisDaemon` inside
+``asyncio.run`` (no pytest-asyncio in the toolchain) and talks to it
+with the pipelining :class:`AsyncServiceClient`.  Thread-isolation
+shards keep the tests cheap; crash *routing* is driven deterministically
+by sabotaging ``Shard.submit``, and real process-pool crashes are the
+loadgen chaos suite's business (``test_loadgen.py``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, parse_spec
+from repro.service.aio import AsyncAnalysisDaemon, AsyncJob
+from repro.service.aioclient import AsyncServiceClient
+from repro.service.protocol import unix_supported
+from repro.util.errors import ServiceError
+
+pytestmark = pytest.mark.service
+
+SAFE_SRC = """
+proc check(secret pin: int, public attempts: uint): int {
+    var i: int = 0;
+    while (i < attempts) { i = i + 1; }
+    return i;
+}
+"""
+
+FILLER_SRC = "proc filler(public x: int): int { return x; }\n"
+BOOM_SRC = "proc boom(public x: int): int { return x; }\n"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _address(tmp_path):
+    if unix_supported():
+        return "unix:%s" % (tmp_path / "aio.sock")
+    return "tcp:127.0.0.1:0"  # pragma: no cover - non-POSIX
+
+
+def _boot(tmp_path, **kwargs):
+    kwargs.setdefault("isolation", "thread")
+    return AsyncAnalysisDaemon(_address(tmp_path), **kwargs)
+
+
+class TestVerbs:
+    def test_ping_health_ready(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    assert (await client.ping())["ok"]
+                    health = await client.health()
+                    assert health["state"] == "running"
+                    assert health["pending"] == 0
+                    assert len(health["shards"]) == 2
+                    assert await client.ready() is True
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_submit_then_cached_resubmission(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    first = await client.submit(SAFE_SRC, wait=True)
+                    assert first["state"] == "done"
+                    assert first["result"]["status"] == "safe"
+                    second = await client.submit(SAFE_SRC, wait=True)
+                    assert second["cached"] == "memory"
+                    assert (
+                        second["result"]["digest"] == first["result"]["digest"]
+                    )
+                    stats = await client.stats()
+                    assert stats["executed"] == 1
+                    assert stats["hits_memory"] == 1
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_status_and_result_verbs(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    reply = await client.submit(SAFE_SRC, wait=False)
+                    job = reply["job"]
+                    settled = await client.result(job, wait=True)
+                    assert settled["state"] == "done"
+                    assert settled["result"]["status"] == "safe"
+                    status = await client.status(job)
+                    assert status["state"] == "done"
+                    overview = await client.status()
+                    assert overview["queue_depth"] == 0
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_program_rejected(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    response = await client.request(
+                        {"op": "submit", "source": "proc oops("}
+                    )
+                    assert response["ok"] is False
+                    assert (await client.stats())["executed"] == 0
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_metrics_exposition(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    await client.submit(SAFE_SRC, wait=True)
+                    text = (await client.metrics())["text"]
+                    assert "repro_service_submit_seconds" in text
+                    assert "repro_service_shards" in text
+                    snapshot = (await client.metrics(format="json"))["metrics"]
+                    assert "repro_service_queue_depth" in snapshot
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestPipelining:
+    def test_concurrent_submissions_share_one_socket(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    replies = await asyncio.gather(
+                        client.submit(SAFE_SRC, wait=True),
+                        client.submit(FILLER_SRC, wait=True),
+                        client.submit(BOOM_SRC, wait=True),
+                        client.ping(),
+                    )
+                    assert replies[0]["result"]["status"] == "safe"
+                    assert replies[1]["state"] == "done"
+                    assert replies[2]["state"] == "done"
+                    assert replies[3]["ok"]
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_identical_concurrent_submissions_coalesce(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    replies = await asyncio.gather(
+                        *(client.submit(SAFE_SRC, wait=True) for _ in range(8))
+                    )
+                    digests = {r["result"]["digest"] for r in replies}
+                    assert len(digests) == 1
+                    stats = await client.stats()
+                    # One execution; the rest were coalesced waiters or
+                    # memory hits depending on arrival order.
+                    assert stats["executed"] == 1
+                    assert stats["coalesced"] + stats["hits_memory"] == 7
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestAdmission:
+    def test_rate_limited_submission_is_shed(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path, rate=0.01, burst=1)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    first = await client.submit(SAFE_SRC, wait=True)
+                    assert first["state"] == "done"
+                    shed = await client.request(
+                        {"op": "submit", "source": SAFE_SRC}
+                    )
+                    assert shed["ok"] is False
+                    assert shed["overloaded"] is True
+                    assert shed["retry_after"] > 0
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_queue_depth_gate_sheds(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path, max_pending=2)
+            await daemon.start()
+            try:
+                # Fill the pending index with synthetic unsettled jobs:
+                # the gate reads depth, not job contents.
+                for n in range(2):
+                    daemon._active["f" * 63 + str(n)] = AsyncJob(
+                        id="fake-%d" % n, key="k%d" % n, payload={}
+                    )
+                async with AsyncServiceClient(daemon.address) as client:
+                    shed = await client.request(
+                        {"op": "submit", "source": SAFE_SRC}
+                    )
+                    assert shed["ok"] is False
+                    assert shed["overloaded"] is True
+                    assert shed["pending"] == 2
+                daemon._active.clear()
+                assert daemon.admission.shed == 1
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_shard_backlog_backpressure(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            daemon.shard_inflight = 0  # any new job exceeds the bound
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    shed = await client.request(
+                        {"op": "submit", "source": SAFE_SRC}
+                    )
+                    assert shed["ok"] is False
+                    assert shed["error"] == "shard backlog"
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestQuarantine:
+    def test_job_failure_does_not_blame_the_shard(self, tmp_path):
+        async def scenario():
+            faults.install(
+                FaultPlan([parse_spec("worker.run:error:match=boom")])
+            )
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    doomed = await client.submit(BOOM_SRC, wait=True)
+                    assert doomed["state"] == "failed"
+                    assert "InjectedFault" in doomed["error"]
+                    # An injected job fault is a fact about the job:
+                    # every shard breaker stays closed.
+                    for shard in daemon.shards.shards:
+                        assert shard.breaker.state == "closed"
+                    fine = await client.submit(SAFE_SRC, wait=True)
+                    assert fine["state"] == "done"
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_crash_quarantines_rebuilds_and_recovers(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path, shards=1)
+            await daemon.start()
+            shard = daemon.shards.shards[0]
+            real_submit = shard.submit
+
+            def sabotaged(payload):
+                raise RuntimeError("worker pool gone")
+
+            shard.submit = sabotaged
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    doomed = await client.submit(SAFE_SRC, wait=True)
+                    assert doomed["state"] == "failed"
+                    assert "WorkerCrashed" in doomed["error"]
+                    # Each rerouted attempt blamed the only shard, so the
+                    # breaker tripped and a background rebuild ran.
+                    assert shard.breaker.trips >= 1
+                    shard.submit = real_submit
+                    # Wait out the background rebuild; it ends with a
+                    # force_probe so the next submission is the trial.
+                    for _ in range(200):
+                        if not daemon._rebuilding:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert not daemon._rebuilding
+                    recovered = await client.submit(FILLER_SRC, wait=True)
+                    assert recovered["state"] == "done"
+                    assert shard.breaker.state == "closed"
+                    assert (await client.stats())["retried"] >= 1
+            finally:
+                shard.submit = real_submit
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_all_shards_quarantined_sheds(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                for shard in daemon.shards.shards:
+                    for _ in range(shard.breaker.failure_threshold):
+                        shard.breaker.record_failure()
+                async with AsyncServiceClient(daemon.address) as client:
+                    shed = await client.request(
+                        {"op": "submit", "source": SAFE_SRC}
+                    )
+                    assert shed["ok"] is False
+                    assert shed["error"] == "all shards quarantined"
+                    stats = await client.stats()
+                    assert stats["quarantined"] == 2
+                    # Operator clears the breakers: traffic flows again.
+                    for shard in daemon.shards.shards:
+                        shard.breaker.reset()
+                    fine = await client.submit(SAFE_SRC, wait=True)
+                    assert fine["state"] == "done"
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestDrainAndRestart:
+    def test_drain_rejects_new_work_but_stays_readable(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            try:
+                async with AsyncServiceClient(daemon.address) as client:
+                    done = await client.submit(SAFE_SRC, wait=True)
+                    drained = await client.drain()
+                    assert drained["draining"] is True
+                    assert await client.ready() is False
+                    assert (await client.health())["state"] == "draining"
+                    shed = await client.request(
+                        {"op": "submit", "source": FILLER_SRC}
+                    )
+                    assert shed["ok"] is False
+                    assert shed["draining"] is True
+                    # Reads keep working on the live connection.
+                    settled = await client.result(done["job"])
+                    assert settled["state"] == "done"
+            finally:
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_stop_settles_inflight_work(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path, cache_dir=str(tmp_path / "cache"))
+            await daemon.start()
+            async with AsyncServiceClient(daemon.address) as client:
+                reply = await client.submit(SAFE_SRC, wait=False)
+                job_id = reply["job"]
+            await daemon.stop()
+            job = daemon._jobs[job_id]
+            assert job.settled
+            assert job.state == "done"
+            # The verdict is durable: the store was flushed on the way out.
+            cached, tier = daemon.store.get(job.key)
+            assert cached is not None
+
+        asyncio.run(scenario())
+
+    def test_restart_on_same_address_serves_from_disk(self, tmp_path):
+        async def scenario():
+            cache = str(tmp_path / "cache")
+            first = _boot(tmp_path, cache_dir=cache)
+            await first.start()
+            async with AsyncServiceClient(first.address) as client:
+                before = await client.submit(SAFE_SRC, wait=True)
+                assert before["state"] == "done"
+            await first.stop()
+            # Same socket path, same cache dir: the socket was unlinked
+            # on stop, and the verdict must come back from the disk tier.
+            second = _boot(tmp_path, cache_dir=cache)
+            await second.start()
+            try:
+                async with AsyncServiceClient(second.address) as client:
+                    after = await client.submit(SAFE_SRC, wait=True)
+                    assert after["cached"] == "disk"
+                    assert (
+                        after["result"]["digest"]
+                        == before["result"]["digest"]
+                    )
+                    assert (await client.stats())["executed"] == 0
+            finally:
+                await second.stop()
+
+        asyncio.run(scenario())
+
+    def test_client_fails_loudly_after_final_shutdown(self, tmp_path):
+        async def scenario():
+            daemon = _boot(tmp_path)
+            await daemon.start()
+            address = daemon.address
+            await daemon.stop()
+            client = AsyncServiceClient(address, retries=0)
+            with pytest.raises(ServiceError):
+                await client.ping()
+            await client.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,226 @@
+"""The blocking client's robustness contract against scripted daemons.
+
+A tiny scripted unix-socket server plays the daemon: each accepted
+connection runs one behavior (answer, answer-overloaded, hang up).
+Sleeps are captured, never slept, so the backoff and ``retry_after``
+arithmetic is asserted exactly.
+"""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    RETRY_BACKOFF,
+    RETRY_BACKOFF_CAP,
+    ServiceClient,
+)
+from repro.service.protocol import unix_supported
+from repro.util.errors import ServiceError, ServiceOverloaded
+
+pytestmark = [
+    pytest.mark.service,
+    pytest.mark.skipif(
+        not unix_supported(), reason="scripted server uses unix sockets"
+    ),
+]
+
+
+class ScriptedServer:
+    """Serves one connection per scripted behavior, in order.
+
+    A behavior is a list of response dicts for successive requests on
+    that connection; the string ``"hangup"`` closes the connection
+    after reading a request without answering (the mid-request drop).
+    """
+
+    def __init__(self, tmp_path, script):
+        self.path = str(tmp_path / "scripted.sock")
+        self.script = list(script)
+        self.requests = []
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.path)
+        self._sock.listen(8)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self):
+        return "unix:%s" % self.path
+
+    def _serve(self):
+        for behavior in self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                wire = conn.makefile("rwb")
+                try:
+                    steps = behavior if isinstance(behavior, list) else [behavior]
+                    for step in steps:
+                        line = wire.readline()
+                        if not line:
+                            break
+                        self.requests.append(json.loads(line))
+                        if step == "hangup":
+                            break
+                        wire.write((json.dumps(step) + "\n").encode("utf-8"))
+                        wire.flush()
+                finally:
+                    # makefile() keeps the fd alive past ``with conn`` —
+                    # close it so the peer sees EOF when we hang up.
+                    wire.close()
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2)
+
+
+def _client(address, script_sleeps, retries=2, seed=7):
+    return ServiceClient(
+        address,
+        retries=retries,
+        sleep=script_sleeps.append,
+        rng=random.Random(seed),
+    )
+
+
+class TestConnectFailures:
+    def test_dead_daemon_fails_fast_after_bounded_retries(self, tmp_path):
+        sleeps = []
+        client = _client("unix:%s/nothing.sock" % tmp_path, sleeps, retries=2)
+        with pytest.raises(ServiceError):
+            client.ping()
+        # Two retries -> two backoff sleeps, exponential and capped.
+        assert len(sleeps) == 2
+        assert 0 < sleeps[0] <= RETRY_BACKOFF
+        assert sleeps[1] <= min(2 * RETRY_BACKOFF, RETRY_BACKOFF_CAP)
+
+    def test_zero_retries_raise_immediately(self, tmp_path):
+        sleeps = []
+        client = _client("unix:%s/nothing.sock" % tmp_path, sleeps, retries=0)
+        with pytest.raises(ServiceError):
+            client.ping()
+        assert sleeps == []
+
+
+class TestTransportRetry:
+    def test_mid_request_hangup_reconnects_and_succeeds(self, tmp_path):
+        server = ScriptedServer(
+            tmp_path,
+            ["hangup", [{"ok": True, "op": "ping"}]],
+        )
+        try:
+            sleeps = []
+            client = _client(server.address, sleeps)
+            assert client.ping()["ok"]
+            assert len(sleeps) == 1  # one drop, one backoff, one success
+            assert len(server.requests) == 2  # the request was resent
+        finally:
+            client.close()
+            server.close()
+
+    def test_persistent_hangups_exhaust_the_budget(self, tmp_path):
+        server = ScriptedServer(tmp_path, ["hangup", "hangup", "hangup"])
+        try:
+            sleeps = []
+            client = _client(server.address, sleeps, retries=2)
+            with pytest.raises(ServiceError):
+                client.ping()
+            assert len(sleeps) == 2
+        finally:
+            client.close()
+            server.close()
+
+
+class TestOverloadRetry:
+    def test_overloaded_then_ok_honors_retry_after_floor(self, tmp_path):
+        server = ScriptedServer(
+            tmp_path,
+            [
+                [
+                    {
+                        "ok": False,
+                        "overloaded": True,
+                        "retry_after": 0.7,
+                        "error": "overloaded",
+                    },
+                    {"ok": True, "op": "ping"},
+                ]
+            ],
+        )
+        try:
+            sleeps = []
+            client = _client(server.address, sleeps)
+            assert client.ping()["ok"]
+            # The daemon's hint is a floor under the jittered backoff.
+            assert len(sleeps) == 1
+            assert sleeps[0] >= 0.7
+        finally:
+            client.close()
+            server.close()
+
+    def test_exhausted_overload_budget_raises_typed_error(self, tmp_path):
+        shed = {
+            "ok": False,
+            "overloaded": True,
+            "retry_after": 0.3,
+            "error": "rate limited",
+        }
+        server = ScriptedServer(tmp_path, [[shed, shed, shed]])
+        try:
+            sleeps = []
+            client = _client(server.address, sleeps, retries=2)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                client.ping()
+            assert excinfo.value.retry_after == 0.3
+            assert all(s >= 0.3 for s in sleeps)
+        finally:
+            client.close()
+            server.close()
+
+    def test_plain_error_is_not_retried(self, tmp_path):
+        server = ScriptedServer(
+            tmp_path, [[{"ok": False, "error": "unknown op 'frob'"}]]
+        )
+        try:
+            sleeps = []
+            client = _client(server.address, sleeps)
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.ping()
+            assert sleeps == []
+        finally:
+            client.close()
+            server.close()
+
+
+class TestBackoffSchedule:
+    def test_backoff_is_capped_and_jittered(self):
+        sleeps = []
+        client = ServiceClient(
+            "unix:/tmp/unused.sock",
+            sleep=sleeps.append,
+            rng=random.Random(3),
+        )
+        for attempt in range(1, 10):
+            client._backoff(attempt)
+        assert max(sleeps) <= RETRY_BACKOFF_CAP
+        # Jitter keeps retries from synchronizing: not all equal.
+        assert len({round(s, 6) for s in sleeps}) > 1
+
+    def test_floor_dominates_small_backoffs(self):
+        sleeps = []
+        client = ServiceClient(
+            "unix:/tmp/unused.sock",
+            sleep=sleeps.append,
+            rng=random.Random(3),
+        )
+        client._backoff(1, floor=5.0)
+        assert sleeps[0] >= 5.0

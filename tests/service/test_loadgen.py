@@ -1,0 +1,165 @@
+"""The loadgen harness: workload, ledger audit, and small real runs.
+
+The full-scale scenarios (1000 clients, chaos plans) live in
+``benchmarks/bench_service.py`` and ``make smoke-service-load``; here
+the same machinery runs at a size a unit-test budget tolerates, plus
+pure-function tests of the audit itself.  Marked ``service_load`` so
+the end-to-end runs can be selected (or skipped) as a tier.
+"""
+
+import pytest
+
+from repro.resilience import faults
+from repro.service.loadgen import (
+    LoadgenConfig,
+    build_workload,
+    compute_expected,
+    run_loadgen,
+    verify_ledger,
+    write_report,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.service_load]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestWorkload:
+    def test_mix_spans_benchmarks_and_generated(self):
+        config = LoadgenConfig(generated=3)
+        programs = build_workload(config)
+        names = [p["name"] for p in programs]
+        assert len(names) == len(set(names))
+        assert len(programs) > 3  # micro benchmarks plus the generated
+        assert sum(1 for p in programs if p["proc"] == "main") >= 3
+
+    def test_expected_digests_are_deterministic(self):
+        config = LoadgenConfig(generated=1)
+        programs = build_workload(config)[:3]
+        first = compute_expected(programs)
+        second = compute_expected(programs)
+        assert first == second
+        for name, want in first.items():
+            assert want["digest"]
+            assert want["status"]
+
+
+class TestVerifyLedger:
+    def _report(self, **overrides):
+        report = {
+            "requests": 10,
+            "requests_settled": 10,
+            "requests_failed": 0,
+            "requests_lost": 0,
+            "wrong_digests": 0,
+            "duplicate_entries": 0,
+        }
+        report.update(overrides)
+        return report
+
+    def test_clean_report_passes(self):
+        assert verify_ledger(self._report(), faults_active=False) == []
+
+    def test_lost_requests_are_violations(self):
+        violations = verify_ledger(
+            self._report(requests_settled=9, requests_lost=1),
+            faults_active=True,
+        )
+        assert any("lost" in v for v in violations)
+
+    def test_accounting_must_close(self):
+        violations = verify_ledger(
+            self._report(requests_settled=8), faults_active=False
+        )
+        assert any("accounts for" in v for v in violations)
+
+    def test_wrong_digest_is_a_violation_even_under_faults(self):
+        violations = verify_ledger(
+            self._report(wrong_digests=2), faults_active=True
+        )
+        assert any("digest" in v for v in violations)
+
+    def test_failures_need_an_active_fault_plan(self):
+        report = self._report(requests_failed=3)
+        assert verify_ledger(report, faults_active=True) == []
+        assert any(
+            "no fault plan" in v
+            for v in verify_ledger(report, faults_active=False)
+        )
+
+    def test_duplicates_are_violations(self):
+        violations = verify_ledger(
+            self._report(duplicate_entries=1), faults_active=False
+        )
+        assert any("duplicate" in v for v in violations)
+
+
+class TestSmallRuns:
+    def test_clean_run_settles_everything(self, tmp_path):
+        config = LoadgenConfig(
+            clients=12,
+            requests_per_client=2,
+            shards=2,
+            isolation="thread",
+            generated=1,
+            cache_dir=str(tmp_path / "cache"),
+            deadline=60.0,
+        )
+        report = run_loadgen(config)
+        assert report["ok"], report["violations"]
+        assert report["requests_done"] == config.total_requests
+        assert report["requests_failed"] == 0
+        assert report["requests_lost"] == 0
+        latency = report["latency_seconds"]
+        assert latency["count"] == config.total_requests
+        assert latency["p50"] is not None
+        assert latency["p99"] >= latency["p50"]
+        assert latency["histogram_p50"] is not None
+        # Coalescing and the cache tiers absorb the duplicate mix.
+        daemon = report["daemon"]
+        assert daemon["executed"] < config.total_requests
+        report_path = tmp_path / "report.json"
+        write_report(report, str(report_path))
+        assert report_path.exists()
+
+    def test_chaos_run_loses_nothing(self, tmp_path):
+        config = LoadgenConfig(
+            clients=8,
+            requests_per_client=2,
+            shards=2,
+            isolation="thread",
+            generated=1,
+            cache_dir=str(tmp_path / "cache"),
+            faults="worker.run:delay=0.05:p=0.3,worker.run:error:once",
+            deadline=60.0,
+        )
+        report = run_loadgen(config)
+        assert report["ok"], report["violations"]
+        assert report["requests_lost"] == 0
+        assert report["wrong_digests"] == 0
+        # The fault plan was active during the run and cleared after.
+        assert report["faults"]
+        assert faults.active() is None
+
+    def test_rolling_restart_rides_through(self, tmp_path):
+        config = LoadgenConfig(
+            clients=8,
+            requests_per_client=3,
+            shards=2,
+            isolation="thread",
+            generated=1,
+            cache_dir=str(tmp_path / "cache"),
+            restart_after=6,
+            deadline=90.0,
+        )
+        report = run_loadgen(config)
+        assert report["ok"], report["violations"]
+        assert report["restarts"] >= 1
+        assert report["requests_lost"] == 0
+        # The post-restart daemon answered some repeats from disk.
+        assert report["daemon"]["hits_disk"] >= 0

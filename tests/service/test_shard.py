@@ -1,0 +1,131 @@
+"""Shards and the fingerprint router: stable homes, quarantine walks.
+
+Thread isolation throughout — these are routing and lifecycle tests,
+not pool-crash tests (the asyncio daemon tests and the loadgen chaos
+runs cover real crashes).
+"""
+
+import pytest
+
+from repro.service.jobs import job_key
+from repro.service.shard import Shard, ShardManager
+
+pytestmark = pytest.mark.service
+
+SAFE_SRC = """
+proc check(secret pin: int, public attempts: uint): int {
+    var i: int = 0;
+    while (i < attempts) { i = i + 1; }
+    return i;
+}
+"""
+
+
+@pytest.fixture
+def manager():
+    m = ShardManager(count=3, workers_per_shard=1, isolation="thread")
+    yield m
+    m.shutdown()
+
+
+class TestShard:
+    def test_thread_shard_executes_a_job(self):
+        shard = Shard(0, isolation="thread")
+        try:
+            payload = {"source": SAFE_SRC, "proc": "check"}
+            result = shard.submit(payload).result(timeout=60)
+            assert result["status"] == "safe"
+            assert shard.executed == 1
+        finally:
+            shard.shutdown()
+
+    def test_rebuild_replaces_the_executor(self):
+        shard = Shard(0, isolation="thread")
+        try:
+            first = shard.executor()
+            shard.rebuild()
+            assert shard.executor() is not first
+            assert shard.rebuilds == 1
+            # The fresh pool genuinely runs work.
+            payload = {"source": SAFE_SRC, "proc": "check"}
+            assert shard.submit(payload).result(timeout=60)["status"] == "safe"
+        finally:
+            shard.shutdown()
+
+    def test_thread_shard_is_never_broken(self):
+        shard = Shard(0, isolation="thread")
+        try:
+            shard.executor()
+            assert shard.broken() is False
+        finally:
+            shard.shutdown()
+
+    def test_snapshot_fields(self):
+        shard = Shard(2, workers=1, isolation="thread")
+        try:
+            snap = shard.snapshot()
+            assert snap["shard"] == 2
+            assert snap["isolation"] == "thread"
+            assert snap["state"] == "closed"
+            assert snap["inflight"] == 0
+            assert snap["rebuilds"] == 0
+        finally:
+            shard.shutdown()
+
+
+class TestRouting:
+    def test_home_is_stable(self, manager):
+        key = job_key({"source": SAFE_SRC, "proc": "check"})
+        homes = {manager.home(key).index for _ in range(10)}
+        assert len(homes) == 1
+
+    def test_route_prefers_the_home_shard(self, manager):
+        key = job_key({"source": SAFE_SRC, "proc": "check"})
+        assert manager.route(key) is manager.home(key)
+
+    def test_route_walks_past_an_open_breaker(self, manager):
+        key = job_key({"source": SAFE_SRC, "proc": "check"})
+        home = manager.home(key)
+        for _ in range(home.breaker.failure_threshold):
+            home.breaker.record_failure()
+        rerouted = manager.route(key)
+        assert rerouted is not None
+        assert rerouted is not home
+        # The walk is deterministic: the next live index after home.
+        expected = manager.shards[(home.index + 1) % manager.count]
+        assert rerouted is expected
+        assert manager.quarantined() == 1
+
+    def test_route_none_when_all_quarantined(self, manager):
+        key = job_key({"source": SAFE_SRC, "proc": "check"})
+        for shard in manager.shards:
+            for _ in range(shard.breaker.failure_threshold):
+                shard.breaker.record_failure()
+        assert manager.route(key) is None
+        assert manager.quarantined() == manager.count
+
+    def test_recovered_home_takes_its_range_back(self, manager):
+        key = job_key({"source": SAFE_SRC, "proc": "check"})
+        home = manager.home(key)
+        for _ in range(home.breaker.failure_threshold):
+            home.breaker.record_failure()
+        assert manager.route(key) is not home
+        home.breaker.force_probe()  # rebuild finished: probe trial
+        assert manager.route(key) is home
+        home.breaker.record_success()
+        assert manager.route(key) is home
+
+    def test_key_space_spreads_over_shards(self, manager):
+        # Synthetic hex fingerprints cover every shard index.
+        keys = ["%016x" % n for n in range(64)]
+        indexes = {manager.home(k).index for k in keys}
+        assert indexes == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardManager(count=0)
+
+    def test_prewarm_builds_every_executor(self, manager):
+        manager.prewarm()
+        for shard in manager.shards:
+            assert shard._executor is not None
