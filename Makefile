@@ -3,9 +3,9 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke perf-smoke bench-service table1
+.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke pdsc-smoke perf-smoke bench-service bench-diffcheck table1
 
-test: diffcheck-smoke perf-smoke smoke-service-load
+test: diffcheck-smoke pdsc-smoke perf-smoke smoke-service-load
 	$(PYTHON) -m pytest -q
 
 # Differential fuzz smoke: 500 generated programs cross-checked against
@@ -17,8 +17,25 @@ test: diffcheck-smoke perf-smoke smoke-service-load
 # only trims the self-composition baseline's exploration (extra
 # "exhausted" outcomes, never different verdicts), and full campaigns
 # keep the 2500 default.
+# Pinned to the three original subjects: this is the fast legacy gate,
+# and the 4-subject coverage (including PDSC) lives in pdsc-smoke below.
 diffcheck-smoke:
-	$(PYTHON) -m repro diffcheck --seed 0 --count 500 --jobs 4 --no-shrink --max-pairs 80
+	$(PYTHON) -m repro diffcheck --seed 0 --count 500 --jobs 4 --no-shrink --max-pairs 80 --subjects blazer,selfcomp,consttime
+
+# Four-subject differential smoke (docs/PDSC.md): 200 generated
+# programs checked by Blazer, eager self-composition, the constant-time
+# checker AND the property-directed (PDSC) backend, gated on zero
+# soundness bugs.  Lean budgets (--quick: max_pairs=40, one refinement
+# round) keep it under 90 s on one core; trimming a budget only turns
+# would-be proofs into "exhausted", never flips a verdict.
+pdsc-smoke:
+	$(PYTHON) benchmarks/bench_diffcheck.py --quick
+
+# The full 4-way agreement bench: a 10k-program seed-0 campaign that
+# regenerates BENCH_diffcheck.json (agreement matrix, per-subject wall
+# clock) and gates on soundness + agreement-rate regressions.
+bench-diffcheck:
+	$(PYTHON) benchmarks/bench_diffcheck.py
 
 # Perf gate (docs/PERFORMANCE.md): the MicroBench group serial (perf
 # off) and warm-pool parallel (perf on); asserts total speedup >= 1.0

@@ -5,6 +5,12 @@ Subcommands mirror the stages a Blazer user cares about:
 ``analyze FILE --proc P``
     Run the full driver: SAFE / ATTACK / UNKNOWN, with the trail tree.
 
+``pdsc FILE --proc P``
+    Property-directed self-composition (docs/PDSC.md): prove the
+    two-copy timing gap bounded, refining the copies' alignment on
+    abstract counterexamples.  Exit 0 verified / 3 unverified /
+    4 exhausted.
+
 ``bounds FILE --proc P [--domain D]``
     Just BOUNDANALYSIS on the most general trail.
 
@@ -23,7 +29,8 @@ Subcommands mirror the stages a Blazer user cares about:
 
 ``diffcheck --seed S --count N``
     Differential fuzz campaign (docs/DIFFCHECK.md): random programs
-    checked oracle vs driver vs self-composition baseline; exit 1 on a
+    checked against the ground-truth oracle by up to four subjects
+    (``--subjects blazer,selfcomp,consttime,pdsc``); exit 1 on a
     soundness bug.
 
 ``serve`` / ``submit`` / ``status``
@@ -366,6 +373,7 @@ def cmd_diffcheck(args) -> int:
     _arm_observability(args)
     from repro.diffcheck import CampaignConfig, DiffConfig, run_campaign
     from repro.diffcheck.campaign import write_corpus
+    from repro.diffcheck.differ import parse_subjects
 
     config = CampaignConfig(
         seed=args.seed,
@@ -374,6 +382,8 @@ def cmd_diffcheck(args) -> int:
             threshold=args.threshold,
             domain=args.domain,
             max_pairs=args.max_pairs,
+            max_refinements=args.max_refinements,
+            subjects=parse_subjects(args.subjects),
         ),
         shrink=not args.no_shrink,
     )
@@ -400,7 +410,7 @@ def cmd_diffcheck(args) -> int:
     summary = report.to_dict()["summary"]
     print(
         "diffcheck: seed=%d programs=%d clean=%d leaky=%d "
-        "blazer safe/attack=%d/%d"
+        "blazer safe/attack=%d/%d selfcomp/pdsc verified=%d/%d"
         % (
             report.seed,
             summary["programs"],
@@ -408,6 +418,8 @@ def cmd_diffcheck(args) -> int:
             summary["oracle_leaky"],
             summary["blazer_safe"],
             summary["blazer_attack"],
+            summary["selfcomp_verified"],
+            summary["pdsc_verified"],
         )
     )
     for kind, count in sorted(summary["disagreements"].items()):
@@ -435,6 +447,41 @@ def cmd_diffcheck(args) -> int:
             file=sys.stderr,
         )
     return report.exit_code
+
+
+def cmd_pdsc(args) -> int:
+    _arm_observability(args)
+    from repro.core.pdsc import result_digest, verify_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    proc, result = verify_source(
+        source,
+        proc=args.proc,
+        domain=args.domain,
+        epsilon=args.epsilon,
+        max_pairs=args.max_pairs,
+        max_refinements=args.max_refinements,
+        deadline=args.deadline,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "proc": proc,
+                    "digest": result_digest(proc, result),
+                    **result.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print("%s:" % proc)
+        print(result.render())
+    if result.verified:
+        return 0
+    return EXIT_DEGRADED if result.exhausted else EXIT_UNKNOWN
 
 
 def cmd_serve(args) -> int:
@@ -755,6 +802,49 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    pdsc = sub.add_parser(
+        "pdsc",
+        help="property-directed self-composition: prove the timing gap "
+        "bounded by refining the copies' alignment (docs/PDSC.md)",
+    )
+    pdsc.add_argument("file", help="source file in the repro input language")
+    pdsc.add_argument("--proc", help="procedure to verify")
+    pdsc.add_argument(
+        "--domain", default="zone", choices=sorted(DOMAINS), help="numeric domain"
+    )
+    pdsc.add_argument(
+        "--epsilon",
+        type=int,
+        default=32,
+        help="verified means |cost1 - cost2| <= epsilon at the paired "
+        "exit (default: 32)",
+    )
+    pdsc.add_argument(
+        "--max-pairs",
+        type=int,
+        default=4000,
+        help="pair-space budget per fixpoint round (default: 4000)",
+    )
+    pdsc.add_argument(
+        "--max-refinements",
+        type=int,
+        default=4,
+        help="alignment refinements before the loop reports 'exhausted' "
+        "(default: 4)",
+    )
+    pdsc.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget over the whole CEGAR loop; on exhaustion "
+        "the outcome degrades soundly to 'exhausted' (exit %d)" % EXIT_DEGRADED,
+    )
+    pdsc.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    obs_flags(pdsc)
+    pdsc.set_defaults(func=cmd_pdsc)
+
     bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
     common(bounds)
     bounds.set_defaults(func=cmd_bounds)
@@ -818,9 +908,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(table1)
     table1.set_defaults(func=cmd_table1)
 
+    # Kept in sync with repro.diffcheck.differ.SUBJECTS (not imported:
+    # parser construction must stay lightweight).
+    diff_subjects = ("blazer", "selfcomp", "consttime", "pdsc")
+
     diffcheck = sub.add_parser(
         "diffcheck",
-        help="differential fuzz campaign: oracle vs driver vs baseline "
+        help="differential fuzz campaign: oracle vs driver vs baselines "
         "(docs/DIFFCHECK.md)",
     )
     diffcheck.add_argument(
@@ -853,6 +947,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-composition pair-space budget per program; beyond it "
         "the baseline reports 'exhausted' instead of a verdict "
         "(default: 2500; the smoke gate uses a smaller budget)",
+    )
+    diffcheck.add_argument(
+        "--max-refinements",
+        type=int,
+        default=3,
+        help="pdsc alignment-refinement budget per program (default: 3)",
+    )
+    diffcheck.add_argument(
+        "--subjects",
+        default=",".join(diff_subjects),
+        metavar="LIST",
+        help="comma list of engines to run (any of: %s; default: all). "
+        "Skipped subjects report 'skipped'; the report is byte-identical "
+        "for a fixed subject set at any --jobs" % ", ".join(diff_subjects),
     )
     diffcheck.add_argument(
         "--report", metavar="PATH", help="write the canonical JSON report here"

@@ -1,0 +1,129 @@
+"""Core-level entry point for property-directed self-composition.
+
+This is the fourth verification subject (after Blazer's decomposition,
+the eager self-composition baseline, and the constant-time checker):
+the CEGAR loop of :mod:`repro.pdsc` packaged the way the rest of the
+system consumes verifiers — a source-level convenience wrapper for the
+CLI/differ, and a job-shaped entry point (plain JSON-safe dicts in and
+out) for the sharded service daemon.
+
+The service speaks *kinds*: a payload with ``kind="pdsc"`` routes here
+(:func:`pdsc_job`), anything else stays with Blazer's ``analyze_job``.
+:data:`PDSC_JOB_FIELDS` is the fingerprint contract — exactly the
+payload knobs that can change a PDSC outcome, hashed into the request
+key so a pdsc job never coalesces with a Blazer job over the same
+program (see :func:`repro.service.jobs.fingerprint_job`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.bytecode import compile_program, verify_module
+from repro.cfg.graph import ControlFlowGraph
+from repro.core.blazer import resolve_proc
+from repro.domains import DOMAINS
+from repro.ir import lift_module
+from repro.lang import frontend
+from repro.pdsc import PDSC, PDSCResult
+from repro.util.errors import AnalysisError
+
+# Payload fields pdsc_job understands; everything here (and nothing
+# else) participates in the service's request fingerprints.  ``kind``
+# is the dispatch discriminator and is always hashed, so pdsc and
+# Blazer requests over identical programs never share a key.
+PDSC_JOB_FIELDS = (
+    "kind",
+    "source",
+    "proc",
+    "domain",
+    "epsilon",
+    "max_pairs",
+    "max_refinements",
+    "deadline",
+)
+
+
+def compile_cfgs(source: str) -> Dict[str, ControlFlowGraph]:
+    """Source → verified bytecode → register-IR CFGs (the same front
+    half of the pipeline every other subject runs)."""
+    module = compile_program(frontend(source))
+    verify_module(module)
+    return lift_module(module)
+
+
+def verify_source(
+    source: str,
+    proc: Optional[str] = None,
+    domain: str = "zone",
+    epsilon: int = 32,
+    max_pairs: int = 4000,
+    max_refinements: int = 4,
+    deadline: Optional[float] = None,
+) -> Tuple[str, PDSCResult]:
+    """Convenience wrapper: run PDSC on one procedure of a source
+    program.  Returns ``(resolved proc name, result)``."""
+    if domain not in DOMAINS:
+        raise AnalysisError(
+            "unknown domain %r (available: %s)" % (domain, ", ".join(sorted(DOMAINS)))
+        )
+    cfgs = compile_cfgs(source)
+    name = resolve_proc(cfgs, proc)
+    checker = PDSC(
+        cfgs[name],
+        DOMAINS[domain],
+        epsilon=epsilon,
+        max_pairs=max_pairs,
+        max_refinements=max_refinements,
+        deadline=deadline,
+    )
+    return name, checker.verify()
+
+
+def result_digest(proc: str, result: PDSCResult) -> str:
+    """Content digest of a PDSC outcome — the cross-process equality
+    witness, computed over the timing-free report dict."""
+    body = json.dumps(
+        {"proc": proc, "result": result.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def pdsc_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Job-shaped entry point: a JSON-safe request dict in, a JSON-safe
+    result dict out (docs/SERVICE.md), mirroring
+    :func:`repro.core.blazer.analyze_job`.
+
+    ``status`` maps the three-valued outcome onto the service's verdict
+    vocabulary: ``verified`` → "safe", ``unverified`` / ``exhausted``
+    → "unknown" (PDSC never claims an attack — refutation is Blazer's
+    job).  Raises :class:`~repro.util.errors.ReproError` on malformed
+    programs or bad knobs.
+    """
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise AnalysisError("job payload needs a non-empty 'source'")
+    deadline = payload.get("deadline")
+    proc, result = verify_source(
+        source,
+        proc=payload.get("proc"),  # type: ignore[arg-type]
+        domain=str(payload.get("domain", "zone")),
+        epsilon=int(payload.get("epsilon", 32)),  # type: ignore[arg-type]
+        max_pairs=int(payload.get("max_pairs", 4000)),  # type: ignore[arg-type]
+        max_refinements=int(payload.get("max_refinements", 4)),  # type: ignore[arg-type]
+        deadline=float(deadline) if deadline is not None else None,  # type: ignore[arg-type]
+    )
+    return {
+        "kind": "pdsc",
+        "proc": proc,
+        "status": "safe" if result.verified else "unknown",
+        "outcome": result.outcome,
+        "verified": result.verified,
+        "refinements": result.refinements,
+        "digest": result_digest(proc, result),
+        "result": result.to_dict(),
+    }

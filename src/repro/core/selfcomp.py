@@ -8,6 +8,12 @@ the *pair state space*: the analysis explores pairs of product-CFG
 nodes, with a pair abstract state over the disjoint union of the two
 copies' variables (copy 2 renamed with a ``·$2`` suffix).
 
+The pair semantics itself — renaming, equal-low entry states, per-copy
+cost counters, per-copy block steps — is shared with the
+property-directed checker (:mod:`repro.pdsc.pairing`); what makes this
+the *eager* baseline is its fixed scheduling: copy 1 runs to its exit
+before copy 2 moves at all, the sequential ``C;C'`` composition.
+
 This exists as the comparison baseline for the ablation benchmark
 (DESIGN.md §5): it demonstrates the cross-product state-space blowup the
 decomposition avoids.  It verifies only the simplest benchmarks before
@@ -20,27 +26,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
-from repro.absint.transfer import TransferFunctions, len_var
 from repro.cfg.graph import ControlFlowGraph
 from repro.domains.base import AbstractState, Domain
-from repro.domains.linexpr import LinCons, LinExpr
-from repro.ir import instr as ir
-from repro.lang import ast
+from repro.pdsc.pairing import PairNode, PairSemantics, SUFFIX
 from repro.util.errors import AnalysisError, ResourceExhausted
 
-_SUFFIX = "$2"
-
-PairNode = Tuple[int, int]  # (block of copy 1, block of copy 2)
-
-
-def _rename_copy(cfg: ControlFlowGraph) -> Dict[str, str]:
-    mapping = {}
-    for reg in cfg.reg_kinds:
-        mapping[reg] = reg + _SUFFIX
-        mapping[len_var(reg)] = len_var(reg) + _SUFFIX
-    return mapping
+# Historical aliases: the renaming scheme predates the shared module.
+_SUFFIX = SUFFIX
 
 
 @dataclass
@@ -84,16 +78,7 @@ class SelfComposition:
         self._domain = domain
         self._epsilon = epsilon
         self._max_pairs = max_pairs
-        self._transfer = TransferFunctions(cfg)
-        self._rename = _rename_copy(cfg)
-        # Teach the shared transfer functions the kinds of the renamed
-        # copy-2 registers (extra keys are inert for other analyses).
-        for reg, kind in list(cfg.reg_kinds.items()):
-            cfg.reg_kinds.setdefault(reg + _SUFFIX, kind)
-
-    # The cost counters: fresh variables incremented by block costs.
-    _COST1 = "#cost"
-    _COST2 = "#cost" + _SUFFIX
+        self._semantics = PairSemantics(cfg, domain)
 
     def verify(self) -> SelfCompositionResult:
         """Try to prove |cost1 - cost2| <= epsilon at the paired exits.
@@ -105,13 +90,13 @@ class SelfComposition:
         started = time.perf_counter()
         cfg = self._cfg
         domain = self._domain
+        sem = self._semantics
         explored = 0
         try:
-            entry = self._entry_state()
             invariants: Dict[PairNode, AbstractState] = {
-                (cfg.entry, cfg.entry): entry
+                sem.entry_node: sem.entry_state()
             }
-            worklist: List[PairNode] = [(cfg.entry, cfg.entry)]
+            worklist: List[PairNode] = [sem.entry_node]
             visits: Dict[PairNode, int] = {}
             while worklist:
                 node = worklist.pop(0)
@@ -147,14 +132,12 @@ class SelfComposition:
                 outcome="exhausted",
             )
 
-        exit_pair = (cfg.exit_id, cfg.exit_id)
-        state = invariants.get(exit_pair)
+        state = invariants.get(sem.exit_node)
         seconds = time.perf_counter() - started
         if state is None or state.is_bottom():
             # No common exit reached: vacuously fine (or a modeling gap).
             return SelfCompositionResult(True, seconds, explored, "exit unreachable")
-        gap = LinExpr.var(self._COST1) - LinExpr.var(self._COST2)
-        lo, hi = state.bounds_of(gap)
+        lo, hi = sem.gap_bounds(state)
         ok = (
             lo is not None
             and hi is not None
@@ -168,36 +151,7 @@ class SelfComposition:
             note="cost gap in [%s, %s]" % (lo, hi),
         )
 
-    # -- pair semantics ----------------------------------------------------------
-
-    def _entry_state(self) -> AbstractState:
-        state = self._transfer.entry_state(self._domain.top())
-        state = self._rename_entry_constraints(state)
-        # Equal low inputs; secrets unconstrained.
-        for param in self._cfg.params:
-            if param.is_secret:
-                continue
-            if param.declared.is_array:
-                name = len_var(param.name)
-            else:
-                name = param.name
-            state = state.guard(
-                LinCons.eq(LinExpr.var(name), LinExpr.var(name + _SUFFIX))
-            )
-        state = state.assign(self._COST1, LinExpr.constant(0))
-        state = state.assign(self._COST2, LinExpr.constant(0))
-        return state
-
-    def _rename_entry_constraints(self, state: AbstractState) -> AbstractState:
-        # Re-impose the entry constraints for copy 2 under renamed vars.
-        for param in self._cfg.params:
-            if param.declared.is_array:
-                state = state.guard(
-                    LinCons.ge(LinExpr.var(len_var(param.name) + _SUFFIX), 0)
-                )
-            elif param.declared.base is ast.BaseType.UINT:
-                state = state.guard(LinCons.ge(LinExpr.var(param.name + _SUFFIX), 0))
-        return state
+    # -- the eager schedule ------------------------------------------------------
 
     def _pair_successors(
         self, node: PairNode, state: AbstractState
@@ -207,70 +161,9 @@ class SelfComposition:
         b1, b2 = node
         results: List[Tuple[PairNode, AbstractState]] = []
         if b1 != cfg.exit_id:
-            for succ, out_state in self._step_copy(b1, state, copy2=False):
+            for succ, out_state in self._semantics.step_copy(b1, state, copy2=False):
                 results.append(((succ, b2), out_state))
         elif b2 != cfg.exit_id:
-            for succ, out_state in self._step_copy(b2, state, copy2=True):
+            for succ, out_state in self._semantics.step_copy(b2, state, copy2=True):
                 results.append(((b1, succ), out_state))
         return results
-
-    def _step_copy(
-        self, block_id: int, state: AbstractState, copy2: bool
-    ) -> List[Tuple[int, AbstractState]]:
-        cfg = self._cfg
-        block = cfg.blocks[block_id]
-        conds: Dict = {}
-        for instr in block.instrs:
-            instr = self._renamed_instr(instr) if copy2 else instr
-            state = self._transfer.step(instr, state, conds)
-        cost_var = self._COST2 if copy2 else self._COST1
-        state = state.assign(
-            cost_var, LinExpr.var(cost_var) + block.cost
-        )
-        out: List[Tuple[int, AbstractState]] = []
-        succs = cfg.successors(block_id)
-        is_branch = isinstance(block.term, ir.Branch) and len(succs) == 2
-        for succ in succs:
-            edge_state = state
-            if is_branch:
-                taken = succ == block.term.on_true  # type: ignore[union-attr]
-                cons = self._transfer.branch_constraint(block_id, taken, conds)
-                if cons is not None:
-                    if copy2:
-                        cons = cons.rename(self._rename)
-                    edge_state = edge_state.guard(cons)
-            out.append((succ, edge_state))
-        return out
-
-    def _renamed_instr(self, instr: ir.Instr) -> ir.Instr:
-        """A copy-2 version of the instruction (registers suffixed)."""
-
-        def op(o: ir.Operand) -> ir.Operand:
-            if isinstance(o, ir.Reg):
-                return ir.Reg(o.name + _SUFFIX)
-            return o
-
-        if isinstance(instr, ir.Assign):
-            return ir.Assign(dst=op(instr.dst), src=op(instr.src), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.BinInstr):
-            return ir.BinInstr(dst=op(instr.dst), op=instr.op, a=op(instr.a), b=op(instr.b), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.CmpInstr):
-            return ir.CmpInstr(dst=op(instr.dst), op=instr.op, a=op(instr.a), b=op(instr.b), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.UnInstr):
-            return ir.UnInstr(dst=op(instr.dst), op=instr.op, a=op(instr.a), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.ALoad):
-            return ir.ALoad(dst=op(instr.dst), arr=op(instr.arr), idx=op(instr.idx), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.AStore):
-            return ir.AStore(arr=op(instr.arr), idx=op(instr.idx), val=op(instr.val), weight=instr.weight)
-        if isinstance(instr, ir.NewArr):
-            return ir.NewArr(dst=op(instr.dst), size=op(instr.size), elem=instr.elem, weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.ArrLen):
-            return ir.ArrLen(dst=op(instr.dst), arr=op(instr.arr), weight=instr.weight)  # type: ignore[arg-type]
-        if isinstance(instr, ir.CallInstr):
-            return ir.CallInstr(
-                dst=op(instr.dst) if instr.dst is not None else None,  # type: ignore[arg-type]
-                callee=instr.callee,
-                args=tuple(op(a) for a in instr.args),
-                weight=instr.weight,
-            )
-        raise AnalysisError("cannot rename %r" % type(instr).__name__)

@@ -71,7 +71,8 @@ class ProgramOutcome:
     oracle_errors: int = 0
     blazer: str = ""
     selfcomp: str = ""
-    constant_time: bool = False
+    constant_time: Optional[bool] = False  # None = subject skipped
+    pdsc: str = ""
     disagreements: List[Dict[str, str]] = field(default_factory=list)
     source: str = ""  # kept only for shrink-worthy rows
     shrunk_source: str = ""
@@ -79,6 +80,9 @@ class ProgramOutcome:
     error: str = ""  # worker-side failure (degrades the campaign)
     retries: int = 0
     resumed: bool = False
+    # Per-subject wall clock — volatile, for the bench harness only;
+    # excluded from to_dict like the runner bookkeeping below it.
+    subject_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def fatal(self) -> bool:
@@ -92,6 +96,7 @@ class ProgramOutcome:
         record = dataclasses.asdict(self)
         del record["retries"]
         del record["resumed"]
+        del record["subject_seconds"]
         return record
 
     @staticmethod
@@ -130,6 +135,8 @@ def run_program(name: str, config: CampaignConfig) -> ProgramOutcome:
             outcome.blazer = report.blazer_status
             outcome.selfcomp = report.selfcomp_outcome
             outcome.constant_time = report.constant_time
+            outcome.pdsc = report.pdsc_outcome
+            outcome.subject_seconds = dict(report.subject_seconds)
             outcome.disagreements = [d.to_dict() for d in report.disagreements]
             worth_shrinking = {
                 (d.kind, d.engine)
@@ -165,6 +172,15 @@ class CampaignReport:
     threshold: int
     domain: str
     outcomes: List[ProgramOutcome]
+    subjects: tuple = ()
+
+    def subject_seconds(self) -> Dict[str, float]:
+        """Aggregate wall clock per subject (volatile — bench only)."""
+        totals: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            for subject, seconds in outcome.subject_seconds.items():
+                totals[subject] = totals.get(subject, 0.0) + seconds
+        return totals
 
     @property
     def soundness_bugs(self) -> List[ProgramOutcome]:
@@ -200,6 +216,7 @@ class CampaignReport:
                 "count": self.count,
                 "threshold": self.threshold,
                 "domain": self.domain,
+                "subjects": list(self.subjects),
             },
             "summary": {
                 "programs": len(self.outcomes),
@@ -207,6 +224,13 @@ class CampaignReport:
                 "oracle_leaky": sum(1 for o in self.outcomes if o.oracle_leaky),
                 "blazer_safe": sum(1 for o in self.outcomes if o.blazer == "safe"),
                 "blazer_attack": sum(1 for o in self.outcomes if o.blazer == "attack"),
+                "selfcomp_verified": sum(
+                    1 for o in self.outcomes if o.selfcomp == "verified"
+                ),
+                "pdsc_verified": sum(1 for o in self.outcomes if o.pdsc == "verified"),
+                "pdsc_exhausted": sum(
+                    1 for o in self.outcomes if o.pdsc == "exhausted"
+                ),
                 "soundness_bugs": len(self.soundness_bugs),
                 "errors": len(self.errors),
                 "disagreements": self.kind_counts(),
@@ -295,4 +319,5 @@ def run_campaign(
         threshold=config.diff.threshold,
         domain=config.diff.domain,
         outcomes=outcomes,
+        subjects=tuple(config.diff.subjects),
     )

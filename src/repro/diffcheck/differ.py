@@ -1,9 +1,11 @@
-"""Three-way differential check: oracle vs Blazer vs self-composition.
+"""Four-way differential check: oracle vs Blazer vs self-composition
+vs property-directed self-composition.
 
-One program, four verdicts:
+One program, five verdicts:
 
 * the **ground-truth oracle** (exhaustive interpretation, exact TCF at
-  the observer's slack);
+  the observer's slack) — always runs, it is what everyone is compared
+  against;
 * the **Blazer driver** — safe / attack / unknown, run with the
   interval-sound :class:`~repro.core.observer.DomainThresholdObserver`
   over the exact generated domains so its "safe" claims and the
@@ -11,32 +13,46 @@ One program, four verdicts:
 * the **self-composition baseline** — verified / unverified /
   exhausted, with ``epsilon = threshold - 1`` (``gap < T`` iff
   ``gap <= T-1``);
+* the **property-directed checker** (:mod:`repro.pdsc`) — same
+  three-valued vocabulary and the same ε, but with the CEGAR alignment
+  loop in front of the fixpoint;
 * the **constant-time checker** — a free cross-check: a scalar,
   extern-free program whose control flow is public-determined executes
   the same instruction sequence on every member of a low class, so
   control-flow constant-time implies a concrete gap of exactly zero.
 
+``DiffConfig.subjects`` selects which engines run (default: all four).
+A skipped subject reports the literal outcome ``"skipped"`` and
+contributes no disagreements, so a report over a fixed subject set is
+byte-identical whatever the other subjects would have said.
+
 Disagreement taxonomy (docs/DIFFCHECK.md):
 
-=====================  =====  ==========================================
-kind                   fatal  meaning
-=====================  =====  ==========================================
-``soundness_bug``      yes    an engine claimed safety the oracle refutes
-``precision_gap``      no     engine failed to prove a truly safe program
-``attack_spec_mismatch`` no   CHECKATTACK's trail pair does not replay
-``missed_attack``      no     program leaks but CHECKATTACK found nothing
-=====================  =====  ==========================================
+========================  =====  ==========================================
+kind                      fatal  meaning
+========================  =====  ==========================================
+``soundness_bug``         yes    an engine claimed safety the oracle refutes
+``precision_gap``         no     engine's fixpoint converged but could not
+                                 prove a truly safe program
+``exhausted``             no     engine gave up (pair/refinement budget,
+                                 deadline) on a truly safe program — a
+                                 budget data point, not a precision one
+``attack_spec_mismatch``  no     CHECKATTACK's trail pair does not replay
+``missed_attack``         no     program leaks but CHECKATTACK found nothing
+========================  =====  ==========================================
 
 The ``break_engine`` hook exists purely so the test suite can prove the
 harness has teeth: ``"narrow"`` wraps the observer to call *every*
-bound narrow (a deliberately unsound CHECKSAFE), which must surface as
+bound narrow (a deliberately unsound CHECKSAFE), and ``"pdsc-verify"``
+forces the PDSC outcome to "verified" — each must surface as
 ``soundness_bug`` on any leaky program.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.blazer import Blazer, BlazerConfig
 from repro.core.consttime import verify_constant_time
@@ -47,9 +63,41 @@ from repro.diffcheck.generator import PROC_NAME, GeneratedProgram
 from repro.diffcheck.oracle import OracleVerdict, TimingOracle
 from repro.domains import DOMAINS
 from repro.interp.interp import Interpreter
+from repro.pdsc import PDSC
+from repro.util.errors import AnalysisError
 
 FATAL_KIND = "soundness_bug"
-KINDS = (FATAL_KIND, "precision_gap", "attack_spec_mismatch", "missed_attack")
+KINDS = (
+    FATAL_KIND,
+    "precision_gap",
+    "exhausted",
+    "attack_spec_mismatch",
+    "missed_attack",
+)
+
+# The four subjects, in canonical order.  "skipped" is the outcome a
+# deselected subject reports.
+SUBJECTS = ("blazer", "selfcomp", "consttime", "pdsc")
+SKIPPED = "skipped"
+
+
+def parse_subjects(spec: str) -> Tuple[str, ...]:
+    """A ``--subjects`` comma list → canonical subject tuple.
+
+    Order-insensitive and duplicate-tolerant on input; the result is
+    always in :data:`SUBJECTS` order so equal selections fingerprint
+    (and report) identically however they were spelled.
+    """
+    requested = {part.strip() for part in spec.split(",") if part.strip()}
+    unknown = requested - set(SUBJECTS)
+    if unknown:
+        raise AnalysisError(
+            "unknown subject(s) %s (available: %s)"
+            % (", ".join(sorted(unknown)), ", ".join(SUBJECTS))
+        )
+    if not requested:
+        raise AnalysisError("--subjects needs at least one subject")
+    return tuple(s for s in SUBJECTS if s in requested)
 
 
 @dataclass(frozen=True)
@@ -58,10 +106,13 @@ class DiffConfig:
 
     threshold: int = 24  # observer slack T: a gap >= T is a leak
     domain: str = "zone"
-    max_pairs: int = 2500  # self-composition pair-space budget
+    max_pairs: int = 2500  # pair-space budget (selfcomp and pdsc alike)
+    max_refinements: int = 3  # pdsc alignment-refinement budget
     oracle_limit: int = 8192
     fuel: int = 50_000  # far above any generated program's real cost
-    # Test-only sabotage hook ("narrow"): see module docstring.
+    subjects: Tuple[str, ...] = SUBJECTS
+    # Test-only sabotage hooks ("narrow", "pdsc-verify"): see module
+    # docstring.
     break_engine: Optional[str] = None
 
     def observer(self, domains: Mapping[str, Sequence[int]]) -> ObserverModel:
@@ -94,7 +145,7 @@ class Disagreement:
     """One classified divergence between an engine and the oracle."""
 
     kind: str  # one of KINDS
-    engine: str  # "blazer" | "selfcomp" | "consttime"
+    engine: str  # "blazer" | "selfcomp" | "consttime" | "pdsc"
     detail: str
 
     @property
@@ -107,15 +158,22 @@ class Disagreement:
 
 @dataclass
 class ProgramReport:
-    """Everything the campaign records about one checked program."""
+    """Everything the campaign records about one checked program.
+
+    ``subject_seconds`` (wall clock per subject) is a volatile side
+    channel for the bench harness: deliberately absent from
+    :meth:`to_dict` so reports stay byte-identical across hosts/runs.
+    """
 
     name: str
     source: str
     oracle: OracleVerdict
     blazer_status: str
     selfcomp_outcome: str
-    constant_time: bool
+    constant_time: Optional[bool]  # None = subject skipped
+    pdsc_outcome: str = SKIPPED
     disagreements: List[Disagreement] = field(default_factory=list)
+    subject_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def fatal(self) -> bool:
@@ -132,6 +190,7 @@ class ProgramReport:
             "blazer": self.blazer_status,
             "selfcomp": self.selfcomp_outcome,
             "constant_time": self.constant_time,
+            "pdsc": self.pdsc_outcome,
             "disagreements": [d.to_dict() for d in self.disagreements],
         }
 
@@ -143,20 +202,54 @@ def check_source(
     name: str = "program",
     proc: str = PROC_NAME,
 ) -> ProgramReport:
-    """Run the full three-way differential check on one program."""
+    """Run the full differential check on one program."""
+    subjects = config.subjects
+    seconds: Dict[str, float] = {}
     blazer = Blazer.from_source(
         source,
         BlazerConfig(domain=config.domain, observer=config.observer(domains)),
     )
     cfg = blazer.cfgs[proc]
-    verdict = blazer.analyze(proc)
-    consttime = verify_constant_time(blazer, proc)
-    selfcomp = SelfComposition(
-        cfg,
-        DOMAINS[config.domain],
-        epsilon=config.threshold - 1,
-        max_pairs=config.max_pairs,
-    ).verify()
+    epsilon = config.threshold - 1  # gap < T  iff  |gap| <= T-1
+
+    verdict = None
+    if "blazer" in subjects:
+        started = time.perf_counter()
+        verdict = blazer.analyze(proc)
+        seconds["blazer"] = time.perf_counter() - started
+
+    consttime = None
+    if "consttime" in subjects:
+        started = time.perf_counter()
+        consttime = verify_constant_time(blazer, proc)
+        seconds["consttime"] = time.perf_counter() - started
+
+    selfcomp = None
+    if "selfcomp" in subjects:
+        started = time.perf_counter()
+        selfcomp = SelfComposition(
+            cfg,
+            DOMAINS[config.domain],
+            epsilon=epsilon,
+            max_pairs=config.max_pairs,
+        ).verify()
+        seconds["selfcomp"] = time.perf_counter() - started
+
+    pdsc = None
+    if "pdsc" in subjects:
+        started = time.perf_counter()
+        pdsc = PDSC(
+            cfg,
+            DOMAINS[config.domain],
+            epsilon=epsilon,
+            max_pairs=config.max_pairs,
+            max_refinements=config.max_refinements,
+        ).verify()
+        seconds["pdsc"] = time.perf_counter() - started
+        if config.break_engine == "pdsc-verify":
+            # Sabotage hook: claim a proof whatever the loop found, so
+            # the soundness check below demonstrably has teeth.
+            pdsc = replace(pdsc, verified=True, outcome="verified")
 
     interpreter = Interpreter(blazer.cfgs, fuel=config.fuel)
     oracle = TimingOracle(
@@ -170,7 +263,7 @@ def check_source(
     disagreements: List[Disagreement] = []
 
     # -- soundness: a safety claim the concrete semantics refute ----------
-    if verdict.status == "safe" and oracle.leaky:
+    if verdict is not None and verdict.status == "safe" and oracle.leaky:
         disagreements.append(
             Disagreement(
                 FATAL_KIND,
@@ -179,16 +272,21 @@ def check_source(
                 % (oracle.max_gap, oracle.slack),
             )
         )
-    if selfcomp.verified and oracle.leaky:
-        disagreements.append(
-            Disagreement(
-                FATAL_KIND,
-                "selfcomp",
-                "pair analysis proved |gap| <= %d but oracle found gap %d"
-                % (config.threshold - 1, oracle.max_gap),
+    for engine, outcome in (("selfcomp", selfcomp), ("pdsc", pdsc)):
+        if outcome is not None and outcome.verified and oracle.leaky:
+            disagreements.append(
+                Disagreement(
+                    FATAL_KIND,
+                    engine,
+                    "pair analysis proved |gap| <= %d but oracle found gap %d"
+                    % (epsilon, oracle.max_gap),
+                )
             )
-        )
-    if consttime.constant_time and oracle.max_gap > 0:
+    if (
+        consttime is not None
+        and consttime.constant_time
+        and oracle.max_gap > 0
+    ):
         disagreements.append(
             Disagreement(
                 FATAL_KIND,
@@ -198,9 +296,9 @@ def check_source(
             )
         )
 
-    # -- precision: a truly safe program the engines could not prove ------
+    # -- precision/budget: a truly safe program left unproven -------------
     if not oracle.leaky:
-        if verdict.status != "safe":
+        if verdict is not None and verdict.status != "safe":
             disagreements.append(
                 Disagreement(
                     "precision_gap",
@@ -209,18 +307,30 @@ def check_source(
                     % (verdict.status, oracle.max_gap, oracle.slack),
                 )
             )
-        if not selfcomp.verified:
+        for engine, outcome in (("selfcomp", selfcomp), ("pdsc", pdsc)):
+            if outcome is None or outcome.verified:
+                continue
+            # "the engine gave up" and "the engine's abstraction is too
+            # coarse" are different findings: exhaustion is a budget
+            # knob, a converged-but-unproven fixpoint is a precision
+            # ceiling.
+            kind = "exhausted" if outcome.exhausted else "precision_gap"
             disagreements.append(
                 Disagreement(
-                    "precision_gap",
-                    "selfcomp",
+                    kind,
+                    engine,
                     "outcome %r on program with max gap %d < %d"
-                    % (selfcomp.outcome, oracle.max_gap, oracle.slack),
+                    % (outcome.outcome, oracle.max_gap, oracle.slack),
                 )
             )
 
     # -- attack specifications must replay under the interpreter ----------
-    if verdict.status == "attack" and oracle.leaky and verdict.attack is not None:
+    if (
+        verdict is not None
+        and verdict.status == "attack"
+        and oracle.leaky
+        and verdict.attack is not None
+    ):
         if verdict.attack.is_pair:
             witness = find_witness(
                 interpreter,
@@ -241,7 +351,7 @@ def check_source(
                 )
 
     # -- leaks CHECKATTACK failed to describe ------------------------------
-    if oracle.leaky and verdict.status == "unknown":
+    if oracle.leaky and verdict is not None and verdict.status == "unknown":
         disagreements.append(
             Disagreement(
                 "missed_attack",
@@ -255,10 +365,12 @@ def check_source(
         name=name,
         source=source,
         oracle=oracle,
-        blazer_status=verdict.status,
-        selfcomp_outcome=selfcomp.outcome,
-        constant_time=consttime.constant_time,
+        blazer_status=verdict.status if verdict is not None else SKIPPED,
+        selfcomp_outcome=selfcomp.outcome if selfcomp is not None else SKIPPED,
+        constant_time=consttime.constant_time if consttime is not None else None,
+        pdsc_outcome=pdsc.outcome if pdsc is not None else SKIPPED,
         disagreements=disagreements,
+        subject_seconds=seconds,
     )
 
 

@@ -1,0 +1,35 @@
+"""Property-directed self-composition (PDSC, after CAV'19).
+
+The fourth verification backend: instead of eagerly sequencing the two
+program copies (``repro.core.selfcomp``) or decomposing the trail space
+(``repro.core.blazer``), PDSC *searches for an alignment* of the 2-copy
+product under which an off-the-shelf abstract domain can prove the
+timing-difference property — starting from the lockstep composition and
+refining the scheduling policy from abstract counterexamples
+(docs/PDSC.md).
+
+Package layout:
+
+* :mod:`repro.pdsc.pairing` — the shared pair-program semantics (copy-2
+  renaming, equal-low entry states, per-copy cost counters) the whole
+  self-composition family builds on;
+* :mod:`repro.pdsc.align` — alignment policies (lockstep / rank-directed
+  catch-up / per-node exceptions) and the counterexample-guided
+  refinement step;
+* :mod:`repro.pdsc.engine` — one scheduled pair-space fixpoint round;
+* :mod:`repro.pdsc.checker` — the CEGAR loop, budgets, and the
+  three-valued :class:`~repro.pdsc.checker.PDSCResult`.
+"""
+
+from repro.pdsc.align import AlignmentPolicy, refine_policy
+from repro.pdsc.checker import PDSC, PDSCResult, PDSCRound
+from repro.pdsc.pairing import PairSemantics
+
+__all__ = [
+    "PDSC",
+    "PDSCResult",
+    "PDSCRound",
+    "AlignmentPolicy",
+    "PairSemantics",
+    "refine_policy",
+]

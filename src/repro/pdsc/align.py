@@ -1,0 +1,163 @@
+"""Alignment policies and their counterexample-guided refinement.
+
+PDSC's search space is the set of *composition functions* (CAV'19): a
+scheduling policy that says, at every pair node ``(b1, b2)``, which
+copy advances.  Soundness never depends on the choice — any policy
+covers every pair of terminating runs, because each copy only ever
+moves along its own CFG and a copy at the exit always yields to the
+other — so refinement is free to explore: a bad alignment costs
+precision, never correctness.
+
+The policies, in the order the refinement loop proposes them:
+
+``lockstep``
+    Both copies advance one block per step.  Proves everything whose
+    copies stay phase-synchronized (equal-low control flow, balanced
+    branches): the decisive improvement over the eager baseline, which
+    runs copy 1 to completion first and loses the counters' correlation
+    at the first widened loop.
+
+``catchup``
+    When the copies desynchronize (``b1 != b2``), only the copy at the
+    *earlier* block in reverse-postorder advances, until the pair
+    re-synchronizes.  Re-aligns copies that lockstep drove apart
+    (unbalanced conditionals, skipped loops) and keeps the explored
+    pair space near the diagonal — which also rescues programs whose
+    lockstep product blows the pair budget.
+
+per-node exceptions
+    Later rounds flip the catch-up direction at individual desynchrony
+    nodes taken from the abstract counterexample, deepest mismatch
+    first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.pdsc.pairing import PairNode
+
+# Scheduling decisions.
+BOTH = "both"
+LEFT = "left"
+RIGHT = "right"
+
+_UNREACHABLE_RANK = 1 << 30
+
+
+def block_ranks(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Reverse-postorder index per block — the program-order measure the
+    catch-up policy advances the *smaller* of."""
+    return {block: index for index, block in enumerate(cfg.reverse_postorder())}
+
+
+@dataclass(frozen=True)
+class AlignmentPolicy:
+    """One composition function: a mode plus per-node exceptions.
+
+    Immutable and deterministic — the CEGAR loop replaces the policy
+    wholesale each round, and equal policies always schedule equal
+    traces, so a verification outcome is a pure function of
+    ``(cfg, domain, policy, budgets)``.
+    """
+
+    mode: str = "lockstep"  # "lockstep" | "catchup"
+    exceptions: Tuple[Tuple[PairNode, str], ...] = ()
+    _index: Dict[PairNode, str] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_index", dict(self.exceptions))
+
+    @staticmethod
+    def lockstep() -> "AlignmentPolicy":
+        return AlignmentPolicy(mode="lockstep")
+
+    @staticmethod
+    def catchup(
+        exceptions: Tuple[Tuple[PairNode, str], ...] = ()
+    ) -> "AlignmentPolicy":
+        return AlignmentPolicy(mode="catchup", exceptions=exceptions)
+
+    def describe(self) -> str:
+        if not self.exceptions:
+            return self.mode
+        return "%s+%d flip(s)" % (self.mode, len(self.exceptions))
+
+    def decide(
+        self, node: PairNode, ranks: Dict[int, int], exit_id: int
+    ) -> str:
+        """Which copy moves at ``node``.  The exit overrides come first:
+        a finished copy never stutters the other forever, which is the
+        progress half of the any-policy-is-sound argument."""
+        b1, b2 = node
+        if b1 == exit_id:
+            return RIGHT
+        if b2 == exit_id:
+            return LEFT
+        override = self._index.get(node)
+        if override is not None:
+            return override
+        if self.mode == "lockstep" or b1 == b2:
+            return BOTH
+        r1 = ranks.get(b1, _UNREACHABLE_RANK)
+        r2 = ranks.get(b2, _UNREACHABLE_RANK)
+        if r1 == r2:
+            return BOTH
+        return LEFT if r1 < r2 else RIGHT
+
+
+@dataclass(frozen=True)
+class AbstractCex:
+    """Why one fixpoint round failed to prove the property.
+
+    ``desync`` lists the desynchronized pair nodes (``b1 != b2``) the
+    round visited, in first-visit order, each with the scheduling
+    decision the failing policy made there — the property-directed part
+    of the refinement: these are exactly the points where the alignment
+    let the copies drift, ordered by when the drift first appeared.
+    """
+
+    reason: str  # "wide-gap" | "pair-budget"
+    desync: Tuple[Tuple[PairNode, str], ...] = ()
+    gap_lo: Optional[int] = None
+    gap_hi: Optional[int] = None
+
+    def render(self) -> str:
+        gap = "[%s, %s]" % (self.gap_lo, self.gap_hi)
+        return "%s: gap %s, %d desync node(s)" % (
+            self.reason,
+            gap,
+            len(self.desync),
+        )
+
+
+def refine_policy(
+    policy: AlignmentPolicy, cex: Optional[AbstractCex]
+) -> Optional[AlignmentPolicy]:
+    """Propose the next alignment from a failed round, or ``None`` when
+    the (finite, deterministic) proposal sequence is spent.
+
+    Round 1 abandons lockstep for the catch-up realignment — the big
+    qualitative move, justified whenever the counterexample shows any
+    desynchronization at all (and unconditionally on a pair-budget
+    blowup, which catch-up's near-diagonal exploration shrinks).  Later
+    rounds flip the catch-up direction at the first not-yet-flipped
+    desynchrony node of the latest counterexample.
+    """
+    if cex is None:
+        return None
+    if policy.mode == "lockstep":
+        return AlignmentPolicy.catchup(exceptions=policy.exceptions)
+    flipped = dict(policy.exceptions)
+    for node, decision in cex.desync:
+        if node in flipped or decision not in (LEFT, RIGHT):
+            continue
+        flipped[node] = RIGHT if decision == LEFT else LEFT
+        return AlignmentPolicy.catchup(
+            exceptions=tuple(sorted(flipped.items()))
+        )
+    return None

@@ -1,0 +1,268 @@
+"""The PDSC CEGAR loop: check, refine the alignment, re-check.
+
+``PDSC.verify`` alternates the scheduled fixpoint of
+:class:`~repro.pdsc.engine.PairFixpoint` with the policy-refinement
+step of :func:`~repro.pdsc.align.refine_policy`, under two budgets —
+a per-round pair-space cap and a total refinement count (plus an
+optional wall deadline over the whole loop).  Degradation is sound by
+construction: every alignment is a complete scheduling of the 2-copy
+product, so "verified" is trustworthy under *any* policy, and running
+out of refinements or pairs yields the three-valued ``"exhausted"``
+outcome — never a wrong verdict.
+
+Observability (docs/OBSERVABILITY.md): the loop is traced with
+``pdsc.verify`` / ``pdsc.round`` spans and feeds the process registry
+with round/refinement/outcome counters and a rounds-per-verification
+histogram, all zero-cost while ``REPRO_OBS`` is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.domains.base import Domain
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.pdsc.align import AlignmentPolicy, refine_policy
+from repro.pdsc.engine import PairFixpoint, RoundOutcome
+from repro.pdsc.pairing import PairSemantics
+from repro.util.errors import AnalysisError, ResourceExhausted
+
+ROUNDS_TOTAL = REGISTRY.counter(
+    "repro_pdsc_rounds_total",
+    "PDSC fixpoint rounds run, by the alignment mode they checked",
+    labelnames=("alignment",),
+)
+OUTCOMES_TOTAL = REGISTRY.counter(
+    "repro_pdsc_outcomes_total",
+    "PDSC verifications by three-valued outcome",
+    labelnames=("outcome",),
+)
+REFINEMENTS = REGISTRY.histogram(
+    "repro_pdsc_refinements",
+    "Alignment refinements spent per PDSC verification",
+)
+
+
+@dataclass
+class PDSCRound:
+    """One CEGAR round's record (for reports and the explain surface)."""
+
+    alignment: str
+    verified: bool
+    exhausted: bool
+    explored_pairs: int
+    note: str
+
+    def to_dict(self) -> dict:
+        return {
+            "alignment": self.alignment,
+            "verified": self.verified,
+            "exhausted": self.exhausted,
+            "explored_pairs": self.explored_pairs,
+            "note": self.note,
+        }
+
+
+@dataclass
+class PDSCResult:
+    """Outcome of one property-directed verification.
+
+    ``outcome`` is three-valued like the eager baseline's
+    (:class:`~repro.core.selfcomp.SelfCompositionResult`): ``verified``
+    and ``unverified`` are real answers — the last alignment's fixpoint
+    converged and answered the property — while ``exhausted`` means a
+    budget (pairs, refinements under a still-blowing-up product, wall
+    deadline) cut the search short: a precision data point, never a
+    crash and never a wrong verdict.
+    """
+
+    verified: bool
+    seconds: float
+    explored_pairs: int  # total across every round
+    rounds: List[PDSCRound] = field(default_factory=list)
+    note: str = ""
+    outcome: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.outcome:
+            self.outcome = "verified" if self.verified else "unverified"
+
+    @property
+    def refinements(self) -> int:
+        """Alignment refinements consumed (rounds beyond the first)."""
+        return max(0, len(self.rounds) - 1)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.outcome == "exhausted"
+
+    def to_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "verified": self.verified,
+            "refinements": self.refinements,
+            "explored_pairs": self.explored_pairs,
+            "note": self.note,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "pdsc: %s (%d round(s), %d pair(s), %.2fs)"
+            % (self.outcome.upper(), len(self.rounds), self.explored_pairs, self.seconds)
+        ]
+        for index, entry in enumerate(self.rounds):
+            lines.append(
+                "  round %d [%s]: %s (%d pairs)"
+                % (index, entry.alignment, entry.note, entry.explored_pairs)
+            )
+        if self.note:
+            lines.append("  " + self.note)
+        return "\n".join(lines)
+
+
+class PDSC:
+    """Property-directed self-composition over one procedure's CFG."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        domain: Domain,
+        epsilon: int = 32,
+        max_pairs: int = 4000,
+        max_refinements: int = 4,
+        deadline: Optional[float] = None,
+    ):
+        self._cfg = cfg
+        self._semantics = PairSemantics(cfg, domain)
+        self._epsilon = epsilon
+        self._max_pairs = max_pairs
+        self._max_refinements = max_refinements
+        self._deadline = deadline
+
+    def verify(self) -> PDSCResult:
+        """Run the CEGAR loop to a three-valued outcome.
+
+        Never raises on resource limits or unsupported pair semantics:
+        both degrade to ``outcome="exhausted"``.
+        """
+        started = time.perf_counter()
+        deadline_at = (
+            time.monotonic() + self._deadline if self._deadline is not None else None
+        )
+        policy = AlignmentPolicy.lockstep()
+        rounds: List[PDSCRound] = []
+        total_pairs = 0
+        with span("pdsc.verify", proc=self._cfg.name, epsilon=self._epsilon) as root:
+            try:
+                while True:
+                    with span(
+                        "pdsc.round",
+                        round=len(rounds),
+                        alignment=policy.describe(),
+                    ) as round_span:
+                        outcome = PairFixpoint(
+                            self._semantics,
+                            policy,
+                            epsilon=self._epsilon,
+                            max_pairs=self._max_pairs,
+                            deadline_at=deadline_at,
+                        ).run()
+                        round_span.annotate(
+                            verified=outcome.verified,
+                            pairs=outcome.explored_pairs,
+                        )
+                    ROUNDS_TOTAL.labels(alignment=policy.mode).inc()
+                    total_pairs += outcome.explored_pairs
+                    rounds.append(
+                        PDSCRound(
+                            alignment=policy.describe(),
+                            verified=outcome.verified,
+                            exhausted=outcome.exhausted,
+                            explored_pairs=outcome.explored_pairs,
+                            note=outcome.note,
+                        )
+                    )
+                    if outcome.verified:
+                        return self._finish(
+                            root, started, rounds, total_pairs, outcome, "verified"
+                        )
+                    if deadline_at is not None and time.monotonic() > deadline_at:
+                        return self._finish(
+                            root,
+                            started,
+                            rounds,
+                            total_pairs,
+                            outcome,
+                            "exhausted",
+                            note="wall deadline reached after %d round(s)"
+                            % len(rounds),
+                        )
+                    if len(rounds) > self._max_refinements:
+                        return self._finish(
+                            root,
+                            started,
+                            rounds,
+                            total_pairs,
+                            outcome,
+                            "exhausted" if outcome.exhausted else "unverified",
+                            note="refinement budget (%d) spent"
+                            % self._max_refinements,
+                        )
+                    proposal = refine_policy(policy, outcome.cex)
+                    if proposal is None:
+                        return self._finish(
+                            root,
+                            started,
+                            rounds,
+                            total_pairs,
+                            outcome,
+                            "exhausted" if outcome.exhausted else "unverified",
+                            note="no further alignment to try",
+                        )
+                    policy = proposal
+            except (AnalysisError, ResourceExhausted) as exc:
+                result = PDSCResult(
+                    verified=False,
+                    seconds=time.perf_counter() - started,
+                    explored_pairs=total_pairs,
+                    rounds=rounds,
+                    note="pair semantics gave up: %s" % exc,
+                    outcome="exhausted",
+                )
+                self._observe(root, result)
+                return result
+
+    def _finish(
+        self,
+        root,
+        started: float,
+        rounds: List[PDSCRound],
+        total_pairs: int,
+        outcome: RoundOutcome,
+        verdict: str,
+        note: str = "",
+    ) -> PDSCResult:
+        result = PDSCResult(
+            verified=verdict == "verified",
+            seconds=time.perf_counter() - started,
+            explored_pairs=total_pairs,
+            rounds=rounds,
+            note=note or outcome.note,
+            outcome=verdict,
+        )
+        self._observe(root, result)
+        return result
+
+    def _observe(self, root, result: PDSCResult) -> None:
+        OUTCOMES_TOTAL.labels(outcome=result.outcome).inc()
+        REFINEMENTS.observe(result.refinements)
+        root.annotate(
+            outcome=result.outcome,
+            rounds=len(result.rounds),
+            pairs=result.explored_pairs,
+        )

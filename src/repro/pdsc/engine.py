@@ -1,0 +1,189 @@
+"""One scheduled pair-space fixpoint round.
+
+The engine is the ``CHECK`` half of the PDSC loop: given an alignment
+policy it runs a worklist fixpoint over the scheduled 2-copy product —
+pair nodes, joint abstract states, widening after repeated visits —
+and checks the timing-difference property ``|cost1 - cost2| <= ε`` at
+the paired exit.  A round ends one of three ways:
+
+* **verified** — the exit invariant bounds the gap within ε;
+* **failed with a counterexample** — the fixpoint converged but the
+  exit gap is too wide; the round reports the desynchronized pair
+  nodes it visited (first-visit order) as the abstract counterexample
+  the refinement step realigns on;
+* **exhausted** — the pair budget or the wall deadline tripped; also a
+  counterexample (the visited desync frontier), because a blown-up
+  pair space is itself evidence of a bad alignment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.domains.base import AbstractState
+from repro.pdsc.align import BOTH, LEFT, AbstractCex, AlignmentPolicy, block_ranks
+from repro.pdsc.pairing import PairNode, PairSemantics
+
+# Widening threshold: joins tolerated per pair node before widening —
+# same discipline as the eager baseline, so precision comparisons
+# between the two compare alignments, not fixpoint knobs.
+WIDEN_AFTER = 3
+
+# Desync nodes remembered per round; the refinement only ever consumes
+# a prefix, so an unbounded trace would be waste.
+DESYNC_LIMIT = 64
+
+# Deadline checks are amortized over this many worklist pops.
+DEADLINE_STRIDE = 64
+
+
+@dataclass
+class RoundOutcome:
+    """What one fixpoint round established."""
+
+    verified: bool
+    exhausted: bool
+    explored_pairs: int
+    note: str
+    gap_lo: Optional[int] = None
+    gap_hi: Optional[int] = None
+    cex: Optional[AbstractCex] = None
+
+
+class PairFixpoint:
+    """Worklist fixpoint over the policy-scheduled pair product."""
+
+    def __init__(
+        self,
+        semantics: PairSemantics,
+        policy: AlignmentPolicy,
+        epsilon: int,
+        max_pairs: int,
+        deadline_at: Optional[float] = None,
+    ):
+        self._sem = semantics
+        self._policy = policy
+        self._epsilon = epsilon
+        self._max_pairs = max_pairs
+        self._deadline_at = deadline_at
+        self._ranks = block_ranks(semantics.cfg)
+
+    def run(self) -> RoundOutcome:
+        sem = self._sem
+        cfg = sem.cfg
+        policy = self._policy
+        exit_id = cfg.exit_id
+        invariants: Dict[PairNode, AbstractState] = {
+            sem.entry_node: sem.entry_state()
+        }
+        worklist: List[PairNode] = [sem.entry_node]
+        queued = {sem.entry_node}
+        visits: Dict[PairNode, int] = {}
+        desync: List[Tuple[PairNode, str]] = []
+        seen_desync = set()
+        explored = 0
+        while worklist:
+            node = worklist.pop(0)
+            queued.discard(node)
+            explored += 1
+            if explored > self._max_pairs:
+                return self._exhausted(
+                    explored,
+                    "pair state space exceeded %d nodes" % self._max_pairs,
+                    desync,
+                )
+            if (
+                self._deadline_at is not None
+                and explored % DEADLINE_STRIDE == 0
+                and time.monotonic() > self._deadline_at
+            ):
+                return self._exhausted(explored, "wall deadline", desync)
+            state = invariants[node]
+            if state.is_bottom():
+                continue
+            decision = policy.decide(node, self._ranks, exit_id)
+            if (
+                node[0] != node[1]
+                and node not in seen_desync
+                and len(desync) < DESYNC_LIMIT
+            ):
+                seen_desync.add(node)
+                desync.append((node, decision))
+            for succ, out_state in self._successors(node, state, decision):
+                old = invariants.get(succ, sem.domain.bottom())
+                if out_state.leq(old):
+                    continue
+                joined = old.join(out_state)
+                visits[succ] = visits.get(succ, 0) + 1
+                if visits[succ] > WIDEN_AFTER:
+                    joined = old.widen(joined)
+                invariants[succ] = joined
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+
+        state = invariants.get(sem.exit_node)
+        if state is None or state.is_bottom():
+            # No common exit reached: vacuously fine (or a modeling gap).
+            return RoundOutcome(
+                verified=True,
+                exhausted=False,
+                explored_pairs=explored,
+                note="exit unreachable",
+            )
+        lo, hi = sem.gap_bounds(state)
+        ok = (
+            lo is not None
+            and hi is not None
+            and -self._epsilon <= lo
+            and hi <= self._epsilon
+        )
+        note = "cost gap in [%s, %s]" % (lo, hi)
+        cex = None
+        if not ok:
+            cex = AbstractCex(
+                reason="wide-gap",
+                desync=tuple(desync),
+                gap_lo=lo if isinstance(lo, int) else None,
+                gap_hi=hi if isinstance(hi, int) else None,
+            )
+        return RoundOutcome(
+            verified=ok,
+            exhausted=False,
+            explored_pairs=explored,
+            note=note,
+            gap_lo=lo if isinstance(lo, int) else None,
+            gap_hi=hi if isinstance(hi, int) else None,
+            cex=cex,
+        )
+
+    def _successors(
+        self, node: PairNode, state: AbstractState, decision: str
+    ) -> List[Tuple[PairNode, AbstractState]]:
+        sem = self._sem
+        b1, b2 = node
+        if b1 == sem.cfg.exit_id and b2 == sem.cfg.exit_id:
+            return []
+        if decision == BOTH:
+            return sem.step_both(node, state)
+        if decision == LEFT:
+            return [
+                ((succ, b2), out) for succ, out in sem.step_copy(b1, state, False)
+            ]
+        return [((b1, succ), out) for succ, out in sem.step_copy(b2, state, True)]
+
+    def _exhausted(
+        self,
+        explored: int,
+        note: str,
+        desync: List[Tuple[PairNode, str]],
+    ) -> RoundOutcome:
+        return RoundOutcome(
+            verified=False,
+            exhausted=True,
+            explored_pairs=explored,
+            note=note,
+            cex=AbstractCex(reason="pair-budget", desync=tuple(desync)),
+        )

@@ -62,7 +62,7 @@ from repro.service.daemon import (
     VERDICTS_FILE,
     ServiceStats,
 )
-from repro.service.jobs import SETTLED_RETENTION, fingerprint_job
+from repro.service.jobs import SETTLED_RETENTION, fingerprint_job, intake_payload
 from repro.service.shard import Shard, ShardManager
 from repro.service.store import ResultStore
 from repro.util.errors import ProtocolError, ReproError, WorkerCrashed
@@ -537,14 +537,7 @@ class AsyncAnalysisDaemon:
             return protocol.overloaded_response(
                 "submit", retry_after, pending=len(self._active)
             )
-        payload = {
-            k: message[k] for k in ("source", "proc") if message.get(k) is not None
-        }
-        from repro.core.blazer import JOB_FIELDS
-
-        for knob in JOB_FIELDS:
-            if knob not in payload and message.get(knob) is not None:
-                payload[knob] = message[knob]
+        payload = intake_payload(message)
         key, proc = await self._fingerprint(payload)
         payload["proc"] = proc
         self.stats.bump("submitted")

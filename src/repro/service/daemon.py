@@ -52,7 +52,7 @@ from repro.perf.parallel import collect_outcome, process_pool_usable, resolve_jo
 from repro.perf.pool import warm_executor
 from repro.resilience.retry import RetryPolicy, run_with_retries
 from repro.service import protocol
-from repro.service.jobs import Job, JobQueue, fingerprint_job
+from repro.service.jobs import Job, JobQueue, fingerprint_job, intake_payload
 from repro.service.store import ResultStore
 from repro.service.worker import execute_job
 from repro.util.errors import ProtocolError, ReproError
@@ -481,14 +481,7 @@ class AnalysisDaemon:
             return protocol.overloaded_response(
                 "submit", 1.0, reason="draining", draining=True
             )
-        payload = {
-            k: message[k] for k in ("source", "proc") if message.get(k) is not None
-        }
-        from repro.core.blazer import JOB_FIELDS
-
-        for knob in JOB_FIELDS:
-            if knob not in payload and message.get(knob) is not None:
-                payload[knob] = message[knob]
+        payload = intake_payload(message)
         key, proc = fingerprint_job(payload)  # validates; raises ReproError
         payload["proc"] = proc  # normalized for display and fault matching
         self.stats.bump("submitted")

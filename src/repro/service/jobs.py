@@ -37,7 +37,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Deque, List, Optional, Tuple
 
 from repro.core.blazer import JOB_FIELDS, resolve_proc
+from repro.core.pdsc import PDSC_JOB_FIELDS
 from repro.util.errors import ReproError
+
+# kind → the payload fields that participate in its fingerprint.  The
+# implicit default kind "analyze" (Blazer) predates the discriminator,
+# so its knob set stays exactly JOB_FIELDS and its fingerprints are
+# unchanged; other kinds additionally hash the kind itself, so a pdsc
+# request never coalesces with a Blazer request over the same program.
+KIND_FIELDS = {
+    "analyze": JOB_FIELDS,
+    "pdsc": PDSC_JOB_FIELDS,
+}
 
 # Job lifecycle: queued → running → done | failed.
 STATES = ("queued", "running", "done", "failed")
@@ -52,6 +63,27 @@ SETTLED_RETENTION = 512
 def job_key(payload: Dict[str, Any]) -> str:
     """The content fingerprint identical submissions share."""
     return fingerprint_job(payload)[0]
+
+
+def intake_payload(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy the job-defining fields of a wire ``submit`` message into a
+    fresh payload: ``source``/``proc``/``kind`` plus the knob set of
+    the declared kind.  This is the single definition both front ends
+    (sync daemon and asyncio tier) use, so a ``kind: "pdsc"`` request
+    keeps its kind-specific knobs (``epsilon``, ...) on the way in.
+    Unknown kinds keep only the core fields and are rejected with the
+    canonical error by :func:`fingerprint_job`.
+    """
+    payload = {
+        k: message[k]
+        for k in ("source", "proc", "kind")
+        if message.get(k) is not None
+    }
+    kind = str(message.get("kind") or "analyze")
+    for knob in KIND_FIELDS.get(kind, ()):
+        if knob not in payload and message.get(knob) is not None:
+            payload[knob] = message[knob]
+    return payload
 
 
 def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
@@ -72,6 +104,13 @@ def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
     source = payload.get("source")
     if not isinstance(source, str) or not source.strip():
         raise ReproError("job payload needs a non-empty 'source'")
+    kind = str(payload.get("kind") or "analyze")
+    fields = KIND_FIELDS.get(kind)
+    if fields is None:
+        raise ReproError(
+            "unknown job kind %r (available: %s)"
+            % (kind, ", ".join(sorted(KIND_FIELDS)))
+        )
     module = compile_program(frontend(source))
     verify_module(module)
     cfgs = lift_module(module)
@@ -83,9 +122,11 @@ def fingerprint_job(payload: Dict[str, Any]) -> Tuple[str, str]:
     h.update(module_fingerprint(cfgs, proc).encode("ascii"))
     knobs = {
         k: payload.get(k)
-        for k in JOB_FIELDS
-        if k not in ("source", "proc") and payload.get(k) is not None
+        for k in fields
+        if k not in ("source", "proc", "kind") and payload.get(k) is not None
     }
+    if kind != "analyze":
+        knobs["kind"] = kind
     h.update(json.dumps(knobs, sort_keys=True, separators=(",", ":")).encode("utf-8"))
     return h.hexdigest(), proc
 

@@ -4,7 +4,15 @@ Module-level and picklable on purpose — under ``isolation="process"``
 the daemon ships ``execute_job`` to a pool worker by name, exactly like
 :func:`repro.benchsuite.runner.run_benchmark`.  The heavy objects
 (driver, partition tree) never cross back: the return value is the
-JSON-safe result dict of :func:`repro.core.blazer.analyze_job`.
+JSON-safe result dict of the kind's job function.
+
+Payloads carry a ``kind`` discriminator: ``"analyze"`` (the default
+when absent — every pre-kind client keeps working) runs Blazer's
+decomposition via :func:`repro.core.blazer.analyze_job`; ``"pdsc"``
+runs the property-directed self-composition checker via
+:func:`repro.core.pdsc.pdsc_job`.  Unknown kinds fail the job — but
+submissions are validated earlier, at fingerprint time, so a bad kind
+normally fails its sender instead of a worker.
 
 The entry fires the ``worker.run`` fault site (keyed by the job's
 procedure name, falling back to the request key), so the deterministic
@@ -17,7 +25,16 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.core.blazer import analyze_job
+from repro.core.pdsc import pdsc_job
 from repro.resilience import faults
+from repro.util.errors import AnalysisError
+
+# kind → job body.  "analyze" is the implicit default for payloads
+# predating the discriminator.
+JOB_KINDS = {
+    "analyze": analyze_job,
+    "pdsc": pdsc_job,
+}
 
 
 def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -25,4 +42,11 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     faults.maybe_fire(
         "worker.run", key=str(payload.get("proc") or payload.get("key") or "")
     )
-    return analyze_job(payload)
+    kind = str(payload.get("kind") or "analyze")
+    run = JOB_KINDS.get(kind)
+    if run is None:
+        raise AnalysisError(
+            "unknown job kind %r (available: %s)"
+            % (kind, ", ".join(sorted(JOB_KINDS)))
+        )
+    return run(payload)

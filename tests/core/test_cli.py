@@ -108,3 +108,49 @@ class TestOtherCommands:
     def test_missing_file_reported(self, capsys):
         assert main(["analyze", "/nonexistent/nope.rp"]) == 1
         assert "error" in capsys.readouterr().err
+
+class TestPdsc:
+    def test_safe_exit_zero(self, safe_file, capsys):
+        assert main(["pdsc", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "pdsc: VERIFIED" in out
+        assert "lockstep" in out
+
+    def test_leaky_exit_unknown(self, leaky_file, capsys):
+        # The low-loop-under-secret-guard program: a real channel, so
+        # the lockstep CEGAR loop must end unverified (exit 3), never 0.
+        code = main(["pdsc", leaky_file, "--epsilon", "8"])
+        assert code == 3
+        assert "UNVERIFIED" in capsys.readouterr().out
+
+    def test_json_output_is_digest_stable(self, safe_file, capsys):
+        assert main(["pdsc", safe_file, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["pdsc", safe_file, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["outcome"] == "verified"
+        assert first["digest"]
+
+    def test_exhaustion_exit_degraded(self, safe_file, capsys):
+        code = main(
+            ["pdsc", safe_file, "--max-pairs", "2", "--max-refinements", "0"]
+        )
+        assert code == 4
+        assert "EXHAUSTED" in capsys.readouterr().out
+
+
+class TestDiffcheckSubjects:
+    def test_subject_subset_runs_clean(self, capsys):
+        code = main(
+            ["diffcheck", "--seed", "3", "--count", "2", "--jobs", "1",
+             "--no-shrink", "--subjects", "blazer,pdsc"]
+        )
+        assert code in (0, 4)
+        assert "programs=2" in capsys.readouterr().out
+
+    def test_unknown_subject_rejected(self, capsys):
+        assert (
+            main(["diffcheck", "--count", "1", "--subjects", "blazer,typo"]) == 1
+        )
+        assert "unknown subject" in capsys.readouterr().err

@@ -17,8 +17,10 @@ from repro.diffcheck.differ import DiffConfig
 pytestmark = pytest.mark.diffcheck
 
 # Small but non-trivial: enough programs that the sample includes leaky
-# and safe ones, cheap enough for the default suite.
-SMALL = CampaignConfig(seed=1, count=6, shrink=False)
+# and safe ones, cheap enough for the default suite.  The trimmed pair
+# budget keeps the pair-analysis subjects fast; every assertion here is
+# about report shape and byte-identity, which budgets don't touch.
+SMALL = CampaignConfig(seed=1, count=6, diff=DiffConfig(max_pairs=600), shrink=False)
 
 
 def test_serial_and_parallel_reports_are_byte_identical():
@@ -39,6 +41,7 @@ def test_report_shape_and_exit_code_clean():
         "count": 6,
         "threshold": 24,
         "domain": "zone",
+        "subjects": ["blazer", "selfcomp", "consttime", "pdsc"],
     }
     assert record["summary"]["programs"] == 6
     assert len(record["programs"]) == 6
@@ -47,6 +50,24 @@ def test_report_shape_and_exit_code_clean():
     ]
     assert report.exit_code in (0, 4)  # never 1: the engine is sound here
     assert not report.soundness_bugs
+
+
+def test_subject_subset_reports_are_byte_identical_at_any_jobs():
+    config = CampaignConfig(
+        seed=1,
+        count=4,
+        diff=DiffConfig(subjects=("blazer", "pdsc")),
+        shrink=False,
+    )
+    serial = run_campaign(config, jobs=1)
+    parallel = run_campaign(config, jobs=4)
+    assert serial.to_json() == parallel.to_json()
+    record = serial.to_dict()
+    assert record["campaign"]["subjects"] == ["blazer", "pdsc"]
+    for program in record["programs"]:
+        assert program["selfcomp"] == "skipped"
+        assert program["constant_time"] is None
+        assert program["pdsc"] != "skipped"
 
 
 def test_resume_from_journal_is_byte_identical(tmp_path):
@@ -61,7 +82,7 @@ def test_broken_engine_campaign_exits_fatal(tmp_path):
     config = CampaignConfig(
         seed=1,
         count=6,
-        diff=DiffConfig(break_engine="narrow"),
+        diff=DiffConfig(break_engine="narrow", max_pairs=600),
         shrink=False,
     )
     report = run_campaign(config, jobs=1)

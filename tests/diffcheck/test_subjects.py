@@ -1,0 +1,110 @@
+"""Subject selection, the pdsc column, and the ``exhausted`` taxonomy."""
+
+import pytest
+
+from repro.diffcheck.differ import (
+    FATAL_KIND,
+    SKIPPED,
+    SUBJECTS,
+    DiffConfig,
+    check_source,
+    parse_subjects,
+)
+from repro.util.errors import AnalysisError
+
+pytestmark = pytest.mark.diffcheck
+
+SAFE_LOOP = """
+proc main(public l: uint, secret h: int): int {
+    var i: int = 0;
+    while (i < l) { i = i + 1; }
+    return i + h - h;
+}
+"""
+
+LEAKY = """
+proc main(public l: uint, secret h: int): int {
+    var acc: int = 0;
+    if (h > 0) {
+        var i: int = 0;
+        while (i < 30) { acc = acc + i; i = i + 1; }
+    }
+    return acc + l;
+}
+"""
+
+DOMAINS = {"l": (0, 1, 2), "h": (-1, 0, 1, 2)}
+
+
+def test_parse_subjects_is_order_insensitive_and_canonical():
+    assert parse_subjects("pdsc,blazer") == ("blazer", "pdsc")
+    assert parse_subjects("blazer, pdsc, blazer") == ("blazer", "pdsc")
+    assert parse_subjects("blazer,selfcomp,consttime,pdsc") == SUBJECTS
+
+
+def test_parse_subjects_rejects_unknown_and_empty():
+    with pytest.raises(AnalysisError):
+        parse_subjects("blazer,typo")
+    with pytest.raises(AnalysisError):
+        parse_subjects(" , ")
+
+
+def test_all_four_subjects_report_by_default():
+    report = check_source(LEAKY, DOMAINS, DiffConfig(threshold=24), name="p")
+    assert report.blazer_status != SKIPPED
+    assert report.selfcomp_outcome != SKIPPED
+    assert report.pdsc_outcome != SKIPPED
+    assert report.constant_time is not None
+    assert set(report.subject_seconds) == set(SUBJECTS)
+
+
+def test_skipped_subjects_report_skipped_and_stay_silent():
+    config = DiffConfig(threshold=24, subjects=("blazer",))
+    report = check_source(LEAKY, DOMAINS, config, name="p")
+    assert report.selfcomp_outcome == SKIPPED
+    assert report.pdsc_outcome == SKIPPED
+    assert report.constant_time is None
+    assert set(report.subject_seconds) == {"blazer"}
+    assert all(d.engine == "blazer" for d in report.disagreements)
+    record = report.to_dict()
+    assert record["pdsc"] == SKIPPED and record["constant_time"] is None
+
+
+def test_subset_report_is_independent_of_the_other_subjects():
+    # The blazer column of a blazer-only run must equal the blazer
+    # column of a full run: subjects are independent by construction.
+    full = check_source(LEAKY, DOMAINS, DiffConfig(threshold=24), name="p")
+    solo = check_source(
+        LEAKY, DOMAINS, DiffConfig(threshold=24, subjects=("blazer",)), name="p"
+    )
+    assert solo.blazer_status == full.blazer_status
+    assert solo.oracle.to_dict() == full.oracle.to_dict()
+
+
+def test_pdsc_exhaustion_on_safe_program_is_exhausted_not_precision():
+    # A starved pair budget on a genuinely safe program: the engines gave
+    # up, they were not out-reasoned — the taxonomy must say so.
+    config = DiffConfig(threshold=24, max_pairs=2)
+    report = check_source(SAFE_LOOP, DOMAINS, config, name="starved")
+    assert not report.oracle.leaky
+    assert report.pdsc_outcome == "exhausted"
+    kinds = {(d.kind, d.engine) for d in report.disagreements}
+    assert ("exhausted", "pdsc") in kinds
+    assert ("precision_gap", "pdsc") not in kinds
+    assert not report.fatal
+
+
+def test_pdsc_proves_the_safe_loop_the_baseline_cannot():
+    report = check_source(SAFE_LOOP, DOMAINS, DiffConfig(threshold=24), name="p")
+    assert report.pdsc_outcome == "verified"
+    assert report.selfcomp_outcome == "unverified"  # the widening ablation
+    assert not any(d.engine == "pdsc" for d in report.disagreements)
+
+
+def test_sabotaged_pdsc_is_caught_as_soundness_bug():
+    config = DiffConfig(threshold=24, break_engine="pdsc-verify")
+    report = check_source(LEAKY, DOMAINS, config, name="sabotaged")
+    assert report.pdsc_outcome == "verified"  # the sabotage "works"...
+    assert report.fatal  # ...and the oracle refutes it
+    kinds = {(d.kind, d.engine) for d in report.disagreements}
+    assert (FATAL_KIND, "pdsc") in kinds

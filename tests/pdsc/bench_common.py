@@ -1,0 +1,40 @@
+"""Shared PDSC runs over the Table-1 suite, memoized across test files."""
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.core.pdsc import verify_source
+
+# The modPow2 pair spends ~15 s each in the pair fixpoint; the rest of
+# the suite finishes in a couple of seconds total.  Same pragmatic split
+# as tests/diffcheck/test_bounds_soundness.py.
+SLOW = ("modPow2_safe", "modPow2_unsafe")
+FAST = [b for b in ALL_BENCHMARKS if b.name not in SLOW]
+
+# The half of Table 1 the lockstep product proves outright at the
+# micro-observer slack (epsilon=32, zone).  The harder safe rows need
+# the path-sensitive decomposition (trail partitioning) that PDSC
+# deliberately does without — see docs/PDSC.md.
+EASY_SAFE = frozenset(
+    {
+        "loopBranch_safe",
+        "nosecret_safe",
+        "sanity_safe",
+        "straightline_safe",
+        "unixlogin_safe",
+    }
+)
+
+_RESULTS = {}
+
+
+def pdsc_result(bench):
+    if bench.name not in _RESULTS:
+        _, result = verify_source(
+            bench.source,
+            proc=bench.proc,
+            epsilon=32,
+            max_pairs=4000,
+            max_refinements=3,
+            deadline=30.0,
+        )
+        _RESULTS[bench.name] = result
+    return _RESULTS[bench.name]

@@ -1,0 +1,83 @@
+"""Alignment policies: scheduling decisions and refinement proposals."""
+
+from repro.pdsc.align import (
+    BOTH,
+    LEFT,
+    RIGHT,
+    AbstractCex,
+    AlignmentPolicy,
+    block_ranks,
+    refine_policy,
+)
+from tests.helpers import COUNT_LOOP, compile_one
+
+CFG = compile_one(COUNT_LOOP, "count")
+RANKS = block_ranks(CFG)
+EXIT = CFG.exit_id
+
+
+def some_node():
+    """A desynchronized non-exit pair node of the loop CFG."""
+    blocks = [b for b in CFG.block_ids() if b != EXIT]
+    return (blocks[0], blocks[1])
+
+
+def test_lockstep_always_advances_both_copies():
+    policy = AlignmentPolicy.lockstep()
+    for b1 in CFG.block_ids():
+        for b2 in CFG.block_ids():
+            if b1 == EXIT or b2 == EXIT:
+                continue
+            assert policy.decide((b1, b2), RANKS, EXIT) == BOTH
+
+
+def test_exit_overrides_guarantee_progress_for_any_policy():
+    # The progress half of the any-policy-is-sound argument: a finished
+    # copy always yields, whatever the mode or exceptions say.
+    node = some_node()
+    policies = [
+        AlignmentPolicy.lockstep(),
+        AlignmentPolicy.catchup(),
+        AlignmentPolicy.catchup(exceptions=(((EXIT, node[1]), LEFT),)),
+    ]
+    for policy in policies:
+        assert policy.decide((EXIT, node[1]), RANKS, EXIT) == RIGHT
+        assert policy.decide((node[0], EXIT), RANKS, EXIT) == LEFT
+
+
+def test_catchup_advances_the_smaller_rank():
+    policy = AlignmentPolicy.catchup()
+    b1, b2 = some_node()
+    expected = LEFT if RANKS[b1] < RANKS[b2] else RIGHT
+    assert policy.decide((b1, b2), RANKS, EXIT) == expected
+    # Symmetric node flips the direction.
+    assert policy.decide((b2, b1), RANKS, EXIT) != expected
+    # Synchronized pairs go together even in catchup mode.
+    assert policy.decide((b1, b1), RANKS, EXIT) == BOTH
+
+
+def test_refinement_sequence_lockstep_catchup_flips_then_spent():
+    node = some_node()
+    cex = AbstractCex(reason="wide-gap", desync=((node, LEFT),))
+    first = refine_policy(AlignmentPolicy.lockstep(), cex)
+    assert first is not None and first.mode == "catchup" and not first.exceptions
+
+    second = refine_policy(first, cex)
+    assert second is not None
+    assert dict(second.exceptions)[node] == RIGHT
+    assert second.decide(node, RANKS, EXIT) == RIGHT
+
+    # The same counterexample again: the only desync node is already
+    # flipped, so the proposal sequence is spent.
+    assert refine_policy(second, cex) is None
+
+
+def test_no_counterexample_means_no_proposal():
+    assert refine_policy(AlignmentPolicy.lockstep(), None) is None
+
+
+def test_policies_are_deterministic_values():
+    a = AlignmentPolicy.catchup(exceptions=((some_node(), LEFT),))
+    b = AlignmentPolicy.catchup(exceptions=((some_node(), LEFT),))
+    assert a == b
+    assert a.describe() == b.describe() == "catchup+1 flip(s)"

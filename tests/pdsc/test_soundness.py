@@ -1,0 +1,55 @@
+"""PDSC verdicts replayed against the concrete timing oracle.
+
+The soundness contract, checked end to end: whenever PDSC says
+"verified" at slack epsilon, every pair of low-equivalent concrete
+executions the interpreter can produce differs in cost by at most
+epsilon.  The converse direction is deliberately not asserted —
+"unverified" with a small empirical gap is the precision story, not a
+bug — except that an *empirically wide* channel must never verify.
+"""
+
+import pytest
+
+from repro.bytecode import compile_program, verify_module
+from repro.core.witness import max_gap_per_low, run_all
+from repro.interp import Interpreter
+from repro.ir import lift_module
+from repro.lang import frontend
+from tests.pdsc.bench_common import FAST, pdsc_result
+
+pytestmark = pytest.mark.diffcheck
+
+EPSILON = 32  # matches bench_common's PDSC runs
+
+
+def observed_gap(bench):
+    module = compile_program(frontend(bench.source))
+    verify_module(module)
+    cfgs = lift_module(module)
+    cfg = cfgs[bench.proc]
+    traces = run_all(
+        Interpreter(cfgs), cfg, overrides=bench.witness_space, limit=256
+    )
+    assert traces, "no concrete traces for %s" % bench.name
+    return max_gap_per_low(traces)
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_verified_means_no_oracle_gap_beyond_epsilon(bench):
+    result = pdsc_result(bench)
+    if not result.verified:
+        pytest.skip("nothing claimed for %s" % bench.name)
+    gap = observed_gap(bench)
+    assert gap <= EPSILON, (
+        "SOUNDNESS BUG: PDSC verified %s at epsilon=%d but the oracle "
+        "exhibits a low-equivalent gap of %d" % (bench.name, EPSILON, gap)
+    )
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_wide_empirical_channels_never_verify(bench):
+    if bench.is_safe:
+        pytest.skip("safe row")
+    if observed_gap(bench) <= EPSILON:
+        pytest.skip("channel below slack in the enumerated space")
+    assert not pdsc_result(bench).verified

@@ -1,0 +1,48 @@
+"""PDSC over Table 1: proves the easy safe half, never blesses an attack.
+
+The registry's ``expect`` field is the paper's ground truth.  PDSC is a
+whole-program prover, so on attack rows the only acceptable outcomes
+are "unverified" and "exhausted"; on safe rows it proves exactly the
+rows whose timing is alignable without trail decomposition (EASY_SAFE).
+The harder safe rows staying unproven is the precision gap that
+motivates the paper's decomposition — recorded here so a regression in
+either direction (a lost proof or a too-strong one) fails loudly.
+"""
+
+import pytest
+
+from tests.pdsc.bench_common import EASY_SAFE, FAST, pdsc_result
+
+pytestmark = pytest.mark.diffcheck
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_attack_rows_are_never_verified(bench):
+    if bench.is_safe:
+        pytest.skip("safe row")
+    result = pdsc_result(bench)
+    assert not result.verified, "%s is a real channel" % bench.name
+    assert result.outcome in ("unverified", "exhausted")
+
+
+@pytest.mark.parametrize("bench", FAST, ids=lambda b: b.name)
+def test_safe_rows_split_on_alignability(bench):
+    if not bench.is_safe:
+        pytest.skip("attack row")
+    result = pdsc_result(bench)
+    if bench.name in EASY_SAFE:
+        assert result.verified, "lost the lockstep proof of %s" % bench.name
+        assert result.refinements == 0
+    else:
+        assert not result.verified, (
+            "%s should need trail decomposition; a PDSC proof means the "
+            "pair semantics got stronger — update EASY_SAFE deliberately"
+            % bench.name
+        )
+
+
+def test_every_run_terminated_within_budget():
+    for bench in FAST:
+        result = pdsc_result(bench)
+        assert result.outcome in ("verified", "unverified", "exhausted")
+        assert result.rounds, "%s recorded no rounds" % bench.name
