@@ -3,9 +3,9 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke pdsc-smoke perf-smoke bench-service bench-diffcheck table1
+.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke bench-service bench-diffcheck bench-leakage table1
 
-test: diffcheck-smoke pdsc-smoke perf-smoke smoke-service-load
+test: diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke smoke-service-load
 	$(PYTHON) -m pytest -q
 
 # Differential fuzz smoke: 500 generated programs cross-checked against
@@ -36,6 +36,22 @@ pdsc-smoke:
 # clock) and gates on soundness + agreement-rate regressions.
 bench-diffcheck:
 	$(PYTHON) benchmarks/bench_diffcheck.py
+
+# Quantitative-leakage smoke (docs/LEAKAGE.md): the 8-kernel crypto
+# corpus verdict matrix under both cost models, plus 200 generated
+# programs (a quarter bearing priced extern calls) whose analysis
+# bits-bound is cross-checked against the oracle's *exact* leakage.
+# Zero under-reports and a full corpus match or the gate fails.
+# Well under 60 s on one core.
+leakage-smoke:
+	$(PYTHON) benchmarks/bench_leakage.py --quick
+
+# The full leakage bench: regenerates BENCH_leakage.json — bits-leaked
+# bounds for every unsafe Table-1 row, the corpus matrix, and a
+# 500-program oracle sweep — gated on soundness, corpus, coverage, and
+# cell-count regressions against the committed report.
+bench-leakage:
+	$(PYTHON) benchmarks/bench_leakage.py
 
 # Perf gate (docs/PERFORMANCE.md): the MicroBench group serial (perf
 # off) and warm-pool parallel (perf on); asserts total speedup >= 1.0

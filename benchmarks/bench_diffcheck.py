@@ -1,8 +1,9 @@
-"""Differential-campaign bench: the 4-way agreement matrix at scale.
+"""Differential-campaign bench: the full agreement matrix at scale.
 
-Runs a seeded ``repro diffcheck`` campaign with all four subjects
-(Blazer, eager self-composition, the constant-time checker, PDSC),
-then publishes the machine-readable ``BENCH_diffcheck.json``:
+Runs a seeded ``repro diffcheck`` campaign with every registered
+subject (Blazer, eager self-composition, the constant-time checker,
+PDSC, and the quantitative leakage analysis), then publishes the
+machine-readable ``BENCH_diffcheck.json``:
 
 * the **agreement matrix** — for every subject pair (oracle included),
   the fraction of programs on which both made the same safe/not-safe
@@ -68,6 +69,14 @@ def _safe_bit(outcome, subject: str) -> Optional[bool]:
         return outcome.constant_time
     if subject == "pdsc":
         return outcome.pdsc == "verified" if outcome.pdsc else None
+    if subject == "leakage":
+        # "Safe" in the binary sense = a sound claim of one timing
+        # class (zero bits); unknown claims nothing and is excluded.
+        if not outcome.leakage or outcome.leakage == "skipped":
+            return None
+        if outcome.leakage_cells is None:
+            return None
+        return outcome.leakage_cells <= 1
     raise ValueError(subject)
 
 

@@ -1,0 +1,311 @@
+"""Leakage bench: bits-leaked on the unsafe Table-1 rows + the crypto
+constant-time corpus, gated on soundness.
+
+Publishes the machine-readable ``BENCH_leakage.json``:
+
+* **table1** — for every *unsafe* Table-1 row, the quantitative
+  leakage report at the row's own observer slack: timing classes,
+  distinguishable cells, and the bits-leaked upper bound (min-entropy
+  = channel capacity for the deterministic channel).  Every unsafe row
+  must get a bits figure or an honest ``unknown`` — silence is not an
+  option;
+* **corpus** — the 8-kernel crypto corpus verdict matrix under both
+  the instruction-count and the cache-aware cost model, against the
+  expected matrix of :mod:`repro.leakage.corpus`;
+* **sweep** — a seeded generated-program campaign cross-checking the
+  analysis bound against the exhaustive oracle's *exact* leakage.
+
+Gates (exit non-zero):
+
+* **soundness** — zero generated programs where the analysis claims
+  fewer timing classes than the oracle distinguishes (these surface as
+  ``soundness_bug`` disagreements), always;
+* **corpus** — every kernel matches its expected constant-time verdict
+  under both cost models, always;
+* **coverage** — every unsafe Table-1 row present with a bits bound or
+  an explicit ``unknown``;
+* **regression** — when a committed report exists, no unsafe row's
+  status may degrade to ``unknown`` and no row's cell count may grow
+  beyond ``CELL_TOLERANCE`` (the previous report is read before being
+  overwritten).
+
+Usage::
+
+    python benchmarks/bench_leakage.py [--seed 0] [--count 500]
+        [--jobs N] [--output BENCH_leakage.json]
+    python benchmarks/bench_leakage.py --quick   # make leakage-smoke:
+                                                 # corpus + 200 programs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.benchsuite import FULL_SUITE
+from repro.core.blazer import Blazer, BlazerConfig
+from repro.diffcheck.campaign import CampaignConfig, run_campaign
+from repro.diffcheck.differ import DiffConfig
+from repro.diffcheck.generator import GeneratorConfig
+from repro.diffcheck.oracle import observer_slack
+from repro.leakage import (
+    CRYPTO_CORPUS,
+    check_constant_time,
+    leakage_from_verdict,
+    resolve_model,
+)
+
+# Multiplicative growth in an unsafe row's cell count that fails the
+# regression gate (cells move when summaries or the tree shape change;
+# such changes regenerate the report on purpose).
+CELL_TOLERANCE = 1.5
+
+# The generated sweep needs only the subjects the leakage cross-check
+# involves; dropping the pair-semantics subjects keeps 200 programs
+# inside the smoke envelope.
+SWEEP_SUBJECTS = ("blazer", "consttime", "leakage")
+
+# Corpus analysis knobs: a small assumed-maximum keeps the kernels'
+# interval evaluation and decomposition cheap without changing any
+# constant-time verdict (the checker is purely static).
+CORPUS_MAX_INPUT = 16
+CORPUS_SLACK = 32
+
+
+def table1_rows() -> List[Dict]:
+    """Quantitative leakage for every unsafe Table-1 row."""
+    rows = []
+    for bench in FULL_SUITE:
+        if bench.is_safe:
+            continue
+        observer = bench.observer_factory()
+        blazer = Blazer.from_source(bench.source, bench.config())
+        verdict = blazer.analyze(bench.proc)
+        report = leakage_from_verdict(
+            verdict,
+            observer_slack(observer),
+            domains={
+                name: tuple(values)
+                for name, values in (bench.witness_space or {}).items()
+            },
+        )
+        rows.append(
+            {
+                "name": bench.name,
+                "group": bench.group,
+                "proc": bench.proc,
+                "slack": report.slack,
+                "status": report.status,
+                "classes": len(report.classes),
+                "cells": report.cells,
+                "bits": report.bits_capacity,
+            }
+        )
+    return sorted(rows, key=lambda r: r["name"])
+
+
+def corpus_matrix() -> List[Dict]:
+    """Constant-time verdicts for the crypto corpus under both models."""
+    rows = []
+    for kernel in CRYPTO_CORPUS:
+        source = kernel.source()
+        row: Dict = {"name": kernel.name, "proc": kernel.proc}
+        for model_name, expected in (
+            ("instr", kernel.ct_instr),
+            ("cache", kernel.ct_cache),
+        ):
+            model = resolve_model(model_name)
+            blazer = Blazer.from_source(
+                source,
+                BlazerConfig(summaries=model.summaries),
+            )
+            verdict = blazer.analyze(kernel.proc)
+            consttime = check_constant_time(blazer, kernel.proc, model)
+            leakage = leakage_from_verdict(
+                verdict,
+                CORPUS_SLACK,
+                default_max=CORPUS_MAX_INPUT,
+                cost_model=model_name,
+            )
+            row[model_name] = {
+                "constant_time": consttime.constant_time,
+                "expected": expected,
+                "matches": consttime.constant_time == expected,
+                "leakage_status": leakage.status,
+                "bits": leakage.bits_capacity,
+            }
+        rows.append(row)
+    return rows
+
+
+def sweep(seed: int, count: int, jobs: int, quick: bool = False) -> Dict:
+    """The generated-program oracle cross-check, summarized.
+
+    Quick mode trims program size and the refinement budget — smaller
+    programs only shed leaves and convert would-be proofs into honest
+    ``unknown``/``upper-bound`` answers, so the soundness gate tests the
+    same invariant at a tenth of the wall clock (~0.1s/program serial).
+    """
+    if quick:
+        generator = GeneratorConfig(
+            max_stmts=3, max_depth=1, max_loops=1, extern_prob=0.25
+        )
+        diff = DiffConfig(subjects=SWEEP_SUBJECTS, max_refinements=1)
+    else:
+        generator = GeneratorConfig(extern_prob=0.25)
+        diff = DiffConfig(subjects=SWEEP_SUBJECTS)
+    config = CampaignConfig(
+        seed=seed,
+        count=count,
+        diff=diff,
+        generator=generator,
+        shrink=False,
+    )
+    report = run_campaign(config, jobs=jobs)
+    under_reports = sum(
+        1
+        for o in report.outcomes
+        if o.leakage_cells is not None
+        and o.oracle_cells is not None
+        and o.leakage_cells < o.oracle_cells
+    )
+    summary = report.to_dict()["summary"]
+    return {
+        "seed": seed,
+        "count": count,
+        "soundness_bugs": summary["soundness_bugs"],
+        "under_reports": under_reports,
+        "errors": summary["errors"],
+        "leakage_exact": summary["leakage_exact"],
+        "leakage_upper_bound": summary["leakage_upper_bound"],
+        "leakage_unknown": summary["leakage_unknown"],
+        "oracle_leaky": summary["oracle_leaky"],
+    }
+
+
+def check_gates(record: Dict, previous: Optional[Dict]) -> List[str]:
+    failures: List[str] = []
+    sweep_rec = record["sweep"]
+    if sweep_rec["soundness_bugs"] or sweep_rec["under_reports"]:
+        failures.append(
+            "SOUNDNESS GATE: %d under-report(s) / %d soundness bug(s) in the "
+            "generated sweep"
+            % (sweep_rec["under_reports"], sweep_rec["soundness_bugs"])
+        )
+    if sweep_rec["errors"]:
+        failures.append(
+            "HEALTH GATE: %d generated program(s) errored" % sweep_rec["errors"]
+        )
+    for row in record["corpus"]:
+        for model in ("instr", "cache"):
+            if not row[model]["matches"]:
+                failures.append(
+                    "CORPUS GATE: %s under %s model: got constant_time=%s, "
+                    "expected %s"
+                    % (
+                        row["name"],
+                        model,
+                        row[model]["constant_time"],
+                        row[model]["expected"],
+                    )
+                )
+    if record.get("table1") is not None:
+        for row in record["table1"]:
+            if row["status"] != "unknown" and row["bits"] is None:
+                failures.append(
+                    "COVERAGE GATE: unsafe row %s has status %r but no bits "
+                    "figure" % (row["name"], row["status"])
+                )
+        if previous and previous.get("table1"):
+            prior = {r["name"]: r for r in previous["table1"]}
+            for row in record["table1"]:
+                old = prior.get(row["name"])
+                if old is None:
+                    continue
+                if old["status"] != "unknown" and row["status"] == "unknown":
+                    failures.append(
+                        "REGRESSION GATE: %s degraded from %r to 'unknown'"
+                        % (row["name"], old["status"])
+                    )
+                if (
+                    old.get("cells") is not None
+                    and row.get("cells") is not None
+                    and row["cells"] > old["cells"] * CELL_TOLERANCE
+                ):
+                    failures.append(
+                        "REGRESSION GATE: %s cells grew %d -> %d (tolerance "
+                        "x%.1f)"
+                        % (row["name"], old["cells"], row["cells"], CELL_TOLERANCE)
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=0, help="0 = cpu count")
+    parser.add_argument("--output", default="BENCH_leakage.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: corpus matrix + 200-program oracle cross-check, "
+        "no Table-1 pass, nothing written (<60s on one core)",
+    )
+    args = parser.parse_args(argv)
+    if args.count is None:
+        args.count = 200 if args.quick else 500
+    jobs = args.jobs or (os.cpu_count() or 1)
+
+    record: Dict = {
+        "bench": "leakage",
+        "corpus": corpus_matrix(),
+        "sweep": sweep(args.seed, args.count, jobs, quick=args.quick),
+        "table1": None if args.quick else table1_rows(),
+    }
+
+    previous = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = None
+    failures = check_gates(record, previous)
+
+    if not args.quick:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("bench_leakage: wrote %s" % args.output)
+
+    print(
+        "bench_leakage: seed=%d programs=%d under_reports=%d corpus_ok=%s"
+        % (
+            args.seed,
+            args.count,
+            record["sweep"]["under_reports"],
+            all(
+                row[m]["matches"]
+                for row in record["corpus"]
+                for m in ("instr", "cache")
+            ),
+        )
+    )
+    if record["table1"] is not None:
+        for row in record["table1"]:
+            bits = "unknown" if row["bits"] is None else "%.3f" % row["bits"]
+            print(
+                "  %-22s %-10s slack=%-6d bits<=%s"
+                % (row["name"], row["status"], row["slack"], bits)
+            )
+    for failure in failures:
+        print("bench_leakage: " + failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ Subcommands mirror the stages a Blazer user cares about:
     abstract counterexamples.  Exit 0 verified / 3 unverified /
     4 exhausted.
 
+``leakage FILE --proc P [--model instr|cache|both]``
+    Quantitative bits-leaked bound from the trail decomposition plus a
+    constant-time check under a pluggable cost model (docs/LEAKAGE.md).
+    Exit 0 constant-time / 2 variable-time / 3 unknown.
+
 ``bounds FILE --proc P [--domain D]``
     Just BOUNDANALYSIS on the most general trail.
 
@@ -29,9 +34,9 @@ Subcommands mirror the stages a Blazer user cares about:
 
 ``diffcheck --seed S --count N``
     Differential fuzz campaign (docs/DIFFCHECK.md): random programs
-    checked against the ground-truth oracle by up to four subjects
-    (``--subjects blazer,selfcomp,consttime,pdsc``); exit 1 on a
-    soundness bug.
+    checked against the ground-truth oracle by up to five subjects
+    (``--subjects blazer,selfcomp,consttime,pdsc,leakage``); exit 1 on
+    a soundness bug.
 
 ``serve`` / ``submit`` / ``status``
     The resident analysis service (docs/SERVICE.md): boot the daemon,
@@ -484,6 +489,49 @@ def cmd_pdsc(args) -> int:
     return EXIT_DEGRADED if result.exhausted else EXIT_UNKNOWN
 
 
+def cmd_leakage(args) -> int:
+    _arm_observability(args)
+    from repro.leakage.job import leakage_source, result_digest
+
+    with open(args.file) as handle:
+        source = handle.read()
+    models = ("instr", "cache") if args.model == "both" else (args.model,)
+    records = []
+    all_ct = True
+    any_unknown = False
+    for model in models:
+        proc, report, consttime = leakage_source(
+            source,
+            proc=args.proc,
+            domain=args.domain,
+            slack=args.slack,
+            cost_model=model,
+            max_bits=args.max_bits,
+            max_input=args.max_input,
+            deadline=args.deadline,
+        )
+        records.append(
+            {
+                "proc": proc,
+                "cost_model": model,
+                "digest": result_digest(proc, report, consttime),
+                "leakage": report.to_dict(),
+                "consttime": consttime.to_dict(),
+            }
+        )
+        all_ct = all_ct and consttime.constant_time
+        any_unknown = any_unknown or report.cells is None
+        if not args.json:
+            print(report.render())
+            print(consttime.render())
+    if args.json:
+        print(json.dumps(records if len(records) > 1 else records[0],
+                         indent=2, sort_keys=True))
+    if any_unknown:
+        return EXIT_UNKNOWN
+    return 0 if all_ct else EXIT_ATTACK
+
+
 def cmd_serve(args) -> int:
     if args.aio:
         import asyncio
@@ -845,6 +893,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(pdsc)
     pdsc.set_defaults(func=cmd_pdsc)
 
+    leakage = sub.add_parser(
+        "leakage",
+        help="quantitative bits-leaked bound from the trail decomposition "
+        "plus a constant-time check under a cost model (docs/LEAKAGE.md)",
+    )
+    leakage.add_argument("file", help="source file in the repro input language")
+    leakage.add_argument("--proc", help="procedure to analyze")
+    leakage.add_argument(
+        "--domain", default="zone", choices=sorted(DOMAINS), help="numeric domain"
+    )
+    leakage.add_argument(
+        "--model",
+        default="instr",
+        choices=("instr", "cache", "both"),
+        help="cost model: uniform instruction count, cache-aware array "
+        "reads, or both in sequence (default: instr)",
+    )
+    leakage.add_argument(
+        "--slack",
+        type=int,
+        default=32,
+        help="observer slack: timing observations closer than this are "
+        "indistinguishable (default: 32)",
+    )
+    leakage.add_argument(
+        "--max-bits",
+        type=int,
+        default=4096,
+        help="assumed maximum bit length for the bigint externs "
+        "(default: 4096)",
+    )
+    leakage.add_argument(
+        "--max-input",
+        type=int,
+        default=4096,
+        help="assumed maximum value for unconstrained input symbols "
+        "when evaluating bound intervals (default: 4096)",
+    )
+    leakage.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; on exhaustion the report degrades "
+        "soundly to 'unknown' (exit %d)" % EXIT_UNKNOWN,
+    )
+    leakage.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    obs_flags(leakage)
+    leakage.set_defaults(func=cmd_leakage)
+
     bounds = sub.add_parser("bounds", help="symbolic running-time bounds")
     common(bounds)
     bounds.set_defaults(func=cmd_bounds)
@@ -910,7 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Kept in sync with repro.diffcheck.differ.SUBJECTS (not imported:
     # parser construction must stay lightweight).
-    diff_subjects = ("blazer", "selfcomp", "consttime", "pdsc")
+    diff_subjects = ("blazer", "selfcomp", "consttime", "pdsc", "leakage")
 
     diffcheck = sub.add_parser(
         "diffcheck",

@@ -26,6 +26,22 @@ from typing import Dict, Mapping, Optional
 from repro.bounds.cost import CostBound, Poly
 
 
+def effective_slack(value) -> int:
+    """The concrete slack a threshold/epsilon actually denotes.
+
+    The observable-gap convention everywhere (threshold observers, the
+    exhaustive :class:`~repro.diffcheck.oracle.TimingOracle`, the
+    leakage analysis) is *gap >= slack is distinguishable*; a slack of
+    zero would make equal costs "distinguishable" and no bound ever
+    narrow, which is not a model of any observer — it disagrees with the
+    oracle's low-equivalence gap definition at the interval endpoints
+    (``leaky iff gap >= max(1, slack)``).  Clamping to 1 here, once,
+    makes ε=0 and ε=1 the same observer ("any nonzero gap is visible")
+    on both the static and the concrete side.
+    """
+    return max(1, int(value))
+
+
 def _collapse_max(polys) -> Poly:
     """Coefficient-wise maximum — a representative of a max-set."""
     terms: Dict[tuple, Fraction] = {}
@@ -145,7 +161,7 @@ class ConcreteThresholdObserver(ObserverModel):
         env = self._env(bound)
         lo, hi = bound.evaluate(env)
         assert hi is not None
-        return (hi - lo) < self.threshold
+        return (hi - lo) < effective_slack(self.threshold)
 
     def distinguishable(self, a: CostBound, b: CostBound) -> bool:
         if a.upper is None or b.upper is None:
@@ -156,11 +172,10 @@ class ConcreteThresholdObserver(ObserverModel):
         lo_b, hi_b = b.evaluate(env_b)
         assert hi_a is not None and hi_b is not None
         # Components are distinguishable when their extreme achievable
-        # times differ by at least the threshold in either direction.
-        return (
-            abs(hi_a - hi_b) >= self.threshold
-            or abs(lo_a - lo_b) >= self.threshold
-        )
+        # times differ by at least the (clamped) threshold in either
+        # direction — the same endpoint convention as the oracle.
+        slack = effective_slack(self.threshold)
+        return abs(hi_a - hi_b) >= slack or abs(lo_a - lo_b) >= slack
 
 
 @dataclass
@@ -213,17 +228,15 @@ class DomainThresholdObserver(ObserverModel):
         if bound.upper is None:
             return False
         lo, hi = self._range(bound)
-        return (hi - lo) < self.threshold
+        return (hi - lo) < effective_slack(self.threshold)
 
     def distinguishable(self, a: CostBound, b: CostBound) -> bool:
         if a.upper is None or b.upper is None:
             return True
         lo_a, hi_a = self._range(a)
         lo_b, hi_b = self._range(b)
-        return (
-            abs(hi_a - hi_b) >= self.threshold
-            or abs(lo_a - lo_b) >= self.threshold
-        )
+        slack = effective_slack(self.threshold)
+        return abs(hi_a - hi_b) >= slack or abs(lo_a - lo_b) >= slack
 
 
 def default_observer_for(kind: str) -> ObserverModel:

@@ -73,12 +73,13 @@ class SelfComposition:
         domain: Domain,
         epsilon: int = 32,
         max_pairs: int = 4000,
+        summaries=None,
     ):
         self._cfg = cfg
         self._domain = domain
         self._epsilon = epsilon
         self._max_pairs = max_pairs
-        self._semantics = PairSemantics(cfg, domain)
+        self._semantics = PairSemantics(cfg, domain, summaries=summaries)
 
     def verify(self) -> SelfCompositionResult:
         """Try to prove |cost1 - cost2| <= epsilon at the paired exits.

@@ -73,6 +73,9 @@ class ProgramOutcome:
     selfcomp: str = ""
     constant_time: Optional[bool] = False  # None = subject skipped
     pdsc: str = ""
+    leakage: str = ""  # exact | upper-bound | unknown | skipped
+    leakage_cells: Optional[int] = None
+    oracle_cells: Optional[int] = None
     disagreements: List[Dict[str, str]] = field(default_factory=list)
     source: str = ""  # kept only for shrink-worthy rows
     shrunk_source: str = ""
@@ -136,6 +139,9 @@ def run_program(name: str, config: CampaignConfig) -> ProgramOutcome:
             outcome.selfcomp = report.selfcomp_outcome
             outcome.constant_time = report.constant_time
             outcome.pdsc = report.pdsc_outcome
+            outcome.leakage = report.leakage_status
+            outcome.leakage_cells = report.leakage_cells
+            outcome.oracle_cells = report.oracle_cells
             outcome.subject_seconds = dict(report.subject_seconds)
             outcome.disagreements = [d.to_dict() for d in report.disagreements]
             worth_shrinking = {
@@ -230,6 +236,15 @@ class CampaignReport:
                 "pdsc_verified": sum(1 for o in self.outcomes if o.pdsc == "verified"),
                 "pdsc_exhausted": sum(
                     1 for o in self.outcomes if o.pdsc == "exhausted"
+                ),
+                "leakage_exact": sum(
+                    1 for o in self.outcomes if o.leakage == "exact"
+                ),
+                "leakage_upper_bound": sum(
+                    1 for o in self.outcomes if o.leakage == "upper-bound"
+                ),
+                "leakage_unknown": sum(
+                    1 for o in self.outcomes if o.leakage == "unknown"
                 ),
                 "soundness_bugs": len(self.soundness_bugs),
                 "errors": len(self.errors),

@@ -1,7 +1,7 @@
-"""Four-way differential check: oracle vs Blazer vs self-composition
-vs property-directed self-composition.
+"""Five-way differential check: oracle vs Blazer vs self-composition
+vs property-directed self-composition vs the leakage quantifier.
 
-One program, five verdicts:
+One program, six verdicts:
 
 * the **ground-truth oracle** (exhaustive interpretation, exact TCF at
   the observer's slack) — always runs, it is what everyone is compared
@@ -16,12 +16,20 @@ One program, five verdicts:
 * the **property-directed checker** (:mod:`repro.pdsc`) — same
   three-valued vocabulary and the same ε, but with the CEGAR alignment
   loop in front of the fixpoint;
-* the **constant-time checker** — a free cross-check: a scalar,
-  extern-free program whose control flow is public-determined executes
-  the same instruction sequence on every member of a low class, so
-  control-flow constant-time implies a concrete gap of exactly zero.
+* the **constant-time checker** — now the two-part
+  :func:`repro.leakage.consttime.check_constant_time`: public control
+  flow *and* no variable-cost call fed a secret cost-relevant operand.
+  Since every program is checked under the cost model its own extern
+  declarations imply (:func:`repro.leakage.model.extern_env`), a
+  constant-time verdict implies a concrete gap of exactly zero even on
+  programs with cache-priced array reads and generated cost externs;
+* the **leakage quantifier** (:mod:`repro.leakage`) — counts
+  distinguishable timing observations from Blazer's partition tree; its
+  cell count must dominate the oracle's *exact* per-low-class leakage
+  (:func:`repro.diffcheck.oracle.exact_leakage`) whenever it claims a
+  bound at all.
 
-``DiffConfig.subjects`` selects which engines run (default: all four).
+``DiffConfig.subjects`` selects which engines run (default: all five).
 A skipped subject reports the literal outcome ``"skipped"`` and
 contributes no disagreements, so a report over a fixed subject set is
 byte-identical whatever the other subjects would have said.
@@ -43,8 +51,9 @@ kind                      fatal  meaning
 
 The ``break_engine`` hook exists purely so the test suite can prove the
 harness has teeth: ``"narrow"`` wraps the observer to call *every*
-bound narrow (a deliberately unsound CHECKSAFE), and ``"pdsc-verify"``
-forces the PDSC outcome to "verified" — each must surface as
+bound narrow (a deliberately unsound CHECKSAFE), ``"pdsc-verify"``
+forces the PDSC outcome to "verified", and ``"leakage-zero"`` forces
+the leakage report to claim zero bits — each must surface as
 ``soundness_bug`` on any leaky program.
 """
 
@@ -55,14 +64,20 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.blazer import Blazer, BlazerConfig
-from repro.core.consttime import verify_constant_time
-from repro.core.observer import DomainThresholdObserver, ObserverModel
+from repro.core.observer import (
+    DomainThresholdObserver,
+    ObserverModel,
+    effective_slack,
+)
 from repro.core.selfcomp import SelfComposition
 from repro.core.witness import find_witness
 from repro.diffcheck.generator import PROC_NAME, GeneratedProgram
-from repro.diffcheck.oracle import OracleVerdict, TimingOracle
+from repro.diffcheck.oracle import OracleVerdict, TimingOracle, exact_leakage
 from repro.domains import DOMAINS
 from repro.interp.interp import Interpreter
+from repro.leakage.analysis import leakage_from_verdict
+from repro.leakage.consttime import check_constant_time
+from repro.leakage.model import extern_env
 from repro.pdsc import PDSC
 from repro.util.errors import AnalysisError
 
@@ -75,9 +90,9 @@ KINDS = (
     "missed_attack",
 )
 
-# The four subjects, in canonical order.  "skipped" is the outcome a
+# The five subjects, in canonical order.  "skipped" is the outcome a
 # deselected subject reports.
-SUBJECTS = ("blazer", "selfcomp", "consttime", "pdsc")
+SUBJECTS = ("blazer", "selfcomp", "consttime", "pdsc", "leakage")
 SKIPPED = "skipped"
 
 
@@ -111,8 +126,8 @@ class DiffConfig:
     oracle_limit: int = 8192
     fuel: int = 50_000  # far above any generated program's real cost
     subjects: Tuple[str, ...] = SUBJECTS
-    # Test-only sabotage hooks ("narrow", "pdsc-verify"): see module
-    # docstring.
+    # Test-only sabotage hooks ("narrow", "pdsc-verify", "leakage-zero"):
+    # see module docstring.
     break_engine: Optional[str] = None
 
     def observer(self, domains: Mapping[str, Sequence[int]]) -> ObserverModel:
@@ -172,6 +187,9 @@ class ProgramReport:
     selfcomp_outcome: str
     constant_time: Optional[bool]  # None = subject skipped
     pdsc_outcome: str = SKIPPED
+    leakage_status: str = SKIPPED  # exact | upper-bound | unknown | skipped
+    leakage_cells: Optional[int] = None  # analysis bound (None = no claim)
+    oracle_cells: Optional[int] = None  # exact_leakage ground truth
     disagreements: List[Disagreement] = field(default_factory=list)
     subject_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -191,6 +209,9 @@ class ProgramReport:
             "selfcomp": self.selfcomp_outcome,
             "constant_time": self.constant_time,
             "pdsc": self.pdsc_outcome,
+            "leakage": self.leakage_status,
+            "leakage_cells": self.leakage_cells,
+            "oracle_cells": self.oracle_cells,
             "disagreements": [d.to_dict() for d in self.disagreements],
         }
 
@@ -205,12 +226,22 @@ def check_source(
     """Run the full differential check on one program."""
     subjects = config.subjects
     seconds: Dict[str, float] = {}
+    # The program's own extern declarations fix the machine model: the
+    # summaries the symbolic subjects charge and the implementations the
+    # oracle executes come from the same CostModel, so the comparison is
+    # apples-to-apples even on generated cost externs.
+    model = extern_env(source)
     blazer = Blazer.from_source(
         source,
-        BlazerConfig(domain=config.domain, observer=config.observer(domains)),
+        BlazerConfig(
+            domain=config.domain,
+            observer=config.observer(domains),
+            summaries=model.summaries,
+        ),
     )
     cfg = blazer.cfgs[proc]
-    epsilon = config.threshold - 1  # gap < T  iff  |gap| <= T-1
+    slack = effective_slack(config.threshold)
+    epsilon = slack - 1  # gap < T  iff  |gap| <= T-1
 
     verdict = None
     if "blazer" in subjects:
@@ -221,7 +252,7 @@ def check_source(
     consttime = None
     if "consttime" in subjects:
         started = time.perf_counter()
-        consttime = verify_constant_time(blazer, proc)
+        consttime = check_constant_time(blazer, proc, model)
         seconds["consttime"] = time.perf_counter() - started
 
     selfcomp = None
@@ -232,6 +263,7 @@ def check_source(
             DOMAINS[config.domain],
             epsilon=epsilon,
             max_pairs=config.max_pairs,
+            summaries=model.summaries,
         ).verify()
         seconds["selfcomp"] = time.perf_counter() - started
 
@@ -244,6 +276,7 @@ def check_source(
             epsilon=epsilon,
             max_pairs=config.max_pairs,
             max_refinements=config.max_refinements,
+            summaries=model.summaries,
         ).verify()
         seconds["pdsc"] = time.perf_counter() - started
         if config.break_engine == "pdsc-verify":
@@ -251,14 +284,37 @@ def check_source(
             # the soundness check below demonstrably has teeth.
             pdsc = replace(pdsc, verified=True, outcome="verified")
 
-    interpreter = Interpreter(blazer.cfgs, fuel=config.fuel)
-    oracle = TimingOracle(
+    leakage = None
+    if "leakage" in subjects:
+        started = time.perf_counter()
+        leak_verdict = verdict if verdict is not None else blazer.analyze(proc)
+        leakage = leakage_from_verdict(
+            leak_verdict, slack, domains=domains, cost_model=model.name
+        )
+        seconds["leakage"] = time.perf_counter() - started
+        if config.break_engine == "leakage-zero":
+            # Sabotage hook: claim a leak-free channel whatever the tree
+            # says, so the exact-leakage cross-check has teeth too.
+            leakage = replace(
+                leakage,
+                status="exact",
+                classes=list(leakage.classes[:1]),
+                cells=1,
+                bits_capacity=0.0,
+                bits_min_entropy=0.0,
+                degraded_leaves=0,
+                unbounded_leaves=0,
+            )
+
+    interpreter = Interpreter(blazer.cfgs, externs=model.externs, fuel=config.fuel)
+    timing_oracle = TimingOracle(
         interpreter,
         cfg,
         domains,
         slack=config.threshold,
         limit=config.oracle_limit,
-    ).run()
+    )
+    oracle = timing_oracle.run()
 
     disagreements: List[Disagreement] = []
 
@@ -291,8 +347,23 @@ def check_source(
             Disagreement(
                 FATAL_KIND,
                 "consttime",
-                "control flow called constant-time but oracle gap is %d"
-                % oracle.max_gap,
+                "called constant-time but oracle gap is %d" % oracle.max_gap,
+            )
+        )
+    # The leakage bound must dominate the exact per-low-class leakage
+    # whenever it makes a claim at all ("unknown" claims nothing).
+    oracle_cells, _ = exact_leakage(timing_oracle.trace_pool, slack)
+    if (
+        leakage is not None
+        and leakage.cells is not None
+        and leakage.cells < oracle_cells
+    ):
+        disagreements.append(
+            Disagreement(
+                FATAL_KIND,
+                "leakage",
+                "bound of %d timing class(es) but oracle distinguishes %d"
+                % (leakage.cells, oracle_cells),
             )
         )
 
@@ -369,6 +440,9 @@ def check_source(
         selfcomp_outcome=selfcomp.outcome if selfcomp is not None else SKIPPED,
         constant_time=consttime.constant_time if consttime is not None else None,
         pdsc_outcome=pdsc.outcome if pdsc is not None else SKIPPED,
+        leakage_status=leakage.status if leakage is not None else SKIPPED,
+        leakage_cells=leakage.cells if leakage is not None else None,
+        oracle_cells=oracle_cells,
         disagreements=disagreements,
         subject_seconds=seconds,
     )

@@ -19,7 +19,20 @@ Determinism contract: the program for ``(seed, index)`` depends only on
 ``(seed, index, config)`` — every choice flows through one
 ``random.Random`` seeded from them, and no set/dict iteration order is
 consulted.  Campaigns across worker pools rely on this to replay any
-program from its coordinates alone.
+program from its coordinates alone.  ``extern_prob`` guards every
+extern-related draw (the rng is consulted for extern choices only after
+externs were actually declared), so configs with ``extern_prob == 0``
+— the default — generate byte-identical programs to builds without the
+feature.
+
+With ``extern_prob > 0`` a program may additionally declare priced
+extern calls for the cache-aware machine model
+(:mod:`repro.leakage.model`): scalar ``cost_<lo>_<hi>(a: int): int``
+externs whose cost interval is spelled in their name, and the
+``arrayRead`` extern over small local scratch arrays.  Both are woven
+into ordinary integer expressions, giving the variable-cost half of the
+constant-time checker (and the pair semantics' summary-priced calls)
+differential coverage.
 
 The secret parameters feed branch conditions and loop bodies exactly
 like the paper's examples (Fig. 1's early-exit password loop), so a
@@ -36,6 +49,7 @@ from typing import Dict, List, Tuple
 
 from repro.lang import ast
 from repro.lang.pretty import format_program
+from repro.leakage.model import ARRAY_READ as _ARRAY_READ
 
 PROC_NAME = "main"
 
@@ -63,6 +77,11 @@ class GeneratorConfig:
     int_min: int = -2  # int params range over int_min..int_max
     int_max: int = 3
     lit_max: int = 4  # integer literals range over 0..lit_max
+    # Probability an integer expression becomes a priced extern call
+    # (0.0 = no externs declared at all; see the determinism contract).
+    extern_prob: float = 0.0
+    max_cost_externs: int = 2  # scalar cost_<lo>_<hi> decls per program
+    scratch_len: int = 8  # length of the arrayRead scratch arrays
 
     def domain(self, ty: ast.Type) -> Tuple[int, ...]:
         """The finite value domain the oracle enumerates for ``ty``."""
@@ -108,6 +127,8 @@ class _Scope:
     params: List[ast.Param]
     locals: List[str] = field(default_factory=list)
     counters: List[str] = field(default_factory=list)  # readable, never assigned
+    externs: List[str] = field(default_factory=list)  # scalar cost externs
+    arrays: List[str] = field(default_factory=list)  # arrayRead scratch
     loops_made: int = 0
     next_local: int = 0
     next_counter: int = 0
@@ -138,6 +159,21 @@ class _Scope:
 def _int_expr(scope: _Scope, depth: int) -> ast.Expr:
     """A numeric expression over literals and in-scope names."""
     rng = scope.rng
+    # Extern calls only when some were declared (so the rng draw below
+    # never fires on extern-free configs) and only above depth 0 (so the
+    # recursion is structurally bounded).
+    if depth > 0 and (scope.externs or scope.arrays):
+        if rng.random() < scope.config.extern_prob:
+            forms = (["cost"] if scope.externs else []) + (
+                ["array"] if scope.arrays else []
+            )
+            form = rng.choice(forms)
+            if form == "cost":
+                return ast.Call(rng.choice(scope.externs), [_int_expr(scope, depth - 1)])
+            return ast.Call(
+                _ARRAY_READ,
+                [ast.Var(rng.choice(scope.arrays)), _int_expr(scope, depth - 1)],
+            )
     names = scope.readable()
     if depth <= 0 or rng.random() < 0.35:
         if names and rng.random() < 0.6:
@@ -238,6 +274,51 @@ def _stmts(scope: _Scope, depth: int, in_loop: bool = False) -> List[ast.Stmt]:
     return out
 
 
+def _draw_externs(
+    rng: random.Random, config: GeneratorConfig, scope: _Scope
+) -> Tuple[List[ast.ProcDecl], List[ast.Stmt]]:
+    """Priced extern declarations + scratch-array prologue statements.
+
+    Called only when ``extern_prob > 0`` — no rng draw happens here on
+    the default config.  Scalar externs are self-describing
+    (``cost_<lo>_<hi>``), so :func:`repro.leakage.model.extern_env`
+    rebuilds the machine model from the formatted source alone.
+    """
+    decls: List[ast.ProcDecl] = []
+    names: List[str] = []
+    for _ in range(rng.randrange(1, config.max_cost_externs + 1)):
+        lo = rng.randrange(1, 16)
+        hi = lo + rng.randrange(0, 25)
+        name = "cost_%d_%d" % (lo, hi)
+        if name in names:
+            continue  # same interval, same extern: one decl is enough
+        names.append(name)
+        decls.append(
+            ast.ProcDecl(name, [ast.Param("a", ast.INT)], ast.INT, None)
+        )
+    prologue: List[ast.Stmt] = []
+    if rng.random() < 0.5:
+        decls.append(
+            ast.ProcDecl(
+                _ARRAY_READ,
+                [ast.Param("t", ast.INT_ARRAY), ast.Param("i", ast.INT)],
+                ast.INT,
+                None,
+            )
+        )
+        array = "t0"
+        prologue.append(
+            ast.VarDecl(
+                array,
+                ast.INT_ARRAY,
+                ast.NewArray(ast.INT, ast.IntLit(config.scratch_len)),
+            )
+        )
+        scope.arrays.append(array)
+    scope.externs.extend(names)
+    return decls, prologue
+
+
 def _draw_params(rng: random.Random) -> List[ast.Param]:
     params: List[ast.Param] = []
     for pool, level in ((_PUBLIC_NAMES, ast.SecLevel.PUBLIC), (_SECRET_NAMES, ast.SecLevel.SECRET)):
@@ -255,10 +336,14 @@ def generate_program(
     rng = random.Random(seed * 1_000_003 + index)
     params = _draw_params(rng)
     scope = _Scope(rng=rng, config=config, params=params)
-    body = _stmts(scope, config.max_depth)
+    extern_decls: List[ast.ProcDecl] = []
+    prologue: List[ast.Stmt] = []
+    if config.extern_prob > 0:
+        extern_decls, prologue = _draw_externs(rng, config, scope)
+    body = prologue + _stmts(scope, config.max_depth)
     body.append(ast.Return(_int_expr(scope, 2)))
     proc = ast.ProcDecl(PROC_NAME, params, ast.INT, ast.Block(body))
-    source = format_program(ast.Program([proc]))
+    source = format_program(ast.Program(extern_decls + [proc]))
     domains = tuple((p.name, config.domain(p.declared)) for p in params)
     return GeneratedProgram(
         name="p%06d" % index,

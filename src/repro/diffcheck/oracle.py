@@ -20,10 +20,12 @@ engine answer the *same question* and disagreements are meaningful:
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cfg.graph import ControlFlowGraph
+from repro.core.observer import effective_slack
 from repro.interp.interp import Interpreter
 from repro.interp.trace import Trace
 from repro.util.errors import FuelExhausted, InterpError
@@ -33,13 +35,57 @@ def observer_slack(observer: object) -> int:
     """The concrete gap at which an observer distinguishes two times.
 
     ``ConcreteThresholdObserver`` exposes ``threshold``; the polynomial
-    observer falls back to its ``epsilon``.  (Same convention as the
-    empirical integration tests.)
+    observer falls back to its ``epsilon``.  The clamp is
+    :func:`repro.core.observer.effective_slack` — the one endpoint
+    convention the observers themselves now apply, so ε=0 and ε>0 agree
+    with this oracle on boundary costs.
     """
     slack = getattr(observer, "threshold", None)
     if slack is None:
         slack = getattr(observer, "epsilon", 1)
-    return max(1, int(slack))
+    return effective_slack(slack)
+
+
+def cluster_count(times: Sequence[int], slack: int) -> int:
+    """Distinguishable observations among concrete ``times``.
+
+    Greedy gap clustering: sort, break a cluster at every consecutive
+    gap ``>= slack``.  Two times land in different clusters iff some
+    pair along the way is attacker-distinguishable, so the cluster
+    count is exactly the number of observations an ε-observer can tell
+    apart within this set.
+    """
+    if not times:
+        return 0
+    slack = effective_slack(slack)
+    ordered = sorted(times)
+    clusters = 1
+    previous = ordered[0]
+    for value in ordered[1:]:
+        if value - previous >= slack:
+            clusters += 1
+        previous = value
+    return clusters
+
+
+def exact_leakage(traces: Sequence[Trace], slack: int) -> Tuple[int, float]:
+    """Ground-truth leakage ``(classes, bits)`` from a trace pool.
+
+    The attacker fixes the public inputs and observes time, so the true
+    channel is *per low class*: the number of distinguishable timing
+    clusters among the executions of one low class, maximized over low
+    classes (min-entropy leakage of a deterministic channel under a
+    uniform prior = log2 of that count).  Any sound static bound on
+    distinguishable observations must dominate this number.
+    """
+    by_low: Dict[Tuple, List[int]] = {}
+    for trace in traces:
+        by_low.setdefault(trace.low_inputs, []).append(trace.time)
+    classes = max(
+        (cluster_count(times, slack) for times in by_low.values()),
+        default=0,
+    )
+    return classes, math.log2(classes) if classes > 0 else 0.0
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,76 @@
+"""Quantitative timing-leakage analysis over the trail decomposition.
+
+The subsystem has four parts:
+
+* :mod:`repro.leakage.model` — pluggable cost models (instruction-count
+  and cache-aware), pairing symbolic call summaries with concrete
+  extern implementations;
+* :mod:`repro.leakage.analysis` — bits-leaked bounds (min-entropy /
+  channel capacity) from a finished partition tree, three-valued;
+* :mod:`repro.leakage.consttime` — first-class constant-time checking
+  (control flow + operand-priced calls) under a cost model;
+* :mod:`repro.leakage.corpus` — the crypto kernel corpus under
+  ``examples/crypto/`` with its expected verdict matrix.
+
+:mod:`repro.leakage.job` packages it all for the CLI, the differ and
+the service (``kind="leakage"``).
+"""
+
+from repro.leakage.analysis import (
+    EXACT,
+    UNKNOWN,
+    UPPER_BOUND,
+    LeakageReport,
+    TimingClass,
+    analyze_leakage,
+    leakage_from_verdict,
+)
+from repro.leakage.consttime import ConstTimeReport, CostViolation, check_constant_time
+from repro.leakage.corpus import CRYPTO_CORPUS, CorpusKernel, corpus_kernel
+from repro.leakage.job import (
+    LEAKAGE_JOB_FIELDS,
+    leakage_job,
+    leakage_source,
+    result_digest,
+)
+from repro.leakage.model import (
+    ARRAY_READ,
+    CACHE_HIT_COST,
+    CACHE_LINE,
+    CACHE_MISS_COST,
+    COST_MODELS,
+    CostModel,
+    cache_model,
+    extern_env,
+    instr_model,
+    resolve_model,
+)
+
+__all__ = [
+    "ARRAY_READ",
+    "CACHE_HIT_COST",
+    "CACHE_LINE",
+    "CACHE_MISS_COST",
+    "COST_MODELS",
+    "CRYPTO_CORPUS",
+    "ConstTimeReport",
+    "CorpusKernel",
+    "CostModel",
+    "CostViolation",
+    "EXACT",
+    "LEAKAGE_JOB_FIELDS",
+    "LeakageReport",
+    "TimingClass",
+    "UNKNOWN",
+    "UPPER_BOUND",
+    "analyze_leakage",
+    "cache_model",
+    "check_constant_time",
+    "corpus_kernel",
+    "extern_env",
+    "instr_model",
+    "leakage_from_verdict",
+    "leakage_job",
+    "leakage_source",
+    "resolve_model",
+]

@@ -1,0 +1,328 @@
+"""Quantitative timing leakage from a finished trail decomposition.
+
+The partition tree Blazer builds is literally a partition of the
+program's executions; each feasible leaf carries a symbolic running-
+time interval.  Evaluated over the finite input box, those intervals
+partition the *observable timing axis*, and counting the observations
+an ε-observer can distinguish bounds the channel from above — per
+"Quantifying Timing Leaks and Cost Optimisation" (PAPERS.md), for a
+deterministic timing channel under a uniform prior, min-entropy leakage
+and channel capacity coincide at ``log2(#distinguishable classes)``.
+
+The counting argument (soundness proof in docs/LEAKAGE.md):
+
+1. every concrete execution lands inside some leaf's concrete interval
+   (leaves cover the root; the bound analysis is interval-sound — the
+   diffcheck suite enforces both against the exhaustive oracle);
+2. intervals closer than the slack ε are merged — two observations less
+   than ε apart are indistinguishable, so merging never drops a
+   distinguishable class (components stay ≥ ε apart);
+3. a merged component of span ``w`` admits at most ``⌊w/ε⌋ + 1``
+   pairwise-distinguishable times (any more and two of them would be
+   within ε by pigeonhole);
+4. therefore ``Σ_components (⌊span/ε⌋ + 1)`` dominates the number of
+   timing observations any attacker can tell apart — in particular the
+   per-low-class ground truth :func:`repro.diffcheck.oracle.exact_leakage`
+   computes, which is what the differential harness asserts.
+
+The report is three-valued: ``exact`` when every component is narrower
+than ε (the class count equals the component count — exact modulo
+abstract feasibility, which can only overcount), ``upper-bound`` when
+some component had to be subdivided by the pigeonhole term, and
+``unknown`` when any feasible leaf is degraded (⊤ after budget
+exhaustion) or unbounded — then no finite bits claim is sound and the
+report says so instead of guessing.
+
+One refinement keeps attack-phase splits from poisoning the count: an
+attack split subdivides a node whose own bound was already computed, and
+a child's executions are a subset of its parent's, so when a *leaf*
+carries no finite bound (the attack search often leaves an unbounded
+half behind) the nearest ancestor with a finite feasible bound stands in
+for it — a pure widening, the ancestor's interval covers everything the
+leaf covers.  Only when no ancestor up to the root is bounded does the
+leaf force ``unknown``.  Budget degradation never takes this fallback:
+a tripped budget means the decomposition itself is incomplete, and the
+three-valued contract is that degradation reads ``unknown``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bounds.cost import CostBound
+from repro.core.blazer import Blazer, BlazerVerdict
+from repro.core.observer import effective_slack
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as trace_span
+
+REPORTS_TOTAL = REGISTRY.counter(
+    "repro_leakage_reports_total",
+    "Leakage reports by status",
+    labelnames=("status",),
+)
+
+# Status vocabulary of a LeakageReport.
+EXACT = "exact"
+UPPER_BOUND = "upper-bound"
+UNKNOWN = "unknown"
+
+
+def _num(value: Fraction):
+    """A JSON-friendly number: int when integral, else float."""
+    if value == int(value):
+        return int(value)
+    return float(value)
+
+
+def bound_interval(
+    bound: CostBound,
+    domains: Mapping[str, Sequence[int]],
+    default_max: int = 4096,
+) -> Tuple[Fraction, Fraction]:
+    """``[min lo, max hi]`` of a bound over the finite input box.
+
+    Symbols with a registered domain are enumerated exhaustively (the
+    diffcheck convention — interval-sound on finite domains); symbols
+    without one are evaluated at the two endpoints ``{0, default_max}``,
+    the platform-model convention for fixed-size crypto inputs.
+    """
+    assert bound.upper is not None
+    symbols = sorted(bound.symbols())
+    spaces = [tuple(domains.get(sym, (0, default_max))) for sym in symbols]
+    lo_min: Optional[Fraction] = None
+    hi_max: Optional[Fraction] = None
+    for combo in itertools.product(*spaces):
+        lo, hi = bound.evaluate(dict(zip(symbols, combo)))
+        assert hi is not None
+        lo_min = lo if lo_min is None else min(lo_min, lo)
+        hi_max = hi if hi_max is None else max(hi_max, hi)
+    assert lo_min is not None and hi_max is not None
+    return lo_min, hi_max
+
+
+@dataclass(frozen=True)
+class TimingClass:
+    """One ε-separated component of the observable timing axis."""
+
+    lo: Fraction
+    hi: Fraction
+    trails: int  # leaves merged into this component
+    cells: int  # distinguishable observations inside it: ⌊span/ε⌋+1
+
+    @property
+    def span(self) -> Fraction:
+        return self.hi - self.lo
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lo": _num(self.lo),
+            "hi": _num(self.hi),
+            "trails": self.trails,
+            "cells": self.cells,
+        }
+
+
+@dataclass
+class LeakageReport:
+    """Sound upper bounds on bits leaked through the timing channel."""
+
+    proc: str
+    status: str  # EXACT | UPPER_BOUND | UNKNOWN
+    slack: int
+    classes: List[TimingClass] = field(default_factory=list)
+    cells: Optional[int] = None  # Σ per-class cells; None when unknown
+    bits_capacity: Optional[float] = None
+    bits_min_entropy: Optional[float] = None
+    feasible_leaves: int = 0
+    infeasible_leaves: int = 0
+    degraded_leaves: int = 0
+    unbounded_leaves: int = 0
+    widened_leaves: int = 0  # unbounded leaves covered by an ancestor
+    cost_model: str = "instr"
+
+    @property
+    def constant_time_bits(self) -> bool:
+        """Does the bound certify a leak-free channel (0 bits)?"""
+        return self.cells == 1 or self.cells == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "proc": self.proc,
+            "status": self.status,
+            "slack": self.slack,
+            "cost_model": self.cost_model,
+            "classes": [c.to_dict() for c in self.classes],
+            "cells": self.cells,
+            "bits_capacity": self.bits_capacity,
+            "bits_min_entropy": self.bits_min_entropy,
+            "leaves": {
+                "feasible": self.feasible_leaves,
+                "infeasible": self.infeasible_leaves,
+                "degraded": self.degraded_leaves,
+                "unbounded": self.unbounded_leaves,
+                "widened": self.widened_leaves,
+            },
+        }
+
+    def render(self) -> str:
+        head = "%s: leakage %s under %s model (slack %d)" % (
+            self.proc,
+            self.status.upper(),
+            self.cost_model,
+            self.slack,
+        )
+        lines = [head]
+        if self.status == UNKNOWN:
+            lines.append(
+                "  no sound bits bound: %d degraded / %d unbounded leaf bound(s)"
+                % (self.degraded_leaves, self.unbounded_leaves)
+            )
+        else:
+            assert self.cells is not None
+            lines.append(
+                "  <= %.4f bits (capacity = min-entropy; %d distinguishable "
+                "observation(s) across %d timing class(es))"
+                % (self.bits_capacity or 0.0, self.cells, len(self.classes))
+            )
+        for cls in self.classes:
+            lines.append(
+                "  class [%s, %s] span=%s trails=%d cells=%d"
+                % (_num(cls.lo), _num(cls.hi), _num(cls.span), cls.trails, cls.cells)
+            )
+        return "\n".join(lines)
+
+
+def _merge_intervals(
+    intervals: List[Tuple[Fraction, Fraction]], slack: int
+) -> List[TimingClass]:
+    """ε-connected components of the leaf intervals, with cell counts."""
+    classes: List[TimingClass] = []
+    cur_lo: Optional[Fraction] = None
+    cur_hi: Optional[Fraction] = None
+    cur_trails = 0
+    for lo, hi in sorted(intervals):
+        if cur_hi is not None and lo - cur_hi < slack:
+            cur_hi = max(cur_hi, hi)
+            cur_trails += 1
+            continue
+        if cur_lo is not None:
+            assert cur_hi is not None
+            classes.append(
+                TimingClass(
+                    lo=cur_lo,
+                    hi=cur_hi,
+                    trails=cur_trails,
+                    cells=int((cur_hi - cur_lo) // slack) + 1,
+                )
+            )
+        cur_lo, cur_hi, cur_trails = lo, hi, 1
+    if cur_lo is not None:
+        assert cur_hi is not None
+        classes.append(
+            TimingClass(
+                lo=cur_lo,
+                hi=cur_hi,
+                trails=cur_trails,
+                cells=int((cur_hi - cur_lo) // slack) + 1,
+            )
+        )
+    return classes
+
+
+def _bounded_ancestor(leaf):
+    """The nearest ancestor carrying a finite, feasible, non-degraded
+    bound — the sound stand-in interval for an unbounded leaf."""
+    for node in leaf.ancestors():
+        result = node.bound
+        if (
+            result is not None
+            and not result.degraded
+            and result.feasible
+            and result.bound is not None
+            and result.bound.upper is not None
+        ):
+            return node
+    return None
+
+
+def leakage_from_verdict(
+    verdict: BlazerVerdict,
+    slack: int,
+    domains: Optional[Mapping[str, Sequence[int]]] = None,
+    default_max: int = 4096,
+    cost_model: str = "instr",
+) -> LeakageReport:
+    """Quantify the channel from an already-computed decomposition.
+
+    Consumes the verdict's partition tree exactly as Blazer left it
+    (safety *and* attack splits — overlapping leaves only overcount, so
+    every leaf set that covers the root yields a sound count).
+    """
+    slack = effective_slack(slack)
+    domains = domains or {}
+    report = LeakageReport(
+        proc=verdict.proc, status=UNKNOWN, slack=slack, cost_model=cost_model
+    )
+    intervals: List[Tuple[Fraction, Fraction]] = []
+    fallbacks_used = set()
+    for leaf in verdict.tree.leaves():
+        result = leaf.bound
+        if result is None or result.degraded:
+            report.degraded_leaves += 1
+            continue
+        if not result.feasible:
+            report.infeasible_leaves += 1
+            continue
+        report.feasible_leaves += 1
+        bound = result.bound
+        if bound is None or bound.upper is None:
+            ancestor = _bounded_ancestor(leaf)
+            if ancestor is None:
+                report.unbounded_leaves += 1
+                continue
+            report.widened_leaves += 1
+            if id(ancestor) in fallbacks_used:
+                continue  # the ancestor's interval is already counted
+            fallbacks_used.add(id(ancestor))
+            bound = ancestor.bound.bound
+        intervals.append(bound_interval(bound, domains, default_max))
+    report.classes = _merge_intervals(intervals, slack)
+    if report.degraded_leaves or report.unbounded_leaves:
+        report.status = UNKNOWN
+    else:
+        cells = sum(c.cells for c in report.classes)
+        report.cells = cells
+        bits = math.log2(cells) if cells > 0 else 0.0
+        report.bits_capacity = bits
+        report.bits_min_entropy = bits
+        report.status = (
+            EXACT if all(c.cells == 1 for c in report.classes) else UPPER_BOUND
+        )
+    REPORTS_TOTAL.labels(status=report.status).inc()
+    return report
+
+
+def analyze_leakage(
+    blazer: Blazer,
+    proc: str,
+    slack: int,
+    domains: Optional[Mapping[str, Sequence[int]]] = None,
+    default_max: int = 4096,
+    cost_model: str = "instr",
+    verdict: Optional[BlazerVerdict] = None,
+) -> LeakageReport:
+    """Run the decomposition (unless one is supplied) and quantify it."""
+    with trace_span("leakage.analyze", proc=proc, model=cost_model):
+        if verdict is None:
+            verdict = blazer.analyze(proc)
+        return leakage_from_verdict(
+            verdict,
+            slack,
+            domains=domains,
+            default_max=default_max,
+            cost_model=cost_model,
+        )

@@ -1,0 +1,95 @@
+"""The constant-time crypto corpus: realistic kernels + expected verdicts.
+
+Eight kernels under ``examples/crypto/``, four leaky/fixed pairs drawn
+from the constant-time literature (square-and-multiply vs fixed-sequence
+modexp, secret-indexed sbox lookup vs full-table scan, early-exit vs
+accumulating comparison, branchy vs branchless select).  Each carries
+its expected constant-time verdict under *both* cost models — the
+interesting row is ``sbox_lookup``, constant-time by instruction count
+but leaky once the cache model prices array reads by their index.
+
+The ``.rp`` files are the single source of truth; this module just
+locates and annotates them, so `repro leakage examples/crypto/x.rp`
+and the corpus tests read the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.util.errors import AnalysisError
+
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "examples" / "crypto"
+
+
+@dataclass(frozen=True)
+class CorpusKernel:
+    """One crypto kernel and its expected verdict matrix."""
+
+    name: str
+    proc: str
+    ct_instr: bool  # expected constant-time under the instr model
+    ct_cache: bool  # expected constant-time under the cache model
+    note: str
+
+    @property
+    def path(self) -> Path:
+        return CORPUS_DIR / ("%s.rp" % self.name)
+
+    def source(self) -> str:
+        try:
+            return self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(
+                "crypto corpus kernel %r missing at %s" % (self.name, self.path)
+            ) from exc
+
+
+CRYPTO_CORPUS: List[CorpusKernel] = [
+    CorpusKernel(
+        "modexp_sqmul", "modexp_sqmul", False, False,
+        "square-and-multiply: multiply only on set exponent bits",
+    ),
+    CorpusKernel(
+        "modexp_fixed", "modexp_fixed", True, True,
+        "fixed-sequence modexp with branchless accumulator select",
+    ),
+    CorpusKernel(
+        "sbox_lookup", "sbox_lookup", True, False,
+        "secret-indexed table lookup: public control flow, cache-priced index",
+    ),
+    CorpusKernel(
+        "sbox_scan", "sbox_scan", True, True,
+        "full-table scan with public indices, secret folded arithmetically",
+    ),
+    CorpusKernel(
+        "memcmp_early", "memcmp_early", False, False,
+        "early-exit comparison: time counts the matching prefix",
+    ),
+    CorpusKernel(
+        "memcmp_const", "memcmp_const", True, True,
+        "accumulating comparison over the full public length",
+    ),
+    CorpusKernel(
+        "select_branchy", "select_branchy", False, False,
+        "conditional select via a branch on the secret bit",
+    ),
+    CorpusKernel(
+        "select_branchless", "select_branchless", True, True,
+        "arithmetic blend select, one straight-line path",
+    ),
+]
+
+CORPUS_BY_NAME: Dict[str, CorpusKernel] = {k.name: k for k in CRYPTO_CORPUS}
+
+
+def corpus_kernel(name: str) -> CorpusKernel:
+    kernel = CORPUS_BY_NAME.get(name)
+    if kernel is None:
+        raise AnalysisError(
+            "unknown corpus kernel %r (available: %s)"
+            % (name, ", ".join(sorted(CORPUS_BY_NAME)))
+        )
+    return kernel

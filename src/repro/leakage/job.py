@@ -1,0 +1,131 @@
+"""Source-level and job-shaped entry points for the leakage subsystem.
+
+Mirrors :mod:`repro.core.pdsc`: :func:`leakage_source` is the
+convenience wrapper the CLI and differ call, :func:`leakage_job` is the
+kind-dispatched service entry (plain JSON-safe dicts in and out), and
+:data:`LEAKAGE_JOB_FIELDS` is the fingerprint contract — exactly the
+payload knobs that can change a leakage outcome, hashed into the
+request key so a leakage job never coalesces with any other kind over
+the same program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.core.blazer import Blazer, BlazerConfig, resolve_proc
+from repro.core.observer import ConcreteThresholdObserver, effective_slack
+from repro.domains import DOMAINS
+from repro.leakage.analysis import LeakageReport, analyze_leakage
+from repro.leakage.consttime import ConstTimeReport, check_constant_time
+from repro.leakage.model import resolve_model
+from repro.resilience.budget import Budget
+from repro.util.errors import AnalysisError
+
+LEAKAGE_JOB_FIELDS = (
+    "kind",
+    "source",
+    "proc",
+    "domain",
+    "slack",
+    "cost_model",
+    "max_bits",
+    "max_input",
+    "deadline",
+)
+
+
+def leakage_source(
+    source: str,
+    proc: Optional[str] = None,
+    domain: str = "zone",
+    slack: int = 32,
+    cost_model: str = "instr",
+    max_bits: int = 4096,
+    max_input: int = 4096,
+    deadline: Optional[float] = None,
+) -> Tuple[str, LeakageReport, ConstTimeReport]:
+    """Quantify + constant-time check one procedure of a source program.
+
+    The decomposition runs under a threshold observer at the same slack
+    the leakage count uses, so refinement works toward exactly the
+    classes the report counts.  Returns ``(resolved proc name,
+    leakage report, constant-time report)``.
+    """
+    if domain not in DOMAINS:
+        raise AnalysisError(
+            "unknown domain %r (available: %s)" % (domain, ", ".join(sorted(DOMAINS)))
+        )
+    slack = effective_slack(slack)
+    model = resolve_model(cost_model, max_bits)
+    budget = Budget(wall_seconds=deadline) if deadline is not None else None
+    config = BlazerConfig(
+        domain=domain,
+        observer=ConcreteThresholdObserver(threshold=slack, default_max=max_input),
+        summaries=model.summaries,
+        budget=budget,
+    )
+    blazer = Blazer.from_source(source, config)
+    name = resolve_proc(blazer.cfgs, proc)
+    report = analyze_leakage(
+        blazer,
+        name,
+        slack,
+        default_max=max_input,
+        cost_model=model.name,
+    )
+    consttime = check_constant_time(blazer, name, model)
+    return name, report, consttime
+
+
+def result_digest(proc: str, report: LeakageReport, consttime: ConstTimeReport) -> str:
+    """Content digest of a leakage outcome — the cross-process equality
+    witness, computed over the timing-free report dicts."""
+    body = json.dumps(
+        {
+            "proc": proc,
+            "leakage": report.to_dict(),
+            "consttime": consttime.to_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def leakage_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Job-shaped entry point, mirroring :func:`repro.core.pdsc.pdsc_job`.
+
+    ``status`` maps onto the service's verdict vocabulary: a report
+    with a sound bits bound (exact or upper-bound) is "safe" — the
+    *analysis* succeeded; how many bits it found is data, not a
+    failure — while a degraded/unbounded report is "unknown".
+    """
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise AnalysisError("job payload needs a non-empty 'source'")
+    deadline = payload.get("deadline")
+    proc, report, consttime = leakage_source(
+        source,
+        proc=payload.get("proc"),  # type: ignore[arg-type]
+        domain=str(payload.get("domain", "zone")),
+        slack=int(payload.get("slack", 32)),  # type: ignore[arg-type]
+        cost_model=str(payload.get("cost_model", "instr")),
+        max_bits=int(payload.get("max_bits", 4096)),  # type: ignore[arg-type]
+        max_input=int(payload.get("max_input", 4096)),  # type: ignore[arg-type]
+        deadline=float(deadline) if deadline is not None else None,  # type: ignore[arg-type]
+    )
+    return {
+        "kind": "leakage",
+        "proc": proc,
+        "status": "unknown" if report.cells is None else "safe",
+        "leakage_status": report.status,
+        "constant_time": consttime.constant_time,
+        "cells": report.cells,
+        "bits_capacity": report.bits_capacity,
+        "digest": result_digest(proc, report, consttime),
+        "leakage": report.to_dict(),
+        "consttime": consttime.to_dict(),
+    }

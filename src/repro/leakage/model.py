@@ -1,0 +1,200 @@
+"""Pluggable cost models for the leakage subsystem.
+
+A *cost model* pairs the two halves of the machine model that must
+agree for differential checking to mean anything:
+
+* a :class:`~repro.bounds.summaries.SummaryRegistry` — the symbolic
+  per-call cost intervals the bound analysis charges;
+* an :class:`~repro.interp.externs.ExternRegistry` — the concrete
+  implementations (value + cost) the interpreter executes.
+
+Two models ship:
+
+``instr``
+    The instruction-count model: every extern costs a constant, an
+    array read through :data:`ARRAY_READ` costs
+    :data:`CACHE_HIT_COST` regardless of the index.  This is the
+    paper's platform model extended with a uniform memory.
+
+``cache``
+    A cache-aware model per "Proving the Absence of Microarchitectural
+    Timing Channels" (PAPERS.md): the machine has one warm cache line
+    holding the first :data:`CACHE_LINE` elements of every array; a
+    read inside the line costs :data:`CACHE_HIT_COST`, anything beyond
+    it costs :data:`CACHE_MISS_COST`.  The symbolic summary is the
+    interval ``[hit, miss]`` — a *variable-cost* call, so a
+    secret-indexed table lookup is a timing channel under this model
+    even when the control flow is perfectly public (the classic AES
+    sbox leak).  The concrete model is deterministic in the index, so
+    oracle runs stay reproducible and always land inside the summary.
+
+Array reads go through the ``arrayRead(t: int[], i: int): int`` extern
+rather than the built-in indexing operator: built-in reads are part of
+the instruction count (constant weight), while the extern routes the
+access through the cost-summary hook where a model can price it.  The
+index is reduced modulo the array length (an empty array faults), so
+generated programs can call it with arbitrary expressions.
+
+The differential generator additionally emits scalar cost externs whose
+interval is spelled in the *name* — ``cost_<lo>_<hi>(a: int): int`` —
+so a shrunk reproducer pinned as bare source text still reconstructs
+its registries: :func:`extern_env` parses the extern declarations back
+out of any source string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Sequence, Tuple
+
+from repro.bounds.summaries import CallSummary, SummaryRegistry, default_summaries
+from repro.interp.externs import ExternRegistry, default_registry
+from repro.util.errors import AnalysisError, InterpError
+
+ARRAY_READ = "arrayRead"
+
+# The toy microarchitecture: one warm line of CACHE_LINE elements at
+# the front of every array.  The hit/miss gap (32) is deliberately the
+# same order as the degree observer's default epsilon: one secret-
+# dependent miss is observable.
+CACHE_LINE = 4
+CACHE_HIT_COST = 2
+CACHE_MISS_COST = 34
+
+# extern names of the form cost_<lo>_<hi> carry their own summary.
+_COST_NAME = re.compile(r"^cost_(\d+)_(\d+)$")
+_EXTERN_DECL = re.compile(r"\bextern\s+([A-Za-z_]\w*)\s*\(")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One coherent machine model: symbolic and concrete sides together.
+
+    ``cost_args`` names, per extern, the 0-based argument positions
+    whose *values* drive the cost (for ``arrayRead`` the index, not the
+    array identity).  The constant-time checker flags a variable-cost
+    call only when a cost-relevant argument is secret-tainted; externs
+    absent from the map conservatively treat every argument as
+    cost-relevant.
+    """
+
+    name: str
+    summaries: SummaryRegistry
+    externs: ExternRegistry
+    cost_args: Tuple[Tuple[str, Tuple[int, ...]], ...] = ((ARRAY_READ, (1,)),)
+
+    def cost_relevant_args(self, callee: str, arg_count: int) -> Tuple[int, ...]:
+        for name, positions in self.cost_args:
+            if name == callee:
+                return positions
+        return tuple(range(arg_count))
+
+
+def _array_read_impl(hit: int, miss: int):
+    def impl(args: Sequence[object]) -> Tuple[object, int]:
+        arr, idx = args[0], int(args[1])  # type: ignore[arg-type]
+        if not isinstance(arr, list):
+            raise InterpError("arrayRead expects an array")
+        if not arr:
+            raise InterpError("arrayRead on an empty array")
+        j = idx % len(arr)
+        return arr[j], hit if j < CACHE_LINE else miss
+
+    return impl
+
+
+def _uniform_array_read(cost: int):
+    def impl(args: Sequence[object]) -> Tuple[object, int]:
+        arr, idx = args[0], int(args[1])  # type: ignore[arg-type]
+        if not isinstance(arr, list):
+            raise InterpError("arrayRead expects an array")
+        if not arr:
+            raise InterpError("arrayRead on an empty array")
+        return arr[idx % len(arr)], cost
+
+    return impl
+
+
+def _ranged_cost_impl(lo: int, hi: int):
+    """cost_<lo>_<hi>: identity on its argument, cost deterministic in
+    the argument value and always inside ``[lo, hi]``."""
+
+    def impl(args: Sequence[object]) -> Tuple[object, int]:
+        value = int(args[0])  # type: ignore[arg-type]
+        span = hi - lo
+        cost = lo if span == 0 else lo + (abs(value) % (span + 1))
+        return value, cost
+
+    return impl
+
+
+def instr_model(max_bits: int = 4096) -> CostModel:
+    """The uniform instruction-count model: array reads always hit."""
+    summaries = default_summaries(max_bits)
+    hit = Fraction(CACHE_HIT_COST)
+    summaries.register(CallSummary(ARRAY_READ, hit, hit))
+    externs = default_registry()
+    externs.register(ARRAY_READ, _uniform_array_read(CACHE_HIT_COST))
+    return CostModel(name="instr", summaries=summaries, externs=externs)
+
+
+def cache_model(max_bits: int = 4096) -> CostModel:
+    """The cache-aware model: reads beyond the warm line miss."""
+    summaries = default_summaries(max_bits)
+    summaries.register(
+        CallSummary(
+            ARRAY_READ, Fraction(CACHE_HIT_COST), Fraction(CACHE_MISS_COST)
+        )
+    )
+    externs = default_registry()
+    externs.register(ARRAY_READ, _array_read_impl(CACHE_HIT_COST, CACHE_MISS_COST))
+    return CostModel(name="cache", summaries=summaries, externs=externs)
+
+
+COST_MODELS = {
+    "instr": instr_model,
+    "cache": cache_model,
+}
+
+
+def resolve_model(name: str, max_bits: int = 4096) -> CostModel:
+    factory = COST_MODELS.get(name)
+    if factory is None:
+        raise AnalysisError(
+            "unknown cost model %r (available: %s)"
+            % (name, ", ".join(sorted(COST_MODELS)))
+        )
+    return factory(max_bits)
+
+
+def extern_env(source: str, max_bits: int = 4096) -> CostModel:
+    """The cost model a bare source string implies.
+
+    Scans the text for extern declarations and registers the
+    self-describing ones — ``cost_<lo>_<hi>`` scalar externs — on top
+    of the cache-aware base model (which already prices ``arrayRead``
+    and the BigInteger/md5 externs).  Both differ subjects and corpus
+    replays call this, so a program is checkable from its source alone:
+    no side-channel metadata to lose between a campaign and its pinned
+    reproducer.
+    """
+    model = cache_model(max_bits)
+    cost_args: Dict[str, Tuple[int, ...]] = dict(model.cost_args)
+    for name in _EXTERN_DECL.findall(source):
+        match = _COST_NAME.match(name)
+        if match is None:
+            continue
+        lo, hi = int(match.group(1)), int(match.group(2))
+        if hi < lo:
+            raise AnalysisError("extern %r declares an empty cost interval" % name)
+        model.summaries.register(CallSummary(name, Fraction(lo), Fraction(hi)))
+        model.externs.register(name, _ranged_cost_impl(lo, hi))
+        cost_args[name] = (0,)
+    return CostModel(
+        name="generated",
+        summaries=model.summaries,
+        externs=model.externs,
+        cost_args=tuple(sorted(cost_args.items())),
+    )

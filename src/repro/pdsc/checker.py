@@ -136,9 +136,10 @@ class PDSC:
         max_pairs: int = 4000,
         max_refinements: int = 4,
         deadline: Optional[float] = None,
+        summaries=None,
     ):
         self._cfg = cfg
-        self._semantics = PairSemantics(cfg, domain)
+        self._semantics = PairSemantics(cfg, domain, summaries=summaries)
         self._epsilon = epsilon
         self._max_pairs = max_pairs
         self._max_refinements = max_refinements

@@ -38,6 +38,7 @@ from typing import Any, Dict, Deque, List, Optional, Tuple
 
 from repro.core.blazer import JOB_FIELDS, resolve_proc
 from repro.core.pdsc import PDSC_JOB_FIELDS
+from repro.leakage.job import LEAKAGE_JOB_FIELDS
 from repro.util.errors import ReproError
 
 # kind → the payload fields that participate in its fingerprint.  The
@@ -48,6 +49,7 @@ from repro.util.errors import ReproError
 KIND_FIELDS = {
     "analyze": JOB_FIELDS,
     "pdsc": PDSC_JOB_FIELDS,
+    "leakage": LEAKAGE_JOB_FIELDS,
 }
 
 # Job lifecycle: queued → running → done | failed.

@@ -10,7 +10,9 @@ Payloads carry a ``kind`` discriminator: ``"analyze"`` (the default
 when absent — every pre-kind client keeps working) runs Blazer's
 decomposition via :func:`repro.core.blazer.analyze_job`; ``"pdsc"``
 runs the property-directed self-composition checker via
-:func:`repro.core.pdsc.pdsc_job`.  Unknown kinds fail the job — but
+:func:`repro.core.pdsc.pdsc_job`; ``"leakage"`` runs the quantitative
+leakage + constant-time analysis via
+:func:`repro.leakage.job.leakage_job`.  Unknown kinds fail the job — but
 submissions are validated earlier, at fingerprint time, so a bad kind
 normally fails its sender instead of a worker.
 
@@ -26,6 +28,7 @@ from typing import Any, Dict
 
 from repro.core.blazer import analyze_job
 from repro.core.pdsc import pdsc_job
+from repro.leakage.job import leakage_job
 from repro.resilience import faults
 from repro.util.errors import AnalysisError
 
@@ -34,6 +37,7 @@ from repro.util.errors import AnalysisError
 JOB_KINDS = {
     "analyze": analyze_job,
     "pdsc": pdsc_job,
+    "leakage": leakage_job,
 }
 
 

@@ -41,7 +41,7 @@ def test_report_shape_and_exit_code_clean():
         "count": 6,
         "threshold": 24,
         "domain": "zone",
-        "subjects": ["blazer", "selfcomp", "consttime", "pdsc"],
+        "subjects": ["blazer", "selfcomp", "consttime", "pdsc", "leakage"],
     }
     assert record["summary"]["programs"] == 6
     assert len(record["programs"]) == 6

@@ -81,3 +81,79 @@ def test_domains_follow_declared_types():
     declared = {p.name: p.declared for p in checked.procs[0].params}
     for name, values in program.domains:
         assert tuple(values) == cfg.domain(declared[name])
+
+
+def test_extern_prob_zero_is_byte_identical_to_the_legacy_stream():
+    # The determinism contract across the config extension: with
+    # extern_prob at its 0.0 default the rng is never consulted for
+    # extern decisions, so pre-extern campaign journals stay replayable.
+    plain = GeneratorConfig()
+    explicit = GeneratorConfig(extern_prob=0.0, max_cost_externs=5)
+    for index in range(20):
+        assert (
+            generate_program(3, index, plain).source
+            == generate_program(3, index, explicit).source
+        )
+
+
+def test_extern_emission_is_deterministic_and_well_typed():
+    cfg = GeneratorConfig(extern_prob=0.3)
+    with_cost = with_array = 0
+    for index in range(20):
+        a = generate_program(9, index, cfg)
+        b = generate_program(9, index, cfg)
+        assert a.source == b.source
+        checked = frontend(a.source)  # externs must typecheck too
+        assert checked.procs[-1].name == "main"
+        if "extern cost_" in a.source:
+            with_cost += 1
+        if "arrayRead" in a.source:
+            with_array += 1
+    assert with_cost > 0, "extern_prob=0.3 must emit cost externs"
+    assert with_array > 0, "extern_prob=0.3 must emit arrayRead programs"
+
+
+def test_cost_extern_names_carry_their_summary():
+    import re
+
+    from repro.leakage.model import extern_env
+
+    cfg = GeneratorConfig(extern_prob=0.5)
+    seen = 0
+    for index in range(30):
+        program = generate_program(4, index, cfg)
+        names = re.findall(r"\bextern\s+(cost_\d+_\d+)\s*\(", program.source)
+        if not names:
+            continue
+        seen += 1
+        model = extern_env(program.source)
+        for name in names:
+            lo, hi = (int(x) for x in name.split("_")[1:])
+            summary = model.summaries.lookup(name)
+            assert summary is not None
+            assert (summary.lo, summary.hi) == (lo, hi)
+            assert lo <= hi
+    assert seen > 0
+
+
+def test_extern_bearing_programs_still_terminate_and_enumerate():
+    import itertools
+
+    from repro.leakage.model import extern_env
+
+    cfg = GeneratorConfig(extern_prob=0.4)
+    checked_any = False
+    for index in range(8):
+        program = generate_program(6, index, cfg)
+        if "extern" not in program.source:
+            continue
+        checked_any = True
+        model = extern_env(program.source)
+        interp = Interpreter(
+            compile_to_cfgs(program.source), externs=model.externs, fuel=50_000
+        )
+        names = [name for name, _ in program.domains]
+        spaces = [values for _, values in program.domains]
+        for combo in itertools.product(*spaces):
+            interp.run("main", dict(zip(names, combo)))  # must not raise
+    assert checked_any

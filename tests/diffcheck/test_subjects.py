@@ -39,7 +39,7 @@ DOMAINS = {"l": (0, 1, 2), "h": (-1, 0, 1, 2)}
 def test_parse_subjects_is_order_insensitive_and_canonical():
     assert parse_subjects("pdsc,blazer") == ("blazer", "pdsc")
     assert parse_subjects("blazer, pdsc, blazer") == ("blazer", "pdsc")
-    assert parse_subjects("blazer,selfcomp,consttime,pdsc") == SUBJECTS
+    assert parse_subjects("blazer,selfcomp,consttime,pdsc,leakage") == SUBJECTS
 
 
 def test_parse_subjects_rejects_unknown_and_empty():

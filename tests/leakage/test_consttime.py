@@ -1,0 +1,158 @@
+"""Constant-time checking: the crypto corpus and the slack endpoints.
+
+Two families of regression:
+
+* the 8-kernel corpus must reproduce its expected verdict under both
+  cost models — the instruction-count model prices every ``arrayRead``
+  the same (a table lookup is constant-time), the cache-aware model
+  prices hit/miss differently (the same lookup becomes variable-time
+  when the index is secret);
+* the ε endpoint convention — ``effective_slack`` clamps ε=0 to ε=1 on
+  every consumer (threshold observers, the exhaustive oracle, the
+  leakage slack), so "any nonzero gap is visible" is one observer, not
+  two, and a boundary gap of exactly ε is distinguishable on both the
+  static and the concrete side.
+"""
+
+import pytest
+
+from repro.core.blazer import Blazer, BlazerConfig
+from repro.core.observer import (
+    ConcreteThresholdObserver,
+    DomainThresholdObserver,
+    effective_slack,
+)
+from repro.diffcheck.oracle import TimingOracle, cluster_count, observer_slack
+from repro.interp import Interpreter
+from repro.leakage import CRYPTO_CORPUS, check_constant_time, resolve_model
+from tests.helpers import compile_to_cfgs
+
+pytestmark = pytest.mark.leakage
+
+SECRET_LOOP = """
+proc pad(secret k: uint, public n: uint): int {
+    var i: int = 0;
+    while (i < k) { i = i + 1; }
+    return i;
+}
+"""
+
+
+@pytest.mark.parametrize("kernel", CRYPTO_CORPUS, ids=lambda k: k.name)
+@pytest.mark.parametrize("model_name", ["instr", "cache"])
+def test_corpus_kernel_matches_expected_verdict(kernel, model_name):
+    expected = kernel.ct_instr if model_name == "instr" else kernel.ct_cache
+    model = resolve_model(model_name)
+    blazer = Blazer.from_source(
+        kernel.source(), BlazerConfig(summaries=model.summaries)
+    )
+    report = check_constant_time(blazer, kernel.proc, model)
+    assert report.constant_time == expected, (
+        "%s under the %s model: got constant_time=%s, expected %s"
+        % (kernel.name, model_name, report.constant_time, expected)
+    )
+
+
+def test_variable_time_reports_name_the_culprit():
+    kernel = next(k for k in CRYPTO_CORPUS if k.name == "sbox_lookup")
+    model = resolve_model("cache")
+    blazer = Blazer.from_source(
+        kernel.source(), BlazerConfig(summaries=model.summaries)
+    )
+    report = check_constant_time(blazer, kernel.proc, model)
+    assert not report.constant_time
+    assert report.offending_calls, "cache violation must carry the call site"
+    assert all(v.callee == "arrayRead" for v in report.offending_calls)
+    record = report.to_dict()
+    assert record["constant_time"] is False
+    assert record["offending_calls"][0]["callee"] == "arrayRead"
+
+
+def test_effective_slack_clamps_zero_to_one():
+    assert effective_slack(0) == 1
+    assert effective_slack(1) == 1
+    assert effective_slack(7) == 7
+    assert effective_slack(-3) == 1
+
+
+def test_observers_agree_with_oracle_at_epsilon_zero():
+    # ε=0 and ε=1 must be the *same* observer everywhere: same blazer
+    # verdict, same oracle verdict, same cluster counts.
+    domains = {"k": tuple(range(0, 4)), "n": (0, 1)}
+    cfgs = compile_to_cfgs(SECRET_LOOP)
+    verdicts = []
+    for threshold in (0, 1):
+        blazer = Blazer.from_source(
+            SECRET_LOOP,
+            BlazerConfig(
+                observer=DomainThresholdObserver(
+                    threshold=threshold, domains=domains
+                )
+            ),
+        )
+        verdicts.append(blazer.analyze("pad").status)
+        oracle = TimingOracle(
+            interpreter=Interpreter(cfgs),
+            cfg=cfgs["pad"],
+            domains=domains,
+            slack=effective_slack(threshold),
+        ).run()
+        assert oracle.leaky  # the loop count is the secret
+    assert verdicts[0] == verdicts[1]
+    times = [0, 5, 11]
+    assert cluster_count(times, 0) == cluster_count(times, 1) == 3
+
+
+def test_boundary_gap_is_distinguishable_at_exact_slack():
+    # The endpoint convention: a low-equivalent pair with gap exactly g
+    # is leaky at slack g (gap >= slack) and safe at slack g+1.  The
+    # static side must agree: at slack g the bound's spread >= g, so no
+    # narrowness claim is sound and blazer must not answer "safe".
+    domains = {"k": tuple(range(0, 4)), "n": (0, 1)}
+    cfgs = compile_to_cfgs(SECRET_LOOP)
+    interp = Interpreter(cfgs)
+    base = TimingOracle(
+        interpreter=interp, cfg=cfgs["pad"], domains=domains, slack=1
+    ).run()
+    gap = base.max_gap
+    assert gap > 0
+    at_gap = TimingOracle(
+        interpreter=interp, cfg=cfgs["pad"], domains=domains, slack=gap
+    ).run()
+    past_gap = TimingOracle(
+        interpreter=interp, cfg=cfgs["pad"], domains=domains, slack=gap + 1
+    ).run()
+    assert at_gap.leaky and not past_gap.leaky
+
+    blazer = Blazer.from_source(
+        SECRET_LOOP,
+        BlazerConfig(
+            observer=DomainThresholdObserver(threshold=gap, domains=domains)
+        ),
+    )
+    assert blazer.analyze("pad").status != "safe"
+
+
+def test_observer_slack_mirrors_effective_slack():
+    assert observer_slack(ConcreteThresholdObserver(threshold=0)) == 1
+    assert observer_slack(ConcreteThresholdObserver(threshold=24)) == 24
+    assert observer_slack(DomainThresholdObserver(threshold=0)) == 1
+
+
+def test_constant_time_claim_means_zero_oracle_gap():
+    # check_constant_time is slack-free: a "constant-time" claim asserts
+    # a gap of exactly zero, which the oracle can refute at slack 1.
+    kernel = next(k for k in CRYPTO_CORPUS if k.name == "select_branchless")
+    model = resolve_model("instr")
+    source = kernel.source()
+    blazer = Blazer.from_source(source, BlazerConfig(summaries=model.summaries))
+    report = check_constant_time(blazer, kernel.proc, model)
+    assert report.constant_time
+    cfgs = compile_to_cfgs(source)
+    oracle = TimingOracle(
+        interpreter=Interpreter(cfgs, externs=model.externs),
+        cfg=cfgs[kernel.proc],
+        domains={"bit": (0, 1), "a": (0, 3), "b": (0, 3)},
+        slack=1,
+    ).run()
+    assert oracle.max_gap == 0

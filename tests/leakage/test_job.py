@@ -1,0 +1,151 @@
+"""The leakage job body, its digest, the service plumbing, the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.leakage import (
+    LEAKAGE_JOB_FIELDS,
+    leakage_job,
+    leakage_source,
+    result_digest,
+)
+from repro.service.jobs import KIND_FIELDS, fingerprint_job, intake_payload
+from repro.util.errors import ReproError
+
+pytestmark = pytest.mark.leakage
+
+LEAKY_SRC = """
+proc pad(secret k: uint, public n: uint): int {
+    var i: int = 0;
+    while (i < k) { i = i + 1; }
+    return i;
+}
+"""
+
+CT_SRC = """
+proc sel(secret bit: int, public a: int, public b: int): int {
+    var r: int = a * bit + b * (1 - bit);
+    return r;
+}
+"""
+
+
+def test_job_result_shape_and_digest_stability():
+    payload = {
+        "kind": "leakage",
+        "source": CT_SRC,
+        "slack": 8,
+        "max_input": 16,
+    }
+    result = leakage_job(dict(payload))
+    assert result["kind"] == "leakage"
+    assert result["proc"] == "sel"
+    assert result["status"] == "safe"
+    assert result["constant_time"] is True
+    assert result["cells"] == 1
+    assert result["bits_capacity"] == 0.0
+    assert result["leakage"]["status"] == "exact"
+    assert result["consttime"]["constant_time"] is True
+    # Same payload, fresh run: byte-identical digest.
+    again = leakage_job(dict(payload))
+    assert again["digest"] == result["digest"]
+
+
+def test_digest_moves_with_the_knobs():
+    proc, report, consttime = leakage_source(CT_SRC, slack=8, max_input=16)
+    base = result_digest(proc, report, consttime)
+    _, wider, consttime2 = leakage_source(CT_SRC, slack=64, max_input=16)
+    assert result_digest(proc, wider, consttime2) != base or (
+        wider.to_dict() == report.to_dict()
+    )
+
+
+def test_leaky_source_is_not_constant_time():
+    proc, report, consttime = leakage_source(LEAKY_SRC, slack=1, max_input=8)
+    assert proc == "pad"
+    assert not consttime.constant_time
+    assert report.cells is None or report.cells > 1
+
+
+def test_job_rejects_bad_model_and_domain():
+    with pytest.raises(Exception):
+        leakage_source(CT_SRC, cost_model="tlb")
+    with pytest.raises(Exception):
+        leakage_source(CT_SRC, domain="nope")
+
+
+def test_service_fingerprints_leakage_kind():
+    assert KIND_FIELDS["leakage"] is LEAKAGE_JOB_FIELDS
+    message = {
+        "op": "submit",
+        "kind": "leakage",
+        "source": CT_SRC,
+        "slack": 8,
+        "cost_model": "cache",
+        "priority": 3,  # not a job field: must not survive intake
+    }
+    payload = intake_payload(message)
+    assert payload["kind"] == "leakage"
+    assert payload["cost_model"] == "cache"
+    assert "priority" not in payload
+    key, proc = fingerprint_job(payload)
+    assert proc == "sel"
+    # The knobs are part of the fingerprint: a different cost model is
+    # a different job, the same payload coalesces.
+    other = dict(payload, cost_model="instr")
+    assert fingerprint_job(other)[0] != key
+    assert fingerprint_job(dict(payload))[0] == key
+    # And a leakage job never coalesces with an analyze job.
+    plain = {"source": CT_SRC}
+    assert fingerprint_job(plain)[0] != key
+
+
+def test_fingerprint_rejects_unknown_kind():
+    with pytest.raises(ReproError):
+        fingerprint_job({"source": CT_SRC, "kind": "tlb"})
+
+
+@pytest.fixture
+def ct_file(tmp_path):
+    path = tmp_path / "sel.rp"
+    path.write_text(CT_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def leaky_file(tmp_path):
+    path = tmp_path / "pad.rp"
+    path.write_text(LEAKY_SRC)
+    return str(path)
+
+
+class TestCli:
+    def test_constant_time_exits_zero(self, ct_file, capsys):
+        assert main(["leakage", ct_file, "--max-input", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "CONSTANT-TIME" in out
+
+    def test_variable_time_exits_two(self, leaky_file, capsys):
+        code = main(["leakage", leaky_file, "--slack", "1", "--max-input", "8"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "NOT constant-time" in out
+        assert "secret-dependent branches" in out
+
+    def test_both_models_json(self, ct_file, capsys):
+        assert main(["leakage", ct_file, "--model", "both", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert isinstance(records, list) and len(records) == 2
+        models = {r["leakage"]["cost_model"] for r in records}
+        assert models == {"instr", "cache"}
+        for record in records:
+            assert record["consttime"]["constant_time"] is True
+            assert record["digest"]
+
+    def test_unknown_on_exhausted_deadline(self, leaky_file):
+        code = main(
+            ["leakage", leaky_file, "--slack", "1", "--deadline", "0.000001"]
+        )
+        assert code == 3

@@ -1,0 +1,109 @@
+"""Cost models: the extern pricing interface and its generated form.
+
+A cost model is (summaries, extern impls, cost-relevant argument
+positions).  The two built-ins differ in exactly one summary —
+``arrayRead`` is flat under ``instr`` and hit/miss-priced under
+``cache`` — and :func:`extern_env` manufactures a model from the
+self-describing ``cost_<lo>_<hi>`` extern names the generator emits,
+so a bare source file is enough to replay any corpus entry.
+"""
+
+import pytest
+
+from repro.leakage.model import (
+    ARRAY_READ,
+    CACHE_HIT_COST,
+    CACHE_LINE,
+    CACHE_MISS_COST,
+    COST_MODELS,
+    cache_model,
+    extern_env,
+    instr_model,
+    resolve_model,
+)
+from repro.util.errors import AnalysisError, InterpError
+
+pytestmark = pytest.mark.leakage
+
+
+def test_builtin_models_price_array_read_differently():
+    instr = instr_model().summaries.lookup(ARRAY_READ)
+    cache = cache_model().summaries.lookup(ARRAY_READ)
+    assert instr is not None and instr.lo == instr.hi
+    assert cache is not None and cache.lo == CACHE_HIT_COST
+    assert cache.hi == CACHE_MISS_COST
+    assert cache.lo != cache.hi
+
+
+def test_resolve_model_names_and_errors():
+    assert resolve_model("instr").name == "instr"
+    assert resolve_model("cache").name == "cache"
+    assert set(COST_MODELS) == {"instr", "cache"}
+    with pytest.raises(AnalysisError):
+        resolve_model("tlb")
+
+
+def test_cost_relevant_args_defaults_to_index_position():
+    model = cache_model()
+    # arrayRead's cost depends on the index (position 1), not the table.
+    assert model.cost_relevant_args(ARRAY_READ, 2) == (1,)
+    # Unlisted externs: every argument is conservatively cost-relevant.
+    assert model.cost_relevant_args("bigMultiply", 2) == (0, 1)
+
+
+def test_cache_impl_prices_hit_and_miss():
+    impl = cache_model().externs.resolve(ARRAY_READ).impl
+    table = [0] * 8
+    # Index inside the first cache line: hit; beyond it: miss.
+    _, hit = impl([table, 0])
+    _, miss = impl([table, CACHE_LINE])
+    assert hit == CACHE_HIT_COST
+    assert miss == CACHE_MISS_COST
+    # The modelled cost wraps with the table length like the access does.
+    _, wrapped = impl([table, 8])
+    assert wrapped == CACHE_HIT_COST
+
+
+def test_instr_impl_is_flat():
+    impl = instr_model().externs.resolve(ARRAY_READ).impl
+    table = [0] * 8
+    assert {impl([table, i])[1] for i in range(8)} == {CACHE_HIT_COST}
+
+
+def test_array_read_rejects_degenerate_tables():
+    impl = cache_model().externs.resolve(ARRAY_READ).impl
+    with pytest.raises(InterpError):
+        impl([[], 0])
+    with pytest.raises(InterpError):
+        impl([3, 0])
+
+
+def test_extern_env_parses_ranged_cost_names():
+    source = """
+    extern cost_3_17(a: int): int;
+    extern cost_5_5(a: int): int;
+    extern arrayRead(t: int[], i: int): int;
+
+    proc main(public l: int): int { return cost_3_17(l); }
+    """
+    model = extern_env(source)
+    assert model.name == "generated"
+    ranged = model.summaries.lookup("cost_3_17")
+    assert (ranged.lo, ranged.hi) == (3, 17)
+    flat = model.summaries.lookup("cost_5_5")
+    assert (flat.lo, flat.hi) == (5, 5)
+    assert model.summaries.lookup(ARRAY_READ) is not None
+    # The impl's cost stays inside the declared summary range.
+    impl = model.externs.resolve("cost_3_17").impl
+    for v in range(-20, 21):
+        value, cost = impl([v])
+        assert value == v
+        assert 3 <= cost <= 17
+    assert model.cost_relevant_args("cost_3_17", 1) == (0,)
+
+
+def test_extern_env_without_externs_matches_instr():
+    model = extern_env("proc main(public l: int): int { return l; }")
+    # No cost_* names: the environment degrades to the flat model plus
+    # the default summaries, so extern-free sources are priced as before.
+    assert model.summaries.lookup(ARRAY_READ).lo == CACHE_HIT_COST

@@ -1,0 +1,109 @@
+"""The headline soundness claim, checked at population scale.
+
+200 seeded generated programs (a quarter of them bearing priced extern
+calls), each decided two ways: the exhaustive oracle computes the
+*exact* per-low-class leakage from every concrete trace, the analysis
+derives its bound from the trail decomposition alone.  The bound must
+dominate the truth on every single program — one under-report is a
+soundness bug, zero tolerance.  The sabotage test closes the loop on
+the harness itself: an engine rigged to claim zero leakage must be
+caught by the same comparison, proving the sweep can actually fail.
+"""
+
+import pytest
+
+from repro.diffcheck.campaign import CampaignConfig, run_campaign
+from repro.diffcheck.differ import DiffConfig
+from repro.diffcheck.generator import GeneratorConfig
+
+pytestmark = pytest.mark.leakage
+
+SWEEP_COUNT = 200
+
+# Small programs decide the same invariant at a tenth of the wall
+# clock; extern_prob matches the bench so cost-summary calls (including
+# arrayRead) are represented in the population.
+SWEEP = CampaignConfig(
+    seed=11,
+    count=SWEEP_COUNT,
+    diff=DiffConfig(
+        subjects=("blazer", "consttime", "leakage"), max_refinements=1
+    ),
+    generator=GeneratorConfig(
+        max_stmts=3, max_depth=1, max_loops=1, extern_prob=0.25
+    ),
+    shrink=False,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    return run_campaign(SWEEP, jobs=2)
+
+
+def test_zero_under_reports_across_the_population(sweep_report):
+    under = [
+        o
+        for o in sweep_report.outcomes
+        if o.leakage_cells is not None
+        and o.oracle_cells is not None
+        and o.leakage_cells < o.oracle_cells
+    ]
+    assert not under, (
+        "SOUNDNESS BUG: %d program(s) where the leakage bound claims "
+        "fewer timing classes than the oracle distinguishes: %s"
+        % (len(under), [o.name for o in under[:5]])
+    )
+    assert not sweep_report.soundness_bugs
+    summary = sweep_report.to_dict()["summary"]
+    assert summary["errors"] == 0
+    assert summary["programs"] == SWEEP_COUNT
+
+
+def test_population_exercises_every_status(sweep_report):
+    summary = sweep_report.to_dict()["summary"]
+    # The sweep is only meaningful if all three report values actually
+    # occur: exact claims, pigeonhole upper bounds, and honest unknowns
+    # (genuinely unbounded attack-split leaves).
+    assert summary["leakage_exact"] > 0
+    assert summary["leakage_upper_bound"] > 0
+    assert summary["oracle_leaky"] > 0
+
+
+def test_bound_dominates_on_every_decided_program(sweep_report):
+    decided = [
+        o
+        for o in sweep_report.outcomes
+        if o.leakage_cells is not None and o.oracle_cells is not None
+    ]
+    assert decided, "no program got both a bound and an oracle count"
+    for outcome in decided:
+        assert outcome.leakage_cells >= outcome.oracle_cells
+
+
+def test_sabotaged_leakage_engine_is_caught():
+    config = CampaignConfig(
+        seed=11,
+        count=30,
+        diff=DiffConfig(
+            subjects=("blazer", "consttime", "leakage"),
+            max_refinements=1,
+            break_engine="leakage-zero",
+        ),
+        generator=GeneratorConfig(
+            max_stmts=3, max_depth=1, max_loops=1, extern_prob=0.25
+        ),
+        shrink=False,
+    )
+    report = run_campaign(config, jobs=2)
+    assert report.soundness_bugs, (
+        "an engine rigged to report zero leakage must surface as a "
+        "soundness bug"
+    )
+    assert any(
+        d.get("engine") == "leakage"
+        for o in report.soundness_bugs
+        for d in o.disagreements
+        if d.get("kind") == "soundness_bug"
+    )
+    assert report.exit_code == 1
