@@ -3,9 +3,9 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke bench-service bench-diffcheck bench-leakage table1
+.PHONY: test test-resilience smoke-service smoke-service-load smoke-metrics diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke incremental-smoke incremental-sweep bench-service bench-diffcheck bench-leakage table1
 
-test: diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke smoke-service-load
+test: diffcheck-smoke pdsc-smoke leakage-smoke perf-smoke incremental-smoke smoke-service-load
 	$(PYTHON) -m pytest -q
 
 # Differential fuzz smoke: 500 generated programs cross-checked against
@@ -58,6 +58,24 @@ bench-leakage:
 # and byte-identical digests.  Well under 90 s.
 perf-smoke:
 	$(PYTHON) benchmarks/bench_perf.py --quick --output /tmp/bench_quick.json
+
+# Incremental re-analysis gate (docs/PERFORMANCE.md): a 12-program
+# incremental-vs-scratch equivalence sweep (digests and per-node bounds
+# must agree at every refinement round) followed by the refine.delta
+# sabotage self-test, which corrupts exactly one reused parent fixpoint
+# and requires the sweep to flag exactly one divergence.  Under 60 s on
+# one core.
+incremental-smoke:
+	$(PYTHON) benchmarks/bench_incremental.py --quick
+
+# The full acceptance sweep: 300 generated programs through the
+# worker pool, then the sabotage self-test (serial, small count — the
+# injected fault fires on the first reused artifact).  The same battery
+# runs under pytest as `-m incremental`
+# (tests/properties/test_incremental_props.py).
+incremental-sweep:
+	$(PYTHON) benchmarks/bench_incremental.py
+	$(PYTHON) benchmarks/bench_incremental.py --sabotage --count 24
 
 test-resilience:
 	$(PYTHON) -m pytest -q -m resilience

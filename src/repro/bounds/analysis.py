@@ -166,6 +166,7 @@ class BoundAnalysis:
         trail_dfa: Optional[DFA] = None,
         proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
         budget=None,
+        trail=None,
     ):
         self._cfg = cfg
         self._domain = domain
@@ -175,6 +176,12 @@ class BoundAnalysis:
         # Cooperative budget (repro.resilience.budget), shared with the
         # fixpoint engine; None disables every checkpoint.
         self._budget = budget
+        # The trail being analyzed (when the caller has one): carries the
+        # RefinementDelta that directs the incremental plane, and the
+        # lineage fingerprint its artifacts are published under.  None
+        # keeps every incremental path inert for this analysis.
+        self._trail = trail
+        self._delta = getattr(trail, "delta", None) if trail is not None else None
         self._engine = Engine(
             cfg, domain, trail_dfa, summaries=self._summaries, budget=budget
         )
@@ -190,6 +197,12 @@ class BoundAnalysis:
         self._iter_bounds: Dict[Node, IterationBound] = {}
         self._node_costs: Dict[Node, CostBound] = {}
         self._summaries_fp: Optional[str] = None
+        # Incremental plane: canonical loop encodings, the content key of
+        # every iteration bound computed or served, and the predecessor
+        # index that narrows entry-state scans.
+        self._canon_cache: Dict[Node, Tuple[Dict[Node, int], tuple]] = {}
+        self._iter_keys: Dict[Node, tuple] = {}
+        self._preds: Optional[Dict[Node, Set[Node]]] = None
 
     # -- public entry point ------------------------------------------------------
 
@@ -230,21 +243,14 @@ class BoundAnalysis:
             # L(tr_mg), so the whole-program bound soundly covers the
             # trail — only lower-bound precision is lost.
             if self._dfa is not None:
-                projected = BoundAnalysis(
-                    self._cfg,
-                    self._domain,
-                    self._summaries,
-                    trail_dfa=None,
-                    proc_bounds=self._proc_bounds,
-                    budget=self._budget,
-                ).compute()
+                projected = self._unrestricted_fallback()
                 return BoundResult(
                     feasible=True,
                     bound=projected.bound
                     if projected.bound is not None
                     else CostBound.unbounded(nonneg=self._nonneg),
                     main=main,
-                    loop_bounds=projected.loop_bounds,
+                    loop_bounds=dict(projected.loop_bounds),
                 )
             return BoundResult(
                 feasible=True,
@@ -261,6 +267,7 @@ class BoundAnalysis:
             if cost is None:
                 continue
             bound = cost if bound is None else bound.join(cost)
+        self._publish_artifacts()
         if bound is None:
             return BoundResult(feasible=False, bound=None, main=main)
         iter_report = {l.header: self._iter_bounds[l.header] for l in self._loops if l.header in self._iter_bounds}
@@ -471,11 +478,104 @@ class BoundAnalysis:
     def _iteration_bound_uncached(self, loop: GraphLoop) -> IterationBound:
         assert self._main is not None
         inv = self._main.invariants
+        entry = self._entry_state(loop)
 
-        # Entry state: join over edges entering the header from outside.
+        # Seeded transition relation over the loop body.
+        tracked = self._tracked_vars(loop)
+        header_inv = inv.get(loop.header, self._domain.bottom())
+        seeded = header_inv
+        for var in sorted(tracked):
+            seeded = seeded.assign(seed_name(var), LinExpr.var(var))
+
+        # Incremental plane: probe the reuse tiers before running the
+        # transition fixpoint.  The whole iteration bound is a pure
+        # function of the canonical inputs encoded in the key (the
+        # candidates are hoisted so the key can cover them); a split
+        # child consults its parent's lineage-indexed artifacts first,
+        # except for loops the split's constructor touches, which are
+        # dirty and recompute unconditionally.
+        use_inc = runtime.incremental_enabled() and self._budget is None
+        key = None
+        candidates: Optional[List[RankCandidate]] = None
+        single_exit: Optional[Node] = None
+        inner_finite = True
+        if use_inc:
+            candidates, single_exit = self._rank_candidates(loop)
+            inner_finite = self._inner_finite(loop)
+            key = self._iteration_bound_key(
+                loop, seeded, entry, tracked, candidates, single_exit, inner_finite
+            )
+        if key is not None:
+            from repro.perf import incremental
+
+            delta = self._delta
+            blocks = {n[0] for n in loop.body}
+            if delta is not None and incremental.delta_touches(delta, blocks):
+                runtime.STATS.event("refine.dirty")
+            else:
+                served = incremental.lookup_iterbound(
+                    delta, key, "%s:b%d" % (self._cfg.name, loop.header[0])
+                )
+                if served is not None:
+                    self._iter_bounds[loop.header] = served
+                    self._iter_keys[loop.header] = key
+                    return served
+
+        transition = self._loop_transition(loop, seeded)
+        if transition.is_bottom():
+            bound = IterationBound(lower=Poly.ZERO, upper=Poly.ZERO, exact=True)
+            self._iter_bounds[loop.header] = bound
+            self._record_iterbound(loop, key, bound)
+            return bound
+
+        if candidates is None:
+            candidates, single_exit = self._rank_candidates(loop)
+            inner_finite = self._inner_finite(loop)
+        bound = match_iteration_lemmas(
+            candidates=candidates,
+            transition=transition,
+            entry_state=entry,
+            seeded_vars=tracked,
+            symbols=self._symbols,
+            single_exit_branch=single_exit,
+            inner_loops_finite=inner_finite,
+            header=loop.header,
+        )
+        self._iter_bounds[loop.header] = bound
+        self._record_iterbound(loop, key, bound)
+        return bound
+
+    def _record_iterbound(
+        self, loop: GraphLoop, key: Optional[tuple], bound: IterationBound
+    ) -> None:
+        if key is None:
+            return
+        from repro.perf import incremental
+
+        self._iter_keys[loop.header] = key
+        incremental.store_iterbound(key, bound)
+
+    def _entry_state(self, loop: GraphLoop) -> AbstractState:
+        """Join over edges entering the header from outside the loop.
+
+        The incremental plane narrows the scan to the header's product
+        predecessors before the (expensive) ``edge_out_states`` call;
+        iteration stays over ``self._live`` itself, so contributing
+        nodes are visited in exactly the seed order and the join
+        sequence — hence the result — is unchanged.
+        """
+        assert self._main is not None
+        inv = self._main.invariants
         entry = self._domain.bottom()
+        preds = (
+            self._header_preds(loop.header)
+            if runtime.incremental_enabled()
+            else None
+        )
         for m in self._live:
             if m in loop.body:
+                continue
+            if preds is not None and m not in preds:
                 continue
             state = inv.get(m)
             if state is None or state.is_bottom():
@@ -485,20 +585,31 @@ class BoundAnalysis:
                     entry = entry.join(out_state)
         if loop.header == self._engine.initial_node():
             entry = entry.join(self._transfer.entry_state(self._domain.top()))
+        return entry
 
-        # Seeded transition relation over the loop body.
-        tracked = self._tracked_vars(loop)
-        header_inv = inv.get(loop.header, self._domain.bottom())
-        seeded = header_inv
-        for var in sorted(tracked):
-            seeded = seeded.assign(seed_name(var), LinExpr.var(var))
-        transition = self._loop_transition(loop, seeded)
-        if transition.is_bottom():
-            bound = IterationBound(lower=Poly.ZERO, upper=Poly.ZERO, exact=True)
-            self._iter_bounds[loop.header] = bound
-            return bound
+    def _header_preds(self, header: Node) -> Set[Node]:
+        if self._preds is None:
+            preds: Dict[Node, Set[Node]] = {}
+            for u, edges in self._adjacency.items():
+                for e in edges:
+                    preds.setdefault(e.dst, set()).add(u)
+            self._preds = preds
+        return self._preds.get(header, set())
 
-        # Rank candidates from exiting branches.
+    def _inner_finite(self, loop: GraphLoop) -> bool:
+        return all(
+            self._iteration_bound(l).upper is not None
+            for l in self._loops
+            if l.parent is loop
+        )
+
+    def _rank_candidates(
+        self, loop: GraphLoop
+    ) -> Tuple[List[RankCandidate], Optional[Node]]:
+        """Rank candidates from exiting branches, plus the single-exit
+        branch node when the loop has exactly one exit edge."""
+        assert self._main is not None
+        inv = self._main.invariants
         candidates: List[RankCandidate] = []
         exit_edges: List[Tuple[Node, Node]] = []
         exit_branches: Set[Node] = set()
@@ -541,24 +652,7 @@ class BoundAnalysis:
                 [e for e in exit_edges if e[0] == only]
             ) and len(set(exit_edges)) == 1:
                 single_exit = only
-
-        inner_finite = all(
-            self._iteration_bound(l).upper is not None
-            for l in self._loops
-            if l.parent is loop
-        )
-        bound = match_iteration_lemmas(
-            candidates=candidates,
-            transition=transition,
-            entry_state=entry,
-            seeded_vars=tracked,
-            symbols=self._symbols,
-            single_exit_branch=single_exit,
-            inner_loops_finite=inner_finite,
-            header=loop.header,
-        )
-        self._iter_bounds[loop.header] = bound
-        return bound
+        return candidates, single_exit
 
     # -- incremental re-analysis ---------------------------------------------------
 
@@ -591,7 +685,7 @@ class BoundAnalysis:
         back = set(loop.back_edges)
         key = None
         if runtime.enabled() and self._budget is None:
-            key = self._loop_transition_key(loop, seeded, back)
+            key = self._loop_transition_key(loop, seeded)
             if key is not None:
                 table = runtime.memo_table("bounds.transition")
                 hit = table.get(key)
@@ -609,24 +703,22 @@ class BoundAnalysis:
             runtime.memo_table("bounds.transition")[key] = transition
         return transition
 
-    def _loop_transition_key(
-        self, loop: GraphLoop, seeded: AbstractState, back: Set[Tuple[Node, Node]]
-    ) -> Optional[tuple]:
-        """Canonical content key for one seeded loop analysis, or None
-        when the state offers no content key.
+    def _loop_canon(self, loop: GraphLoop) -> Tuple[Dict[Node, int], tuple]:
+        """Canonical numbering + encoding of one loop's product subgraph.
 
         Mirrors the engine's own DFS (``_explore``) from the header over
         the body-restricted adjacency to number nodes structurally, then
         encodes every node as (block id, ordered successors) with each
         successor as (canonical dst, branch polarity, is-back-edge).
-        Equal keys imply the engine sees identical inputs up to a
-        DFA-state renaming its computation cannot observe.
+        Equal encodings imply the engine sees identical inputs up to a
+        DFA-state renaming its computation cannot observe.  Cached per
+        header: both the transition memo and the iteration-bound key
+        consume it.
         """
-        key_of = getattr(seeded, "cache_key", None)
-        if key_of is None:
-            return None
-        from repro.perf.fingerprint import cfg_fingerprint
-
+        cached = self._canon_cache.get(loop.header)
+        if cached is not None:
+            return cached
+        back = set(loop.back_edges)
         body = loop.body
         adj = {
             u: [e for e in self._adjacency.get(u, []) if e.dst in body] for u in body
@@ -654,16 +746,140 @@ class BoundAnalysis:
             )
             for node in order
         )
-        summaries_fp = self._summaries_fp
-        if summaries_fp is None:
-            summaries_fp = self._summaries_fp = self._summaries.fingerprint()
+        self._canon_cache[loop.header] = (canon, enc)
+        return canon, enc
+
+    def _summaries_fingerprint(self) -> str:
+        if self._summaries_fp is None:
+            self._summaries_fp = self._summaries.fingerprint()
+        return self._summaries_fp
+
+    def _loop_transition_key(
+        self, loop: GraphLoop, seeded: AbstractState
+    ) -> Optional[tuple]:
+        """Canonical content key for one seeded loop analysis, or None
+        when the state offers no content key (see :meth:`_loop_canon`)."""
+        key_of = getattr(seeded, "cache_key", None)
+        if key_of is None:
+            return None
+        from repro.perf.fingerprint import cfg_fingerprint
+
+        _, enc = self._loop_canon(loop)
         return (
             cfg_fingerprint(self._cfg),
             self._domain.name,
-            summaries_fp,
+            self._summaries_fingerprint(),
             key_of(),
             enc,
         )
+
+    def _iteration_bound_key(
+        self,
+        loop: GraphLoop,
+        seeded: AbstractState,
+        entry: AbstractState,
+        tracked: Set[str],
+        candidates: List[RankCandidate],
+        single_exit: Optional[Node],
+        inner_finite: bool,
+    ) -> Optional[tuple]:
+        """Canonical content key for one loop's whole iteration bound.
+
+        Extends the transition key with everything else the lemma
+        matcher reads: the entry state's content, the tracked/seeded
+        variable set, the designated input symbols, every rank
+        candidate (its linear expression plus the *canonical* index of
+        its branch node — the matcher consumes branch nodes only via
+        equality with the single-exit branch and the header, which the
+        indices preserve), the single-exit branch's canonical index,
+        and the inner-loop finiteness flag.  Node labels never enter
+        the key, so parent/child artifacts with renamed DFA states
+        compare equal exactly when the analysis would reproduce them.
+        """
+        seeded_key = getattr(seeded, "cache_key", None)
+        entry_key = getattr(entry, "cache_key", None)
+        if seeded_key is None or entry_key is None:
+            return None
+        from repro.perf.fingerprint import cfg_fingerprint
+
+        canon, enc = self._loop_canon(loop)
+        cand_enc: List[tuple] = []
+        for cand in candidates:
+            idx = canon.get(cand.branch_node)
+            if idx is None:
+                return None
+            cand_enc.append(
+                ((tuple(sorted(cand.rank.coeffs.items())), cand.rank.const), idx)
+            )
+        exit_idx = None if single_exit is None else canon.get(single_exit)
+        return (
+            "iterbound",
+            cfg_fingerprint(self._cfg),
+            self._domain.name,
+            self._summaries_fingerprint(),
+            enc,
+            seeded_key(),
+            entry_key(),
+            tuple(sorted(tracked)),
+            tuple(self._symbols),
+            tuple(cand_enc),
+            exit_idx,
+            inner_finite,
+        )
+
+    def _unrestricted_fallback(self) -> BoundResult:
+        """The whole-CFG bound used when a trail's product graph is
+        irreducible — a pure function of (CFG, domain, summaries,
+        proc_bounds), so under the incremental plane every irreducible
+        child of every trail of the same procedure shares one run."""
+
+        def compute() -> BoundResult:
+            return BoundAnalysis(
+                self._cfg,
+                self._domain,
+                self._summaries,
+                trail_dfa=None,
+                proc_bounds=self._proc_bounds,
+                budget=self._budget,
+            ).compute()
+
+        if not (runtime.incremental_enabled() and self._budget is None):
+            return compute()
+        from repro.perf import incremental
+        from repro.perf.fingerprint import cfg_fingerprint
+
+        key = (
+            cfg_fingerprint(self._cfg),
+            self._domain.name,
+            self._summaries_fingerprint(),
+            incremental.proc_bounds_key(self._proc_bounds),
+        )
+        table = runtime.memo_table(incremental.UNRESTRICTED_TABLE)
+        hit = table.get(key)
+        if hit is not None:
+            runtime.STATS.hit(incremental.UNRESTRICTED_TABLE)
+            return hit
+        runtime.STATS.miss(incremental.UNRESTRICTED_TABLE)
+        result = compute()
+        if not result.degraded:
+            table[key] = result
+        return result
+
+    def _publish_artifacts(self) -> None:
+        """Index this analysis's per-loop artifacts under its trail's
+        delta-lineage fingerprint, for future split children to probe."""
+        if self._trail is None or not self._iter_keys:
+            return
+        if not (runtime.incremental_enabled() and self._budget is None):
+            return
+        from repro.perf import incremental
+
+        artifacts = {
+            key: self._iter_bounds[header]
+            for header, key in self._iter_keys.items()
+            if header in self._iter_bounds
+        }
+        incremental.publish_loop_artifacts(self._trail, artifacts)
 
     def _tracked_vars(self, loop: GraphLoop) -> Set[str]:
         """Integer variables worth seeding for the transition relation."""
@@ -695,8 +911,9 @@ def compute_bound(
     trail_dfa: Optional[DFA] = None,
     proc_bounds: Optional[Dict[str, "ProcBound"]] = None,
     budget=None,
+    trail=None,
 ) -> BoundResult:
     """One-shot BOUNDANALYSIS convenience wrapper."""
     return BoundAnalysis(
-        cfg, domain, summaries, trail_dfa, proc_bounds, budget=budget
+        cfg, domain, summaries, trail_dfa, proc_bounds, budget=budget, trail=trail
     ).compute()

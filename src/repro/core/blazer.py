@@ -82,6 +82,13 @@ class BlazerConfig:
     cache: Optional[bool] = None
     jobs: int = 1
     parallel_leaf_min: int = 4
+    # Incremental re-analysis plane (docs/PERFORMANCE.md): forces the
+    # REPRO_PERF_INCREMENTAL sub-flag on/off for this driver (None =
+    # inherit the process-wide flag).  Off reproduces the
+    # pre-incremental engine exactly — same results, same hit/miss
+    # counters — which is what the differential battery compares
+    # against.
+    incremental: Optional[bool] = None
     # Resilience layer (docs/RESILIENCE.md): a cooperative Budget bounds
     # this driver's analyze() calls (wall clock, refinement iterations,
     # fixpoint steps).  On exhaustion the driver degrades soundly: the
@@ -119,6 +126,10 @@ class BlazerVerdict:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # One-sided event counters accumulated during analyze() (injected
+    # faults, quarantines, ``refine.dirty`` loop skips, …) — volatile
+    # observability like cache_stats, never part of the digest.
+    cache_events: Dict[str, int] = field(default_factory=dict)
     # Resilience observability: non-None when a budget tripped and the
     # driver degraded to "unknown"; the counters say how many partition
     # leaves received ⊤ bounds and how many cache entries were
@@ -182,7 +193,7 @@ class Blazer:
         # (None while healthy); reset per analysis.
         self._exhaustion: Optional[ResourceExhausted] = None
         self._exhaustion_phase: str = "safety"
-        with self._perf_ctx(), trace_span("blazer.construct"):
+        with self._perf_ctx(), self._incremental_ctx(), trace_span("blazer.construct"):
             module = compile_program(program)
             verify_module(module)
             self.module = module
@@ -209,9 +220,8 @@ class Blazer:
                     self.config.domain, self._summaries.fingerprint(), self.cfgs
                 )
             self.cache = AnalysisCache(disk=disk, disk_scope=scope)
-            self._proc_bounds: Dict[str, ProcBound] = compute_proc_bounds(
-                self.cfgs, self._domain, self._summaries
-            )
+            self._shared_scope: Optional[tuple] = None
+            self._proc_bounds: Dict[str, ProcBound] = self._compute_proc_bounds()
             self._taints: Dict[str, TaintResult] = {}
         # Per-phase wall-clock accumulators for the current analyze()
         # call.  Leaf evaluation can fan out over worker threads
@@ -244,6 +254,12 @@ class Blazer:
             return nullcontext()
         return runtime.override(self.config.cache)
 
+    def _incremental_ctx(self):
+        """Ditto for the incremental sub-flag (``config.incremental``)."""
+        if self.config.incremental is None:
+            return nullcontext()
+        return runtime.override_incremental(self.config.incremental)
+
     def taint(self, proc: str) -> TaintResult:
         if proc not in self._taints:
             started = time.perf_counter()
@@ -261,16 +277,71 @@ class Blazer:
         finally:
             self._add_phase("bounds", time.perf_counter() - started)
 
+    def _shared_scope_key(self) -> tuple:
+        """The analysis scope shared-tier entries are namespaced by: the
+        domain, the summary registry, and every defined procedure body
+        (callee bounds reach each trail through ``proc_bounds``).  Two
+        drivers with equal scope keys produce interchangeable bound
+        results — the in-process analogue of the disk tier's
+        ``analysis_scope_fingerprint``."""
+        if self._shared_scope is None:
+            from repro.perf.fingerprint import module_fingerprint
+
+            self._shared_scope = (
+                self.config.domain,
+                self._summaries.fingerprint(),
+                module_fingerprint(self.cfgs),
+            )
+        return self._shared_scope
+
+    def _compute_proc_bounds(self) -> Dict[str, ProcBound]:
+        """Interprocedural bounds, shared across driver instances with
+        the same scope under the incremental plane (``bounds.proc``) —
+        diffcheck sweeps and refinement-heavy benchmarks construct many
+        drivers over the same program."""
+        if not (runtime.incremental_enabled() and self.config.budget is None):
+            return compute_proc_bounds(self.cfgs, self._domain, self._summaries)
+        from repro.perf import incremental
+
+        key = self._shared_scope_key()
+        table = runtime.memo_table(incremental.PROC_BOUNDS_TABLE)
+        hit = table.get(key)
+        if hit is not None:
+            runtime.STATS.hit(incremental.PROC_BOUNDS_TABLE)
+            return hit
+        runtime.STATS.miss(incremental.PROC_BOUNDS_TABLE)
+        bounds = compute_proc_bounds(self.cfgs, self._domain, self._summaries)
+        table[key] = bounds
+        return bounds
+
     def _bound_uncached(self, cfg: ControlFlowGraph, trail: Trail) -> BoundResult:
-        analysis = BoundAnalysis(
-            cfg,
-            self._domain,
-            self._summaries,
-            trail_dfa=trail.dfa,
-            proc_bounds=self._proc_bounds,
-            budget=self.config.budget,
-        )
-        return analysis.compute()
+        def compute() -> BoundResult:
+            analysis = BoundAnalysis(
+                cfg,
+                self._domain,
+                self._summaries,
+                trail_dfa=trail.dfa,
+                proc_bounds=self._proc_bounds,
+                budget=self.config.budget,
+                trail=trail,
+            )
+            return analysis.compute()
+
+        if not (runtime.incremental_enabled() and self.config.budget is None):
+            return compute()
+        # Shared cross-driver tier: keyed by scope + the trail's content
+        # fingerprint + the trail DFA's *exact* state structure (bound
+        # results embed raw DFA state numbers in their product-node
+        # invariants, so an isomorphism-class key would mislabel states).
+        from repro.perf import incremental
+
+        key = incremental.shared_bound_key(self._shared_scope_key(), trail)
+        result = incremental.lookup_shared_bound(key)
+        if result is not None:
+            return result
+        result = compute()
+        incremental.store_shared_bound(key, result)
+        return result
 
     # -- graceful degradation ------------------------------------------------
 
@@ -409,7 +480,9 @@ class Blazer:
             self.config.budget.start()
         with self._phase_lock:
             self._phase = {}
-        with self._perf_ctx(), trace_span("blazer.analyze", proc=proc) as root:
+        with self._perf_ctx(), self._incremental_ctx(), trace_span(
+            "blazer.analyze", proc=proc
+        ) as root:
             stats_before = runtime.STATS.snapshot()
             events_before = runtime.STATS.events_snapshot()
             verdict = self._analyze(proc)
@@ -418,6 +491,7 @@ class Blazer:
             verdict.cache_hits = sum(pair[0] for pair in delta.values())
             verdict.cache_misses = sum(pair[1] for pair in delta.values())
             events = runtime.STATS.events_delta(events_before)
+            verdict.cache_events = events
             verdict.quarantined = events.get("cache.quarantine", 0)
             verdict.phase_seconds = self._phase_snapshot(verdict)
             root.annotate(status=verdict.status, leaves=len(verdict.tree.leaves()))

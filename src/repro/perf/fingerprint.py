@@ -101,6 +101,56 @@ def trail_fingerprint(trail) -> str:
     return _digest([cfg_fingerprint(trail.cfg), dfa_canonical(trail.dfa)])
 
 
+def dfa_structure_key(dfa) -> tuple:
+    """A hashable key over a DFA's *exact* state structure.
+
+    Stricter than :func:`dfa_fingerprint`: two isomorphic DFAs with
+    different state numbering get different keys.  Used wherever a
+    cached value is consumed together with the DFA's raw state numbers
+    (product-node invariants, accepting-state checks), where serving an
+    isomorphism-class hit would mislabel states.
+    """
+    return (
+        dfa.num_states,
+        dfa.initial,
+        frozenset(dfa.accepting),
+        frozenset(dfa.transitions.items()),
+    )
+
+
+def delta_fingerprint(parent_lineage: str, child_fp: str, delta) -> str:
+    """Lineage fingerprint of a split child (see :func:`lineage_fingerprint`)."""
+    return _digest(
+        [
+            "split",
+            parent_lineage,
+            child_fp,
+            "%s b%d %r %s" % (delta.kind, delta.block, delta.edge, delta.polarity),
+        ]
+    )
+
+
+def lineage_fingerprint(trail) -> str:
+    """Delta-lineage fingerprint: content fingerprint *plus* the split
+    route that produced the trail.
+
+    The incremental plane indexes parent artifacts by this key rather
+    than the language-keyed :func:`trail_fingerprint`: two trails can
+    denote the same language yet carry *different* refinement deltas
+    (split at a different constructor, or in a different order), and the
+    delta is what directs which loops are probed without recomputation.
+    Keying by lineage guarantees a reused fixpoint artifact is only ever
+    consulted under the exact split that produced it — a structurally
+    different split route gets a fresh index entry and full content
+    revalidation (the stale-key regression in
+    ``tests/perf/test_incremental.py``).
+    """
+    delta = getattr(trail, "delta", None)
+    if delta is None:
+        return _digest(["root", trail_fingerprint(trail)])
+    return delta_fingerprint(delta.parent_lineage, trail_fingerprint(trail), delta)
+
+
 def reachable_procs(cfgs: Dict[str, object], root: str) -> Set[str]:
     """Names of the procedures ``root`` can reach through calls to
     *defined* procedures (``root`` included)."""

@@ -31,6 +31,19 @@ TABLE_LIMIT = 100_000
 
 _ENABLED = os.environ.get("REPRO_PERF", "1") not in ("0", "false", "off")
 
+# Sub-flag of the perf layer: the incremental re-analysis plane
+# (docs/PERFORMANCE.md).  ``REPRO_PERF_INCREMENTAL=0`` keeps every
+# PR-1..6 memo active but disables the delta-directed refinement reuse
+# (parent loop artifacts, the shared cross-driver bound tier, the
+# interned split derivations) — the exact pre-incremental engine.
+# Nested under the main flag: incremental reuse is never active when
+# the perf layer itself is off.
+_INCREMENTAL = os.environ.get("REPRO_PERF_INCREMENTAL", "1") not in (
+    "0",
+    "false",
+    "off",
+)
+
 
 def enabled() -> bool:
     """Is the perf layer (caching + fast paths) active in this process?"""
@@ -40,6 +53,16 @@ def enabled() -> bool:
 def set_enabled(flag: bool) -> None:
     global _ENABLED
     _ENABLED = bool(flag)
+
+
+def incremental_enabled() -> bool:
+    """Is the incremental re-analysis plane active?  Implies ``enabled()``."""
+    return _ENABLED and _INCREMENTAL
+
+
+def set_incremental(flag: bool) -> None:
+    global _INCREMENTAL
+    _INCREMENTAL = bool(flag)
 
 
 @contextmanager
@@ -54,6 +77,18 @@ def override(flag: bool) -> Iterator[None]:
         _ENABLED = saved
 
 
+@contextmanager
+def override_incremental(flag: bool) -> Iterator[None]:
+    """Temporarily force the incremental sub-flag on or off."""
+    global _INCREMENTAL
+    saved = _INCREMENTAL
+    _INCREMENTAL = bool(flag)
+    try:
+        yield
+    finally:
+        _INCREMENTAL = saved
+
+
 class PerfStats:
     """Hit/miss counters, one pair per cache category.
 
@@ -63,6 +98,15 @@ class PerfStats:
     symbols / levels), ``taint``, ``bound`` (trail-keyed bound
     results).  Zone ``join``/``leq`` use zero-key single-slot identity
     memos on the states themselves and report no counters.
+
+    The incremental plane (docs/PERFORMANCE.md) adds: ``refine.reuse``
+    (parent loop artifacts revalidated and served to a split child),
+    ``bounds.iterbound`` (whole iteration-bound results),
+    ``bounds.unrestricted`` (whole-CFG fallback bounds),
+    ``bounds.proc`` (interprocedural bound maps), ``bound.shared``
+    (the cross-driver bound tier) and ``refine.split`` (interned DFA
+    split derivations), plus the one-sided event ``refine.dirty``
+    (loops skipped as touched by the split constructor).
     """
 
     def __init__(self) -> None:

@@ -27,6 +27,11 @@ Registered sites (callers of :func:`maybe_fire`):
 ``cache.get``             read path of :class:`repro.perf.cache.AnalysisCache`
 ``zone.closure``          :meth:`ZoneState._close` (the DBM closure)
 ``engine.step``           the abstract-interpretation fixpoint loop
+``refine.delta``          iteration-bound reuse in
+                          :mod:`repro.perf.incremental` (``corrupt``
+                          replaces a reused parent fixpoint artifact
+                          with a zero-iteration claim, so the
+                          differential battery must flag the divergence)
 ========================  ====================================================
 
 Activation: programmatic (:func:`install`) or via the environment, which
@@ -66,7 +71,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.perf import runtime
 from repro.util.errors import InjectedFault
 
-SITES = ("worker.run", "cache.get", "zone.closure", "engine.step")
+SITES = ("worker.run", "cache.get", "zone.closure", "engine.step", "refine.delta")
 KINDS = ("error", "crash", "interrupt", "delay", "corrupt")
 
 ENV_FAULTS = "REPRO_FAULTS"

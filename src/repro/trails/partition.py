@@ -35,6 +35,15 @@ class TrailNode:
         """The kind of split that created this node ('' for the root)."""
         return self.trail.splits[-1].kind if self.trail.splits else ""
 
+    @property
+    def delta(self):
+        """The :class:`~repro.trails.trail.RefinementDelta` of the split
+        that created this node (None for the root).  This is what the
+        driver hands to :class:`~repro.bounds.analysis.BoundAnalysis` so
+        the incremental plane knows which constructor the round
+        perturbed and which parent computation to derive from."""
+        return self.trail.delta
+
     def fingerprint(self) -> str:
         """The node's content fingerprint: its trail's (the analysis
         results hanging off the node are *derived from* the trail, so the

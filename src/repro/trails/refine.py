@@ -55,6 +55,41 @@ def _describe_edge(cfg: ControlFlowGraph, edge: Edge, polarity: bool) -> str:
     return "%s edge b%d->b%d" % (verb, edge[0], edge[1])
 
 
+def _derive_split_dfas(trail: Trail, edge: Edge) -> Tuple[DFA, DFA]:
+    """The two occurrence-split child DFAs ``(with_edge, without_edge)``.
+
+    Under the incremental plane the pair is interned process-wide, keyed
+    by the parent DFA's *exact* state structure plus the alphabet and
+    edge — the same strictness as the ``trail.regex`` intern: product
+    construction and minimization output depend on concrete state
+    numbering, so an isomorphism-class key would not preserve the seed's
+    byte-identical child DFAs.  DFAs are immutable, so re-splitting the
+    same parent across refinement rounds (diffcheck sweeps re-derive
+    sibling trails constantly) shares one intersect+minimize run.
+    """
+    from repro.perf import runtime
+
+    alphabet = trail.alphabet
+    key = None
+    if runtime.incremental_enabled():
+        from repro.perf.fingerprint import dfa_structure_key
+
+        key = (dfa_structure_key(trail.dfa), frozenset(alphabet), edge)
+        pair = runtime.memo_table("refine.split").get(key)
+        if pair is not None:
+            runtime.STATS.hit("refine.split")
+            return pair
+        runtime.STATS.miss("refine.split")
+    occurs = containing_symbol(alphabet, edge)
+    pair = (
+        trail.dfa.intersect(occurs).minimized(),
+        trail.dfa.intersect(occurs.complement(alphabet)).minimized(),
+    )
+    if key is not None:
+        runtime.memo_table("refine.split")[key] = pair
+    return pair
+
+
 class OccurrenceSplit(SplitStrategy):
     """Split on whether a chosen branch edge occurs in the trace."""
 
@@ -75,12 +110,9 @@ class OccurrenceSplit(SplitStrategy):
         self, trail: Trail, block: int, edge: Edge, kind: str
     ) -> List[Trail]:
         """The occurrence split for one specific branch edge."""
-        alphabet = trail.alphabet
-        if edge not in alphabet:
+        if edge not in trail.alphabet:
             return []
-        occurs = containing_symbol(alphabet, edge)
-        with_edge = trail.dfa.intersect(occurs).minimized()
-        without_edge = trail.dfa.intersect(occurs.complement(alphabet)).minimized()
+        with_edge, without_edge = _derive_split_dfas(trail, edge)
         if with_edge.is_empty() or without_edge.is_empty():
             return []  # no progress: one side is the whole parent
         cfg = trail.cfg

@@ -37,6 +37,38 @@ class SplitInfo:
         return "%s:%s %s->%s" % (self.kind, verb, self.edge[0], self.edge[1])
 
 
+@dataclass(frozen=True)
+class RefinementDelta:
+    """The one-constructor perturbation a split applied to its parent.
+
+    Where :class:`SplitInfo` is human-facing provenance, the delta is
+    the *machine-facing* contract the incremental re-analysis plane
+    (docs/PERFORMANCE.md) consumes: which branch block was perturbed
+    (everything structurally disjoint from it is a reuse candidate),
+    and which parent computation — identified by its delta-lineage
+    fingerprint — holds the artifacts to probe.  Carried by every
+    derived trail; ignored entirely when the incremental plane is off.
+    """
+
+    parent_fingerprint: str  # content (language) fingerprint of the parent
+    parent_lineage: str  # delta-lineage fingerprint of the parent
+    kind: str  # "taint" or "sec", as in SplitInfo
+    block: int  # the perturbed branch block
+    edge: Edge  # the branch edge whose occurrence was decided
+    polarity: bool  # True: the edge must occur; False: it never occurs
+
+    def __str__(self) -> str:
+        verb = "takes" if self.polarity else "avoids"
+        return "delta[%s:%s b%d %s->%s of %s]" % (
+            self.kind,
+            verb,
+            self.block,
+            self.edge[0],
+            self.edge[1],
+            self.parent_lineage[:12],
+        )
+
+
 @dataclass
 class Trail:
     """One partition component, as a language of CFG-edge words."""
@@ -45,8 +77,13 @@ class Trail:
     dfa: DFA
     description: str
     splits: Tuple[SplitInfo, ...] = ()
+    # The machine-facing perturbation record of the split that produced
+    # this trail (None for roots).  compare=False: trail equality stays
+    # content-based, exactly as before the incremental plane existed.
+    delta: Optional[RefinementDelta] = field(default=None, repr=False, compare=False)
     _regex_cache: Optional[rx.Regex] = field(default=None, repr=False, compare=False)
     _fingerprint_cache: Optional[str] = field(default=None, repr=False, compare=False)
+    _lineage_cache: Optional[str] = field(default=None, repr=False, compare=False)
 
     # -- constructors ----------------------------------------------------------
 
@@ -93,13 +130,9 @@ class Trail:
 
             key = None
             if runtime.enabled():
-                dfa = self.dfa
-                key = (
-                    dfa.num_states,
-                    dfa.initial,
-                    frozenset(dfa.accepting),
-                    frozenset(dfa.transitions.items()),
-                )
+                from repro.perf.fingerprint import dfa_structure_key
+
+                key = dfa_structure_key(self.dfa)
                 regex = runtime.memo_table("trail.regex").get(key)
                 if regex is None:
                     runtime.STATS.miss("trail.regex")
@@ -137,6 +170,19 @@ class Trail:
             object.__setattr__(self, "_fingerprint_cache", trail_fingerprint(self))
         return self._fingerprint_cache  # type: ignore[return-value]
 
+    def lineage_fingerprint(self) -> str:
+        """Delta-lineage fingerprint: :meth:`fingerprint` *plus* the
+        split route (see :func:`repro.perf.fingerprint.lineage_fingerprint`).
+        The incremental plane's parent-artifact index keys by this, so a
+        reused fixpoint can never be served for a structurally different
+        split even when the two children denote the same language.
+        """
+        if self._lineage_cache is None:
+            from repro.perf.fingerprint import lineage_fingerprint
+
+            object.__setattr__(self, "_lineage_cache", lineage_fingerprint(self))
+        return self._lineage_cache  # type: ignore[return-value]
+
     def __hash__(self) -> int:
         # Content-based and consistent with the dataclass __eq__: equal
         # trails have equal cfg/dfa, hence equal fingerprints.  (Without
@@ -151,6 +197,14 @@ class Trail:
             dfa=dfa.minimized(),
             description=description,
             splits=self.splits + (split,),
+            delta=RefinementDelta(
+                parent_fingerprint=self.fingerprint(),
+                parent_lineage=self.lineage_fingerprint(),
+                kind=split.kind,
+                block=split.block,
+                edge=split.edge,
+                polarity=split.polarity,
+            ),
         )
 
     def __str__(self) -> str:

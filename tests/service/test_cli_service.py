@@ -12,6 +12,7 @@ import sys
 import pytest
 
 from repro.cli import EXIT_USAGE, build_parser, main
+from repro.perf import runtime
 from repro.resilience import faults
 from repro.resilience.faults import FaultPlan, parse_spec
 from repro.service import AnalysisDaemon, ServiceClient
@@ -118,6 +119,11 @@ class TestExitCodeContract:
         assert main(_argv(mode, sources, daemon, case)) == expected
 
     def test_analyze_interrupt_exits_130(self, sources):
+        # Earlier tests in this class analyze the same source in-process,
+        # warming the process-global shared-bound tier — a cache hit
+        # would skip the engine and the injected interrupt would never
+        # fire, so this fault-site test must start cold.
+        runtime.clear_caches()
         faults.install(FaultPlan([parse_spec("engine.step:interrupt")]))
         assert main(["analyze", sources["safe"]]) == 130
 
